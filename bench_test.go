@@ -1,0 +1,658 @@
+// Package distlog_test holds the experiment harness: one benchmark or
+// test per table and figure of the paper's evaluation (see DESIGN.md
+// for the index, EXPERIMENTS.md for recorded results), plus
+// integration tests of the public API.
+package distlog_test
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"distlog"
+	"distlog/internal/capacity"
+	"distlog/internal/disk"
+	"distlog/internal/nvram"
+	"distlog/internal/storage"
+)
+
+// ---------------------------------------------------------------------------
+// Public API integration.
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	cluster, err := distlog.NewCluster(distlog.ClusterOptions{Servers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	l, err := cluster.OpenClient(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	lsn, err := l.ForceLog([]byte("through the public API"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := l.ReadLog(lsn)
+	if err != nil || string(data) != "through the public API" {
+		t.Fatalf("ReadLog = %q, %v", data, err)
+	}
+	if _, err := l.ReadLog(lsn + 1); !errors.Is(err, distlog.ErrBeyondEnd) {
+		t.Fatalf("beyond end: %v", err)
+	}
+}
+
+func TestPublicAPIEngine(t *testing.T) {
+	cluster, err := distlog.NewCluster(distlog.ClusterOptions{Servers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	l, err := cluster.OpenClient(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stable := distlog.NewStableStore()
+	e, err := distlog.OpenEngine(l, stable, distlog.EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := distlog.NewET1(distlog.ET1Scale{Branches: 2, Tellers: 20, Accounts: 200}, 1)
+	for i := 0; i < 20; i++ {
+		if _, err := distlog.ApplyET1(e, gen.Next()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close() // crash
+
+	l2, err := cluster.OpenClient(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	e2, err := distlog.OpenEngine(l2, stable, distlog.EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e2.Get("history/count"); got != 20 {
+		t.Fatalf("history/count = %d after recovery", got)
+	}
+}
+
+func TestPublicAPIOverUDP(t *testing.T) {
+	// The same protocol over real sockets: three UDP servers with
+	// file-backed stores, one UDP client.
+	var servers []string
+	for i := 0; i < 3; i++ {
+		store, err := distlog.OpenFileStore(fmt.Sprintf("%s/server-%d.log", t.TempDir(), i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer store.Close()
+		ep, err := distlog.ListenUDP("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := distlog.NewServer(distlog.ServerConfig{
+			Name:     ep.Addr(),
+			Store:    store,
+			Endpoint: ep,
+			Epochs:   distlog.NewMemEpochHost(),
+		})
+		srv.Start()
+		defer srv.Stop()
+		servers = append(servers, ep.Addr())
+	}
+	cep, err := distlog.ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := distlog.Open(distlog.ClientConfig{
+		ClientID:    1,
+		Servers:     servers,
+		N:           2,
+		Endpoint:    cep,
+		CallTimeout: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	var lsns []distlog.LSN
+	for i := 0; i < 10; i++ {
+		lsn, err := l.WriteLog([]byte(fmt.Sprintf("udp-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lsns = append(lsns, lsn)
+	}
+	if err := l.Force(); err != nil {
+		t.Fatal(err)
+	}
+	for i, lsn := range lsns {
+		data, err := l.ReadLog(lsn)
+		if err != nil || string(data) != fmt.Sprintf("udp-%d", i) {
+			t.Fatalf("ReadLog(%d) = %q, %v", lsn, data, err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Figure 3.4 — availability of replicated logs.
+
+func TestFigure34Values(t *testing.T) {
+	// The three headline numbers the paper reads off the figure.
+	c52 := distlog.AvailabilityConfig{M: 5, N: 2, P: 0.05}
+	if got := distlog.ClientInitAvailability(c52); math.Abs(got-0.977) > 0.002 {
+		t.Errorf("ClientInit(M=5,N=2) = %.4f, paper: ~0.98", got)
+	}
+	if got := distlog.WriteLogAvailability(c52); got < 0.9999 {
+		t.Errorf("WriteLog(M=5,N=2) = %.6f, paper: ~always available", got)
+	}
+	c53 := distlog.AvailabilityConfig{M: 5, N: 3, P: 0.05}
+	if got := distlog.WriteLogAvailability(c53); math.Abs(got-0.999) > 0.001 {
+		t.Errorf("WriteLog(M=5,N=3) = %.4f, paper: ~0.999", got)
+	}
+	pts := distlog.Figure34(0.05, 8)
+	if len(pts) == 0 {
+		t.Fatal("empty Figure 3.4 series")
+	}
+}
+
+func BenchmarkAvailabilityFigure34(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		distlog.Figure34(0.05, 8)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Section 4.1 — capacity analysis.
+
+func TestCapacityPaperNumbers(t *testing.T) {
+	r := distlog.AnalyzeCapacity(distlog.PaperCapacityParams())
+	if r.RequestsPerServer < 150 || r.RequestsPerServer > 190 {
+		t.Errorf("RPCs/server = %.0f, paper: ~170", r.RequestsPerServer)
+	}
+	if r.BytesPerServerPerDay < 9e9 || r.BytesPerServerPerDay > 11e9 {
+		t.Errorf("bytes/day = %.2e, paper: ~1e10", r.BytesPerServerPerDay)
+	}
+}
+
+func BenchmarkCapacitySimulationSec41(b *testing.B) {
+	p := capacity.PaperParams()
+	for i := 0; i < b.N; i++ {
+		rep := capacity.Simulate(p, 5*time.Second)
+		if i == 0 {
+			b.ReportMetric(rep.RequestsPerServer, "req/s/server")
+			b.ReportMetric(rep.DiskUtil*100, "disk%")
+			b.ReportMetric(float64(rep.MeanForceLatency.Microseconds()), "force-µs(sim)")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Section 5.6 — remote logging vs local logging elapsed time.
+//
+// The paper (April 1986 measurement): "remote logging to virtual
+// memory on two remote servers used less than twice the elapsed time
+// required for local logging to a single disk."
+
+func measureLocal(t testing.TB, mirrors, writes int) time.Duration {
+	dir := t.TempDir()
+	l, err := distlog.OpenLocalLog(dir, mirrors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	data := make([]byte, 100)
+	start := time.Now()
+	for i := 0; i < writes; i++ {
+		if _, err := l.ForceLog(data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return time.Since(start)
+}
+
+func measureRemote(t testing.TB, n, writes int) time.Duration {
+	cluster, err := distlog.NewCluster(distlog.ClusterOptions{Servers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	l, err := cluster.OpenClient(1, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	data := make([]byte, 100)
+	if _, err := l.ForceLog(data); err != nil { // warm the path
+		t.Fatal(err)
+	}
+	start := time.Now()
+	for i := 0; i < writes; i++ {
+		if _, err := l.ForceLog(data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return time.Since(start)
+}
+
+func TestRemoteUnderTwiceLocal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison")
+	}
+	const writes = 300
+	// Median of several interleaved rounds for stability.
+	ratios := make([]float64, 0, 5)
+	for round := 0; round < 5; round++ {
+		local := measureLocal(t, 1, writes)
+		remote := measureRemote(t, 2, writes)
+		ratios = append(ratios, remote.Seconds()/local.Seconds())
+	}
+	// median
+	for i := range ratios {
+		for j := i + 1; j < len(ratios); j++ {
+			if ratios[j] < ratios[i] {
+				ratios[i], ratios[j] = ratios[j], ratios[i]
+			}
+		}
+	}
+	median := ratios[len(ratios)/2]
+	t.Logf("remote(2 servers, memory) / local(1 disk, fsync) elapsed ratio: %.2f (all: %.2f)", median, ratios)
+	if median >= 2.0 {
+		t.Errorf("ratio %.2f: paper reports remote logging under twice local", median)
+	}
+}
+
+func BenchmarkRemoteVsLocalLogging(b *testing.B) {
+	b.Run("local-1disk", func(b *testing.B) {
+		dir := b.TempDir()
+		l, err := distlog.OpenLocalLog(dir, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer l.Close()
+		data := make([]byte, 100)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := l.ForceLog(data); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("local-2disks-duplexed", func(b *testing.B) {
+		dir := b.TempDir()
+		l, err := distlog.OpenLocalLog(dir, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer l.Close()
+		data := make([]byte, 100)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := l.ForceLog(data); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("remote-2servers-file", func(b *testing.B) {
+		// The durable variant: remote servers with fsync-backed stores.
+		net := distlog.NewNetwork(1)
+		names := []string{"f1", "f2", "f3"}
+		for _, name := range names {
+			store, err := distlog.OpenFileStore(fmt.Sprintf("%s/%s.log", b.TempDir(), name))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer store.Close()
+			srv := distlog.NewServer(distlog.ServerConfig{
+				Name:     name,
+				Store:    store,
+				Endpoint: net.Endpoint(name),
+				Epochs:   distlog.NewMemEpochHost(),
+			})
+			srv.Start()
+			defer srv.Stop()
+		}
+		l, err := distlog.Open(distlog.ClientConfig{
+			ClientID:    1,
+			Servers:     names,
+			N:           2,
+			Endpoint:    net.Endpoint("bench-client-file"),
+			CallTimeout: time.Second,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer l.Close()
+		data := make([]byte, 100)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := l.ForceLog(data); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, n := range []int{1, 2, 3} {
+		n := n
+		b.Run(fmt.Sprintf("remote-%dservers-memory", n), func(b *testing.B) {
+			cluster, err := distlog.NewCluster(distlog.ClusterOptions{Servers: 3})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer cluster.Close()
+			l, err := cluster.OpenClient(1, n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+			data := make([]byte, 100)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := l.ForceLog(data); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkReplicationFactor is the N=2 vs N=3 trade of Section 3.2:
+// write latency and message cost against availability.
+func BenchmarkReplicationFactor(b *testing.B) {
+	for _, n := range []int{2, 3} {
+		n := n
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			cluster, err := distlog.NewCluster(distlog.ClusterOptions{Servers: 5})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer cluster.Close()
+			l, err := cluster.OpenClient(1, n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+			data := make([]byte, 100)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := l.ForceLog(data); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(distlog.WriteLogAvailability(distlog.AvailabilityConfig{M: 5, N: n, P: 0.05}), "writeAvail")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Grouping ablation (Section 4.1's 7x RPC reduction): the same seven
+// 100-byte records per transaction sent grouped-with-one-force versus
+// one force per record.
+func BenchmarkGroupingAblation(b *testing.B) {
+	run := func(b *testing.B, grouped bool) {
+		cluster, err := distlog.NewCluster(distlog.ClusterOptions{Servers: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer cluster.Close()
+		l, err := cluster.OpenClient(1, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer l.Close()
+		data := make([]byte, 100)
+		before := cluster.ServerStatsFor("logserver-1").PacketsReceived
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if grouped {
+				for r := 0; r < 6; r++ {
+					if _, err := l.WriteLog(data); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if _, err := l.ForceLog(data); err != nil {
+					b.Fatal(err)
+				}
+			} else {
+				for r := 0; r < 7; r++ {
+					if _, err := l.ForceLog(data); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+		b.StopTimer()
+		after := cluster.ServerStatsFor("logserver-1").PacketsReceived
+		b.ReportMetric(float64(after-before)/float64(b.N), "pkts/txn")
+	}
+	b.Run("grouped", func(b *testing.B) { run(b, true) })
+	b.Run("ungrouped", func(b *testing.B) { run(b, false) })
+}
+
+// ---------------------------------------------------------------------------
+// NVRAM ablation (Sections 4.1/5.1): simulated disk time consumed per
+// forced record with the track-at-a-time NVRAM design versus forcing
+// each record to disk individually.
+func BenchmarkNVRAMAblation(b *testing.B) {
+	b.Run("nvram-track-buffer", func(b *testing.B) {
+		g := disk.DefaultGeometry()
+		var disks []*disk.Disk
+		newStore := func() storage.Store {
+			d, err := disk.New(g)
+			if err != nil {
+				b.Fatal(err)
+			}
+			disks = append(disks, d)
+			store, err := storage.NewDiskStore(d, nvram.New(4*g.TrackSize))
+			if err != nil {
+				b.Fatal(err)
+			}
+			return store
+		}
+		store := newStore()
+		defer func() { store.Close() }()
+		data := make([]byte, 100)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rec := distlog.Record{LSN: distlog.LSN(i + 1), Epoch: 1, Present: true, Data: data}
+			err := store.Append(1, rec)
+			if errors.Is(err, storage.ErrDiskFull) {
+				// The modelled platter filled: swap in a fresh volume.
+				store.Close()
+				store = newStore()
+				err = store.Append(1, rec)
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := store.Force(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		var busy time.Duration
+		for _, d := range disks {
+			busy += d.Stats().BusyTime
+		}
+		b.ReportMetric(float64(busy.Microseconds())/float64(b.N), "diskµs(sim)/force")
+	})
+	b.Run("no-nvram-track-per-force", func(b *testing.B) {
+		// Without a non-volatile buffer every force must reach the
+		// platter: one track write per force.
+		g := disk.DefaultGeometry()
+		d, err := disk.New(g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		data := make([]byte, 100)
+		var busy time.Duration
+		n := g.NumTracks()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			svc, err := d.WriteTrack(i%n, data)
+			if err != nil {
+				b.Fatal(err)
+			}
+			busy += svc
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(busy.Microseconds())/float64(max(b.N, 1)), "diskµs(sim)/force")
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Interleave ablation (Section 4.3): one sequential stream for all
+// clients versus a per-client file layout that seeks between regions.
+func BenchmarkInterleaveAblation(b *testing.B) {
+	const clients = 5
+	g := disk.DefaultGeometry()
+	track := make([]byte, g.TrackSize)
+	b.Run("interleaved-sequential", func(b *testing.B) {
+		d, err := disk.New(g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var busy time.Duration
+		n := g.NumTracks()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			svc, err := d.WriteTrack(i%n, track) // all clients share one stream
+			if err != nil {
+				b.Fatal(err)
+			}
+			busy += svc
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(busy.Microseconds())/float64(max(b.N, 1)), "diskµs(sim)/track")
+	})
+	b.Run("per-client-files", func(b *testing.B) {
+		d, err := disk.New(g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Each client's file lives in its own disk region; round-robin
+		// writes seek between regions.
+		region := g.NumTracks() / clients
+		next := make([]int, clients)
+		var busy time.Duration
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c := i % clients
+			trk := c*region + next[c]%region
+			next[c]++
+			svc, err := d.WriteTrack(trk, track)
+			if err != nil {
+				b.Fatal(err)
+			}
+			busy += svc
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(busy.Microseconds())/float64(max(b.N, 1)), "diskµs(sim)/track")
+	})
+}
+
+// TestSpaceManagementEndToEnd exercises the Section 5.3 pipeline: the
+// transaction engine checkpoints, the replicated log truncates its
+// prefix on every server, and restart recovery replays only the short
+// suffix.
+func TestSpaceManagementEndToEnd(t *testing.T) {
+	cluster, err := distlog.NewCluster(distlog.ClusterOptions{Servers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	l, err := cluster.OpenClient(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stable := distlog.NewStableStore()
+	e, err := distlog.OpenEngine(l, stable, distlog.EngineOptions{
+		CheckpointEvery:      25,
+		TruncateOnCheckpoint: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := distlog.NewET1(distlog.ET1Scale{Branches: 2, Tellers: 20, Accounts: 200}, 9)
+	for i := 0; i < 100; i++ {
+		if _, err := distlog.ApplyET1(e, gen.Next()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.Truncated() == 0 {
+		t.Fatal("no truncation happened")
+	}
+	// Server-side interval lists are clipped.
+	for _, name := range cluster.Servers() {
+		ivs := cluster.Store(name).Intervals(1)
+		if len(ivs) > 0 && ivs[0].Low < l.Truncated()/2 {
+			t.Fatalf("%s retains a long prefix: %v (truncated at %d)", name, ivs[:1], l.Truncated())
+		}
+	}
+	l.Close() // crash
+
+	l2, err := cluster.OpenClient(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	e2, err := distlog.OpenEngine(l2, stable, distlog.EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e2.Get("history/count"); got != 100 {
+		t.Fatalf("history/count = %d after recovery with truncated log", got)
+	}
+}
+
+// TestModelledClusterEndToEnd runs the full pipeline over the paper's
+// modelled hardware: each log server stores its stream in battery-
+// backed NVRAM drained track-at-a-time to a simulated logging disk.
+func TestModelledClusterEndToEnd(t *testing.T) {
+	cluster, err := distlog.NewCluster(distlog.ClusterOptions{Servers: 3, Modelled: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	l, err := cluster.OpenClient(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lsns []distlog.LSN
+	for i := 0; i < 200; i++ {
+		lsn, err := l.WriteLog([]byte(fmt.Sprintf("modelled-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lsns = append(lsns, lsn)
+		if i%10 == 9 {
+			if err := l.Force(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := l.Force(); err != nil {
+		t.Fatal(err)
+	}
+	for i, lsn := range lsns {
+		data, err := l.ReadLog(lsn)
+		if err != nil || string(data) != fmt.Sprintf("modelled-%d", i) {
+			t.Fatalf("ReadLog(%d) = %q, %v", lsn, data, err)
+		}
+	}
+	// Restart survives with the modelled store too.
+	l.Close()
+	l2, err := cluster.OpenClient(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if _, err := l2.ReadLog(lsns[0]); err != nil {
+		t.Fatalf("ReadLog after restart: %v", err)
+	}
+}

@@ -1,0 +1,134 @@
+package distlog
+
+import (
+	"fmt"
+	"time"
+
+	"distlog/internal/server"
+	"distlog/internal/storage"
+	"distlog/internal/transport"
+)
+
+// Cluster is a convenience harness: M in-process log servers on an
+// in-memory network, with stable state that survives StopServer /
+// StartServer cycles. The examples, the benchmarks, and many tests
+// are built on it; production deployments run cmd/logserverd over UDP
+// instead.
+type Cluster struct {
+	net     *transport.Network
+	names   []string
+	stores  map[string]storage.Store
+	epochs  map[string]*server.MemEpochHost
+	servers map[string]*server.Server
+}
+
+// ClusterOptions configures NewCluster.
+type ClusterOptions struct {
+	// Servers is M, the number of log server nodes. Default 3.
+	Servers int
+	// Seed fixes the network's fault randomness. Default 1.
+	Seed int64
+	// Modelled, when true, backs each server with the simulated
+	// NVRAM+disk store instead of plain memory.
+	Modelled bool
+}
+
+// NewCluster starts M log servers.
+func NewCluster(opts ClusterOptions) (*Cluster, error) {
+	if opts.Servers == 0 {
+		opts.Servers = 3
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	c := &Cluster{
+		net:     transport.NewNetwork(opts.Seed),
+		stores:  make(map[string]storage.Store),
+		epochs:  make(map[string]*server.MemEpochHost),
+		servers: make(map[string]*server.Server),
+	}
+	for i := 0; i < opts.Servers; i++ {
+		name := fmt.Sprintf("logserver-%d", i+1)
+		c.names = append(c.names, name)
+		if opts.Modelled {
+			s, _, _, err := NewModelledStore(DefaultDiskGeometry(), 4)
+			if err != nil {
+				c.Close()
+				return nil, err
+			}
+			c.stores[name] = s
+		} else {
+			c.stores[name] = storage.NewMemStore()
+		}
+		c.epochs[name] = server.NewMemEpochHost()
+		c.StartServer(name)
+	}
+	return c, nil
+}
+
+// Servers returns the server names (addresses on the cluster network).
+func (c *Cluster) Servers() []string { return append([]string(nil), c.names...) }
+
+// Network returns the cluster's in-memory network, for fault
+// injection.
+func (c *Cluster) Network() *Network { return c.net }
+
+// Store returns the named server's store (for inspection in tests and
+// examples).
+func (c *Cluster) Store(name string) Store { return c.stores[name] }
+
+// ServerStatsFor returns the named server's counters (zero when the
+// server is stopped).
+func (c *Cluster) ServerStatsFor(name string) ServerStats {
+	if s := c.servers[name]; s != nil {
+		return s.Stats()
+	}
+	return ServerStats{}
+}
+
+// StartServer (re)starts the named server over its existing durable
+// state, like a node reboot.
+func (c *Cluster) StartServer(name string) {
+	if _, ok := c.servers[name]; ok {
+		return
+	}
+	srv := server.New(server.Config{
+		Name:     name,
+		Store:    c.stores[name],
+		Endpoint: c.net.Endpoint(name),
+		Epochs:   c.epochs[name],
+	})
+	srv.Start()
+	c.servers[name] = srv
+}
+
+// StopServer halts the named server (it stops answering; its stable
+// storage is retained).
+func (c *Cluster) StopServer(name string) {
+	if srv := c.servers[name]; srv != nil {
+		srv.Stop()
+		delete(c.servers, name)
+	}
+}
+
+// OpenClient opens a replicated log over the cluster with the given
+// client identity and replication factor.
+func (c *Cluster) OpenClient(id ClientID, n int) (*Client, error) {
+	return Open(ClientConfig{
+		ClientID:    id,
+		Servers:     c.Servers(),
+		N:           n,
+		Endpoint:    c.net.Endpoint(fmt.Sprintf("client-%d", id)),
+		CallTimeout: 200 * time.Millisecond,
+	})
+}
+
+// Close stops every server.
+func (c *Cluster) Close() {
+	for name := range c.servers {
+		c.StopServer(name)
+	}
+	for _, st := range c.stores {
+		st.Close()
+	}
+}

@@ -1,0 +1,48 @@
+// Command availability regenerates Figure 3.4 of the paper: the
+// availability of replicated logs for WriteLog operations and client
+// initialization as log servers are added, for dual- and triple-copy
+// logs, plus the Appendix I identifier-generator availability.
+//
+// Usage:
+//
+//	availability [-p 0.05] [-maxm 8] [-idgen]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"distlog/internal/availability"
+)
+
+func main() {
+	p := flag.Float64("p", 0.05, "probability an individual server is unavailable")
+	maxM := flag.Int("maxm", 8, "largest number of log servers M to tabulate")
+	idg := flag.Bool("idgen", false, "also print replicated identifier generator availability")
+	flag.Parse()
+
+	fmt.Printf("Figure 3.4 — Availability of Replicated Logs (p = %g, server availability %.2f)\n\n", *p, 1-*p)
+	fmt.Println("  N  M   WriteLog     ClientInit   ReadRecord")
+	pts := availability.Figure34(*p, *maxM)
+	lastN := 0
+	for _, pt := range pts {
+		if pt.N != lastN {
+			if lastN != 0 {
+				fmt.Println()
+			}
+			lastN = pt.N
+		}
+		fmt.Printf("  %d  %d   %.6f     %.6f     %.6f\n", pt.N, pt.M, pt.WriteLog, pt.ClientInit, pt.ReadRecord)
+	}
+
+	single := availability.Config{M: 1, N: 1, P: *p}
+	fmt.Printf("\nsingle log server (all operations): %.6f\n", availability.WriteLog(single))
+
+	if *idg {
+		fmt.Println("\nAppendix I — Replicated identifier generator availability")
+		fmt.Println("  reps  availability")
+		for _, n := range []int{1, 2, 3, 4, 5, 7} {
+			fmt.Printf("  %4d  %.6f\n", n, availability.IDGenerator(n, *p))
+		}
+	}
+}

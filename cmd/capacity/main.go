@@ -1,0 +1,56 @@
+// Command capacity regenerates the Section 4.1 capacity analysis: the
+// message rates, CPU and disk utilizations, network load, and daily
+// log volume of the paper's 500 TPS target load, in closed form and by
+// discrete-event simulation. The -ungrouped flag shows the per-record
+// RPC configuration the paper rejects.
+//
+// Usage:
+//
+//	capacity [-clients 50] [-tps 10] [-servers 6] [-n 2] [-mips 3.5]
+//	         [-ungrouped] [-multicast] [-fastdisk] [-sim 30s]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"distlog/internal/capacity"
+)
+
+func main() {
+	p := capacity.PaperParams()
+	flag.IntVar(&p.Clients, "clients", p.Clients, "number of client nodes")
+	tps := flag.Float64("tps", p.TPSPerClient, "ET1 transactions per second per client")
+	flag.IntVar(&p.Servers, "servers", p.Servers, "number of log servers (M)")
+	flag.IntVar(&p.Copies, "n", p.Copies, "copies per record (N)")
+	mips := flag.Float64("mips", p.ServerMIPS, "server processor speed, MIPS")
+	ungrouped := flag.Bool("ungrouped", false, "one RPC per log record (no grouping)")
+	flag.BoolVar(&p.Multicast, "multicast", false, "send log data once via multicast")
+	fastdisk := flag.Bool("fastdisk", false, "use the faster disk profile")
+	simDur := flag.Duration("sim", 30*time.Second, "discrete-event simulation length (0 = skip)")
+	flag.Parse()
+
+	p.TPSPerClient = *tps
+	p.ServerMIPS = *mips
+	p.Grouping = !*ungrouped
+	if *fastdisk {
+		p.Disk = capacity.FastDisk()
+	}
+
+	mode := "grouped writes (the paper's design)"
+	if *ungrouped {
+		mode = "one RPC per record (rejected in Section 4.1)"
+	}
+	fmt.Printf("Section 4.1 capacity analysis — %s\n", mode)
+	fmt.Printf("%d clients x %.0f TPS, %d records/txn, %d B/txn, M=%d, N=%d, %.1f MIPS, disk %s\n\n",
+		p.Clients, p.TPSPerClient, p.RecordsPerTxn, p.BytesPerTxn, p.Servers, p.Copies, p.ServerMIPS, p.Disk.Name)
+
+	fmt.Println("closed form:")
+	fmt.Println(capacity.Analyze(p))
+
+	if *simDur > 0 {
+		fmt.Println("\ndiscrete-event simulation:")
+		fmt.Println(capacity.Simulate(p, *simDur))
+	}
+}

@@ -1,0 +1,92 @@
+// Command et1load drives the paper's target workload — many client
+// nodes running ET1 transactions against a shared set of in-process
+// log servers — and reports per-server request rates and client
+// latencies, the measured counterpart of the Section 4.1 analysis.
+//
+// Usage:
+//
+//	et1load [-clients 10] [-servers 6] [-n 2] [-txns 100] [-split]
+//
+// (The paper's full 50x10 TPS point is CPU-bound in a single process;
+// the defaults keep a laptop run under a few seconds while preserving
+// the shape. Scale up with the flags.)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"distlog"
+	"distlog/internal/workload"
+)
+
+func main() {
+	nClients := flag.Int("clients", 10, "number of client nodes")
+	nServers := flag.Int("servers", 6, "number of log servers (M)")
+	n := flag.Int("n", 2, "copies per record (N)")
+	txns := flag.Int("txns", 100, "ET1 transactions per client")
+	split := flag.Bool("split", false, "enable log record splitting/caching")
+	flag.Parse()
+
+	cluster, err := distlog.NewCluster(distlog.ClusterOptions{Servers: *nServers})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var totalTxns int
+	var totalLatency time.Duration
+	start := time.Now()
+
+	for c := 1; c <= *nClients; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			l, err := cluster.OpenClient(distlog.ClientID(id), *n)
+			if err != nil {
+				log.Printf("client %d: %v", id, err)
+				return
+			}
+			defer l.Close()
+			engine, err := distlog.OpenEngine(l, distlog.NewStableStore(), distlog.EngineOptions{Split: *split})
+			if err != nil {
+				log.Printf("client %d: %v", id, err)
+				return
+			}
+			gen := distlog.NewET1(distlog.DefaultET1Scale(), int64(id))
+			for i := 0; i < *txns; i++ {
+				t0 := time.Now()
+				if _, err := distlog.ApplyET1(engine, gen.Next()); err != nil {
+					log.Printf("client %d txn %d: %v", id, i, err)
+					return
+				}
+				mu.Lock()
+				totalTxns++
+				totalLatency += time.Since(t0)
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	fmt.Printf("%d clients x %d ET1 transactions, M=%d, N=%d, split=%v\n\n",
+		*nClients, *txns, *nServers, *n, *split)
+	fmt.Printf("completed:      %d transactions in %v (%.0f TPS)\n",
+		totalTxns, elapsed.Round(time.Millisecond), float64(totalTxns)/elapsed.Seconds())
+	if totalTxns > 0 {
+		fmt.Printf("mean latency:   %v per transaction\n", (totalLatency / time.Duration(totalTxns)).Round(time.Microsecond))
+	}
+	fmt.Printf("\nper-server load:\n")
+	for _, name := range cluster.Servers() {
+		s := cluster.ServerStatsFor(name)
+		fmt.Printf("  %-14s packets=%6d records=%6d forces=%5d (%.0f forces/s)\n",
+			name, s.PacketsReceived, s.RecordsWritten, s.Forces, float64(s.Forces)/elapsed.Seconds())
+	}
+	_ = workload.TargetClients // the paper's full-scale point, documented in EXPERIMENTS.md
+}

@@ -1,0 +1,112 @@
+// Command logctl is a client for log servers started with logserverd:
+// it opens (recovering) a replicated log over UDP and appends, reads,
+// or inspects it.
+//
+// Usage:
+//
+//	logctl -servers 127.0.0.1:7700,127.0.0.1:7701,127.0.0.1:7702 \
+//	       -client 1 -n 2 <command>
+//
+// Commands:
+//
+//	append <text...>   force-append each argument as one record
+//	read <lsn>         print one record
+//	scan               print every readable record
+//	status             print end-of-log, epoch, and write set
+//	truncate <lsn>     discard records below lsn on every server (§5.3)
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+	"time"
+
+	"distlog/internal/core"
+	"distlog/internal/record"
+	"distlog/internal/transport"
+)
+
+func main() {
+	serversFlag := flag.String("servers", "127.0.0.1:7700", "comma-separated log server addresses (M)")
+	clientID := flag.Uint64("client", 1, "client identifier")
+	n := flag.Int("n", 1, "copies per record (N)")
+	timeout := flag.Duration("timeout", time.Second, "per-call timeout")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		log.Fatal("usage: logctl [flags] append|read|scan|status ...")
+	}
+
+	ep, err := transport.ListenUDP("127.0.0.1:0")
+	if err != nil {
+		log.Fatalf("binding: %v", err)
+	}
+	l, err := core.Open(core.Config{
+		ClientID:    record.ClientID(*clientID),
+		Servers:     strings.Split(*serversFlag, ","),
+		N:           *n,
+		Endpoint:    ep,
+		CallTimeout: *timeout,
+	})
+	if err != nil {
+		log.Fatalf("opening replicated log: %v", err)
+	}
+	defer l.Close()
+
+	switch cmd := flag.Arg(0); cmd {
+	case "append":
+		for _, text := range flag.Args()[1:] {
+			lsn, err := l.ForceLog([]byte(text))
+			if err != nil {
+				log.Fatalf("append: %v", err)
+			}
+			fmt.Printf("LSN %d <- %q\n", lsn, text)
+		}
+	case "read":
+		if flag.NArg() != 2 {
+			log.Fatal("usage: logctl read <lsn>")
+		}
+		lsn, err := strconv.ParseUint(flag.Arg(1), 10, 64)
+		if err != nil {
+			log.Fatalf("bad LSN: %v", err)
+		}
+		data, err := l.ReadLog(record.LSN(lsn))
+		if err != nil {
+			log.Fatalf("read: %v", err)
+		}
+		fmt.Printf("LSN %d = %q\n", lsn, data)
+	case "scan":
+		for lsn := record.LSN(1); lsn <= l.EndOfLog(); lsn++ {
+			data, err := l.ReadLog(lsn)
+			switch {
+			case err == nil:
+				fmt.Printf("LSN %d = %q\n", lsn, data)
+			case errors.Is(err, core.ErrNotPresent):
+				fmt.Printf("LSN %d (not present)\n", lsn)
+			default:
+				log.Fatalf("scan at %d: %v", lsn, err)
+			}
+		}
+	case "status":
+		fmt.Printf("end of log: %d\n", l.EndOfLog())
+		fmt.Printf("epoch:      %d\n", l.Epoch())
+		fmt.Printf("write set:  %v\n", l.WriteSet())
+	case "truncate":
+		if flag.NArg() != 2 {
+			log.Fatal("usage: logctl truncate <lsn>")
+		}
+		lsn, err := strconv.ParseUint(flag.Arg(1), 10, 64)
+		if err != nil {
+			log.Fatalf("bad LSN: %v", err)
+		}
+		if err := l.TruncatePrefix(record.LSN(lsn)); err != nil {
+			log.Fatalf("truncate: %v", err)
+		}
+		fmt.Printf("truncated below %d (effective point: %d)\n", lsn, l.Truncated())
+	default:
+		log.Fatalf("unknown command %q", cmd)
+	}
+}

@@ -1,0 +1,245 @@
+// Package distlog is a Go implementation of the distributed logging
+// service of Daniels, Spector & Thompson, "Distributed Logging for
+// Transaction Processing" (SIGMOD 1987): transaction-processing nodes
+// write their recovery logs to shared log server nodes, with each
+// record replicated on N of M servers by a single-client quorum
+// consensus algorithm that uses epoch numbers and present flags to
+// make crash-interrupted writes appear atomic.
+//
+// The package re-exports the system's public surface:
+//
+//   - Open / Client — the replicated log (WriteLog, ForceLog, ReadLog,
+//     EndOfLog) with client initialization and crash recovery.
+//   - NewServer / Server — a log server node over a pluggable Store
+//     (memory, NVRAM+disk model, or ordinary files).
+//   - Transports — an in-memory fault-injecting network and UDP.
+//   - Engine — a write-ahead-logging transaction engine (the client
+//     side recovery manager) that runs over a replicated log or a
+//     local duplexed-disk log.
+//   - Availability and capacity models reproducing the paper's
+//     analysis (Figure 3.4, Section 4.1).
+//
+// See examples/ for runnable walkthroughs and DESIGN.md for the map
+// from paper sections to packages.
+package distlog
+
+import (
+	"distlog/internal/availability"
+	"distlog/internal/capacity"
+	"distlog/internal/core"
+	"distlog/internal/disk"
+	"distlog/internal/idgen"
+	"distlog/internal/locallog"
+	"distlog/internal/nvram"
+	"distlog/internal/recman"
+	"distlog/internal/record"
+	"distlog/internal/server"
+	"distlog/internal/storage"
+	"distlog/internal/transport"
+	"distlog/internal/workload"
+)
+
+// Core vocabulary.
+type (
+	// LSN is a log sequence number: records in a replicated log are
+	// identified by increasing LSNs.
+	LSN = record.LSN
+	// Epoch numbers distinguish records written in different client
+	// crash epochs.
+	Epoch = record.Epoch
+	// ClientID identifies the single client node owning a replicated
+	// log.
+	ClientID = record.ClientID
+	// Record is a log record with its LSN, epoch, and present flag.
+	Record = record.Record
+	// Interval is one consecutive sequence of records on a log server.
+	Interval = record.Interval
+)
+
+// Client side (the paper's primary contribution).
+type (
+	// Client is a replicated log handle.
+	Client = core.ReplicatedLog
+	// ClientConfig configures Open.
+	ClientConfig = core.Config
+	// ClientStats counts client protocol activity.
+	ClientStats = core.Stats
+)
+
+// Open dials the configured log servers, runs client initialization
+// and crash recovery (Section 3.1.2), and returns a usable replicated
+// log.
+func Open(cfg ClientConfig) (*Client, error) { return core.Open(cfg) }
+
+// Client-side errors.
+var (
+	ErrNotPresent  = core.ErrNotPresent
+	ErrBeyondEnd   = core.ErrBeyondEnd
+	ErrUnavailable = core.ErrUnavailable
+	ErrInitQuorum  = core.ErrInitQuorum
+)
+
+// Server side.
+type (
+	// Server is a log server node.
+	Server = server.Server
+	// ServerConfig configures NewServer.
+	ServerConfig = server.Config
+	// ServerStats counts server activity.
+	ServerStats = server.Stats
+	// EpochHost hosts epoch-generator state representatives.
+	EpochHost = server.EpochHost
+)
+
+// NewServer creates a log server; call Start on the result.
+func NewServer(cfg ServerConfig) *Server { return server.New(cfg) }
+
+// NewMemEpochHost returns an in-memory epoch representative host.
+func NewMemEpochHost() *server.MemEpochHost { return server.NewMemEpochHost() }
+
+// Stores.
+type (
+	// Store is the log server storage abstraction.
+	Store = storage.Store
+	// DiskGeometry describes a simulated logging disk.
+	DiskGeometry = disk.Geometry
+)
+
+// NewMemStore returns a volatile in-memory store.
+func NewMemStore() Store { return storage.NewMemStore() }
+
+// OpenFileStore opens a durable store on an ordinary file.
+func OpenFileStore(path string) (Store, error) { return storage.OpenFileStore(path) }
+
+// NewModelledStore returns a store over a simulated track disk fronted
+// by battery-backed NVRAM sized to nvramTracks tracks, along with the
+// devices (which survive simulated power failures and can be passed to
+// a future NewDiskStoreOver call).
+func NewModelledStore(g DiskGeometry, nvramTracks int) (Store, *disk.Disk, *nvram.NVRAM, error) {
+	d, err := disk.New(g)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	nv := nvram.New(nvramTracks * g.TrackSize)
+	s, err := storage.NewDiskStore(d, nv)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return s, d, nv, nil
+}
+
+// NewDiskStoreOver reopens a store over existing devices (a server
+// node reboot).
+func NewDiskStoreOver(d *disk.Disk, nv *nvram.NVRAM) (Store, error) {
+	return storage.NewDiskStore(d, nv)
+}
+
+// DefaultDiskGeometry returns the slow-disk model used in the paper's
+// capacity analysis.
+func DefaultDiskGeometry() DiskGeometry { return disk.DefaultGeometry() }
+
+// Transports.
+type (
+	// Endpoint is a datagram network attachment.
+	Endpoint = transport.Endpoint
+	// Network is the in-memory fault-injecting network.
+	Network = transport.Network
+	// Faults configures drop/duplicate/corrupt/delay injection.
+	Faults = transport.Faults
+)
+
+// NewNetwork returns an in-memory network with deterministic faults.
+func NewNetwork(seed int64) *Network { return transport.NewNetwork(seed) }
+
+// ListenUDP opens a UDP endpoint ("host:port", ":0" for ephemeral).
+func ListenUDP(addr string) (*transport.UDPEndpoint, error) { return transport.ListenUDP(addr) }
+
+// NewDualEndpoint binds interfaces on two independent networks into
+// one endpoint — the Section 2 arrangement ("two complete networks,
+// including two network interfaces in each processing node"). The
+// client fails over between them automatically when one LAN dies.
+func NewDualEndpoint(a, b Endpoint) *transport.DualEndpoint {
+	return transport.NewDualEndpoint(a, b)
+}
+
+// Recovery manager (transaction engine substrate).
+type (
+	// Engine is a WAL transaction engine over a recovery log.
+	Engine = recman.Engine
+	// EngineOptions configures OpenEngine.
+	EngineOptions = recman.Options
+	// Txn is one transaction.
+	Txn = recman.Txn
+	// RecoveryLog is what the engine needs from a log; *Client and
+	// *LocalLog both satisfy it.
+	RecoveryLog = recman.Log
+	// StableStore models the database's non-volatile page storage.
+	StableStore = recman.StableStore
+)
+
+// OpenEngine recovers the database state and returns a ready engine.
+func OpenEngine(log RecoveryLog, stable *StableStore, opts EngineOptions) (*Engine, error) {
+	return recman.Open(log, stable, opts)
+}
+
+// NewStableStore returns an empty stable store.
+func NewStableStore() *StableStore { return recman.NewStableStore() }
+
+// ApplyET1 runs one ET1 (DebitCredit) transaction on the engine.
+func ApplyET1(e *Engine, txn workload.ET1Txn) (int64, error) { return recman.ApplyET1(e, txn) }
+
+// Local duplexed-disk baseline (what the paper replaces).
+type LocalLog = locallog.Log
+
+// OpenLocalLog opens a local log with the given number of mirror files
+// in dir (1 = single disk, 2 = duplexed).
+func OpenLocalLog(dir string, mirrors int) (*LocalLog, error) { return locallog.Open(dir, mirrors) }
+
+// Epoch generator (Appendix I).
+type (
+	// IDGenerator is a replicated increasing unique identifier
+	// generator.
+	IDGenerator = idgen.Generator
+	// Representative stores one copy of generator state.
+	Representative = idgen.Representative
+)
+
+// NewIDGenerator returns a generator over the representatives.
+func NewIDGenerator(reps ...Representative) (*IDGenerator, error) { return idgen.New(reps...) }
+
+// Analysis models.
+type (
+	// AvailabilityConfig is an (M, N, p) replicated log configuration.
+	AvailabilityConfig = availability.Config
+	// AvailabilityPoint is one Figure 3.4 data point.
+	AvailabilityPoint = availability.Point
+	// CapacityParams configures the Section 4.1 analysis.
+	CapacityParams = capacity.Params
+	// CapacityReport is its closed-form result.
+	CapacityReport = capacity.Report
+	// ET1Txn is one generated DebitCredit transaction.
+	ET1Txn = workload.ET1Txn
+	// ET1Scale sizes the ET1 bank.
+	ET1Scale = workload.ET1Scale
+)
+
+// WriteLogAvailability returns P(WriteLog available) for the config.
+func WriteLogAvailability(c AvailabilityConfig) float64 { return availability.WriteLog(c) }
+
+// ClientInitAvailability returns P(client initialization available).
+func ClientInitAvailability(c AvailabilityConfig) float64 { return availability.ClientInit(c) }
+
+// Figure34 computes the paper's Figure 3.4 series.
+func Figure34(p float64, maxM int) []AvailabilityPoint { return availability.Figure34(p, maxM) }
+
+// AnalyzeCapacity runs the Section 4.1 closed-form analysis.
+func AnalyzeCapacity(p CapacityParams) CapacityReport { return capacity.Analyze(p) }
+
+// PaperCapacityParams returns the paper's 500 TPS target configuration.
+func PaperCapacityParams() CapacityParams { return capacity.PaperParams() }
+
+// NewET1 returns a reproducible ET1 transaction generator.
+func NewET1(scale ET1Scale, seed int64) *workload.ET1Generator { return workload.NewET1(scale, seed) }
+
+// DefaultET1Scale returns a laptop-sized ET1 bank.
+func DefaultET1Scale() ET1Scale { return workload.DefaultScale() }

@@ -1,0 +1,3 @@
+module distlog
+
+go 1.22

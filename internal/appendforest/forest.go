@@ -1,0 +1,355 @@
+// Package appendforest implements the append-forest of Section 4.3 of
+// "Distributed Logging for Transaction Processing" (SIGMOD 1987): an
+// index structure that supports constant-time appends on append-only
+// storage and logarithmic searches, provided keys are appended in
+// strictly increasing order.
+//
+// A complete append forest (2^n - 1 nodes) is a binary search tree in
+// which (1) the key of the root of any subtree is greater than all its
+// descendants' keys, and (2) all keys in the right subtree of any node
+// are greater than all keys in the left subtree. An incomplete append
+// forest is a forest of complete trees of height <= n in which only
+// the two smallest trees may share a height. Every tree root carries a
+// "forest pointer" linking it to the root of the next tree to its
+// left, so all nodes remain reachable from the most recently appended
+// node (the forest root). Searches follow the chain of forest pointers
+// until a tree that could contain the key is found and then perform
+// ordinary binary-tree search, giving O(log n) pointer traversals.
+//
+// Nodes are never modified after being written, so the structure can
+// live on write-once (optical) storage: an append writes exactly one
+// new node whose child and forest pointers refer to already-written
+// nodes.
+package appendforest
+
+import (
+	"errors"
+	"fmt"
+)
+
+// nilPos marks an absent child or forest pointer.
+const nilPos = int32(-1)
+
+// node is one append-forest node. In the intended application each
+// page-sized node indexes a range of log sequence numbers; the generic
+// Forest stores one payload per key.
+type node[P any] struct {
+	key     uint64 // also the maximum key of the subtree rooted here
+	min     uint64 // minimum key of the subtree rooted here
+	payload P
+	left    int32
+	right   int32
+	forest  int32
+	height  uint8
+}
+
+// Forest is an append-only search structure over strictly increasing
+// uint64 keys. The zero value is an empty forest ready for use.
+type Forest[P any] struct {
+	nodes []node[P]
+	// roots tracks the root position of every tree in the forest,
+	// leftmost first. It is derivable from the forest pointers and is
+	// kept only to make appends O(1) without re-deriving heights.
+	roots []int32
+}
+
+// ErrKeyOrder is returned when a key is appended out of order.
+var ErrKeyOrder = errors.New("appendforest: keys must be strictly increasing")
+
+// Len returns the number of nodes (appended keys).
+func (f *Forest[P]) Len() int { return len(f.nodes) }
+
+// NumTrees returns the number of complete trees currently in the
+// forest. A forest with n nodes contains at most ceil(log2(n+1))+1
+// trees.
+func (f *Forest[P]) NumTrees() int { return len(f.roots) }
+
+// Max returns the largest key appended, and false when empty.
+func (f *Forest[P]) Max() (uint64, bool) {
+	if len(f.nodes) == 0 {
+		return 0, false
+	}
+	return f.nodes[len(f.nodes)-1].key, true
+}
+
+// Min returns the smallest key appended, and false when empty.
+func (f *Forest[P]) Min() (uint64, bool) {
+	if len(f.nodes) == 0 {
+		return 0, false
+	}
+	return f.nodes[f.roots[0]].min, true
+}
+
+// Append adds key with its payload. Keys must be strictly increasing;
+// otherwise ErrKeyOrder is returned. Append performs O(1) work: it
+// writes exactly one node.
+func (f *Forest[P]) Append(key uint64, payload P) error {
+	if n := len(f.nodes); n > 0 && key <= f.nodes[n-1].key {
+		return fmt.Errorf("%w: %d after %d", ErrKeyOrder, key, f.nodes[n-1].key)
+	}
+	pos := int32(len(f.nodes))
+	nd := node[P]{key: key, min: key, payload: payload, left: nilPos, right: nilPos, forest: nilPos}
+
+	nr := len(f.roots)
+	if nr >= 2 && f.nodes[f.roots[nr-1]].height == f.nodes[f.roots[nr-2]].height {
+		// The two smallest trees share a height: the new node becomes
+		// the root of a tree one taller, with them as its sons.
+		nd.left = f.roots[nr-2]
+		nd.right = f.roots[nr-1]
+		nd.min = f.nodes[nd.left].min
+		nd.height = f.nodes[nd.right].height + 1
+		if nr >= 3 {
+			nd.forest = f.roots[nr-3]
+		}
+		f.roots = f.roots[:nr-2]
+	} else if nr >= 1 {
+		// New singleton tree linked to the tree on its left.
+		nd.forest = f.roots[nr-1]
+	}
+	f.nodes = append(f.nodes, nd)
+	f.roots = append(f.roots, pos)
+	return nil
+}
+
+// Lookup returns the payload stored for key. It follows forest
+// pointers from the most recent node until it reaches the tree that
+// may contain the key, then binary-searches that tree.
+func (f *Forest[P]) Lookup(key uint64) (P, bool) {
+	var zero P
+	if len(f.nodes) == 0 {
+		return zero, false
+	}
+	cur := int32(len(f.nodes) - 1) // forest root: most recent append
+	if key > f.nodes[cur].key {
+		return zero, false
+	}
+	// Each tree root holds the maximum key of its tree, so the target
+	// tree is the leftmost one whose root key is >= key.
+	for f.nodes[cur].forest != nilPos && f.nodes[f.nodes[cur].forest].key >= key {
+		cur = f.nodes[cur].forest
+	}
+	// Binary-tree search. Property 1 makes every subtree's root its own
+	// maximum, so comparing against the left child's key decides the
+	// branch.
+	for cur != nilPos {
+		n := &f.nodes[cur]
+		switch {
+		case key == n.key:
+			return n.payload, true
+		case key > n.key || key < n.min:
+			return zero, false
+		case key <= f.nodes[n.left].key:
+			cur = n.left
+		default:
+			cur = n.right
+		}
+	}
+	return zero, false
+}
+
+// Floor returns the largest appended key <= key with its payload, and
+// false when all keys exceed key. It is the primary operation when
+// each node indexes a range of LSNs keyed by the range's start.
+func (f *Forest[P]) Floor(key uint64) (uint64, P, bool) {
+	var zero P
+	if len(f.nodes) == 0 {
+		return 0, zero, false
+	}
+	// Rightmost tree whose minimum is <= key contains the floor.
+	cur := int32(len(f.nodes) - 1)
+	for cur != nilPos && f.nodes[cur].min > key {
+		cur = f.nodes[cur].forest
+	}
+	if cur == nilPos {
+		return 0, zero, false
+	}
+	for {
+		n := &f.nodes[cur]
+		if n.key <= key {
+			// Root is the subtree maximum, hence the floor here.
+			return n.key, n.payload, true
+		}
+		// n.min <= key < n.key, so cur is internal and the floor is in
+		// a child. Keys in the right subtree all exceed keys in the
+		// left, so prefer the right subtree when it reaches low enough.
+		if f.nodes[n.right].min <= key {
+			cur = n.right
+		} else {
+			cur = n.left
+		}
+	}
+}
+
+// Ceiling returns the smallest appended key >= key with its payload,
+// and false when all keys are below key.
+func (f *Forest[P]) Ceiling(key uint64) (uint64, P, bool) {
+	var zero P
+	if len(f.nodes) == 0 {
+		return 0, zero, false
+	}
+	cur := int32(len(f.nodes) - 1)
+	if key > f.nodes[cur].key {
+		return 0, zero, false
+	}
+	// Leftmost tree whose maximum (root key) is >= key contains the
+	// ceiling: trees to its left are entirely smaller.
+	for f.nodes[cur].forest != nilPos && f.nodes[f.nodes[cur].forest].key >= key {
+		cur = f.nodes[cur].forest
+	}
+	for {
+		n := &f.nodes[cur]
+		if n.min >= key {
+			// The whole subtree qualifies; its minimum is the answer.
+			for f.nodes[cur].left != nilPos {
+				cur = f.nodes[cur].left
+			}
+			m := &f.nodes[cur]
+			return m.key, m.payload, true
+		}
+		// n.min < key <= n.key, so cur is internal.
+		if f.nodes[n.left].key >= key {
+			cur = n.left
+		} else if f.nodes[n.right].key >= key {
+			cur = n.right
+		} else {
+			// Only the root itself qualifies.
+			return n.key, n.payload, true
+		}
+	}
+}
+
+// Ascend calls fn for every (key, payload) in ascending key order,
+// stopping early if fn returns false.
+func (f *Forest[P]) Ascend(fn func(key uint64, payload P) bool) {
+	if len(f.nodes) == 0 {
+		return
+	}
+	for _, r := range f.roots {
+		if !f.ascendTree(r, fn) {
+			return
+		}
+	}
+}
+
+func (f *Forest[P]) ascendTree(pos int32, fn func(uint64, P) bool) bool {
+	// Order within a tree: left subtree, right subtree, then the root
+	// (the root is the subtree's maximum key).
+	if pos == nilPos {
+		return true
+	}
+	n := &f.nodes[pos]
+	if n.left != nilPos {
+		if !f.ascendTree(n.left, fn) {
+			return false
+		}
+		if !f.ascendTree(n.right, fn) {
+			return false
+		}
+	}
+	return fn(n.key, n.payload)
+}
+
+// CheckInvariants validates the structural invariants from the paper
+// and returns a descriptive error when one is violated. Intended for
+// tests.
+func (f *Forest[P]) CheckInvariants() error {
+	if len(f.nodes) == 0 {
+		return nil
+	}
+	// 1. The forest-pointer chain from the global root reaches every
+	// tree; root keys increase left-to-right; heights do not increase
+	// left-to-right and only the two smallest (rightmost) trees may
+	// share a height.
+	var chain []int32
+	for cur := int32(len(f.nodes) - 1); cur != nilPos; cur = f.nodes[cur].forest {
+		chain = append(chain, cur) // rightmost first
+	}
+	if len(chain) != len(f.roots) {
+		return fmt.Errorf("appendforest: forest chain has %d trees, roots slice has %d", len(chain), len(f.roots))
+	}
+	for i := range chain {
+		if chain[i] != f.roots[len(f.roots)-1-i] {
+			return fmt.Errorf("appendforest: forest chain disagrees with roots slice")
+		}
+	}
+	for i := 0; i+1 < len(chain); i++ {
+		right, left := chain[i], chain[i+1]
+		if f.nodes[left].key >= f.nodes[right].key {
+			return fmt.Errorf("appendforest: tree root keys not increasing left-to-right")
+		}
+		hr, hl := f.nodes[right].height, f.nodes[left].height
+		if hl < hr {
+			return fmt.Errorf("appendforest: taller tree to the right of a shorter one")
+		}
+		if hl == hr && i != 0 {
+			return fmt.Errorf("appendforest: equal-height trees that are not the two smallest")
+		}
+	}
+	// 2. Each tree is complete and satisfies the two search properties.
+	total := 0
+	for _, r := range f.roots {
+		n, err := f.checkTree(r)
+		if err != nil {
+			return err
+		}
+		total += n
+	}
+	if total != len(f.nodes) {
+		return fmt.Errorf("appendforest: %d nodes reachable, %d stored", total, len(f.nodes))
+	}
+	return nil
+}
+
+func (f *Forest[P]) checkTree(pos int32) (int, error) {
+	n := &f.nodes[pos]
+	if (n.left == nilPos) != (n.right == nilPos) {
+		return 0, fmt.Errorf("appendforest: node %d has exactly one child", pos)
+	}
+	if n.left == nilPos {
+		if n.height != 0 {
+			return 0, fmt.Errorf("appendforest: leaf with height %d", n.height)
+		}
+		if n.min != n.key {
+			return 0, fmt.Errorf("appendforest: leaf min %d != key %d", n.min, n.key)
+		}
+		return 1, nil
+	}
+	l, r := &f.nodes[n.left], &f.nodes[n.right]
+	if l.height != n.height-1 || r.height != n.height-1 {
+		return 0, fmt.Errorf("appendforest: node %d children heights %d/%d, want %d", pos, l.height, r.height, n.height-1)
+	}
+	// Property 1: root greater than all descendants (children are their
+	// own subtree maxima, so comparing them suffices). Property 2: all
+	// right-subtree keys greater than all left-subtree keys.
+	if l.key >= n.key || r.key >= n.key {
+		return 0, fmt.Errorf("appendforest: node %d key %d not greater than children %d/%d", pos, n.key, l.key, r.key)
+	}
+	if l.key >= r.min {
+		return 0, fmt.Errorf("appendforest: left subtree max %d >= right subtree min %d", l.key, r.min)
+	}
+	if n.min != l.min {
+		return 0, fmt.Errorf("appendforest: node %d min %d != left subtree min %d", pos, n.min, l.min)
+	}
+	nl, err := f.checkTree(n.left)
+	if err != nil {
+		return 0, err
+	}
+	nr, err := f.checkTree(n.right)
+	if err != nil {
+		return 0, err
+	}
+	if nl != nr {
+		return 0, fmt.Errorf("appendforest: node %d subtree sizes differ: %d vs %d", pos, nl, nr)
+	}
+	return 1 + nl + nr, nil
+}
+
+// TreeHeights returns the heights of the forest's trees left-to-right,
+// for tests that verify the Figure 4-3 construction.
+func (f *Forest[P]) TreeHeights() []int {
+	hs := make([]int, 0, len(f.roots))
+	for _, r := range f.roots {
+		hs = append(hs, int(f.nodes[r].height))
+	}
+	return hs
+}

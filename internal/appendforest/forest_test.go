@@ -1,0 +1,446 @@
+package appendforest
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func mustAppend(t *testing.T, f *Forest[int], keys ...uint64) {
+	t.Helper()
+	for _, k := range keys {
+		if err := f.Append(k, int(k)*10); err != nil {
+			t.Fatalf("Append(%d): %v", k, err)
+		}
+	}
+}
+
+func TestEmptyForest(t *testing.T) {
+	var f Forest[int]
+	if f.Len() != 0 || f.NumTrees() != 0 {
+		t.Fatal("zero forest not empty")
+	}
+	if _, ok := f.Max(); ok {
+		t.Error("Max on empty returned ok")
+	}
+	if _, ok := f.Lookup(1); ok {
+		t.Error("Lookup on empty returned ok")
+	}
+	if _, _, ok := f.Floor(1); ok {
+		t.Error("Floor on empty returned ok")
+	}
+	if _, _, ok := f.Ceiling(1); ok {
+		t.Error("Ceiling on empty returned ok")
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFigure43ElevenNodes reconstructs the paper's Figure 4-3 example:
+// an eleven-node append forest consists of a 7-node tree (height 2,
+// rooted at key 7), a 3-node tree (height 1, rooted at key 10), and a
+// singleton (key 11). The paper then narrates appends of keys 12, 13,
+// and 14; we check the forest shapes after each.
+func TestFigure43ElevenNodes(t *testing.T) {
+	var f Forest[int]
+	for k := uint64(1); k <= 11; k++ {
+		mustAppend(t, &f, k)
+	}
+	if got, want := f.TreeHeights(), []int{2, 1, 0}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("11 nodes: tree heights %v, want %v", got, want)
+	}
+	// "A new root with key 12 would be appended with a forest pointer
+	// linking it to the node with key 11."
+	mustAppend(t, &f, 12)
+	if got, want := f.TreeHeights(), []int{2, 1, 0, 0}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("12 nodes: tree heights %v, want %v", got, want)
+	}
+	// "An additional node with key 13 would have height 1, the nodes
+	// with keys 11 and 12 as its left and right sons, and a forest
+	// pointer linking it to the tree rooted at the node with key 10."
+	mustAppend(t, &f, 13)
+	if got, want := f.TreeHeights(), []int{2, 1, 1}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("13 nodes: tree heights %v, want %v", got, want)
+	}
+	n13 := f.nodes[len(f.nodes)-1]
+	if f.nodes[n13.left].key != 11 || f.nodes[n13.right].key != 12 {
+		t.Errorf("node 13 sons: %d/%d, want 11/12", f.nodes[n13.left].key, f.nodes[n13.right].key)
+	}
+	if f.nodes[n13.forest].key != 10 {
+		t.Errorf("node 13 forest pointer to key %d, want 10", f.nodes[n13.forest].key)
+	}
+	// "Another node with key 14 could then be added with the nodes with
+	// keys 10 and 13 as sons, and a forest pointer pointing to the node
+	// with key 7."
+	mustAppend(t, &f, 14)
+	if got, want := f.TreeHeights(), []int{2, 2}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("14 nodes: tree heights %v, want %v", got, want)
+	}
+	n14 := f.nodes[len(f.nodes)-1]
+	if f.nodes[n14.left].key != 10 || f.nodes[n14.right].key != 13 {
+		t.Errorf("node 14 sons: %d/%d, want 10/13", f.nodes[n14.left].key, f.nodes[n14.right].key)
+	}
+	if f.nodes[n14.forest].key != 7 {
+		t.Errorf("node 14 forest pointer to key %d, want 7", f.nodes[n14.forest].key)
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompleteForestIsSingleTree(t *testing.T) {
+	// 2^n - 1 consecutive appends must yield exactly one complete tree.
+	for _, n := range []int{1, 3, 7, 15, 31, 63, 127} {
+		var f Forest[int]
+		for k := 1; k <= n; k++ {
+			mustAppend(t, &f, uint64(k))
+		}
+		if f.NumTrees() != 1 {
+			t.Errorf("n=%d: %d trees, want 1", n, f.NumTrees())
+		}
+		wantH := int(math.Log2(float64(n+1))) - 1
+		if got := f.TreeHeights()[0]; got != wantH {
+			t.Errorf("n=%d: height %d, want %d", n, got, wantH)
+		}
+	}
+}
+
+func TestAppendRejectsNonIncreasing(t *testing.T) {
+	var f Forest[int]
+	mustAppend(t, &f, 5)
+	if err := f.Append(5, 0); err == nil {
+		t.Error("duplicate key accepted")
+	}
+	if err := f.Append(4, 0); err == nil {
+		t.Error("smaller key accepted")
+	}
+	mustAppend(t, &f, 6) // still usable after rejected appends
+}
+
+func TestLookupAllKeys(t *testing.T) {
+	var f Forest[int]
+	const n = 1000
+	for k := uint64(1); k <= n; k++ {
+		mustAppend(t, &f, k*3) // sparse keys
+	}
+	for k := uint64(1); k <= n; k++ {
+		v, ok := f.Lookup(k * 3)
+		if !ok || v != int(k*3)*10 {
+			t.Fatalf("Lookup(%d) = %d,%v", k*3, v, ok)
+		}
+		if _, ok := f.Lookup(k*3 - 1); ok {
+			t.Fatalf("Lookup(%d) found a missing key", k*3-1)
+		}
+	}
+	if _, ok := f.Lookup(n*3 + 1); ok {
+		t.Error("Lookup beyond max found a key")
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvariantsAtEverySize(t *testing.T) {
+	var f Forest[int]
+	for k := uint64(1); k <= 300; k++ {
+		mustAppend(t, &f, k)
+		if err := f.CheckInvariants(); err != nil {
+			t.Fatalf("after %d appends: %v", k, err)
+		}
+	}
+}
+
+func TestNumTreesLogarithmic(t *testing.T) {
+	var f Forest[int]
+	for k := uint64(1); k <= 4096; k++ {
+		mustAppend(t, &f, k)
+		limit := int(math.Ceil(math.Log2(float64(k+1)))) + 1
+		if got := f.NumTrees(); got > limit {
+			t.Fatalf("n=%d: %d trees exceeds log bound %d", k, got, limit)
+		}
+	}
+}
+
+func TestFloorCeilingProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var f Forest[int]
+	var keys []uint64
+	next := uint64(0)
+	for i := 0; i < 500; i++ {
+		next += 1 + uint64(rng.Intn(5))
+		keys = append(keys, next)
+		if err := f.Append(next, int(next)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for probe := uint64(0); probe <= next+3; probe++ {
+		var wantFloor, wantCeil uint64
+		haveFloor, haveCeil := false, false
+		for _, k := range keys {
+			if k <= probe && (!haveFloor || k > wantFloor) {
+				wantFloor, haveFloor = k, true
+			}
+			if k >= probe && (!haveCeil || k < wantCeil) {
+				wantCeil, haveCeil = k, true
+			}
+		}
+		gotK, gotV, ok := f.Floor(probe)
+		if ok != haveFloor || (ok && gotK != wantFloor) {
+			t.Fatalf("Floor(%d) = %d,%v want %d,%v", probe, gotK, ok, wantFloor, haveFloor)
+		}
+		if ok && gotV != int(wantFloor) {
+			t.Fatalf("Floor(%d) payload %d, want %d", probe, gotV, wantFloor)
+		}
+		gotK, gotV, ok = f.Ceiling(probe)
+		if ok != haveCeil || (ok && gotK != wantCeil) {
+			t.Fatalf("Ceiling(%d) = %d,%v want %d,%v", probe, gotK, ok, wantCeil, haveCeil)
+		}
+		if ok && gotV != int(wantCeil) {
+			t.Fatalf("Ceiling(%d) payload %d, want %d", probe, gotV, wantCeil)
+		}
+	}
+}
+
+func TestAscendOrder(t *testing.T) {
+	var f Forest[int]
+	var want []uint64
+	for k := uint64(2); k <= 200; k += 2 {
+		mustAppend(t, &f, k)
+		want = append(want, k)
+	}
+	var got []uint64
+	f.Ascend(func(k uint64, v int) bool {
+		got = append(got, k)
+		if v != int(k)*10 {
+			t.Fatalf("payload for %d is %d", k, v)
+		}
+		return true
+	})
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Ascend order %v, want %v", got, want)
+	}
+	// Early stop.
+	got = got[:0]
+	f.Ascend(func(k uint64, v int) bool {
+		got = append(got, k)
+		return len(got) < 5
+	})
+	if len(got) != 5 || !reflect.DeepEqual(got, want[:5]) {
+		t.Fatalf("early-stopped Ascend got %v", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	var f Forest[int]
+	mustAppend(t, &f, 10, 20, 30)
+	if min, ok := f.Min(); !ok || min != 10 {
+		t.Errorf("Min = %d,%v", min, ok)
+	}
+	if max, ok := f.Max(); !ok || max != 30 {
+		t.Errorf("Max = %d,%v", max, ok)
+	}
+}
+
+func TestSearchCostLogarithmic(t *testing.T) {
+	// Count pointer traversals via an instrumented walk and compare to
+	// the O(log n) bound the paper claims. Rather than instrumenting
+	// Lookup we bound NumTrees + tallest height, which dominates a
+	// search's traversals.
+	var f Forest[int]
+	const n = 1 << 14
+	for k := uint64(1); k <= n; k++ {
+		mustAppend(t, &f, k)
+	}
+	maxH := 0
+	for _, h := range f.TreeHeights() {
+		if h > maxH {
+			maxH = h
+		}
+	}
+	bound := f.NumTrees() + maxH
+	if bound > 2*int(math.Log2(n))+2 {
+		t.Fatalf("search cost bound %d exceeds 2*log2(n)+2 = %d", bound, 2*int(math.Log2(n))+2)
+	}
+}
+
+func TestRangeForestBasic(t *testing.T) {
+	rf := NewRangeForest(4)
+	for lsn := uint64(1); lsn <= 100; lsn++ {
+		if err := rf.Append(lsn, int64(lsn)*100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rf.Len() != 100 {
+		t.Fatalf("Len = %d", rf.Len())
+	}
+	for lsn := uint64(1); lsn <= 100; lsn++ {
+		ptr, ok := rf.Lookup(lsn)
+		if !ok || ptr != int64(lsn)*100 {
+			t.Fatalf("Lookup(%d) = %d,%v", lsn, ptr, ok)
+		}
+	}
+	if _, ok := rf.Lookup(0); ok {
+		t.Error("Lookup(0) found")
+	}
+	if _, ok := rf.Lookup(101); ok {
+		t.Error("Lookup(101) found")
+	}
+}
+
+func TestRangeForestGaps(t *testing.T) {
+	rf := NewRangeForest(8)
+	// Two dense runs with a gap, as when a client switches servers.
+	for lsn := uint64(1); lsn <= 10; lsn++ {
+		if err := rf.Append(lsn, int64(lsn)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for lsn := uint64(50); lsn <= 60; lsn++ {
+		if err := rf.Append(lsn, int64(lsn)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for lsn := uint64(1); lsn <= 10; lsn++ {
+		if ptr, ok := rf.Lookup(lsn); !ok || ptr != int64(lsn) {
+			t.Fatalf("Lookup(%d) = %d,%v", lsn, ptr, ok)
+		}
+	}
+	for lsn := uint64(11); lsn < 50; lsn++ {
+		if _, ok := rf.Lookup(lsn); ok {
+			t.Fatalf("Lookup(%d) found inside gap", lsn)
+		}
+	}
+	for lsn := uint64(50); lsn <= 60; lsn++ {
+		if ptr, ok := rf.Lookup(lsn); !ok || ptr != int64(lsn) {
+			t.Fatalf("Lookup(%d) = %d,%v", lsn, ptr, ok)
+		}
+	}
+}
+
+func TestRangeForestRejectsRegression(t *testing.T) {
+	rf := NewRangeForest(4)
+	if err := rf.Append(5, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := rf.Append(5, 0); err == nil {
+		t.Error("duplicate accepted")
+	}
+	if err := rf.Append(3, 0); err == nil {
+		t.Error("regression accepted")
+	}
+	// Regression against sealed pages too.
+	rf2 := NewRangeForest(2)
+	for lsn := uint64(1); lsn <= 4; lsn++ {
+		if err := rf2.Append(lsn, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rf2.Append(2, 0); err == nil {
+		t.Error("regression into sealed page accepted")
+	}
+}
+
+func TestRangeForestDefaultPageSize(t *testing.T) {
+	rf := NewRangeForest(0)
+	if rf.pageSize != DefaultPageSize {
+		t.Fatalf("pageSize = %d", rf.pageSize)
+	}
+}
+
+func TestRangeForestManyRecordsPerNode(t *testing.T) {
+	// The paper: "each page sized node of the tree can index one
+	// thousand or more records." With the default page size, 10k
+	// records need only ~10 sealed nodes.
+	rf := NewRangeForest(DefaultPageSize)
+	for lsn := uint64(1); lsn <= 10*DefaultPageSize; lsn++ {
+		if err := rf.Append(lsn, int64(lsn)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := rf.NumNodes(); got != 10 {
+		t.Fatalf("NumNodes = %d, want 10", got)
+	}
+}
+
+func BenchmarkForestAppend(b *testing.B) {
+	var f Forest[int64]
+	for i := 0; i < b.N; i++ {
+		if err := f.Append(uint64(i+1), int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkForestLookup(b *testing.B) {
+	var f Forest[int64]
+	const n = 1 << 20
+	for i := uint64(1); i <= n; i++ {
+		if err := f.Append(i, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := f.Lookup(uint64(rng.Intn(n)) + 1); !ok {
+			b.Fatal("missing key")
+		}
+	}
+}
+
+func BenchmarkRangeForestLookup(b *testing.B) {
+	rf := NewRangeForest(DefaultPageSize)
+	const n = 1 << 20
+	for i := uint64(1); i <= n; i++ {
+		if err := rf.Append(i, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := rf.Lookup(uint64(rng.Intn(n)) + 1); !ok {
+			b.Fatal("missing key")
+		}
+	}
+}
+
+// BenchmarkForestVsScan quantifies the ablation in DESIGN.md: append-
+// forest lookups vs a linear scan of an interval-ordered slice, at a
+// size where the difference matters.
+func BenchmarkForestVsScan(b *testing.B) {
+	const n = 1 << 16
+	b.Run("forest", func(b *testing.B) {
+		var f Forest[int64]
+		for i := uint64(1); i <= n; i++ {
+			_ = f.Append(i, int64(i))
+		}
+		rng := rand.New(rand.NewSource(1))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			f.Lookup(uint64(rng.Intn(n)) + 1)
+		}
+	})
+	b.Run("scan", func(b *testing.B) {
+		type kv struct {
+			k uint64
+			v int64
+		}
+		s := make([]kv, n)
+		for i := range s {
+			s[i] = kv{uint64(i + 1), int64(i)}
+		}
+		rng := rand.New(rand.NewSource(1))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			key := uint64(rng.Intn(n)) + 1
+			for j := range s {
+				if s[j].k == key {
+					break
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,107 @@
+package appendforest
+
+import "fmt"
+
+// RangeForest is the append-forest as used by a log server to index
+// one client's records (Section 4.3): each page-sized node covers a
+// range of log sequence numbers and holds a pointer (here: a caller
+// supplied value, typically a byte offset into the log stream) for
+// every record in the range. With a page-sized node indexing a
+// thousand or more records, the forest stays shallow even for logs
+// spread over gigabytes of disk.
+//
+// Ranges must be appended in increasing, non-overlapping LSN order;
+// gaps between ranges are allowed (gaps arise when a client switches
+// log servers).
+type RangeForest struct {
+	forest Forest[rangePage]
+	// pending accumulates pointers until a page fills.
+	pendingLow  uint64
+	pendingPtrs []int64
+	pageSize    int
+	count       int
+}
+
+type rangePage struct {
+	low  uint64
+	ptrs []int64
+}
+
+// DefaultPageSize is the number of record pointers per index node. The
+// paper estimates one thousand or more records per page-sized node.
+const DefaultPageSize = 1024
+
+// NewRangeForest returns a RangeForest whose index nodes each hold
+// pageSize record pointers. pageSize <= 0 selects DefaultPageSize.
+func NewRangeForest(pageSize int) *RangeForest {
+	if pageSize <= 0 {
+		pageSize = DefaultPageSize
+	}
+	return &RangeForest{pageSize: pageSize}
+}
+
+// Len returns the number of record pointers stored.
+func (rf *RangeForest) Len() int { return rf.count }
+
+// NumNodes returns the number of full index nodes written so far
+// (excluding the open page).
+func (rf *RangeForest) NumNodes() int { return rf.forest.Len() }
+
+// Append records that lsn's record lives at ptr. LSNs must be strictly
+// increasing.
+func (rf *RangeForest) Append(lsn uint64, ptr int64) error {
+	if len(rf.pendingPtrs) > 0 {
+		last := rf.pendingLow + uint64(len(rf.pendingPtrs)) - 1
+		if lsn <= last {
+			return fmt.Errorf("%w: %d after %d", ErrKeyOrder, lsn, last)
+		}
+		if lsn != last+1 {
+			// Gap: seal the open page early so each node covers one
+			// dense range.
+			if err := rf.seal(); err != nil {
+				return err
+			}
+		}
+	} else if max, ok := rf.forest.Max(); ok && lsn <= max {
+		return fmt.Errorf("%w: %d after %d", ErrKeyOrder, lsn, max)
+	}
+	if len(rf.pendingPtrs) == 0 {
+		rf.pendingLow = lsn
+	}
+	rf.pendingPtrs = append(rf.pendingPtrs, ptr)
+	rf.count++
+	if len(rf.pendingPtrs) >= rf.pageSize {
+		return rf.seal()
+	}
+	return nil
+}
+
+func (rf *RangeForest) seal() error {
+	if len(rf.pendingPtrs) == 0 {
+		return nil
+	}
+	high := rf.pendingLow + uint64(len(rf.pendingPtrs)) - 1
+	page := rangePage{low: rf.pendingLow, ptrs: rf.pendingPtrs}
+	rf.pendingPtrs = nil
+	return rf.forest.Append(high, page)
+}
+
+// Lookup returns the pointer stored for lsn.
+func (rf *RangeForest) Lookup(lsn uint64) (int64, bool) {
+	// Check the open page first: readers most often chase the tail.
+	if n := len(rf.pendingPtrs); n > 0 {
+		if lsn >= rf.pendingLow && lsn < rf.pendingLow+uint64(n) {
+			return rf.pendingPtrs[lsn-rf.pendingLow], true
+		}
+		if lsn >= rf.pendingLow {
+			return 0, false
+		}
+	}
+	// The sealed node covering lsn is the one with the smallest
+	// high-key >= lsn.
+	_, page, ok := rf.forest.Ceiling(lsn)
+	if !ok || lsn < page.low {
+		return 0, false
+	}
+	return page.ptrs[lsn-page.low], true
+}

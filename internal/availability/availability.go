@@ -1,0 +1,134 @@
+// Package availability implements the closed-form availability model
+// of Section 3.2 and Appendix I of "Distributed Logging for
+// Transaction Processing" (SIGMOD 1987).
+//
+// A replicated log uses M log servers with each record written to N of
+// them. Assuming servers fail independently and are unavailable with
+// probability p:
+//
+//   - WriteLog is available when at most M-N servers are down
+//     (N of them must be up to accept the record).
+//   - Client initialization is available when at most N-1 servers are
+//     down (M-N+1 interval lists are needed to cover every record).
+//   - Reading a particular record is available with probability
+//     1 - p^N (some one of its N holders must be up).
+//   - A replicated identifier generator with R state representatives
+//     is available when at most floor((R-1)/2) are down.
+package availability
+
+import (
+	"fmt"
+	"math"
+)
+
+// Config describes a replicated log configuration.
+type Config struct {
+	M int     // number of log server nodes
+	N int     // copies per record
+	P float64 // probability an individual server is unavailable
+}
+
+// Validate reports whether the configuration is meaningful.
+func (c Config) Validate() error {
+	if c.N < 1 {
+		return fmt.Errorf("availability: N = %d, want >= 1", c.N)
+	}
+	if c.M < c.N {
+		return fmt.Errorf("availability: M = %d < N = %d", c.M, c.N)
+	}
+	if c.P < 0 || c.P > 1 {
+		return fmt.Errorf("availability: p = %g outside [0,1]", c.P)
+	}
+	return nil
+}
+
+// atMostDown returns the probability that at most k of m independent
+// servers are simultaneously unavailable: sum_{i=0..k} C(m,i) p^i (1-p)^(m-i).
+func atMostDown(m, k int, p float64) float64 {
+	if k < 0 {
+		return 0
+	}
+	if k >= m {
+		return 1
+	}
+	sum := 0.0
+	for i := 0; i <= k; i++ {
+		sum += binomial(m, i) * math.Pow(p, float64(i)) * math.Pow(1-p, float64(m-i))
+	}
+	if sum > 1 {
+		sum = 1 // guard accumulated rounding
+	}
+	return sum
+}
+
+// binomial returns C(n, k) as a float64.
+func binomial(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	r := 1.0
+	for i := 1; i <= k; i++ {
+		r = r * float64(n-k+i) / float64(i)
+	}
+	return r
+}
+
+// WriteLog returns the probability that the replicated log is
+// available for WriteLog operations: at most M-N servers down.
+func WriteLog(c Config) float64 {
+	return atMostDown(c.M, c.M-c.N, c.P)
+}
+
+// ClientInit returns the probability that the replicated log is
+// available for client initialization: at most N-1 servers down, so
+// that M-N+1 interval lists can be gathered.
+func ClientInit(c Config) float64 {
+	return atMostDown(c.M, c.N-1, c.P)
+}
+
+// ReadRecord returns the probability that a particular log record can
+// be read: one of its N holders must be up, i.e. 1 - p^N.
+func ReadRecord(c Config) float64 {
+	return 1 - math.Pow(c.P, float64(c.N))
+}
+
+// IDGenerator returns the probability that a replicated increasing
+// unique identifier generator with reps state representatives is
+// available (Appendix I): at most floor((reps-1)/2) down.
+func IDGenerator(reps int, p float64) float64 {
+	return atMostDown(reps, (reps-1)/2, p)
+}
+
+// Point is one (M, N) configuration's availability figures, as plotted
+// in Figure 3.4 of the paper.
+type Point struct {
+	M          int
+	N          int
+	WriteLog   float64
+	ClientInit float64
+	ReadRecord float64
+}
+
+// Figure34 computes the two series plotted in Figure 3.4: WriteLog and
+// client-initialization availability as servers are added, for the
+// replication factors the paper considers practical (N = 2 and N = 3),
+// with individual server availability 1-p. The paper uses p = 0.05.
+func Figure34(p float64, maxM int) []Point {
+	var pts []Point
+	for _, n := range []int{2, 3} {
+		for m := n; m <= maxM; m++ {
+			c := Config{M: m, N: n, P: p}
+			pts = append(pts, Point{
+				M:          m,
+				N:          n,
+				WriteLog:   WriteLog(c),
+				ClientInit: ClientInit(c),
+				ReadRecord: ReadRecord(c),
+			})
+		}
+	}
+	return pts
+}

@@ -1,0 +1,276 @@
+package availability
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+const p05 = 0.05 // the paper's Figure 3.4 assumes p = 0.05
+
+func within(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %.6f, want %.6f (±%.6f)", name, got, want, tol)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := Config{M: 5, N: 2, P: 0.05}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []Config{
+		{M: 1, N: 2, P: 0.05},
+		{M: 3, N: 0, P: 0.05},
+		{M: 3, N: 2, P: -0.1},
+		{M: 3, N: 2, P: 1.5},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted", bad)
+		}
+	}
+}
+
+func TestBinomial(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want float64
+	}{
+		{5, 0, 1}, {5, 1, 5}, {5, 2, 10}, {5, 5, 1},
+		{10, 3, 120}, {0, 0, 1}, {4, 5, 0}, {4, -1, 0},
+	}
+	for _, c := range cases {
+		if got := binomial(c.n, c.k); got != c.want {
+			t.Errorf("binomial(%d,%d) = %g, want %g", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+// TestFigure34PaperClaims checks every numeric claim the paper makes
+// around Figure 3.4.
+func TestFigure34PaperClaims(t *testing.T) {
+	// "In the case used as an example above, four of the five log
+	// servers must be available for client initialization. This occurs
+	// with a probability of about 0.98."
+	within(t, "ClientInit(M=5,N=2)", ClientInit(Config{M: 5, N: 2, P: p05}), 0.977, 0.001)
+
+	// "For WriteLog operations to be unavailable in this model, at
+	// least four of the five servers must be down ... such failures
+	// will hardly ever render WriteLog operations unavailable."
+	if w := WriteLog(Config{M: 5, N: 2, P: p05}); w < 0.9999 {
+		t.Errorf("WriteLog(M=5,N=2) = %.6f, want > 0.9999", w)
+	}
+
+	// "With five log servers and triple copy replicated logs,
+	// availability for both normal processing (WriteLog) and client
+	// initialization is about 0.999."
+	within(t, "WriteLog(M=5,N=3)", WriteLog(Config{M: 5, N: 3, P: p05}), 0.9988, 0.0005)
+	within(t, "ClientInit(M=5,N=3)", ClientInit(Config{M: 5, N: 3, P: p05}), 0.9988, 0.0005)
+
+	// "If only a single server were used, then ReadLog, WriteLog and
+	// client initialization would be available with probability 0.95."
+	single := Config{M: 1, N: 1, P: p05}
+	within(t, "WriteLog(single)", WriteLog(single), 0.95, 1e-9)
+	within(t, "ClientInit(single)", ClientInit(single), 0.95, 1e-9)
+	within(t, "ReadRecord(single)", ReadRecord(single), 0.95, 1e-9)
+
+	// "With dual copy replicated logs, 0.95 or better availability for
+	// client initialization would be achieved using up to M = 7 log
+	// servers" — and no further.
+	if a := ClientInit(Config{M: 7, N: 2, P: p05}); a < 0.95 {
+		t.Errorf("ClientInit(M=7,N=2) = %.6f, want >= 0.95", a)
+	}
+	if a := ClientInit(Config{M: 8, N: 2, P: p05}); a >= 0.95 {
+		t.Errorf("ClientInit(M=8,N=2) = %.6f, want < 0.95", a)
+	}
+}
+
+func TestWriteLogMonotonicInM(t *testing.T) {
+	// "As log servers are added (M is increased), WriteLog availability
+	// approaches unity very quickly."
+	for _, n := range []int{2, 3} {
+		prev := 0.0
+		for m := n; m <= 10; m++ {
+			w := WriteLog(Config{M: m, N: n, P: p05})
+			if w < prev {
+				t.Errorf("WriteLog N=%d decreased at M=%d: %.6f < %.6f", n, m, w, prev)
+			}
+			prev = w
+		}
+		if prev < 0.999999 {
+			t.Errorf("WriteLog N=%d at M=10 = %.7f, want ~1", n, prev)
+		}
+	}
+}
+
+func TestClientInitMonotonicDecreasingInM(t *testing.T) {
+	// "Client initialization availability decreases as log servers are
+	// added, because almost all servers must be available to form a
+	// quorum."
+	for _, n := range []int{2, 3} {
+		prev := 1.1
+		for m := n; m <= 10; m++ {
+			a := ClientInit(Config{M: m, N: n, P: p05})
+			if a > prev {
+				t.Errorf("ClientInit N=%d increased at M=%d: %.6f > %.6f", n, m, a, prev)
+			}
+			prev = a
+		}
+	}
+}
+
+func TestReadRecord(t *testing.T) {
+	within(t, "ReadRecord N=2", ReadRecord(Config{M: 5, N: 2, P: p05}), 1-0.0025, 1e-12)
+	within(t, "ReadRecord N=3", ReadRecord(Config{M: 5, N: 3, P: p05}), 1-0.000125, 1e-12)
+}
+
+func TestTradeoffNarrowing(t *testing.T) {
+	// The paper frames M as a trade between WriteLog availability
+	// (better with more servers) and client-init availability (worse).
+	// At fixed N, WriteLog(M+1) >= WriteLog(M) and
+	// ClientInit(M+1) <= ClientInit(M) — verified above — and N=3
+	// dominates N=2 for client init at the same M.
+	for m := 3; m <= 8; m++ {
+		n2 := ClientInit(Config{M: m, N: 2, P: p05})
+		n3 := ClientInit(Config{M: m, N: 3, P: p05})
+		if n3 < n2 {
+			t.Errorf("M=%d: ClientInit N=3 (%.6f) < N=2 (%.6f)", m, n3, n2)
+		}
+	}
+}
+
+func TestIDGenerator(t *testing.T) {
+	// Appendix I: availability is P(at most floor((N-1)/2) reps down).
+	within(t, "IDGenerator(1)", IDGenerator(1, p05), 0.95, 1e-12)
+	// 3 reps tolerate 1 failure: 0.95^3 + 3*0.05*0.95^2.
+	within(t, "IDGenerator(3)", IDGenerator(3, p05), 0.992750, 1e-6)
+	// 5 reps tolerate 2 failures.
+	want5 := math.Pow(.95, 5) + 5*.05*math.Pow(.95, 4) + 10*.0025*math.Pow(.95, 3)
+	within(t, "IDGenerator(5)", IDGenerator(5, p05), want5, 1e-12)
+	// Even numbers of reps add no fault tolerance over the odd below.
+	if IDGenerator(4, p05) > IDGenerator(3, p05) {
+		t.Error("4 reps should not beat 3 (same failures tolerated, more nodes)")
+	}
+}
+
+// TestIDGeneratorDoesNotLimitClientInit verifies the paper's footnote:
+// "typical configurations will require fewer representatives than log
+// servers for client initialization. Thus the availability of the
+// replicated ... generator does not limit the availability of
+// replicated logs." With 3 reps hosted among M=5, N=2 servers, the
+// generator's availability exceeds client-init availability.
+func TestIDGeneratorDoesNotLimitClientInit(t *testing.T) {
+	gen := IDGenerator(3, p05)
+	init := ClientInit(Config{M: 5, N: 2, P: p05})
+	if gen < init {
+		t.Errorf("IDGenerator(3) = %.6f below ClientInit = %.6f", gen, init)
+	}
+}
+
+func TestFigure34Series(t *testing.T) {
+	pts := Figure34(p05, 8)
+	// N=2 yields M=2..8 (7 points), N=3 yields M=3..8 (6 points).
+	if len(pts) != 13 {
+		t.Fatalf("Figure34 returned %d points, want 13", len(pts))
+	}
+	for _, pt := range pts {
+		if pt.WriteLog < 0 || pt.WriteLog > 1 || pt.ClientInit < 0 || pt.ClientInit > 1 {
+			t.Errorf("point %+v outside [0,1]", pt)
+		}
+		// At M == N, WriteLog needs all N servers up and ClientInit
+		// needs any one of them (quorum M-N+1 = 1).
+		if pt.M == pt.N {
+			if math.Abs(pt.WriteLog-math.Pow(1-p05, float64(pt.N))) > 1e-12 {
+				t.Errorf("M=N=%d: WriteLog %.6f != (1-p)^N", pt.M, pt.WriteLog)
+			}
+			if math.Abs(pt.ClientInit-(1-math.Pow(p05, float64(pt.N)))) > 1e-12 {
+				t.Errorf("M=N=%d: ClientInit %.6f != 1-p^N", pt.M, pt.ClientInit)
+			}
+		}
+		// Duality: WriteLog(M,N) == ClientInit(M, M-N+1).
+		dual := ClientInit(Config{M: pt.M, N: pt.M - pt.N + 1, P: p05})
+		if math.Abs(pt.WriteLog-dual) > 1e-12 {
+			t.Errorf("M=%d,N=%d: WriteLog %.6f != dual ClientInit %.6f", pt.M, pt.N, pt.WriteLog, dual)
+		}
+	}
+}
+
+// TestAvailabilityProbabilityProperties: outputs are probabilities for
+// random configurations, p=0 gives 1, p=1 gives 0 (for M>N cases it
+// still requires N up, so 0 unless N=0).
+func TestAvailabilityProbabilityProperties(t *testing.T) {
+	f := func(m8, n8 uint8, pRaw uint16) bool {
+		n := int(n8%3) + 1
+		m := n + int(m8%6)
+		p := float64(pRaw) / 65535.0
+		c := Config{M: m, N: n, P: p}
+		for _, v := range []float64{WriteLog(c), ClientInit(c), ReadRecord(c)} {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+	perfect := Config{M: 5, N: 2, P: 0}
+	if WriteLog(perfect) != 1 || ClientInit(perfect) != 1 || ReadRecord(perfect) != 1 {
+		t.Error("p=0 should give availability 1")
+	}
+	dead := Config{M: 5, N: 2, P: 1}
+	if WriteLog(dead) != 0 || ClientInit(dead) != 0 || ReadRecord(dead) != 0 {
+		t.Errorf("p=1 should give availability 0: %g %g %g", WriteLog(dead), ClientInit(dead), ReadRecord(dead))
+	}
+}
+
+// TestMonteCarloAgreement cross-checks the closed forms against a
+// simple Monte Carlo simulation of independent server failures.
+func TestMonteCarloAgreement(t *testing.T) {
+	c := Config{M: 5, N: 2, P: 0.2} // larger p for faster convergence
+	const trials = 200000
+	rng := newLCG(12345)
+	var writeOK, initOK, readOK int
+	for i := 0; i < trials; i++ {
+		down := 0
+		holderDown := 0
+		for s := 0; s < c.M; s++ {
+			if rng.float64() < c.P {
+				down++
+				if s < c.N {
+					holderDown++ // the record's holders are any N servers
+				}
+			}
+		}
+		if down <= c.M-c.N {
+			writeOK++
+		}
+		if down <= c.N-1 {
+			initOK++
+		}
+		if holderDown < c.N {
+			readOK++
+		}
+	}
+	within(t, "MC WriteLog", float64(writeOK)/trials, WriteLog(c), 0.005)
+	within(t, "MC ClientInit", float64(initOK)/trials, ClientInit(c), 0.005)
+	within(t, "MC ReadRecord", float64(readOK)/trials, ReadRecord(c), 0.005)
+}
+
+// lcg is a tiny deterministic generator so the Monte Carlo test does
+// not depend on math/rand's generator evolution.
+type lcg struct{ s uint64 }
+
+func newLCG(seed uint64) *lcg { return &lcg{s: seed} }
+
+func (l *lcg) float64() float64 {
+	l.s = l.s*6364136223846793005 + 1442695040888963407
+	return float64(l.s>>11) / float64(1<<53)
+}
+
+func BenchmarkFigure34(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Figure34(p05, 8)
+	}
+}

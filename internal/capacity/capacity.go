@@ -1,0 +1,182 @@
+// Package capacity reproduces the log server capacity analysis of
+// Section 4.1: given the paper's target load — fifty client nodes each
+// running ten local ET1 transactions per second against six log
+// servers with dual-copy logging — it derives the message rates, CPU
+// and disk utilizations, network load, and daily log volume the paper
+// reports, both in closed form (mirroring the paper's own arithmetic)
+// and by discrete-event simulation of the full pipeline.
+package capacity
+
+import (
+	"fmt"
+	"time"
+
+	"distlog/internal/workload"
+)
+
+// DiskProfile describes the logging disk for the analysis.
+type DiskProfile struct {
+	Name              string
+	RPM               int
+	TrackSize         int // bytes
+	TracksPerCylinder int
+	SeekTime          time.Duration // single-cylinder advance
+}
+
+// SlowDisk is the "slow disk with small tracks" of the paper's 50%
+// utilization remark.
+func SlowDisk() DiskProfile {
+	return DiskProfile{Name: "slow/small-tracks", RPM: 2400, TrackSize: 8 * 1024, TracksPerCylinder: 4, SeekTime: 5 * time.Millisecond}
+}
+
+// FastDisk is a contemporary better disk for comparison.
+func FastDisk() DiskProfile {
+	return DiskProfile{Name: "fast/large-tracks", RPM: 3600, TrackSize: 15 * 1024, TracksPerCylinder: 4, SeekTime: 3 * time.Millisecond}
+}
+
+// Params describes the analyzed system. The zero value is not useful;
+// start from PaperParams.
+type Params struct {
+	Clients       int
+	TPSPerClient  float64
+	RecordsPerTxn int
+	BytesPerTxn   int
+	ForcesPerTxn  int
+	Servers       int
+	Copies        int // N
+
+	// Grouping: when false, every log record is its own RPC; when
+	// true, records are grouped until the force (the design the paper
+	// advocates).
+	Grouping bool
+
+	// Costs (Section 4.1's budget figures).
+	ServerMIPS           float64
+	InstrPerPacket       int // network + RPC handling per packet
+	InstrPerMessage      int // log record processing + copy to NVRAM
+	InstrPerTrack        int // track write initiation
+	PacketOverhead       int // header bytes per packet on the wire
+	Multicast            bool
+	Disk                 DiskProfile
+	NetworkBandwidthMbps float64 // for the saturation check
+}
+
+// PaperParams returns the paper's target configuration.
+func PaperParams() Params {
+	return Params{
+		Clients:              workload.TargetClients,
+		TPSPerClient:         workload.TargetClientTPS,
+		RecordsPerTxn:        workload.ET1RecordsPerTxn,
+		BytesPerTxn:          workload.ET1BytesPerTxn,
+		ForcesPerTxn:         workload.ET1ForcesPerTxn,
+		Servers:              workload.TargetServers,
+		Copies:               workload.TargetCopies,
+		Grouping:             true,
+		ServerMIPS:           3.5, // "processor speeds of at least a few MIPS"
+		InstrPerPacket:       1000,
+		InstrPerMessage:      2000,
+		InstrPerTrack:        2000,
+		PacketOverhead:       50,
+		Disk:                 SlowDisk(),
+		NetworkBandwidthMbps: 10,
+	}
+}
+
+// Report carries the analysis results. All rates are per second.
+type Report struct {
+	AggregateTPS float64
+
+	// Per-server message and request rates.
+	RequestsPerServer float64 // incoming request packets
+	MessagesPerServer float64 // incoming + outgoing packets
+
+	// Network, whole system.
+	NetworkBitsPerSec float64
+	NetworkSaturated  bool
+
+	// Per-server resource utilizations, 0..1.
+	CommCPU              float64
+	LogCPU               float64
+	DiskUtil             float64
+	TrackWritesPerServer float64
+
+	// Log volume.
+	BytesPerServerPerSec float64
+	BytesPerServerPerDay float64
+}
+
+// Analyze derives the report in closed form, following the paper's own
+// arithmetic.
+func Analyze(p Params) Report {
+	var r Report
+	r.AggregateTPS = float64(p.Clients) * p.TPSPerClient
+
+	// Request rate: with grouping, one request per force; without, one
+	// per record. Each request is replicated to Copies servers.
+	reqPerTxn := float64(p.RecordsPerTxn)
+	if p.Grouping {
+		reqPerTxn = float64(p.ForcesPerTxn)
+	}
+	totalRequests := r.AggregateTPS * reqPerTxn * float64(p.Copies)
+	r.RequestsPerServer = totalRequests / float64(p.Servers)
+	// Every request generates a reply (the ForceLog ack / RPC reply).
+	r.MessagesPerServer = 2 * r.RequestsPerServer
+
+	// Network: log data to Copies servers plus packet overheads both
+	// ways. Multicast sends the data once instead of Copies times.
+	dataCopies := float64(p.Copies)
+	if p.Multicast {
+		dataCopies = 1
+	}
+	dataBits := r.AggregateTPS * float64(p.BytesPerTxn) * dataCopies * 8
+	overheadBits := totalRequests * 2 * float64(p.PacketOverhead) * 8
+	r.NetworkBitsPerSec = dataBits + overheadBits
+	r.NetworkSaturated = r.NetworkBitsPerSec > p.NetworkBandwidthMbps*1e6
+
+	// CPU: communication handling, then log processing + track writes.
+	instrPerSec := p.ServerMIPS * 1e6
+	r.CommCPU = r.MessagesPerServer * float64(p.InstrPerPacket) / instrPerSec
+
+	r.BytesPerServerPerSec = r.AggregateTPS * float64(p.BytesPerTxn) * float64(p.Copies) / float64(p.Servers)
+	r.BytesPerServerPerDay = r.BytesPerServerPerSec * 86400
+	r.TrackWritesPerServer = r.BytesPerServerPerSec / float64(p.Disk.TrackSize)
+	logInstr := r.RequestsPerServer*float64(p.InstrPerMessage) + r.TrackWritesPerServer*float64(p.InstrPerTrack)
+	r.LogCPU = logInstr / instrPerSec
+
+	// Disk: each buffered track write costs a transfer revolution, an
+	// average half-revolution of positioning, and an amortized seek
+	// when the stream crosses a cylinder.
+	rev := time.Duration(int64(time.Minute) / int64(p.Disk.RPM))
+	seekShare := time.Duration(int64(p.Disk.SeekTime) / int64(p.Disk.TracksPerCylinder))
+	svc := rev + rev/2 + seekShare
+	r.DiskUtil = r.TrackWritesPerServer * svc.Seconds()
+	return r
+}
+
+// String renders the report as the rows the paper states.
+func (r Report) String() string {
+	sat := "no"
+	if r.NetworkSaturated {
+		sat = "YES"
+	}
+	return fmt.Sprintf(
+		"aggregate load:        %8.0f TPS\n"+
+			"requests/server:       %8.0f /s\n"+
+			"messages/server:       %8.0f /s (in+out)\n"+
+			"network load:          %8.2f Mbit/s (single network saturated: %s)\n"+
+			"comm CPU/server:       %8.1f %%\n"+
+			"log CPU/server:        %8.1f %%\n"+
+			"track writes/server:   %8.1f /s\n"+
+			"disk utilization:      %8.1f %%\n"+
+			"log volume/server:     %8.2f GB/day",
+		r.AggregateTPS,
+		r.RequestsPerServer,
+		r.MessagesPerServer,
+		r.NetworkBitsPerSec/1e6, sat,
+		r.CommCPU*100,
+		r.LogCPU*100,
+		r.TrackWritesPerServer,
+		r.DiskUtil*100,
+		r.BytesPerServerPerDay/1e9,
+	)
+}

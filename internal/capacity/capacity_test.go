@@ -1,0 +1,167 @@
+package capacity
+
+import (
+	"testing"
+	"time"
+)
+
+// TestCapacityAnalysisPaperNumbers checks every quantitative claim in
+// Section 4.1 against the closed-form model.
+func TestCapacityAnalysisPaperNumbers(t *testing.T) {
+	p := PaperParams()
+
+	// "If each log record were written to log servers with individual
+	// remote procedure calls each log server would have to process
+	// about 2400 incoming or outgoing messages per second."
+	ungrouped := p
+	ungrouped.Grouping = false
+	r := Analyze(ungrouped)
+	if r.MessagesPerServer < 2200 || r.MessagesPerServer > 2600 {
+		t.Errorf("ungrouped messages/server = %.0f, paper says ~2400", r.MessagesPerServer)
+	}
+
+	// "grouping log records until they need to be forced reduces the
+	// number of RPCs by a factor of seven. Still, each server must
+	// process about 170 RPCs per second."
+	grouped := Analyze(p)
+	if grouped.RequestsPerServer < 150 || grouped.RequestsPerServer > 190 {
+		t.Errorf("grouped RPCs/server = %.0f, paper says ~170", grouped.RequestsPerServer)
+	}
+	if factor := r.RequestsPerServer / grouped.RequestsPerServer; factor < 6.5 || factor > 7.5 {
+		t.Errorf("grouping factor = %.1f, paper says 7", factor)
+	}
+
+	// "Fifty client nodes, each using two log servers, will generate
+	// around seven million total bits per second of network traffic."
+	if grouped.NetworkBitsPerSec < 5.5e6 || grouped.NetworkBitsPerSec > 8.5e6 {
+		t.Errorf("network = %.2f Mbit/s, paper says ~7", grouped.NetworkBitsPerSec/1e6)
+	}
+	// "With the use of multicast, this amount would be approximately
+	// halved."
+	mc := p
+	mc.Multicast = true
+	rmc := Analyze(mc)
+	ratio := rmc.NetworkBitsPerSec / grouped.NetworkBitsPerSec
+	if ratio < 0.45 || ratio > 0.65 {
+		t.Errorf("multicast ratio = %.2f, paper says ~0.5", ratio)
+	}
+	// "This load could saturate many local area networks" (10 Mbit/s
+	// networks of the day ran near half capacity already; two are
+	// needed for availability and together carry it).
+	if grouped.NetworkBitsPerSec > 10e6 {
+		t.Errorf("network model exceeds even a single 10 Mbit LAN: %.2f", grouped.NetworkBitsPerSec/1e6)
+	}
+
+	// "communication processing will consume less than ten percent of
+	// log server CPU capacity."
+	if grouped.CommCPU >= 0.10 {
+		t.Errorf("comm CPU = %.1f%%, paper says < 10%%", grouped.CommCPU*100)
+	}
+
+	// "only ten to twenty percent of a log server's CPU capacity will
+	// be used for writing log records to non volatile storage."
+	if grouped.LogCPU < 0.05 || grouped.LogCPU > 0.20 {
+		t.Errorf("log CPU = %.1f%%, paper says 10-20%%", grouped.LogCPU*100)
+	}
+
+	// "Disk utilization will be higher close to fifty percent for slow
+	// disks with small tracks."
+	if grouped.DiskUtil < 0.35 || grouped.DiskUtil > 0.65 {
+		t.Errorf("disk util = %.1f%%, paper says ~50%%", grouped.DiskUtil*100)
+	}
+
+	// "approximately ten billion bytes of log data will be written to
+	// each log server per day."
+	if grouped.BytesPerServerPerDay < 9e9 || grouped.BytesPerServerPerDay > 11e9 {
+		t.Errorf("bytes/server/day = %.2e, paper says ~1e10", grouped.BytesPerServerPerDay)
+	}
+}
+
+func TestAnalyzeFastDiskLowerUtilization(t *testing.T) {
+	p := PaperParams()
+	slow := Analyze(p)
+	p.Disk = FastDisk()
+	fast := Analyze(p)
+	if fast.DiskUtil >= slow.DiskUtil {
+		t.Errorf("fast disk util %.2f >= slow %.2f", fast.DiskUtil, slow.DiskUtil)
+	}
+}
+
+func TestAnalyzeScalesLinearly(t *testing.T) {
+	p := PaperParams()
+	base := Analyze(p)
+	p.Clients *= 2
+	double := Analyze(p)
+	if double.RequestsPerServer < base.RequestsPerServer*1.9 {
+		t.Errorf("requests did not scale: %.0f vs %.0f", double.RequestsPerServer, base.RequestsPerServer)
+	}
+	if double.BytesPerServerPerDay < base.BytesPerServerPerDay*1.9 {
+		t.Errorf("volume did not scale")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	s := Analyze(PaperParams()).String()
+	if len(s) == 0 {
+		t.Fatal("empty report")
+	}
+}
+
+// TestSimulationMatchesAnalysis cross-validates the discrete-event
+// model against the closed form within tolerance.
+func TestSimulationMatchesAnalysis(t *testing.T) {
+	p := PaperParams()
+	an := Analyze(p)
+	simRep := Simulate(p, 20*time.Second)
+
+	within := func(name string, got, want, tol float64) {
+		t.Helper()
+		if want == 0 {
+			return
+		}
+		if got < want*(1-tol) || got > want*(1+tol) {
+			t.Errorf("%s: simulated %.3f vs analytic %.3f (tol %.0f%%)", name, got, want, tol*100)
+		}
+	}
+	within("requests/server", simRep.RequestsPerServer, an.RequestsPerServer, 0.15)
+	within("comm CPU", simRep.CommCPU, an.CommCPU, 0.25)
+	within("disk util", simRep.DiskUtil, an.DiskUtil, 0.25)
+	if simRep.TxnsCompleted == 0 {
+		t.Fatal("no transactions completed")
+	}
+	wantTPS := float64(p.Clients) * p.TPSPerClient
+	gotTPS := float64(simRep.TxnsCompleted) / simRep.Duration.Seconds()
+	within("TPS", gotTPS, wantTPS, 0.10)
+	// The design point: force latency stays in the low milliseconds
+	// because nothing waits for a disk revolution.
+	if simRep.MeanForceLatency > 20*time.Millisecond {
+		t.Errorf("mean force latency %v: NVRAM buffering should keep this low", simRep.MeanForceLatency)
+	}
+}
+
+// TestSimulationUngroupedOverloadsCPU shows the bottleneck the paper
+// identifies: without grouping, per-record RPCs push the servers far
+// beyond the grouped configuration.
+func TestSimulationUngroupedOverloadsCPU(t *testing.T) {
+	p := PaperParams()
+	grouped := Simulate(p, 10*time.Second)
+	p.Grouping = false
+	ungrouped := Simulate(p, 10*time.Second)
+	if ungrouped.CommCPU < grouped.CommCPU*4 {
+		t.Errorf("ungrouped comm CPU %.1f%% vs grouped %.1f%%: expected ~7x", ungrouped.CommCPU*100, grouped.CommCPU*100)
+	}
+}
+
+func BenchmarkAnalyze(b *testing.B) {
+	p := PaperParams()
+	for i := 0; i < b.N; i++ {
+		Analyze(p)
+	}
+}
+
+func BenchmarkCapacitySimulation(b *testing.B) {
+	p := PaperParams()
+	for i := 0; i < b.N; i++ {
+		Simulate(p, time.Second)
+	}
+}

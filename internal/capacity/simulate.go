@@ -1,0 +1,169 @@
+package capacity
+
+import (
+	"fmt"
+	"time"
+
+	"distlog/internal/sim"
+)
+
+// SimReport is the measured counterpart of Report, produced by running
+// the load through a discrete-event model of the whole pipeline:
+// client force messages cross a shared network, occupy the server CPU,
+// land in the NVRAM staging buffer, and drain to the disk a track at a
+// time.
+type SimReport struct {
+	Duration          time.Duration
+	TxnsCompleted     uint64
+	RequestsPerServer float64
+	CommCPU           float64 // mean across servers
+	LogCPU            float64
+	DiskUtil          float64
+	NetworkUtil       float64
+	MeanForceLatency  time.Duration
+	MaxForceLatency   time.Duration
+}
+
+// Simulate runs the load for the given simulated duration.
+func Simulate(p Params, duration time.Duration) SimReport {
+	s := sim.New()
+
+	network := s.NewResource("network")
+	type serverState struct {
+		commCPU *sim.Resource
+		logCPU  *sim.Resource
+		disk    *sim.Resource
+		nvram   int
+	}
+	servers := make([]*serverState, p.Servers)
+	for i := range servers {
+		servers[i] = &serverState{
+			commCPU: s.NewResource(fmt.Sprintf("comm-cpu-%d", i)),
+			logCPU:  s.NewResource(fmt.Sprintf("log-cpu-%d", i)),
+			disk:    s.NewResource(fmt.Sprintf("disk-%d", i)),
+		}
+	}
+
+	instr := func(n int) time.Duration {
+		return time.Duration(float64(n) / (p.ServerMIPS * 1e6) * float64(time.Second))
+	}
+	rev := time.Duration(int64(time.Minute) / int64(p.Disk.RPM))
+	seekShare := time.Duration(int64(p.Disk.SeekTime) / int64(p.Disk.TracksPerCylinder))
+	trackSvc := rev + rev/2 + seekShare
+
+	msgsPerForce := 1
+	if !p.Grouping {
+		msgsPerForce = p.RecordsPerTxn
+	}
+	netSvc := func(bytes int) time.Duration {
+		return time.Duration(float64(bytes*8) / (p.NetworkBandwidthMbps * 1e6) * float64(time.Second))
+	}
+	dataSvc := netSvc(p.BytesPerTxn/msgsPerForce + p.PacketOverhead)
+	ackSvc := netSvc(p.PacketOverhead)
+
+	var (
+		txns         uint64
+		totalLatency time.Duration
+		maxLatency   time.Duration
+	)
+
+	// Each client targets Copies servers assigned round-robin and
+	// submits a force every 1/TPS seconds, phase-shifted so arrivals
+	// spread evenly.
+	interval := time.Duration(float64(time.Second) / p.TPSPerClient)
+	for c := 0; c < p.Clients; c++ {
+		c := c
+		targets := make([]*serverState, p.Copies)
+		for k := 0; k < p.Copies; k++ {
+			targets[k] = servers[(c*p.Copies+k)%p.Servers]
+		}
+		phase := time.Duration(int64(interval) * int64(c) / int64(p.Clients))
+		var tick func()
+		tick = func() {
+			start := s.Now()
+			remaining := len(targets) * msgsPerForce
+			done := func() {
+				remaining--
+				if remaining == 0 {
+					lat := s.Now() - start
+					txns++
+					totalLatency += lat
+					if lat > maxLatency {
+						maxLatency = lat
+					}
+				}
+			}
+			for _, srv := range targets {
+				srv := srv
+				for m := 0; m < msgsPerForce; m++ {
+					network.Use(dataSvc, func() {
+						srv.commCPU.Use(instr(p.InstrPerPacket), func() {
+							srv.logCPU.Use(instr(p.InstrPerMessage), func() {
+								srv.nvram += p.BytesPerTxn / msgsPerForce
+								for srv.nvram >= p.Disk.TrackSize {
+									srv.nvram -= p.Disk.TrackSize
+									srv.logCPU.Use(instr(p.InstrPerTrack), nil)
+									srv.disk.Use(trackSvc, nil)
+								}
+								// Ack back across the network: packet
+								// handling on the server CPU, then the
+								// small acknowledgment packet.
+								srv.commCPU.Use(instr(p.InstrPerPacket), func() {
+									network.Use(ackSvc, done)
+								})
+							})
+						})
+					})
+				}
+			}
+			s.After(interval, tick)
+		}
+		s.At(phase, tick)
+	}
+
+	s.RunUntil(duration)
+
+	rep := SimReport{Duration: duration, TxnsCompleted: txns}
+	if txns > 0 {
+		rep.MeanForceLatency = totalLatency / time.Duration(txns)
+		rep.MaxForceLatency = maxLatency
+	}
+	var comm, logc, disk float64
+	var served uint64
+	for _, srv := range servers {
+		comm += srv.commCPU.Utilization()
+		logc += srv.logCPU.Utilization()
+		disk += srv.disk.Utilization()
+		served += srv.commCPU.Served()
+	}
+	n := float64(p.Servers)
+	rep.CommCPU = comm / n
+	rep.LogCPU = logc / n
+	rep.DiskUtil = disk / n
+	rep.NetworkUtil = network.Utilization()
+	// The comm CPU serves each request twice (packet in, ack out).
+	rep.RequestsPerServer = float64(served) / 2 / n / duration.Seconds()
+	return rep
+}
+
+// String renders the simulation report.
+func (r SimReport) String() string {
+	return fmt.Sprintf(
+		"simulated:             %8v\n"+
+			"transactions:          %8d (%.0f TPS)\n"+
+			"requests/server:       %8.0f /s\n"+
+			"comm CPU/server:       %8.1f %%\n"+
+			"log CPU/server:        %8.1f %%\n"+
+			"disk utilization:      %8.1f %%\n"+
+			"network utilization:   %8.1f %%\n"+
+			"force latency:         %8v mean, %v max",
+		r.Duration,
+		r.TxnsCompleted, float64(r.TxnsCompleted)/r.Duration.Seconds(),
+		r.RequestsPerServer,
+		r.CommCPU*100,
+		r.LogCPU*100,
+		r.DiskUtil*100,
+		r.NetworkUtil*100,
+		r.MeanForceLatency, r.MaxForceLatency,
+	)
+}

@@ -1,0 +1,289 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"distlog/internal/record"
+	"distlog/internal/transport"
+)
+
+// TestChaosModelBased drives a replicated log through hundreds of
+// random operations — writes, forces, reads, client crashes, server
+// outages, network faults, truncation — and checks every observable
+// against a reference model of the paper's contract:
+//
+//   - a record whose Force returned is durable and keeps its data
+//     forever (unless explicitly truncated);
+//   - a record whose write was interrupted by a crash may surface as
+//     present-with-its-data or as not-present, but the first answer
+//     observed after the crash is the answer forever;
+//   - truncated records read as not-present;
+//   - LSNs are strictly increasing and never reused across crashes.
+func TestChaosModelBased(t *testing.T) {
+	steps := 400
+	if testing.Short() {
+		steps = 100
+	}
+	for _, seed := range []int64{1, 7, 99} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel() // each run owns its own cluster
+			chaosRun(t, seed, steps)
+		})
+	}
+}
+
+type chaosOutcome struct {
+	present bool
+	data    string
+}
+
+func chaosRun(t *testing.T, seed int64, steps int) {
+	rng := rand.New(rand.NewSource(seed))
+	c := newCluster(t, "s1", "s2", "s3")
+
+	committed := map[record.LSN]string{} // forced: durable forever
+	uncertain := map[record.LSN]string{} // written, client crashed before force
+	pinned := map[record.LSN]chaosOutcome{}
+	var pending []record.LSN // written this life, not yet forced
+	pendingData := map[record.LSN]string{}
+	var downServer string // at most one server down at a time
+	var truncated record.LSN
+	var maxLSN record.LSN
+
+	open := func() *ReplicatedLog {
+		// Reopening requires M-N+1 = 2 servers; one may be down.
+		return mustOpen(t, c, 1, 2, func(cfg *Config) {
+			cfg.Delta = 8
+			cfg.CallTimeout = 40 * time.Millisecond
+		})
+	}
+	l := open()
+	defer func() { l.Close() }()
+
+	readAndCheck := func(lsn record.LSN) {
+		data, err := l.ReadLog(lsn)
+		if lsn < truncated {
+			// Truncation is best-effort space management: a server that
+			// was unreachable when the prefix was discarded may still
+			// serve the original record after a restart. The answer must
+			// be the original data or not-present — never anything else.
+			if err == nil {
+				if want, ok := committed[lsn]; ok && string(data) != want {
+					t.Fatalf("ReadLog(%d) below truncation = %q, original was %q", lsn, data, want)
+				}
+				return
+			}
+			if errors.Is(err, ErrNotPresent) || errors.Is(err, ErrUnavailable) {
+				return
+			}
+			t.Fatalf("ReadLog(%d) below truncation: %v", lsn, err)
+		}
+		switch {
+		case err == nil:
+			if want, ok := committed[lsn]; ok {
+				if string(data) != want {
+					t.Fatalf("ReadLog(%d) = %q, committed as %q", lsn, data, want)
+				}
+				return
+			}
+			if want, ok := pendingData[lsn]; ok {
+				if string(data) != want {
+					t.Fatalf("ReadLog(%d) = %q, pending as %q", lsn, data, want)
+				}
+				return
+			}
+			if want, ok := uncertain[lsn]; ok {
+				// First observation pins the outcome.
+				if pin, ok := pinned[lsn]; ok {
+					if !pin.present || pin.data != string(data) {
+						t.Fatalf("ReadLog(%d) = %q, pinned outcome %+v", lsn, data, pin)
+					}
+				} else {
+					if string(data) != want {
+						t.Fatalf("ReadLog(%d) = %q, uncertain write was %q", lsn, data, want)
+					}
+					pinned[lsn] = chaosOutcome{present: true, data: string(data)}
+				}
+				return
+			}
+			t.Fatalf("ReadLog(%d) returned %q for an LSN the model never wrote", lsn, data)
+		case errors.Is(err, ErrNotPresent):
+			if _, ok := committed[lsn]; ok && lsn >= truncated {
+				t.Fatalf("committed record %d reported not present", lsn)
+			}
+			if _, ok := pendingData[lsn]; ok {
+				t.Fatalf("pending record %d of the live client reported not present", lsn)
+			}
+			if _, ok := uncertain[lsn]; ok && lsn >= truncated {
+				if pin, ok := pinned[lsn]; ok {
+					if pin.present {
+						t.Fatalf("record %d flip-flopped: pinned present, now not present", lsn)
+					}
+				} else {
+					pinned[lsn] = chaosOutcome{present: false}
+				}
+			}
+		case errors.Is(err, ErrBeyondEnd):
+			if lsn <= maxLSN && lsn >= truncated {
+				// The log's end can only move past writes we made; a
+				// written LSN must never be beyond the end... except
+				// LSNs the recovery procedure skipped are impossible
+				// here since maxLSN tracks our writes.
+				t.Fatalf("ReadLog(%d) beyond end, but maxLSN is %d", lsn, maxLSN)
+			}
+		case errors.Is(err, ErrUnavailable):
+			// Acceptable while a holder is down; no model update.
+		default:
+			t.Fatalf("ReadLog(%d): %v", lsn, err)
+		}
+	}
+
+	randomKnownLSN := func() (record.LSN, bool) {
+		var all []record.LSN
+		for lsn := range committed {
+			all = append(all, lsn)
+		}
+		for lsn := range uncertain {
+			all = append(all, lsn)
+		}
+		all = append(all, pending...)
+		if len(all) == 0 {
+			return 0, false
+		}
+		return all[rng.Intn(len(all))], true
+	}
+
+	for step := 0; step < steps; step++ {
+		switch r := rng.Float64(); {
+		case r < 0.40: // write
+			data := fmt.Sprintf("seed%d-step%d", seed, step)
+			lsn, err := l.WriteLog([]byte(data))
+			if err != nil {
+				// A δ-triggered implicit force can fail transiently
+				// while servers are down or the network is lossy; no
+				// LSN was assigned and the client remains usable.
+				if errors.Is(err, ErrUnavailable) {
+					continue
+				}
+				t.Fatalf("step %d: WriteLog: %v", step, err)
+			}
+			if lsn <= maxLSN {
+				t.Fatalf("step %d: LSN %d reused (max %d)", step, lsn, maxLSN)
+			}
+			maxLSN = lsn
+			pending = append(pending, lsn)
+			pendingData[lsn] = data
+			// δ-bounded implicit forces may have made older pending
+			// records durable; the model is conservative and treats
+			// them as uncertain until an explicit Force.
+		case r < 0.55: // force
+			if err := l.Force(); err != nil {
+				// Transient unavailability: the records stay
+				// outstanding and a later force retries them.
+				if errors.Is(err, ErrUnavailable) {
+					continue
+				}
+				t.Fatalf("step %d: Force: %v", step, err)
+			}
+			for _, lsn := range pending {
+				committed[lsn] = pendingData[lsn]
+				delete(pendingData, lsn)
+			}
+			pending = pending[:0]
+		case r < 0.80: // read
+			if lsn, ok := randomKnownLSN(); ok {
+				readAndCheck(lsn)
+			}
+		case r < 0.88: // client crash + recovery
+			l.Close()
+			for _, lsn := range pending {
+				uncertain[lsn] = pendingData[lsn]
+				delete(pendingData, lsn)
+			}
+			pending = pending[:0]
+			l = open()
+			if eol := l.EndOfLog(); eol < maxLSN {
+				t.Fatalf("step %d: EndOfLog %d below last written %d", step, eol, maxLSN)
+			} else {
+				maxLSN = eol // recovery's not-present markers consumed LSNs
+			}
+		case r < 0.94: // toggle a server
+			if downServer == "" {
+				downServer = c.names[rng.Intn(len(c.names))]
+				c.stop(downServer)
+			} else {
+				c.start(downServer)
+				downServer = ""
+			}
+		case r < 0.97: // toggle network faults
+			if rng.Intn(2) == 0 {
+				c.net.SetFaults(transport.Faults{DropProb: 0.10, DupProb: 0.05})
+			} else {
+				c.net.SetFaults(transport.Faults{})
+			}
+		default: // truncate a prefix
+			if maxLSN > 16 {
+				cut := record.LSN(rng.Int63n(int64(maxLSN)))
+				if err := l.TruncatePrefix(cut); err != nil && !errors.Is(err, ErrUnavailable) {
+					t.Fatalf("step %d: TruncatePrefix(%d): %v", step, cut, err)
+				}
+				if got := l.Truncated(); got > truncated {
+					truncated = got
+				}
+			}
+		}
+	}
+
+	// Settle: clear faults, restart any down server, force, and sweep.
+	c.net.SetFaults(transport.Faults{})
+	if downServer != "" {
+		c.start(downServer)
+	}
+	var ferr error
+	for attempt := 0; attempt < 3; attempt++ {
+		if ferr = l.Force(); ferr == nil {
+			break
+		}
+	}
+	if ferr != nil {
+		t.Fatalf("final force: %v", ferr)
+	}
+	for _, lsn := range pending {
+		committed[lsn] = pendingData[lsn]
+	}
+	for lsn, want := range committed {
+		if lsn < truncated {
+			continue
+		}
+		data, err := l.ReadLog(lsn)
+		if err != nil || string(data) != want {
+			t.Fatalf("final sweep: ReadLog(%d) = %q, %v; want %q", lsn, data, err, want)
+		}
+	}
+	// One more restart: every pinned outcome must hold.
+	l.Close()
+	l = open()
+	for lsn, pin := range pinned {
+		if lsn < truncated || lsn < l.Truncated() {
+			continue
+		}
+		data, err := l.ReadLog(lsn)
+		switch {
+		case err == nil:
+			if !pin.present || pin.data != string(data) {
+				t.Fatalf("after final restart: ReadLog(%d) = %q, pinned %+v", lsn, data, pin)
+			}
+		case errors.Is(err, ErrNotPresent):
+			if pin.present {
+				t.Fatalf("after final restart: record %d vanished; pinned %+v", lsn, pin)
+			}
+		default:
+			t.Fatalf("after final restart: ReadLog(%d): %v", lsn, err)
+		}
+	}
+}

@@ -1,0 +1,1012 @@
+// Package core implements the paper's primary contribution: the
+// replicated log of Section 3 — an append-only sequence of records
+// identified by increasing LSNs, replicated on N of M log server
+// nodes by a specialized single-client quorum consensus algorithm.
+//
+// WriteLog operations buffer and group records (Section 4.1's seven-
+// fold RPC reduction), stream them asynchronously, and complete on
+// Force when N servers have acknowledged. ReadLog operations use the
+// interval lists merged at initialization — the one-time vote — to
+// read from a single server. Client initialization implements the
+// crash-recovery procedure of Section 3.1.2: merge interval lists from
+// at least M-N+1 servers, obtain a fresh epoch from the replicated
+// identifier generator, re-copy the doubtful tail of δ records under
+// the new epoch, write δ not-present records after it, and atomically
+// install the copies.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"distlog/internal/idgen"
+	"distlog/internal/record"
+	"distlog/internal/transport"
+	"distlog/internal/wire"
+)
+
+// Public errors.
+var (
+	// ErrNotPresent is signaled when the requested record is marked not
+	// present (it was superseded by crash recovery).
+	ErrNotPresent = errors.New("core: log record not present")
+	// ErrBeyondEnd is signaled when the requested LSN is beyond the end
+	// of the log.
+	ErrBeyondEnd = errors.New("core: LSN beyond end of log")
+	// ErrUnavailable is returned when no server holding the record (or
+	// accepting writes) can be reached.
+	ErrUnavailable = errors.New("core: no log server available")
+	// ErrInitQuorum is returned when fewer than M-N+1 servers answered
+	// IntervalList during initialization.
+	ErrInitQuorum = errors.New("core: cannot gather M-N+1 interval lists")
+	// ErrClosed is returned after Close.
+	ErrClosed = errors.New("core: replicated log closed")
+)
+
+// Config configures a ReplicatedLog.
+type Config struct {
+	// ClientID identifies this transaction-processing node. A
+	// replicated log has exactly one client.
+	ClientID record.ClientID
+	// Servers are the M log server addresses.
+	Servers []string
+	// N is the number of servers each record is written to (2 or 3 in
+	// practice, per Section 3.2).
+	N int
+	// Delta (δ) bounds the number of records that may be partially
+	// written when the client crashes: the client never has more than
+	// Delta unacknowledged records outstanding. Default 16.
+	Delta int
+	// Endpoint is the client's network attachment.
+	Endpoint transport.Endpoint
+	// CallTimeout bounds each synchronous call attempt and each force
+	// acknowledgment wait. Default 250ms.
+	CallTimeout time.Duration
+	// Retries is how many times lost calls and forces are retried
+	// before the server is presumed failed. Default 3.
+	Retries int
+	// FlushBatch is the number of buffered records that triggers an
+	// asynchronous WriteLog message before any force. Default: as many
+	// as fill a packet (computed per batch).
+	FlushBatch int
+	// Window and OverAllocPause tune flow control.
+	Window         uint64
+	OverAllocPause time.Duration
+	// ConnID overrides the connection incarnation identifier (tests);
+	// 0 derives one from the clock and a process-wide counter.
+	ConnID uint64
+	// EpochReps overrides where epoch numbers come from. Nil uses the
+	// representatives hosted on the log servers themselves.
+	EpochReps []idgen.Representative
+}
+
+func (c *Config) fillDefaults() error {
+	if c.N < 1 {
+		return fmt.Errorf("core: N = %d", c.N)
+	}
+	if len(c.Servers) < c.N {
+		return fmt.Errorf("core: %d servers < N = %d", len(c.Servers), c.N)
+	}
+	if c.Endpoint == nil {
+		return fmt.Errorf("core: no endpoint")
+	}
+	if c.Delta == 0 {
+		c.Delta = 16
+	}
+	if c.CallTimeout == 0 {
+		c.CallTimeout = 250 * time.Millisecond
+	}
+	if c.Retries == 0 {
+		c.Retries = 3
+	}
+	return nil
+}
+
+var connIDCounter atomic.Uint64
+
+// Stats counts client-side protocol activity.
+type Stats struct {
+	Writes        uint64
+	Forces        uint64
+	Reads         uint64
+	ReadCacheHits uint64
+	Failovers     uint64
+	Resends       uint64
+}
+
+// ReplicatedLog is a replicated log handle. It is safe for concurrent
+// use by the goroutines of its single owning client node.
+type ReplicatedLog struct {
+	cfg Config
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	writeSet []string
+	epoch    record.Epoch
+	nextLSN  record.LSN
+	// outstanding holds every record not yet acknowledged by all
+	// write-set servers, in LSN order. Its length never exceeds Delta.
+	outstanding []record.Record
+	holders     *holders
+	readCache   map[record.LSN]record.Record
+	truncated   record.LSN // records below were discarded via TruncatePrefix
+	stats       Stats
+	closed      bool
+
+	pumpWG sync.WaitGroup
+}
+
+// Open dials the log servers, runs the client initialization and
+// crash-recovery procedure of Section 3.1.2, and returns a usable log.
+func Open(cfg Config) (*ReplicatedLog, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	if cfg.ConnID == 0 {
+		cfg.ConnID = uint64(time.Now().UnixNano())<<8 | (connIDCounter.Add(1) & 0xFF)
+	}
+	l := &ReplicatedLog{
+		cfg:       cfg,
+		sessions:  make(map[string]*session),
+		readCache: make(map[record.LSN]record.Record),
+	}
+	l.pumpWG.Add(1)
+	go l.pump()
+
+	if err := l.initialize(); err != nil {
+		l.Close()
+		return nil, err
+	}
+	return l, nil
+}
+
+// pump is the receive loop: it demultiplexes packets to sessions.
+func (l *ReplicatedLog) pump() {
+	defer l.pumpWG.Done()
+	for {
+		raw, err := l.cfg.Endpoint.Recv(0)
+		if err != nil {
+			return
+		}
+		pkt, err := wire.Decode(raw.Data)
+		if err != nil {
+			continue // corrupt: end-to-end check drops it
+		}
+		l.mu.Lock()
+		sess := l.sessions[raw.From]
+		l.mu.Unlock()
+		if sess != nil {
+			sess.deliver(pkt)
+		}
+	}
+}
+
+// dial returns the session for addr, creating and handshaking it if
+// needed. A session that was reset is re-dialed with a fresh
+// incarnation.
+func (l *ReplicatedLog) dial(addr string) (*session, error) {
+	l.mu.Lock()
+	sess := l.sessions[addr]
+	if sess != nil {
+		sess.mu.Lock()
+		dead := sess.reset || sess.closed
+		sess.mu.Unlock()
+		if !dead {
+			l.mu.Unlock()
+			return sess, nil
+		}
+		delete(l.sessions, addr)
+	}
+	connID := l.cfg.ConnID + connIDCounter.Add(1)
+	sess = newSession(l.cfg.Endpoint, addr, l.cfg.ClientID, connID,
+		l.cfg.Window, l.cfg.OverAllocPause, l.cfg.CallTimeout, l.cfg.Retries)
+	if flipper, ok := l.cfg.Endpoint.(interface{ Flip() }); ok {
+		sess.onRetry = flipper.Flip
+	}
+	l.sessions[addr] = sess
+	l.mu.Unlock()
+
+	if err := sess.handshake(); err != nil {
+		l.mu.Lock()
+		if l.sessions[addr] == sess {
+			delete(l.sessions, addr)
+		}
+		l.mu.Unlock()
+		sess.close()
+		return nil, err
+	}
+	return sess, nil
+}
+
+// initialize runs the Section 3.1.2 client initialization.
+func (l *ReplicatedLog) initialize() error {
+	// 1. Gather interval lists from at least M-N+1 servers.
+	need := len(l.cfg.Servers) - l.cfg.N + 1
+	lists := make(map[string][]record.Interval)
+	var live []*session
+	for _, addr := range l.cfg.Servers {
+		sess, err := l.dial(addr)
+		if err != nil {
+			continue
+		}
+		resp, err := sess.call(wire.TIntervalListReq, (&wire.IntervalListPayload{}).Encode())
+		if err != nil {
+			continue
+		}
+		p, err := wire.DecodeIntervalListPayload(resp.Payload)
+		if err != nil {
+			continue
+		}
+		lists[addr] = p.Intervals
+		live = append(live, sess)
+	}
+	if len(lists) < need {
+		return fmt.Errorf("%w: have %d, need %d", ErrInitQuorum, len(lists), need)
+	}
+	merged := record.Merge(lists)
+
+	// 2. Obtain a new epoch number, higher than any used before.
+	reps := l.cfg.EpochReps
+	if reps == nil {
+		for _, addr := range l.cfg.Servers {
+			reps = append(reps, &remoteRep{log: l, addr: addr})
+		}
+	}
+	gen, err := idgen.New(reps...)
+	if err != nil {
+		return err
+	}
+	epoch, err := gen.NewID()
+	if err != nil {
+		return fmt.Errorf("core: obtaining new epoch: %w", err)
+	}
+
+	l.mu.Lock()
+	l.holders = newHolders(merged)
+	l.epoch = record.Epoch(epoch)
+	l.mu.Unlock()
+
+	// 3. Choose the write set: N live servers, starting at an offset
+	// derived from the client identity so that a population of clients
+	// spreads its load across the M servers (the simple decentralized
+	// assignment Section 5.4 anticipates).
+	if len(live) < l.cfg.N {
+		return fmt.Errorf("%w: only %d servers reachable, need N=%d", ErrUnavailable, len(live), l.cfg.N)
+	}
+	writeSet := make([]string, 0, l.cfg.N)
+	offset := int(l.cfg.ClientID) % len(live)
+	for i := 0; i < l.cfg.N; i++ {
+		writeSet = append(writeSet, live[(offset+i)%len(live)].addr)
+	}
+
+	// 4. Crash recovery: the most recent δ records are doubtful (the
+	// previous incarnation may have partially written any of them).
+	// Copy each under the new epoch — substituting a not-present marker
+	// for positions never completed — then write δ not-present records
+	// above the old end of log, and install everything atomically.
+	high := merged.High()
+	delta := record.LSN(l.cfg.Delta)
+	copyLow := record.LSN(1)
+	if high > delta {
+		copyLow = high - delta + 1
+	}
+	var staged []record.Record
+	for lsn := copyLow; lsn <= high; lsn++ {
+		if merged.Covered(lsn) {
+			rec, err := l.fetchRecord(lsn, merged.Servers(lsn), merged.EpochAt(lsn))
+			if err != nil {
+				return fmt.Errorf("core: recovery read of LSN %d: %w", lsn, err)
+			}
+			rec.Epoch = l.epoch
+			staged = append(staged, rec)
+		} else {
+			staged = append(staged, record.Record{LSN: lsn, Epoch: l.epoch, Present: false})
+		}
+	}
+	for lsn := high + 1; lsn <= high+delta; lsn++ {
+		staged = append(staged, record.Record{LSN: lsn, Epoch: l.epoch, Present: false})
+	}
+
+	for _, addr := range writeSet {
+		sess, err := l.dial(addr)
+		if err != nil {
+			return fmt.Errorf("core: recovery dial %s: %w", addr, err)
+		}
+		if err := l.sendCopies(sess, staged); err != nil {
+			return fmt.Errorf("core: CopyLog to %s: %w", addr, err)
+		}
+		installPayload := (&wire.InstallPayload{Epoch: l.epoch}).Encode()
+		if _, err := sess.call(wire.TInstallCopiesReq, installPayload); err != nil {
+			return fmt.Errorf("core: InstallCopies on %s: %w", addr, err)
+		}
+	}
+
+	l.mu.Lock()
+	l.writeSet = writeSet
+	if len(staged) > 0 {
+		l.holders.add(l.epoch, staged[0].LSN, staged[len(staged)-1].LSN, writeSet)
+	}
+	l.nextLSN = high + delta + 1
+	l.mu.Unlock()
+	return nil
+}
+
+// sendCopies streams staged recovery records to one server in packet-
+// sized CopyLog calls.
+func (l *ReplicatedLog) sendCopies(sess *session, staged []record.Record) error {
+	for len(staged) > 0 {
+		n := wire.FitRecords(staged)
+		if n == 0 {
+			return fmt.Errorf("core: recovery record too large for a packet")
+		}
+		p := wire.RecordsPayload{Epoch: l.epoch, Records: staged[:n]}
+		if _, err := sess.call(wire.TCopyLogReq, p.Encode()); err != nil {
+			return err
+		}
+		staged = staged[n:]
+	}
+	return nil
+}
+
+// fetchRecord reads one record, trying each holder (and verifying the
+// returned epoch so a stale lower-epoch copy is never accepted).
+func (l *ReplicatedLog) fetchRecord(lsn record.LSN, servers []string, wantEpoch record.Epoch) (record.Record, error) {
+	for _, addr := range servers {
+		sess, err := l.dial(addr)
+		if err != nil {
+			continue
+		}
+		req := wire.LSNPayload{LSN: lsn}
+		resp, err := sess.call(wire.TReadForwardReq, req.Encode())
+		if err != nil {
+			continue
+		}
+		p, err := wire.DecodeRecordsPayload(resp.Payload)
+		if err != nil || len(p.Records) == 0 {
+			continue
+		}
+		for _, rec := range p.Records {
+			if rec.LSN == lsn && rec.Epoch >= wantEpoch {
+				return rec, nil
+			}
+		}
+	}
+	return record.Record{}, fmt.Errorf("%w: LSN %d on %v", ErrUnavailable, lsn, servers)
+}
+
+// Epoch returns the epoch number of this client incarnation.
+func (l *ReplicatedLog) Epoch() record.Epoch {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.epoch
+}
+
+// EndOfLog returns the LSN of the most recently written log record
+// (Section 3.1). Not-present markers written by recovery count as
+// records; readers skip them via ErrNotPresent.
+func (l *ReplicatedLog) EndOfLog() record.LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextLSN - 1
+}
+
+// WriteSet returns the addresses currently receiving this log's
+// records.
+func (l *ReplicatedLog) WriteSet() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]string, len(l.writeSet))
+	copy(out, l.writeSet)
+	return out
+}
+
+// Stats returns a snapshot of client counters.
+func (l *ReplicatedLog) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+// WriteLog appends a record to the replicated log and returns its LSN.
+// The record is buffered — grouped with its neighbours into a single
+// network message — and becomes stable on the next Force (or when the
+// group is implicitly forced because δ records are outstanding).
+func (l *ReplicatedLog) WriteLog(data []byte) (record.LSN, error) {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return 0, ErrClosed
+	}
+	if len(l.outstanding) >= l.cfg.Delta {
+		l.mu.Unlock()
+		if err := l.Force(); err != nil {
+			return 0, err
+		}
+		l.mu.Lock()
+	}
+	lsn := l.nextLSN
+	l.nextLSN++
+	rec := record.Record{LSN: lsn, Epoch: l.epoch, Present: true, Data: append([]byte(nil), data...)}
+	l.outstanding = append(l.outstanding, rec)
+	l.stats.Writes++
+	var flushErr error
+	if l.cfg.FlushBatch > 0 && len(l.outstanding) >= l.cfg.FlushBatch {
+		flushErr = l.flushLocked(false)
+	}
+	l.mu.Unlock()
+	return lsn, flushErr
+}
+
+// ForceLog appends a record and forces the log through it, returning
+// when the record is stable on N servers (the paper's forced write).
+func (l *ReplicatedLog) ForceLog(data []byte) (record.LSN, error) {
+	lsn, err := l.WriteLog(data)
+	if err != nil {
+		return 0, err
+	}
+	return lsn, l.Force()
+}
+
+// flushLocked streams outstanding records not yet sent to each write-
+// set server as asynchronous WriteLog messages. Caller holds l.mu.
+func (l *ReplicatedLog) flushLocked(force bool) error {
+	for _, addr := range l.writeSet {
+		sess := l.sessions[addr]
+		if sess == nil {
+			continue
+		}
+		if err := l.sendStreamLocked(sess, force); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sendStreamLocked sends the records beyond sess.sentHigh. When force
+// is set, the final message is a ForceLog (requesting a NewHighLSN
+// acknowledgment); when additionally nothing new remains to send, the
+// last outstanding record is resent as a ForceLog to solicit the ack.
+func (l *ReplicatedLog) sendStreamLocked(sess *session, force bool) error {
+	sess.mu.Lock()
+	sentHigh := sess.sentHigh
+	sess.mu.Unlock()
+
+	var toSend []record.Record
+	for _, rec := range l.outstanding {
+		if rec.LSN > sentHigh {
+			toSend = append(toSend, rec)
+		}
+	}
+	if len(toSend) == 0 {
+		if !force || len(l.outstanding) == 0 {
+			return nil
+		}
+		toSend = l.outstanding[len(l.outstanding)-1:]
+	}
+	for len(toSend) > 0 {
+		n := wire.FitRecords(toSend)
+		if n == 0 {
+			return fmt.Errorf("core: record %d too large for a packet", toSend[0].LSN)
+		}
+		batch := toSend[:n]
+		toSend = toSend[n:]
+		t := wire.TWriteLog
+		if force && len(toSend) == 0 {
+			t = wire.TForceLog
+		}
+		p := wire.RecordsPayload{Epoch: l.epoch, Records: batch}
+		if _, err := sess.peer.Send(t, 0, p.Encode()); err != nil {
+			return err
+		}
+		last := batch[len(batch)-1].LSN
+		sess.mu.Lock()
+		if last > sess.sentHigh {
+			sess.sentHigh = last
+		}
+		sess.mu.Unlock()
+	}
+	return nil
+}
+
+// Force makes every record written so far stable on N log servers. It
+// retries lost messages, services MissingInterval NACKs, and fails
+// over to spare servers when a write-set member stops responding.
+func (l *ReplicatedLog) Force() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	if len(l.outstanding) == 0 {
+		l.mu.Unlock()
+		return nil
+	}
+	target := l.outstanding[len(l.outstanding)-1].LSN
+	if err := l.flushLocked(true); err != nil {
+		l.mu.Unlock()
+		return err
+	}
+	writeSet := append([]string(nil), l.writeSet...)
+	l.stats.Forces++
+	l.mu.Unlock()
+
+	for _, addr := range writeSet {
+		if err := l.awaitServer(addr, target); err != nil {
+			return err
+		}
+	}
+
+	// All N acknowledged: the interval is durable; record its holders
+	// and release the buffer.
+	l.mu.Lock()
+	if len(l.outstanding) > 0 {
+		first := l.outstanding[0].LSN
+		if first <= target {
+			l.holders.add(l.epoch, first, target, l.writeSet)
+		}
+		keep := l.outstanding[:0]
+		for _, rec := range l.outstanding {
+			if rec.LSN > target {
+				keep = append(keep, rec)
+			}
+		}
+		l.outstanding = keep
+	}
+	l.mu.Unlock()
+	return nil
+}
+
+// awaitServer waits until the given server acknowledges target,
+// retransmitting on NACK or timeout, and ultimately failing over.
+func (l *ReplicatedLog) awaitServer(addr string, target record.LSN) error {
+	for attempt := 0; attempt <= l.cfg.Retries; attempt++ {
+		l.mu.Lock()
+		sess := l.sessions[addr]
+		l.mu.Unlock()
+		if sess == nil {
+			break
+		}
+		acked, nacked, err := sess.waitAck(target, time.Now().Add(l.cfg.CallTimeout))
+		if acked {
+			return nil
+		}
+		if err != nil {
+			break // reset or closed: fail over
+		}
+		if nacked {
+			if err := l.serviceMissing(sess); err != nil {
+				break
+			}
+			attempt-- // a NACK is progress, not a timeout
+			continue
+		}
+		// Timeout: retransmit the stream with a trailing ForceLog; a
+		// dual-network endpoint fails over to its second network first.
+		if sess.onRetry != nil {
+			sess.onRetry()
+		}
+		l.mu.Lock()
+		l.stats.Resends++
+		sess.mu.Lock()
+		sess.sentHigh = 0 // resend everything outstanding
+		sess.mu.Unlock()
+		err = l.sendStreamLocked(sess, true)
+		l.mu.Unlock()
+		if err != nil {
+			break
+		}
+	}
+	return l.failover(addr, target)
+}
+
+// serviceMissing answers a server's MissingInterval NACKs by resending
+// from the lowest missing LSN (the records are still in the
+// outstanding buffer — that is what δ guarantees) or, if the missing
+// records were already released, starting a new interval.
+func (l *ReplicatedLog) serviceMissing(sess *session) error {
+	nacks := sess.takeMissing()
+	if len(nacks) == 0 {
+		return nil
+	}
+	low := nacks[0].Low
+	for _, n := range nacks[1:] {
+		if n.Low < low {
+			low = n.Low
+		}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.stats.Resends++
+	if len(l.outstanding) == 0 || low < l.outstanding[0].LSN {
+		// The missing records were acknowledged by the full write set
+		// and released (this server wasn't in it, or lost state): tell
+		// it to start a new interval at our next record.
+		start := l.nextLSN
+		if len(l.outstanding) > 0 {
+			start = l.outstanding[0].LSN
+		}
+		ni := wire.NewIntervalPayload{Epoch: l.epoch, StartingLSN: start}
+		if _, err := sess.peer.Send(wire.TNewInterval, 0, ni.Encode()); err != nil {
+			return err
+		}
+		sess.mu.Lock()
+		sess.sentHigh = start - 1
+		sess.mu.Unlock()
+	} else {
+		sess.mu.Lock()
+		sess.sentHigh = low - 1
+		sess.mu.Unlock()
+	}
+	return l.sendStreamLocked(sess, true)
+}
+
+// failover replaces a failed write-set server with a spare, replaying
+// the outstanding records to it ("a client can switch servers when
+// necessary").
+func (l *ReplicatedLog) failover(failed string, target record.LSN) error {
+	l.mu.Lock()
+	inSet := false
+	for _, a := range l.writeSet {
+		if a == failed {
+			inSet = true
+		}
+	}
+	if !inSet {
+		l.mu.Unlock()
+		return nil // already replaced by a concurrent force
+	}
+	var candidates []string
+	for _, addr := range l.cfg.Servers {
+		used := false
+		for _, w := range l.writeSet {
+			if w == addr {
+				used = true
+			}
+		}
+		if !used {
+			candidates = append(candidates, addr)
+		}
+	}
+	// The failed server itself is the last resort: it may simply have
+	// restarted (its store is intact) and a fresh handshake revives it.
+	candidates = append(candidates, failed)
+	l.mu.Unlock()
+
+	for _, addr := range candidates {
+		sess, err := l.dial(addr)
+		if err != nil {
+			continue
+		}
+		l.mu.Lock()
+		// Tell the replacement where the stream resumes, then replay
+		// every outstanding record.
+		start := l.nextLSN
+		if len(l.outstanding) > 0 {
+			start = l.outstanding[0].LSN
+		}
+		ni := wire.NewIntervalPayload{Epoch: l.epoch, StartingLSN: start}
+		if _, err := sess.peer.Send(wire.TNewInterval, 0, ni.Encode()); err != nil {
+			l.mu.Unlock()
+			continue
+		}
+		sess.mu.Lock()
+		sess.sentHigh = start - 1
+		sess.mu.Unlock()
+		if err := l.sendStreamLocked(sess, true); err != nil {
+			l.mu.Unlock()
+			continue
+		}
+		l.mu.Unlock()
+
+		acked, _, _ := sess.waitAck(target, time.Now().Add(l.cfg.CallTimeout))
+		if !acked && target > 0 {
+			// Give the spare one full retry round before moving on.
+			acked, _, _ = sess.waitAck(target, time.Now().Add(l.cfg.CallTimeout))
+		}
+		if !acked && len(l.outstandingSnapshot()) > 0 {
+			continue
+		}
+
+		l.mu.Lock()
+		for i, a := range l.writeSet {
+			if a == failed {
+				l.writeSet[i] = addr
+			}
+		}
+		l.stats.Failovers++
+		l.mu.Unlock()
+		return nil
+	}
+	return fmt.Errorf("%w: no spare server could take over from %s", ErrUnavailable, failed)
+}
+
+func (l *ReplicatedLog) outstandingSnapshot() []record.Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]record.Record(nil), l.outstanding...)
+}
+
+// TruncatePrefix implements the Section 5.3 space-management function:
+// after the client's recovery manager has checkpointed (or dumped), it
+// declares records below before unnecessary and the log servers
+// discard them. The point is clamped so the δ-record crash-recovery
+// tail and all outstanding records are always retained. Truncation is
+// best-effort per server; a server that misses it merely keeps extra
+// data.
+func (l *ReplicatedLog) TruncatePrefix(before record.LSN) error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	limit := l.nextLSN - record.LSN(l.cfg.Delta)
+	if len(l.outstanding) > 0 && l.outstanding[0].LSN < limit {
+		limit = l.outstanding[0].LSN
+	}
+	if before > limit {
+		before = limit
+	}
+	if before <= l.truncated || before <= 1 {
+		l.mu.Unlock()
+		return nil
+	}
+	l.truncated = before
+	for lsn := range l.readCache {
+		if lsn < before {
+			delete(l.readCache, lsn)
+		}
+	}
+	servers := append([]string(nil), l.cfg.Servers...)
+	l.mu.Unlock()
+
+	payload := (&wire.LSNPayload{LSN: before}).Encode()
+	ok := 0
+	var firstErr error
+	for _, addr := range servers {
+		sess, err := l.dial(addr)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if _, err := sess.call(wire.TTruncateReq, payload); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		ok++
+	}
+	if ok == 0 {
+		return fmt.Errorf("%w: truncate reached no server: %v", ErrUnavailable, firstErr)
+	}
+	return nil
+}
+
+// Truncated returns the lowest LSN still readable (0 when nothing was
+// truncated).
+func (l *ReplicatedLog) Truncated() record.LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.truncated
+}
+
+// ReadRecord returns the full record (including the present flag) for
+// lsn. Most callers want ReadLog; the recovery manager uses ReadRecord
+// to skip not-present markers during scans.
+func (l *ReplicatedLog) ReadRecord(lsn record.LSN) (record.Record, error) {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return record.Record{}, ErrClosed
+	}
+	if lsn == 0 || lsn >= l.nextLSN {
+		l.mu.Unlock()
+		return record.Record{}, fmt.Errorf("%w: %d (end of log %d)", ErrBeyondEnd, lsn, l.nextLSN-1)
+	}
+	if lsn < l.truncated {
+		// Discarded by space management: report not-present, the same
+		// answer any future incarnation will compute from the clipped
+		// interval lists.
+		l.mu.Unlock()
+		return record.Record{LSN: lsn, Present: false}, nil
+	}
+	// Unacknowledged records are served locally.
+	for _, rec := range l.outstanding {
+		if rec.LSN == lsn {
+			l.mu.Unlock()
+			return rec.Clone(), nil
+		}
+	}
+	if rec, ok := l.readCache[lsn]; ok {
+		l.stats.ReadCacheHits++
+		l.stats.Reads++
+		l.mu.Unlock()
+		return rec.Clone(), nil
+	}
+	servers := l.holders.serversFor(lsn)
+	wantEpoch := l.holders.epochFor(lsn)
+	l.stats.Reads++
+	covered := l.holders.covered(lsn)
+	l.mu.Unlock()
+
+	if !covered {
+		// Within the log's range but on no server: a position that was
+		// never completed and not re-written by recovery (cannot happen
+		// below the δ window); report it as a not-present record so
+		// scans can skip it uniformly.
+		return record.Record{LSN: lsn, Present: false}, nil
+	}
+	rec, err := l.fetchRecord(lsn, servers, wantEpoch)
+	if err != nil {
+		return record.Record{}, err
+	}
+	l.mu.Lock()
+	l.cacheRecord(rec)
+	l.mu.Unlock()
+	return rec, nil
+}
+
+func (l *ReplicatedLog) cacheRecord(rec record.Record) {
+	if len(l.readCache) > 4096 {
+		l.readCache = make(map[record.LSN]record.Record)
+	}
+	l.readCache[rec.LSN] = rec
+}
+
+// ReadRecordsBackward returns a batch of records with descending LSNs
+// starting at from, fetched with a single ReadLogBackward call to one
+// holder (Section 4.2: read replies pack as many consecutive records
+// as fit one packet). The batch ends where the serving holder's
+// records end or where a stale copy would have been returned; callers
+// scanning further continue from the last LSN minus one. The batch
+// always contains the record at from on success.
+func (l *ReplicatedLog) ReadRecordsBackward(from record.LSN) ([]record.Record, error) {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if from == 0 || from >= l.nextLSN {
+		l.mu.Unlock()
+		return nil, fmt.Errorf("%w: %d (end of log %d)", ErrBeyondEnd, from, l.nextLSN-1)
+	}
+	if from < l.truncated {
+		l.mu.Unlock()
+		return []record.Record{{LSN: from, Present: false}}, nil
+	}
+	// Outstanding (unacknowledged) records are local; serve the head
+	// record directly rather than mixing buffered and remote batches.
+	for _, rec := range l.outstanding {
+		if rec.LSN == from {
+			l.mu.Unlock()
+			return []record.Record{rec.Clone()}, nil
+		}
+	}
+	servers := l.holders.serversFor(from)
+	covered := l.holders.covered(from)
+	l.mu.Unlock()
+
+	if !covered {
+		return []record.Record{{LSN: from, Present: false}}, nil
+	}
+	req := (&wire.LSNPayload{LSN: from}).Encode()
+	var firstErr error
+	for _, addr := range servers {
+		sess, err := l.dial(addr)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		resp, err := sess.call(wire.TReadBackwardReq, req)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		p, err := wire.DecodeRecordsPayload(resp.Payload)
+		if err != nil || len(p.Records) == 0 || p.Records[0].LSN != from {
+			continue
+		}
+		// Keep the descending prefix whose epochs match the client's
+		// view; a stale lower-epoch copy ends the batch.
+		l.mu.Lock()
+		var out []record.Record
+		next := from
+		for _, rec := range p.Records {
+			if rec.LSN != next || rec.LSN < l.truncated || rec.Epoch < l.holders.epochFor(rec.LSN) {
+				break
+			}
+			out = append(out, rec)
+			l.cacheRecord(rec)
+			next = rec.LSN - 1
+		}
+		l.stats.Reads += uint64(len(out))
+		l.mu.Unlock()
+		if len(out) > 0 {
+			return out, nil
+		}
+	}
+	if firstErr == nil {
+		firstErr = fmt.Errorf("%w: LSN %d on %v", ErrUnavailable, from, servers)
+	}
+	return nil, firstErr
+}
+
+// ReadLog returns the data of the record with the given LSN (Section
+// 3.1). It signals ErrBeyondEnd past the end of the log and
+// ErrNotPresent for records superseded by recovery.
+func (l *ReplicatedLog) ReadLog(lsn record.LSN) ([]byte, error) {
+	rec, err := l.ReadRecord(lsn)
+	if err != nil {
+		return nil, err
+	}
+	if !rec.Present {
+		return nil, fmt.Errorf("%w: LSN %d", ErrNotPresent, lsn)
+	}
+	return rec.Data, nil
+}
+
+// Close releases the client's network resources. Buffered records that
+// were never forced are not stable and are discarded — exactly the
+// contract a crash would impose.
+func (l *ReplicatedLog) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	sessions := make([]*session, 0, len(l.sessions))
+	for _, s := range l.sessions {
+		sessions = append(sessions, s)
+	}
+	l.mu.Unlock()
+	for _, s := range sessions {
+		s.close()
+	}
+	l.cfg.Endpoint.Close()
+	l.pumpWG.Wait()
+	return nil
+}
+
+// remoteRep adapts a log server's hosted epoch representative to the
+// idgen.Representative interface.
+type remoteRep struct {
+	log  *ReplicatedLog
+	addr string
+}
+
+// ReadState implements idgen.Representative.
+func (r *remoteRep) ReadState() (uint64, error) {
+	sess, err := r.log.dial(r.addr)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := sess.call(wire.TEpochReadReq, (&wire.EpochValuePayload{}).Encode())
+	if err != nil {
+		return 0, err
+	}
+	p, err := wire.DecodeEpochValuePayload(resp.Payload)
+	if err != nil {
+		return 0, err
+	}
+	return p.Value, nil
+}
+
+// WriteState implements idgen.Representative.
+func (r *remoteRep) WriteState(v uint64) error {
+	sess, err := r.log.dial(r.addr)
+	if err != nil {
+		return err
+	}
+	_, err = sess.call(wire.TEpochWriteReq, (&wire.EpochValuePayload{Value: v}).Encode())
+	return err
+}

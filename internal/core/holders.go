@@ -1,0 +1,77 @@
+package core
+
+import "distlog/internal/record"
+
+// holders tracks which servers store each log record: the merged
+// interval lists gathered at initialization, overlaid by the intervals
+// written (and fully acknowledged) during this epoch. This cache is
+// what lets every ReadLog be served by a single ServerReadLog call
+// (Section 3.1.2: the voting for all reads happens once, at client
+// initialization).
+type holders struct {
+	merged *record.MergedList
+	live   []liveEntry
+}
+
+type liveEntry struct {
+	iv      record.Interval
+	servers []string
+}
+
+func newHolders(merged *record.MergedList) *holders {
+	return &holders{merged: merged}
+}
+
+// add records that servers now hold [low, high] at the given epoch.
+func (h *holders) add(epoch record.Epoch, low, high record.LSN, servers []string) {
+	if n := len(h.live); n > 0 {
+		last := &h.live[n-1]
+		if last.iv.Epoch == epoch && last.iv.High+1 == low && equalStrings(last.servers, servers) {
+			last.iv.High = high
+			return
+		}
+	}
+	cp := make([]string, len(servers))
+	copy(cp, servers)
+	h.live = append(h.live, liveEntry{iv: record.Interval{Epoch: epoch, Low: low, High: high}, servers: cp})
+}
+
+// serversFor returns the servers known to hold the winning copy of
+// lsn. Live entries are searched newest-first (they carry the highest
+// epochs), then the merged initialization view.
+func (h *holders) serversFor(lsn record.LSN) []string {
+	for i := len(h.live) - 1; i >= 0; i-- {
+		if h.live[i].iv.Contains(lsn) {
+			return h.live[i].servers
+		}
+	}
+	return h.merged.Servers(lsn)
+}
+
+// epochFor returns the epoch of the winning copy of lsn, or 0 when the
+// record is unknown.
+func (h *holders) epochFor(lsn record.LSN) record.Epoch {
+	for i := len(h.live) - 1; i >= 0; i-- {
+		if h.live[i].iv.Contains(lsn) {
+			return h.live[i].iv.Epoch
+		}
+	}
+	return h.merged.EpochAt(lsn)
+}
+
+// covered reports whether any server is known to hold lsn.
+func (h *holders) covered(lsn record.LSN) bool {
+	return h.epochFor(lsn) != 0
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

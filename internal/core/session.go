@@ -1,0 +1,275 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"distlog/internal/record"
+	"distlog/internal/transport"
+	"distlog/internal/wire"
+)
+
+// Session errors.
+var (
+	// ErrCallTimeout is returned when a synchronous call exhausts its
+	// retries without a response.
+	ErrCallTimeout = errors.New("core: call timed out")
+	// ErrSessionClosed is returned after the session is shut down.
+	ErrSessionClosed = errors.New("core: session closed")
+	// ErrServerReset is returned when the server answered with Rst (it
+	// lost the connection state); the caller should re-dial.
+	ErrServerReset = errors.New("core: server reset the connection")
+)
+
+// RemoteError is a server-reported call failure (TErrResp).
+type RemoteError struct {
+	Code    uint16
+	Message string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("core: server error %d: %s", e.Code, e.Message)
+}
+
+// IsNotStored reports whether err is the server's "record not stored"
+// answer.
+func IsNotStored(err error) bool {
+	var re *RemoteError
+	return errors.As(err, &re) && re.Code == wire.CodeNotStored
+}
+
+// session is the client's connection to one log server: handshake,
+// synchronous calls with retry, asynchronous write streaming, and the
+// acknowledgment state fed by the receive pump.
+type session struct {
+	addr string
+	peer *wire.Peer
+
+	callTimeout time.Duration
+	retries     int
+
+	// onRetry, when set, runs before each retransmission after a
+	// timeout — the hook a dual-network endpoint uses to fail over to
+	// its second network (Section 2's two-LAN arrangement).
+	onRetry func()
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	ackedHigh record.LSN // highest NewHighLSN received
+	sentHigh  record.LSN // highest LSN sent in this connection's stream
+	pending   map[uint64]chan *wire.Packet
+	missing   []wire.IntervalPayload // MissingInterval NACKs awaiting service
+	reset     bool                   // server sent Rst: connection is dead
+	closed    bool
+}
+
+func newSession(ep transport.Endpoint, addr string, clientID record.ClientID, connID uint64, window uint64, pause, callTimeout time.Duration, retries int) *session {
+	s := &session{
+		addr:        addr,
+		peer:        wire.NewPeer(ep, addr, clientID, connID, window, pause),
+		callTimeout: callTimeout,
+		retries:     retries,
+		pending:     make(map[uint64]chan *wire.Packet),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// handshake performs the client side of the three-way handshake: send
+// Syn, await SynAck (via the receive pump), send Ack.
+func (s *session) handshake() error {
+	for attempt := 0; attempt <= s.retries; attempt++ {
+		ch := make(chan *wire.Packet, 1)
+		seq, err := s.peer.Send(wire.TSyn, 0, nil)
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		s.pending[seq] = ch
+		s.mu.Unlock()
+
+		timer := time.NewTimer(s.callTimeout)
+		select {
+		case pkt, ok := <-ch:
+			timer.Stop()
+			if ok && pkt.Type == wire.TSynAck {
+				s.peer.SetEstablished()
+				s.peer.Send(wire.TAck, pkt.Seq, nil)
+				return nil
+			}
+		case <-timer.C:
+			s.mu.Lock()
+			delete(s.pending, seq)
+			s.mu.Unlock()
+			if s.onRetry != nil {
+				s.onRetry()
+			}
+		}
+	}
+	return fmt.Errorf("%w: handshake with %s", ErrCallTimeout, s.addr)
+}
+
+// deliver routes one packet from the receive pump into the session.
+func (s *session) deliver(pkt *wire.Packet) {
+	if pkt.Type == wire.TRst {
+		s.mu.Lock()
+		s.reset = true
+		for seq, ch := range s.pending {
+			close(ch)
+			delete(s.pending, seq)
+		}
+		s.cond.Broadcast()
+		s.mu.Unlock()
+		return
+	}
+	if !s.peer.Observe(pkt) {
+		return
+	}
+	switch {
+	case pkt.Type == wire.TSynAck || pkt.RespTo != 0:
+		s.mu.Lock()
+		ch, ok := s.pending[pkt.RespTo]
+		if ok {
+			delete(s.pending, pkt.RespTo)
+		}
+		s.mu.Unlock()
+		if ok {
+			ch <- pkt
+		}
+	case pkt.Type == wire.TNewHighLSN:
+		p, err := wire.DecodeLSNPayload(pkt.Payload)
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if record.LSN(p.LSN) > s.ackedHigh {
+			s.ackedHigh = record.LSN(p.LSN)
+		}
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	case pkt.Type == wire.TMissingInterval:
+		p, err := wire.DecodeIntervalPayload(pkt.Payload)
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		s.missing = append(s.missing, *p)
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}
+}
+
+// call performs one synchronous RPC with retries. Operations are
+// idempotent, so retrying after a lost request or reply is safe.
+func (s *session) call(t wire.Type, payload []byte) (*wire.Packet, error) {
+	for attempt := 0; attempt <= s.retries; attempt++ {
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return nil, ErrSessionClosed
+		}
+		if s.reset {
+			s.mu.Unlock()
+			return nil, ErrServerReset
+		}
+		s.mu.Unlock()
+
+		seq, err := s.peer.Send(t, 0, payload)
+		if err != nil {
+			return nil, err
+		}
+		ch := make(chan *wire.Packet, 1)
+		s.mu.Lock()
+		s.pending[seq] = ch
+		s.mu.Unlock()
+
+		timer := time.NewTimer(s.callTimeout)
+		select {
+		case pkt, ok := <-ch:
+			timer.Stop()
+			if !ok {
+				// Channel closed by Rst or session shutdown.
+				s.mu.Lock()
+				reset := s.reset
+				s.mu.Unlock()
+				if reset {
+					return nil, ErrServerReset
+				}
+				return nil, ErrSessionClosed
+			}
+			if pkt.Type == wire.TErrResp {
+				ep, err := wire.DecodeErrPayload(pkt.Payload)
+				if err != nil {
+					return nil, err
+				}
+				return nil, &RemoteError{Code: ep.Code, Message: ep.Message}
+			}
+			return pkt, nil
+		case <-timer.C:
+			s.mu.Lock()
+			delete(s.pending, seq)
+			s.mu.Unlock()
+			// Lost request or reply: retry (operations are idempotent);
+			// a dual-network endpoint fails over first.
+			if s.onRetry != nil {
+				s.onRetry()
+			}
+		}
+	}
+	return nil, fmt.Errorf("%w: %s to %s", ErrCallTimeout, t, s.addr)
+}
+
+// takeMissing removes and returns any queued MissingInterval NACKs.
+func (s *session) takeMissing() []wire.IntervalPayload {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := s.missing
+	s.missing = nil
+	return m
+}
+
+// waitAck blocks until the server has acknowledged lsn, the deadline
+// passes, a MissingInterval arrives (the caller must service it), or
+// the session dies.
+func (s *session) waitAck(lsn record.LSN, deadline time.Time) (acked bool, nacked bool, err error) {
+	timer := time.AfterFunc(time.Until(deadline), func() {
+		s.mu.Lock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	})
+	defer timer.Stop()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		switch {
+		case s.ackedHigh >= lsn:
+			return true, false, nil
+		case len(s.missing) > 0:
+			return false, true, nil
+		case s.closed:
+			return false, false, ErrSessionClosed
+		case s.reset:
+			return false, false, ErrServerReset
+		case !time.Now().Before(deadline):
+			return false, false, nil
+		}
+		s.cond.Wait()
+	}
+}
+
+// close shuts the session down locally.
+func (s *session) close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	for seq, ch := range s.pending {
+		close(ch)
+		delete(s.pending, seq)
+	}
+	s.cond.Broadcast()
+}

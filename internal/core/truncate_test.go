@@ -1,0 +1,147 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"distlog/internal/record"
+)
+
+func TestTruncatePrefix(t *testing.T) {
+	c := newCluster(t, "s1", "s2", "s3")
+	l := mustOpen(t, c, 1, 2, func(cfg *Config) { cfg.Delta = 2 })
+	defer l.Close()
+
+	var lsns []record.LSN
+	for i := 0; i < 30; i++ {
+		lsn, err := l.WriteLog([]byte(fmt.Sprintf("r%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lsns = append(lsns, lsn)
+	}
+	if err := l.Force(); err != nil {
+		t.Fatal(err)
+	}
+	cut := lsns[19] // discard the first 19 records
+	if err := l.TruncatePrefix(cut); err != nil {
+		t.Fatal(err)
+	}
+	if l.Truncated() != cut {
+		t.Fatalf("Truncated = %d, want %d", l.Truncated(), cut)
+	}
+	// Below the cut: consistently not present.
+	for _, lsn := range lsns[:19] {
+		if _, err := l.ReadLog(lsn); !errors.Is(err, ErrNotPresent) {
+			t.Fatalf("ReadLog(%d) = %v, want not present", lsn, err)
+		}
+	}
+	// At and above the cut: still readable.
+	for i, lsn := range lsns[19:] {
+		data, err := l.ReadLog(lsn)
+		if err != nil || string(data) != fmt.Sprintf("r%d", i+19) {
+			t.Fatalf("ReadLog(%d) = %q, %v", lsn, data, err)
+		}
+	}
+	// The server stores really discarded the prefix.
+	for _, name := range l.WriteSet() {
+		ivs := c.stores[name].Intervals(1)
+		if len(ivs) == 0 || ivs[0].Low < cut {
+			t.Fatalf("%s intervals not clipped: %v", name, ivs)
+		}
+	}
+}
+
+func TestTruncatePrefixClampsToRecoveryTail(t *testing.T) {
+	c := newCluster(t, "s1", "s2", "s3")
+	l := mustOpen(t, c, 1, 2, func(cfg *Config) { cfg.Delta = 4 })
+	defer l.Close()
+	for i := 0; i < 10; i++ {
+		if _, err := l.WriteLog([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Force(); err != nil {
+		t.Fatal(err)
+	}
+	end := l.EndOfLog()
+	// Asking to truncate everything clamps to EndOfLog - δ so the
+	// crash-recovery tail survives.
+	if err := l.TruncatePrefix(end + 1); err != nil {
+		t.Fatal(err)
+	}
+	want := end - record.LSN(4) + 1 // keep the δ = 4 records [end-δ+1, end]
+	if got := l.Truncated(); got != want {
+		t.Fatalf("Truncated = %d, want clamp at %d", got, want)
+	}
+	for lsn := want; lsn <= end; lsn++ {
+		if _, err := l.ReadLog(lsn); err != nil {
+			t.Fatalf("recovery-tail record %d unreadable: %v", lsn, err)
+		}
+	}
+}
+
+func TestTruncateSurvivesClientRestart(t *testing.T) {
+	c := newCluster(t, "s1", "s2", "s3")
+	l := mustOpen(t, c, 1, 2, func(cfg *Config) { cfg.Delta = 2 })
+	var lsns []record.LSN
+	for i := 0; i < 20; i++ {
+		lsn, err := l.WriteLog([]byte(fmt.Sprintf("v%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lsns = append(lsns, lsn)
+	}
+	if err := l.Force(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.TruncatePrefix(lsns[10]); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	l2 := mustOpen(t, c, 1, 2, func(cfg *Config) { cfg.Delta = 2 })
+	defer l2.Close()
+	// The truncated prefix reads as not present for the new
+	// incarnation (its merged interval lists are clipped).
+	for _, lsn := range lsns[:10] {
+		if _, err := l2.ReadLog(lsn); !errors.Is(err, ErrNotPresent) {
+			t.Fatalf("ReadLog(%d) after restart = %v", lsn, err)
+		}
+	}
+	for i, lsn := range lsns[10:] {
+		data, err := l2.ReadLog(lsn)
+		if err != nil || string(data) != fmt.Sprintf("v%d", i+10) {
+			t.Fatalf("ReadLog(%d) after restart = %q, %v", lsn, data, err)
+		}
+	}
+	// No LSN reuse: new writes continue above the old end.
+	lsn, err := l2.WriteLog([]byte("fresh"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn <= lsns[len(lsns)-1] {
+		t.Fatalf("fresh LSN %d reuses old space (last was %d)", lsn, lsns[len(lsns)-1])
+	}
+}
+
+func TestTruncateWithServerDown(t *testing.T) {
+	c := newCluster(t, "s1", "s2", "s3")
+	l := mustOpen(t, c, 1, 2, func(cfg *Config) { cfg.Delta = 2 })
+	defer l.Close()
+	for i := 0; i < 10; i++ {
+		if _, err := l.WriteLog([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Force(); err != nil {
+		t.Fatal(err)
+	}
+	// One server is down: truncation is best-effort and still succeeds.
+	down := c.names[2]
+	c.stop(down)
+	if err := l.TruncatePrefix(5); err != nil {
+		t.Fatalf("TruncatePrefix with one server down: %v", err)
+	}
+}

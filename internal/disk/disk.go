@@ -1,0 +1,239 @@
+// Package disk models the magnetic logging disks of Section 4.1: a
+// track-oriented device with explicit seek and rotational timing. The
+// log server writes its interleaved log stream to the disk one track
+// at a time (the paper's central design point: with a low-latency
+// non-volatile buffer in front of it, the disk never pays a rotational
+// latency per log force).
+//
+// The model is functional as well as timed: track contents are stored
+// in memory and survive simulated power failures, so recovery code
+// paths can be exercised, while every operation also reports the
+// simulated service time used by the capacity experiments.
+package disk
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Geometry describes a disk. The defaults model the "slow disk with
+// small tracks" of the paper's capacity analysis: a mid-1980s drive
+// turning at 3600 RPM with roughly 15 KB tracks.
+type Geometry struct {
+	Cylinders         int
+	TracksPerCylinder int
+	TrackSize         int // bytes per track
+	RPM               int
+	// Seek timing: a settle cost plus a per-cylinder component, capped
+	// at MaxSeek. A zero-distance seek is free.
+	SeekSettle time.Duration
+	SeekPerCyl time.Duration
+	MaxSeek    time.Duration
+}
+
+// DefaultGeometry returns the slow-disk model used throughout the
+// capacity experiments: 3600 RPM (16.7 ms/revolution), 15 KB tracks,
+// ~900 MB total.
+func DefaultGeometry() Geometry {
+	return Geometry{
+		Cylinders:         1200,
+		TracksPerCylinder: 4,
+		TrackSize:         15 * 1024,
+		RPM:               3600,
+		SeekSettle:        3 * time.Millisecond,
+		SeekPerCyl:        30 * time.Microsecond,
+		MaxSeek:           40 * time.Millisecond,
+	}
+}
+
+// Validate reports whether the geometry is usable.
+func (g Geometry) Validate() error {
+	if g.Cylinders <= 0 || g.TracksPerCylinder <= 0 || g.TrackSize <= 0 || g.RPM <= 0 {
+		return fmt.Errorf("disk: non-positive geometry field: %+v", g)
+	}
+	return nil
+}
+
+// NumTracks returns the total number of tracks.
+func (g Geometry) NumTracks() int { return g.Cylinders * g.TracksPerCylinder }
+
+// Capacity returns total bytes.
+func (g Geometry) Capacity() int64 { return int64(g.NumTracks()) * int64(g.TrackSize) }
+
+// RevolutionTime returns the time for one full platter revolution.
+func (g Geometry) RevolutionTime() time.Duration {
+	return time.Duration(int64(time.Minute) / int64(g.RPM))
+}
+
+// seekTime returns the time to move the arm across dist cylinders.
+func (g Geometry) seekTime(dist int) time.Duration {
+	if dist == 0 {
+		return 0
+	}
+	if dist < 0 {
+		dist = -dist
+	}
+	t := g.SeekSettle + time.Duration(dist)*g.SeekPerCyl
+	if g.MaxSeek > 0 && t > g.MaxSeek {
+		t = g.MaxSeek
+	}
+	return t
+}
+
+// Stats accumulates device activity for utilization reports.
+type Stats struct {
+	TrackWrites  uint64
+	TrackReads   uint64
+	Seeks        uint64
+	BytesWritten uint64
+	BytesRead    uint64
+	BusyTime     time.Duration
+	SeekTime     time.Duration
+	RotationTime time.Duration
+	TransferTime time.Duration
+}
+
+// Errors returned by Disk operations.
+var (
+	ErrTrackRange = errors.New("disk: track number out of range")
+	ErrTrackSize  = errors.New("disk: data exceeds track size")
+	ErrTornWrite  = errors.New("disk: track contains a torn write")
+)
+
+// Disk is a simulated track-oriented disk. It is safe for concurrent
+// use. Contents survive Crash (disks are non-volatile); only the
+// in-flight write at the instant of a crash may be torn when torn
+// writes are enabled.
+type Disk struct {
+	geom Geometry
+
+	mu     sync.Mutex
+	tracks [][]byte
+	torn   []bool
+	curCyl int
+	stats  Stats
+}
+
+// New returns a disk with the given geometry.
+func New(g Geometry) (*Disk, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return &Disk{
+		geom:   g,
+		tracks: make([][]byte, g.NumTracks()),
+		torn:   make([]bool, g.NumTracks()),
+	}, nil
+}
+
+// Geometry returns the disk's geometry.
+func (d *Disk) Geometry() Geometry { return d.geom }
+
+func (d *Disk) cylOf(track int) int { return track / d.geom.TracksPerCylinder }
+
+// WriteTrack replaces the contents of the given track and returns the
+// simulated service time: seek (if the arm moved) + rotational latency
+// to reach the index point + one revolution of transfer. Writing to
+// the track following the previous operation's track on the same
+// cylinder costs no seek, which is why the log stream is laid out
+// sequentially.
+func (d *Disk) WriteTrack(track int, data []byte) (time.Duration, error) {
+	if track < 0 || track >= d.geom.NumTracks() {
+		return 0, fmt.Errorf("%w: %d", ErrTrackRange, track)
+	}
+	if len(data) > d.geom.TrackSize {
+		return 0, fmt.Errorf("%w: %d > %d", ErrTrackSize, len(data), d.geom.TrackSize)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+
+	svc := d.position(track)
+	// A full-track write takes one revolution and needs no additional
+	// rotational positioning: writing starts wherever the head is and
+	// wraps (the whole track is replaced).
+	rev := d.geom.RevolutionTime()
+	svc += rev
+	d.stats.TransferTime += rev
+
+	stored := make([]byte, len(data))
+	copy(stored, data)
+	d.tracks[track] = stored
+	d.torn[track] = false
+	d.stats.TrackWrites++
+	d.stats.BytesWritten += uint64(len(data))
+	d.stats.BusyTime += svc
+	return svc, nil
+}
+
+// ReadTrack returns a copy of the track's contents and the simulated
+// service time: seek + average rotational latency (half a revolution)
+// + one revolution of transfer. Reading a never-written track returns
+// a nil slice; reading a torn track returns ErrTornWrite.
+func (d *Disk) ReadTrack(track int) ([]byte, time.Duration, error) {
+	if track < 0 || track >= d.geom.NumTracks() {
+		return nil, 0, fmt.Errorf("%w: %d", ErrTrackRange, track)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+
+	svc := d.position(track)
+	rev := d.geom.RevolutionTime()
+	svc += rev/2 + rev
+	d.stats.RotationTime += rev / 2
+	d.stats.TransferTime += rev
+
+	d.stats.TrackReads++
+	d.stats.BusyTime += svc
+	if d.torn[track] {
+		return nil, svc, ErrTornWrite
+	}
+	var out []byte
+	if t := d.tracks[track]; t != nil {
+		out = make([]byte, len(t))
+		copy(out, t)
+		d.stats.BytesRead += uint64(len(t))
+	}
+	return out, svc, nil
+}
+
+// position moves the arm to the track's cylinder, accumulating seek
+// statistics, and returns the seek time.
+func (d *Disk) position(track int) time.Duration {
+	cyl := d.cylOf(track)
+	st := d.geom.seekTime(cyl - d.curCyl)
+	if st > 0 {
+		d.stats.Seeks++
+		d.stats.SeekTime += st
+	}
+	d.curCyl = cyl
+	return st
+}
+
+// Crash simulates a power failure. Disk contents are retained. When
+// inFlight >= 0, that track is marked torn to model a write that was
+// under way when power was lost; subsequent reads of it fail until it
+// is rewritten.
+func (d *Disk) Crash(inFlight int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if inFlight >= 0 && inFlight < len(d.torn) {
+		d.torn[inFlight] = true
+	}
+}
+
+// Stats returns a copy of the accumulated statistics.
+func (d *Disk) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// ResetStats zeroes the accumulated statistics (used between benchmark
+// phases).
+func (d *Disk) ResetStats() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stats = Stats{}
+}

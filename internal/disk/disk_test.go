@@ -1,0 +1,249 @@
+package disk
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+)
+
+func newTestDisk(t *testing.T) *Disk {
+	t.Helper()
+	d, err := New(DefaultGeometry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestGeometryValidate(t *testing.T) {
+	if err := DefaultGeometry().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultGeometry()
+	bad.TrackSize = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero track size accepted")
+	}
+	if _, err := New(bad); err == nil {
+		t.Error("New accepted invalid geometry")
+	}
+}
+
+func TestGeometryDerived(t *testing.T) {
+	g := DefaultGeometry()
+	if g.NumTracks() != g.Cylinders*g.TracksPerCylinder {
+		t.Error("NumTracks")
+	}
+	if g.Capacity() != int64(g.NumTracks())*int64(g.TrackSize) {
+		t.Error("Capacity")
+	}
+	// 3600 RPM => 16.666 ms/rev.
+	if rt := g.RevolutionTime(); rt != time.Minute/3600 {
+		t.Errorf("RevolutionTime = %v", rt)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	d := newTestDisk(t)
+	data := bytes.Repeat([]byte{0xAB}, 100)
+	if _, err := d.WriteTrack(7, data); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := d.ReadTrack(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("read-back mismatch")
+	}
+	// Unwritten track reads as nil.
+	got, _, err = d.ReadTrack(8)
+	if err != nil || got != nil {
+		t.Fatalf("unwritten track: %v, %v", got, err)
+	}
+}
+
+func TestWriteTrackCopiesData(t *testing.T) {
+	d := newTestDisk(t)
+	data := []byte{1, 2, 3}
+	if _, err := d.WriteTrack(0, data); err != nil {
+		t.Fatal(err)
+	}
+	data[0] = 99
+	got, _, _ := d.ReadTrack(0)
+	if got[0] != 1 {
+		t.Fatal("disk aliases caller's buffer")
+	}
+	got[1] = 99
+	again, _, _ := d.ReadTrack(0)
+	if again[1] != 2 {
+		t.Fatal("disk hands out aliased track contents")
+	}
+}
+
+func TestBounds(t *testing.T) {
+	d := newTestDisk(t)
+	if _, err := d.WriteTrack(-1, nil); !errors.Is(err, ErrTrackRange) {
+		t.Errorf("negative track: %v", err)
+	}
+	if _, err := d.WriteTrack(d.Geometry().NumTracks(), nil); !errors.Is(err, ErrTrackRange) {
+		t.Errorf("track beyond end: %v", err)
+	}
+	if _, _, err := d.ReadTrack(1 << 30); !errors.Is(err, ErrTrackRange) {
+		t.Errorf("read beyond end: %v", err)
+	}
+	big := make([]byte, d.Geometry().TrackSize+1)
+	if _, err := d.WriteTrack(0, big); !errors.Is(err, ErrTrackSize) {
+		t.Errorf("oversized write: %v", err)
+	}
+}
+
+func TestSequentialWritesAvoidSeeks(t *testing.T) {
+	// Writing tracks in order within one cylinder must cost no seek
+	// time after the first positioning; that is the rationale for the
+	// interleaved sequential log stream (Section 4.3).
+	d := newTestDisk(t)
+	g := d.Geometry()
+	data := make([]byte, g.TrackSize)
+	for trk := 0; trk < g.TracksPerCylinder; trk++ {
+		if _, err := d.WriteTrack(trk, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := d.Stats(); s.Seeks != 0 {
+		t.Fatalf("Seeks = %d, want 0 (arm starts at cylinder 0)", s.Seeks)
+	}
+	// Next cylinder costs exactly one 1-cylinder seek.
+	if _, err := d.WriteTrack(g.TracksPerCylinder, data); err != nil {
+		t.Fatal(err)
+	}
+	s := d.Stats()
+	if s.Seeks != 1 {
+		t.Fatalf("Seeks = %d, want 1", s.Seeks)
+	}
+	if want := g.SeekSettle + g.SeekPerCyl; s.SeekTime != want {
+		t.Fatalf("SeekTime = %v, want %v", s.SeekTime, want)
+	}
+}
+
+func TestSeekTimeModel(t *testing.T) {
+	g := DefaultGeometry()
+	if st := g.seekTime(0); st != 0 {
+		t.Errorf("zero-distance seek costs %v", st)
+	}
+	if g.seekTime(5) != g.seekTime(-5) {
+		t.Error("seek time not symmetric")
+	}
+	if g.seekTime(2) <= g.seekTime(1) {
+		t.Error("seek time not increasing with distance")
+	}
+	if st := g.seekTime(1 << 20); st != g.MaxSeek {
+		t.Errorf("long seek %v, want capped at %v", st, g.MaxSeek)
+	}
+}
+
+func TestWriteTrackServiceTime(t *testing.T) {
+	// A track write with no arm movement costs exactly one revolution.
+	d := newTestDisk(t)
+	g := d.Geometry()
+	svc, err := d.WriteTrack(0, []byte{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svc != g.RevolutionTime() {
+		t.Fatalf("service = %v, want one revolution %v", svc, g.RevolutionTime())
+	}
+	// A read costs seek + half a revolution (average latency) + one
+	// revolution of transfer.
+	_, svc, err = d.ReadTrack(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := g.RevolutionTime() + g.RevolutionTime()/2; svc != want {
+		t.Fatalf("read service = %v, want %v", svc, want)
+	}
+}
+
+func TestCrashRetainsData(t *testing.T) {
+	d := newTestDisk(t)
+	if _, err := d.WriteTrack(3, []byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	d.Crash(-1)
+	got, _, err := d.ReadTrack(3)
+	if err != nil || string(got) != "durable" {
+		t.Fatalf("after crash: %q, %v", got, err)
+	}
+}
+
+func TestCrashTornWrite(t *testing.T) {
+	d := newTestDisk(t)
+	if _, err := d.WriteTrack(3, []byte("half")); err != nil {
+		t.Fatal(err)
+	}
+	d.Crash(3)
+	if _, _, err := d.ReadTrack(3); !errors.Is(err, ErrTornWrite) {
+		t.Fatalf("torn track read: %v, want ErrTornWrite", err)
+	}
+	// Rewriting heals the track.
+	if _, err := d.WriteTrack(3, []byte("whole")); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := d.ReadTrack(3)
+	if err != nil || string(got) != "whole" {
+		t.Fatalf("healed track: %q, %v", got, err)
+	}
+}
+
+func TestStatsAccumulation(t *testing.T) {
+	d := newTestDisk(t)
+	d.WriteTrack(0, make([]byte, 1000))
+	d.WriteTrack(100, make([]byte, 500))
+	d.ReadTrack(0)
+	s := d.Stats()
+	if s.TrackWrites != 2 || s.TrackReads != 1 {
+		t.Fatalf("counts: %+v", s)
+	}
+	if s.BytesWritten != 1500 {
+		t.Fatalf("BytesWritten = %d", s.BytesWritten)
+	}
+	if s.BytesRead != 1000 {
+		t.Fatalf("BytesRead = %d", s.BytesRead)
+	}
+	if s.BusyTime != s.SeekTime+s.RotationTime+s.TransferTime {
+		t.Fatalf("BusyTime %v != seek %v + rot %v + xfer %v", s.BusyTime, s.SeekTime, s.RotationTime, s.TransferTime)
+	}
+	d.ResetStats()
+	if s := d.Stats(); s.TrackWrites != 0 || s.BusyTime != 0 {
+		t.Fatal("ResetStats did not zero")
+	}
+}
+
+// TestTrackRateCeiling verifies the capacity-analysis premise: a 3600
+// RPM disk can complete at most ~60 sequential track writes per second
+// (one revolution each), so forcing 170 individual requests per second
+// without a buffer is infeasible, while 170 records/s grouped into
+// tracks is comfortable.
+func TestTrackRateCeiling(t *testing.T) {
+	g := DefaultGeometry()
+	perSecond := time.Second / g.RevolutionTime()
+	if perSecond != 60 {
+		t.Fatalf("sequential track writes/s = %d, want 60", perSecond)
+	}
+}
+
+func BenchmarkWriteTrack(b *testing.B) {
+	d, err := New(DefaultGeometry())
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([]byte, d.Geometry().TrackSize)
+	n := d.Geometry().NumTracks()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.WriteTrack(i%n, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,182 @@
+// Package idgen implements the replicated increasing unique identifier
+// generator of Appendix I of "Distributed Logging for Transaction
+// Processing" (SIGMOD 1987). The generator issues the epoch numbers
+// that the replicated log uses to distinguish records written in
+// different client crash epochs.
+//
+// The generator's state — a single integer — is replicated on R state
+// representatives, each providing atomic Read and Write of its copy.
+// NewID reads ceil((R+1)/2) representatives, writes a value higher
+// than any read to ceil(R/2) representatives, and returns the value
+// written. Because every read quorum intersects every earlier write
+// quorum, identifiers are strictly increasing across invocations, even
+// across client crashes; a crash between the read and write phases can
+// at worst cause values to be skipped.
+//
+// Only a single client process may use a given generator at one time
+// (the same restriction the replicated log itself carries).
+package idgen
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Representative stores one copy of the generator state and provides
+// operations that are atomic at that representative. Representatives
+// normally live on log server nodes; this package provides local
+// implementations, and the server/wire packages provide a remote one.
+type Representative interface {
+	// ReadState returns the representative's current value. A
+	// never-written representative returns 0.
+	ReadState() (uint64, error)
+	// WriteState durably replaces the representative's value.
+	WriteState(v uint64) error
+}
+
+// Errors returned by the generator.
+var (
+	ErrNoReps      = errors.New("idgen: generator has no representatives")
+	ErrReadQuorum  = errors.New("idgen: could not read a quorum of representatives")
+	ErrWriteQuorum = errors.New("idgen: could not write a quorum of representatives")
+)
+
+// Generator is a replicated increasing unique identifier generator.
+type Generator struct {
+	mu   sync.Mutex
+	reps []Representative
+}
+
+// New returns a generator over the given representatives.
+func New(reps ...Representative) (*Generator, error) {
+	if len(reps) == 0 {
+		return nil, ErrNoReps
+	}
+	return &Generator{reps: reps}, nil
+}
+
+// ReadQuorum returns the number of representatives NewID must read:
+// ceil((R+1)/2).
+func (g *Generator) ReadQuorum() int { return (len(g.reps) + 2) / 2 }
+
+// WriteQuorum returns the number of representatives NewID must write:
+// ceil(R/2).
+func (g *Generator) WriteQuorum() int { return (len(g.reps) + 1) / 2 }
+
+// NewID returns an identifier strictly greater than any identifier
+// previously returned by this generator (across all prior lifetimes of
+// the client). It fails when a read or write quorum cannot be reached,
+// leaving the generator unchanged or partially advanced; a failed
+// NewID never hands out an identifier.
+func (g *Generator) NewID() (uint64, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+
+	// Phase 1: read ceil((R+1)/2) representatives.
+	var (
+		max      uint64
+		readOK   int
+		firstErr error
+	)
+	for _, r := range g.reps {
+		v, err := r.ReadState()
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		readOK++
+		if v > max {
+			max = v
+		}
+		if readOK == g.ReadQuorum() {
+			break
+		}
+	}
+	if readOK < g.ReadQuorum() {
+		return 0, quorumError(ErrReadQuorum, readOK, g.ReadQuorum(), firstErr)
+	}
+
+	// Phase 2: write a higher value to ceil(R/2) representatives. Any
+	// overlapping assignment of reads and writes may be used, so we
+	// simply try all representatives until enough writes succeed.
+	next := max + 1
+	writeOK := 0
+	firstErr = nil
+	for _, r := range g.reps {
+		if err := r.WriteState(next); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		writeOK++
+		if writeOK == g.WriteQuorum() {
+			break
+		}
+	}
+	if writeOK < g.WriteQuorum() {
+		return 0, quorumError(ErrWriteQuorum, writeOK, g.WriteQuorum(), firstErr)
+	}
+	return next, nil
+}
+
+// quorumError wraps both the quorum sentinel and the first underlying
+// cause so callers can test for either with errors.Is.
+func quorumError(sentinel error, got, need int, cause error) error {
+	if cause == nil {
+		return fmt.Errorf("%w: %d of %d needed", sentinel, got, need)
+	}
+	return fmt.Errorf("%w: %d of %d needed: %w", sentinel, got, need, cause)
+}
+
+// MemRep is an in-memory representative, for tests and single-process
+// deployments. Its state survives as long as the Go object does, which
+// models a representative's non-volatile storage when the harness
+// keeps the object across simulated crashes.
+type MemRep struct {
+	mu   sync.Mutex
+	v    uint64
+	fail error // when non-nil, all operations fail with this error
+}
+
+// NewMemRep returns an in-memory representative holding 0.
+func NewMemRep() *MemRep { return &MemRep{} }
+
+// ReadState implements Representative.
+func (m *MemRep) ReadState() (uint64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.fail != nil {
+		return 0, m.fail
+	}
+	return m.v, nil
+}
+
+// WriteState implements Representative.
+func (m *MemRep) WriteState(v uint64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.fail != nil {
+		return m.fail
+	}
+	m.v = v
+	return nil
+}
+
+// SetFailure makes subsequent operations fail with err (nil restores
+// service), for availability tests.
+func (m *MemRep) SetFailure(err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.fail = err
+}
+
+// Value returns the stored state, bypassing failure injection.
+func (m *MemRep) Value() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.v
+}

@@ -1,0 +1,106 @@
+package idgen
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"distlog/internal/nvram"
+)
+
+// FileRep is a representative whose state lives in a file, made atomic
+// with the write-temp-then-rename idiom. It models a representative on
+// a node with ordinary non-volatile storage.
+type FileRep struct {
+	path string
+}
+
+// NewFileRep returns a representative stored at path. The file is
+// created on first write; a missing file reads as state 0.
+func NewFileRep(path string) *FileRep { return &FileRep{path: path} }
+
+// ReadState implements Representative.
+func (f *FileRep) ReadState() (uint64, error) {
+	data, err := os.ReadFile(f.path)
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	if len(data) != 8 {
+		return 0, fmt.Errorf("idgen: state file %s has %d bytes, want 8", f.path, len(data))
+	}
+	return binary.BigEndian.Uint64(data), nil
+}
+
+// WriteState implements Representative.
+func (f *FileRep) WriteState(v uint64) error {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], v)
+	dir := filepath.Dir(f.path)
+	tmp, err := os.CreateTemp(dir, ".idgen-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(buf[:]); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return os.Rename(name, f.path)
+}
+
+// NVRAMRep is a representative stored in a guarded cell of a log
+// server's non-volatile memory — the deployment the paper describes
+// ("representatives of a replicated identifier generator's state will
+// normally be implemented on log server nodes").
+type NVRAMRep struct {
+	mem  *nvram.NVRAM
+	cell string
+}
+
+// NewNVRAMRep returns a representative stored in the named cell.
+func NewNVRAMRep(mem *nvram.NVRAM, cell string) *NVRAMRep {
+	return &NVRAMRep{mem: mem, cell: cell}
+}
+
+// ReadState implements Representative.
+func (r *NVRAMRep) ReadState() (uint64, error) {
+	v, _, err := r.mem.ReadCell(r.cell)
+	if err != nil {
+		return 0, err
+	}
+	if v == nil {
+		return 0, nil
+	}
+	if len(v) != 8 {
+		return 0, fmt.Errorf("idgen: cell %q holds %d bytes, want 8", r.cell, len(v))
+	}
+	return binary.BigEndian.Uint64(v), nil
+}
+
+// WriteState implements Representative. The guarded-update discipline
+// requires presenting the current version; a concurrent writer would
+// be detected, satisfying the single-client assumption defensively.
+func (r *NVRAMRep) WriteState(v uint64) error {
+	_, ver, err := r.mem.ReadCell(r.cell)
+	if err != nil {
+		return err
+	}
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], v)
+	_, err = r.mem.WriteCell(r.cell, ver, buf[:])
+	return err
+}

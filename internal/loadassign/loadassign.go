@@ -1,0 +1,254 @@
+// Package loadassign performs the Section 5.4 experiment the paper
+// proposes: "Presumably, simple decentralized strategies for assigning
+// loads fairly can be used. The development of these strategies is
+// likely to be a problem that is very amenable to analytic modeling
+// and simple experimentation."
+//
+// The package simulates a population of clients assigning their N
+// write servers among M log servers under server failures, comparing
+// decentralized strategies by the measures the paper cares about:
+// fairness of the offered load, how often clients switch servers (each
+// switch starts a new interval, and "clients might change servers too
+// frequently resulting in very long interval lists"), and how often a
+// client finds no servers to write to.
+package loadassign
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Strategy decides which servers a client writes to.
+type Strategy interface {
+	// Name identifies the strategy in reports.
+	Name() string
+	// Choose returns n distinct server indexes from the up set (its
+	// length is always >= n). load[i] is the number of clients
+	// currently assigned to up[i] — available only to strategies that
+	// model coordinated knowledge; decentralized strategies ignore it.
+	Choose(rng *rand.Rand, clientID, n int, up []int, load []int) []int
+}
+
+// StaticOffset is the decentralized strategy the replicated log client
+// implements: start at clientID mod |up| and take the next n servers.
+type StaticOffset struct{}
+
+// Name implements Strategy.
+func (StaticOffset) Name() string { return "static-offset" }
+
+// Choose implements Strategy.
+func (StaticOffset) Choose(_ *rand.Rand, clientID, n int, up []int, _ []int) []int {
+	out := make([]int, 0, n)
+	off := clientID % len(up)
+	for i := 0; i < n; i++ {
+		out = append(out, up[(off+i)%len(up)])
+	}
+	return out
+}
+
+// RandomChoice picks n distinct servers uniformly at random —
+// decentralized and stateless, but re-randomizing after every failure
+// causes more switching.
+type RandomChoice struct{}
+
+// Name implements Strategy.
+func (RandomChoice) Name() string { return "random" }
+
+// Choose implements Strategy.
+func (RandomChoice) Choose(rng *rand.Rand, _, n int, up []int, _ []int) []int {
+	perm := rng.Perm(len(up))
+	out := make([]int, 0, n)
+	for _, p := range perm[:n] {
+		out = append(out, up[p])
+	}
+	return out
+}
+
+// LeastLoaded is the idealized coordinated strategy: always pick the n
+// least-loaded live servers. It bounds what decentralized strategies
+// could hope to achieve.
+type LeastLoaded struct{}
+
+// Name implements Strategy.
+func (LeastLoaded) Name() string { return "least-loaded" }
+
+// Choose implements Strategy.
+func (LeastLoaded) Choose(_ *rand.Rand, _, n int, up []int, load []int) []int {
+	idx := make([]int, len(up))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return load[idx[a]] < load[idx[b]] })
+	out := make([]int, 0, n)
+	for _, i := range idx[:n] {
+		out = append(out, up[i])
+	}
+	return out
+}
+
+// Params configures a simulation run.
+type Params struct {
+	Clients int
+	Servers int // M
+	Copies  int // N
+	Rounds  int
+	// FailProb is the per-round probability that an up server fails;
+	// RepairProb that a down server returns.
+	FailProb   float64
+	RepairProb float64
+	Seed       int64
+}
+
+// DefaultParams mirrors the paper's target environment.
+func DefaultParams() Params {
+	return Params{
+		Clients:    50,
+		Servers:    6,
+		Copies:     2,
+		Rounds:     1000,
+		FailProb:   0.01,
+		RepairProb: 0.2,
+		Seed:       1,
+	}
+}
+
+// Result reports a strategy's behaviour over the run.
+type Result struct {
+	Strategy string
+	// Imbalance is the mean over rounds of (max server load / ideal
+	// load); 1.0 is perfect fairness.
+	Imbalance float64
+	// SwitchesPerClient counts server switches (new intervals) per
+	// client over the whole run.
+	SwitchesPerClient float64
+	// UnavailableRounds counts client-rounds in which fewer than N
+	// servers were up.
+	UnavailableRounds int
+}
+
+// Run simulates one strategy.
+func Run(p Params, s Strategy) Result {
+	rng := rand.New(rand.NewSource(p.Seed))
+	up := make([]bool, p.Servers)
+	for i := range up {
+		up[i] = true
+	}
+	assign := make([][]int, p.Clients) // client -> server indexes
+	switches := 0
+	unavailable := 0
+	imbalanceSum := 0.0
+	rounds := 0
+
+	for round := 0; round < p.Rounds; round++ {
+		// Server failures and repairs.
+		for i := range up {
+			if up[i] && rng.Float64() < p.FailProb {
+				up[i] = false
+			} else if !up[i] && rng.Float64() < p.RepairProb {
+				up[i] = true
+			}
+		}
+		var upList []int
+		for i, u := range up {
+			if u {
+				upList = append(upList, i)
+			}
+		}
+		load := make([]int, p.Servers)
+		if len(upList) < p.Copies {
+			unavailable += p.Clients
+			continue
+		}
+		// Each client keeps its assignment while all its servers are
+		// up; otherwise it re-chooses (counting a switch per replaced
+		// server).
+		upLoad := make([]int, len(upList))
+		for c := 0; c < p.Clients; c++ {
+			ok := len(assign[c]) == p.Copies
+			for _, srv := range assign[c] {
+				if !up[srv] {
+					ok = false
+				}
+			}
+			if !ok {
+				chosen := s.Choose(rng, c, p.Copies, upList, upLoad)
+				switches += diffCount(assign[c], chosen)
+				assign[c] = chosen
+			}
+			for _, srv := range assign[c] {
+				load[srv]++
+				for j, u := range upList {
+					if u == srv {
+						upLoad[j]++
+					}
+				}
+			}
+		}
+		// Fairness this round.
+		ideal := float64(p.Clients*p.Copies) / float64(len(upList))
+		maxLoad := 0
+		for _, srv := range upList {
+			if load[srv] > maxLoad {
+				maxLoad = load[srv]
+			}
+		}
+		if ideal > 0 {
+			imbalanceSum += float64(maxLoad) / ideal
+			rounds++
+		}
+	}
+	res := Result{
+		Strategy:          s.Name(),
+		SwitchesPerClient: float64(switches) / float64(p.Clients),
+		UnavailableRounds: unavailable,
+	}
+	if rounds > 0 {
+		res.Imbalance = imbalanceSum / float64(rounds)
+	}
+	return res
+}
+
+func diffCount(old, new []int) int {
+	if len(old) == 0 {
+		return len(new) // initial assignment: every server is a new interval
+	}
+	n := 0
+	for _, x := range new {
+		found := false
+		for _, y := range old {
+			if x == y {
+				found = true
+			}
+		}
+		if !found {
+			n++
+		}
+	}
+	return n
+}
+
+// Compare runs every strategy under the same parameters.
+func Compare(p Params) []Result {
+	return []Result{
+		Run(p, StaticOffset{}),
+		Run(p, RandomChoice{}),
+		Run(p, LeastLoaded{}),
+	}
+}
+
+// String renders the result as a report row.
+func (r Result) String() string {
+	return fmt.Sprintf("%-14s imbalance %.3f, switches/client %.1f, unavailable client-rounds %d",
+		r.Strategy, r.Imbalance, r.SwitchesPerClient, r.UnavailableRounds)
+}
+
+// Fairness returns 1/imbalance clamped to [0,1], a convenience for
+// comparisons.
+func (r Result) Fairness() float64 {
+	if r.Imbalance <= 0 {
+		return 0
+	}
+	return math.Min(1, 1/r.Imbalance)
+}

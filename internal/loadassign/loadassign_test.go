@@ -1,0 +1,151 @@
+package loadassign
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestStrategiesChooseDistinctLiveServers(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	up := []int{0, 2, 3, 5}
+	load := []int{3, 1, 2, 0}
+	for _, s := range []Strategy{StaticOffset{}, RandomChoice{}, LeastLoaded{}} {
+		for c := 0; c < 20; c++ {
+			chosen := s.Choose(rng, c, 2, up, load)
+			if len(chosen) != 2 {
+				t.Fatalf("%s chose %d servers", s.Name(), len(chosen))
+			}
+			if chosen[0] == chosen[1] {
+				t.Fatalf("%s chose duplicate servers: %v", s.Name(), chosen)
+			}
+			for _, srv := range chosen {
+				live := false
+				for _, u := range up {
+					if srv == u {
+						live = true
+					}
+				}
+				if !live {
+					t.Fatalf("%s chose dead server %d", s.Name(), srv)
+				}
+			}
+		}
+	}
+}
+
+func TestStaticOffsetSpreadsClients(t *testing.T) {
+	// With clients 0..5 and 6 servers all up, static offset yields a
+	// perfect spread (every server serves exactly 2 clients at N=2).
+	up := []int{0, 1, 2, 3, 4, 5}
+	counts := make([]int, 6)
+	for c := 0; c < 6; c++ {
+		for _, srv := range (StaticOffset{}).Choose(nil, c, 2, up, nil) {
+			counts[srv]++
+		}
+	}
+	for srv, n := range counts {
+		if n != 2 {
+			t.Fatalf("server %d load %d, want 2 (counts %v)", srv, n, counts)
+		}
+	}
+}
+
+func TestLeastLoadedPicksLightestServers(t *testing.T) {
+	up := []int{0, 1, 2}
+	load := []int{9, 0, 4}
+	chosen := (LeastLoaded{}).Choose(nil, 0, 2, up, load)
+	if chosen[0] != 1 || chosen[1] != 2 {
+		t.Fatalf("chose %v, want [1 2]", chosen)
+	}
+}
+
+func TestRunNoFailuresPerfectStability(t *testing.T) {
+	p := DefaultParams()
+	p.FailProb = 0
+	p.Rounds = 100
+	for _, s := range []Strategy{StaticOffset{}, RandomChoice{}, LeastLoaded{}} {
+		r := Run(p, s)
+		// Only the initial assignment counts as switches.
+		if r.SwitchesPerClient != float64(p.Copies) {
+			t.Errorf("%s: switches/client = %.1f, want %d (initial only)", s.Name(), r.SwitchesPerClient, p.Copies)
+		}
+		if r.UnavailableRounds != 0 {
+			t.Errorf("%s: unavailable rounds %d with no failures", s.Name(), r.UnavailableRounds)
+		}
+	}
+}
+
+func TestStaticOffsetFairWithoutFailures(t *testing.T) {
+	p := DefaultParams()
+	p.FailProb = 0
+	p.Rounds = 10
+	r := Run(p, StaticOffset{})
+	// 50 clients x 2 copies over 6 servers: ideal 16.67 per server; the
+	// offset spread puts at most ceil(100/6)+1 on any server.
+	if r.Imbalance > 1.15 {
+		t.Fatalf("static offset imbalance %.3f without failures", r.Imbalance)
+	}
+}
+
+// TestSection54Claims checks the qualitative conclusions the paper
+// anticipates: simple decentralized strategies achieve fairness close
+// to the coordinated ideal, and strategies that re-randomize switch
+// servers more (longer interval lists).
+func TestSection54Claims(t *testing.T) {
+	p := DefaultParams()
+	results := Compare(p)
+	byName := map[string]Result{}
+	for _, r := range results {
+		byName[r.Strategy] = r
+	}
+	static := byName["static-offset"]
+	random := byName["random"]
+	ideal := byName["least-loaded"]
+
+	// Fairness: decentralized static-offset within 25% of the
+	// coordinated ideal.
+	if static.Imbalance > ideal.Imbalance*1.25+0.25 {
+		t.Errorf("static-offset imbalance %.3f far from ideal %.3f", static.Imbalance, ideal.Imbalance)
+	}
+	// Switching: random re-choice switches at least as much as static
+	// offset (it abandons both servers on any failure).
+	if random.SwitchesPerClient < static.SwitchesPerClient {
+		t.Errorf("random switches %.1f < static %.1f", random.SwitchesPerClient, static.SwitchesPerClient)
+	}
+	// Availability is strategy-independent (it depends only on how
+	// many servers are up).
+	if static.UnavailableRounds != random.UnavailableRounds || static.UnavailableRounds != ideal.UnavailableRounds {
+		t.Errorf("unavailability differs across strategies: %d %d %d",
+			static.UnavailableRounds, random.UnavailableRounds, ideal.UnavailableRounds)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	p := DefaultParams()
+	a := Run(p, StaticOffset{})
+	b := Run(p, StaticOffset{})
+	if a != b {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestResultHelpers(t *testing.T) {
+	r := Result{Strategy: "x", Imbalance: 2}
+	if r.Fairness() != 0.5 {
+		t.Fatalf("Fairness = %f", r.Fairness())
+	}
+	if (Result{}).Fairness() != 0 {
+		t.Fatal("zero imbalance fairness")
+	}
+	if r.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func BenchmarkLoadAssignmentComparison(b *testing.B) {
+	p := DefaultParams()
+	p.Rounds = 200
+	for i := 0; i < b.N; i++ {
+		Compare(p)
+	}
+}

@@ -1,0 +1,298 @@
+// Package locallog implements the baseline the paper argues against:
+// a recovery log written to duplexed disks attached to the processing
+// node itself ("logs can be implemented with data written to duplexed
+// disks on each processing node"). It exposes the same operations as
+// the replicated log client so the recovery manager and the Section
+// 5.6 benchmark can swap one for the other.
+//
+// Records are framed exactly like the server stream (CRC-checked) and
+// appended to one file per mirror; a force fsyncs every mirror. On
+// open, mirrors are scanned and the longest cleanly-decodable prefix
+// wins — a torn tail on one mirror is healed from the other.
+package locallog
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"distlog/internal/record"
+)
+
+// Errors.
+var (
+	// ErrClosed is returned after Close.
+	ErrClosed = errors.New("locallog: closed")
+	// ErrBeyondEnd is returned for reads past the end of the log.
+	ErrBeyondEnd = errors.New("locallog: LSN beyond end of log")
+	// ErrNotPresent mirrors the replicated log's not-present signal
+	// (locally logged records are always present; this is returned only
+	// for LSN 0).
+	ErrNotPresent = errors.New("locallog: record not present")
+)
+
+// Log is a local write-ahead log on one or more mirrored files.
+type Log struct {
+	mu      sync.Mutex
+	mirrors []*os.File
+	index   []int64 // LSN n is at offset index[n-1] (same on all mirrors)
+	tail    int64   // offset of the next append
+	nextLSN record.LSN
+	dirty   bool
+	closed  bool
+	scratch []byte
+	stats   Stats
+}
+
+// Stats counts logger activity.
+type Stats struct {
+	Writes uint64
+	Forces uint64
+	Syncs  uint64 // file syncs issued (Forces × mirrors, when dirty)
+}
+
+// Open creates or opens a local log with the given number of mirror
+// files in dir (1 = the single-disk configuration of the Section 5.6
+// comparison, 2 = classic duplexed logging).
+func Open(dir string, mirrorCount int) (*Log, error) {
+	if mirrorCount < 1 {
+		return nil, fmt.Errorf("locallog: mirror count %d", mirrorCount)
+	}
+	l := &Log{}
+	for i := 0; i < mirrorCount; i++ {
+		f, err := os.OpenFile(filepath.Join(dir, fmt.Sprintf("mirror-%d.log", i)), os.O_RDWR|os.O_CREATE, 0o644)
+		if err != nil {
+			l.Close()
+			return nil, err
+		}
+		l.mirrors = append(l.mirrors, f)
+	}
+	if err := l.recover(); err != nil {
+		l.Close()
+		return nil, err
+	}
+	return l, nil
+}
+
+// recover replays the mirrors and adopts the longest clean prefix.
+func (l *Log) recover() error {
+	bestLen := -1
+	var bestData []byte
+	for _, f := range l.mirrors {
+		data, err := os.ReadFile(f.Name())
+		if err != nil {
+			return err
+		}
+		n := cleanPrefix(data)
+		if n > bestLen {
+			bestLen = n
+			bestData = data[:n]
+		}
+	}
+	// Rebuild the index from the winning prefix and rewrite any mirror
+	// that diverges (heal).
+	l.index = l.index[:0]
+	off := int64(0)
+	for off < int64(len(bestData)) {
+		rec, n, err := decodeFramed(bestData[off:])
+		if err != nil {
+			return err
+		}
+		l.index = append(l.index, off)
+		l.nextLSN = rec.LSN
+		off += int64(n)
+	}
+	l.nextLSN++
+	if len(l.index) == 0 {
+		l.nextLSN = 1
+	}
+	l.tail = off
+	for _, f := range l.mirrors {
+		if err := f.Truncate(int64(len(bestData))); err != nil {
+			return err
+		}
+		if _, err := f.WriteAt(bestData, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Each record is framed as [record encoding][crc32 of the encoding],
+// so a torn or corrupted tail is detected rather than mis-decoded.
+const crcSize = 4
+
+// appendFramed appends rec's framed encoding to buf.
+func appendFramed(buf []byte, rec record.Record) []byte {
+	start := len(buf)
+	buf = rec.AppendEncode(buf)
+	sum := crc32.ChecksumIEEE(buf[start:])
+	return binary.BigEndian.AppendUint32(buf, sum)
+}
+
+// decodeFramed decodes one framed record from the front of buf.
+func decodeFramed(buf []byte) (record.Record, int, error) {
+	rec, n, err := record.DecodeRecord(buf)
+	if err != nil {
+		return record.Record{}, 0, err
+	}
+	if len(buf) < n+crcSize {
+		return record.Record{}, 0, record.ErrTruncated
+	}
+	want := binary.BigEndian.Uint32(buf[n : n+crcSize])
+	if crc32.ChecksumIEEE(buf[:n]) != want {
+		return record.Record{}, 0, fmt.Errorf("locallog: record checksum mismatch")
+	}
+	return rec, n + crcSize, nil
+}
+
+// cleanPrefix returns the length of the longest prefix of data that
+// decodes as whole, checksummed records.
+func cleanPrefix(data []byte) int {
+	off := 0
+	for off < len(data) {
+		_, n, err := decodeFramed(data[off:])
+		if err != nil {
+			break
+		}
+		off += n
+	}
+	return off
+}
+
+// WriteLog appends a record (buffered until the next Force) and
+// returns its LSN.
+func (l *Log) WriteLog(data []byte) (record.LSN, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	lsn := l.nextLSN
+	l.nextLSN++
+	rec := record.Record{LSN: lsn, Epoch: 1, Present: true, Data: data}
+	l.scratch = appendFramed(l.scratch[:0], rec)
+	off := l.tail
+	for _, f := range l.mirrors {
+		if _, err := f.WriteAt(l.scratch, off); err != nil {
+			return 0, err
+		}
+	}
+	l.index = append(l.index, off)
+	l.tail = off + int64(len(l.scratch))
+	l.dirty = true
+	l.stats.Writes++
+	return lsn, nil
+}
+
+// Force makes all written records stable on every mirror.
+func (l *Log) Force() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	l.stats.Forces++
+	if !l.dirty {
+		return nil
+	}
+	for _, f := range l.mirrors {
+		if err := f.Sync(); err != nil {
+			return err
+		}
+		l.stats.Syncs++
+	}
+	l.dirty = false
+	return nil
+}
+
+// ForceLog appends and forces in one call.
+func (l *Log) ForceLog(data []byte) (record.LSN, error) {
+	lsn, err := l.WriteLog(data)
+	if err != nil {
+		return 0, err
+	}
+	return lsn, l.Force()
+}
+
+// readAt decodes the framed record at the given offset of mirror 0.
+func (l *Log) readAt(off int64) (record.Record, int, error) {
+	var header [21]byte // record header size
+	if _, err := l.mirrors[0].ReadAt(header[:], off); err != nil {
+		return record.Record{}, 0, err
+	}
+	// Decode length from the record header: LSN(8) Epoch(8) Flags(1) Len(4).
+	n := int(uint32(header[17])<<24 | uint32(header[18])<<16 | uint32(header[19])<<8 | uint32(header[20]))
+	buf := make([]byte, 21+n+crcSize)
+	if _, err := l.mirrors[0].ReadAt(buf, off); err != nil {
+		return record.Record{}, 0, err
+	}
+	return decodeFramed(buf)
+}
+
+// ReadRecord returns the record with the given LSN.
+func (l *Log) ReadRecord(lsn record.LSN) (record.Record, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return record.Record{}, ErrClosed
+	}
+	if lsn == 0 {
+		return record.Record{}, ErrNotPresent
+	}
+	if int(lsn) > len(l.index) {
+		return record.Record{}, fmt.Errorf("%w: %d", ErrBeyondEnd, lsn)
+	}
+	rec, _, err := l.readAt(l.index[lsn-1])
+	return rec, err
+}
+
+// ReadLog returns the data of the record with the given LSN.
+func (l *Log) ReadLog(lsn record.LSN) ([]byte, error) {
+	rec, err := l.ReadRecord(lsn)
+	if err != nil {
+		return nil, err
+	}
+	return rec.Data, nil
+}
+
+// EndOfLog returns the most recently written LSN.
+func (l *Log) EndOfLog() record.LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextLSN - 1
+}
+
+// Stats returns a snapshot of counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+// Close syncs and closes every mirror.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	var errs []error
+	for _, f := range l.mirrors {
+		if f == nil {
+			continue
+		}
+		if err := f.Sync(); err != nil {
+			errs = append(errs, err)
+		}
+		if err := f.Close(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}

@@ -1,0 +1,172 @@
+package nvram
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestAppendDrain(t *testing.T) {
+	n := New(10)
+	if err := n.Append([]byte("abcde")); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Append([]byte("fgh")); err != nil {
+		t.Fatal(err)
+	}
+	if n.Len() != 8 || n.Free() != 2 {
+		t.Fatalf("Len=%d Free=%d", n.Len(), n.Free())
+	}
+	got := n.Drain(5)
+	if string(got) != "abcde" {
+		t.Fatalf("Drain = %q", got)
+	}
+	if n.Len() != 3 {
+		t.Fatalf("Len after drain = %d", n.Len())
+	}
+	got = n.Drain(-1) // drain all
+	if string(got) != "fgh" {
+		t.Fatalf("Drain all = %q", got)
+	}
+	if n.Len() != 0 {
+		t.Fatal("buffer not empty")
+	}
+}
+
+func TestAppendFull(t *testing.T) {
+	n := New(4)
+	if err := n.Append([]byte("abcd")); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Append([]byte("e")); !errors.Is(err, ErrFull) {
+		t.Fatalf("overfull append: %v", err)
+	}
+	// Original content intact.
+	if string(n.Staged()) != "abcd" {
+		t.Fatal("failed append disturbed staged data")
+	}
+}
+
+func TestCrashRetainsEverything(t *testing.T) {
+	n := New(100)
+	if err := n.Append([]byte("staged-tail")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.WriteCell("epoch", 0, []byte{9}); err != nil {
+		t.Fatal(err)
+	}
+	n.Crash()
+	// While powered off, operations fail.
+	if err := n.Append([]byte("x")); !errors.Is(err, ErrPoweredOff) {
+		t.Fatalf("append while off: %v", err)
+	}
+	if _, _, err := n.ReadCell("epoch"); !errors.Is(err, ErrPoweredOff) {
+		t.Fatalf("read while off: %v", err)
+	}
+	n.Restart()
+	if string(n.Staged()) != "staged-tail" {
+		t.Fatal("staged data lost across crash")
+	}
+	v, ver, err := n.ReadCell("epoch")
+	if err != nil || ver != 1 || !bytes.Equal(v, []byte{9}) {
+		t.Fatalf("cell after crash: %v %d %v", v, ver, err)
+	}
+}
+
+func TestGuardedCellDiscipline(t *testing.T) {
+	n := New(0)
+	// Never-written cell reads as version 0.
+	v, ver, err := n.ReadCell("x")
+	if err != nil || v != nil || ver != 0 {
+		t.Fatalf("fresh cell: %v %d %v", v, ver, err)
+	}
+	ver1, err := n.WriteCell("x", 0, []byte("a"))
+	if err != nil || ver1 != 1 {
+		t.Fatalf("first write: %d %v", ver1, err)
+	}
+	// A write presenting a stale version is rejected (the Needham
+	// check): it was not computed from the current value.
+	if _, err := n.WriteCell("x", 0, []byte("rogue")); !errors.Is(err, ErrStaleGuard) {
+		t.Fatalf("stale write: %v", err)
+	}
+	v, ver, _ = n.ReadCell("x")
+	if string(v) != "a" || ver != 1 {
+		t.Fatalf("cell disturbed by rejected write: %q %d", v, ver)
+	}
+	ver2, err := n.WriteCell("x", ver, []byte("b"))
+	if err != nil || ver2 != 2 {
+		t.Fatalf("second write: %d %v", ver2, err)
+	}
+}
+
+func TestCellIsolation(t *testing.T) {
+	n := New(0)
+	n.WriteCell("a", 0, []byte{1})
+	n.WriteCell("b", 0, []byte{2})
+	va, _, _ := n.ReadCell("a")
+	vb, _, _ := n.ReadCell("b")
+	if va[0] != 1 || vb[0] != 2 {
+		t.Fatal("cells interfere")
+	}
+	names := n.Cells()
+	if len(names) != 2 {
+		t.Fatalf("Cells = %v", names)
+	}
+}
+
+func TestReadCellCopies(t *testing.T) {
+	n := New(0)
+	n.WriteCell("x", 0, []byte{1, 2})
+	v, ver, _ := n.ReadCell("x")
+	v[0] = 99
+	again, _, _ := n.ReadCell("x")
+	if again[0] != 1 {
+		t.Fatal("ReadCell aliases stored value")
+	}
+	// Writer's buffer also must not alias.
+	buf := []byte{7}
+	n.WriteCell("x", ver, buf)
+	buf[0] = 8
+	v, _, _ = n.ReadCell("x")
+	if v[0] != 7 {
+		t.Fatal("WriteCell aliases caller's buffer")
+	}
+}
+
+func TestDrainMoreThanStaged(t *testing.T) {
+	n := New(10)
+	n.Append([]byte("ab"))
+	got := n.Drain(100)
+	if string(got) != "ab" {
+		t.Fatalf("Drain = %q", got)
+	}
+	if len(n.Drain(5)) != 0 {
+		t.Fatal("drain of empty buffer returned data")
+	}
+}
+
+func TestZeroSize(t *testing.T) {
+	n := New(0)
+	if err := n.Append([]byte("x")); !errors.Is(err, ErrFull) {
+		t.Fatalf("append to zero-size: %v", err)
+	}
+	n = New(-5)
+	if n.Size() != 0 {
+		t.Fatal("negative size not clamped")
+	}
+}
+
+func BenchmarkAppendDrainTrack(b *testing.B) {
+	const track = 15 * 1024
+	n := New(4 * track)
+	rec := make([]byte, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := n.Append(rec); err != nil {
+			n.Drain(track)
+			if err := n.Append(rec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

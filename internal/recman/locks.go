@@ -1,0 +1,83 @@
+package recman
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrLockTimeout is returned when a lock cannot be acquired within the
+// engine's lock timeout (the crude deadlock resolution the paper's
+// target systems also used).
+var ErrLockTimeout = errors.New("recman: lock wait timed out")
+
+// lockTable implements strict two-phase locking with exclusive
+// per-key locks, reentrant for the owning transaction.
+type lockTable struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	owners  map[string]uint64   // key -> txn
+	held    map[uint64][]string // txn -> keys (release order irrelevant)
+	timeout time.Duration
+}
+
+func newLockTable(timeout time.Duration) *lockTable {
+	lt := &lockTable{
+		owners:  make(map[string]uint64),
+		held:    make(map[uint64][]string),
+		timeout: timeout,
+	}
+	lt.cond = sync.NewCond(&lt.mu)
+	return lt
+}
+
+// acquire blocks until txn holds the key's lock.
+func (lt *lockTable) acquire(txn uint64, key string) error {
+	deadline := time.Now().Add(lt.timeout)
+	timer := time.AfterFunc(lt.timeout, func() {
+		lt.mu.Lock()
+		lt.cond.Broadcast()
+		lt.mu.Unlock()
+	})
+	defer timer.Stop()
+
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	for {
+		owner, taken := lt.owners[key]
+		if !taken {
+			lt.owners[key] = txn
+			lt.held[txn] = append(lt.held[txn], key)
+			return nil
+		}
+		if owner == txn {
+			return nil // reentrant
+		}
+		if !time.Now().Before(deadline) {
+			return fmt.Errorf("%w: txn %d waiting for %q held by %d", ErrLockTimeout, txn, key, owner)
+		}
+		lt.cond.Wait()
+	}
+}
+
+// releaseAll frees every lock txn holds (commit or abort: strict 2PL
+// releases only at transaction end).
+func (lt *lockTable) releaseAll(txn uint64) {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	for _, key := range lt.held[txn] {
+		if lt.owners[key] == txn {
+			delete(lt.owners, key)
+		}
+	}
+	delete(lt.held, txn)
+	lt.cond.Broadcast()
+}
+
+// heldBy reports whether txn currently owns key (tests).
+func (lt *lockTable) heldBy(txn uint64, key string) bool {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	return lt.owners[key] == txn
+}

@@ -1,0 +1,127 @@
+// Package recman is the client-side recovery manager substrate the
+// paper assumes: a write-ahead-logging transaction engine in the style
+// of TABS/Camelot, running over any recovery log — the replicated log
+// of internal/core or the local duplexed-disk baseline of
+// internal/locallog. It provides strict two-phase locking, savepoints
+// (the workstation workload of Section 2), steal-capable page
+// cleaning, sharp checkpoints, crash recovery, and the log record
+// splitting/caching optimization of Section 5.2.
+package recman
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"distlog/internal/record"
+)
+
+// Log is what the engine requires from a recovery log. It is satisfied
+// by *core.ReplicatedLog and *locallog.Log.
+type Log interface {
+	WriteLog(data []byte) (record.LSN, error)
+	Force() error
+	ReadRecord(lsn record.LSN) (record.Record, error)
+	EndOfLog() record.LSN
+}
+
+// Engine log record kinds (encoded in the data of replicated-log
+// records).
+const (
+	opUpdate     = 0x01 // combined redo+undo: txn, key, oldVal, newVal
+	opRedo       = 0x02 // split redo component: txn, key, newVal
+	opUndo       = 0x03 // split undo component: txn, key, oldVal
+	opCommit     = 0x04 // txn
+	opAbort      = 0x05 // txn
+	opCheckpoint = 0x06 // sharp checkpoint marker
+)
+
+// ErrBadLogRecord is returned when an engine log record fails to
+// decode.
+var ErrBadLogRecord = errors.New("recman: malformed engine log record")
+
+// logRec is one decoded engine log record.
+type logRec struct {
+	op     byte
+	txn    uint64
+	key    string
+	oldVal int64
+	newVal int64
+	note   []byte
+}
+
+func (r *logRec) encode() []byte {
+	buf := make([]byte, 0, 32+len(r.key)+len(r.note))
+	buf = append(buf, r.op)
+	buf = binary.BigEndian.AppendUint64(buf, r.txn)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(r.key)))
+	buf = append(buf, r.key...)
+	switch r.op {
+	case opUpdate:
+		buf = binary.BigEndian.AppendUint64(buf, uint64(r.oldVal))
+		buf = binary.BigEndian.AppendUint64(buf, uint64(r.newVal))
+	case opRedo:
+		buf = binary.BigEndian.AppendUint64(buf, uint64(r.newVal))
+	case opUndo:
+		buf = binary.BigEndian.AppendUint64(buf, uint64(r.oldVal))
+	}
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(r.note)))
+	buf = append(buf, r.note...)
+	return buf
+}
+
+func decodeLogRec(data []byte) (*logRec, error) {
+	if len(data) < 11 {
+		return nil, fmt.Errorf("%w: %d bytes", ErrBadLogRecord, len(data))
+	}
+	r := &logRec{op: data[0], txn: binary.BigEndian.Uint64(data[1:9])}
+	kl := int(binary.BigEndian.Uint16(data[9:11]))
+	off := 11
+	if len(data) < off+kl {
+		return nil, fmt.Errorf("%w: truncated key", ErrBadLogRecord)
+	}
+	r.key = string(data[off : off+kl])
+	off += kl
+	need := func(n int) error {
+		if len(data) < off+n {
+			return fmt.Errorf("%w: truncated values", ErrBadLogRecord)
+		}
+		return nil
+	}
+	switch r.op {
+	case opUpdate:
+		if err := need(16); err != nil {
+			return nil, err
+		}
+		r.oldVal = int64(binary.BigEndian.Uint64(data[off:]))
+		r.newVal = int64(binary.BigEndian.Uint64(data[off+8:]))
+		off += 16
+	case opRedo:
+		if err := need(8); err != nil {
+			return nil, err
+		}
+		r.newVal = int64(binary.BigEndian.Uint64(data[off:]))
+		off += 8
+	case opUndo:
+		if err := need(8); err != nil {
+			return nil, err
+		}
+		r.oldVal = int64(binary.BigEndian.Uint64(data[off:]))
+		off += 8
+	case opCommit, opAbort, opCheckpoint:
+	default:
+		return nil, fmt.Errorf("%w: unknown op 0x%02x", ErrBadLogRecord, r.op)
+	}
+	if err := need(2); err != nil {
+		return nil, err
+	}
+	nl := int(binary.BigEndian.Uint16(data[off:]))
+	off += 2
+	if err := need(nl); err != nil {
+		return nil, err
+	}
+	if nl > 0 {
+		r.note = append([]byte(nil), data[off:off+nl]...)
+	}
+	return r, nil
+}

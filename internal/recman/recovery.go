@@ -1,0 +1,136 @@
+package recman
+
+import (
+	"fmt"
+
+	"distlog/internal/record"
+)
+
+// recover rebuilds the stable store's committed state from the log.
+//
+// Combined mode uses classic value-logging recovery: starting from the
+// last sharp checkpoint, apply every update in log order (winners and
+// losers — losers' effects may have been stolen into the stable store)
+// and then apply losers' undo values in reverse order. Strict 2PL
+// makes per-key writes totally ordered, so the result is exactly the
+// committed state.
+//
+// Split mode logs undo components only for stolen pages, so instead:
+// apply winners' redo components in log order, then apply losers'
+// logged undo components in reverse order — but only where no later
+// winner overwrote the key (the undo of an unstolen loser update was
+// never logged and is not needed, because the stable store never saw
+// the loser's value).
+func (e *Engine) recover() error {
+	end := e.log.EndOfLog()
+	type upd struct {
+		lsn record.LSN
+		rec *logRec
+	}
+	var updates []upd
+	winners := make(map[uint64]bool)
+	aborted := make(map[uint64]bool)
+	maxTxn := uint64(0)
+	start := record.LSN(1)
+
+	// Single forward pass; restart the collection at each checkpoint.
+	for lsn := start; lsn <= end; lsn++ {
+		rec, err := e.log.ReadRecord(lsn)
+		if err != nil {
+			return fmt.Errorf("recman: recovery read of LSN %d: %w", lsn, err)
+		}
+		if !rec.Present {
+			continue // crash-recovery marker in the replicated log
+		}
+		r, err := decodeLogRec(rec.Data)
+		if err != nil {
+			return fmt.Errorf("recman: recovery decode of LSN %d: %w", lsn, err)
+		}
+		if r.txn > maxTxn {
+			maxTxn = r.txn
+		}
+		switch r.op {
+		case opCheckpoint:
+			if e.opts.FullReplay {
+				// Media recovery: the stable store was restored from a
+				// dump possibly older than this checkpoint, so the cut
+				// cannot be trusted; keep replaying everything.
+				continue
+			}
+			// Sharp checkpoint: stable store was committed-and-clean at
+			// this point; everything earlier is already reflected.
+			updates = updates[:0]
+			clear(winners)
+			clear(aborted)
+		case opUpdate, opRedo, opUndo:
+			updates = append(updates, upd{lsn: lsn, rec: r})
+		case opCommit:
+			winners[r.txn] = true
+		case opAbort:
+			// The rollback completed before the crash. In combined mode
+			// the compensations were logged (CLRs), so the transaction
+			// must not be undone again; in split mode its logged undo
+			// components still participate (guarded by later winner
+			// writes).
+			aborted[r.txn] = true
+		}
+	}
+
+	if e.split == nil {
+		// Redo everything in order...
+		for _, u := range updates {
+			if u.rec.op == opUpdate {
+				e.stable.Set(u.rec.key, u.rec.newVal)
+			}
+		}
+		// ...then undo in-flight losers in reverse. Transactions that
+		// finished aborting logged compensations, which the redo pass
+		// already replayed.
+		losers := 0
+		seenLoser := make(map[uint64]bool)
+		for i := len(updates) - 1; i >= 0; i-- {
+			u := updates[i]
+			if u.rec.op != opUpdate || winners[u.rec.txn] || aborted[u.rec.txn] {
+				continue
+			}
+			if !seenLoser[u.rec.txn] {
+				seenLoser[u.rec.txn] = true
+				losers++
+			}
+			e.stable.Set(u.rec.key, u.rec.oldVal)
+		}
+		e.stats.RecoveredWinners = len(winners)
+		e.stats.RecoveredLosers = losers
+	} else {
+		// Winners' redo components in order, tracking the LSN of the
+		// last winner write per key.
+		lastWinnerWrite := make(map[string]record.LSN)
+		for _, u := range updates {
+			if u.rec.op == opRedo && winners[u.rec.txn] {
+				e.stable.Set(u.rec.key, u.rec.newVal)
+				lastWinnerWrite[u.rec.key] = u.lsn
+			}
+		}
+		// Losers' logged undo components in reverse, guarded by the
+		// last winner write.
+		losers := 0
+		seenLoser := make(map[uint64]bool)
+		for i := len(updates) - 1; i >= 0; i-- {
+			u := updates[i]
+			if u.rec.op != opUndo || winners[u.rec.txn] {
+				continue
+			}
+			if !seenLoser[u.rec.txn] {
+				seenLoser[u.rec.txn] = true
+				losers++
+			}
+			if u.lsn > lastWinnerWrite[u.rec.key] {
+				e.stable.Set(u.rec.key, u.rec.oldVal)
+			}
+		}
+		e.stats.RecoveredWinners = len(winners)
+		e.stats.RecoveredLosers = losers
+	}
+	e.nextTxn = maxTxn
+	return nil
+}

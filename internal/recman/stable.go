@@ -1,0 +1,84 @@
+package recman
+
+import (
+	"encoding/json"
+	"os"
+	"sync"
+)
+
+// StableStore models the database's non-volatile storage (the "disk
+// version" of every page). It survives engine crashes: the harness (or
+// application) keeps the object — or a file behind it — and hands it
+// to the recovering engine, exactly as a disk would persist.
+type StableStore struct {
+	mu   sync.Mutex
+	vals map[string]int64
+}
+
+// NewStableStore returns an empty stable store.
+func NewStableStore() *StableStore {
+	return &StableStore{vals: make(map[string]int64)}
+}
+
+// Get returns the stored value for key (zero when absent).
+func (s *StableStore) Get(key string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.vals[key]
+}
+
+// Set durably stores the value for key.
+func (s *StableStore) Set(key string, v int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.vals[key] = v
+}
+
+// Len returns the number of stored keys.
+func (s *StableStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.vals)
+}
+
+// Snapshot returns a copy of the whole store.
+func (s *StableStore) Snapshot() map[string]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int64, len(s.vals))
+	for k, v := range s.vals {
+		out[k] = v
+	}
+	return out
+}
+
+// SaveFile writes the store to a JSON file (for the command-line
+// examples, whose "disk" is a real file).
+func (s *StableStore) SaveFile(path string) error {
+	data, err := json.Marshal(s.Snapshot())
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadStableStore reads a store saved by SaveFile; a missing file
+// yields an empty store.
+func LoadStableStore(path string) (*StableStore, error) {
+	s := NewStableStore()
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return s, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := json.Unmarshal(data, &s.vals); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

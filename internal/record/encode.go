@@ -1,0 +1,163 @@
+package record
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Binary encodings shared by the wire protocol and the on-disk log
+// stream. All integers are big-endian. A record is encoded as
+//
+//	LSN    uint64
+//	Epoch  uint64
+//	Flags  uint8   (bit 0: present)
+//	Len    uint32  (length of Data; always 0 when not present)
+//	Data   Len bytes
+//
+// and an interval as three uint64s (Epoch, Low, High).
+
+const (
+	recordHeaderSize = 8 + 8 + 1 + 4
+	// IntervalEncodedSize is the fixed encoded size of an Interval.
+	IntervalEncodedSize = 24
+)
+
+// ErrTruncated is returned when a buffer ends inside an encoded value.
+var ErrTruncated = errors.New("record: truncated encoding")
+
+// MaxDataSize bounds a single record's data. Larger writes must be
+// segmented by the client before logging.
+const MaxDataSize = 1 << 24
+
+// EncodedSize returns the encoded length of the record.
+func (r Record) EncodedSize() int {
+	if !r.Present {
+		return recordHeaderSize
+	}
+	return recordHeaderSize + len(r.Data)
+}
+
+// AppendEncode appends the record's encoding to buf and returns the
+// extended slice.
+func (r Record) AppendEncode(buf []byte) []byte {
+	buf = binary.BigEndian.AppendUint64(buf, uint64(r.LSN))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(r.Epoch))
+	var flags byte
+	if r.Present {
+		flags |= 1
+	}
+	buf = append(buf, flags)
+	if !r.Present {
+		buf = binary.BigEndian.AppendUint32(buf, 0)
+		return buf
+	}
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(r.Data)))
+	return append(buf, r.Data...)
+}
+
+// DecodeRecord decodes one record from the front of buf, returning the
+// record and the number of bytes consumed.
+func DecodeRecord(buf []byte) (Record, int, error) {
+	if len(buf) < recordHeaderSize {
+		return Record{}, 0, ErrTruncated
+	}
+	var r Record
+	r.LSN = LSN(binary.BigEndian.Uint64(buf[0:8]))
+	r.Epoch = Epoch(binary.BigEndian.Uint64(buf[8:16]))
+	r.Present = buf[16]&1 != 0
+	n := binary.BigEndian.Uint32(buf[17:21])
+	if n > MaxDataSize {
+		return Record{}, 0, fmt.Errorf("record: data length %d exceeds limit", n)
+	}
+	total := recordHeaderSize + int(n)
+	if len(buf) < total {
+		return Record{}, 0, ErrTruncated
+	}
+	if n > 0 {
+		r.Data = make([]byte, n)
+		copy(r.Data, buf[recordHeaderSize:total])
+	}
+	return r, total, nil
+}
+
+// AppendEncode appends the interval's encoding to buf.
+func (iv Interval) AppendEncode(buf []byte) []byte {
+	buf = binary.BigEndian.AppendUint64(buf, uint64(iv.Epoch))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(iv.Low))
+	return binary.BigEndian.AppendUint64(buf, uint64(iv.High))
+}
+
+// DecodeInterval decodes one interval from the front of buf.
+func DecodeInterval(buf []byte) (Interval, int, error) {
+	if len(buf) < IntervalEncodedSize {
+		return Interval{}, 0, ErrTruncated
+	}
+	return Interval{
+		Epoch: Epoch(binary.BigEndian.Uint64(buf[0:8])),
+		Low:   LSN(binary.BigEndian.Uint64(buf[8:16])),
+		High:  LSN(binary.BigEndian.Uint64(buf[16:24])),
+	}, IntervalEncodedSize, nil
+}
+
+// EncodeIntervals encodes a length-prefixed interval list.
+func EncodeIntervals(buf []byte, ivs []Interval) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(ivs)))
+	for _, iv := range ivs {
+		buf = iv.AppendEncode(buf)
+	}
+	return buf
+}
+
+// DecodeIntervals decodes a length-prefixed interval list.
+func DecodeIntervals(buf []byte) ([]Interval, int, error) {
+	if len(buf) < 4 {
+		return nil, 0, ErrTruncated
+	}
+	n := int(binary.BigEndian.Uint32(buf))
+	off := 4
+	if n > (len(buf)-off)/IntervalEncodedSize {
+		return nil, 0, ErrTruncated
+	}
+	ivs := make([]Interval, 0, n)
+	for i := 0; i < n; i++ {
+		iv, used, err := DecodeInterval(buf[off:])
+		if err != nil {
+			return nil, 0, err
+		}
+		ivs = append(ivs, iv)
+		off += used
+	}
+	return ivs, off, nil
+}
+
+// EncodeRecords encodes a length-prefixed record list.
+func EncodeRecords(buf []byte, recs []Record) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(recs)))
+	for _, r := range recs {
+		buf = r.AppendEncode(buf)
+	}
+	return buf
+}
+
+// DecodeRecords decodes a length-prefixed record list.
+func DecodeRecords(buf []byte) ([]Record, int, error) {
+	if len(buf) < 4 {
+		return nil, 0, ErrTruncated
+	}
+	n := int(binary.BigEndian.Uint32(buf))
+	off := 4
+	if n < 0 || n > len(buf) { // each record needs at least one byte of header
+		return nil, 0, ErrTruncated
+	}
+	recs := make([]Record, 0, n)
+	for i := 0; i < n; i++ {
+		r, used, err := DecodeRecord(buf[off:])
+		if err != nil {
+			return nil, 0, err
+		}
+		recs = append(recs, r)
+		off += used
+	}
+	return recs, off, nil
+}

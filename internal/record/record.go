@@ -1,0 +1,335 @@
+// Package record defines the shared vocabulary of the distributed
+// logging system: log sequence numbers, epochs, log records, and the
+// interval lists that log servers report to restarting clients.
+//
+// The definitions follow Section 3.1 of Daniels, Spector & Thompson,
+// "Distributed Logging for Transaction Processing" (SIGMOD 1987):
+// a record is uniquely identified by an <LSN, Epoch> pair, successive
+// records on a log server have non-decreasing LSNs and non-decreasing
+// epoch numbers, and servers group records into sequences (intervals)
+// that share an epoch and have consecutive LSNs.
+package record
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// LSN is a log sequence number. LSNs identify records in a replicated
+// log and are assigned by the client in strictly increasing order,
+// starting at 1. LSN 0 is reserved and means "no record".
+type LSN uint64
+
+// Epoch numbers are non-decreasing integers issued by the replicated
+// identifier generator. All records written between two client
+// restarts carry the same epoch. Epoch 0 is reserved.
+type Epoch uint64
+
+// ClientID identifies the single transaction-processing node that owns
+// a replicated log. Log servers store portions of many clients' logs.
+type ClientID uint64
+
+// Record is a log record as stored on a log server. In addition to the
+// client's log data and the LSN, server-side records carry the epoch
+// number and the present flag (Section 3.1.1). If Present is false the
+// record is a placeholder written by client recovery and carries no
+// data.
+type Record struct {
+	LSN     LSN
+	Epoch   Epoch
+	Present bool
+	Data    []byte
+}
+
+// Key identifies a record uniquely on a server.
+type Key struct {
+	LSN   LSN
+	Epoch Epoch
+}
+
+// Key returns the record's unique <LSN, Epoch> identifier.
+func (r Record) Key() Key { return Key{r.LSN, r.Epoch} }
+
+// Clone returns a deep copy of the record. Stores hand out clones so
+// callers cannot alias buffered log data.
+func (r Record) Clone() Record {
+	c := r
+	if r.Data != nil {
+		c.Data = make([]byte, len(r.Data))
+		copy(c.Data, r.Data)
+	}
+	return c
+}
+
+func (r Record) String() string {
+	p := "yes"
+	if !r.Present {
+		p = "no"
+	}
+	return fmt.Sprintf("<%d,%d> present=%s len=%d", r.LSN, r.Epoch, p, len(r.Data))
+}
+
+// Interval describes one consecutive sequence of records stored on a
+// log server: all records share Epoch and cover the LSNs Low..High
+// inclusive. Interval lists are exchanged at client initialization.
+type Interval struct {
+	Epoch Epoch
+	Low   LSN
+	High  LSN
+}
+
+// Contains reports whether the interval covers the given LSN.
+func (iv Interval) Contains(lsn LSN) bool { return iv.Low <= lsn && lsn <= iv.High }
+
+// Len returns the number of LSNs covered by the interval.
+func (iv Interval) Len() uint64 { return uint64(iv.High) - uint64(iv.Low) + 1 }
+
+func (iv Interval) String() string {
+	return fmt.Sprintf("(<%d,%d>..<%d,%d>)", iv.Low, iv.Epoch, iv.High, iv.Epoch)
+}
+
+// Validation errors for server-side append sequencing.
+var (
+	// ErrLSNRegression is returned when an appended record's LSN is
+	// lower than the last LSN stored for the client.
+	ErrLSNRegression = errors.New("record: LSN lower than last stored LSN")
+	// ErrEpochRegression is returned when an appended record's epoch is
+	// lower than the last epoch stored for the client.
+	ErrEpochRegression = errors.New("record: epoch lower than last stored epoch")
+	// ErrDuplicate is returned when a record with the same <LSN, Epoch>
+	// already exists.
+	ErrDuplicate = errors.New("record: duplicate <LSN, epoch> pair")
+	// ErrZero is returned for the reserved zero LSN or epoch.
+	ErrZero = errors.New("record: zero LSN or epoch is reserved")
+)
+
+// ValidateAppend checks the server-side sequencing rules of Section
+// 3.1.1 for appending rec after a record with identifiers lastLSN and
+// lastEpoch (both zero when the client has no records yet). It returns
+// nil when the append is legal.
+//
+// The rules: LSNs and epochs are non-decreasing across successive
+// records, and equal LSNs must carry a strictly higher epoch (the same
+// <LSN, Epoch> pair may not be written twice).
+func ValidateAppend(lastLSN LSN, lastEpoch Epoch, rec Record) error {
+	if rec.LSN == 0 || rec.Epoch == 0 {
+		return ErrZero
+	}
+	if lastLSN == 0 && lastEpoch == 0 {
+		return nil
+	}
+	if rec.LSN < lastLSN {
+		return fmt.Errorf("%w: %d after %d", ErrLSNRegression, rec.LSN, lastLSN)
+	}
+	if rec.Epoch < lastEpoch {
+		return fmt.Errorf("%w: %d after %d", ErrEpochRegression, rec.Epoch, lastEpoch)
+	}
+	if rec.LSN == lastLSN && rec.Epoch == lastEpoch {
+		return fmt.Errorf("%w: <%d,%d>", ErrDuplicate, rec.LSN, rec.Epoch)
+	}
+	return nil
+}
+
+// ExtendIntervals appends rec's identifiers to an interval list that is
+// maintained incrementally as records are appended, returning the
+// updated list. A record extends the last interval when it has the same
+// epoch and an LSN exactly one past the interval's High; otherwise it
+// opens a new interval. The caller is responsible for having validated
+// the append.
+func ExtendIntervals(ivs []Interval, rec Record) []Interval {
+	n := len(ivs)
+	if n > 0 {
+		last := &ivs[n-1]
+		if rec.Epoch == last.Epoch && rec.LSN == last.High+1 {
+			last.High = rec.LSN
+			return ivs
+		}
+	}
+	return append(ivs, Interval{Epoch: rec.Epoch, Low: rec.LSN, High: rec.LSN})
+}
+
+// Holder names a server that stores some interval of a client's log.
+// The replication algorithm merges holders from M-N+1 servers so that
+// every ReadLog can be directed at a single server.
+type Holder struct {
+	Server   string
+	Interval Interval
+}
+
+// MergedList is the client's cached view of where log records live,
+// produced by merging the interval lists returned by at least M-N+1
+// log servers. For each LSN only entries with the highest epoch are
+// kept (Section 3.1.2): a record <LSN, e> supersedes <LSN, e'> for all
+// e' < e.
+type MergedList struct {
+	// entries are non-overlapping in LSN space and sorted by Low.
+	entries []mergedEntry
+}
+
+type mergedEntry struct {
+	epoch   Epoch
+	low     LSN
+	high    LSN
+	servers []string
+}
+
+// Merge builds a MergedList from per-server interval lists. The map
+// key is the server name.
+func Merge(lists map[string][]Interval) *MergedList {
+	// Collect every (epoch, low, high, server) tuple, then sweep LSN
+	// space keeping, for each LSN, only the holders at the maximum
+	// epoch covering it.
+	type seg struct {
+		iv     Interval
+		server string
+	}
+	var segs []seg
+	for server, ivs := range lists {
+		for _, iv := range ivs {
+			if iv.Low == 0 || iv.High < iv.Low {
+				continue
+			}
+			segs = append(segs, seg{iv, server})
+		}
+	}
+	// Boundary sweep: gather all interval endpoints.
+	bounds := make(map[LSN]struct{})
+	for _, s := range segs {
+		bounds[s.iv.Low] = struct{}{}
+		bounds[s.iv.High+1] = struct{}{}
+	}
+	pts := make([]LSN, 0, len(bounds))
+	for b := range bounds {
+		pts = append(pts, b)
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i] < pts[j] })
+
+	ml := &MergedList{}
+	for i := 0; i+1 <= len(pts)-1; i++ {
+		low, next := pts[i], pts[i+1]
+		high := next - 1
+		// Find max epoch covering [low, high] (uniform within the
+		// elementary segment by construction).
+		var maxEpoch Epoch
+		for _, s := range segs {
+			if s.iv.Low <= low && high <= s.iv.High && s.iv.Epoch > maxEpoch {
+				maxEpoch = s.iv.Epoch
+			}
+		}
+		if maxEpoch == 0 {
+			continue
+		}
+		var servers []string
+		for _, s := range segs {
+			if s.iv.Low <= low && high <= s.iv.High && s.iv.Epoch == maxEpoch {
+				servers = append(servers, s.server)
+			}
+		}
+		sort.Strings(servers)
+		ml.appendEntry(mergedEntry{epoch: maxEpoch, low: low, high: high, servers: servers})
+	}
+	return ml
+}
+
+func (m *MergedList) appendEntry(e mergedEntry) {
+	n := len(m.entries)
+	if n > 0 {
+		last := &m.entries[n-1]
+		if last.epoch == e.epoch && last.high+1 == e.low && equalStrings(last.servers, e.servers) {
+			last.high = e.high
+			return
+		}
+	}
+	m.entries = append(m.entries, e)
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// High returns the highest LSN present in the merged list, or 0 when
+// the list is empty. EndOfLog operations return this value.
+func (m *MergedList) High() LSN {
+	if len(m.entries) == 0 {
+		return 0
+	}
+	return m.entries[len(m.entries)-1].high
+}
+
+// EpochAt returns the epoch of the winning entry covering lsn, or 0.
+func (m *MergedList) EpochAt(lsn LSN) Epoch {
+	if e := m.find(lsn); e != nil {
+		return e.epoch
+	}
+	return 0
+}
+
+// Servers returns the servers known to hold the winning (highest
+// epoch) copy of lsn. The returned slice must not be modified.
+func (m *MergedList) Servers(lsn LSN) []string {
+	if e := m.find(lsn); e != nil {
+		return e.servers
+	}
+	return nil
+}
+
+// Covered reports whether any server holds lsn in the merged view.
+func (m *MergedList) Covered(lsn LSN) bool { return m.find(lsn) != nil }
+
+func (m *MergedList) find(lsn LSN) *mergedEntry {
+	lo, hi := 0, len(m.entries)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		e := &m.entries[mid]
+		switch {
+		case lsn < e.low:
+			hi = mid
+		case lsn > e.high:
+			lo = mid + 1
+		default:
+			return e
+		}
+	}
+	return nil
+}
+
+// Gaps returns the LSN ranges in [1, High()] not covered by any entry.
+// A non-empty result indicates that too few interval lists were merged
+// (fewer than M-N+1) or a partially-written record at the tail.
+func (m *MergedList) Gaps() []Interval {
+	var gaps []Interval
+	next := LSN(1)
+	for _, e := range m.entries {
+		if e.low > next {
+			gaps = append(gaps, Interval{Low: next, High: e.low - 1})
+		}
+		if e.high+1 > next {
+			next = e.high + 1
+		}
+	}
+	return gaps
+}
+
+// Entries returns the merged view as (interval, servers) holders, for
+// diagnostics and tests.
+func (m *MergedList) Entries() []Holder {
+	var hs []Holder
+	for _, e := range m.entries {
+		for _, s := range e.servers {
+			hs = append(hs, Holder{Server: s, Interval: Interval{Epoch: e.epoch, Low: e.low, High: e.high}})
+		}
+	}
+	return hs
+}
+
+// NumEntries returns the number of coalesced merged entries.
+func (m *MergedList) NumEntries() int { return len(m.entries) }

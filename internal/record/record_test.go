@@ -1,0 +1,383 @@
+package record
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidateAppendFirstRecord(t *testing.T) {
+	if err := ValidateAppend(0, 0, Record{LSN: 1, Epoch: 1, Present: true}); err != nil {
+		t.Fatalf("first append rejected: %v", err)
+	}
+}
+
+func TestValidateAppendZeroReserved(t *testing.T) {
+	if err := ValidateAppend(0, 0, Record{LSN: 0, Epoch: 1}); !errors.Is(err, ErrZero) {
+		t.Errorf("zero LSN: got %v, want ErrZero", err)
+	}
+	if err := ValidateAppend(0, 0, Record{LSN: 1, Epoch: 0}); !errors.Is(err, ErrZero) {
+		t.Errorf("zero epoch: got %v, want ErrZero", err)
+	}
+}
+
+func TestValidateAppendRules(t *testing.T) {
+	cases := []struct {
+		name      string
+		lastLSN   LSN
+		lastEpoch Epoch
+		lsn       LSN
+		epoch     Epoch
+		wantErr   error
+	}{
+		{"consecutive same epoch", 5, 3, 6, 3, nil},
+		{"gap same epoch ok", 5, 3, 9, 3, nil},
+		{"same LSN higher epoch ok", 5, 3, 5, 4, nil},
+		{"lower LSN rejected", 5, 3, 4, 3, ErrLSNRegression},
+		{"lower LSN higher epoch rejected", 5, 3, 4, 4, ErrLSNRegression},
+		{"lower epoch rejected", 5, 3, 6, 2, ErrEpochRegression},
+		{"duplicate pair rejected", 5, 3, 5, 3, ErrDuplicate},
+		{"epoch jump ok", 5, 3, 5, 9, nil},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := ValidateAppend(c.lastLSN, c.lastEpoch, Record{LSN: c.lsn, Epoch: c.epoch, Present: true})
+			if c.wantErr == nil && err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if c.wantErr != nil && !errors.Is(err, c.wantErr) {
+				t.Fatalf("got %v, want %v", err, c.wantErr)
+			}
+		})
+	}
+}
+
+func TestExtendIntervals(t *testing.T) {
+	var ivs []Interval
+	ivs = ExtendIntervals(ivs, Record{LSN: 1, Epoch: 1})
+	ivs = ExtendIntervals(ivs, Record{LSN: 2, Epoch: 1})
+	ivs = ExtendIntervals(ivs, Record{LSN: 3, Epoch: 1})
+	ivs = ExtendIntervals(ivs, Record{LSN: 3, Epoch: 3}) // same LSN, new epoch: new interval
+	ivs = ExtendIntervals(ivs, Record{LSN: 4, Epoch: 3})
+	ivs = ExtendIntervals(ivs, Record{LSN: 9, Epoch: 3}) // gap: new interval
+	want := []Interval{
+		{Epoch: 1, Low: 1, High: 3},
+		{Epoch: 3, Low: 3, High: 4},
+		{Epoch: 3, Low: 9, High: 9},
+	}
+	if !reflect.DeepEqual(ivs, want) {
+		t.Fatalf("intervals = %v, want %v", ivs, want)
+	}
+}
+
+// TestMergeFigure31 merges the interval lists of the three servers in
+// Figure 3.1 of the paper and checks that the replicated log consists
+// of the records the paper states: (<1,1>..<2,1>), (<3,3>), and
+// (<5,3>..<9,3>), with record 4 marked not-present (still covered in
+// the merged list; present-flag handling is the reader's concern).
+func TestMergeFigure31(t *testing.T) {
+	lists := map[string][]Interval{
+		"s1": {{Epoch: 1, Low: 1, High: 3}, {Epoch: 3, Low: 3, High: 9}},
+		"s2": {{Epoch: 1, Low: 1, High: 3}, {Epoch: 3, Low: 6, High: 7}},
+		"s3": {{Epoch: 3, Low: 3, High: 5}, {Epoch: 3, Low: 8, High: 9}},
+	}
+	m := Merge(lists)
+	if got := m.High(); got != 9 {
+		t.Fatalf("High() = %d, want 9", got)
+	}
+	// LSNs 1..2 belong to epoch 1 (servers 1 and 2).
+	for lsn := LSN(1); lsn <= 2; lsn++ {
+		if e := m.EpochAt(lsn); e != 1 {
+			t.Errorf("EpochAt(%d) = %d, want 1", lsn, e)
+		}
+		if got := m.Servers(lsn); !reflect.DeepEqual(got, []string{"s1", "s2"}) {
+			t.Errorf("Servers(%d) = %v, want [s1 s2]", lsn, got)
+		}
+	}
+	// LSN 3 is superseded by epoch 3 (servers 1 and 3).
+	if e := m.EpochAt(3); e != 3 {
+		t.Errorf("EpochAt(3) = %d, want 3", e)
+	}
+	if got := m.Servers(3); !reflect.DeepEqual(got, []string{"s1", "s3"}) {
+		t.Errorf("Servers(3) = %v, want [s1 s3]", got)
+	}
+	// Every LSN 1..9 is covered; there are no gaps.
+	if gaps := m.Gaps(); len(gaps) != 0 {
+		t.Errorf("Gaps() = %v, want none", gaps)
+	}
+	for lsn := LSN(1); lsn <= 9; lsn++ {
+		if !m.Covered(lsn) {
+			t.Errorf("LSN %d not covered", lsn)
+		}
+		if len(m.Servers(lsn)) < 2 {
+			t.Errorf("LSN %d held by %v, want >=2 servers (N=2)", lsn, m.Servers(lsn))
+		}
+	}
+	if m.Covered(10) {
+		t.Error("LSN 10 should not be covered")
+	}
+}
+
+// TestMergeFigure32PartialWrite models Figure 3.2: record 10 was
+// written only to server 3 before the client crashed. Merging the
+// lists of servers 1 and 2 (a legal M-N+1 subset for M=3, N=2) does
+// not see record 10; merging server 3's list does.
+func TestMergeFigure32PartialWrite(t *testing.T) {
+	s1 := []Interval{{Epoch: 1, Low: 1, High: 3}, {Epoch: 3, Low: 3, High: 9}}
+	s2 := []Interval{{Epoch: 1, Low: 1, High: 3}, {Epoch: 3, Low: 6, High: 7}}
+	s3 := []Interval{{Epoch: 3, Low: 3, High: 5}, {Epoch: 3, Low: 8, High: 10}}
+
+	without := Merge(map[string][]Interval{"s1": s1, "s2": s2})
+	if got := without.High(); got != 9 {
+		t.Fatalf("High without server 3 = %d, want 9", got)
+	}
+	with := Merge(map[string][]Interval{"s1": s1, "s2": s2, "s3": s3})
+	if got := with.High(); got != 10 {
+		t.Fatalf("High with server 3 = %d, want 10", got)
+	}
+	if got := with.Servers(10); !reflect.DeepEqual(got, []string{"s3"}) {
+		t.Fatalf("Servers(10) = %v, want [s3]", got)
+	}
+}
+
+// TestMergeFigure33AfterRecovery models Figure 3.3: after recovery
+// with servers 1 and 2, record 9 is re-copied at epoch 4 and record 10
+// is written not-present at epoch 4. Epoch 4 entries supersede server
+// 3's stale epoch-3 copies of records 9 and 10.
+func TestMergeFigure33AfterRecovery(t *testing.T) {
+	lists := map[string][]Interval{
+		"s1": {{Epoch: 1, Low: 1, High: 3}, {Epoch: 3, Low: 3, High: 9}, {Epoch: 4, Low: 9, High: 10}},
+		"s2": {{Epoch: 1, Low: 1, High: 3}, {Epoch: 3, Low: 6, High: 7}, {Epoch: 4, Low: 9, High: 10}},
+		"s3": {{Epoch: 3, Low: 3, High: 5}, {Epoch: 3, Low: 8, High: 10}},
+	}
+	m := Merge(lists)
+	if e := m.EpochAt(9); e != 4 {
+		t.Errorf("EpochAt(9) = %d, want 4 (recovered copy wins)", e)
+	}
+	if e := m.EpochAt(10); e != 4 {
+		t.Errorf("EpochAt(10) = %d, want 4 (not-present marker wins)", e)
+	}
+	if got := m.Servers(10); !reflect.DeepEqual(got, []string{"s1", "s2"}) {
+		t.Errorf("Servers(10) = %v, want [s1 s2]", got)
+	}
+	// The stale partially-written epoch-3 copy on server 3 must not be
+	// consulted for LSN 10.
+	for _, s := range m.Servers(10) {
+		if s == "s3" {
+			t.Error("server 3's stale copy of LSN 10 survived the merge")
+		}
+	}
+}
+
+func TestMergeEmpty(t *testing.T) {
+	m := Merge(nil)
+	if m.High() != 0 || m.Covered(1) || m.NumEntries() != 0 {
+		t.Fatalf("empty merge not empty: high=%d", m.High())
+	}
+	m = Merge(map[string][]Interval{"s1": nil})
+	if m.High() != 0 {
+		t.Fatalf("merge of empty list: high=%d", m.High())
+	}
+}
+
+func TestMergeGaps(t *testing.T) {
+	m := Merge(map[string][]Interval{
+		"s1": {{Epoch: 1, Low: 3, High: 4}, {Epoch: 1, Low: 8, High: 9}},
+	})
+	want := []Interval{{Low: 1, High: 2}, {Low: 5, High: 7}}
+	if got := m.Gaps(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Gaps() = %v, want %v", got, want)
+	}
+}
+
+func TestMergeCoalescesAdjacent(t *testing.T) {
+	// Two abutting intervals from the same server at the same epoch
+	// should coalesce into one merged entry.
+	m := Merge(map[string][]Interval{
+		"s1": {{Epoch: 2, Low: 1, High: 5}},
+		"s2": {{Epoch: 2, Low: 1, High: 5}},
+	})
+	if m.NumEntries() != 1 {
+		t.Fatalf("NumEntries = %d, want 1 (entries %v)", m.NumEntries(), m.Entries())
+	}
+}
+
+// TestMergeHighestEpochWinsProperty: for random interval layouts, every
+// covered LSN's reported epoch equals the maximum epoch over all
+// intervals covering it.
+func TestMergeHighestEpochWinsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		lists := make(map[string][]Interval)
+		nServers := 1 + rng.Intn(4)
+		for s := 0; s < nServers; s++ {
+			name := string(rune('a' + s))
+			var ivs []Interval
+			lsn := LSN(1 + rng.Intn(3))
+			epoch := Epoch(1 + rng.Intn(2))
+			for len(ivs) < rng.Intn(4)+1 {
+				length := LSN(1 + rng.Intn(5))
+				ivs = append(ivs, Interval{Epoch: epoch, Low: lsn, High: lsn + length - 1})
+				lsn += length + LSN(rng.Intn(3))
+				epoch += Epoch(rng.Intn(2))
+			}
+			lists[name] = ivs
+		}
+		m := Merge(lists)
+		for lsn := LSN(1); lsn <= m.High()+2; lsn++ {
+			var want Epoch
+			covering := map[string]bool{}
+			for s, ivs := range lists {
+				for _, iv := range ivs {
+					if iv.Contains(lsn) && iv.Epoch > want {
+						want = iv.Epoch
+					}
+				}
+				_ = s
+			}
+			for s, ivs := range lists {
+				for _, iv := range ivs {
+					if iv.Contains(lsn) && iv.Epoch == want {
+						covering[s] = true
+					}
+				}
+			}
+			if got := m.EpochAt(lsn); got != want {
+				t.Fatalf("trial %d: EpochAt(%d) = %d, want %d (lists %v)", trial, lsn, got, want, lists)
+			}
+			if want != 0 {
+				got := m.Servers(lsn)
+				if len(got) != len(covering) {
+					t.Fatalf("trial %d: Servers(%d) = %v, want servers %v", trial, lsn, got, covering)
+				}
+				for _, s := range got {
+					if !covering[s] {
+						t.Fatalf("trial %d: Servers(%d) includes %q, not a max-epoch holder", trial, lsn, s)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRecordEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(lsn uint64, epoch uint64, present bool, data []byte) bool {
+		if lsn == 0 {
+			lsn = 1
+		}
+		if epoch == 0 {
+			epoch = 1
+		}
+		r := Record{LSN: LSN(lsn), Epoch: Epoch(epoch), Present: present, Data: data}
+		if !present {
+			r.Data = nil
+		}
+		buf := r.AppendEncode(nil)
+		if len(buf) != r.EncodedSize() {
+			t.Logf("encoded size mismatch: %d != %d", len(buf), r.EncodedSize())
+			return false
+		}
+		got, n, err := DecodeRecord(buf)
+		if err != nil || n != len(buf) {
+			return false
+		}
+		if got.LSN != r.LSN || got.Epoch != r.Epoch || got.Present != r.Present {
+			return false
+		}
+		if len(got.Data) != len(r.Data) {
+			return false
+		}
+		for i := range got.Data {
+			if got.Data[i] != r.Data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRecordTruncated(t *testing.T) {
+	r := Record{LSN: 7, Epoch: 2, Present: true, Data: []byte("hello world")}
+	buf := r.AppendEncode(nil)
+	for i := 0; i < len(buf); i++ {
+		if _, _, err := DecodeRecord(buf[:i]); err == nil {
+			t.Fatalf("decode of %d-byte prefix succeeded", i)
+		}
+	}
+}
+
+func TestIntervalsEncodeDecodeRoundTrip(t *testing.T) {
+	ivs := []Interval{
+		{Epoch: 1, Low: 1, High: 3},
+		{Epoch: 3, Low: 3, High: 9},
+		{Epoch: 4, Low: 9, High: 10},
+	}
+	buf := EncodeIntervals(nil, ivs)
+	got, n, err := DecodeIntervals(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(buf) {
+		t.Fatalf("consumed %d of %d bytes", n, len(buf))
+	}
+	if !reflect.DeepEqual(got, ivs) {
+		t.Fatalf("got %v, want %v", got, ivs)
+	}
+}
+
+func TestDecodeIntervalsBogusCount(t *testing.T) {
+	// A huge declared count with a short buffer must fail cleanly, not
+	// allocate or panic.
+	buf := []byte{0xff, 0xff, 0xff, 0xff, 1, 2, 3}
+	if _, _, err := DecodeIntervals(buf); err == nil {
+		t.Fatal("decode of bogus count succeeded")
+	}
+}
+
+func TestRecordsEncodeDecodeRoundTrip(t *testing.T) {
+	recs := []Record{
+		{LSN: 1, Epoch: 1, Present: true, Data: []byte("a")},
+		{LSN: 2, Epoch: 1, Present: false},
+		{LSN: 3, Epoch: 2, Present: true, Data: make([]byte, 300)},
+	}
+	buf := EncodeRecords(nil, recs)
+	got, n, err := DecodeRecords(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(buf) {
+		t.Fatalf("consumed %d of %d bytes", n, len(buf))
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("got %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i].LSN != recs[i].LSN || got[i].Epoch != recs[i].Epoch || got[i].Present != recs[i].Present {
+			t.Errorf("record %d: got %v, want %v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestRecordClone(t *testing.T) {
+	r := Record{LSN: 1, Epoch: 1, Present: true, Data: []byte{1, 2, 3}}
+	c := r.Clone()
+	c.Data[0] = 99
+	if r.Data[0] != 1 {
+		t.Fatal("Clone aliases the original data")
+	}
+}
+
+func TestIntervalHelpers(t *testing.T) {
+	iv := Interval{Epoch: 2, Low: 5, High: 9}
+	if !iv.Contains(5) || !iv.Contains(9) || iv.Contains(4) || iv.Contains(10) {
+		t.Error("Contains boundaries wrong")
+	}
+	if iv.Len() != 5 {
+		t.Errorf("Len = %d, want 5", iv.Len())
+	}
+}

@@ -1,0 +1,474 @@
+// Package server implements a log server node: the network-facing half
+// of the design in Section 4. A server owns a storage.Store, speaks the
+// wire protocol of Section 4.2 with any number of clients, detects
+// gaps in each client's write stream (MissingInterval), acknowledges
+// forces (NewHighLSN), answers the synchronous calls (IntervalList,
+// ReadLogForward/Backward, CopyLog, InstallCopies), hosts an epoch
+// generator state representative (Appendix I), and sheds load by
+// ignoring write messages when overloaded.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"distlog/internal/idgen"
+	"distlog/internal/record"
+	"distlog/internal/storage"
+	"distlog/internal/transport"
+	"distlog/internal/wire"
+)
+
+// EpochHost supplies the epoch-generator state representative the
+// server hosts for each client (Appendix I: "representatives of a
+// replicated identifier generator's state will normally be implemented
+// on log server nodes").
+type EpochHost interface {
+	Rep(c record.ClientID) idgen.Representative
+}
+
+// MemEpochHost keeps representatives in memory.
+type MemEpochHost struct {
+	mu   sync.Mutex
+	reps map[record.ClientID]*idgen.MemRep
+}
+
+// NewMemEpochHost returns an empty in-memory epoch host.
+func NewMemEpochHost() *MemEpochHost {
+	return &MemEpochHost{reps: make(map[record.ClientID]*idgen.MemRep)}
+}
+
+// Rep implements EpochHost.
+func (h *MemEpochHost) Rep(c record.ClientID) idgen.Representative {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	r := h.reps[c]
+	if r == nil {
+		r = idgen.NewMemRep()
+		h.reps[c] = r
+	}
+	return r
+}
+
+// Config configures a Server.
+type Config struct {
+	// Name is the server's network address (the endpoint it listens
+	// on was bound to it).
+	Name string
+	// Store holds the log data.
+	Store storage.Store
+	// Endpoint is the server's network attachment.
+	Endpoint transport.Endpoint
+	// Epochs hosts generator state representatives. Nil disables the
+	// epoch operations (clients must use other representatives).
+	Epochs EpochHost
+	// Overloaded, when non-nil and returning true, makes the server
+	// silently ignore WriteLog and ForceLog messages ("they are free to
+	// ignore ForceLog and WriteLog messages if they become too heavily
+	// loaded. Clients will simply assume that the server has failed and
+	// will take their logging elsewhere.").
+	Overloaded func() bool
+	// Window and OverAllocPause tune the flow-control parameters.
+	Window         uint64
+	OverAllocPause time.Duration
+}
+
+// Stats counts server activity.
+type Stats struct {
+	PacketsReceived  uint64
+	PacketsDropped   uint64 // undecodable or stale
+	RecordsWritten   uint64
+	Forces           uint64
+	AcksSent         uint64
+	MissingIntervals uint64
+	ReadsServed      uint64
+	Shed             uint64
+}
+
+// Server is a log server node.
+type Server struct {
+	cfg Config
+
+	mu       sync.Mutex
+	sessions map[string]*session // keyed by client network address
+	stopped  bool
+
+	wg    sync.WaitGroup
+	stats struct {
+		packetsReceived  atomic.Uint64
+		packetsDropped   atomic.Uint64
+		recordsWritten   atomic.Uint64
+		forces           atomic.Uint64
+		acksSent         atomic.Uint64
+		missingIntervals atomic.Uint64
+		readsServed      atomic.Uint64
+		shed             atomic.Uint64
+	}
+}
+
+// session is the per-client connection state.
+type session struct {
+	peer     *wire.Peer
+	clientID record.ClientID
+	// expectedNext is the next LSN the server expects in this client's
+	// write stream; 0 until the first write of the connection arrives.
+	// Gap detection (MissingInterval) compares against it.
+	expectedNext record.LSN
+	handshaken   bool
+}
+
+// New creates a server; call Start to begin serving.
+func New(cfg Config) *Server {
+	return &Server{
+		cfg:      cfg,
+		sessions: make(map[string]*session),
+	}
+}
+
+// Start launches the receive loop.
+func (s *Server) Start() {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.loop()
+	}()
+}
+
+// Stop closes the endpoint and waits for the receive loop to exit. The
+// store is not closed; it belongs to the caller (which may restart a
+// server over it, modelling a node reboot).
+func (s *Server) Stop() {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	s.stopped = true
+	s.mu.Unlock()
+	s.cfg.Endpoint.Close()
+	s.wg.Wait()
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		PacketsReceived:  s.stats.packetsReceived.Load(),
+		PacketsDropped:   s.stats.packetsDropped.Load(),
+		RecordsWritten:   s.stats.recordsWritten.Load(),
+		Forces:           s.stats.forces.Load(),
+		AcksSent:         s.stats.acksSent.Load(),
+		MissingIntervals: s.stats.missingIntervals.Load(),
+		ReadsServed:      s.stats.readsServed.Load(),
+		Shed:             s.stats.shed.Load(),
+	}
+}
+
+func (s *Server) loop() {
+	for {
+		raw, err := s.cfg.Endpoint.Recv(0)
+		if err != nil {
+			return // endpoint closed
+		}
+		s.stats.packetsReceived.Add(1)
+		pkt, err := wire.Decode(raw.Data)
+		if err != nil {
+			// Corrupt packet: the end-to-end check rejects it; the
+			// sender's own recovery (retry, NACK) handles the loss.
+			s.stats.packetsDropped.Add(1)
+			continue
+		}
+		s.handle(raw.From, pkt)
+	}
+}
+
+// handle dispatches one packet. The server is single-threaded by
+// design (Section 4.1 sizes one CPU for the whole service); handlers
+// run inline.
+func (s *Server) handle(from string, pkt *wire.Packet) {
+	s.mu.Lock()
+	sess := s.sessions[from]
+
+	if pkt.Type == wire.TSyn {
+		// New connection (or a new incarnation of the client): reset
+		// session state. Stream position is re-learned from the first
+		// write; log data itself lives in the store and is unaffected.
+		sess = &session{
+			peer:       wire.NewPeer(s.cfg.Endpoint, from, pkt.ClientID, pkt.ConnID, s.cfg.Window, pauseOf(s.cfg)),
+			clientID:   pkt.ClientID,
+			handshaken: true,
+		}
+		sess.peer.SetEstablished()
+		s.sessions[from] = sess
+		s.mu.Unlock()
+		sess.peer.Observe(pkt)
+		sess.peer.Send(wire.TSynAck, pkt.Seq, nil)
+		return
+	}
+	s.mu.Unlock()
+
+	if sess == nil || pkt.ConnID != sess.peer.ConnID {
+		// Unknown connection or stale incarnation: ask the client to
+		// handshake. Rst carries the offending ConnID so the client
+		// can tell which incarnation was rejected.
+		s.stats.packetsDropped.Add(1)
+		rst := wire.NewPeer(s.cfg.Endpoint, from, pkt.ClientID, pkt.ConnID, s.cfg.Window, pauseOf(s.cfg))
+		rst.Send(wire.TRst, pkt.Seq, nil)
+		return
+	}
+	if !sess.peer.Observe(pkt) {
+		s.stats.packetsDropped.Add(1)
+		return
+	}
+
+	switch pkt.Type {
+	case wire.TAck:
+		// Final leg of the handshake; nothing further to do.
+	case wire.TWriteLog:
+		s.handleWrite(sess, pkt, false)
+	case wire.TForceLog:
+		s.handleWrite(sess, pkt, true)
+	case wire.TNewInterval:
+		s.handleNewInterval(sess, pkt)
+	case wire.TIntervalListReq:
+		s.handleIntervalList(sess, pkt)
+	case wire.TReadForwardReq:
+		s.handleRead(sess, pkt, true)
+	case wire.TReadBackwardReq:
+		s.handleRead(sess, pkt, false)
+	case wire.TCopyLogReq:
+		s.handleCopyLog(sess, pkt)
+	case wire.TInstallCopiesReq:
+		s.handleInstallCopies(sess, pkt)
+	case wire.TEpochReadReq:
+		s.handleEpochRead(sess, pkt)
+	case wire.TEpochWriteReq:
+		s.handleEpochWrite(sess, pkt)
+	case wire.TTruncateReq:
+		s.handleTruncate(sess, pkt)
+	default:
+		sess.peer.SendErr(pkt.Seq, wire.CodeBadRequest, fmt.Sprintf("unexpected packet type %s", pkt.Type))
+	}
+}
+
+func pauseOf(cfg Config) time.Duration { return cfg.OverAllocPause }
+
+// handleWrite applies a WriteLog or ForceLog message: gap detection,
+// idempotent skip of retransmitted records, store appends, and (for
+// forces) the NewHighLSN acknowledgment.
+func (s *Server) handleWrite(sess *session, pkt *wire.Packet, force bool) {
+	if s.cfg.Overloaded != nil && s.cfg.Overloaded() {
+		// Shed load: ignore the message entirely. The client times out
+		// and takes its logging elsewhere.
+		s.stats.shed.Add(1)
+		return
+	}
+	p, err := wire.DecodeRecordsPayload(pkt.Payload)
+	if err != nil || len(p.Records) == 0 {
+		sess.peer.SendErr(pkt.Seq, wire.CodeBadRequest, "bad records payload")
+		return
+	}
+	first := p.Records[0].LSN
+
+	if sess.expectedNext == 0 {
+		// First write of this connection: adopt the client's position.
+		sess.expectedNext = first
+	}
+	if first > sess.expectedNext {
+		// Lost message(s): NACK promptly with the missing interval and
+		// ignore these records — the client resends from the gap or
+		// starts a new interval.
+		s.stats.missingIntervals.Add(1)
+		mi := wire.IntervalPayload{Low: sess.expectedNext, High: first - 1}
+		sess.peer.Send(wire.TMissingInterval, 0, mi.Encode())
+		return
+	}
+
+	for _, rec := range p.Records {
+		if rec.LSN < sess.expectedNext {
+			continue // retransmission overlap: already stored
+		}
+		if rec.LSN > sess.expectedNext {
+			// Non-contiguous records inside one message: the client
+			// never sends this; reject defensively.
+			sess.peer.SendErr(pkt.Seq, wire.CodeSequencing, "records within a message must be consecutive")
+			return
+		}
+		err := s.cfg.Store.Append(sess.clientID, rec)
+		switch {
+		case err == nil:
+			s.stats.recordsWritten.Add(1)
+		case errors.Is(err, record.ErrDuplicate), errors.Is(err, record.ErrLSNRegression):
+			// A replay after a server restart: the store already holds
+			// the record; advancing past it is the idempotent outcome.
+		default:
+			sess.peer.SendErr(pkt.Seq, wire.CodeSequencing, err.Error())
+			return
+		}
+		sess.expectedNext = rec.LSN + 1
+	}
+
+	if force {
+		if err := s.cfg.Store.Force(); err != nil {
+			sess.peer.SendErr(pkt.Seq, wire.CodeUnknown, err.Error())
+			return
+		}
+		s.stats.forces.Add(1)
+		ack := wire.LSNPayload{LSN: sess.expectedNext - 1}
+		sess.peer.Send(wire.TNewHighLSN, 0, ack.Encode())
+		s.stats.acksSent.Add(1)
+	}
+}
+
+func (s *Server) handleNewInterval(sess *session, pkt *wire.Packet) {
+	p, err := wire.DecodeNewIntervalPayload(pkt.Payload)
+	if err != nil {
+		sess.peer.SendErr(pkt.Seq, wire.CodeBadRequest, "bad NewInterval payload")
+		return
+	}
+	// The client tells us to ignore the missing records and accept a
+	// stream restarting at StartingLSN (they were written to other
+	// servers).
+	sess.expectedNext = p.StartingLSN
+}
+
+func (s *Server) handleIntervalList(sess *session, pkt *wire.Packet) {
+	ivs := s.cfg.Store.Intervals(sess.clientID)
+	// Interval lists are short by design ("an essential assumption of
+	// the replicated logging algorithm is that interval lists are
+	// short"); if a pathological list outgrows a packet, send the most
+	// recent intervals, which are the ones initialization needs.
+	resp := wire.IntervalListPayload{Intervals: ivs}
+	for len(resp.Encode()) > wire.MaxPayload && len(resp.Intervals) > 1 {
+		resp.Intervals = resp.Intervals[1:]
+	}
+	sess.peer.Send(wire.TIntervalListResp, pkt.Seq, resp.Encode())
+}
+
+// handleRead serves ReadLogForward / ReadLogBackward: starting at the
+// requested LSN, it packs as many consecutive stored records as fit in
+// one reply packet, ascending or descending.
+func (s *Server) handleRead(sess *session, pkt *wire.Packet, forward bool) {
+	req, err := wire.DecodeLSNPayload(pkt.Payload)
+	if err != nil {
+		sess.peer.SendErr(pkt.Seq, wire.CodeBadRequest, "bad read payload")
+		return
+	}
+	var recs []record.Record
+	lsn := req.LSN
+	for {
+		rec, err := s.cfg.Store.Read(sess.clientID, lsn)
+		if err != nil {
+			break
+		}
+		recs = append(recs, rec)
+		if n := wire.FitRecords(recs); n < len(recs) {
+			recs = recs[:n]
+			break
+		}
+		if forward {
+			lsn++
+		} else {
+			if lsn == 1 {
+				break
+			}
+			lsn--
+		}
+	}
+	if len(recs) == 0 {
+		sess.peer.SendErr(pkt.Seq, wire.CodeNotStored, fmt.Sprintf("LSN %d not stored", req.LSN))
+		return
+	}
+	s.stats.readsServed.Add(uint64(len(recs)))
+	respType := wire.TReadForwardResp
+	if !forward {
+		respType = wire.TReadBackwardResp
+	}
+	resp := wire.RecordsPayload{Records: recs}
+	sess.peer.Send(respType, pkt.Seq, resp.Encode())
+}
+
+func (s *Server) handleCopyLog(sess *session, pkt *wire.Packet) {
+	p, err := wire.DecodeRecordsPayload(pkt.Payload)
+	if err != nil {
+		sess.peer.SendErr(pkt.Seq, wire.CodeBadRequest, "bad CopyLog payload")
+		return
+	}
+	for _, rec := range p.Records {
+		if err := s.cfg.Store.StageCopy(sess.clientID, rec); err != nil {
+			sess.peer.SendErr(pkt.Seq, wire.CodeSequencing, err.Error())
+			return
+		}
+	}
+	sess.peer.Send(wire.TCopyLogResp, pkt.Seq, nil)
+}
+
+func (s *Server) handleInstallCopies(sess *session, pkt *wire.Packet) {
+	p, err := wire.DecodeInstallPayload(pkt.Payload)
+	if err != nil {
+		sess.peer.SendErr(pkt.Seq, wire.CodeBadRequest, "bad InstallCopies payload")
+		return
+	}
+	err = s.cfg.Store.InstallCopies(sess.clientID, p.Epoch)
+	if err != nil && !errors.Is(err, storage.ErrNoStagedCopies) {
+		// ErrNoStagedCopies means a retransmitted install whose first
+		// arrival already committed: acknowledge idempotently.
+		sess.peer.SendErr(pkt.Seq, wire.CodeSequencing, err.Error())
+		return
+	}
+	// Installed records may rewind the client's stream position; the
+	// next write stream will re-anchor.
+	sess.expectedNext = 0
+	sess.peer.Send(wire.TInstallCopiesResp, pkt.Seq, nil)
+}
+
+// handleTruncate serves the Section 5.3 space-management call: the
+// client declares records below an LSN unnecessary for its recovery
+// (it has checkpointed or dumped) and the server discards them.
+func (s *Server) handleTruncate(sess *session, pkt *wire.Packet) {
+	p, err := wire.DecodeLSNPayload(pkt.Payload)
+	if err != nil {
+		sess.peer.SendErr(pkt.Seq, wire.CodeBadRequest, "bad truncate payload")
+		return
+	}
+	err = s.cfg.Store.Truncate(sess.clientID, p.LSN)
+	if err != nil && !errors.Is(err, storage.ErrNotStored) {
+		sess.peer.SendErr(pkt.Seq, wire.CodeUnknown, err.Error())
+		return
+	}
+	// Truncating a client with no records is an idempotent no-op.
+	sess.peer.Send(wire.TTruncateResp, pkt.Seq, nil)
+}
+
+func (s *Server) handleEpochRead(sess *session, pkt *wire.Packet) {
+	if s.cfg.Epochs == nil {
+		sess.peer.SendErr(pkt.Seq, wire.CodeBadRequest, "server hosts no epoch representative")
+		return
+	}
+	v, err := s.cfg.Epochs.Rep(sess.clientID).ReadState()
+	if err != nil {
+		sess.peer.SendErr(pkt.Seq, wire.CodeUnknown, err.Error())
+		return
+	}
+	resp := wire.EpochValuePayload{Value: v}
+	sess.peer.Send(wire.TEpochReadResp, pkt.Seq, resp.Encode())
+}
+
+func (s *Server) handleEpochWrite(sess *session, pkt *wire.Packet) {
+	if s.cfg.Epochs == nil {
+		sess.peer.SendErr(pkt.Seq, wire.CodeBadRequest, "server hosts no epoch representative")
+		return
+	}
+	p, err := wire.DecodeEpochValuePayload(pkt.Payload)
+	if err != nil {
+		sess.peer.SendErr(pkt.Seq, wire.CodeBadRequest, "bad epoch value")
+		return
+	}
+	if err := s.cfg.Epochs.Rep(sess.clientID).WriteState(p.Value); err != nil {
+		sess.peer.SendErr(pkt.Seq, wire.CodeUnknown, err.Error())
+		return
+	}
+	sess.peer.Send(wire.TEpochWriteResp, pkt.Seq, nil)
+}

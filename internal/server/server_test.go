@@ -1,0 +1,547 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"distlog/internal/record"
+	"distlog/internal/storage"
+	"distlog/internal/transport"
+	"distlog/internal/wire"
+)
+
+// rig drives a server with raw protocol packets, checking conformance
+// to the Figure 4.1 interface without the client library in the way.
+type rig struct {
+	t     *testing.T
+	net   *transport.Network
+	srv   *Server
+	store storage.Store
+	ep    transport.Endpoint // the "client" endpoint
+	peer  *wire.Peer
+}
+
+func newRig(t *testing.T, mutate ...func(*Config)) *rig {
+	t.Helper()
+	net := transport.NewNetwork(5)
+	store := storage.NewMemStore()
+	cfg := Config{
+		Name:     "srv",
+		Store:    store,
+		Endpoint: net.Endpoint("srv"),
+		Epochs:   NewMemEpochHost(),
+	}
+	for _, m := range mutate {
+		m(&cfg)
+	}
+	srv := New(cfg)
+	srv.Start()
+	t.Cleanup(srv.Stop)
+
+	ep := net.Endpoint("cli")
+	r := &rig{t: t, net: net, srv: srv, store: store, ep: ep}
+	r.peer = wire.NewPeer(ep, "srv", 7, 1000, 0, time.Millisecond)
+	return r
+}
+
+// recv waits for the next decodable packet.
+func (r *rig) recv() *wire.Packet {
+	r.t.Helper()
+	raw, err := r.ep.Recv(2 * time.Second)
+	if err != nil {
+		r.t.Fatalf("recv: %v", err)
+	}
+	pkt, err := wire.Decode(raw.Data)
+	if err != nil {
+		r.t.Fatalf("decode: %v", err)
+	}
+	return pkt
+}
+
+// handshake completes the three-way handshake.
+func (r *rig) handshake() {
+	r.t.Helper()
+	seq, err := r.peer.Send(wire.TSyn, 0, nil)
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	pkt := r.recv()
+	if pkt.Type != wire.TSynAck || pkt.RespTo != seq {
+		r.t.Fatalf("expected SynAck to %d, got %+v", seq, pkt)
+	}
+	r.peer.SetEstablished()
+	if _, err := r.peer.Send(wire.TAck, pkt.Seq, nil); err != nil {
+		r.t.Fatal(err)
+	}
+}
+
+// force sends a ForceLog with consecutive records starting at lsn.
+func (r *rig) force(epoch record.Epoch, lsn record.LSN, n int) {
+	r.t.Helper()
+	var recs []record.Record
+	for i := 0; i < n; i++ {
+		recs = append(recs, record.Record{LSN: lsn + record.LSN(i), Epoch: epoch, Present: true, Data: []byte("d")})
+	}
+	p := wire.RecordsPayload{Epoch: epoch, Records: recs}
+	if _, err := r.peer.Send(wire.TForceLog, 0, p.Encode()); err != nil {
+		r.t.Fatal(err)
+	}
+}
+
+func TestServerHandshake(t *testing.T) {
+	r := newRig(t)
+	r.handshake()
+}
+
+func TestServerRstForUnknownConnection(t *testing.T) {
+	r := newRig(t)
+	// Data before any Syn: server answers Rst.
+	r.peer.SetEstablished() // locally pretend, to bypass the client-side gate
+	p := wire.RecordsPayload{Epoch: 1, Records: []record.Record{{LSN: 1, Epoch: 1, Present: true}}}
+	if _, err := r.peer.Send(wire.TForceLog, 0, p.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	if pkt := r.recv(); pkt.Type != wire.TRst {
+		t.Fatalf("expected Rst, got %v", pkt.Type)
+	}
+}
+
+func TestServerForceAcksNewHighLSN(t *testing.T) {
+	r := newRig(t)
+	r.handshake()
+	r.force(1, 1, 7)
+	pkt := r.recv()
+	if pkt.Type != wire.TNewHighLSN {
+		t.Fatalf("expected NewHighLSN, got %v", pkt.Type)
+	}
+	ack, err := wire.DecodeLSNPayload(pkt.Payload)
+	if err != nil || ack.LSN != 7 {
+		t.Fatalf("ack = %+v, %v", ack, err)
+	}
+	// Records are in the store.
+	for lsn := record.LSN(1); lsn <= 7; lsn++ {
+		if _, err := r.store.Read(7, lsn); err != nil {
+			t.Fatalf("store.Read(%d): %v", lsn, err)
+		}
+	}
+}
+
+func TestServerDetectsGapAndNacks(t *testing.T) {
+	r := newRig(t)
+	r.handshake()
+	r.force(1, 1, 3) // LSNs 1..3
+	if pkt := r.recv(); pkt.Type != wire.TNewHighLSN {
+		t.Fatalf("expected ack, got %v", pkt.Type)
+	}
+	// Jump to LSN 6: records 4..5 are missing.
+	r.force(1, 6, 2)
+	pkt := r.recv()
+	if pkt.Type != wire.TMissingInterval {
+		t.Fatalf("expected MissingInterval, got %v", pkt.Type)
+	}
+	mi, err := wire.DecodeIntervalPayload(pkt.Payload)
+	if err != nil || mi.Low != 4 || mi.High != 5 {
+		t.Fatalf("missing = %+v, %v", mi, err)
+	}
+	// The out-of-order records were not applied.
+	if _, err := r.store.Read(7, 6); err == nil {
+		t.Fatal("record 6 applied despite the gap")
+	}
+	// Client resends from the gap: all five arrive, ack advances to 7.
+	r.force(1, 4, 4)
+	pkt = r.recv()
+	ack, err := wire.DecodeLSNPayload(pkt.Payload)
+	if pkt.Type != wire.TNewHighLSN || err != nil || ack.LSN != 7 {
+		t.Fatalf("after resend: %v %+v %v", pkt.Type, ack, err)
+	}
+	if s := r.srv.Stats(); s.MissingIntervals != 1 {
+		t.Fatalf("MissingIntervals = %d", s.MissingIntervals)
+	}
+}
+
+func TestServerNewIntervalSkipsGap(t *testing.T) {
+	r := newRig(t)
+	r.handshake()
+	r.force(1, 1, 3)
+	r.recv() // ack
+	// Client switches to this server at LSN 10 (records 4..9 live
+	// elsewhere): NewInterval tells the server to accept the jump.
+	ni := wire.NewIntervalPayload{Epoch: 1, StartingLSN: 10}
+	if _, err := r.peer.Send(wire.TNewInterval, 0, ni.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	r.force(1, 10, 2)
+	pkt := r.recv()
+	ack, err := wire.DecodeLSNPayload(pkt.Payload)
+	if pkt.Type != wire.TNewHighLSN || err != nil || ack.LSN != 11 {
+		t.Fatalf("after NewInterval: %v %+v %v", pkt.Type, ack, err)
+	}
+	// Interval list shows the two sequences.
+	ivs := r.store.Intervals(7)
+	if len(ivs) != 2 || ivs[0].High != 3 || ivs[1].Low != 10 {
+		t.Fatalf("intervals = %v", ivs)
+	}
+}
+
+func TestServerRetransmissionIdempotent(t *testing.T) {
+	r := newRig(t)
+	r.handshake()
+	r.force(1, 1, 5)
+	r.recv()
+	// Full overlap resend (lost-ack recovery): server must re-ack, not
+	// duplicate.
+	r.force(1, 1, 5)
+	pkt := r.recv()
+	ack, err := wire.DecodeLSNPayload(pkt.Payload)
+	if pkt.Type != wire.TNewHighLSN || err != nil || ack.LSN != 5 {
+		t.Fatalf("re-ack: %v %+v %v", pkt.Type, ack, err)
+	}
+	ivs := r.store.Intervals(7)
+	if len(ivs) != 1 || ivs[0].Low != 1 || ivs[0].High != 5 {
+		t.Fatalf("intervals after resend = %v", ivs)
+	}
+	// Partial overlap.
+	r.force(1, 3, 5) // 3..7; 3..5 already stored
+	pkt = r.recv()
+	ack, _ = wire.DecodeLSNPayload(pkt.Payload)
+	if ack.LSN != 7 {
+		t.Fatalf("ack after partial overlap = %d", ack.LSN)
+	}
+}
+
+func TestServerIntervalListCall(t *testing.T) {
+	r := newRig(t)
+	r.handshake()
+	r.force(1, 1, 4)
+	r.recv()
+	seq, err := r.peer.Send(wire.TIntervalListReq, 0, (&wire.IntervalListPayload{}).Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt := r.recv()
+	if pkt.Type != wire.TIntervalListResp || pkt.RespTo != seq {
+		t.Fatalf("resp = %+v", pkt)
+	}
+	p, err := wire.DecodeIntervalListPayload(pkt.Payload)
+	if err != nil || len(p.Intervals) != 1 || p.Intervals[0].High != 4 {
+		t.Fatalf("intervals = %+v, %v", p, err)
+	}
+}
+
+func TestServerReadForwardPacksRecords(t *testing.T) {
+	r := newRig(t)
+	r.handshake()
+	r.force(1, 1, 10)
+	r.recv()
+	seq, _ := r.peer.Send(wire.TReadForwardReq, 0, (&wire.LSNPayload{LSN: 4}).Encode())
+	pkt := r.recv()
+	if pkt.Type != wire.TReadForwardResp || pkt.RespTo != seq {
+		t.Fatalf("resp = %+v", pkt)
+	}
+	p, err := wire.DecodeRecordsPayload(pkt.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Records) < 2 || p.Records[0].LSN != 4 || p.Records[1].LSN != 5 {
+		t.Fatalf("records = %v", p.Records)
+	}
+}
+
+func TestServerReadBackward(t *testing.T) {
+	r := newRig(t)
+	r.handshake()
+	r.force(1, 1, 10)
+	r.recv()
+	seq, _ := r.peer.Send(wire.TReadBackwardReq, 0, (&wire.LSNPayload{LSN: 5}).Encode())
+	pkt := r.recv()
+	if pkt.Type != wire.TReadBackwardResp || pkt.RespTo != seq {
+		t.Fatalf("resp = %+v", pkt)
+	}
+	p, err := wire.DecodeRecordsPayload(pkt.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Records[0].LSN != 5 || p.Records[1].LSN != 4 {
+		t.Fatalf("records = %v", p.Records)
+	}
+	if last := p.Records[len(p.Records)-1]; last.LSN != 1 {
+		t.Fatalf("backward read should stop at LSN 1, got %d", last.LSN)
+	}
+}
+
+func TestServerReadNotStored(t *testing.T) {
+	r := newRig(t)
+	r.handshake()
+	seq, _ := r.peer.Send(wire.TReadForwardReq, 0, (&wire.LSNPayload{LSN: 99}).Encode())
+	pkt := r.recv()
+	if pkt.Type != wire.TErrResp || pkt.RespTo != seq {
+		t.Fatalf("resp = %+v", pkt)
+	}
+	p, err := wire.DecodeErrPayload(pkt.Payload)
+	if err != nil || p.Code != wire.CodeNotStored {
+		t.Fatalf("err payload = %+v, %v", p, err)
+	}
+}
+
+func TestServerCopyLogAndInstall(t *testing.T) {
+	r := newRig(t)
+	r.handshake()
+	r.force(3, 1, 9)
+	r.recv()
+	// Stage record 9 at epoch 4 plus a not-present marker 10.
+	copies := wire.RecordsPayload{Epoch: 4, Records: []record.Record{
+		{LSN: 9, Epoch: 4, Present: true, Data: []byte("copy")},
+		{LSN: 10, Epoch: 4, Present: false},
+	}}
+	seq, _ := r.peer.Send(wire.TCopyLogReq, 0, copies.Encode())
+	if pkt := r.recv(); pkt.Type != wire.TCopyLogResp || pkt.RespTo != seq {
+		t.Fatalf("CopyLog resp = %+v", pkt)
+	}
+	seq, _ = r.peer.Send(wire.TInstallCopiesReq, 0, (&wire.InstallPayload{Epoch: 4}).Encode())
+	if pkt := r.recv(); pkt.Type != wire.TInstallCopiesResp || pkt.RespTo != seq {
+		t.Fatalf("InstallCopies resp = %+v", pkt)
+	}
+	rec, err := r.store.Read(7, 9)
+	if err != nil || rec.Epoch != 4 || string(rec.Data) != "copy" {
+		t.Fatalf("record 9 = %v, %v", rec, err)
+	}
+	// Retried install acks idempotently.
+	seq, _ = r.peer.Send(wire.TInstallCopiesReq, 0, (&wire.InstallPayload{Epoch: 4}).Encode())
+	if pkt := r.recv(); pkt.Type != wire.TInstallCopiesResp || pkt.RespTo != seq {
+		t.Fatalf("retried InstallCopies resp = %+v", pkt)
+	}
+}
+
+func TestServerEpochReadWrite(t *testing.T) {
+	r := newRig(t)
+	r.handshake()
+	seq, _ := r.peer.Send(wire.TEpochReadReq, 0, (&wire.EpochValuePayload{}).Encode())
+	pkt := r.recv()
+	p, err := wire.DecodeEpochValuePayload(pkt.Payload)
+	if pkt.Type != wire.TEpochReadResp || err != nil || p.Value != 0 {
+		t.Fatalf("fresh epoch read: %+v, %v", pkt, err)
+	}
+	seq, _ = r.peer.Send(wire.TEpochWriteReq, 0, (&wire.EpochValuePayload{Value: 9}).Encode())
+	if pkt := r.recv(); pkt.Type != wire.TEpochWriteResp || pkt.RespTo != seq {
+		t.Fatalf("epoch write resp = %+v", pkt)
+	}
+	_, _ = r.peer.Send(wire.TEpochReadReq, 0, (&wire.EpochValuePayload{}).Encode())
+	pkt = r.recv()
+	p, _ = wire.DecodeEpochValuePayload(pkt.Payload)
+	if p.Value != 9 {
+		t.Fatalf("epoch after write = %d", p.Value)
+	}
+}
+
+func TestServerLoadShedding(t *testing.T) {
+	overloaded := true
+	r := newRig(t, func(cfg *Config) {
+		cfg.Overloaded = func() bool { return overloaded }
+	})
+	r.handshake()
+	r.force(1, 1, 3)
+	// No ack arrives: the message was shed.
+	if raw, err := r.ep.Recv(100 * time.Millisecond); err == nil {
+		pkt, _ := wire.Decode(raw.Data)
+		t.Fatalf("expected silence, got %v", pkt.Type)
+	}
+	if s := r.srv.Stats(); s.Shed != 1 {
+		t.Fatalf("Shed = %d", s.Shed)
+	}
+	// Reads are still served ("servers should make every effort to
+	// reply to IntervalList and read calls").
+	seq, _ := r.peer.Send(wire.TIntervalListReq, 0, (&wire.IntervalListPayload{}).Encode())
+	if pkt := r.recv(); pkt.Type != wire.TIntervalListResp || pkt.RespTo != seq {
+		t.Fatalf("IntervalList during overload = %+v", pkt)
+	}
+	// Load subsides: writes flow again.
+	overloaded = false
+	r.force(1, 1, 3)
+	if pkt := r.recv(); pkt.Type != wire.TNewHighLSN {
+		t.Fatalf("after overload: %v", pkt.Type)
+	}
+}
+
+func TestServerDuplicatePacketDropped(t *testing.T) {
+	r := newRig(t)
+	r.handshake()
+	// Build one ForceLog packet and deliver it twice (duplicated by the
+	// network). The second copy must be ignored by sequence-number
+	// duplicate detection.
+	recs := []record.Record{{LSN: 1, Epoch: 1, Present: true, Data: []byte("once")}}
+	p := wire.RecordsPayload{Epoch: 1, Records: recs}
+	pkt := &wire.Packet{
+		Type: wire.TForceLog, ConnID: 1000, Seq: 50, Alloc: 5000,
+		ClientID: 7, Payload: p.Encode(),
+	}
+	data, err := pkt.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Match the rig peer's ConnID.
+	pkt.ConnID = r.peer.ConnID
+	data, _ = pkt.Encode()
+	r.ep.Send("srv", data)
+	r.ep.Send("srv", data) // duplicate
+	// One ack for the first; the duplicate is silent.
+	if pkt := r.recv(); pkt.Type != wire.TNewHighLSN {
+		t.Fatalf("first: %v", pkt.Type)
+	}
+	if raw, err := r.ep.Recv(100 * time.Millisecond); err == nil {
+		dup, _ := wire.Decode(raw.Data)
+		t.Fatalf("duplicate produced %v", dup.Type)
+	}
+	if s := r.srv.Stats(); s.PacketsDropped == 0 {
+		t.Fatal("duplicate not counted as dropped")
+	}
+}
+
+func TestServerNewIncarnationResetsStream(t *testing.T) {
+	r := newRig(t)
+	r.handshake()
+	r.force(1, 1, 3)
+	r.recv()
+	// The client crashes and reconnects with a new ConnID; its first
+	// write re-anchors the stream (here at LSN 9 after recovery
+	// elsewhere).
+	r.peer = wire.NewPeer(r.ep, "srv", 7, r.peer.ConnID+1, 0, time.Millisecond)
+	r.handshake()
+	r.force(2, 9, 2)
+	pkt := r.recv()
+	ack, err := wire.DecodeLSNPayload(pkt.Payload)
+	if pkt.Type != wire.TNewHighLSN || err != nil || ack.LSN != 10 {
+		t.Fatalf("re-anchored ack: %v %+v %v", pkt.Type, ack, err)
+	}
+}
+
+func TestServerCorruptPacketIgnored(t *testing.T) {
+	r := newRig(t)
+	r.handshake()
+	r.ep.Send("srv", []byte{1, 2, 3, 4, 5})
+	r.force(1, 1, 1)
+	if pkt := r.recv(); pkt.Type != wire.TNewHighLSN {
+		t.Fatalf("after garbage: %v", pkt.Type)
+	}
+	if s := r.srv.Stats(); s.PacketsDropped == 0 {
+		t.Fatal("garbage not counted")
+	}
+}
+
+func TestServerTruncateCall(t *testing.T) {
+	r := newRig(t)
+	r.handshake()
+	r.force(1, 1, 10)
+	r.recv()
+	seq, _ := r.peer.Send(wire.TTruncateReq, 0, (&wire.LSNPayload{LSN: 6}).Encode())
+	pkt := r.recv()
+	if pkt.Type != wire.TTruncateResp || pkt.RespTo != seq {
+		t.Fatalf("resp = %+v", pkt)
+	}
+	ivs := r.store.Intervals(7)
+	if len(ivs) != 1 || ivs[0].Low != 6 {
+		t.Fatalf("intervals after truncate = %v", ivs)
+	}
+	// Truncating a client with no records acks idempotently.
+	r2 := newRig(t)
+	r2.handshake()
+	seq, _ = r2.peer.Send(wire.TTruncateReq, 0, (&wire.LSNPayload{LSN: 6}).Encode())
+	if pkt := r2.recv(); pkt.Type != wire.TTruncateResp || pkt.RespTo != seq {
+		t.Fatalf("no-record truncate resp = %+v", pkt)
+	}
+}
+
+func TestServerRejectsBadPayloads(t *testing.T) {
+	r := newRig(t)
+	r.handshake()
+	// Malformed payloads for every call type must produce ErrResp with
+	// CodeBadRequest rather than a crash or silence.
+	calls := []struct {
+		name string
+		typ  wire.Type
+	}{
+		{"write", wire.TWriteLog},
+		{"force", wire.TForceLog},
+		{"newinterval", wire.TNewInterval},
+		{"readfwd", wire.TReadForwardReq},
+		{"readbwd", wire.TReadBackwardReq},
+		{"copylog", wire.TCopyLogReq},
+		{"install", wire.TInstallCopiesReq},
+		{"epochwrite", wire.TEpochWriteReq},
+		{"truncate", wire.TTruncateReq},
+	}
+	for _, c := range calls {
+		t.Run(c.name, func(t *testing.T) {
+			seq, err := r.peer.Send(c.typ, 0, []byte{0xde, 0xad})
+			if err != nil {
+				t.Fatal(err)
+			}
+			pkt := r.recv()
+			if pkt.Type != wire.TErrResp {
+				t.Fatalf("%s: got %v, want ErrResp", c.name, pkt.Type)
+			}
+			if pkt.RespTo != seq && c.typ.IsRequest() {
+				t.Fatalf("%s: RespTo %d, want %d", c.name, pkt.RespTo, seq)
+			}
+			ep, err := wire.DecodeErrPayload(pkt.Payload)
+			if err != nil || ep.Code != wire.CodeBadRequest {
+				t.Fatalf("%s: err payload %+v, %v", c.name, ep, err)
+			}
+		})
+	}
+}
+
+func TestServerEmptyWritePayloadRejected(t *testing.T) {
+	r := newRig(t)
+	r.handshake()
+	p := wire.RecordsPayload{Epoch: 1, Records: nil}
+	seq, _ := r.peer.Send(wire.TForceLog, 0, p.Encode())
+	pkt := r.recv()
+	if pkt.Type != wire.TErrResp || pkt.RespTo != seq {
+		t.Fatalf("resp = %+v", pkt)
+	}
+}
+
+func TestServerNonConsecutiveRecordsInMessageRejected(t *testing.T) {
+	r := newRig(t)
+	r.handshake()
+	p := wire.RecordsPayload{Epoch: 1, Records: []record.Record{
+		{LSN: 1, Epoch: 1, Present: true, Data: []byte("a")},
+		{LSN: 3, Epoch: 1, Present: true, Data: []byte("gap")},
+	}}
+	r.peer.Send(wire.TForceLog, 0, p.Encode())
+	pkt := r.recv()
+	if pkt.Type != wire.TErrResp {
+		t.Fatalf("resp = %v, want ErrResp (records must be consecutive)", pkt.Type)
+	}
+	ep, _ := wire.DecodeErrPayload(pkt.Payload)
+	if ep.Code != wire.CodeSequencing {
+		t.Fatalf("code = %d", ep.Code)
+	}
+}
+
+func TestServerEpochOpsWithoutHost(t *testing.T) {
+	r := newRig(t, func(cfg *Config) { cfg.Epochs = nil })
+	r.handshake()
+	seq, _ := r.peer.Send(wire.TEpochReadReq, 0, (&wire.EpochValuePayload{}).Encode())
+	pkt := r.recv()
+	if pkt.Type != wire.TErrResp || pkt.RespTo != seq {
+		t.Fatalf("resp = %+v", pkt)
+	}
+}
+
+func TestServerStatsSnapshot(t *testing.T) {
+	r := newRig(t)
+	r.handshake()
+	r.force(1, 1, 3)
+	r.recv()
+	s := r.srv.Stats()
+	if s.PacketsReceived == 0 || s.RecordsWritten != 3 || s.Forces != 1 || s.AcksSent != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestServerStopIdempotent(t *testing.T) {
+	r := newRig(t)
+	r.srv.Stop()
+	r.srv.Stop() // second stop is a no-op
+}

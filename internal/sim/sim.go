@@ -1,0 +1,174 @@
+// Package sim provides a small discrete-event simulation kernel used
+// by the capacity analysis (Section 4.1) and the device timing models.
+// Time is virtual: events execute in timestamp order on a single
+// goroutine and the clock jumps between events.
+package sim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Event is a scheduled callback.
+type event struct {
+	at  time.Duration
+	seq uint64 // tie-break so same-time events run FIFO
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Sim is a discrete-event simulator. The zero value is ready to use.
+type Sim struct {
+	now   time.Duration
+	seq   uint64
+	queue eventQueue
+}
+
+// New returns an empty simulator at time zero.
+func New() *Sim { return &Sim{} }
+
+// Now returns the current virtual time.
+func (s *Sim) Now() time.Duration { return s.now }
+
+// At schedules fn to run at the absolute virtual time at. Times in the
+// past run at the current time.
+func (s *Sim) At(at time.Duration, fn func()) {
+	if at < s.now {
+		at = s.now
+	}
+	s.seq++
+	heap.Push(&s.queue, &event{at: at, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run d from now.
+func (s *Sim) After(d time.Duration, fn func()) { s.At(s.now+d, fn) }
+
+// Step runs the next event, returning false when the queue is empty.
+func (s *Sim) Step() bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.queue).(*event)
+	s.now = e.at
+	e.fn()
+	return true
+}
+
+// Run executes events until the queue is empty.
+func (s *Sim) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline and then sets
+// the clock to deadline.
+func (s *Sim) RunUntil(deadline time.Duration) {
+	for len(s.queue) > 0 && s.queue[0].at <= deadline {
+		s.Step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// Pending returns the number of scheduled events.
+func (s *Sim) Pending() int { return len(s.queue) }
+
+// Resource is a single FIFO server (a CPU, a disk arm, a network
+// link). Work items occupy it for a service time; utilization and
+// queueing statistics are accumulated for the capacity reports.
+type Resource struct {
+	sim  *Sim
+	name string
+
+	busyUntil time.Duration
+	busyTime  time.Duration
+
+	served    uint64
+	totalWait time.Duration
+	maxQueue  int
+	queueLen  int
+}
+
+// NewResource creates a FIFO resource attached to the simulator.
+func (s *Sim) NewResource(name string) *Resource {
+	return &Resource{sim: s, name: name}
+}
+
+// Use schedules service of the given duration, calling done (which may
+// be nil) when the service completes. Requests are served FIFO: a
+// request arriving while the resource is busy waits.
+func (r *Resource) Use(service time.Duration, done func()) {
+	now := r.sim.Now()
+	start := now
+	if r.busyUntil > start {
+		start = r.busyUntil
+	}
+	r.totalWait += start - now
+	r.busyUntil = start + service
+	r.busyTime += service
+	r.served++
+	r.queueLen++
+	if r.queueLen > r.maxQueue {
+		r.maxQueue = r.queueLen
+	}
+	end := r.busyUntil
+	r.sim.At(end, func() {
+		r.queueLen--
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// Name returns the resource's name.
+func (r *Resource) Name() string { return r.name }
+
+// Utilization returns busy time divided by elapsed time over the
+// window [0, now].
+func (r *Resource) Utilization() float64 {
+	if r.sim.Now() == 0 {
+		return 0
+	}
+	busy := r.busyTime
+	// Exclude service scheduled beyond the current clock (in-progress
+	// work at the measurement instant).
+	if r.busyUntil > r.sim.Now() {
+		busy -= r.busyUntil - r.sim.Now()
+	}
+	return float64(busy) / float64(r.sim.Now())
+}
+
+// Served returns the number of service completions started.
+func (r *Resource) Served() uint64 { return r.served }
+
+// MeanWait returns the average queueing delay experienced by requests.
+func (r *Resource) MeanWait() time.Duration {
+	if r.served == 0 {
+		return 0
+	}
+	return r.totalWait / time.Duration(r.served)
+}
+
+// MaxQueue returns the maximum number of requests simultaneously
+// queued or in service.
+func (r *Resource) MaxQueue() int { return r.maxQueue }

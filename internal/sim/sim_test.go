@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := New()
+	var order []int
+	s.After(30*time.Millisecond, func() { order = append(order, 3) })
+	s.After(10*time.Millisecond, func() { order = append(order, 1) })
+	s.After(20*time.Millisecond, func() { order = append(order, 2) })
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if s.Now() != 30*time.Millisecond {
+		t.Fatalf("Now = %v", s.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(time.Second, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events out of FIFO order: %v", order)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := New()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 5 {
+			s.After(time.Millisecond, tick)
+		}
+	}
+	s.After(0, tick)
+	s.Run()
+	if count != 5 {
+		t.Fatalf("count = %d", count)
+	}
+	if s.Now() != 4*time.Millisecond {
+		t.Fatalf("Now = %v", s.Now())
+	}
+}
+
+func TestPastEventRunsNow(t *testing.T) {
+	s := New()
+	s.At(time.Second, func() {
+		s.At(0, func() {}) // in the past; must not rewind the clock
+	})
+	s.Run()
+	if s.Now() != time.Second {
+		t.Fatalf("Now = %v", s.Now())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	ran := 0
+	s.At(time.Second, func() { ran++ })
+	s.At(3*time.Second, func() { ran++ })
+	s.RunUntil(2 * time.Second)
+	if ran != 1 {
+		t.Fatalf("ran = %d, want 1", ran)
+	}
+	if s.Now() != 2*time.Second {
+		t.Fatalf("Now = %v, want 2s", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("Pending = %d", s.Pending())
+	}
+}
+
+func TestResourceFIFOAndUtilization(t *testing.T) {
+	s := New()
+	r := s.NewResource("disk")
+	var done []int
+	// Three 10ms jobs arriving together: finish at 10, 20, 30ms.
+	for i := 0; i < 3; i++ {
+		i := i
+		r.Use(10*time.Millisecond, func() { done = append(done, i) })
+	}
+	s.Run()
+	if len(done) != 3 || done[0] != 0 || done[2] != 2 {
+		t.Fatalf("done = %v", done)
+	}
+	if s.Now() != 30*time.Millisecond {
+		t.Fatalf("Now = %v", s.Now())
+	}
+	if u := r.Utilization(); u < 0.999 || u > 1.001 {
+		t.Fatalf("Utilization = %f, want 1.0", u)
+	}
+	if r.Served() != 3 {
+		t.Fatalf("Served = %d", r.Served())
+	}
+	// Mean wait: 0 + 10 + 20 = 30 / 3 = 10ms.
+	if w := r.MeanWait(); w != 10*time.Millisecond {
+		t.Fatalf("MeanWait = %v", w)
+	}
+	if r.MaxQueue() != 3 {
+		t.Fatalf("MaxQueue = %d", r.MaxQueue())
+	}
+}
+
+func TestResourceIdleTime(t *testing.T) {
+	s := New()
+	r := s.NewResource("cpu")
+	r.Use(10*time.Millisecond, nil)
+	s.After(90*time.Millisecond, func() {}) // stretch the clock to 100ms... arrives at 90
+	s.Run()
+	s.RunUntil(100 * time.Millisecond)
+	if u := r.Utilization(); u < 0.099 || u > 0.101 {
+		t.Fatalf("Utilization = %f, want 0.10", u)
+	}
+}
+
+func TestResourceArrivalsSpread(t *testing.T) {
+	s := New()
+	r := s.NewResource("link")
+	// Job at t=0 (5ms) and job at t=3ms (5ms): second waits 2ms.
+	r.Use(5*time.Millisecond, nil)
+	s.After(3*time.Millisecond, func() {
+		r.Use(5*time.Millisecond, nil)
+	})
+	s.Run()
+	if s.Now() != 10*time.Millisecond {
+		t.Fatalf("Now = %v, want 10ms", s.Now())
+	}
+	wantMean := time.Millisecond // (0 + 2ms)/2
+	if w := r.MeanWait(); w != wantMean {
+		t.Fatalf("MeanWait = %v, want %v", w, wantMean)
+	}
+}
+
+func BenchmarkSimThroughput(b *testing.B) {
+	s := New()
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		if n < b.N {
+			s.After(time.Microsecond, tick)
+		}
+	}
+	s.After(0, tick)
+	s.Run()
+}

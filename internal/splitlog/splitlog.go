@@ -1,0 +1,173 @@
+// Package splitlog implements the log record splitting and caching
+// optimization of Section 5.2: log records often contain independent
+// redo and undo components; the redo component must be stable before
+// commit, but the undo component is needed only before the pages it
+// covers are cleaned (written to non-volatile storage). Splitting lets
+// the client stream redo components with the rest of the log while
+// caching undo components in virtual memory. Undo components are
+// logged only when their page is about to be cleaned under an
+// uncommitted transaction; transactions that commit first never log
+// them at all. Aborts are served from the cache, avoiding log-server
+// reads entirely.
+package splitlog
+
+import (
+	"sync"
+
+	"distlog/internal/record"
+)
+
+// Appender is the slice of the recovery log the cache needs: the
+// ability to append an undo component.
+type Appender interface {
+	WriteLog(data []byte) (record.LSN, error)
+}
+
+// Stats reports the savings splitting achieved.
+type Stats struct {
+	// UndoCached counts undo components entered into the cache.
+	UndoCached uint64
+	// UndoBytesCached is their total size.
+	UndoBytesCached uint64
+	// UndoLogged counts undo components that had to be written to the
+	// log because their page was cleaned first.
+	UndoLogged uint64
+	// UndoBytesLogged is their total size.
+	UndoBytesLogged uint64
+	// UndoDropped counts components discarded at commit — pure savings.
+	UndoDropped uint64
+	// UndoBytesSaved is the log volume avoided (bytes of dropped,
+	// never-logged components).
+	UndoBytesSaved uint64
+	// AbortsServed counts aborts answered from the cache.
+	AbortsServed uint64
+}
+
+type entry struct {
+	txn    uint64
+	key    string
+	data   []byte
+	logged bool
+}
+
+// Cache holds undo components for live transactions.
+type Cache struct {
+	mu  sync.Mutex
+	log Appender
+	// perTxn preserves insertion order so aborts can undo in reverse.
+	perTxn map[uint64][]*entry
+	perKey map[string][]*entry
+	stats  Stats
+}
+
+// New returns an empty cache writing spilled components to log.
+func New(log Appender) *Cache {
+	return &Cache{
+		log:    log,
+		perTxn: make(map[uint64][]*entry),
+		perKey: make(map[string][]*entry),
+	}
+}
+
+// Put caches the undo component for one update by txn against key.
+func (c *Cache) Put(txn uint64, key string, undo []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := &entry{txn: txn, key: key, data: append([]byte(nil), undo...)}
+	c.perTxn[txn] = append(c.perTxn[txn], e)
+	c.perKey[key] = append(c.perKey[key], e)
+	c.stats.UndoCached++
+	c.stats.UndoBytesCached += uint64(len(undo))
+}
+
+// BeforeClean must be called before the page holding key is written to
+// non-volatile storage: every cached, not-yet-logged undo component
+// referencing the key is appended to the log first (the WAL rule for
+// undo information).
+func (c *Cache) BeforeClean(key string) error {
+	c.mu.Lock()
+	pending := make([]*entry, 0, len(c.perKey[key]))
+	for _, e := range c.perKey[key] {
+		if !e.logged {
+			pending = append(pending, e)
+		}
+	}
+	c.mu.Unlock()
+	for _, e := range pending {
+		if _, err := c.log.WriteLog(e.data); err != nil {
+			return err
+		}
+		c.mu.Lock()
+		e.logged = true
+		c.stats.UndoLogged++
+		c.stats.UndoBytesLogged += uint64(len(e.data))
+		c.mu.Unlock()
+	}
+	return nil
+}
+
+// OnCommit discards txn's cached components: those never logged are
+// pure log-volume savings.
+func (c *Cache) OnCommit(txn uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range c.perTxn[txn] {
+		if !e.logged {
+			c.stats.UndoDropped++
+			c.stats.UndoBytesSaved += uint64(len(e.data))
+		}
+		c.removeFromKeyLocked(e)
+	}
+	delete(c.perTxn, txn)
+}
+
+// TakeForAbort removes and returns txn's undo components in reverse
+// order (most recent first) for local rollback — no log-server read
+// required.
+func (c *Cache) TakeForAbort(txn uint64) [][]byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	entries := c.perTxn[txn]
+	if entries == nil {
+		return nil
+	}
+	delete(c.perTxn, txn)
+	out := make([][]byte, 0, len(entries))
+	for i := len(entries) - 1; i >= 0; i-- {
+		out = append(out, entries[i].data)
+		c.removeFromKeyLocked(entries[i])
+	}
+	c.stats.AbortsServed++
+	return out
+}
+
+func (c *Cache) removeFromKeyLocked(e *entry) {
+	list := c.perKey[e.key]
+	for i, x := range list {
+		if x == e {
+			c.perKey[e.key] = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+	if len(c.perKey[e.key]) == 0 {
+		delete(c.perKey, e.key)
+	}
+}
+
+// Live returns the number of cached components (tests).
+func (c *Cache) Live() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, es := range c.perTxn {
+		n += len(es)
+	}
+	return n
+}
+
+// Stats returns a snapshot of the savings counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}

@@ -1,0 +1,165 @@
+package splitlog
+
+import (
+	"sync"
+	"testing"
+
+	"distlog/internal/record"
+)
+
+// appendLog records appended undo components.
+type appendLog struct {
+	mu   sync.Mutex
+	data [][]byte
+}
+
+func (l *appendLog) WriteLog(p []byte) (record.LSN, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.data = append(l.data, append([]byte(nil), p...))
+	return record.LSN(len(l.data)), nil
+}
+
+func (l *appendLog) count() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.data)
+}
+
+func TestCommitDropsUndoWithoutLogging(t *testing.T) {
+	log := &appendLog{}
+	c := New(log)
+	c.Put(1, "pageA", []byte("undo-a"))
+	c.Put(1, "pageB", []byte("undo-b"))
+	if c.Live() != 2 {
+		t.Fatalf("Live = %d", c.Live())
+	}
+	c.OnCommit(1)
+	if c.Live() != 0 {
+		t.Fatalf("Live after commit = %d", c.Live())
+	}
+	if log.count() != 0 {
+		t.Fatalf("%d undo components logged, want 0", log.count())
+	}
+	s := c.Stats()
+	if s.UndoDropped != 2 || s.UndoBytesSaved != 12 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestBeforeCleanLogsPendingUndo(t *testing.T) {
+	log := &appendLog{}
+	c := New(log)
+	c.Put(1, "pageA", []byte("undo-1a"))
+	c.Put(2, "pageA", []byte("undo-2a"))
+	c.Put(1, "pageB", []byte("undo-1b"))
+	if err := c.BeforeClean("pageA"); err != nil {
+		t.Fatal(err)
+	}
+	if log.count() != 2 {
+		t.Fatalf("logged %d, want 2 (both txns touch pageA)", log.count())
+	}
+	// Cleaning again logs nothing new.
+	if err := c.BeforeClean("pageA"); err != nil {
+		t.Fatal(err)
+	}
+	if log.count() != 2 {
+		t.Fatalf("re-clean logged extra components: %d", log.count())
+	}
+	// pageB's component is still pending.
+	if err := c.BeforeClean("pageB"); err != nil {
+		t.Fatal(err)
+	}
+	if log.count() != 3 {
+		t.Fatalf("logged %d, want 3", log.count())
+	}
+	s := c.Stats()
+	if s.UndoLogged != 3 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestCommitAfterCleanCountsNoSavings(t *testing.T) {
+	log := &appendLog{}
+	c := New(log)
+	c.Put(1, "pageA", []byte("undo"))
+	c.BeforeClean("pageA")
+	c.OnCommit(1)
+	s := c.Stats()
+	if s.UndoDropped != 0 || s.UndoBytesSaved != 0 {
+		t.Fatalf("logged component counted as saved: %+v", s)
+	}
+}
+
+func TestAbortServedFromCacheInReverseOrder(t *testing.T) {
+	log := &appendLog{}
+	c := New(log)
+	c.Put(5, "a", []byte("first"))
+	c.Put(5, "b", []byte("second"))
+	c.Put(5, "c", []byte("third"))
+	undos := c.TakeForAbort(5)
+	if len(undos) != 3 {
+		t.Fatalf("undos = %d", len(undos))
+	}
+	if string(undos[0]) != "third" || string(undos[2]) != "first" {
+		t.Fatalf("order = %q,%q,%q", undos[0], undos[1], undos[2])
+	}
+	if c.Live() != 0 {
+		t.Fatalf("Live = %d", c.Live())
+	}
+	if s := c.Stats(); s.AbortsServed != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	// A second take returns nothing.
+	if undos := c.TakeForAbort(5); undos != nil {
+		t.Fatalf("second take = %v", undos)
+	}
+}
+
+func TestTxnIsolationInCache(t *testing.T) {
+	log := &appendLog{}
+	c := New(log)
+	c.Put(1, "a", []byte("t1"))
+	c.Put(2, "a", []byte("t2"))
+	c.OnCommit(1)
+	undos := c.TakeForAbort(2)
+	if len(undos) != 1 || string(undos[0]) != "t2" {
+		t.Fatalf("undos = %v", undos)
+	}
+}
+
+func TestPutCopiesData(t *testing.T) {
+	log := &appendLog{}
+	c := New(log)
+	buf := []byte("mutable")
+	c.Put(1, "a", buf)
+	buf[0] = 'X'
+	undos := c.TakeForAbort(1)
+	if string(undos[0]) != "mutable" {
+		t.Fatal("cache aliases caller's buffer")
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	log := &appendLog{}
+	c := New(log)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(txn uint64) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				c.Put(txn, "shared", []byte("u"))
+			}
+			if txn%2 == 0 {
+				c.OnCommit(txn)
+			} else {
+				c.TakeForAbort(txn)
+			}
+		}(uint64(w + 1))
+	}
+	wg.Wait()
+	if c.Live() != 0 {
+		t.Fatalf("Live = %d", c.Live())
+	}
+}

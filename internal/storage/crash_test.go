@@ -1,0 +1,453 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"distlog/internal/disk"
+	"distlog/internal/nvram"
+	"distlog/internal/record"
+)
+
+// diskRig owns the devices so a store can be crashed and reopened.
+type diskRig struct {
+	d  *disk.Disk
+	nv *nvram.NVRAM
+}
+
+func newDiskRig(t *testing.T, trackSize int) *diskRig {
+	t.Helper()
+	g := disk.DefaultGeometry()
+	g.TrackSize = trackSize
+	d, err := disk.New(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &diskRig{d: d, nv: nvram.New(4 * trackSize)}
+}
+
+func (r *diskRig) open(t *testing.T) *DiskStore {
+	t.Helper()
+	s, err := NewDiskStore(r.d, r.nv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// crash simulates a power failure and restart of the server node.
+func (r *diskRig) crash(s *DiskStore) {
+	s.Close()
+	r.nv.Crash()
+	r.nv.Restart()
+}
+
+func TestDiskStorePowerFailureRecovery(t *testing.T) {
+	rig := newDiskRig(t, 512)
+	s := rig.open(t)
+	const c = record.ClientID(42)
+	// Write enough that several tracks are drained and a tail remains
+	// staged in NVRAM.
+	for i := record.LSN(1); i <= 100; i++ {
+		if err := s.Append(c, rec(i, 1, fmt.Sprintf("payload-%04d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Force(); err != nil {
+		t.Fatal(err)
+	}
+	if rig.d.Stats().TrackWrites == 0 {
+		t.Fatal("expected some tracks drained")
+	}
+	rig.crash(s)
+
+	s2 := rig.open(t)
+	defer s2.Close()
+	for i := record.LSN(1); i <= 100; i++ {
+		got, err := s2.Read(c, i)
+		if err != nil {
+			t.Fatalf("Read(%d) after crash: %v", i, err)
+		}
+		if string(got.Data) != fmt.Sprintf("payload-%04d", i) {
+			t.Fatalf("Read(%d) = %q", i, got.Data)
+		}
+	}
+	ivs := s2.Intervals(c)
+	if len(ivs) != 1 || ivs[0] != (record.Interval{Epoch: 1, Low: 1, High: 100}) {
+		t.Fatalf("Intervals = %v", ivs)
+	}
+	// The store continues accepting appends after recovery.
+	if err := s2.Append(c, rec(101, 1, "after")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiskStoreTornTrackRecovery(t *testing.T) {
+	rig := newDiskRig(t, 512)
+	s := rig.open(t)
+	const c = record.ClientID(1)
+	for i := record.LSN(1); i <= 60; i++ {
+		if err := s.Append(c, rec(i, 1, "abcdefghijklmnopqrstuvwxyz")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Tear the most recently written track: power failed during its
+	// write. The NVRAM still stages those bytes because the store only
+	// drains after a successful track write... the torn track here is
+	// the *next* write: emulate by tearing the last written track AND
+	// verifying recovery refuses to lose data it still holds.
+	writes := rig.d.Stats().TrackWrites
+	if writes < 2 {
+		t.Fatalf("need >= 2 track writes, got %d", writes)
+	}
+	s.Close()
+	rig.nv.Crash()
+	rig.nv.Restart()
+	// Note: tearing a successfully drained track would lose data in any
+	// design (the stable copy was destroyed after the buffer released
+	// it); the paper's model is that a torn track is one whose write
+	// was interrupted, i.e. whose bytes are still in the buffer. We
+	// verify that case: re-stage the last track's bytes, tear the
+	// track, and recover.
+	last := int(writes) - 1
+	data, _, err := rig.d.ReadTrack(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reconstruct the pre-drain NVRAM state: the torn track's bytes
+	// followed by whatever is staged now.
+	tail := rig.nv.Drain(-1)
+	if err := rig.nv.Append(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := rig.nv.Append(tail); err != nil {
+		t.Fatal(err)
+	}
+	rig.d.Crash(last)
+
+	s2 := rig.open(t)
+	defer s2.Close()
+	for i := record.LSN(1); i <= 60; i++ {
+		if _, err := s2.Read(c, i); err != nil {
+			t.Fatalf("Read(%d) after torn-track recovery: %v", i, err)
+		}
+	}
+	// Appending drains again, healing the torn track.
+	for i := record.LSN(61); i <= 120; i++ {
+		if err := s2.Append(c, rec(i, 1, "abcdefghijklmnopqrstuvwxyz")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := record.LSN(1); i <= 120; i++ {
+		if _, err := s2.Read(c, i); err != nil {
+			t.Fatalf("Read(%d) after heal: %v", i, err)
+		}
+	}
+}
+
+func TestDiskStoreStagedCopiesWithoutInstallDiscarded(t *testing.T) {
+	rig := newDiskRig(t, 512)
+	s := rig.open(t)
+	const c = record.ClientID(1)
+	for i := record.LSN(1); i <= 5; i++ {
+		if err := s.Append(c, rec(i, 1, "x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Stage copies but crash before InstallCopies: the copies must not
+	// appear in the log after recovery (the client recovery procedure
+	// is restartable; uninstalled copies are dead).
+	if err := s.StageCopy(c, rec(5, 2, "copy")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.StageCopy(c, notPresent(6, 2)); err != nil {
+		t.Fatal(err)
+	}
+	rig.crash(s)
+
+	s2 := rig.open(t)
+	defer s2.Close()
+	got, err := s2.Read(c, 5)
+	if err != nil || got.Epoch != 1 {
+		t.Fatalf("Read(5) = %v, %v; staged copy leaked", got, err)
+	}
+	if _, err := s2.Read(c, 6); !errors.Is(err, ErrNotStored) {
+		t.Fatalf("Read(6): %v; uninstalled marker leaked", err)
+	}
+	// The new client recovery can restage and install at a higher epoch.
+	if err := s2.StageCopy(c, rec(5, 3, "copy2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.StageCopy(c, notPresent(6, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.InstallCopies(c, 3); err != nil {
+		t.Fatal(err)
+	}
+	got, err = s2.Read(c, 5)
+	if err != nil || got.Epoch != 3 {
+		t.Fatalf("Read(5) after reinstall = %v, %v", got, err)
+	}
+}
+
+func TestDiskStoreInstallSurvivesCrash(t *testing.T) {
+	rig := newDiskRig(t, 512)
+	s := rig.open(t)
+	const c = record.ClientID(1)
+	for i := record.LSN(1); i <= 5; i++ {
+		if err := s.Append(c, rec(i, 1, "x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.StageCopy(c, rec(5, 2, "copy")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.InstallCopies(c, 2); err != nil {
+		t.Fatal(err)
+	}
+	rig.crash(s)
+
+	s2 := rig.open(t)
+	defer s2.Close()
+	got, err := s2.Read(c, 5)
+	if err != nil || got.Epoch != 2 || string(got.Data) != "copy" {
+		t.Fatalf("Read(5) = %v, %v", got, err)
+	}
+}
+
+func TestDiskStoreCheckpointRoundTrip(t *testing.T) {
+	rig := newDiskRig(t, 512)
+	s := rig.open(t)
+	const c = record.ClientID(9)
+	for i := record.LSN(1); i <= 10; i++ {
+		if err := s.Append(c, rec(i, 1, "x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	for i := record.LSN(11); i <= 20; i++ {
+		if err := s.Append(c, rec(i, 1, "x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rig.crash(s)
+	s2 := rig.open(t)
+	defer s2.Close()
+	ivs := s2.Intervals(c)
+	if len(ivs) != 1 || ivs[0].High != 20 {
+		t.Fatalf("Intervals after checkpointed recovery = %v", ivs)
+	}
+}
+
+func TestDiskStoreNVRAMTooSmall(t *testing.T) {
+	g := disk.DefaultGeometry()
+	d, err := disk.New(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewDiskStore(d, nvram.New(g.TrackSize)); err == nil {
+		t.Fatal("NVRAM smaller than two tracks accepted")
+	}
+}
+
+func TestFileStoreRestartRecovery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log")
+	s, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const c = record.ClientID(3)
+	for i := record.LSN(1); i <= 40; i++ {
+		if err := s.Append(c, rec(i, 2, fmt.Sprintf("v-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Force(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	for i := record.LSN(1); i <= 40; i++ {
+		got, err := s2.Read(c, i)
+		if err != nil || string(got.Data) != fmt.Sprintf("v-%d", i) {
+			t.Fatalf("Read(%d) = %v, %v", i, got, err)
+		}
+	}
+	lsn, epoch := s2.LastKey(c)
+	if lsn != 40 || epoch != 2 {
+		t.Fatalf("LastKey = %d,%d", lsn, epoch)
+	}
+}
+
+func TestFileStoreTornTailTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log")
+	s, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const c = record.ClientID(1)
+	for i := record.LSN(1); i <= 10; i++ {
+		if err := s.Append(c, rec(i, 1, "solid")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	// Simulate a crash mid-append: append half a frame of garbage.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{kindRecord, 0, 0, 0, 50, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	for i := record.LSN(1); i <= 10; i++ {
+		if _, err := s2.Read(c, i); err != nil {
+			t.Fatalf("Read(%d): %v", i, err)
+		}
+	}
+	// The torn bytes are gone; new appends land cleanly and survive
+	// another reopen.
+	if err := s2.Append(c, rec(11, 1, "fresh")); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+	s3, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	got, err := s3.Read(c, 11)
+	if err != nil || string(got.Data) != "fresh" {
+		t.Fatalf("Read(11) = %v, %v", got, err)
+	}
+}
+
+func TestFileStoreUninstalledCopiesDiscardedOnReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log")
+	s, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const c = record.ClientID(1)
+	if err := s.Append(c, rec(1, 1, "x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.StageCopy(c, rec(1, 2, "copy")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close() // no InstallCopies
+
+	s2, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got, err := s2.Read(c, 1)
+	if err != nil || got.Epoch != 1 {
+		t.Fatalf("Read(1) = %v, %v", got, err)
+	}
+}
+
+func TestDiskStoreManyTracksAndClients(t *testing.T) {
+	rig := newDiskRig(t, 1024)
+	s := rig.open(t)
+	clients := []record.ClientID{1, 2, 3, 4, 5}
+	const perClient = 200
+	for i := record.LSN(1); i <= perClient; i++ {
+		for _, c := range clients {
+			if err := s.Append(c, rec(i, 1, fmt.Sprintf("c%d-lsn%d-0123456789", c, i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	rig.crash(s)
+	s2 := rig.open(t)
+	defer s2.Close()
+	for _, c := range clients {
+		ivs := s2.Intervals(c)
+		if len(ivs) != 1 || ivs[0].High != perClient {
+			t.Fatalf("client %d intervals = %v", c, ivs)
+		}
+		for _, i := range []record.LSN{1, perClient / 2, perClient} {
+			got, err := s2.Read(c, i)
+			if err != nil || string(got.Data) != fmt.Sprintf("c%d-lsn%d-0123456789", c, i) {
+				t.Fatalf("Read(c=%d, %d) = %v, %v", c, i, got, err)
+			}
+		}
+	}
+}
+
+func BenchmarkDiskStoreAppendForce(b *testing.B) {
+	g := disk.DefaultGeometry()
+	newStore := func() *DiskStore {
+		d, err := disk.New(g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, err := NewDiskStore(d, nvram.New(4*g.TrackSize))
+		if err != nil {
+			b.Fatal(err)
+		}
+		return s
+	}
+	s := newStore()
+	defer func() { s.Close() }()
+	data := make([]byte, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := record.Record{LSN: record.LSN(i + 1), Epoch: 1, Present: true, Data: data}
+		err := s.Append(1, r)
+		if errors.Is(err, ErrDiskFull) {
+			// Long benchmark runs outlast the modelled platter: swap in
+			// a fresh volume and keep appending.
+			s.Close()
+			s = newStore()
+			err = s.Append(1, r)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Force(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFileStoreAppendForce(b *testing.B) {
+	s, err := OpenFileStore(filepath.Join(b.TempDir(), "log"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	data := make([]byte, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := record.Record{LSN: record.LSN(i + 1), Epoch: 1, Present: true, Data: data}
+		if err := s.Append(1, r); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Force(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package storage
+
+import (
+	"sync"
+
+	"distlog/internal/record"
+)
+
+// MemStore keeps all log data in memory. It provides no durability —
+// it models the paper's second-stage prototype, which stored log data
+// in the server's virtual memory — and is the backend of choice for
+// protocol tests and benchmarks that want to exclude device effects.
+type MemStore struct {
+	mu      sync.Mutex
+	clients map[record.ClientID]*clientIndex
+	records map[record.ClientID][]record.Record
+	stage   *stage
+	closed  bool
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{
+		clients: make(map[record.ClientID]*clientIndex),
+		records: make(map[record.ClientID][]record.Record),
+		stage:   newStage(),
+	}
+}
+
+func (m *MemStore) client(c record.ClientID) *clientIndex {
+	ci := m.clients[c]
+	if ci == nil {
+		ci = newClientIndex()
+		m.clients[c] = ci
+	}
+	return ci
+}
+
+// Append implements Store.
+func (m *MemStore) Append(c record.ClientID, rec record.Record) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	ci := m.client(c)
+	loc := int64(len(m.records[c]))
+	if err := ci.addNormal(rec, loc); err != nil {
+		return err
+	}
+	m.records[c] = append(m.records[c], rec.Clone())
+	return nil
+}
+
+// Force implements Store. Memory is already "stable" for this backend.
+func (m *MemStore) Force() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
+// Read implements Store.
+func (m *MemStore) Read(c record.ClientID, lsn record.LSN) (record.Record, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return record.Record{}, ErrClosed
+	}
+	ci := m.clients[c]
+	if ci == nil {
+		return record.Record{}, ErrNotStored
+	}
+	ref, ok := ci.lookup(lsn)
+	if !ok {
+		return record.Record{}, ErrNotStored
+	}
+	return m.records[c][ref.loc].Clone(), nil
+}
+
+// Intervals implements Store.
+func (m *MemStore) Intervals(c record.ClientID) []record.Interval {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ci := m.clients[c]
+	if ci == nil {
+		return nil
+	}
+	out := make([]record.Interval, len(ci.intervals))
+	copy(out, ci.intervals)
+	return out
+}
+
+// LastKey implements Store.
+func (m *MemStore) LastKey(c record.ClientID) (record.LSN, record.Epoch) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ci := m.clients[c]
+	if ci == nil {
+		return 0, 0
+	}
+	return ci.lastLSN, ci.lastEpoch
+}
+
+// Clients implements Store.
+func (m *MemStore) Clients() []record.ClientID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return sortedClients(m.clients)
+}
+
+// StageCopy implements Store.
+func (m *MemStore) StageCopy(c record.ClientID, rec record.Record) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	return m.stage.add(c, rec, -1)
+}
+
+// InstallCopies implements Store.
+func (m *MemStore) InstallCopies(c record.ClientID, epoch record.Epoch) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	staged := m.stage.take(c, epoch)
+	if len(staged) == 0 {
+		return ErrNoStagedCopies
+	}
+	ci := m.client(c)
+	for _, sr := range staged {
+		loc := int64(len(m.records[c]))
+		if err := ci.addInstalled(sr.rec, loc); err != nil {
+			return err
+		}
+		m.records[c] = append(m.records[c], sr.rec)
+	}
+	return nil
+}
+
+// Truncate implements Store. The memory store also frees the
+// truncated records' storage.
+func (m *MemStore) Truncate(c record.ClientID, before record.LSN) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	ci := m.clients[c]
+	if ci == nil {
+		return ErrNotStored
+	}
+	ci.truncate(before)
+	// Release the record data (keep slots so locs stay valid).
+	for i := range m.records[c] {
+		if m.records[c][i].LSN < ci.truncated {
+			m.records[c][i].Data = nil
+		}
+	}
+	return nil
+}
+
+// Close implements Store.
+func (m *MemStore) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	return nil
+}

@@ -1,0 +1,66 @@
+package storage
+
+import (
+	"fmt"
+
+	"distlog/internal/record"
+)
+
+// replayState rebuilds the volatile per-client indexes, the CopyLog
+// staging areas, and the last checkpoint by scanning the stream after
+// a restart.
+type replayState struct {
+	clients  map[record.ClientID]*clientIndex
+	stage    *stage
+	lastCkpt map[record.ClientID][]record.Interval
+}
+
+func newReplayState() *replayState {
+	return &replayState{
+		clients: make(map[record.ClientID]*clientIndex),
+		stage:   newStage(),
+	}
+}
+
+func (rs *replayState) client(c record.ClientID) *clientIndex {
+	ci := rs.clients[c]
+	if ci == nil {
+		ci = newClientIndex()
+		rs.clients[c] = ci
+	}
+	return ci
+}
+
+// apply replays one stream entry found at the given absolute offset.
+func (rs *replayState) apply(e streamEntry, loc int64) error {
+	switch e.kind {
+	case kindRecord:
+		return rs.client(e.client).addNormal(e.rec, loc)
+	case kindStagedCopy:
+		return rs.stage.add(e.client, e.rec, loc)
+	case kindInstall:
+		staged := rs.stage.take(e.client, e.epoch)
+		if len(staged) == 0 {
+			// The stage was consumed by an earlier marker (a retried
+			// InstallCopies); the commit is idempotent.
+			return nil
+		}
+		ci := rs.client(e.client)
+		for _, sr := range staged {
+			if err := ci.addInstalled(sr.rec, sr.loc); err != nil {
+				return err
+			}
+		}
+		return nil
+	case kindTruncate:
+		rs.client(e.client).truncate(e.before)
+		return nil
+	case kindCheckpoint:
+		rs.lastCkpt = e.ckpt
+		return nil
+	case kindPad:
+		return nil
+	default:
+		return fmt.Errorf("%w: unknown entry kind 0x%02x during replay", ErrBadFrame, e.kind)
+	}
+}

@@ -1,0 +1,292 @@
+// Package storage implements the log server's stable storage (Section
+// 4.3): an interleaved, append-only stream of log records from many
+// clients, indexed per client by an append-forest, with interval lists
+// kept in volatile memory and checkpointed periodically.
+//
+// Three backends share one entry format and one conformance contract:
+//
+//   - MemStore keeps everything in memory (no durability; protocol
+//     tests and the paper's "second stage" prototype, which stored log
+//     data in server virtual memory).
+//   - DiskStore layers the stream on the simulated track disk behind a
+//     battery-backed NVRAM buffer: appends and forces complete at
+//     memory speed, full tracks are drained to disk, and all committed
+//     data survives a power failure.
+//   - FileStore appends the same stream to an ordinary file with
+//     fsync-on-force, for the standalone UDP server daemon.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"distlog/internal/appendforest"
+	"distlog/internal/record"
+)
+
+// Errors returned by stores.
+var (
+	// ErrNotStored is returned when the server stores no record with
+	// the requested LSN for the client. Per Section 3.1.1 a log server
+	// does not respond to reads for records it does not store; the
+	// protocol layer maps this error to a negative response the client
+	// treats accordingly.
+	ErrNotStored = errors.New("storage: record not stored on this server")
+	// ErrNoStagedCopies is returned by InstallCopies when nothing was
+	// staged for the client and epoch.
+	ErrNoStagedCopies = errors.New("storage: no staged copies to install")
+	// ErrClosed is returned after Close.
+	ErrClosed = errors.New("storage: store is closed")
+)
+
+// Store is the stable-storage abstraction used by a log server node.
+// Implementations must be safe for concurrent use.
+type Store interface {
+	// Append durably-stages one record for the client, enforcing the
+	// non-decreasing LSN and epoch rules of Section 3.1.1. Data is
+	// guaranteed stable only after Force returns.
+	Append(c record.ClientID, rec record.Record) error
+
+	// Force makes all previously appended records stable. For the
+	// NVRAM-backed store this is a memory-speed no-op (the staging
+	// buffer is itself non-volatile); for the file store it is fsync.
+	Force() error
+
+	// Read returns the stored record with the highest epoch number for
+	// the requested LSN. Records marked not-present are returned with
+	// Present == false. ErrNotStored when no record with that LSN is
+	// stored for the client.
+	Read(c record.ClientID, lsn record.LSN) (record.Record, error)
+
+	// Intervals returns the client's interval list: the epoch, low LSN
+	// and high LSN of each consecutive sequence of stored records.
+	Intervals(c record.ClientID) []record.Interval
+
+	// LastKey returns the identifiers of the most recently appended
+	// record for the client (zero values when none).
+	LastKey(c record.ClientID) (record.LSN, record.Epoch)
+
+	// Clients lists clients with stored records.
+	Clients() []record.ClientID
+
+	// StageCopy stages a CopyLog record. Staged records become part of
+	// the log only when InstallCopies commits them; a crash before the
+	// install discards them.
+	StageCopy(c record.ClientID, rec record.Record) error
+
+	// InstallCopies atomically installs all records staged for the
+	// client with the given epoch, in LSN order, then clears the stage.
+	InstallCopies(c record.ClientID, epoch record.Epoch) error
+
+	// Truncate logically discards the client's records with LSNs below
+	// before (Section 5.3 log space management: the client calls this
+	// after a checkpoint or dump makes the prefix unnecessary for node
+	// recovery). Truncated records vanish from interval lists and
+	// reads; the client's high-water mark is retained, so LSNs are
+	// never reused. At least one record is always kept: before is
+	// clamped to the last stored LSN.
+	Truncate(c record.ClientID, before record.LSN) error
+
+	// Close releases resources. Further calls fail with ErrClosed.
+	Close() error
+}
+
+// entryRef locates one stored record: its epoch (to resolve the
+// highest-epoch-wins rule without fetching) and a backend-specific
+// location (byte offset, or slice index for the memory store).
+type entryRef struct {
+	epoch   record.Epoch
+	present bool
+	loc     int64
+}
+
+// clientIndex is the volatile per-client index shared by all backends:
+// the interval list, the last appended key (for sequencing checks), an
+// append-forest over the client's strictly-increasing LSNs, and an
+// overlay for recovery copies whose LSNs revisit old positions.
+type clientIndex struct {
+	intervals []record.Interval
+	lastLSN   record.LSN
+	lastEpoch record.Epoch
+	forest    appendforest.Forest[entryRef]
+	overlay   map[record.LSN]entryRef
+	// truncated is the lowest LSN still served; records below were
+	// discarded by Truncate.
+	truncated record.LSN
+}
+
+func newClientIndex() *clientIndex {
+	return &clientIndex{overlay: make(map[record.LSN]entryRef)}
+}
+
+// addNormal indexes a record arriving through the ordinary write path,
+// validating Section 3.1.1 sequencing.
+func (ci *clientIndex) addNormal(rec record.Record, loc int64) error {
+	if err := record.ValidateAppend(ci.lastLSN, ci.lastEpoch, rec); err != nil {
+		return err
+	}
+	ci.index(rec, loc)
+	return nil
+}
+
+// addInstalled indexes a record arriving through InstallCopies, which
+// may legally revisit LSNs below the client's high-water mark provided
+// the epoch is not lower than anything stored.
+func (ci *clientIndex) addInstalled(rec record.Record, loc int64) error {
+	if rec.LSN == 0 || rec.Epoch == 0 {
+		return record.ErrZero
+	}
+	if rec.Epoch < ci.lastEpoch {
+		return fmt.Errorf("%w: install at epoch %d after %d", record.ErrEpochRegression, rec.Epoch, ci.lastEpoch)
+	}
+	ci.index(rec, loc)
+	return nil
+}
+
+// index records the entry in the forest (dense increasing path) or the
+// overlay (revisited LSNs), updates the interval list, and advances
+// the last-key watermark.
+func (ci *clientIndex) index(rec record.Record, loc int64) {
+	ref := entryRef{epoch: rec.Epoch, present: rec.Present, loc: loc}
+	if err := ci.forest.Append(uint64(rec.LSN), ref); err != nil {
+		// LSN revisits an indexed position: keep the highest epoch.
+		if old, ok := ci.overlay[rec.LSN]; !ok || rec.Epoch >= old.epoch {
+			ci.overlay[rec.LSN] = ref
+		}
+	}
+	ci.intervals = record.ExtendIntervals(ci.intervals, rec)
+	if rec.LSN > ci.lastLSN {
+		ci.lastLSN = rec.LSN
+	}
+	if rec.Epoch > ci.lastEpoch {
+		ci.lastEpoch = rec.Epoch
+	}
+}
+
+// truncate clips the index below before, clamped so the last record is
+// always retained (preserving the client's LSN high-water mark).
+func (ci *clientIndex) truncate(before record.LSN) {
+	if before > ci.lastLSN {
+		before = ci.lastLSN
+	}
+	if before <= ci.truncated {
+		return
+	}
+	ci.truncated = before
+	kept := ci.intervals[:0]
+	for _, iv := range ci.intervals {
+		if iv.High < before {
+			continue
+		}
+		if iv.Low < before {
+			iv.Low = before
+		}
+		kept = append(kept, iv)
+	}
+	ci.intervals = kept
+	for lsn := range ci.overlay {
+		if lsn < before {
+			delete(ci.overlay, lsn)
+		}
+	}
+}
+
+// lookup resolves an LSN to the highest-epoch entry.
+func (ci *clientIndex) lookup(lsn record.LSN) (entryRef, bool) {
+	if lsn < ci.truncated {
+		return entryRef{}, false
+	}
+	fRef, fOK := ci.forest.Lookup(uint64(lsn))
+	oRef, oOK := ci.overlay[lsn]
+	switch {
+	case fOK && oOK:
+		if oRef.epoch >= fRef.epoch {
+			return oRef, true
+		}
+		return fRef, true
+	case fOK:
+		return fRef, true
+	case oOK:
+		return oRef, true
+	default:
+		return entryRef{}, false
+	}
+}
+
+// stageKey identifies a staging area.
+type stageKey struct {
+	client record.ClientID
+	epoch  record.Epoch
+}
+
+// stagedRec is a staged CopyLog record together with its stream
+// location (durable backends write staged records to the stream
+// immediately; the location lets InstallCopies index them without
+// rewriting the data).
+type stagedRec struct {
+	rec record.Record
+	loc int64
+}
+
+// stage is the shared CopyLog staging area. Staged records become part
+// of the log only at install; duplicates (same LSN) keep the last
+// arrival, which lets a client retry CopyLog calls idempotently.
+type stage struct {
+	records map[stageKey]map[record.LSN]stagedRec
+}
+
+func newStage() *stage {
+	return &stage{records: make(map[stageKey]map[record.LSN]stagedRec)}
+}
+
+func (s *stage) add(c record.ClientID, rec record.Record, loc int64) error {
+	if rec.LSN == 0 || rec.Epoch == 0 {
+		return record.ErrZero
+	}
+	k := stageKey{c, rec.Epoch}
+	m := s.records[k]
+	if m == nil {
+		m = make(map[record.LSN]stagedRec)
+		s.records[k] = m
+	}
+	m[rec.LSN] = stagedRec{rec: rec.Clone(), loc: loc}
+	return nil
+}
+
+// take removes and returns the staged records for (client, epoch) in
+// LSN order.
+func (s *stage) take(c record.ClientID, epoch record.Epoch) []stagedRec {
+	k := stageKey{c, epoch}
+	m := s.records[k]
+	if len(m) == 0 {
+		return nil
+	}
+	delete(s.records, k)
+	out := make([]stagedRec, 0, len(m))
+	for _, sr := range m {
+		out = append(out, sr)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].rec.LSN < out[j].rec.LSN })
+	return out
+}
+
+// discard drops every staging area for the client (client restart
+// abandons prior recovery attempts).
+func (s *stage) discard(c record.ClientID) {
+	for k := range s.records {
+		if k.client == c {
+			delete(s.records, k)
+		}
+	}
+}
+
+// sortedClients returns map keys in a stable order.
+func sortedClients[V any](m map[record.ClientID]V) []record.ClientID {
+	out := make([]record.ClientID, 0, len(m))
+	for c := range m {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,239 @@
+package storage
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"distlog/internal/record"
+)
+
+func fillClient(t *testing.T, s Store, c record.ClientID, n int) {
+	t.Helper()
+	for i := record.LSN(1); i <= record.LSN(n); i++ {
+		if err := s.Append(c, rec(i, 1, "space-management-payload")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Force(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreTruncateBasics(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, s Store) {
+		const c = record.ClientID(1)
+		fillClient(t, s, c, 20)
+		if err := s.Truncate(c, 11); err != nil {
+			t.Fatal(err)
+		}
+		// Records below 11 are gone.
+		for i := record.LSN(1); i <= 10; i++ {
+			if _, err := s.Read(c, i); !errors.Is(err, ErrNotStored) {
+				t.Fatalf("Read(%d) after truncate: %v", i, err)
+			}
+		}
+		// Records from 11 remain.
+		for i := record.LSN(11); i <= 20; i++ {
+			if _, err := s.Read(c, i); err != nil {
+				t.Fatalf("Read(%d): %v", i, err)
+			}
+		}
+		// The interval list is clipped.
+		ivs := s.Intervals(c)
+		if len(ivs) != 1 || ivs[0].Low != 11 || ivs[0].High != 20 {
+			t.Fatalf("Intervals = %v", ivs)
+		}
+		// The high-water mark is retained: appends continue from 21 and
+		// an old LSN is still rejected.
+		if err := s.Append(c, rec(21, 1, "x")); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Append(c, rec(5, 1, "reuse")); !errors.Is(err, record.ErrLSNRegression) {
+			t.Fatalf("LSN reuse after truncate: %v", err)
+		}
+	})
+}
+
+func TestStoreTruncateClampsToLastRecord(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, s Store) {
+		const c = record.ClientID(1)
+		fillClient(t, s, c, 5)
+		// Truncating beyond the end keeps the last record.
+		if err := s.Truncate(c, 100); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Read(c, 5); err != nil {
+			t.Fatalf("last record discarded: %v", err)
+		}
+		lsn, _ := s.LastKey(c)
+		if lsn != 5 {
+			t.Fatalf("LastKey = %d", lsn)
+		}
+	})
+}
+
+func TestStoreTruncateIdempotentAndMonotonic(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, s Store) {
+		const c = record.ClientID(1)
+		fillClient(t, s, c, 10)
+		if err := s.Truncate(c, 6); err != nil {
+			t.Fatal(err)
+		}
+		// Re-truncating at or below the current point is a no-op.
+		if err := s.Truncate(c, 6); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Truncate(c, 3); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Read(c, 6); err != nil {
+			t.Fatalf("Read(6): %v", err)
+		}
+		if _, err := s.Read(c, 5); !errors.Is(err, ErrNotStored) {
+			t.Fatalf("Read(5): %v", err)
+		}
+	})
+}
+
+func TestStoreTruncateUnknownClient(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, s Store) {
+		if err := s.Truncate(99, 5); !errors.Is(err, ErrNotStored) {
+			t.Fatalf("Truncate unknown client: %v", err)
+		}
+	})
+}
+
+func TestStoreTruncatePerClientIsolation(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, s Store) {
+		fillClient(t, s, 1, 10)
+		fillClient(t, s, 2, 10)
+		if err := s.Truncate(1, 8); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Read(2, 1); err != nil {
+			t.Fatalf("client 2 affected by client 1's truncation: %v", err)
+		}
+	})
+}
+
+func TestDiskStoreTruncateSurvivesCrash(t *testing.T) {
+	rig := newDiskRig(t, 512)
+	s := rig.open(t)
+	const c = record.ClientID(1)
+	fillClient(t, s, c, 30)
+	if err := s.Truncate(c, 21); err != nil {
+		t.Fatal(err)
+	}
+	rig.crash(s)
+
+	s2 := rig.open(t)
+	defer s2.Close()
+	if _, err := s2.Read(c, 20); !errors.Is(err, ErrNotStored) {
+		t.Fatalf("Read(20) after crash: truncation lost")
+	}
+	if _, err := s2.Read(c, 21); err != nil {
+		t.Fatalf("Read(21) after crash: %v", err)
+	}
+	ivs := s2.Intervals(c)
+	if len(ivs) != 1 || ivs[0].Low != 21 {
+		t.Fatalf("Intervals = %v", ivs)
+	}
+}
+
+func TestFileStoreCompactReclaimsSpace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log")
+	s, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const c = record.ClientID(1)
+	fillClient(t, s, c, 200)
+	before, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Truncate(c, 191); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size() >= before.Size()/2 {
+		t.Fatalf("compact did not reclaim space: %d -> %d bytes", before.Size(), after.Size())
+	}
+	// Surviving records still read; the store stays usable.
+	for i := record.LSN(191); i <= 200; i++ {
+		if _, err := s.Read(c, i); err != nil {
+			t.Fatalf("Read(%d) after compact: %v", i, err)
+		}
+	}
+	if _, err := s.Read(c, 190); !errors.Is(err, ErrNotStored) {
+		t.Fatalf("Read(190) after compact: %v", err)
+	}
+	if err := s.Append(c, rec(201, 1, "post-compact")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Force(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// The compacted file replays correctly after a restart.
+	s2, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, err := s2.Read(c, 201); err != nil {
+		t.Fatalf("Read(201) after reopen: %v", err)
+	}
+	if _, err := s2.Read(c, 100); !errors.Is(err, ErrNotStored) {
+		t.Fatalf("Read(100) after reopen: %v", err)
+	}
+	lsn, _ := s2.LastKey(c)
+	if lsn != 201 {
+		t.Fatalf("LastKey after reopen = %d", lsn)
+	}
+}
+
+func TestFileStoreCompactKeepsInstalledCopies(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log")
+	s, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const c = record.ClientID(1)
+	fillClient(t, s, c, 10)
+	if err := s.StageCopy(c, rec(10, 2, "copied")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.InstallCopies(c, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Truncate(c, 6); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Read(c, 10)
+	if err != nil || got.Epoch != 2 || string(got.Data) != "copied" {
+		t.Fatalf("installed copy after compact: %v, %v", got, err)
+	}
+	s.Close()
+	s2, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got, err = s2.Read(c, 10)
+	if err != nil || got.Epoch != 2 {
+		t.Fatalf("installed copy after reopen: %v, %v", got, err)
+	}
+}

@@ -1,0 +1,192 @@
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Faults configures the memory network's misbehaviour. Zero value is a
+// perfect network. Probabilities are in [0,1].
+type Faults struct {
+	DropProb    float64       // lose the packet
+	DupProb     float64       // deliver it twice
+	CorruptProb float64       // flip one byte (exercises end-to-end CRC)
+	MaxDelay    time.Duration // uniform random delivery delay (also reorders)
+}
+
+// Network is an in-memory datagram network. Endpoints are registered
+// by name; faults can be set globally or per directed link; pairs of
+// nodes can be partitioned.
+type Network struct {
+	mu         sync.Mutex
+	rng        *rand.Rand
+	endpoints  map[string]*memEndpoint
+	faults     Faults
+	linkFaults map[linkKey]Faults
+	partition  map[linkKey]bool
+}
+
+type linkKey struct{ from, to string }
+
+// NewNetwork returns a fault-free network. Seed fixes the fault
+// generator so failing tests replay identically.
+func NewNetwork(seed int64) *Network {
+	return &Network{
+		rng:        rand.New(rand.NewSource(seed)),
+		endpoints:  make(map[string]*memEndpoint),
+		linkFaults: make(map[linkKey]Faults),
+		partition:  make(map[linkKey]bool),
+	}
+}
+
+// SetFaults sets the network-wide fault configuration.
+func (n *Network) SetFaults(f Faults) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.faults = f
+}
+
+// SetLinkFaults overrides faults for packets sent from -> to.
+func (n *Network) SetLinkFaults(from, to string, f Faults) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.linkFaults[linkKey{from, to}] = f
+}
+
+// SetPartition blocks (or unblocks) traffic in both directions between
+// a and b.
+func (n *Network) SetPartition(a, b string, blocked bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partition[linkKey{a, b}] = blocked
+	n.partition[linkKey{b, a}] = blocked
+}
+
+// Endpoint registers (or returns the existing) endpoint with the given
+// name.
+func (n *Network) Endpoint(name string) *memEndpoint {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if ep, ok := n.endpoints[name]; ok && !ep.closed {
+		return ep
+	}
+	ep := &memEndpoint{
+		net:  n,
+		name: name,
+		ch:   make(chan Packet, 1024),
+		done: make(chan struct{}),
+	}
+	n.endpoints[name] = ep
+	return ep
+}
+
+// deliver routes one packet, applying faults. Called with n.mu held.
+func (n *Network) deliver(from, to string, data []byte) error {
+	if n.partition[linkKey{from, to}] {
+		return nil // silently dropped, like a real partition
+	}
+	dst, ok := n.endpoints[to]
+	if !ok || dst.closed {
+		return nil // unknown/absent destination: datagram vanishes
+	}
+	f := n.faults
+	if lf, ok := n.linkFaults[linkKey{from, to}]; ok {
+		f = lf
+	}
+	if f.DropProb > 0 && n.rng.Float64() < f.DropProb {
+		return nil
+	}
+	copies := 1
+	if f.DupProb > 0 && n.rng.Float64() < f.DupProb {
+		copies = 2
+	}
+	for i := 0; i < copies; i++ {
+		pkt := Packet{From: from, Data: append([]byte(nil), data...)}
+		if f.CorruptProb > 0 && n.rng.Float64() < f.CorruptProb && len(pkt.Data) > 0 {
+			pkt.Data[n.rng.Intn(len(pkt.Data))] ^= 0xFF
+		}
+		if f.MaxDelay > 0 {
+			delay := time.Duration(n.rng.Int63n(int64(f.MaxDelay)))
+			time.AfterFunc(delay, func() { dst.push(pkt) })
+		} else {
+			dst.push(pkt)
+		}
+	}
+	return nil
+}
+
+// memEndpoint implements Endpoint over a Network.
+type memEndpoint struct {
+	net  *Network
+	name string
+	ch   chan Packet
+	done chan struct{}
+
+	mu     sync.Mutex
+	closed bool
+}
+
+func (e *memEndpoint) push(pkt Packet) {
+	select {
+	case <-e.done:
+		return
+	default:
+	}
+	select {
+	case e.ch <- pkt:
+	default:
+		// Receive queue overflow: the interface card drops the packet,
+		// exactly what Section 4.1 warns about for back-to-back
+		// traffic without adequate buffering.
+	}
+}
+
+// Send implements Endpoint.
+func (e *memEndpoint) Send(to string, data []byte) error {
+	if len(data) > MaxPacketSize {
+		return fmt.Errorf("%w: %d bytes", ErrTooLarge, len(data))
+	}
+	select {
+	case <-e.done:
+		return ErrClosed
+	default:
+	}
+	e.net.mu.Lock()
+	defer e.net.mu.Unlock()
+	return e.net.deliver(e.name, to, data)
+}
+
+// Recv implements Endpoint.
+func (e *memEndpoint) Recv(timeout time.Duration) (Packet, error) {
+	var timer <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		timer = t.C
+	}
+	select {
+	case pkt := <-e.ch:
+		return pkt, nil
+	case <-e.done:
+		return Packet{}, ErrClosed
+	case <-timer:
+		return Packet{}, ErrTimeout
+	}
+}
+
+// Addr implements Endpoint.
+func (e *memEndpoint) Addr() string { return e.name }
+
+// Close implements Endpoint.
+func (e *memEndpoint) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil
+	}
+	e.closed = true
+	close(e.done)
+	return nil
+}

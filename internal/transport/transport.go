@@ -1,0 +1,54 @@
+// Package transport provides the unreliable datagram networks that the
+// log protocol (Section 4.2) runs over: an in-memory network with
+// deterministic fault injection (drop, duplicate, delay, reorder,
+// partition) for tests and single-process deployments, and a UDP
+// transport for real sockets.
+//
+// Both expose the same Endpoint interface. Datagrams may be lost,
+// duplicated, delayed, or reordered — never corrupted silently: the
+// wire layer adds an end-to-end checksum per the end-to-end argument
+// the paper adopts, and the memory network can flip bits on request to
+// exercise it.
+package transport
+
+import (
+	"errors"
+	"time"
+)
+
+// MaxPacketSize is the largest datagram either transport delivers,
+// modelling a single local-network packet. The protocol packs as many
+// log records as fit into each packet (Section 4.2).
+const MaxPacketSize = 1400
+
+// Packet is one received datagram.
+type Packet struct {
+	From string
+	Data []byte
+}
+
+// Errors returned by endpoints.
+var (
+	ErrTimeout    = errors.New("transport: receive timed out")
+	ErrClosed     = errors.New("transport: endpoint closed")
+	ErrTooLarge   = errors.New("transport: packet exceeds MaxPacketSize")
+	ErrNoSuchAddr = errors.New("transport: no such address")
+)
+
+// Endpoint is one node's attachment to the network. Send is
+// best-effort and non-blocking; Recv blocks up to the timeout.
+// Implementations are safe for concurrent use.
+type Endpoint interface {
+	// Send transmits data to the named endpoint. Losing the packet is
+	// not an error; the protocol layer carries its own acknowledgment
+	// and retransmission machinery.
+	Send(to string, data []byte) error
+	// Recv returns the next delivered packet, waiting up to timeout
+	// (zero or negative waits forever). ErrTimeout on expiry, ErrClosed
+	// after Close.
+	Recv(timeout time.Duration) (Packet, error)
+	// Addr returns this endpoint's address.
+	Addr() string
+	// Close detaches the endpoint; blocked Recvs return ErrClosed.
+	Close() error
+}

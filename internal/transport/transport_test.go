@@ -1,0 +1,286 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestMemNetDelivery(t *testing.T) {
+	n := NewNetwork(1)
+	a := n.Endpoint("a")
+	b := n.Endpoint("b")
+	if err := a.Send("b", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	pkt, err := b.Recv(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkt.From != "a" || string(pkt.Data) != "hello" {
+		t.Fatalf("pkt = %+v", pkt)
+	}
+}
+
+func TestMemNetRecvTimeout(t *testing.T) {
+	n := NewNetwork(1)
+	a := n.Endpoint("a")
+	start := time.Now()
+	_, err := a.Recv(20 * time.Millisecond)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("Recv = %v", err)
+	}
+	if time.Since(start) < 15*time.Millisecond {
+		t.Fatal("returned too early")
+	}
+}
+
+func TestMemNetUnknownDestinationVanishes(t *testing.T) {
+	n := NewNetwork(1)
+	a := n.Endpoint("a")
+	if err := a.Send("ghost", []byte("x")); err != nil {
+		t.Fatalf("send to unknown: %v", err)
+	}
+}
+
+func TestMemNetClose(t *testing.T) {
+	n := NewNetwork(1)
+	a := n.Endpoint("a")
+	done := make(chan error, 1)
+	go func() {
+		_, err := a.Recv(0)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	a.Close()
+	if err := <-done; !errors.Is(err, ErrClosed) {
+		t.Fatalf("Recv after close = %v", err)
+	}
+	if err := a.Send("b", []byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Send after close = %v", err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestMemNetPacketTooLarge(t *testing.T) {
+	n := NewNetwork(1)
+	a := n.Endpoint("a")
+	if err := a.Send("b", make([]byte, MaxPacketSize+1)); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized send: %v", err)
+	}
+}
+
+func TestMemNetDrop(t *testing.T) {
+	n := NewNetwork(7)
+	a := n.Endpoint("a")
+	b := n.Endpoint("b")
+	n.SetFaults(Faults{DropProb: 1})
+	a.Send("b", []byte("lost"))
+	if _, err := b.Recv(30 * time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("dropped packet arrived: %v", err)
+	}
+	n.SetFaults(Faults{})
+	a.Send("b", []byte("found"))
+	if pkt, err := b.Recv(time.Second); err != nil || string(pkt.Data) != "found" {
+		t.Fatalf("recovery after faults cleared: %v, %v", pkt, err)
+	}
+}
+
+func TestMemNetDuplicate(t *testing.T) {
+	n := NewNetwork(7)
+	a := n.Endpoint("a")
+	b := n.Endpoint("b")
+	n.SetFaults(Faults{DupProb: 1})
+	a.Send("b", []byte("twice"))
+	for i := 0; i < 2; i++ {
+		pkt, err := b.Recv(time.Second)
+		if err != nil || string(pkt.Data) != "twice" {
+			t.Fatalf("copy %d: %v, %v", i, pkt, err)
+		}
+	}
+}
+
+func TestMemNetCorruption(t *testing.T) {
+	n := NewNetwork(7)
+	a := n.Endpoint("a")
+	b := n.Endpoint("b")
+	n.SetFaults(Faults{CorruptProb: 1})
+	orig := []byte("pristine-data")
+	a.Send("b", orig)
+	pkt, err := b.Recv(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(pkt.Data, orig) {
+		t.Fatal("packet was not corrupted")
+	}
+	if len(pkt.Data) != len(orig) {
+		t.Fatal("corruption changed length")
+	}
+}
+
+func TestMemNetDelayReorders(t *testing.T) {
+	n := NewNetwork(3)
+	a := n.Endpoint("a")
+	b := n.Endpoint("b")
+	n.SetFaults(Faults{MaxDelay: 30 * time.Millisecond})
+	const total = 40
+	for i := 0; i < total; i++ {
+		a.Send("b", []byte{byte(i)})
+	}
+	got := make([]byte, 0, total)
+	for i := 0; i < total; i++ {
+		pkt, err := b.Recv(time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, pkt.Data[0])
+	}
+	inOrder := true
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			inOrder = false
+			break
+		}
+	}
+	if inOrder {
+		t.Log("warning: delayed packets arrived in order (possible but unlikely)")
+	}
+}
+
+func TestMemNetPartition(t *testing.T) {
+	n := NewNetwork(1)
+	a := n.Endpoint("a")
+	b := n.Endpoint("b")
+	n.SetPartition("a", "b", true)
+	a.Send("b", []byte("blocked"))
+	b.Send("a", []byte("blocked"))
+	if _, err := b.Recv(20 * time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatal("partitioned packet delivered a->b")
+	}
+	if _, err := a.Recv(20 * time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatal("partitioned packet delivered b->a")
+	}
+	n.SetPartition("a", "b", false)
+	a.Send("b", []byte("open"))
+	if pkt, err := b.Recv(time.Second); err != nil || string(pkt.Data) != "open" {
+		t.Fatalf("after heal: %v, %v", pkt, err)
+	}
+}
+
+func TestMemNetLinkFaultsDirectional(t *testing.T) {
+	n := NewNetwork(9)
+	a := n.Endpoint("a")
+	b := n.Endpoint("b")
+	n.SetLinkFaults("a", "b", Faults{DropProb: 1})
+	a.Send("b", []byte("x"))
+	if _, err := b.Recv(20 * time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatal("a->b not dropped")
+	}
+	// Reverse direction unaffected.
+	b.Send("a", []byte("y"))
+	if pkt, err := a.Recv(time.Second); err != nil || string(pkt.Data) != "y" {
+		t.Fatalf("b->a: %v, %v", pkt, err)
+	}
+}
+
+func TestMemNetReRegisterAfterClose(t *testing.T) {
+	n := NewNetwork(1)
+	a := n.Endpoint("a")
+	a.Close()
+	a2 := n.Endpoint("a") // server restarts under the same name
+	b := n.Endpoint("b")
+	b.Send("a", []byte("hi"))
+	if pkt, err := a2.Recv(time.Second); err != nil || string(pkt.Data) != "hi" {
+		t.Fatalf("restarted endpoint: %v, %v", pkt, err)
+	}
+}
+
+func TestUDPRoundTrip(t *testing.T) {
+	a, err := ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	if err := a.Send(b.Addr(), []byte("over-udp")); err != nil {
+		t.Fatal(err)
+	}
+	pkt, err := b.Recv(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(pkt.Data) != "over-udp" {
+		t.Fatalf("data = %q", pkt.Data)
+	}
+	if pkt.From != a.Addr() {
+		t.Fatalf("From = %q, want %q", pkt.From, a.Addr())
+	}
+	// Reply using the observed source address.
+	if err := b.Send(pkt.From, []byte("reply")); err != nil {
+		t.Fatal(err)
+	}
+	pkt, err = a.Recv(2 * time.Second)
+	if err != nil || string(pkt.Data) != "reply" {
+		t.Fatalf("reply: %v, %v", pkt, err)
+	}
+}
+
+func TestUDPTimeoutAndClose(t *testing.T) {
+	a, err := ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Recv(20 * time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("Recv = %v", err)
+	}
+	a.Close()
+	if _, err := a.Recv(20 * time.Millisecond); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Recv after close = %v", err)
+	}
+}
+
+func TestUDPTooLarge(t *testing.T) {
+	a, err := ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := a.Send(a.Addr(), make([]byte, MaxPacketSize+1)); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized: %v", err)
+	}
+}
+
+func BenchmarkMemNetRoundTrip(b *testing.B) {
+	n := NewNetwork(1)
+	cl := n.Endpoint("client")
+	sv := n.Endpoint("server")
+	go func() {
+		for {
+			pkt, err := sv.Recv(0)
+			if err != nil {
+				return
+			}
+			sv.Send(pkt.From, pkt.Data)
+		}
+	}()
+	defer sv.Close()
+	payload := make([]byte, 700)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := cl.Send("server", payload); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := cl.Recv(time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

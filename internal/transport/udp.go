@@ -1,0 +1,76 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"time"
+)
+
+// UDPEndpoint implements Endpoint over a real UDP socket. Addresses
+// are host:port strings. UDP already provides the datagram semantics
+// the protocol assumes (loss, duplication, reordering possible; no
+// connection state).
+type UDPEndpoint struct {
+	conn *net.UDPConn
+}
+
+// ListenUDP opens an endpoint bound to addr (e.g. "127.0.0.1:9000",
+// or "127.0.0.1:0" for an ephemeral port).
+func ListenUDP(addr string) (*UDPEndpoint, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, err
+	}
+	return &UDPEndpoint{conn: conn}, nil
+}
+
+// Send implements Endpoint.
+func (u *UDPEndpoint) Send(to string, data []byte) error {
+	if len(data) > MaxPacketSize {
+		return fmt.Errorf("%w: %d bytes", ErrTooLarge, len(data))
+	}
+	ua, err := net.ResolveUDPAddr("udp", to)
+	if err != nil {
+		return fmt.Errorf("%w: %s: %v", ErrNoSuchAddr, to, err)
+	}
+	_, err = u.conn.WriteToUDP(data, ua)
+	return err
+}
+
+// Recv implements Endpoint.
+func (u *UDPEndpoint) Recv(timeout time.Duration) (Packet, error) {
+	deadline := time.Time{}
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	if err := u.conn.SetReadDeadline(deadline); err != nil {
+		if errors.Is(err, net.ErrClosed) {
+			return Packet{}, ErrClosed
+		}
+		return Packet{}, err
+	}
+	buf := make([]byte, MaxPacketSize)
+	n, from, err := u.conn.ReadFromUDP(buf)
+	if err != nil {
+		if errors.Is(err, os.ErrDeadlineExceeded) {
+			return Packet{}, ErrTimeout
+		}
+		if errors.Is(err, net.ErrClosed) {
+			return Packet{}, ErrClosed
+		}
+		return Packet{}, err
+	}
+	return Packet{From: from.String(), Data: buf[:n]}, nil
+}
+
+// Addr implements Endpoint.
+func (u *UDPEndpoint) Addr() string { return u.conn.LocalAddr().String() }
+
+// Close implements Endpoint.
+func (u *UDPEndpoint) Close() error { return u.conn.Close() }

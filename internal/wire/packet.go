@@ -1,0 +1,198 @@
+// Package wire implements the specialized log access protocol of
+// Section 4.2: a datagram protocol with single-packet requests and
+// replies, asynchronous streaming of grouped log records, asynchronous
+// positive/negative acknowledgments, strict RPCs for the infrequent
+// operations, a three-way connection handshake with permanently unique
+// packet sequence numbers, moving-window flow control via explicit
+// allocations, and end-to-end CRC error detection (per the end-to-end
+// argument: the protocol trusts the LAN to be mostly reliable and
+// checks integrity once, at the endpoints).
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"distlog/internal/record"
+	"distlog/internal/transport"
+)
+
+// Type identifies a packet's meaning (Figure 4.1, plus connection
+// management and the epoch-representative operations of Appendix I).
+type Type uint8
+
+// Packet types.
+const (
+	TInvalid Type = iota
+
+	// Connection management (three-way handshake, reset).
+	TSyn
+	TSynAck
+	TAck
+	TRst
+
+	// Asynchronous messages from client to log server.
+	TWriteLog
+	TForceLog
+	TNewInterval
+
+	// Asynchronous messages from log server to client.
+	TNewHighLSN
+	TMissingInterval
+
+	// Synchronous calls (requests) from client to log server.
+	TIntervalListReq
+	TReadForwardReq
+	TReadBackwardReq
+	TCopyLogReq
+	TInstallCopiesReq
+	TEpochReadReq
+	TEpochWriteReq
+	TTruncateReq
+
+	// Responses.
+	TIntervalListResp
+	TReadForwardResp
+	TReadBackwardResp
+	TCopyLogResp
+	TInstallCopiesResp
+	TEpochReadResp
+	TEpochWriteResp
+	TTruncateResp
+	TErrResp
+
+	tMax
+)
+
+var typeNames = map[Type]string{
+	TSyn: "Syn", TSynAck: "SynAck", TAck: "Ack", TRst: "Rst",
+	TWriteLog: "WriteLog", TForceLog: "ForceLog", TNewInterval: "NewInterval",
+	TNewHighLSN: "NewHighLSN", TMissingInterval: "MissingInterval",
+	TIntervalListReq: "IntervalListReq", TReadForwardReq: "ReadForwardReq",
+	TReadBackwardReq: "ReadBackwardReq", TCopyLogReq: "CopyLogReq",
+	TInstallCopiesReq: "InstallCopiesReq", TEpochReadReq: "EpochReadReq",
+	TEpochWriteReq: "EpochWriteReq", TTruncateReq: "TruncateReq",
+	TIntervalListResp: "IntervalListResp",
+	TReadForwardResp:  "ReadForwardResp", TReadBackwardResp: "ReadBackwardResp",
+	TCopyLogResp: "CopyLogResp", TInstallCopiesResp: "InstallCopiesResp",
+	TEpochReadResp: "EpochReadResp", TEpochWriteResp: "EpochWriteResp",
+	TTruncateResp: "TruncateResp", TErrResp: "ErrResp",
+}
+
+func (t Type) String() string {
+	if s, ok := typeNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("Type(%d)", uint8(t))
+}
+
+// IsRequest reports whether the type is a synchronous call expecting a
+// response.
+func (t Type) IsRequest() bool {
+	return t >= TIntervalListReq && t <= TTruncateReq
+}
+
+// IsResponse reports whether the type answers a synchronous call.
+func (t Type) IsResponse() bool {
+	return t >= TIntervalListResp && t <= TErrResp
+}
+
+// Packet header layout (big-endian):
+//
+//	Magic    uint16
+//	Version  uint8
+//	Type     uint8
+//	ConnID   uint64  connection identifier, unique across client crashes
+//	Seq      uint64  packet sequence number within the connection
+//	Alloc    uint64  highest Seq the receiver of this packet may send
+//	RespTo   uint64  for responses: the request packet's Seq (else 0)
+//	ClientID uint64
+//	PayloadLen uint16
+//	Payload  ...
+//	CRC32    uint32  over everything above
+const (
+	Magic      = 0xD15C // "disc": distributed logging service
+	Version    = 1
+	headerSize = 2 + 1 + 1 + 8 + 8 + 8 + 8 + 8 + 2
+	crcSize    = 4
+)
+
+// MaxPayload is the largest payload that fits a single network packet.
+const MaxPayload = transport.MaxPacketSize - headerSize - crcSize
+
+// Packet is one protocol datagram.
+type Packet struct {
+	Type     Type
+	ConnID   uint64
+	Seq      uint64
+	Alloc    uint64
+	RespTo   uint64
+	ClientID record.ClientID
+	Payload  []byte
+}
+
+// Errors returned by the codec.
+var (
+	ErrBadPacket   = errors.New("wire: malformed packet")
+	ErrBadChecksum = errors.New("wire: checksum mismatch")
+	ErrTooBig      = errors.New("wire: payload exceeds single-packet limit")
+)
+
+// Encode serializes the packet.
+func (p *Packet) Encode() ([]byte, error) {
+	if len(p.Payload) > MaxPayload {
+		return nil, fmt.Errorf("%w: %d > %d", ErrTooBig, len(p.Payload), MaxPayload)
+	}
+	buf := make([]byte, 0, headerSize+len(p.Payload)+crcSize)
+	buf = binary.BigEndian.AppendUint16(buf, Magic)
+	buf = append(buf, Version, byte(p.Type))
+	buf = binary.BigEndian.AppendUint64(buf, p.ConnID)
+	buf = binary.BigEndian.AppendUint64(buf, p.Seq)
+	buf = binary.BigEndian.AppendUint64(buf, p.Alloc)
+	buf = binary.BigEndian.AppendUint64(buf, p.RespTo)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(p.ClientID))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(p.Payload)))
+	buf = append(buf, p.Payload...)
+	sum := crc32.ChecksumIEEE(buf)
+	buf = binary.BigEndian.AppendUint32(buf, sum)
+	return buf, nil
+}
+
+// Decode parses and verifies a packet.
+func Decode(data []byte) (*Packet, error) {
+	if len(data) < headerSize+crcSize {
+		return nil, fmt.Errorf("%w: %d bytes", ErrBadPacket, len(data))
+	}
+	body, sumBytes := data[:len(data)-crcSize], data[len(data)-crcSize:]
+	if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(sumBytes) {
+		return nil, ErrBadChecksum
+	}
+	if binary.BigEndian.Uint16(body[0:2]) != Magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadPacket)
+	}
+	if body[2] != Version {
+		return nil, fmt.Errorf("%w: version %d", ErrBadPacket, body[2])
+	}
+	p := &Packet{
+		Type:     Type(body[3]),
+		ConnID:   binary.BigEndian.Uint64(body[4:12]),
+		Seq:      binary.BigEndian.Uint64(body[12:20]),
+		Alloc:    binary.BigEndian.Uint64(body[20:28]),
+		RespTo:   binary.BigEndian.Uint64(body[28:36]),
+		ClientID: record.ClientID(binary.BigEndian.Uint64(body[36:44])),
+	}
+	if p.Type == TInvalid || p.Type >= tMax {
+		return nil, fmt.Errorf("%w: type %d", ErrBadPacket, body[3])
+	}
+	plen := int(binary.BigEndian.Uint16(body[44:46]))
+	if headerSize+plen != len(body) {
+		return nil, fmt.Errorf("%w: payload length %d vs body %d", ErrBadPacket, plen, len(body)-headerSize)
+	}
+	if plen > 0 {
+		p.Payload = make([]byte, plen)
+		copy(p.Payload, body[headerSize:])
+	}
+	return p, nil
+}

@@ -1,0 +1,221 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"distlog/internal/record"
+)
+
+// Typed payloads for each message of Figure 4.1. Encoders append to a
+// caller buffer; decoders verify they consume the whole payload.
+
+// RecordsPayload carries grouped log records for WriteLog, ForceLog,
+// CopyLog, and the two read responses. The epoch applies to every
+// record in the packet on the write path (records still carry their
+// own epochs so read responses can mix epochs).
+type RecordsPayload struct {
+	Epoch   record.Epoch
+	Records []record.Record
+}
+
+// Encode serializes the payload.
+func (p *RecordsPayload) Encode() []byte {
+	buf := binary.BigEndian.AppendUint64(nil, uint64(p.Epoch))
+	return record.EncodeRecords(buf, p.Records)
+}
+
+// DecodeRecordsPayload parses a RecordsPayload.
+func DecodeRecordsPayload(data []byte) (*RecordsPayload, error) {
+	if len(data) < 8 {
+		return nil, fmt.Errorf("%w: short records payload", ErrBadPacket)
+	}
+	p := &RecordsPayload{Epoch: record.Epoch(binary.BigEndian.Uint64(data))}
+	recs, n, err := record.DecodeRecords(data[8:])
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadPacket, err)
+	}
+	if n != len(data)-8 {
+		return nil, fmt.Errorf("%w: trailing bytes after records", ErrBadPacket)
+	}
+	p.Records = recs
+	return p, nil
+}
+
+// FitRecords returns the longest prefix of recs whose RecordsPayload
+// encoding fits in a single packet. It never returns fewer than one
+// record for a record that individually fits; a first record too large
+// for any packet yields n == 0.
+func FitRecords(recs []record.Record) int {
+	size := 8 + 4 // epoch + count
+	for i, r := range recs {
+		size += r.EncodedSize()
+		if size > MaxPayload {
+			return i
+		}
+	}
+	return len(recs)
+}
+
+// NewIntervalPayload tells the server to abandon a missing interval
+// and begin a new sequence at StartingLSN.
+type NewIntervalPayload struct {
+	Epoch       record.Epoch
+	StartingLSN record.LSN
+}
+
+// Encode serializes the payload.
+func (p *NewIntervalPayload) Encode() []byte {
+	buf := binary.BigEndian.AppendUint64(nil, uint64(p.Epoch))
+	return binary.BigEndian.AppendUint64(buf, uint64(p.StartingLSN))
+}
+
+// DecodeNewIntervalPayload parses a NewIntervalPayload.
+func DecodeNewIntervalPayload(data []byte) (*NewIntervalPayload, error) {
+	if len(data) != 16 {
+		return nil, fmt.Errorf("%w: NewInterval payload %d bytes", ErrBadPacket, len(data))
+	}
+	return &NewIntervalPayload{
+		Epoch:       record.Epoch(binary.BigEndian.Uint64(data)),
+		StartingLSN: record.LSN(binary.BigEndian.Uint64(data[8:])),
+	}, nil
+}
+
+// LSNPayload carries a single LSN (NewHighLSN acks, read requests).
+type LSNPayload struct {
+	LSN record.LSN
+}
+
+// Encode serializes the payload.
+func (p *LSNPayload) Encode() []byte {
+	return binary.BigEndian.AppendUint64(nil, uint64(p.LSN))
+}
+
+// DecodeLSNPayload parses an LSNPayload.
+func DecodeLSNPayload(data []byte) (*LSNPayload, error) {
+	if len(data) != 8 {
+		return nil, fmt.Errorf("%w: LSN payload %d bytes", ErrBadPacket, len(data))
+	}
+	return &LSNPayload{LSN: record.LSN(binary.BigEndian.Uint64(data))}, nil
+}
+
+// IntervalPayload carries one LSN interval (MissingInterval).
+type IntervalPayload struct {
+	Low  record.LSN
+	High record.LSN
+}
+
+// Encode serializes the payload.
+func (p *IntervalPayload) Encode() []byte {
+	buf := binary.BigEndian.AppendUint64(nil, uint64(p.Low))
+	return binary.BigEndian.AppendUint64(buf, uint64(p.High))
+}
+
+// DecodeIntervalPayload parses an IntervalPayload.
+func DecodeIntervalPayload(data []byte) (*IntervalPayload, error) {
+	if len(data) != 16 {
+		return nil, fmt.Errorf("%w: interval payload %d bytes", ErrBadPacket, len(data))
+	}
+	return &IntervalPayload{
+		Low:  record.LSN(binary.BigEndian.Uint64(data)),
+		High: record.LSN(binary.BigEndian.Uint64(data[8:])),
+	}, nil
+}
+
+// IntervalListPayload answers IntervalList calls.
+type IntervalListPayload struct {
+	Intervals []record.Interval
+}
+
+// Encode serializes the payload.
+func (p *IntervalListPayload) Encode() []byte {
+	return record.EncodeIntervals(nil, p.Intervals)
+}
+
+// DecodeIntervalListPayload parses an IntervalListPayload.
+func DecodeIntervalListPayload(data []byte) (*IntervalListPayload, error) {
+	ivs, n, err := record.DecodeIntervals(data)
+	if err != nil || n != len(data) {
+		return nil, fmt.Errorf("%w: bad interval list", ErrBadPacket)
+	}
+	return &IntervalListPayload{Intervals: ivs}, nil
+}
+
+// EpochValuePayload carries the epoch-representative state value
+// (EpochRead responses and EpochWrite requests).
+type EpochValuePayload struct {
+	Value uint64
+}
+
+// Encode serializes the payload.
+func (p *EpochValuePayload) Encode() []byte {
+	return binary.BigEndian.AppendUint64(nil, p.Value)
+}
+
+// DecodeEpochValuePayload parses an EpochValuePayload.
+func DecodeEpochValuePayload(data []byte) (*EpochValuePayload, error) {
+	if len(data) != 8 {
+		return nil, fmt.Errorf("%w: epoch value payload %d bytes", ErrBadPacket, len(data))
+	}
+	return &EpochValuePayload{Value: binary.BigEndian.Uint64(data)}, nil
+}
+
+// InstallPayload asks the server to install staged copies at an epoch.
+type InstallPayload struct {
+	Epoch record.Epoch
+}
+
+// Encode serializes the payload.
+func (p *InstallPayload) Encode() []byte {
+	return binary.BigEndian.AppendUint64(nil, uint64(p.Epoch))
+}
+
+// DecodeInstallPayload parses an InstallPayload.
+func DecodeInstallPayload(data []byte) (*InstallPayload, error) {
+	if len(data) != 8 {
+		return nil, fmt.Errorf("%w: install payload %d bytes", ErrBadPacket, len(data))
+	}
+	return &InstallPayload{Epoch: record.Epoch(binary.BigEndian.Uint64(data))}, nil
+}
+
+// Error codes carried by TErrResp.
+const (
+	CodeUnknown uint16 = iota
+	CodeNotStored
+	CodeBadRequest
+	CodeSequencing
+	CodeOverloaded
+	CodeNotHandshaken
+)
+
+// ErrPayload reports a failed call.
+type ErrPayload struct {
+	Code    uint16
+	Message string
+}
+
+// Encode serializes the payload.
+func (p *ErrPayload) Encode() []byte {
+	buf := binary.BigEndian.AppendUint16(nil, p.Code)
+	msg := p.Message
+	if len(msg) > 256 {
+		msg = msg[:256]
+	}
+	buf = append(buf, byte(len(msg)))
+	return append(buf, msg...)
+}
+
+// DecodeErrPayload parses an ErrPayload.
+func DecodeErrPayload(data []byte) (*ErrPayload, error) {
+	if len(data) < 3 {
+		return nil, fmt.Errorf("%w: short error payload", ErrBadPacket)
+	}
+	n := int(data[2])
+	if len(data) != 3+n {
+		return nil, fmt.Errorf("%w: error payload length", ErrBadPacket)
+	}
+	return &ErrPayload{
+		Code:    binary.BigEndian.Uint16(data),
+		Message: string(data[3:]),
+	}, nil
+}

@@ -1,0 +1,176 @@
+// Package workload generates the transaction loads of the paper's
+// capacity analysis (Section 4.1): the ET1 (DebitCredit) transaction
+// of "A Measure of Transaction Processing Power" — the load the paper
+// sizes its servers for — and the long-running workstation
+// transactions with savepoints that Section 2 describes.
+//
+// As measured on the TABS prototype, each local ET1 transaction writes
+// 700 bytes of log data in seven log records, of which only the final
+// commit record must be forced.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// ET1 parameters from the paper and the Datamation benchmark article.
+const (
+	// ET1RecordsPerTxn is the number of log records per ET1 transaction
+	// in the TABS prototype.
+	ET1RecordsPerTxn = 7
+	// ET1BytesPerTxn is the log volume per ET1 transaction.
+	ET1BytesPerTxn = 700
+	// ET1ForcesPerTxn: only the final commit record is forced.
+	ET1ForcesPerTxn = 1
+	// TargetClientTPS is the per-client rate in the paper's load: ten
+	// local ET1 transactions per second.
+	TargetClientTPS = 10
+	// TargetClients is the paper's fifty client nodes...
+	TargetClients = 50
+	// ...for an aggregate of 500 TPS on six log servers with N = 2.
+	TargetServers = 6
+	// TargetCopies is the replication factor in the target load.
+	TargetCopies = 2
+)
+
+// ET1Scale sizes the bank backing the ET1 load. The classic record
+// ratios are one branch per 10 tellers per 10,000 accounts; the tiny
+// defaults keep tests fast while preserving contention shape.
+type ET1Scale struct {
+	Branches int
+	Tellers  int
+	Accounts int
+}
+
+// DefaultScale returns a laptop-sized bank.
+func DefaultScale() ET1Scale {
+	return ET1Scale{Branches: 10, Tellers: 100, Accounts: 10_000}
+}
+
+// ET1Txn is one generated DebitCredit transaction: move Delta from
+// thin air into an account, its teller and its branch, and append a
+// history line.
+type ET1Txn struct {
+	Branch  int
+	Teller  int
+	Account int
+	Delta   int64
+}
+
+// Keys returns the database keys the transaction updates, in the fixed
+// acquisition order that keeps the workload deadlock-free.
+func (t ET1Txn) Keys() []string {
+	return []string{
+		fmt.Sprintf("branch/%d", t.Branch),
+		fmt.Sprintf("teller/%d", t.Teller),
+		fmt.Sprintf("account/%d", t.Account),
+	}
+}
+
+// HistoryLine renders the history append for the transaction.
+func (t ET1Txn) HistoryLine() string {
+	return fmt.Sprintf("b%d t%d a%d %+d", t.Branch, t.Teller, t.Account, t.Delta)
+}
+
+// ET1Generator produces a reproducible stream of ET1 transactions.
+type ET1Generator struct {
+	scale ET1Scale
+	rng   *rand.Rand
+}
+
+// NewET1 returns a generator with the given scale and seed.
+func NewET1(scale ET1Scale, seed int64) *ET1Generator {
+	if scale.Branches <= 0 || scale.Tellers <= 0 || scale.Accounts <= 0 {
+		scale = DefaultScale()
+	}
+	return &ET1Generator{scale: scale, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Scale returns the generator's bank dimensions.
+func (g *ET1Generator) Scale() ET1Scale { return g.scale }
+
+// Next generates one transaction. Teller and branch are correlated the
+// way the benchmark prescribes (a teller belongs to one branch).
+func (g *ET1Generator) Next() ET1Txn {
+	teller := g.rng.Intn(g.scale.Tellers)
+	branch := teller * g.scale.Branches / g.scale.Tellers
+	return ET1Txn{
+		Branch:  branch,
+		Teller:  teller,
+		Account: g.rng.Intn(g.scale.Accounts),
+		Delta:   int64(g.rng.Intn(1999999)) - 999999, // ±$999,999 like the benchmark
+	}
+}
+
+// LogSizes returns the sizes of the seven ET1 log records, which sum
+// to ET1BytesPerTxn: six 100-byte update records and one 100-byte
+// commit record.
+func LogSizes() []int {
+	sizes := make([]int, ET1RecordsPerTxn)
+	for i := range sizes {
+		sizes[i] = ET1BytesPerTxn / ET1RecordsPerTxn
+	}
+	return sizes
+}
+
+// Savepoint marks a point a long-running transaction can roll back to.
+type Savepoint int
+
+// LongTxnOp is one step of a long-running workstation transaction.
+type LongTxnOp struct {
+	// Kind is "update", "savepoint", or "rollback".
+	Kind string
+	// Key/Delta for updates.
+	Key   string
+	Delta int64
+	// Target for rollbacks: which savepoint (index into those taken).
+	Target Savepoint
+}
+
+// LongTxnGenerator models the Section 2 workstation workload: long
+// transactions over a design database, issuing many updates with
+// occasional savepoints and partial rollbacks.
+type LongTxnGenerator struct {
+	rng     *rand.Rand
+	objects int
+}
+
+// NewLongTxn returns a generator over the given number of design
+// objects.
+func NewLongTxn(objects int, seed int64) *LongTxnGenerator {
+	if objects <= 0 {
+		objects = 1000
+	}
+	return &LongTxnGenerator{rng: rand.New(rand.NewSource(seed)), objects: objects}
+}
+
+// Next generates the op sequence of one long transaction with the
+// given number of update steps.
+func (g *LongTxnGenerator) Next(steps int) []LongTxnOp {
+	var ops []LongTxnOp
+	taken := 0
+	for i := 0; i < steps; i++ {
+		switch r := g.rng.Float64(); {
+		case r < 0.10:
+			ops = append(ops, LongTxnOp{Kind: "savepoint"})
+			taken++
+		case r < 0.13 && taken > 0:
+			// Rolling back to a savepoint releases every savepoint
+			// taken after it.
+			target := g.rng.Intn(taken)
+			ops = append(ops, LongTxnOp{
+				Kind:   "rollback",
+				Target: Savepoint(target),
+			})
+			taken = target
+		default:
+			ops = append(ops, LongTxnOp{
+				Kind:  "update",
+				Key:   fmt.Sprintf("object/%d", g.rng.Intn(g.objects)),
+				Delta: int64(g.rng.Intn(100)) - 50,
+			})
+		}
+	}
+	return ops
+}

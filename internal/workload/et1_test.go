@@ -1,0 +1,119 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestET1Parameters(t *testing.T) {
+	// The paper's numbers must hold: 7 records, 700 bytes, 1 force.
+	sizes := LogSizes()
+	if len(sizes) != ET1RecordsPerTxn {
+		t.Fatalf("records = %d", len(sizes))
+	}
+	total := 0
+	for _, s := range sizes {
+		total += s
+	}
+	if total != ET1BytesPerTxn {
+		t.Fatalf("bytes = %d, want %d", total, ET1BytesPerTxn)
+	}
+	// Aggregate target: 50 clients x 10 TPS = 500 TPS.
+	if TargetClients*TargetClientTPS != 500 {
+		t.Fatal("target load is not 500 TPS")
+	}
+}
+
+func TestET1GeneratorInRange(t *testing.T) {
+	scale := ET1Scale{Branches: 5, Tellers: 50, Accounts: 500}
+	g := NewET1(scale, 1)
+	for i := 0; i < 10_000; i++ {
+		txn := g.Next()
+		if txn.Branch < 0 || txn.Branch >= scale.Branches {
+			t.Fatalf("branch %d out of range", txn.Branch)
+		}
+		if txn.Teller < 0 || txn.Teller >= scale.Tellers {
+			t.Fatalf("teller %d out of range", txn.Teller)
+		}
+		if txn.Account < 0 || txn.Account >= scale.Accounts {
+			t.Fatalf("account %d out of range", txn.Account)
+		}
+		if txn.Delta < -999999 || txn.Delta > 999999 {
+			t.Fatalf("delta %d out of range", txn.Delta)
+		}
+		// Teller belongs to its branch.
+		if want := txn.Teller * scale.Branches / scale.Tellers; txn.Branch != want {
+			t.Fatalf("teller %d mapped to branch %d, want %d", txn.Teller, txn.Branch, want)
+		}
+	}
+}
+
+func TestET1KeysOrderedAndDistinct(t *testing.T) {
+	g := NewET1(DefaultScale(), 2)
+	txn := g.Next()
+	keys := txn.Keys()
+	if len(keys) != 3 {
+		t.Fatalf("keys = %v", keys)
+	}
+	if !strings.HasPrefix(keys[0], "branch/") || !strings.HasPrefix(keys[1], "teller/") || !strings.HasPrefix(keys[2], "account/") {
+		t.Fatalf("key order = %v (must be fixed to stay deadlock-free)", keys)
+	}
+	if txn.HistoryLine() == "" {
+		t.Fatal("empty history line")
+	}
+}
+
+func TestET1Reproducible(t *testing.T) {
+	a := NewET1(DefaultScale(), 7)
+	b := NewET1(DefaultScale(), 7)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestET1BadScaleDefaults(t *testing.T) {
+	g := NewET1(ET1Scale{}, 1)
+	if g.Scale() != DefaultScale() {
+		t.Fatalf("scale = %+v", g.Scale())
+	}
+}
+
+func TestLongTxnGenerator(t *testing.T) {
+	g := NewLongTxn(100, 3)
+	ops := g.Next(500)
+	if len(ops) != 500 {
+		t.Fatalf("ops = %d", len(ops))
+	}
+	taken := 0
+	kinds := map[string]int{}
+	for _, op := range ops {
+		kinds[op.Kind]++
+		switch op.Kind {
+		case "savepoint":
+			taken++
+		case "rollback":
+			if int(op.Target) >= taken {
+				t.Fatalf("rollback to savepoint %d but only %d taken", op.Target, taken)
+			}
+			taken = int(op.Target) // rollback releases later savepoints
+		case "update":
+			if op.Key == "" {
+				t.Fatal("update without key")
+			}
+		default:
+			t.Fatalf("unknown op kind %q", op.Kind)
+		}
+	}
+	if kinds["update"] == 0 || kinds["savepoint"] == 0 {
+		t.Fatalf("degenerate mix: %v", kinds)
+	}
+}
+
+func BenchmarkET1Generator(b *testing.B) {
+	g := NewET1(DefaultScale(), 1)
+	for i := 0; i < b.N; i++ {
+		g.Next()
+	}
+}
