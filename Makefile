@@ -1,0 +1,33 @@
+GO ?= go
+
+# Packages with the concurrency-heavy machinery; they get a dedicated
+# race-detector tier in `make check`.
+RACE_PKGS := ./internal/core/... ./internal/wire/... ./internal/server/...
+
+.PHONY: all build test race check bench vet fmt
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	$(GO) fmt ./...
+
+# check is the CI gate: tier-1 build+tests, vet, and the race tier over
+# the client/wire/server packages.
+check: build test vet race
+
+# bench runs the write-path benchmarks and records the results in
+# BENCH_writepath.json (see bench.sh).
+bench:
+	./bench.sh

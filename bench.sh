@@ -1,0 +1,51 @@
+#!/bin/sh
+# bench.sh — run the write-path benchmarks and record the results as
+# JSON in BENCH_writepath.json.
+#
+# Covers the perf work on the client write path:
+#   BenchmarkWritePathAllocs        allocation budget for WriteLog+Force
+#   BenchmarkForceLogMemnet         end-to-end forced append, N=2
+#   BenchmarkParallelForce          N=3 fan-out under 1ms one-way latency
+#   BenchmarkGroupCommit            concurrent committers coalescing rounds
+#   BenchmarkGroupCommitTransactions  same, through the public Engine API
+set -eu
+
+cd "$(dirname "$0")"
+
+OUT=BENCH_writepath.json
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT
+
+# POSIX sh has no pipefail, so collect each run's output and check its
+# exit status before touching $OUT.
+run() {
+	if ! go test "$@" ${BENCHTIME:+-benchtime "$BENCHTIME"} >>"$RAW" 2>&1; then
+		cat "$RAW" >&2
+		echo "bench.sh: benchmark run failed; $OUT left untouched" >&2
+		exit 1
+	fi
+}
+run ./internal/core/ -run '^$' -benchmem \
+	-bench 'BenchmarkWritePathAllocs|BenchmarkForceLogMemnet|BenchmarkParallelForce|BenchmarkGroupCommit$'
+run . -run '^$' -benchmem -bench 'BenchmarkGroupCommitTransactions'
+cat "$RAW"
+
+# Convert `go test -bench` lines into a JSON array. Fields beyond the
+# standard ns/op, B/op, allocs/op (e.g. rounds/force) are kept as extra
+# metric pairs.
+awk '
+BEGIN { print "[" ; n = 0 }
+/^Benchmark/ {
+	if (n++) print ","
+	printf "  {\"name\": \"%s\", \"iterations\": %s", $1, $2
+	for (i = 3; i < NF; i += 2) {
+		unit = $(i + 1)
+		gsub(/"/, "", unit)
+		printf ", \"%s\": %s", unit, $i
+	}
+	printf "}"
+}
+END { print "\n]" }
+' "$RAW" >"$OUT"
+
+echo "wrote $OUT"

@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -386,6 +387,51 @@ func BenchmarkReplicationFactor(b *testing.B) {
 			}
 			b.ReportMetric(distlog.WriteLogAvailability(distlog.AvailabilityConfig{M: 5, N: n, P: 0.05}), "writeAvail")
 		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Group commit: concurrent transactions committing through one engine
+// share force rounds, so protocol rounds per commit drop well below
+// one. rounds/force is the coalescing ratio (1.0 = no sharing).
+func BenchmarkGroupCommitTransactions(b *testing.B) {
+	cluster, err := distlog.NewCluster(distlog.ClusterOptions{Servers: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cluster.Close()
+	l, err := cluster.OpenClient(1, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	e, err := distlog.OpenEngine(l, distlog.NewStableStore(), distlog.EngineOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	f0, r0, _, _ := e.ForceRoundStats()
+	// Commits are I/O-bound waits; oversubscribe so they overlap even
+	// on one CPU.
+	b.SetParallelism(8)
+	b.ResetTimer()
+	var worker atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		key := fmt.Sprintf("acct-%d", worker.Add(1))
+		for pb.Next() {
+			txn := e.Begin()
+			if _, err := txn.Add(key, 1); err != nil {
+				b.Error(err)
+				return
+			}
+			if err := txn.Commit(); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	if f1, r1, _, ok := e.ForceRoundStats(); ok && f1 > f0 {
+		b.ReportMetric(float64(r1-r0)/float64(f1-f0), "rounds/force")
 	}
 }
 

@@ -110,7 +110,9 @@ var connIDCounter atomic.Uint64
 // Stats counts client-side protocol activity.
 type Stats struct {
 	Writes        uint64
-	Forces        uint64
+	Forces        uint64 // Force calls (including δ-triggered implicit forces)
+	ForceRounds   uint64 // protocol rounds actually executed (≤ Forces)
+	GroupCommits  uint64 // Force calls satisfied by riding another caller's round
 	Reads         uint64
 	ReadCacheHits uint64
 	Failovers     uint64
@@ -135,6 +137,15 @@ type ReplicatedLog struct {
 	truncated   record.LSN // records below were discarded via TruncatePrefix
 	stats       Stats
 	closed      bool
+	// Group-commit state (see forceround.go): the round whose
+	// acknowledgment waits are in flight, and the single queued round
+	// that callers beyond curRound's target coalesce onto. Rounds are
+	// serialized, so one scratch waiter set and wait group are reused
+	// across every round instead of being allocated per force.
+	curRound     *forceRound
+	nextRound    *forceRound
+	roundWaiters []roundWaiter
+	roundWG      sync.WaitGroup
 
 	pumpWG sync.WaitGroup
 }
@@ -179,7 +190,7 @@ func (l *ReplicatedLog) pump() {
 		sess := l.sessions[raw.From]
 		l.mu.Unlock()
 		if sess != nil {
-			sess.deliver(pkt)
+			sess.deliver(&pkt)
 		}
 	}
 }
@@ -189,6 +200,10 @@ func (l *ReplicatedLog) pump() {
 // incarnation.
 func (l *ReplicatedLog) dial(addr string) (*session, error) {
 	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil, ErrClosed
+	}
 	sess := l.sessions[addr]
 	if sess != nil {
 		sess.mu.Lock()
@@ -414,6 +429,10 @@ func (l *ReplicatedLog) Stats() Stats {
 // The record is buffered — grouped with its neighbours into a single
 // network message — and becomes stable on the next Force (or when the
 // group is implicitly forced because δ records are outstanding).
+//
+// The log retains data (without copying) until the record has been
+// acknowledged by all N servers; the caller must not modify the slice
+// after the call.
 func (l *ReplicatedLog) WriteLog(data []byte) (record.LSN, error) {
 	l.mu.Lock()
 	if l.closed {
@@ -426,18 +445,25 @@ func (l *ReplicatedLog) WriteLog(data []byte) (record.LSN, error) {
 			return 0, err
 		}
 		l.mu.Lock()
+		if l.closed {
+			l.mu.Unlock()
+			return 0, ErrClosed
+		}
 	}
 	lsn := l.nextLSN
 	l.nextLSN++
-	rec := record.Record{LSN: lsn, Epoch: l.epoch, Present: true, Data: append([]byte(nil), data...)}
+	rec := record.Record{LSN: lsn, Epoch: l.epoch, Present: true, Data: data}
 	l.outstanding = append(l.outstanding, rec)
 	l.stats.Writes++
-	var flushErr error
 	if l.cfg.FlushBatch > 0 && len(l.outstanding) >= l.cfg.FlushBatch {
-		flushErr = l.flushLocked(false)
+		// Opportunistic batch flush. The append itself has succeeded —
+		// the LSN is assigned and the record buffered — so a transport
+		// hiccup here is not the caller's failure: the next Force
+		// retransmits the stream and surfaces any persistent error.
+		_ = l.flushLocked(false)
 	}
 	l.mu.Unlock()
-	return lsn, flushErr
+	return lsn, nil
 }
 
 // ForceLog appends a record and forces the log through it, returning
@@ -474,10 +500,17 @@ func (l *ReplicatedLog) sendStreamLocked(sess *session, force bool) error {
 	sentHigh := sess.sentHigh
 	sess.mu.Unlock()
 
+	// outstanding holds consecutive LSNs in order, so the unsent suffix
+	// is index arithmetic on the send cursor — no per-flush rescan or
+	// rebuilt slice.
 	var toSend []record.Record
-	for _, rec := range l.outstanding {
-		if rec.LSN > sentHigh {
-			toSend = append(toSend, rec)
+	if n := len(l.outstanding); n > 0 {
+		first := l.outstanding[0].LSN
+		switch {
+		case sentHigh < first:
+			toSend = l.outstanding
+		case sentHigh < l.outstanding[n-1].LSN:
+			toSend = l.outstanding[int(sentHigh-first)+1:]
 		}
 	}
 	if len(toSend) == 0 {
@@ -497,8 +530,7 @@ func (l *ReplicatedLog) sendStreamLocked(sess *session, force bool) error {
 		if force && len(toSend) == 0 {
 			t = wire.TForceLog
 		}
-		p := wire.RecordsPayload{Epoch: l.epoch, Records: batch}
-		if _, err := sess.peer.Send(t, 0, p.Encode()); err != nil {
+		if _, err := sess.peer.SendRecords(t, 0, l.epoch, batch); err != nil {
 			return err
 		}
 		last := batch[len(batch)-1].LSN
@@ -511,53 +543,9 @@ func (l *ReplicatedLog) sendStreamLocked(sess *session, force bool) error {
 	return nil
 }
 
-// Force makes every record written so far stable on N log servers. It
-// retries lost messages, services MissingInterval NACKs, and fails
-// over to spare servers when a write-set member stops responding.
-func (l *ReplicatedLog) Force() error {
-	l.mu.Lock()
-	if l.closed {
-		l.mu.Unlock()
-		return ErrClosed
-	}
-	if len(l.outstanding) == 0 {
-		l.mu.Unlock()
-		return nil
-	}
-	target := l.outstanding[len(l.outstanding)-1].LSN
-	if err := l.flushLocked(true); err != nil {
-		l.mu.Unlock()
-		return err
-	}
-	writeSet := append([]string(nil), l.writeSet...)
-	l.stats.Forces++
-	l.mu.Unlock()
-
-	for _, addr := range writeSet {
-		if err := l.awaitServer(addr, target); err != nil {
-			return err
-		}
-	}
-
-	// All N acknowledged: the interval is durable; record its holders
-	// and release the buffer.
-	l.mu.Lock()
-	if len(l.outstanding) > 0 {
-		first := l.outstanding[0].LSN
-		if first <= target {
-			l.holders.add(l.epoch, first, target, l.writeSet)
-		}
-		keep := l.outstanding[:0]
-		for _, rec := range l.outstanding {
-			if rec.LSN > target {
-				keep = append(keep, rec)
-			}
-		}
-		l.outstanding = keep
-	}
-	l.mu.Unlock()
-	return nil
-}
+// Force is implemented in forceround.go: concurrent callers coalesce
+// onto shared force rounds (group commit) and each round waits for its
+// N server acknowledgments in parallel.
 
 // awaitServer waits until the given server acknowledges target,
 // retransmitting on NACK or timeout, and ultimately failing over.
@@ -711,6 +699,26 @@ func (l *ReplicatedLog) failover(failed string, target record.LSN) error {
 		}
 
 		l.mu.Lock()
+		// Parallel waiters can fail over concurrently: by now another
+		// waiter may have replaced failed already, or claimed this very
+		// spare for a different failed server. Re-check before install.
+		stillFailed, taken := false, false
+		for _, a := range l.writeSet {
+			if a == failed {
+				stillFailed = true
+			}
+			if a == addr && addr != failed {
+				taken = true
+			}
+		}
+		if !stillFailed {
+			l.mu.Unlock()
+			return nil
+		}
+		if taken {
+			l.mu.Unlock()
+			continue
+		}
 		for i, a := range l.writeSet {
 			if a == failed {
 				l.writeSet[i] = addr

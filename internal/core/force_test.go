@@ -1,0 +1,403 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"distlog/internal/record"
+	"distlog/internal/server"
+	"distlog/internal/storage"
+	"distlog/internal/transport"
+)
+
+// benchCluster starts M servers on a memnet and opens one client —
+// the standalone rig benchmarks use (the *testing.T cluster helper
+// can't serve benchmarks).
+func benchCluster(tb testing.TB, m, n int, faults transport.Faults, mutate ...func(*Config)) *ReplicatedLog {
+	tb.Helper()
+	net := transport.NewNetwork(1)
+	var names []string
+	for i := 1; i <= m; i++ {
+		name := fmt.Sprintf("s%d", i)
+		names = append(names, name)
+		srv := server.New(server.Config{
+			Name:     name,
+			Store:    storage.NewMemStore(),
+			Endpoint: net.Endpoint(name),
+			Epochs:   server.NewMemEpochHost(),
+		})
+		srv.Start()
+		tb.Cleanup(srv.Stop)
+	}
+	cfg := Config{
+		ClientID:    1,
+		Servers:     names,
+		N:           n,
+		Delta:       64,
+		Endpoint:    net.Endpoint("bench-client"),
+		CallTimeout: 2 * time.Second,
+	}
+	for _, mut := range mutate {
+		mut(&cfg)
+	}
+	// Faults only apply to the running log, not to open/recovery.
+	l, err := Open(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(func() { l.Close() })
+	net.SetFaults(faults)
+	return l
+}
+
+// TestParallelForceLatency checks the tentpole claim: with N=3 and a
+// fixed one-way network latency, a force round completes in about one
+// round trip — the three acknowledgment waits run concurrently — and
+// nowhere near the three round trips a serial protocol would need.
+func TestParallelForceLatency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	const oneWay = 10 * time.Millisecond
+	const rtt = 2 * oneWay
+	l := benchCluster(t, 3, 3, transport.Faults{FixedDelay: oneWay})
+
+	// Warm up sessions and the write path.
+	if _, err := l.ForceLog([]byte("warm")); err != nil {
+		t.Fatal(err)
+	}
+	const rounds = 5
+	var worst time.Duration
+	for i := 0; i < rounds; i++ {
+		start := time.Now()
+		if _, err := l.ForceLog([]byte("timed")); err != nil {
+			t.Fatal(err)
+		}
+		if d := time.Since(start); d > worst {
+			worst = d
+		}
+	}
+	// Budget: 1.5× a single round trip (generous scheduling slack).
+	// A serial wait per server would need at least 3 round trips.
+	if limit := rtt + rtt/2; worst > limit {
+		t.Fatalf("worst force latency %v exceeds %v (single RTT %v, serial ≈ %v)",
+			worst, limit, rtt, 3*rtt)
+	}
+}
+
+// TestGroupCommitCoalesces drives concurrent committers and checks
+// that Force calls share protocol rounds: fewer rounds than calls, and
+// at least one caller rode another's round.
+func TestGroupCommitCoalesces(t *testing.T) {
+	l := benchCluster(t, 3, 2, transport.Faults{FixedDelay: 2 * time.Millisecond})
+
+	const writers = 8
+	const perWriter = 10
+	var wg sync.WaitGroup
+	errCh := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				if _, err := l.ForceLog([]byte(fmt.Sprintf("w%d-%d", w, i))); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	forces, rounds, grouped := l.ForceRoundStats()
+	if forces < writers*perWriter {
+		t.Fatalf("Forces = %d, want ≥ %d", forces, writers*perWriter)
+	}
+	if rounds >= forces {
+		t.Fatalf("ForceRounds = %d not below Forces = %d: no coalescing", rounds, forces)
+	}
+	if grouped == 0 {
+		t.Fatal("GroupCommits = 0: no caller rode a shared round")
+	}
+	if st := l.Stats(); st.ForceRounds != rounds || st.GroupCommits != grouped {
+		t.Fatalf("Stats disagree with ForceRoundStats: %+v vs (%d, %d)", st, rounds, grouped)
+	}
+}
+
+// TestFailoverDuringParallelForce kills one write-set server mid-force
+// and checks that the waits on the other servers complete, the round
+// finishes via a spare, and the holders table routes reads correctly
+// afterwards.
+func TestFailoverDuringParallelForce(t *testing.T) {
+	c := newCluster(t, "s1", "s2", "s3", "s4")
+	l := mustOpen(t, c, 1, 3)
+	defer l.Close()
+
+	// Establish a healthy baseline round.
+	if _, err := l.ForceLog([]byte("healthy")); err != nil {
+		t.Fatal(err)
+	}
+	set := l.WriteSet()
+	if len(set) != 3 {
+		t.Fatalf("write set %v", set)
+	}
+	victim := set[1]
+	client := l.cfg.Endpoint.Addr()
+
+	// The victim goes silent in both directions: its waiter times out
+	// and fails over while the other two waiters proceed.
+	c.net.SetLinkFaults(client, victim, transport.Faults{DropProb: 1})
+	c.net.SetLinkFaults(victim, client, transport.Faults{DropProb: 1})
+
+	var lsns []record.LSN
+	for i := 0; i < 5; i++ {
+		lsn, err := l.WriteLog([]byte(fmt.Sprintf("after-kill-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lsns = append(lsns, lsn)
+	}
+	if err := l.Force(); err != nil {
+		t.Fatalf("Force with dead write-set server: %v", err)
+	}
+
+	if st := l.Stats(); st.Failovers == 0 {
+		t.Fatalf("no failover recorded: %+v", st)
+	}
+	after := l.WriteSet()
+	for _, a := range after {
+		if a == victim {
+			t.Fatalf("victim %s still in write set %v", victim, after)
+		}
+	}
+	if len(after) != 3 {
+		t.Fatalf("write set %v after failover", after)
+	}
+	// The holders table must route reads to the surviving set.
+	for i, lsn := range lsns {
+		data, err := l.ReadLog(lsn)
+		if err != nil {
+			t.Fatalf("ReadLog(%d): %v", lsn, err)
+		}
+		if want := fmt.Sprintf("after-kill-%d", i); string(data) != want {
+			t.Fatalf("ReadLog(%d) = %q, want %q", lsn, data, want)
+		}
+	}
+}
+
+// TestConcurrentClientTorture interleaves writes, forces, and reads
+// from many goroutines over a lossy, reordering network, then crashes
+// the client and verifies every committed record survived recovery.
+func TestConcurrentClientTorture(t *testing.T) {
+	if testing.Short() {
+		t.Skip("torture test")
+	}
+	c := newCluster(t, "s1", "s2", "s3", "s4")
+	c.net.SetFaults(transport.Faults{
+		DropProb:   0.02,
+		DupProb:    0.02,
+		MaxDelay:   200 * time.Microsecond,
+		FixedDelay: 100 * time.Microsecond,
+	})
+	l := mustOpen(t, c, 1, 2, func(cfg *Config) {
+		cfg.Delta = 32
+		cfg.CallTimeout = 150 * time.Millisecond
+		cfg.Retries = 4
+	})
+
+	const goroutines = 6
+	const ops = 30
+	type commit struct {
+		lsn  record.LSN
+		data string
+	}
+	var mu sync.Mutex
+	var committed []commit
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var pendingLocal []commit
+			var lastLSN record.LSN
+			for i := 0; i < ops; i++ {
+				data := fmt.Sprintf("g%d-op%d", g, i)
+				lsn, err := l.WriteLog([]byte(data))
+				if err != nil {
+					if errors.Is(err, ErrUnavailable) {
+						continue // transient: chaos may briefly exhaust servers
+					}
+					t.Errorf("g%d WriteLog: %v", g, err)
+					return
+				}
+				if lsn <= lastLSN {
+					t.Errorf("g%d: LSN %d not above previous %d", g, lsn, lastLSN)
+					return
+				}
+				lastLSN = lsn
+				pendingLocal = append(pendingLocal, commit{lsn, data})
+				if i%3 == 2 {
+					if err := l.Force(); err != nil {
+						if errors.Is(err, ErrUnavailable) {
+							continue
+						}
+						t.Errorf("g%d Force: %v", g, err)
+						return
+					}
+					// A successful force commits every record this
+					// goroutine wrote before it.
+					mu.Lock()
+					committed = append(committed, pendingLocal...)
+					mu.Unlock()
+					pendingLocal = pendingLocal[:0]
+					// Read back one of our committed records mid-run.
+					if rec, err := l.ReadRecord(lastLSN); err == nil {
+						if !rec.Present || string(rec.Data) != data {
+							t.Errorf("g%d ReadRecord(%d) = %+v, want %q", g, lastLSN, rec, data)
+							return
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// LSNs are unique across goroutines.
+	seen := make(map[record.LSN]string)
+	for _, cm := range committed {
+		if prev, dup := seen[cm.lsn]; dup {
+			t.Fatalf("LSN %d assigned twice: %q and %q", cm.lsn, prev, cm.data)
+		}
+		seen[cm.lsn] = cm.data
+	}
+	st := l.Stats()
+	if st.ForceRounds >= st.Forces {
+		t.Fatalf("ForceRounds = %d not below Forces = %d: concurrent forces never coalesced",
+			st.ForceRounds, st.Forces)
+	}
+
+	// Crash: close without flushing, heal the network, recover.
+	l.Close()
+	c.net.SetFaults(transport.Faults{})
+	l2 := mustOpen(t, c, 1, 2, func(cfg *Config) { cfg.Delta = 32 })
+	defer l2.Close()
+	for _, cm := range committed {
+		rec, err := l2.ReadRecord(cm.lsn)
+		if err != nil {
+			t.Fatalf("after recovery ReadRecord(%d): %v", cm.lsn, err)
+		}
+		if !rec.Present || string(rec.Data) != cm.data {
+			t.Fatalf("after recovery LSN %d = %+v, want data %q", cm.lsn, rec, cm.data)
+		}
+	}
+}
+
+// writePathAllocBudget is the hard per-op allocation ceiling for one
+// ForceLog round trip (client and servers together) on the N=2 memnet
+// rig: half the 46 allocs/op the pre-change write path spent.
+const writePathAllocBudget = 23
+
+// TestWritePathAllocBudget pins the allocation-free wire path with a
+// hard budget; a regression that re-introduces per-packet copies or
+// per-flush slice rebuilds fails this test long before it shows up in
+// a profile.
+func TestWritePathAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated under the race detector")
+	}
+	l := benchCluster(t, 3, 2, transport.Faults{})
+	if _, err := l.ForceLog([]byte("warm")); err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 100)
+	avg := testing.AllocsPerRun(300, func() {
+		if _, err := l.ForceLog(data); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > writePathAllocBudget {
+		t.Fatalf("write path allocates %.1f objects/op, budget %d", avg, writePathAllocBudget)
+	}
+}
+
+// BenchmarkWritePathAllocs measures the full WriteLog+Force round trip
+// (client, memnet, and both servers) and enforces the same hard
+// allocation budget as TestWritePathAllocBudget.
+func BenchmarkWritePathAllocs(b *testing.B) {
+	l := benchCluster(b, 3, 2, transport.Faults{})
+	if _, err := l.ForceLog([]byte("warm")); err != nil {
+		b.Fatal(err)
+	}
+	data := make([]byte, 100)
+	var m0, m1 runtime.MemStats
+	b.ReportAllocs()
+	b.ResetTimer()
+	runtime.ReadMemStats(&m0)
+	for i := 0; i < b.N; i++ {
+		if _, err := l.ForceLog(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+	runtime.ReadMemStats(&m1)
+	b.StopTimer()
+	if perOp := float64(m1.Mallocs-m0.Mallocs) / float64(b.N); perOp > writePathAllocBudget {
+		b.Fatalf("write path allocates %.1f objects/op, budget %d", perOp, writePathAllocBudget)
+	}
+}
+
+// BenchmarkParallelForce measures a full force round against N=3
+// servers over a memnet with 1ms one-way latency: the parallel fan-out
+// keeps it near one 2ms round trip rather than three.
+func BenchmarkParallelForce(b *testing.B) {
+	l := benchCluster(b, 3, 3, transport.Faults{FixedDelay: time.Millisecond})
+	data := make([]byte, 100)
+	if _, err := l.ForceLog(data); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.ForceLog(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGroupCommit measures concurrent committers sharing force
+// rounds and reports how many protocol rounds each force cost.
+func BenchmarkGroupCommit(b *testing.B) {
+	l := benchCluster(b, 3, 2, transport.Faults{FixedDelay: 100 * time.Microsecond})
+	if _, err := l.ForceLog([]byte("warm")); err != nil {
+		b.Fatal(err)
+	}
+	f0, r0, _ := l.ForceRoundStats()
+	// Force waits are I/O-bound: run many committers per CPU so rounds
+	// overlap even on a single-core machine.
+	b.SetParallelism(8)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		data := make([]byte, 100)
+		for pb.Next() {
+			if _, err := l.ForceLog(data); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.StopTimer()
+	f1, r1, _ := l.ForceRoundStats()
+	if forces := f1 - f0; forces > 0 {
+		b.ReportMetric(float64(r1-r0)/float64(forces), "rounds/force")
+	}
+}

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"sync"
+
+	"distlog/internal/record"
+)
+
+// Group commit. A Force call does not necessarily run its own protocol
+// round: rounds are shared. Every round has one leader — the goroutine
+// that flushes the stream and fans out the acknowledgment waits — and
+// any number of followers that block on the round's completion.
+//
+//   - A caller whose records are covered by the in-flight round's
+//     target LSN simply waits for that round.
+//   - A caller beyond the in-flight target queues the *next* round.
+//     The first such caller becomes its leader (it waits for the
+//     current round, then runs); later ones ride along as followers.
+//
+// Coalescing preserves the paper's Section 3.1 semantics because a
+// follower returns success only after a round whose target covers its
+// records completed the same N-server acknowledgment protocol an
+// individual Force would have run; the only observable difference is
+// fewer ForceLog packets (see DESIGN.md, "Beyond the paper").
+type forceRound struct {
+	target record.LSN
+	done   chan struct{}
+	err    error // valid after done is closed
+}
+
+// Force makes every record written so far stable on N log servers. It
+// retries lost messages, services MissingInterval NACKs, and fails
+// over to spare servers when a write-set member stops responding.
+// Concurrent callers coalesce onto shared force rounds (group commit),
+// and within a round the N acknowledgment waits run in parallel, so
+// round latency is the slowest server's round trip, not the sum.
+func (l *ReplicatedLog) Force() error {
+	var lead *forceRound // a queued round this caller must lead
+	l.mu.Lock()
+	l.stats.Forces++
+	for {
+		if l.closed {
+			if lead != nil {
+				// Wake any followers that queued behind us.
+				if l.nextRound == lead {
+					l.nextRound = nil
+				}
+				lead.err = ErrClosed
+				close(lead.done)
+			}
+			l.mu.Unlock()
+			return ErrClosed
+		}
+		if lead == nil && len(l.outstanding) == 0 {
+			// Everything written so far has already been confirmed on N
+			// servers (possibly by a round another caller led).
+			l.mu.Unlock()
+			return nil
+		}
+		if cur := l.curRound; cur != nil {
+			if lead == nil && cur.target >= l.outstanding[len(l.outstanding)-1].LSN {
+				// The in-flight round covers all our records: ride it.
+				l.stats.GroupCommits++
+				l.mu.Unlock()
+				<-cur.done
+				return cur.err
+			}
+			if l.nextRound == nil {
+				lead = &forceRound{done: make(chan struct{})}
+				l.nextRound = lead
+			}
+			if l.nextRound != lead {
+				// The next round already has a leader; ride it — its
+				// target is fixed only when it starts, so it will cover
+				// every record outstanding now, including ours.
+				r := l.nextRound
+				l.stats.GroupCommits++
+				l.mu.Unlock()
+				<-r.done
+				return r.err
+			}
+			// We lead the next round: wait our turn, then re-check.
+			l.mu.Unlock()
+			<-cur.done
+			l.mu.Lock()
+			continue
+		}
+		// No round in flight. While a queued round exists only its
+		// leader may start one, so a newcomer racing the promotion
+		// joins as a follower instead.
+		if l.nextRound != nil && l.nextRound != lead {
+			r := l.nextRound
+			l.stats.GroupCommits++
+			l.mu.Unlock()
+			<-r.done
+			return r.err
+		}
+		if lead == nil {
+			lead = &forceRound{done: make(chan struct{})}
+		}
+		if l.nextRound == lead {
+			l.nextRound = nil
+		}
+		if len(l.outstanding) == 0 {
+			// The previous round confirmed everything (it covered our
+			// followers' records too); complete trivially.
+			close(lead.done)
+			l.mu.Unlock()
+			return nil
+		}
+		l.curRound = lead
+		return l.leadRoundLocked(lead)
+	}
+}
+
+// roundWaiter is the per-server state of one force round's parallel
+// fan-out. Waiters live in the log's reused scratch slice; go'ing the
+// run method directly (rather than a closure) keeps the fan-out free
+// of per-round heap allocations.
+type roundWaiter struct {
+	l      *ReplicatedLog
+	addr   string
+	target record.LSN
+	err    error
+}
+
+func (w *roundWaiter) run(wg *sync.WaitGroup) {
+	defer wg.Done()
+	w.err = w.l.awaitServer(w.addr, w.target)
+}
+
+// leadRoundLocked runs one force round: flush the stream with a
+// trailing ForceLog, then wait for all N write-set acknowledgments in
+// parallel. One waiter goroutine per server keeps per-server retry,
+// NACK service, and failover independent: a server failing over never
+// stalls or aborts the waits on the others. Called with l.mu held and
+// l.curRound == r; returns with l.mu released and the round completed.
+func (l *ReplicatedLog) leadRoundLocked(r *forceRound) error {
+	r.target = l.outstanding[len(l.outstanding)-1].LSN
+	l.stats.ForceRounds++
+	err := l.flushLocked(true)
+	if cap(l.roundWaiters) < len(l.writeSet) {
+		l.roundWaiters = make([]roundWaiter, len(l.writeSet))
+	}
+	waiters := l.roundWaiters[:len(l.writeSet)]
+	for i, addr := range l.writeSet {
+		waiters[i] = roundWaiter{l: l, addr: addr, target: r.target}
+	}
+	l.mu.Unlock()
+
+	if err == nil {
+		// The leader's goroutine doubles as the first waiter, so a
+		// round spawns N-1 goroutines, not N.
+		l.roundWG.Add(len(waiters) - 1)
+		for i := 1; i < len(waiters); i++ {
+			go waiters[i].run(&l.roundWG)
+		}
+		waiters[0].err = l.awaitServer(waiters[0].addr, waiters[0].target)
+		l.roundWG.Wait()
+		for i := range waiters {
+			if waiters[i].err != nil {
+				err = waiters[i].err
+				break
+			}
+		}
+	}
+
+	l.mu.Lock()
+	if err == nil && len(l.outstanding) > 0 {
+		// All N acknowledged: the interval is durable; record its
+		// holders and release the buffer.
+		first := l.outstanding[0].LSN
+		if first <= r.target {
+			l.holders.add(l.epoch, first, r.target, l.writeSet)
+		}
+		keep := l.outstanding[:0]
+		for _, rec := range l.outstanding {
+			if rec.LSN > r.target {
+				keep = append(keep, rec)
+			}
+		}
+		l.outstanding = keep
+	}
+	if l.curRound == r {
+		l.curRound = nil
+	}
+	r.err = err
+	close(r.done)
+	l.mu.Unlock()
+	return err
+}
+
+// ForceRoundStats reports force coalescing: Force calls, protocol
+// rounds actually executed, and calls that rode a shared round. Under
+// concurrent committers rounds < forces — the group-commit win.
+func (l *ReplicatedLog) ForceRoundStats() (forces, rounds, groupCommits uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats.Forces, l.stats.ForceRounds, l.stats.GroupCommits
+}

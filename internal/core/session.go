@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sync"
@@ -136,16 +137,22 @@ func (s *session) deliver(pkt *wire.Packet) {
 		}
 		s.mu.Unlock()
 		if ok {
-			ch <- pkt
+			// Copy the packet so the pump's stack-allocated value never
+			// escapes: only the infrequent RPC-response path pays a heap
+			// allocation, keeping streamed acks allocation-free.
+			cp := *pkt
+			ch <- &cp
 		}
 	case pkt.Type == wire.TNewHighLSN:
-		p, err := wire.DecodeLSNPayload(pkt.Payload)
-		if err != nil {
+		// Decoded inline: the ack path runs once per force round per
+		// server and must not allocate.
+		if len(pkt.Payload) != 8 {
 			return
 		}
+		lsn := record.LSN(binary.BigEndian.Uint64(pkt.Payload))
 		s.mu.Lock()
-		if record.LSN(p.LSN) > s.ackedHigh {
-			s.ackedHigh = record.LSN(p.LSN)
+		if lsn > s.ackedHigh {
+			s.ackedHigh = lsn
 		}
 		s.cond.Broadcast()
 		s.mu.Unlock()
@@ -234,12 +241,7 @@ func (s *session) takeMissing() []wire.IntervalPayload {
 // passes, a MissingInterval arrives (the caller must service it), or
 // the session dies.
 func (s *session) waitAck(lsn record.LSN, deadline time.Time) (acked bool, nacked bool, err error) {
-	timer := time.AfterFunc(time.Until(deadline), func() {
-		s.mu.Lock()
-		s.cond.Broadcast()
-		s.mu.Unlock()
-	})
-	defer timer.Stop()
+	var timer *time.Timer
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for {
@@ -254,6 +256,16 @@ func (s *session) waitAck(lsn record.LSN, deadline time.Time) (acked bool, nacke
 			return false, false, ErrServerReset
 		case !time.Now().Before(deadline):
 			return false, false, nil
+		}
+		if timer == nil {
+			// The timer only wakes the cond wait at the deadline; the
+			// fast path — ack already arrived — never allocates it.
+			timer = time.AfterFunc(time.Until(deadline), func() {
+				s.mu.Lock()
+				s.cond.Broadcast()
+				s.mu.Unlock()
+			})
+			defer timer.Stop()
 		}
 		s.cond.Wait()
 	}

@@ -44,6 +44,14 @@ type prefixTruncator interface {
 	TruncatePrefix(before record.LSN) error
 }
 
+// forceCoalescer is the optional log capability behind
+// ForceRoundStats; *core.ReplicatedLog implements it. Concurrent
+// committers share force rounds (group commit), so rounds < forces
+// when commits overlap.
+type forceCoalescer interface {
+	ForceRoundStats() (forces, rounds, groupCommits uint64)
+}
+
 // Stats counts engine activity.
 type Stats struct {
 	Begins           uint64
@@ -117,6 +125,19 @@ func (e *Engine) Stats() Stats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.stats
+}
+
+// ForceRoundStats reports how the underlying log coalesced the
+// engine's commit forces: total Force calls, protocol rounds actually
+// executed, and calls satisfied by riding another committer's round.
+// ok is false when the log does not coalesce (e.g. a local test log).
+func (e *Engine) ForceRoundStats() (forces, rounds, groupCommits uint64, ok bool) {
+	fc, ok := e.log.(forceCoalescer)
+	if !ok {
+		return 0, 0, 0, false
+	}
+	forces, rounds, groupCommits = fc.ForceRoundStats()
+	return forces, rounds, groupCommits, true
 }
 
 // SplitStats returns the split cache statistics (zero value when

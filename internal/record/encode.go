@@ -57,8 +57,20 @@ func (r Record) AppendEncode(buf []byte) []byte {
 }
 
 // DecodeRecord decodes one record from the front of buf, returning the
-// record and the number of bytes consumed.
+// record and the number of bytes consumed. The record's Data is copied
+// out of buf, so the buffer may be reused afterwards.
 func DecodeRecord(buf []byte) (Record, int, error) {
+	r, total, err := DecodeRecordAlias(buf)
+	if err == nil && len(r.Data) > 0 {
+		r.Data = append([]byte(nil), r.Data...)
+	}
+	return r, total, err
+}
+
+// DecodeRecordAlias decodes like DecodeRecord but the record's Data
+// aliases buf (zero-copy). The caller must not reuse buf while the
+// record is live, or must Clone records it retains.
+func DecodeRecordAlias(buf []byte) (Record, int, error) {
 	if len(buf) < recordHeaderSize {
 		return Record{}, 0, ErrTruncated
 	}
@@ -75,8 +87,7 @@ func DecodeRecord(buf []byte) (Record, int, error) {
 		return Record{}, 0, ErrTruncated
 	}
 	if n > 0 {
-		r.Data = make([]byte, n)
-		copy(r.Data, buf[recordHeaderSize:total])
+		r.Data = buf[recordHeaderSize:total:total]
 	}
 	return r, total, nil
 }
@@ -140,8 +151,19 @@ func EncodeRecords(buf []byte, recs []Record) []byte {
 	return buf
 }
 
-// DecodeRecords decodes a length-prefixed record list.
+// DecodeRecords decodes a length-prefixed record list. Record data is
+// copied out of buf.
 func DecodeRecords(buf []byte) ([]Record, int, error) {
+	return decodeRecords(buf, false)
+}
+
+// DecodeRecordsAlias decodes like DecodeRecords but the records' Data
+// alias buf (zero-copy); see DecodeRecordAlias for the ownership rule.
+func DecodeRecordsAlias(buf []byte) ([]Record, int, error) {
+	return decodeRecords(buf, true)
+}
+
+func decodeRecords(buf []byte, alias bool) ([]Record, int, error) {
 	if len(buf) < 4 {
 		return nil, 0, ErrTruncated
 	}
@@ -152,7 +174,14 @@ func DecodeRecords(buf []byte) ([]Record, int, error) {
 	}
 	recs := make([]Record, 0, n)
 	for i := 0; i < n; i++ {
-		r, used, err := DecodeRecord(buf[off:])
+		var r Record
+		var used int
+		var err error
+		if alias {
+			r, used, err = DecodeRecordAlias(buf[off:])
+		} else {
+			r, used, err = DecodeRecord(buf[off:])
+		}
 		if err != nil {
 			return nil, 0, err
 		}

@@ -180,7 +180,7 @@ func (s *Server) loop() {
 			s.stats.packetsDropped.Add(1)
 			continue
 		}
-		s.handle(raw.From, pkt)
+		s.handle(raw.From, &pkt)
 	}
 }
 
@@ -211,11 +211,12 @@ func (s *Server) handle(from string, pkt *wire.Packet) {
 
 	if sess == nil || pkt.ConnID != sess.peer.ConnID {
 		// Unknown connection or stale incarnation: ask the client to
-		// handshake. Rst carries the offending ConnID so the client
-		// can tell which incarnation was rejected.
+		// handshake. The stateless reset echoes the offending ConnID so
+		// the client can tell which incarnation was rejected, and builds
+		// no per-connection state — stray or scanning packets cost one
+		// pooled frame each.
 		s.stats.packetsDropped.Add(1)
-		rst := wire.NewPeer(s.cfg.Endpoint, from, pkt.ClientID, pkt.ConnID, s.cfg.Window, pauseOf(s.cfg))
-		rst.Send(wire.TRst, pkt.Seq, nil)
+		wire.SendRst(s.cfg.Endpoint, from, pkt.ClientID, pkt.ConnID, pkt.Seq)
 		return
 	}
 	if !sess.peer.Observe(pkt) {
@@ -316,8 +317,7 @@ func (s *Server) handleWrite(sess *session, pkt *wire.Packet, force bool) {
 			return
 		}
 		s.stats.forces.Add(1)
-		ack := wire.LSNPayload{LSN: sess.expectedNext - 1}
-		sess.peer.Send(wire.TNewHighLSN, 0, ack.Encode())
+		sess.peer.SendLSN(wire.TNewHighLSN, 0, sess.expectedNext-1)
 		s.stats.acksSent.Add(1)
 	}
 }
@@ -386,8 +386,7 @@ func (s *Server) handleRead(sess *session, pkt *wire.Packet, forward bool) {
 	if !forward {
 		respType = wire.TReadBackwardResp
 	}
-	resp := wire.RecordsPayload{Records: recs}
-	sess.peer.Send(respType, pkt.Seq, resp.Encode())
+	sess.peer.SendRecords(respType, pkt.Seq, 0, recs)
 }
 
 func (s *Server) handleCopyLog(sess *session, pkt *wire.Packet) {

@@ -55,7 +55,7 @@ func (r *rig) recv() *wire.Packet {
 	if err != nil {
 		r.t.Fatalf("decode: %v", err)
 	}
-	return pkt
+	return &pkt
 }
 
 // handshake completes the three-way handshake.

@@ -14,6 +14,7 @@ type Faults struct {
 	DupProb     float64       // deliver it twice
 	CorruptProb float64       // flip one byte (exercises end-to-end CRC)
 	MaxDelay    time.Duration // uniform random delivery delay (also reorders)
+	FixedDelay  time.Duration // constant one-way latency added to every delivery
 }
 
 // Network is an in-memory datagram network. Endpoints are registered
@@ -107,8 +108,11 @@ func (n *Network) deliver(from, to string, data []byte) error {
 		if f.CorruptProb > 0 && n.rng.Float64() < f.CorruptProb && len(pkt.Data) > 0 {
 			pkt.Data[n.rng.Intn(len(pkt.Data))] ^= 0xFF
 		}
+		delay := f.FixedDelay
 		if f.MaxDelay > 0 {
-			delay := time.Duration(n.rng.Int63n(int64(f.MaxDelay)))
+			delay += time.Duration(n.rng.Int63n(int64(f.MaxDelay)))
+		}
+		if delay > 0 {
 			time.AfterFunc(delay, func() { dst.push(pkt) })
 		} else {
 			dst.push(pkt)

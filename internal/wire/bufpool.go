@@ -1,0 +1,30 @@
+package wire
+
+import (
+	"sync"
+
+	"distlog/internal/transport"
+)
+
+// framePool recycles packet encode buffers so the steady-state write
+// path (WriteLog/ForceLog streaming and their acknowledgments) does not
+// allocate a fresh frame per packet. Buffers are sized for a full
+// packet up front; AppendEncode never grows them.
+var framePool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, transport.MaxPacketSize)
+		return &b
+	},
+}
+
+// getFrame returns an empty buffer with packet-sized capacity.
+func getFrame() *[]byte {
+	return framePool.Get().(*[]byte)
+}
+
+// putFrame returns a buffer to the pool. The caller must not retain a
+// reference to the slice after putting it back.
+func putFrame(b *[]byte) {
+	*b = (*b)[:0]
+	framePool.Put(b)
+}

@@ -140,42 +140,70 @@ var (
 	ErrTooBig      = errors.New("wire: payload exceeds single-packet limit")
 )
 
-// Encode serializes the packet.
+// Encode serializes the packet into a fresh buffer.
 func (p *Packet) Encode() ([]byte, error) {
-	if len(p.Payload) > MaxPayload {
-		return nil, fmt.Errorf("%w: %d > %d", ErrTooBig, len(p.Payload), MaxPayload)
-	}
-	buf := make([]byte, 0, headerSize+len(p.Payload)+crcSize)
-	buf = binary.BigEndian.AppendUint16(buf, Magic)
-	buf = append(buf, Version, byte(p.Type))
-	buf = binary.BigEndian.AppendUint64(buf, p.ConnID)
-	buf = binary.BigEndian.AppendUint64(buf, p.Seq)
-	buf = binary.BigEndian.AppendUint64(buf, p.Alloc)
-	buf = binary.BigEndian.AppendUint64(buf, p.RespTo)
-	buf = binary.BigEndian.AppendUint64(buf, uint64(p.ClientID))
-	buf = binary.BigEndian.AppendUint16(buf, uint16(len(p.Payload)))
-	buf = append(buf, p.Payload...)
-	sum := crc32.ChecksumIEEE(buf)
-	buf = binary.BigEndian.AppendUint32(buf, sum)
-	return buf, nil
+	return p.AppendEncode(make([]byte, 0, headerSize+len(p.Payload)+crcSize))
 }
 
-// Decode parses and verifies a packet.
-func Decode(data []byte) (*Packet, error) {
+// AppendEncode appends the packet's wire encoding to buf and returns
+// the extended slice. Hot paths pass a pooled buffer with packet-sized
+// capacity so encoding allocates nothing.
+func (p *Packet) AppendEncode(buf []byte) ([]byte, error) {
+	return appendFrame(buf, p.Type, p.ConnID, p.Seq, p.Alloc, p.RespTo, p.ClientID,
+		p.Payload, 0, nil)
+}
+
+// appendFrame appends one full frame (header, payload, CRC) to buf.
+// The payload is either the literal payload slice, or — when recs is
+// non-nil — a RecordsPayload (epoch + grouped records) encoded directly
+// into the frame, skipping the intermediate payload allocation.
+func appendFrame(buf []byte, t Type, connID, seq, alloc, respTo uint64,
+	clientID record.ClientID, payload []byte, epoch record.Epoch, recs []record.Record) ([]byte, error) {
+	start := len(buf)
+	buf = binary.BigEndian.AppendUint16(buf, Magic)
+	buf = append(buf, Version, byte(t))
+	buf = binary.BigEndian.AppendUint64(buf, connID)
+	buf = binary.BigEndian.AppendUint64(buf, seq)
+	buf = binary.BigEndian.AppendUint64(buf, alloc)
+	buf = binary.BigEndian.AppendUint64(buf, respTo)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(clientID))
+	lenOff := len(buf)
+	buf = binary.BigEndian.AppendUint16(buf, 0) // patched below
+	if recs != nil {
+		buf = binary.BigEndian.AppendUint64(buf, uint64(epoch))
+		buf = record.EncodeRecords(buf, recs)
+	} else {
+		buf = append(buf, payload...)
+	}
+	plen := len(buf) - start - headerSize
+	if plen > MaxPayload {
+		return buf[:start], fmt.Errorf("%w: %d > %d", ErrTooBig, plen, MaxPayload)
+	}
+	binary.BigEndian.PutUint16(buf[lenOff:], uint16(plen))
+	sum := crc32.ChecksumIEEE(buf[start:])
+	return binary.BigEndian.AppendUint32(buf, sum), nil
+}
+
+// Decode parses and verifies a packet. The returned packet's Payload
+// aliases data: callers must not reuse the receive buffer while the
+// packet is live (both transports hand each packet its own buffer).
+// The packet is returned by value so receive loops decode without a
+// per-packet heap allocation.
+func Decode(data []byte) (Packet, error) {
 	if len(data) < headerSize+crcSize {
-		return nil, fmt.Errorf("%w: %d bytes", ErrBadPacket, len(data))
+		return Packet{}, fmt.Errorf("%w: %d bytes", ErrBadPacket, len(data))
 	}
 	body, sumBytes := data[:len(data)-crcSize], data[len(data)-crcSize:]
 	if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(sumBytes) {
-		return nil, ErrBadChecksum
+		return Packet{}, ErrBadChecksum
 	}
 	if binary.BigEndian.Uint16(body[0:2]) != Magic {
-		return nil, fmt.Errorf("%w: bad magic", ErrBadPacket)
+		return Packet{}, fmt.Errorf("%w: bad magic", ErrBadPacket)
 	}
 	if body[2] != Version {
-		return nil, fmt.Errorf("%w: version %d", ErrBadPacket, body[2])
+		return Packet{}, fmt.Errorf("%w: version %d", ErrBadPacket, body[2])
 	}
-	p := &Packet{
+	p := Packet{
 		Type:     Type(body[3]),
 		ConnID:   binary.BigEndian.Uint64(body[4:12]),
 		Seq:      binary.BigEndian.Uint64(body[12:20]),
@@ -184,15 +212,14 @@ func Decode(data []byte) (*Packet, error) {
 		ClientID: record.ClientID(binary.BigEndian.Uint64(body[36:44])),
 	}
 	if p.Type == TInvalid || p.Type >= tMax {
-		return nil, fmt.Errorf("%w: type %d", ErrBadPacket, body[3])
+		return Packet{}, fmt.Errorf("%w: type %d", ErrBadPacket, body[3])
 	}
 	plen := int(binary.BigEndian.Uint16(body[44:46]))
 	if headerSize+plen != len(body) {
-		return nil, fmt.Errorf("%w: payload length %d vs body %d", ErrBadPacket, plen, len(body)-headerSize)
+		return Packet{}, fmt.Errorf("%w: payload length %d vs body %d", ErrBadPacket, plen, len(body)-headerSize)
 	}
 	if plen > 0 {
-		p.Payload = make([]byte, plen)
-		copy(p.Payload, body[headerSize:])
+		p.Payload = body[headerSize:]
 	}
 	return p, nil
 }

@@ -19,19 +19,38 @@ type RecordsPayload struct {
 	Records []record.Record
 }
 
-// Encode serializes the payload.
+// Encode serializes the payload into a fresh buffer.
 func (p *RecordsPayload) Encode() []byte {
-	buf := binary.BigEndian.AppendUint64(nil, uint64(p.Epoch))
+	return p.AppendEncode(make([]byte, 0, p.EncodedSize()))
+}
+
+// AppendEncode appends the payload's encoding to buf and returns the
+// extended slice (the allocation-free variant; Peer.SendRecords goes
+// further and encodes straight into the frame buffer).
+func (p *RecordsPayload) AppendEncode(buf []byte) []byte {
+	buf = binary.BigEndian.AppendUint64(buf, uint64(p.Epoch))
 	return record.EncodeRecords(buf, p.Records)
 }
 
-// DecodeRecordsPayload parses a RecordsPayload.
+// EncodedSize returns the encoded length of the payload.
+func (p *RecordsPayload) EncodedSize() int {
+	size := 8 + 4 // epoch + count
+	for _, r := range p.Records {
+		size += r.EncodedSize()
+	}
+	return size
+}
+
+// DecodeRecordsPayload parses a RecordsPayload. The decoded records'
+// Data alias data (zero-copy): a packet payload already aliases its
+// receive buffer, which is never reused, so consumers follow the same
+// ownership rule — clone records they retain (the server's stores do).
 func DecodeRecordsPayload(data []byte) (*RecordsPayload, error) {
 	if len(data) < 8 {
 		return nil, fmt.Errorf("%w: short records payload", ErrBadPacket)
 	}
 	p := &RecordsPayload{Epoch: record.Epoch(binary.BigEndian.Uint64(data))}
-	recs, n, err := record.DecodeRecords(data[8:])
+	recs, n, err := record.DecodeRecordsAlias(data[8:])
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadPacket, err)
 	}

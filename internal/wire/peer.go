@@ -1,7 +1,9 @@
 package wire
 
 import (
+	"encoding/binary"
 	"errors"
+	"fmt"
 	"sync"
 	"time"
 
@@ -115,8 +117,32 @@ func (p *Peer) grant() uint64 { return p.accepted + p.window }
 // assigns the next sequence number and stamps the current allocation
 // grant. Handshake types may be sent before establishment; data types
 // may not. When the peer's allocation is exhausted, Send pauses (the
-// paper's deadlock-avoidance rule) and then proceeds.
+// paper's deadlock-avoidance rule) and then proceeds. The frame is
+// encoded into a pooled buffer, so a Send allocates nothing.
 func (p *Peer) Send(t Type, respTo uint64, payload []byte) (uint64, error) {
+	return p.send(t, respTo, payload, 0, nil)
+}
+
+// SendRecords transmits a RecordsPayload-bearing packet (WriteLog,
+// ForceLog, CopyLog, read responses), encoding the grouped records
+// directly into the pooled frame buffer — the streaming write path
+// never materializes an intermediate payload slice.
+func (p *Peer) SendRecords(t Type, respTo uint64, epoch record.Epoch, recs []record.Record) (uint64, error) {
+	if len(recs) == 0 {
+		return 0, fmt.Errorf("wire: SendRecords with no records")
+	}
+	return p.send(t, respTo, nil, epoch, recs)
+}
+
+// SendLSN transmits an LSNPayload-bearing packet (NewHighLSN acks,
+// read requests) without allocating the 8-byte payload separately.
+func (p *Peer) SendLSN(t Type, respTo uint64, lsn record.LSN) (uint64, error) {
+	var scratch [8]byte
+	binary.BigEndian.PutUint64(scratch[:], uint64(lsn))
+	return p.send(t, respTo, scratch[:], 0, nil)
+}
+
+func (p *Peer) send(t Type, respTo uint64, payload []byte, epoch record.Epoch, recs []record.Record) (uint64, error) {
 	p.mu.Lock()
 	if !p.established && t != TSyn && t != TSynAck && t != TAck && t != TRst {
 		p.mu.Unlock()
@@ -131,23 +157,38 @@ func (p *Peer) Send(t Type, respTo uint64, payload []byte) (uint64, error) {
 		p.mu.Lock()
 	}
 	p.nextSeq = seq
-	pkt := &Packet{
-		Type:     t,
-		ConnID:   p.ConnID,
-		Seq:      seq,
-		Alloc:    p.grant(),
-		RespTo:   respTo,
-		ClientID: p.ClientID,
-		Payload:  payload,
-	}
+	alloc := p.grant()
 	p.stats.Sent++
 	p.mu.Unlock()
 
-	data, err := pkt.Encode()
+	buf := getFrame()
+	frame, err := appendFrame(*buf, t, p.ConnID, seq, alloc, respTo, p.ClientID, payload, epoch, recs)
 	if err != nil {
+		putFrame(buf)
 		return 0, err
 	}
-	return seq, p.ep.Send(p.Addr, data)
+	*buf = frame
+	err = p.ep.Send(p.Addr, frame)
+	putFrame(buf)
+	return seq, err
+}
+
+// SendRst answers a stray packet with a connection reset without
+// building any per-connection state — a flood of stale or scanning
+// packets costs the server one pooled frame per reply, nothing more.
+// The offending ConnID is echoed so the sender can tell which
+// incarnation was rejected.
+func SendRst(ep transport.Endpoint, to string, clientID record.ClientID, connID, respTo uint64) error {
+	buf := getFrame()
+	frame, err := appendFrame(*buf, TRst, connID, 0, 0, respTo, clientID, nil, 0, nil)
+	if err != nil {
+		putFrame(buf)
+		return err
+	}
+	*buf = frame
+	err = ep.Send(to, frame)
+	putFrame(buf)
+	return err
 }
 
 // Observe performs receive-side bookkeeping for a decoded packet from

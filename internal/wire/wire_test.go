@@ -328,7 +328,7 @@ func TestPeerEndToEndPacketFlow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !sp.Observe(pkt) {
+	if !sp.Observe(&pkt) {
 		t.Fatal("packet rejected")
 	}
 	lp, err := DecodeLSNPayload(pkt.Payload)
@@ -377,5 +377,105 @@ func BenchmarkPacketEncodeDecode(b *testing.B) {
 		if _, err := Decode(data); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+func TestAppendEncodeIntoPrefixedBuffer(t *testing.T) {
+	p := &Packet{Type: TWriteLog, ConnID: 3, Seq: 11, Alloc: 2,
+		RespTo: 1, ClientID: 9, Payload: []byte("hello wire")}
+	direct, err := p.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Appending after unrelated bytes must leave the prefix intact and
+	// produce the same frame as a fresh Encode.
+	prefix := []byte{0xde, 0xad}
+	buf, err := p.AppendEncode(append([]byte(nil), prefix...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:2]) != string(prefix) {
+		t.Fatalf("prefix clobbered: % x", buf[:2])
+	}
+	if string(buf[2:]) != string(direct) {
+		t.Fatalf("appended frame differs from Encode:\n% x\n% x", buf[2:], direct)
+	}
+	got, err := Decode(buf[2:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != p.Type || got.Seq != p.Seq || string(got.Payload) != "hello wire" {
+		t.Fatalf("round trip: %+v", got)
+	}
+}
+
+func TestPeerSendRecordsAndLSN(t *testing.T) {
+	cp, sp, n := newPeerPair(t)
+	cp.SetEstablished()
+	sp.SetEstablished()
+	recs := []record.Record{
+		{LSN: 4, Epoch: 2, Present: true, Data: []byte("a")},
+		{LSN: 5, Epoch: 2, Present: true, Data: []byte("bb")},
+	}
+	if _, err := cp.SendRecords(TWriteLog, 0, 2, recs); err != nil {
+		t.Fatal(err)
+	}
+	se := n.Endpoint("server")
+	raw, err := se.Recv(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt, err := Decode(raw.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := DecodeRecordsPayload(pkt.Payload)
+	if err != nil || rp.Epoch != 2 || len(rp.Records) != 2 {
+		t.Fatalf("records payload: %+v, %v", rp, err)
+	}
+	if rp.Records[1].LSN != 5 || string(rp.Records[1].Data) != "bb" {
+		t.Fatalf("record mismatch: %+v", rp.Records[1])
+	}
+	if _, err := cp.SendRecords(TWriteLog, 0, 2, nil); err == nil {
+		t.Fatal("SendRecords with no records should error")
+	}
+	if _, err := sp.SendLSN(TNewHighLSN, pkt.Seq, 5); err != nil {
+		t.Fatal(err)
+	}
+	ce := n.Endpoint("client")
+	raw, err = ce.Recv(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ack, err := Decode(raw.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Type != TNewHighLSN || ack.RespTo != pkt.Seq {
+		t.Fatalf("ack %+v", ack)
+	}
+	lp, err := DecodeLSNPayload(ack.Payload)
+	if err != nil || lp.LSN != 5 {
+		t.Fatalf("ack payload: %+v, %v", lp, err)
+	}
+}
+
+func TestStatelessSendRst(t *testing.T) {
+	n := transport.NewNetwork(1)
+	se := n.Endpoint("server")
+	ce := n.Endpoint("client")
+	if err := SendRst(se, "client", 7, 99, 41); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := ce.Recv(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt, err := Decode(raw.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkt.Type != TRst || pkt.ConnID != 99 || pkt.RespTo != 41 || pkt.ClientID != 7 {
+		t.Fatalf("rst %+v", pkt)
 	}
 }
