@@ -4,7 +4,7 @@ GO ?= go
 # race-detector tier in `make check`.
 RACE_PKGS := ./internal/core/... ./internal/wire/... ./internal/server/...
 
-.PHONY: all build test race check bench vet fmt
+.PHONY: all build test race check bench vet fmt crashaudit
 
 all: check
 
@@ -23,9 +23,18 @@ vet:
 fmt:
 	$(GO) fmt ./...
 
-# check is the CI gate: tier-1 build+tests, vet, and the race tier over
-# the client/wire/server packages.
-check: build test vet race
+# crashaudit kills the client (or its servers) at every registered
+# crash point, recovers, and audits the Section 3.1 invariants — a
+# deterministic sweep of all points plus randomized crash/recover
+# iterations under a lossy network (see DESIGN.md, "Crash-point map").
+# Long soaks: make crashaudit CRASHAUDIT_ITERS=5000
+CRASHAUDIT_ITERS ?= 200
+crashaudit:
+	$(GO) run ./cmd/crashaudit -iters $(CRASHAUDIT_ITERS)
+
+# check is the CI gate: tier-1 build+tests, vet, the race tier over the
+# client/wire/server packages, and the crash-point audit.
+check: build test vet race crashaudit
 
 # bench runs the write-path benchmarks and records the results in
 # BENCH_writepath.json (see bench.sh).

@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"distlog/internal/faultpoint"
 	"distlog/internal/idgen"
 	"distlog/internal/record"
 	"distlog/internal/transport"
@@ -197,43 +198,63 @@ func (l *ReplicatedLog) pump() {
 
 // dial returns the session for addr, creating and handshaking it if
 // needed. A session that was reset is re-dialed with a fresh
-// incarnation.
+// incarnation. Concurrent dialers of one address share a single
+// handshake: the goroutine that created the session runs it, everyone
+// else blocks on the session's ready gate — a caller is never handed a
+// session whose handshake is still in flight (it would stream records
+// on an unestablished peer) or about to fail and be deleted.
 func (l *ReplicatedLog) dial(addr string) (*session, error) {
-	l.mu.Lock()
-	if l.closed {
-		l.mu.Unlock()
-		return nil, ErrClosed
-	}
-	sess := l.sessions[addr]
-	if sess != nil {
-		sess.mu.Lock()
-		dead := sess.reset || sess.closed
-		sess.mu.Unlock()
-		if !dead {
-			l.mu.Unlock()
-			return sess, nil
-		}
-		delete(l.sessions, addr)
-	}
-	connID := l.cfg.ConnID + connIDCounter.Add(1)
-	sess = newSession(l.cfg.Endpoint, addr, l.cfg.ClientID, connID,
-		l.cfg.Window, l.cfg.OverAllocPause, l.cfg.CallTimeout, l.cfg.Retries)
-	if flipper, ok := l.cfg.Endpoint.(interface{ Flip() }); ok {
-		sess.onRetry = flipper.Flip
-	}
-	l.sessions[addr] = sess
-	l.mu.Unlock()
-
-	if err := sess.handshake(); err != nil {
+	for {
 		l.mu.Lock()
-		if l.sessions[addr] == sess {
-			delete(l.sessions, addr)
+		if l.closed {
+			l.mu.Unlock()
+			return nil, ErrClosed
 		}
+		if sess := l.sessions[addr]; sess != nil {
+			l.mu.Unlock()
+			<-sess.ready // handshake settled, one way or the other
+			sess.mu.Lock()
+			usable := sess.hsErr == nil && !sess.reset && !sess.closed
+			sess.mu.Unlock()
+			if usable {
+				return sess, nil
+			}
+			// Dead (reset, closed, or failed handshake): retire it and
+			// retry with a fresh incarnation. Remove only the session we
+			// inspected — a concurrent dialer may have replaced it
+			// already.
+			l.mu.Lock()
+			if l.sessions[addr] == sess {
+				delete(l.sessions, addr)
+			}
+			l.mu.Unlock()
+			continue
+		}
+		connID := l.cfg.ConnID + connIDCounter.Add(1)
+		sess := newSession(l.cfg.Endpoint, addr, l.cfg.ClientID, connID,
+			l.cfg.Window, l.cfg.OverAllocPause, l.cfg.CallTimeout, l.cfg.Retries)
+		if flipper, ok := l.cfg.Endpoint.(interface{ Flip() }); ok {
+			sess.onRetry = flipper.Flip
+		}
+		l.sessions[addr] = sess
 		l.mu.Unlock()
-		sess.close()
-		return nil, err
+
+		err := sess.handshake()
+		sess.mu.Lock()
+		sess.hsErr = err
+		sess.mu.Unlock()
+		close(sess.ready)
+		if err != nil {
+			l.mu.Lock()
+			if l.sessions[addr] == sess {
+				delete(l.sessions, addr)
+			}
+			l.mu.Unlock()
+			sess.close()
+			return nil, err
+		}
+		return sess, nil
 	}
-	return sess, nil
 }
 
 // initialize runs the Section 3.1.2 client initialization.
@@ -333,10 +354,12 @@ func (l *ReplicatedLog) initialize() error {
 		if err := l.sendCopies(sess, staged); err != nil {
 			return fmt.Errorf("core: CopyLog to %s: %w", addr, err)
 		}
+		faultpoint.Hit(FPInitCopied)
 		installPayload := (&wire.InstallPayload{Epoch: l.epoch}).Encode()
 		if _, err := sess.call(wire.TInstallCopiesReq, installPayload); err != nil {
 			return fmt.Errorf("core: InstallCopies on %s: %w", addr, err)
 		}
+		faultpoint.Hit(FPInitInstalled)
 	}
 
 	l.mu.Lock()
@@ -439,7 +462,13 @@ func (l *ReplicatedLog) WriteLog(data []byte) (record.LSN, error) {
 		l.mu.Unlock()
 		return 0, ErrClosed
 	}
-	if len(l.outstanding) >= l.cfg.Delta {
+	// δ-bound: never let more than Delta records be outstanding. The
+	// check must be a loop — Force releases l.mu, and by the time it is
+	// re-acquired other writers may have refilled the buffer to Delta
+	// again; appending after a plain `if` would let concurrent writers
+	// push past δ and void the recovery guarantee (recovery re-copies
+	// only the last δ records).
+	for len(l.outstanding) >= l.cfg.Delta {
 		l.mu.Unlock()
 		if err := l.Force(); err != nil {
 			return 0, err
@@ -719,6 +748,7 @@ func (l *ReplicatedLog) failover(failed string, target record.LSN) error {
 			l.mu.Unlock()
 			continue
 		}
+		faultpoint.Hit(FPFailoverBeforeSwap)
 		for i, a := range l.writeSet {
 			if a == failed {
 				l.writeSet[i] = addr

@@ -1,0 +1,59 @@
+package core_test
+
+import (
+	"testing"
+
+	"distlog/internal/crashaudit"
+	"distlog/internal/faultpoint"
+)
+
+// TestCrashPointSweep kills the client — or its log servers — at every
+// registered crash point in turn, escalating the per-point hit count,
+// and audits the Section 3.1 invariants after each recovery: every
+// force-acknowledged record survives with its data, the doubtful
+// window is bounded by δ, doubtful outcomes never flip once observed,
+// and epochs strictly increase. The sweep itself fails if any
+// registered point never fires — a crash point the workload cannot
+// reach is a coverage hole, not a pass.
+//
+// The test lives in package core_test (not core) because the harness
+// imports core; it is in this directory so `go test ./internal/core`
+// always exercises the crash audit alongside the client's unit tests.
+func TestCrashPointSweep(t *testing.T) {
+	opts := crashaudit.Options{Seed: 1}
+	if testing.Verbose() {
+		opts.Logf = t.Logf
+	}
+	rep, err := crashaudit.Sweep(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, point := range faultpoint.Points() {
+		if len(rep.Fired[point]) == 0 {
+			t.Errorf("registered crash point %s never fired", point)
+		}
+	}
+	t.Logf("sweep: %d runs, %d crash/recover cycles, %d points covered",
+		rep.Runs, rep.Recoveries, len(rep.Fired))
+}
+
+// TestCrashAuditRandomized replays the crash scenario under a lossy,
+// duplicating, reordering network with randomly drawn crash points and
+// hit counts. The long (200+ cycle) version runs via cmd/crashaudit in
+// `make crashaudit`; this keeps a seeded slice of it in plain `go
+// test`.
+func TestCrashAuditRandomized(t *testing.T) {
+	iters := 40
+	if testing.Short() {
+		iters = 8
+	}
+	opts := crashaudit.Options{Seed: 2}
+	if testing.Verbose() {
+		opts.Logf = t.Logf
+	}
+	rep, err := crashaudit.Randomized(opts, iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("randomized: %d runs, %d crash/recover cycles", rep.Runs, rep.Recoveries)
+}

@@ -1,0 +1,47 @@
+package core
+
+import "distlog/internal/faultpoint"
+
+// Crash points of the client's Section 3.1.2 protocol steps. Each
+// marks a place where the paper's recovery argument must hold if the
+// client dies: the crashaudit harness (internal/crashaudit) kills the
+// client at every one of them in turn and audits the next incarnation.
+// See DESIGN.md, "Crash-point map", for the step each interrupts.
+//
+// Callbacks armed on these points run on the client's own goroutines,
+// in some cases with internal locks held; they must not call back into
+// the ReplicatedLog (closing the client's transport endpoint is the
+// intended crash model).
+const (
+	// FPInitCopied interrupts initialization after the doubtful tail
+	// has been streamed to one write-set server with CopyLog but before
+	// that server's InstallCopies: staged copies exist, none committed.
+	FPInitCopied = "client.init.copied"
+	// FPInitInstalled interrupts initialization after InstallCopies
+	// committed on one write-set server but before the next server was
+	// reached: the multi-server install is torn.
+	FPInitInstalled = "client.init.installed"
+	// FPForceBeforeFlush interrupts a force round after its target LSN
+	// is fixed but before any record is flushed.
+	FPForceBeforeFlush = "client.force.before-flush"
+	// FPForceAfterFlush interrupts a force round after the stream (and
+	// trailing ForceLog) went out but before any acknowledgment wait.
+	FPForceAfterFlush = "client.force.after-flush"
+	// FPForceWaiterDone interrupts a force round between per-server
+	// acknowledgment completions: some servers have acked the target,
+	// the round has not released the outstanding buffer.
+	FPForceWaiterDone = "client.force.waiter-done"
+	// FPFailoverBeforeSwap interrupts failover after the spare has been
+	// caught up but before it replaces the failed server in the write
+	// set.
+	FPFailoverBeforeSwap = "client.failover.before-swap"
+)
+
+var _ = faultpoint.Register(
+	FPInitCopied,
+	FPInitInstalled,
+	FPForceBeforeFlush,
+	FPForceAfterFlush,
+	FPForceWaiterDone,
+	FPFailoverBeforeSwap,
+)

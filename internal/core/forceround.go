@@ -3,6 +3,7 @@ package core
 import (
 	"sync"
 
+	"distlog/internal/faultpoint"
 	"distlog/internal/record"
 )
 
@@ -37,6 +38,13 @@ type forceRound struct {
 func (l *ReplicatedLog) Force() error {
 	var lead *forceRound // a queued round this caller must lead
 	l.mu.Lock()
+	if l.closed {
+		// Rejected calls are not protocol activity: they must not count
+		// as Forces, or the Forces ≥ ForceRounds + GroupCommits
+		// invariant drifts on every post-Close call.
+		l.mu.Unlock()
+		return ErrClosed
+	}
 	l.stats.Forces++
 	for {
 		if l.closed {
@@ -126,7 +134,13 @@ type roundWaiter struct {
 
 func (w *roundWaiter) run(wg *sync.WaitGroup) {
 	defer wg.Done()
+	w.wait()
+}
+
+// wait performs the acknowledgment wait for one server of the round.
+func (w *roundWaiter) wait() {
 	w.err = w.l.awaitServer(w.addr, w.target)
+	faultpoint.Hit(FPForceWaiterDone)
 }
 
 // leadRoundLocked runs one force round: flush the stream with a
@@ -138,7 +152,9 @@ func (w *roundWaiter) run(wg *sync.WaitGroup) {
 func (l *ReplicatedLog) leadRoundLocked(r *forceRound) error {
 	r.target = l.outstanding[len(l.outstanding)-1].LSN
 	l.stats.ForceRounds++
+	faultpoint.Hit(FPForceBeforeFlush)
 	err := l.flushLocked(true)
+	faultpoint.Hit(FPForceAfterFlush)
 	if cap(l.roundWaiters) < len(l.writeSet) {
 		l.roundWaiters = make([]roundWaiter, len(l.writeSet))
 	}
@@ -155,7 +171,7 @@ func (l *ReplicatedLog) leadRoundLocked(r *forceRound) error {
 		for i := 1; i < len(waiters); i++ {
 			go waiters[i].run(&l.roundWG)
 		}
-		waiters[0].err = l.awaitServer(waiters[0].addr, waiters[0].target)
+		waiters[0].wait()
 		l.roundWG.Wait()
 		for i := range waiters {
 			if waiters[i].err != nil {

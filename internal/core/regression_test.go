@@ -1,0 +1,174 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"distlog/internal/transport"
+	"distlog/internal/wire"
+)
+
+// TestWriteLogDeltaBoundUnderConcurrency pins the δ invariant that the
+// Section 3.1.2 recovery argument depends on: the client never has
+// more than Delta unacknowledged records outstanding, even with many
+// concurrent writers. The pre-fix code checked the bound with an `if`
+// that was not re-checked after the implicit Force released and
+// re-acquired the lock, so concurrent writers could all pass the check
+// and push the buffer past δ — recovery would then re-copy too short a
+// doubtful tail.
+func TestWriteLogDeltaBoundUnderConcurrency(t *testing.T) {
+	c := newCluster(t, "s1", "s2", "s3")
+	// A little network latency widens the window between the δ check
+	// and the append: force rounds take milliseconds, so writers pile
+	// up at the bound.
+	c.net.SetFaults(transport.Faults{FixedDelay: 2 * time.Millisecond})
+	const delta = 4
+	l := mustOpen(t, c, 1, 2, func(cfg *Config) { cfg.Delta = delta })
+	defer l.Close()
+
+	checkBound := func() {
+		l.mu.Lock()
+		n := len(l.outstanding)
+		l.mu.Unlock()
+		if n > delta {
+			t.Errorf("outstanding = %d records, exceeds Delta = %d", n, delta)
+		}
+	}
+
+	done := make(chan struct{})
+	var samplerWG sync.WaitGroup
+	samplerWG.Add(1)
+	go func() {
+		defer samplerWG.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				checkBound()
+				time.Sleep(50 * time.Microsecond)
+			}
+		}
+	}()
+
+	const writers, perWriter = 12, 15
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				if _, err := l.WriteLog([]byte(fmt.Sprintf("w%d-%d", w, i))); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+				checkBound()
+			}
+		}()
+	}
+	wg.Wait()
+	close(done)
+	samplerWG.Wait()
+
+	if err := l.Force(); err != nil {
+		t.Fatalf("final force: %v", err)
+	}
+}
+
+// TestDialConcurrentHandshake pins the dial race: a second caller must
+// never be handed a session whose handshake is still in flight — on
+// the pre-fix code its very first call failed with ErrNotEstablished
+// because records hit the wire before the three-way handshake
+// completed.
+func TestDialConcurrentHandshake(t *testing.T) {
+	c := newCluster(t, "s1", "s2", "s3")
+	// Delay makes each handshake take ≥ 2 one-way latencies, widening
+	// the race window between the two dialers.
+	c.net.SetFaults(transport.Faults{FixedDelay: 3 * time.Millisecond})
+	l := mustOpen(t, c, 1, 2)
+	defer l.Close()
+
+	for iter := 0; iter < 10; iter++ {
+		// Retire the existing session so the next dial must handshake
+		// from scratch.
+		l.mu.Lock()
+		old := l.sessions["s1"]
+		delete(l.sessions, "s1")
+		l.mu.Unlock()
+		if old != nil {
+			old.close()
+		}
+
+		var wg sync.WaitGroup
+		errs := make([]error, 2)
+		for g := 0; g < 2; g++ {
+			g := g
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if g == 1 {
+					// Let the first dialer start the handshake so the
+					// second joins it mid-flight.
+					time.Sleep(time.Millisecond)
+				}
+				sess, err := l.dial("s1")
+				if err != nil {
+					errs[g] = fmt.Errorf("dial: %w", err)
+					return
+				}
+				if !sess.peer.Established() {
+					errs[g] = errors.New("dial returned an unestablished session")
+					return
+				}
+				if _, err := sess.call(wire.TIntervalListReq, (&wire.IntervalListPayload{}).Encode()); err != nil {
+					errs[g] = fmt.Errorf("call on dialed session: %w", err)
+				}
+			}()
+		}
+		wg.Wait()
+		for g, err := range errs {
+			if err != nil {
+				t.Fatalf("iter %d, dialer %d: %v", iter, g, err)
+			}
+		}
+	}
+}
+
+// TestForceStatsConsistentAfterClose pins the stats fix: a Force call
+// rejected with ErrClosed is not protocol activity and must not bump
+// the Forces counter, keeping Forces ≥ ForceRounds + GroupCommits an
+// invariant.
+func TestForceStatsConsistentAfterClose(t *testing.T) {
+	c := newCluster(t, "s1", "s2", "s3")
+	l := mustOpen(t, c, 1, 2)
+
+	for i := 0; i < 3; i++ {
+		if _, err := l.WriteLog([]byte("r")); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Force(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := l.Stats()
+	if before.Forces < before.ForceRounds+before.GroupCommits {
+		t.Fatalf("invariant broken while open: %+v", before)
+	}
+
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := l.Force(); !errors.Is(err, ErrClosed) {
+			t.Fatalf("Force after Close = %v, want ErrClosed", err)
+		}
+	}
+	after := l.Stats()
+	if after.Forces != before.Forces || after.ForceRounds != before.ForceRounds || after.GroupCommits != before.GroupCommits {
+		t.Fatalf("ErrClosed forces changed stats: before %+v, after %+v", before, after)
+	}
+}

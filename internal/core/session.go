@@ -41,6 +41,14 @@ func IsNotStored(err error) bool {
 	return errors.As(err, &re) && re.Code == wire.CodeNotStored
 }
 
+// IsTooLarge reports whether err is the server's "record stored but
+// too large for one reply packet" answer. Unlike CodeNotStored, the
+// server does hold the record.
+func IsTooLarge(err error) bool {
+	var re *RemoteError
+	return errors.As(err, &re) && re.Code == wire.CodeTooLarge
+}
+
 // session is the client's connection to one log server: handshake,
 // synchronous calls with retry, asynchronous write streaming, and the
 // acknowledgment state fed by the receive pump.
@@ -56,8 +64,15 @@ type session struct {
 	// its second network (Section 2's two-LAN arrangement).
 	onRetry func()
 
+	// ready is closed by the dialing goroutine once handshake() has
+	// settled; hsErr (valid after ready) holds its result. Concurrent
+	// dialers of the same address block on ready instead of being
+	// handed a session whose handshake is still in flight.
+	ready chan struct{}
+
 	mu        sync.Mutex
 	cond      *sync.Cond
+	hsErr     error      // handshake result; valid once ready is closed
 	ackedHigh record.LSN // highest NewHighLSN received
 	sentHigh  record.LSN // highest LSN sent in this connection's stream
 	pending   map[uint64]chan *wire.Packet
@@ -72,6 +87,7 @@ func newSession(ep transport.Endpoint, addr string, clientID record.ClientID, co
 		peer:        wire.NewPeer(ep, addr, clientID, connID, window, pause),
 		callTimeout: callTimeout,
 		retries:     retries,
+		ready:       make(chan struct{}),
 		pending:     make(map[uint64]chan *wire.Packet),
 	}
 	s.cond = sync.NewCond(&s.mu)

@@ -1,0 +1,436 @@
+// Package crashaudit drives the crash-point audit of the Section 3.1.2
+// recovery procedure. It runs a write/force workload against a memnet
+// cluster, kills the client — or its log servers — at a chosen
+// faultpoint pass, reboots every server over its surviving store, opens
+// a new client incarnation, and hands it to sim.CrashChecker, which
+// audits the Section 3.1 guarantees (acknowledged records durable, the
+// doubtful window bounded by δ, doubtful outcomes stable, epochs
+// strictly increasing).
+//
+// Sweep walks every registered crash point in turn, escalating the
+// per-point hit count until a trigger no longer fires; Randomized
+// replays the same scenario under a lossy network with random points,
+// hit counts, and seeds. Both are exposed through the core package's
+// tests and the crashaudit command.
+package crashaudit
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+
+	"distlog/internal/core"
+	"distlog/internal/faultpoint"
+	"distlog/internal/record"
+	"distlog/internal/server"
+	"distlog/internal/sim"
+	"distlog/internal/storage"
+	"distlog/internal/transport"
+)
+
+const clientID = record.ClientID(7)
+
+// errInjected is the storage failure injected at error-returning
+// faultpoints (storage.install.partial).
+var errInjected = errors.New("crashaudit: injected storage fault")
+
+// Options configures one audit scenario.
+type Options struct {
+	// Seed fixes the memnet fault schedule (and, for Randomized, the
+	// point/hit-count choices) so failures replay identically.
+	Seed int64
+	// Servers is M, N the copies per record, Delta the δ bound.
+	Servers int
+	N       int
+	Delta   int
+	// CallTimeout and Retries are the client's; the defaults are small
+	// so crash scenarios fail over quickly.
+	CallTimeout time.Duration
+	Retries     int
+	// Faults, when non-zero, misbehaves the network during workload
+	// phases (never during the post-crash audit, which must observe the
+	// log, not the network).
+	Faults transport.Faults
+	// MaxHits caps Sweep's per-point hit-count escalation.
+	MaxHits uint64
+	// Logf, when set, receives one line per run.
+	Logf func(format string, args ...interface{})
+}
+
+func (o *Options) fillDefaults() {
+	if o.Servers == 0 {
+		o.Servers = 3
+	}
+	if o.N == 0 {
+		o.N = 2
+	}
+	if o.Delta == 0 {
+		o.Delta = 4
+	}
+	if o.CallTimeout == 0 {
+		o.CallTimeout = 20 * time.Millisecond
+	}
+	if o.Retries == 0 {
+		o.Retries = 1
+	}
+	if o.MaxHits == 0 {
+		o.MaxHits = 4
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...interface{}) {}
+	}
+}
+
+// Report summarizes a Sweep or Randomized pass.
+type Report struct {
+	Runs       int                 // crash scenarios executed
+	Recoveries int                 // crash/recover cycles audited
+	Fired      map[string][]uint64 // per point: hit counts whose trigger fired
+}
+
+// rig is the cluster under audit: M log servers over MemStores on one
+// memnet. Stores and epoch hosts survive server restarts — a reboot
+// keeps its stable storage, exactly the paper's failure model.
+type rig struct {
+	net    *transport.Network
+	names  []string
+	stores map[string]storage.Store
+	epochs map[string]*server.MemEpochHost
+
+	mu      sync.Mutex
+	servers map[string]*server.Server
+	seps    map[string]transport.Endpoint
+}
+
+func newRig(o Options) *rig {
+	r := &rig{
+		net:     transport.NewNetwork(o.Seed),
+		stores:  make(map[string]storage.Store),
+		epochs:  make(map[string]*server.MemEpochHost),
+		servers: make(map[string]*server.Server),
+		seps:    make(map[string]transport.Endpoint),
+	}
+	for i := 0; i < o.Servers; i++ {
+		name := fmt.Sprintf("ls%d", i+1)
+		r.names = append(r.names, name)
+		r.stores[name] = storage.NewMemStore()
+		r.epochs[name] = server.NewMemEpochHost()
+		r.start(name)
+	}
+	return r
+}
+
+func (r *rig) start(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.startLocked(name)
+}
+
+func (r *rig) startLocked(name string) {
+	ep := r.net.Endpoint(name)
+	srv := server.New(server.Config{
+		Name:     name,
+		Store:    r.stores[name],
+		Endpoint: ep,
+		Epochs:   r.epochs[name],
+	})
+	srv.Start()
+	r.servers[name] = srv
+	r.seps[name] = ep
+}
+
+// stop halts one server gracefully (endpoint closed, receive loop
+// joined). Safe only from the harness goroutine.
+func (r *rig) stop(name string) {
+	r.mu.Lock()
+	srv := r.servers[name]
+	r.servers[name] = nil
+	r.mu.Unlock()
+	if srv != nil {
+		srv.Stop()
+	}
+}
+
+// crashServers closes every live server endpoint without joining the
+// receive loops: it runs as a faultpoint callback on a server's own
+// goroutine, where Stop would deadlock waiting for the very loop that
+// is executing the callback.
+func (r *rig) crashServers() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, ep := range r.seps {
+		ep.Close()
+	}
+}
+
+// restartAll reboots every server over its surviving store.
+func (r *rig) restartAll() {
+	for _, name := range r.names {
+		r.stop(name)
+		r.start(name)
+	}
+}
+
+func (r *rig) stopAll() {
+	for _, name := range r.names {
+		r.stop(name)
+	}
+}
+
+// clientEndpoint returns the client node's network attachment. After a
+// crash closed the previous one, the same name yields a fresh endpoint
+// — the new incarnation at the old address.
+func (r *rig) clientEndpoint() transport.Endpoint {
+	return r.net.Endpoint("client")
+}
+
+func openLog(r *rig, o Options, ep transport.Endpoint) (*core.ReplicatedLog, error) {
+	return core.Open(core.Config{
+		ClientID:    clientID,
+		Servers:     append([]string(nil), r.names...),
+		N:           o.N,
+		Delta:       o.Delta,
+		Endpoint:    ep,
+		CallTimeout: o.CallTimeout,
+		Retries:     o.Retries,
+		FlushBatch:  2, // stream early so a crash can strand a partially sent tail
+	})
+}
+
+// Crash kinds: which node the armed trigger takes down.
+const (
+	kindClient  = iota // close the client endpoint
+	kindServers        // close every server endpoint
+	kindInject         // inject a storage error (no node dies)
+)
+
+func kindOf(point string) int {
+	switch {
+	case strings.HasPrefix(point, "client."):
+		return kindClient
+	case point == storage.FPInstallPartial:
+		return kindInject
+	default:
+		return kindServers
+	}
+}
+
+// worker drives writes and forces, feeding the checker only operations
+// that succeeded. Once the armed point fires the incarnation is dead —
+// stopped() — and remaining operations are skipped.
+type worker struct {
+	l       *core.ReplicatedLog
+	chk     *sim.CrashChecker
+	stopped func() bool
+	n       int
+}
+
+func (w *worker) write(count int, tag string) {
+	for i := 0; i < count; i++ {
+		if w.stopped != nil && w.stopped() {
+			return
+		}
+		w.n++
+		data := []byte(fmt.Sprintf("%s-%d", tag, w.n))
+		if lsn, err := w.l.WriteLog(data); err == nil {
+			w.chk.Wrote(lsn, data)
+		}
+	}
+}
+
+func (w *worker) force() {
+	if w.stopped != nil && w.stopped() {
+		return
+	}
+	if err := w.l.Force(); err == nil {
+		w.chk.Forced()
+	}
+}
+
+// RunPoint executes one crash scenario: an unarmed incarnation leaves
+// a doubtful tail, a second incarnation runs recovery and a workload
+// with the named point armed to crash on its n-th pass, then the
+// cluster reboots and fresh incarnations are audited against the
+// Section 3.1 invariants. It reports whether the trigger fired (a hit
+// count beyond what the workload reaches leaves it unfired; the
+// scenario still ends with a clean recovery audit) and the first
+// invariant violation found.
+func RunPoint(o Options, pointName string, hitN uint64) (fired bool, err error) {
+	o.fillDefaults()
+	faultpoint.Reset()
+	defer faultpoint.Reset()
+
+	r := newRig(o)
+	defer r.stopAll()
+	chk := sim.NewCrashChecker(o.Delta)
+
+	// Incarnation 1: clean workload ending in an unforced tail, then an
+	// abrupt crash — recovery always has doubtful records to resolve.
+	ep1 := r.clientEndpoint()
+	l1, err := openLog(r, o, ep1)
+	if err != nil {
+		return false, fmt.Errorf("crashaudit: first open: %w", err)
+	}
+	if err := chk.Audit(l1); err != nil {
+		l1.Close()
+		return false, err
+	}
+	r.net.SetFaults(o.Faults)
+	w1 := &worker{l: l1, chk: chk}
+	w1.write(5, "pre")
+	w1.force()
+	w1.write(3, "tail")
+	r.net.SetFaults(transport.Faults{})
+	ep1.Close()
+	l1.Close()
+	chk.Crashed()
+
+	// Incarnation 2 runs with the point armed: recovery and workload
+	// both pass through crash points, and the n-th pass kills the
+	// corresponding node mid-protocol.
+	ep2 := r.clientEndpoint()
+	switch kindOf(pointName) {
+	case kindClient:
+		faultpoint.Arm(pointName, hitN, func() { ep2.Close() })
+	case kindServers:
+		faultpoint.Arm(pointName, hitN, r.crashServers)
+	case kindInject:
+		faultpoint.ArmErr(pointName, hitN, errInjected)
+	}
+	l2, err := openLog(r, o, ep2)
+	if err == nil {
+		// Open survived (the trigger fires later, or not at all).
+		r.net.SetFaults(o.Faults)
+		w2 := &worker{l: l2, chk: chk, stopped: func() bool { return faultpoint.Fired(pointName) }}
+		w2.write(3, "w2a")
+		w2.force()
+		if !faultpoint.Fired(pointName) {
+			// Take a write-set member down mid-stream so the force path
+			// exercises retry and failover (client.failover.before-swap
+			// fires here), then bring it back.
+			if ws := l2.WriteSet(); len(ws) > 0 {
+				victim := ws[0]
+				r.stop(victim)
+				w2.write(2, "w2b")
+				w2.force()
+				r.start(victim)
+			}
+		}
+		w2.write(3, "w2c")
+		w2.force()
+		w2.write(2, "w2d") // unforced tail again
+		r.net.SetFaults(transport.Faults{})
+		ep2.Close()
+		l2.Close()
+	}
+	chk.Crashed()
+	fired = faultpoint.Fired(pointName)
+	faultpoint.Disarm(pointName)
+
+	// Recovery: heal the network, reboot every server over its
+	// surviving store, and audit a fresh incarnation.
+	r.restartAll()
+	ep3 := r.clientEndpoint()
+	l3, err := openLog(r, o, ep3)
+	if err != nil {
+		return fired, fmt.Errorf("crashaudit: recovery open after crash at %s (hit %d): %w", pointName, hitN, err)
+	}
+	if err := chk.Audit(l3); err != nil {
+		l3.Close()
+		return fired, fmt.Errorf("crashaudit: crash at %s (hit %d): %w", pointName, hitN, err)
+	}
+	// The recovered log must be fully usable: commit through it on the
+	// healthy cluster, and re-audit with the new records acknowledged.
+	w3 := &worker{l: l3, chk: chk}
+	w3.write(4, "post")
+	if err := l3.Force(); err != nil {
+		l3.Close()
+		return fired, fmt.Errorf("crashaudit: post-recovery force after crash at %s (hit %d): %w", pointName, hitN, err)
+	}
+	chk.Forced()
+	if err := chk.Audit(l3); err != nil {
+		l3.Close()
+		return fired, fmt.Errorf("crashaudit: crash at %s (hit %d), post-recovery: %w", pointName, hitN, err)
+	}
+
+	// One more clean crash/reboot cycle: the audited state must survive
+	// a recovery that had nothing to repair.
+	ep3.Close()
+	l3.Close()
+	chk.Crashed()
+	r.restartAll()
+	l4, err := openLog(r, o, r.clientEndpoint())
+	if err != nil {
+		return fired, fmt.Errorf("crashaudit: final open after crash at %s (hit %d): %w", pointName, hitN, err)
+	}
+	defer l4.Close()
+	if err := chk.Audit(l4); err != nil {
+		return fired, fmt.Errorf("crashaudit: crash at %s (hit %d), final incarnation: %w", pointName, hitN, err)
+	}
+	return fired, nil
+}
+
+// Sweep arms every registered crash point in turn, escalating the hit
+// count until a run completes without the trigger firing. A registered
+// point that never fires is a coverage hole — the workload does not
+// reach the protocol step it guards — and fails the sweep. Sweep runs
+// on a fault-free network so every run is deterministic up to
+// goroutine scheduling.
+func Sweep(o Options) (*Report, error) {
+	o.fillDefaults()
+	o.Faults = transport.Faults{}
+	rep := &Report{Fired: make(map[string][]uint64)}
+	for _, pointName := range faultpoint.Points() {
+		for hitN := uint64(1); hitN <= o.MaxHits; hitN++ {
+			fired, err := RunPoint(o, pointName, hitN)
+			rep.Runs++
+			rep.Recoveries += 3
+			if err != nil {
+				return rep, err
+			}
+			if !fired {
+				break
+			}
+			rep.Fired[pointName] = append(rep.Fired[pointName], hitN)
+			o.Logf("crashaudit: %-28s hit %d: recovered clean", pointName, hitN)
+		}
+		if len(rep.Fired[pointName]) == 0 {
+			return rep, fmt.Errorf("crashaudit: point %s never fired: the workload does not reach it", pointName)
+		}
+	}
+	return rep, nil
+}
+
+// Randomized replays the crash scenario iters times under a lossy,
+// reordering network, with the point, hit count, and fault schedule
+// drawn from o.Seed. Every iteration must recover clean; firing is
+// opportunistic (a deep hit count may go unreached).
+func Randomized(o Options, iters int) (*Report, error) {
+	o.fillDefaults()
+	if o.Faults == (transport.Faults{}) {
+		o.Faults = transport.Faults{DropProb: 0.02, DupProb: 0.02, MaxDelay: 2 * time.Millisecond}
+	}
+	rng := rand.New(rand.NewSource(o.Seed))
+	points := faultpoint.Points()
+	rep := &Report{Fired: make(map[string][]uint64)}
+	for i := 0; i < iters; i++ {
+		pointName := points[rng.Intn(len(points))]
+		hitN := uint64(1 + rng.Intn(3))
+		ro := o
+		ro.Seed = rng.Int63()
+		fired, err := RunPoint(ro, pointName, hitN)
+		rep.Runs++
+		rep.Recoveries += 3
+		if err != nil {
+			return rep, fmt.Errorf("crashaudit: iteration %d (point %s, hit %d, seed %d): %w", i, pointName, hitN, ro.Seed, err)
+		}
+		if fired {
+			rep.Fired[pointName] = append(rep.Fired[pointName], hitN)
+		}
+		o.Logf("crashaudit: iter %3d %-28s hit %d fired=%v", i, pointName, hitN, fired)
+	}
+	return rep, nil
+}

@@ -1,0 +1,236 @@
+// Package faultpoint provides named crash-point injection for testing
+// the Section 3.1.2 recovery guarantees. Code under test marks the
+// protocol steps where a crash must leave the log recoverable with
+// Hit (or HitErr, for points that can also inject an error return);
+// a test harness arms a point with a per-hit-count trigger and a
+// callback that models the crash — typically closing the crashed
+// node's network endpoint so nothing after the point escapes.
+//
+// The registry is process-global because the points are compiled into
+// production packages (client, server, storage) and armed from test
+// binaries and the crashaudit command. When nothing is armed and
+// tracking is off, Hit costs a single atomic load — the packages pay
+// nothing in production.
+//
+// Typical use:
+//
+//	// package under test, at the protocol step:
+//	faultpoint.Hit("client.force.after-flush")
+//
+//	// harness:
+//	faultpoint.Arm("client.force.after-flush", 2, func() { ep.Close() })
+//	... drive workload; the second pass through the point "crashes" ...
+//	if !faultpoint.Fired("client.force.after-flush") { ... }
+package faultpoint
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// point is one registered trigger point.
+type point struct {
+	hits      uint64 // passes observed while the registry was active
+	armed     bool
+	triggerAt uint64 // absolute hit count at which the trigger fires
+	fired     bool   // the armed trigger has fired since the last Arm
+	fn        func() // crash callback (Arm)
+	err       error  // injected error (ArmErr)
+}
+
+var reg = struct {
+	// active is non-zero while any point is armed or tracking is on;
+	// the disarmed fast path of Hit is one load of this counter.
+	active atomic.Int64
+
+	mu       sync.Mutex
+	points   map[string]*point
+	tracking bool
+}{points: make(map[string]*point)}
+
+// Register declares trigger points. Packages register the points they
+// hit from an init function; arming an unregistered name panics, so
+// typos in harnesses fail loudly. Registering an existing name is a
+// no-op, and the return value exists so packages can register from a
+// package-level var declaration.
+func Register(names ...string) struct{} {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	for _, name := range names {
+		if _, ok := reg.points[name]; !ok {
+			reg.points[name] = &point{}
+		}
+	}
+	return struct{}{}
+}
+
+// Points returns the sorted names of every registered point.
+func Points() []string {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	out := make([]string, 0, len(reg.points))
+	for name := range reg.points {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Hit marks one pass through the named point. While the registry is
+// inactive (nothing armed, tracking off) it returns after a single
+// atomic load. An armed trigger fires on its configured pass: the
+// callback runs (outside the registry lock) exactly once.
+func Hit(name string) {
+	if reg.active.Load() == 0 {
+		return
+	}
+	if fn := hitSlow(name); fn != nil {
+		fn()
+	}
+}
+
+// HitErr is Hit for points that inject failures: a point armed with
+// ArmErr makes HitErr return the injected error on the trigger pass;
+// otherwise (including plain Arm) it behaves like Hit and returns nil.
+func HitErr(name string) error {
+	if reg.active.Load() == 0 {
+		return nil
+	}
+	fn, err := hitErrSlow(name)
+	if fn != nil {
+		fn()
+	}
+	return err
+}
+
+func hitSlow(name string) func() {
+	fn, _ := hitErrSlow(name)
+	return fn
+}
+
+// hitErrSlow counts the pass and consumes the trigger when it is due,
+// returning the callback (run by the caller, outside the lock) and the
+// injected error.
+func hitErrSlow(name string) (func(), error) {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	p := reg.points[name]
+	if p == nil {
+		// A hit on an unregistered name is a bug in the instrumented
+		// package; registering it here keeps counting sane, and the
+		// coverage check in harnesses (which iterates Points) will
+		// still see it.
+		p = &point{}
+		reg.points[name] = p
+	}
+	p.hits++
+	if !p.armed || p.hits != p.triggerAt {
+		return nil, nil
+	}
+	p.armed = false
+	p.fired = true
+	reg.active.Add(-1)
+	return p.fn, p.err
+}
+
+// Arm sets the named point to run fn on its n-th pass from now
+// (n >= 1). The trigger is one-shot: it disarms as it fires. Arming an
+// already-armed point replaces the previous trigger. The name must
+// have been registered.
+func Arm(name string, n uint64, fn func()) {
+	arm(name, n, fn, nil)
+}
+
+// ArmErr sets the named point to make HitErr return err on its n-th
+// pass from now. One-shot, like Arm.
+func ArmErr(name string, n uint64, err error) {
+	arm(name, n, nil, err)
+}
+
+func arm(name string, n uint64, fn func(), err error) {
+	if n == 0 {
+		n = 1
+	}
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	p := reg.points[name]
+	if p == nil {
+		panic(fmt.Sprintf("faultpoint: arming unregistered point %q", name))
+	}
+	if !p.armed {
+		reg.active.Add(1)
+	}
+	p.armed = true
+	p.fired = false
+	p.triggerAt = p.hits + n
+	p.fn = fn
+	p.err = err
+}
+
+// Disarm cancels the named point's trigger, if armed.
+func Disarm(name string) {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	if p := reg.points[name]; p != nil && p.armed {
+		p.armed = false
+		p.fn = nil
+		p.err = nil
+		reg.active.Add(-1)
+	}
+}
+
+// Fired reports whether the named point's most recent trigger has
+// fired.
+func Fired(name string) bool {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	p := reg.points[name]
+	return p != nil && p.fired
+}
+
+// Hits returns the number of passes through the named point observed
+// while the registry was active.
+func Hits(name string) uint64 {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	if p := reg.points[name]; p != nil {
+		return p.hits
+	}
+	return 0
+}
+
+// SetTracking turns hit counting on or off independently of arming,
+// so a harness can measure which points a workload passes through
+// before deciding where to inject crashes.
+func SetTracking(on bool) {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	if on == reg.tracking {
+		return
+	}
+	reg.tracking = on
+	if on {
+		reg.active.Add(1)
+	} else {
+		reg.active.Add(-1)
+	}
+}
+
+// Reset disarms every point, zeroes all hit counters and fired flags,
+// and turns tracking off. Harnesses call it between runs.
+func Reset() {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	for _, p := range reg.points {
+		if p.armed {
+			reg.active.Add(-1)
+		}
+		*p = point{}
+	}
+	if reg.tracking {
+		reg.tracking = false
+		reg.active.Add(-1)
+	}
+}

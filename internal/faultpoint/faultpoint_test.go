@@ -1,0 +1,146 @@
+package faultpoint
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// Every test resets the global registry; they cannot run in parallel
+// with each other, which the testing package already guarantees for
+// non-Parallel tests in one package.
+
+func TestDisarmedHitIsInert(t *testing.T) {
+	Reset()
+	Register("t.inert")
+	Hit("t.inert") // must not count: registry inactive
+	if got := Hits("t.inert"); got != 0 {
+		t.Fatalf("inactive Hit counted: %d", got)
+	}
+	if err := HitErr("t.inert"); err != nil {
+		t.Fatalf("inactive HitErr: %v", err)
+	}
+}
+
+func TestArmFiresOnNthHit(t *testing.T) {
+	Reset()
+	Register("t.nth")
+	fired := 0
+	Arm("t.nth", 3, func() { fired++ })
+	for i := 0; i < 5; i++ {
+		Hit("t.nth")
+	}
+	if fired != 1 {
+		t.Fatalf("fired %d times, want exactly 1 (on the 3rd hit)", fired)
+	}
+	if !Fired("t.nth") {
+		t.Fatal("Fired = false after trigger")
+	}
+	// Hits counted only while active: 3 until the one-shot disarmed.
+	if got := Hits("t.nth"); got != 3 {
+		t.Fatalf("Hits = %d, want 3 (counting stops when the one-shot disarms)", got)
+	}
+}
+
+func TestArmErrInjects(t *testing.T) {
+	Reset()
+	Register("t.err")
+	boom := errors.New("boom")
+	ArmErr("t.err", 2, boom)
+	if err := HitErr("t.err"); err != nil {
+		t.Fatalf("hit 1: %v", err)
+	}
+	if err := HitErr("t.err"); !errors.Is(err, boom) {
+		t.Fatalf("hit 2: %v, want boom", err)
+	}
+	if err := HitErr("t.err"); err != nil {
+		t.Fatalf("hit 3 (disarmed): %v", err)
+	}
+}
+
+func TestRearmReplacesTrigger(t *testing.T) {
+	Reset()
+	Register("t.rearm")
+	a, b := 0, 0
+	Arm("t.rearm", 5, func() { a++ })
+	Arm("t.rearm", 1, func() { b++ })
+	Hit("t.rearm")
+	if a != 0 || b != 1 {
+		t.Fatalf("a=%d b=%d, want 0,1", a, b)
+	}
+}
+
+func TestDisarm(t *testing.T) {
+	Reset()
+	Register("t.disarm")
+	Arm("t.disarm", 1, func() { t.Fatal("fired after Disarm") })
+	Disarm("t.disarm")
+	Hit("t.disarm")
+	if Fired("t.disarm") {
+		t.Fatal("Fired after Disarm")
+	}
+}
+
+func TestTrackingCountsWithoutArming(t *testing.T) {
+	Reset()
+	Register("t.track")
+	SetTracking(true)
+	Hit("t.track")
+	Hit("t.track")
+	SetTracking(false)
+	Hit("t.track") // inactive again
+	if got := Hits("t.track"); got != 2 {
+		t.Fatalf("Hits = %d, want 2", got)
+	}
+}
+
+func TestArmUnregisteredPanics(t *testing.T) {
+	Reset()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Arm on unregistered point did not panic")
+		}
+	}()
+	Arm("t.never-registered", 1, func() {})
+}
+
+func TestConcurrentHitsFireOnce(t *testing.T) {
+	Reset()
+	Register("t.conc")
+	var fired sync.Map
+	var n int
+	var mu sync.Mutex
+	Arm("t.conc", 10, func() {
+		mu.Lock()
+		n++
+		mu.Unlock()
+		fired.Store("x", true)
+	})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				Hit("t.conc")
+			}
+		}()
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if n != 1 {
+		t.Fatalf("trigger fired %d times under concurrency", n)
+	}
+}
+
+func TestPointsSorted(t *testing.T) {
+	Reset()
+	Register("t.b", "t.a")
+	pts := Points()
+	for i := 1; i < len(pts); i++ {
+		if pts[i-1] >= pts[i] {
+			t.Fatalf("Points not sorted: %v", pts)
+		}
+	}
+}

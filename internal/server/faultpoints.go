@@ -1,0 +1,30 @@
+package server
+
+import "distlog/internal/faultpoint"
+
+// Crash points of the server's write and install paths. The crashaudit
+// harness kills a server at each of them (by closing its endpoint, so
+// no acknowledgment escapes) and checks that clients recover: an ack
+// lost before or after the store force must never lose an acknowledged
+// record, and an install interrupted before commit must be redone or
+// superseded by the next client incarnation.
+const (
+	// FPWriteBeforeForce interrupts a ForceLog after the records were
+	// appended but before the store force: on a volatile staging buffer
+	// the records may be lost with the node.
+	FPWriteBeforeForce = "server.write.before-force"
+	// FPWriteAfterForce interrupts a ForceLog after the store force but
+	// before the NewHighLSN acknowledgment: the data is stable, the ack
+	// is lost.
+	FPWriteAfterForce = "server.write.after-force"
+	// FPInstallBeforeCommit interrupts InstallCopies before the store
+	// commits the staged records: the staged copies must die with the
+	// incarnation that staged them.
+	FPInstallBeforeCommit = "server.install.before-commit"
+)
+
+var _ = faultpoint.Register(
+	FPWriteBeforeForce,
+	FPWriteAfterForce,
+	FPInstallBeforeCommit,
+)

@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"distlog/internal/faultpoint"
 	"distlog/internal/idgen"
 	"distlog/internal/record"
 	"distlog/internal/storage"
@@ -192,6 +193,18 @@ func (s *Server) handle(from string, pkt *wire.Packet) {
 	sess := s.sessions[from]
 
 	if pkt.Type == wire.TSyn {
+		if sess != nil && pkt.ConnID == sess.peer.ConnID {
+			// Retransmitted or network-duplicated Syn of the live
+			// incarnation: answer it, but keep the session. Resetting
+			// here would zero the stream position, and the next write
+			// would silently adopt the client's current LSN — forgetting
+			// a gap the server was tracking and acknowledging records it
+			// never stored.
+			s.mu.Unlock()
+			sess.peer.Observe(pkt)
+			sess.peer.Send(wire.TSynAck, pkt.Seq, nil)
+			return
+		}
 		// New connection (or a new incarnation of the client): reset
 		// session state. Stream position is re-learned from the first
 		// write; log data itself lives in the store and is unaffected.
@@ -274,8 +287,20 @@ func (s *Server) handleWrite(sess *session, pkt *wire.Packet, force bool) {
 	first := p.Records[0].LSN
 
 	if sess.expectedNext == 0 {
-		// First write of this connection: adopt the client's position.
-		sess.expectedNext = first
+		// First write of this connection: resume from the store's
+		// position, not the packet's. Blindly adopting the packet's
+		// first LSN would let a message that arrived ahead of (or
+		// instead of) its lost predecessors skip them silently — the
+		// server would go on to acknowledge a NewHighLSN covering
+		// records it never stored. A jump past the stored position is
+		// a gap like any other: NACK it, and the client resends the
+		// records (still buffered — that is what δ guarantees) or
+		// explicitly starts a new interval.
+		if last, _ := s.cfg.Store.LastKey(sess.clientID); last == 0 || first <= last+1 {
+			sess.expectedNext = first
+		} else {
+			sess.expectedNext = last + 1
+		}
 	}
 	if first > sess.expectedNext {
 		// Lost message(s): NACK promptly with the missing interval and
@@ -312,10 +337,12 @@ func (s *Server) handleWrite(sess *session, pkt *wire.Packet, force bool) {
 	}
 
 	if force {
+		faultpoint.Hit(FPWriteBeforeForce)
 		if err := s.cfg.Store.Force(); err != nil {
 			sess.peer.SendErr(pkt.Seq, wire.CodeUnknown, err.Error())
 			return
 		}
+		faultpoint.Hit(FPWriteAfterForce)
 		s.stats.forces.Add(1)
 		sess.peer.SendLSN(wire.TNewHighLSN, 0, sess.expectedNext-1)
 		s.stats.acksSent.Add(1)
@@ -356,9 +383,31 @@ func (s *Server) handleRead(sess *session, pkt *wire.Packet, forward bool) {
 		sess.peer.SendErr(pkt.Seq, wire.CodeBadRequest, "bad read payload")
 		return
 	}
-	var recs []record.Record
+	first, err := s.cfg.Store.Read(sess.clientID, req.LSN)
+	if err != nil {
+		sess.peer.SendErr(pkt.Seq, wire.CodeNotStored, fmt.Sprintf("LSN %d not stored", req.LSN))
+		return
+	}
+	recs := []record.Record{first}
+	if wire.FitRecords(recs) == 0 {
+		// The record exists but cannot fit even alone in a reply
+		// packet. Answering CodeNotStored here would lie — the client
+		// would conclude this server holds nothing at the LSN and could
+		// fail a recovery that the data on this server should satisfy.
+		sess.peer.SendErr(pkt.Seq, wire.CodeTooLarge,
+			fmt.Sprintf("LSN %d record too large for one reply packet", req.LSN))
+		return
+	}
 	lsn := req.LSN
 	for {
+		if forward {
+			lsn++
+		} else {
+			if lsn == 1 {
+				break
+			}
+			lsn--
+		}
 		rec, err := s.cfg.Store.Read(sess.clientID, lsn)
 		if err != nil {
 			break
@@ -368,18 +417,6 @@ func (s *Server) handleRead(sess *session, pkt *wire.Packet, forward bool) {
 			recs = recs[:n]
 			break
 		}
-		if forward {
-			lsn++
-		} else {
-			if lsn == 1 {
-				break
-			}
-			lsn--
-		}
-	}
-	if len(recs) == 0 {
-		sess.peer.SendErr(pkt.Seq, wire.CodeNotStored, fmt.Sprintf("LSN %d not stored", req.LSN))
-		return
 	}
 	s.stats.readsServed.Add(uint64(len(recs)))
 	respType := wire.TReadForwardResp
@@ -410,6 +447,7 @@ func (s *Server) handleInstallCopies(sess *session, pkt *wire.Packet) {
 		sess.peer.SendErr(pkt.Seq, wire.CodeBadRequest, "bad InstallCopies payload")
 		return
 	}
+	faultpoint.Hit(FPInstallBeforeCommit)
 	err = s.cfg.Store.InstallCopies(sess.clientID, p.Epoch)
 	if err != nil && !errors.Is(err, storage.ErrNoStagedCopies) {
 		// ErrNoStagedCopies means a retransmitted install whose first

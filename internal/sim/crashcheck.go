@@ -1,0 +1,172 @@
+package sim
+
+import (
+	"fmt"
+
+	"distlog/internal/record"
+)
+
+// CrashChecker audits the Section 3.1 guarantees across client crashes
+// and recoveries. A crash-injection harness feeds it the workload it
+// drives (Wrote / Forced / Crashed) and, after each recovery, hands it
+// the recovered log to Audit. The checker knows nothing about the
+// client's internals: it judges the log purely through the LogReader
+// surface, so it can never be fooled by the very state a crash was
+// supposed to destroy.
+//
+// Invariants checked:
+//
+//   - Durability: every record whose Force returned success reads back
+//     present with its original data, in every later incarnation.
+//   - δ-window: a record more than δ positions below the end of the
+//     crashed incarnation's log had necessarily completed an implicit
+//     force round (WriteLog bounds outstanding records by δ), so it
+//     too must survive with its data.
+//   - Doubtful stability: a record inside the crash-time δ window may
+//     resolve either way — present with the original data, or not
+//     present — but the first answer observed after recovery is the
+//     answer forever (Section 3.1.2's "doubtful" records are settled,
+//     not re-litigated, by later recoveries).
+//   - Epochs: every incarnation's epoch is strictly greater than its
+//     predecessor's.
+//   - End of log: never regresses below the highest LSN ever returned
+//     by WriteLog (recovery appends δ not-present markers; it must not
+//     shorten the log).
+type CrashChecker struct {
+	delta int
+
+	acked    map[record.LSN]string // force-acknowledged: durable forever
+	wrote    map[record.LSN]string // written by the live incarnation, not yet forced
+	doubtful map[record.LSN]string // in the δ window at some crash; either outcome legal
+	pinned   map[record.LSN]pinnedOutcome
+
+	maxWritten record.LSN
+	lastEpoch  record.Epoch
+	// epochMustAdvance is set at every crash: the next audited
+	// incarnation must present a strictly greater epoch. Re-audits of
+	// the same incarnation may repeat it.
+	epochMustAdvance bool
+	crashes          int
+}
+
+type pinnedOutcome struct {
+	present bool
+	data    string
+}
+
+// LogReader is the slice of the replicated-log client the checker
+// audits through.
+type LogReader interface {
+	Epoch() record.Epoch
+	EndOfLog() record.LSN
+	ReadRecord(lsn record.LSN) (record.Record, error)
+}
+
+// NewCrashChecker returns a checker for a log opened with the given δ.
+func NewCrashChecker(delta int) *CrashChecker {
+	return &CrashChecker{
+		delta:            delta,
+		acked:            make(map[record.LSN]string),
+		wrote:            make(map[record.LSN]string),
+		doubtful:         make(map[record.LSN]string),
+		pinned:           make(map[record.LSN]pinnedOutcome),
+		epochMustAdvance: true,
+	}
+}
+
+// Wrote records a successful WriteLog.
+func (c *CrashChecker) Wrote(lsn record.LSN, data []byte) {
+	c.wrote[lsn] = string(data)
+	if lsn > c.maxWritten {
+		c.maxWritten = lsn
+	}
+}
+
+// Forced records a successful Force: every record written so far is
+// now stable on N servers.
+func (c *CrashChecker) Forced() {
+	for lsn, data := range c.wrote {
+		c.acked[lsn] = data
+		delete(c.wrote, lsn)
+	}
+}
+
+// Crashed records that the client incarnation died. Unforced records
+// within δ of the end of the log become doubtful; anything older has
+// necessarily completed an implicit force round (WriteLog never leaves
+// more than δ records outstanding) and is promoted to acked — if the
+// δ bound were violated, the next Audit reports the loss.
+func (c *CrashChecker) Crashed() {
+	c.crashes++
+	c.epochMustAdvance = true
+	cutoff := record.LSN(0)
+	if c.maxWritten > record.LSN(c.delta) {
+		cutoff = c.maxWritten - record.LSN(c.delta)
+	}
+	for lsn, data := range c.wrote {
+		if lsn <= cutoff {
+			c.acked[lsn] = data
+		} else {
+			c.doubtful[lsn] = data
+		}
+		delete(c.wrote, lsn)
+	}
+}
+
+// Crashes returns how many crashes the checker has been told about.
+func (c *CrashChecker) Crashes() int { return c.crashes }
+
+// Doubtful returns how many records are currently in doubt.
+func (c *CrashChecker) Doubtful() int { return len(c.doubtful) }
+
+// Audit verifies every invariant against a freshly opened (recovered)
+// incarnation. The network should be healthy while it runs: a read
+// failure is reported as a violation, not retried.
+func (c *CrashChecker) Audit(l LogReader) error {
+	epoch := l.Epoch()
+	if c.epochMustAdvance {
+		if epoch <= c.lastEpoch {
+			return fmt.Errorf("crashcheck: epoch %d not above predecessor's %d", epoch, c.lastEpoch)
+		}
+	} else if epoch < c.lastEpoch {
+		return fmt.Errorf("crashcheck: epoch regressed from %d to %d within one incarnation", c.lastEpoch, epoch)
+	}
+	c.lastEpoch = epoch
+	c.epochMustAdvance = false
+
+	if eol := l.EndOfLog(); eol < c.maxWritten {
+		return fmt.Errorf("crashcheck: end of log %d regressed below max written LSN %d", eol, c.maxWritten)
+	}
+
+	for lsn, want := range c.acked {
+		rec, err := l.ReadRecord(lsn)
+		if err != nil {
+			return fmt.Errorf("crashcheck: acked LSN %d unreadable: %w", lsn, err)
+		}
+		if !rec.Present {
+			return fmt.Errorf("crashcheck: acked LSN %d lost (reads not-present)", lsn)
+		}
+		if string(rec.Data) != want {
+			return fmt.Errorf("crashcheck: acked LSN %d data %q, want %q", lsn, rec.Data, want)
+		}
+	}
+
+	for lsn, want := range c.doubtful {
+		rec, err := l.ReadRecord(lsn)
+		if err != nil {
+			return fmt.Errorf("crashcheck: doubtful LSN %d unreadable: %w", lsn, err)
+		}
+		if rec.Present && string(rec.Data) != want {
+			return fmt.Errorf("crashcheck: doubtful LSN %d present with data %q, want %q or not-present", lsn, rec.Data, want)
+		}
+		got := pinnedOutcome{present: rec.Present, data: string(rec.Data)}
+		if pin, ok := c.pinned[lsn]; ok {
+			if pin != got {
+				return fmt.Errorf("crashcheck: doubtful LSN %d flip-flopped: first observed present=%v, now present=%v", lsn, pin.present, got.present)
+			}
+		} else {
+			c.pinned[lsn] = got
+		}
+	}
+	return nil
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"distlog/internal/disk"
+	"distlog/internal/faultpoint"
 	"distlog/internal/nvram"
 	"distlog/internal/record"
 )
@@ -186,6 +187,7 @@ func (s *DiskStore) Force() error {
 	if s.closed {
 		return ErrClosed
 	}
+	faultpoint.Hit(FPForce)
 	return nil
 }
 
@@ -329,6 +331,9 @@ func (s *DiskStore) InstallCopies(c record.ClientID, epoch record.Epoch) error {
 	}
 	ci := s.client(c)
 	for _, sr := range staged {
+		if err := faultpoint.HitErr(FPInstallPartial); err != nil {
+			return err
+		}
 		if err := ci.addInstalled(sr.rec, sr.loc); err != nil {
 			return err
 		}

@@ -1,0 +1,17 @@
+package storage
+
+import "distlog/internal/faultpoint"
+
+// Fault points of the storage layer, shared by all backends.
+const (
+	// FPForce is hit by every Store.Force before it makes appended
+	// records stable.
+	FPForce = "storage.force"
+	// FPInstallPartial is hit (via HitErr) once per staged record as
+	// InstallCopies applies the batch; arming it with an error tears
+	// the install inside one server — some copies indexed, the rest
+	// abandoned — which the next client recovery must converge over.
+	FPInstallPartial = "storage.install.partial"
+)
+
+var _ = faultpoint.Register(FPForce, FPInstallPartial)

@@ -8,6 +8,7 @@ import (
 	"os"
 	"sync"
 
+	"distlog/internal/faultpoint"
 	"distlog/internal/record"
 )
 
@@ -127,6 +128,7 @@ func (s *FileStore) Force() error {
 	if s.closed {
 		return ErrClosed
 	}
+	faultpoint.Hit(FPForce)
 	if !s.dirty {
 		return nil
 	}
@@ -242,6 +244,9 @@ func (s *FileStore) InstallCopies(c record.ClientID, epoch record.Epoch) error {
 	s.dirty = false
 	ci := s.client(c)
 	for _, sr := range staged {
+		if err := faultpoint.HitErr(FPInstallPartial); err != nil {
+			return err
+		}
 		if err := ci.addInstalled(sr.rec, sr.loc); err != nil {
 			return err
 		}

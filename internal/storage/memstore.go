@@ -3,6 +3,7 @@ package storage
 import (
 	"sync"
 
+	"distlog/internal/faultpoint"
 	"distlog/internal/record"
 )
 
@@ -59,6 +60,7 @@ func (m *MemStore) Force() error {
 	if m.closed {
 		return ErrClosed
 	}
+	faultpoint.Hit(FPForce)
 	return nil
 }
 
@@ -134,6 +136,9 @@ func (m *MemStore) InstallCopies(c record.ClientID, epoch record.Epoch) error {
 	}
 	ci := m.client(c)
 	for _, sr := range staged {
+		if err := faultpoint.HitErr(FPInstallPartial); err != nil {
+			return err
+		}
 		loc := int64(len(m.records[c]))
 		if err := ci.addInstalled(sr.rec, loc); err != nil {
 			return err

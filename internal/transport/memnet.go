@@ -70,7 +70,7 @@ func (n *Network) SetPartition(a, b string, blocked bool) {
 func (n *Network) Endpoint(name string) *memEndpoint {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if ep, ok := n.endpoints[name]; ok && !ep.closed {
+	if ep, ok := n.endpoints[name]; ok && !ep.isClosed() {
 		return ep
 	}
 	ep := &memEndpoint{
@@ -89,7 +89,7 @@ func (n *Network) deliver(from, to string, data []byte) error {
 		return nil // silently dropped, like a real partition
 	}
 	dst, ok := n.endpoints[to]
-	if !ok || dst.closed {
+	if !ok || dst.isClosed() {
 		return nil // unknown/absent destination: datagram vanishes
 	}
 	f := n.faults
@@ -130,6 +130,19 @@ type memEndpoint struct {
 
 	mu     sync.Mutex
 	closed bool
+}
+
+// isClosed is safe to call from any goroutine: Close publishes the
+// state by closing done, so readers need no lock. The closed bool is
+// only Close's own idempotence guard, under e.mu — concurrent senders
+// and the network's deliver path must use this instead.
+func (e *memEndpoint) isClosed() bool {
+	select {
+	case <-e.done:
+		return true
+	default:
+		return false
+	}
 }
 
 func (e *memEndpoint) push(pkt Packet) {

@@ -205,6 +205,10 @@ const (
 	CodeSequencing
 	CodeOverloaded
 	CodeNotHandshaken
+	// CodeTooLarge: the requested record is stored but does not fit in
+	// a single reply packet. Distinct from CodeNotStored — the record
+	// exists, so the client must not treat the server as a non-holder.
+	CodeTooLarge
 )
 
 // ErrPayload reports a failed call.
