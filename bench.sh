@@ -4,6 +4,10 @@
 #
 # Covers the perf work on the client write path:
 #   BenchmarkWritePathAllocs        allocation budget for WriteLog+Force
+#   BenchmarkWritePathAllocsTelemetry  same budget with telemetry armed
+#   BenchmarkTelemetryOverhead      enabled-vs-disabled force-path ablation
+#                                   (enabled case reports p50-ns/p99-ns force
+#                                   latency from the live histogram)
 #   BenchmarkForceLogMemnet         end-to-end forced append, N=2
 #   BenchmarkParallelForce          N=3 fan-out under 1ms one-way latency
 #   BenchmarkGroupCommit            concurrent committers coalescing rounds
@@ -26,7 +30,7 @@ run() {
 	fi
 }
 run ./internal/core/ -run '^$' -benchmem \
-	-bench 'BenchmarkWritePathAllocs|BenchmarkForceLogMemnet|BenchmarkParallelForce|BenchmarkGroupCommit$'
+	-bench 'BenchmarkWritePathAllocs|BenchmarkTelemetryOverhead|BenchmarkForceLogMemnet|BenchmarkParallelForce|BenchmarkGroupCommit$'
 run . -run '^$' -benchmem -bench 'BenchmarkGroupCommitTransactions'
 cat "$RAW"
 

@@ -6,6 +6,7 @@ import (
 
 	"distlog/internal/server"
 	"distlog/internal/storage"
+	"distlog/internal/telemetry"
 	"distlog/internal/transport"
 )
 
@@ -15,11 +16,12 @@ import (
 // are built on it; production deployments run cmd/logserverd over UDP
 // instead.
 type Cluster struct {
-	net     *transport.Network
-	names   []string
-	stores  map[string]storage.Store
-	epochs  map[string]*server.MemEpochHost
-	servers map[string]*server.Server
+	net       *transport.Network
+	names     []string
+	stores    map[string]storage.Store
+	epochs    map[string]*server.MemEpochHost
+	servers   map[string]*server.Server
+	telemetry *telemetry.Registry
 }
 
 // ClusterOptions configures NewCluster.
@@ -31,6 +33,11 @@ type ClusterOptions struct {
 	// Modelled, when true, backs each server with the simulated
 	// NVRAM+disk store instead of plain memory.
 	Modelled bool
+	// Telemetry, when non-nil, receives metrics (and trace events, if
+	// enabled on the registry) from every server, client, and the
+	// network of this cluster — the whole-process view a single-machine
+	// deployment would have.
+	Telemetry *telemetry.Registry
 }
 
 // NewCluster starts M log servers.
@@ -42,11 +49,13 @@ func NewCluster(opts ClusterOptions) (*Cluster, error) {
 		opts.Seed = 1
 	}
 	c := &Cluster{
-		net:     transport.NewNetwork(opts.Seed),
-		stores:  make(map[string]storage.Store),
-		epochs:  make(map[string]*server.MemEpochHost),
-		servers: make(map[string]*server.Server),
+		net:       transport.NewNetwork(opts.Seed),
+		stores:    make(map[string]storage.Store),
+		epochs:    make(map[string]*server.MemEpochHost),
+		servers:   make(map[string]*server.Server),
+		telemetry: opts.Telemetry,
 	}
+	c.net.SetTelemetry(opts.Telemetry)
 	for i := 0; i < opts.Servers; i++ {
 		name := fmt.Sprintf("logserver-%d", i+1)
 		c.names = append(c.names, name)
@@ -93,10 +102,11 @@ func (c *Cluster) StartServer(name string) {
 		return
 	}
 	srv := server.New(server.Config{
-		Name:     name,
-		Store:    c.stores[name],
-		Endpoint: c.net.Endpoint(name),
-		Epochs:   c.epochs[name],
+		Name:      name,
+		Store:     c.stores[name],
+		Endpoint:  c.net.Endpoint(name),
+		Epochs:    c.epochs[name],
+		Telemetry: c.telemetry,
 	})
 	srv.Start()
 	c.servers[name] = srv
@@ -120,6 +130,7 @@ func (c *Cluster) OpenClient(id ClientID, n int) (*Client, error) {
 		N:           n,
 		Endpoint:    c.net.Endpoint(fmt.Sprintf("client-%d", id)),
 		CallTimeout: 200 * time.Millisecond,
+		Telemetry:   c.telemetry,
 	})
 }
 

@@ -14,21 +14,51 @@
 //	scan               print every readable record
 //	status             print end-of-log, epoch, and write set
 //	truncate <lsn>     discard records below lsn on every server (§5.3)
+//	stats <host:port>  fetch and render a server's telemetry snapshot
+//	                   (the address of its logserverd -metrics listener)
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	"os"
 	"strconv"
 	"strings"
 	"time"
 
 	"distlog/internal/core"
 	"distlog/internal/record"
+	"distlog/internal/telemetry"
 	"distlog/internal/transport"
 )
+
+// runStats implements `logctl stats`: fetch the JSON snapshot a
+// logserverd -metrics listener serves and render it. It needs no
+// replicated log (and so no UDP servers) — just the HTTP endpoint.
+func runStats(addr string) {
+	url := addr
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	url = strings.TrimRight(url, "/") + "/metrics"
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatalf("fetching %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("fetching %s: %s", url, resp.Status)
+	}
+	var snap telemetry.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		log.Fatalf("decoding snapshot: %v", err)
+	}
+	snap.Render(os.Stdout)
+}
 
 func main() {
 	serversFlag := flag.String("servers", "127.0.0.1:7700", "comma-separated log server addresses (M)")
@@ -37,7 +67,15 @@ func main() {
 	timeout := flag.Duration("timeout", time.Second, "per-call timeout")
 	flag.Parse()
 	if flag.NArg() < 1 {
-		log.Fatal("usage: logctl [flags] append|read|scan|status ...")
+		log.Fatal("usage: logctl [flags] append|read|scan|status|stats ...")
+	}
+
+	if flag.Arg(0) == "stats" {
+		if flag.NArg() != 2 {
+			log.Fatal("usage: logctl stats <host:port of -metrics listener>")
+		}
+		runStats(flag.Arg(1))
+		return
 	}
 
 	ep, err := transport.ListenUDP("127.0.0.1:0")

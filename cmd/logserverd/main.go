@@ -4,7 +4,13 @@
 //
 // Usage:
 //
-//	logserverd -listen 127.0.0.1:7700 -data /var/lib/distlog/server1.log
+//	logserverd -listen 127.0.0.1:7700 -data /var/lib/distlog/server1.log \
+//	           -metrics 127.0.0.1:7780
+//
+// The -metrics listener serves the telemetry registry: a JSON snapshot
+// at /metrics (and /), a human-readable page at /debug/telemetry, and
+// the recent LSN-lifecycle trace at /debug/trace. `logctl stats`
+// fetches and renders the JSON snapshot.
 //
 // Stop with SIGINT/SIGTERM; the store is synced and closed cleanly
 // (though the design tolerates unclean death: the stream's torn tail
@@ -16,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -23,6 +30,7 @@ import (
 
 	"distlog/internal/server"
 	"distlog/internal/storage"
+	"distlog/internal/telemetry"
 	"distlog/internal/transport"
 )
 
@@ -30,7 +38,14 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:7700", "UDP address to serve on")
 	data := flag.String("data", "distlog-server.log", "path of the log stream file")
 	stats := flag.Duration("stats", time.Minute, "statistics reporting interval (0 = silent)")
+	metrics := flag.String("metrics", "", "HTTP address serving /metrics JSON and /debug/telemetry (empty = off)")
+	traceCap := flag.Int("trace", 4096, "LSN-lifecycle trace ring capacity (0 = tracing off)")
 	flag.Parse()
+
+	reg := telemetry.NewRegistry()
+	if *traceCap > 0 {
+		reg.EnableTrace(*traceCap)
+	}
 
 	store, err := storage.OpenFileStore(*data)
 	if err != nil {
@@ -41,22 +56,51 @@ func main() {
 		log.Fatalf("listening: %v", err)
 	}
 	srv := server.New(server.Config{
-		Name:     *listen,
-		Store:    store,
-		Endpoint: ep,
-		Epochs:   server.NewMemEpochHost(),
+		Name:      *listen,
+		Store:     storage.Instrument(store, reg, "file"),
+		Endpoint:  transport.Instrument(ep, reg, "net.udp"),
+		Epochs:    server.NewMemEpochHost(),
+		Telemetry: reg,
 	})
 	srv.Start()
 	log.Printf("log server on %s, store %s, clients %v", ep.Addr(), *data, store.Clients())
+
+	if *metrics != "" {
+		go func() {
+			log.Printf("telemetry on http://%s/metrics", *metrics)
+			if err := http.ListenAndServe(*metrics, telemetry.Handler(reg)); err != nil {
+				log.Printf("telemetry listener: %v", err)
+			}
+		}()
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
 	if *stats > 0 {
 		go func() {
+			// Report from the registry snapshot, and stay silent across
+			// intervals where nothing moved — an idle server should not
+			// fill its log with identical lines.
+			last := reg.Snapshot()
 			for range time.Tick(*stats) {
-				s := srv.Stats()
-				log.Printf("packets=%d records=%d forces=%d nacks=%d reads=%d",
-					s.PacketsReceived, s.RecordsWritten, s.Forces, s.MissingIntervals, s.ReadsServed)
+				snap := reg.Snapshot()
+				if snap.Equal(last) {
+					continue
+				}
+				last = snap
+				log.Printf("packets=%d records=%d forces=%d nacks=%d sheds=%d reads=%d sessions=%d",
+					snap.Counters["server.packets_received"],
+					snap.Counters["server.records_appended"],
+					snap.Counters["server.forces"],
+					snap.Counters["server.nacks_sent"],
+					snap.Counters["server.sheds"],
+					snap.Counters["server.reads_served"],
+					snap.Gauges["server.sessions"])
+				if h, ok := snap.Histograms["server.force.latency_ns"]; ok && h.Count > 0 {
+					log.Printf("force latency: n=%d mean=%s p50=%s p99=%s",
+						h.Count, time.Duration(h.Mean()),
+						time.Duration(h.Quantile(0.50)), time.Duration(h.Quantile(0.99)))
+				}
 			}
 		}()
 	}

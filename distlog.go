@@ -24,6 +24,8 @@
 package distlog
 
 import (
+	"net/http"
+
 	"distlog/internal/availability"
 	"distlog/internal/capacity"
 	"distlog/internal/core"
@@ -35,6 +37,7 @@ import (
 	"distlog/internal/record"
 	"distlog/internal/server"
 	"distlog/internal/storage"
+	"distlog/internal/telemetry"
 	"distlog/internal/transport"
 	"distlog/internal/workload"
 )
@@ -150,6 +153,25 @@ type (
 
 // NewNetwork returns an in-memory network with deterministic faults.
 func NewNetwork(seed int64) *Network { return transport.NewNetwork(seed) }
+
+// Observability (metrics + LSN-lifecycle tracing).
+type (
+	// Telemetry is a per-process registry of metric families and an
+	// optional event trace; pass one in ClientConfig/ServerConfig/
+	// ClusterOptions to observe the corresponding component.
+	Telemetry = telemetry.Registry
+	// TelemetrySnapshot is a point-in-time view of every instrument.
+	TelemetrySnapshot = telemetry.Snapshot
+	// TraceEvent is one LSN-lifecycle occurrence from the event trace.
+	TraceEvent = telemetry.Event
+)
+
+// NewTelemetry returns an empty telemetry registry.
+func NewTelemetry() *Telemetry { return telemetry.NewRegistry() }
+
+// TelemetryHandler serves a registry over HTTP: /metrics (JSON),
+// /debug/telemetry (text), /debug/trace (the recent event timeline).
+func TelemetryHandler(r *Telemetry) http.Handler { return telemetry.Handler(r) }
 
 // ListenUDP opens a UDP endpoint ("host:port", ":0" for ephemeral).
 func ListenUDP(addr string) (*transport.UDPEndpoint, error) { return transport.ListenUDP(addr) }

@@ -25,6 +25,7 @@ import (
 	"distlog/internal/faultpoint"
 	"distlog/internal/idgen"
 	"distlog/internal/record"
+	"distlog/internal/telemetry"
 	"distlog/internal/transport"
 	"distlog/internal/wire"
 )
@@ -82,6 +83,11 @@ type Config struct {
 	// EpochReps overrides where epoch numbers come from. Nil uses the
 	// representatives hosted on the log servers themselves.
 	EpochReps []idgen.Representative
+	// Telemetry receives the client's metrics (and, if the registry has
+	// tracing enabled, its LSN-lifecycle events). Nil directs metrics to
+	// a private registry so Stats() keeps working; per-operation cost is
+	// identical either way.
+	Telemetry *telemetry.Registry
 }
 
 func (c *Config) fillDefaults() error {
@@ -108,7 +114,10 @@ func (c *Config) fillDefaults() error {
 
 var connIDCounter atomic.Uint64
 
-// Stats counts client-side protocol activity.
+// Stats is a snapshot of client-side protocol activity. It is a view
+// over the telemetry counters (see metrics.go); the counters are
+// incremented under the log's mutex, so a Stats snapshot is exact and
+// internally consistent.
 type Stats struct {
 	Writes        uint64
 	Forces        uint64 // Force calls (including δ-triggered implicit forces)
@@ -136,7 +145,7 @@ type ReplicatedLog struct {
 	holders     *holders
 	readCache   map[record.LSN]record.Record
 	truncated   record.LSN // records below were discarded via TruncatePrefix
-	stats       Stats
+	m           *clientMetrics
 	closed      bool
 	// Group-commit state (see forceround.go): the round whose
 	// acknowledgment waits are in flight, and the single queued round
@@ -164,6 +173,7 @@ func Open(cfg Config) (*ReplicatedLog, error) {
 		cfg:       cfg,
 		sessions:  make(map[string]*session),
 		readCache: make(map[record.LSN]record.Record),
+		m:         newClientMetrics(cfg.Telemetry, cfg.Endpoint.Addr()),
 	}
 	l.pumpWG.Add(1)
 	go l.pump()
@@ -445,7 +455,7 @@ func (l *ReplicatedLog) WriteSet() []string {
 func (l *ReplicatedLog) Stats() Stats {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.stats
+	return l.m.statsLocked()
 }
 
 // WriteLog appends a record to the replicated log and returns its LSN.
@@ -483,7 +493,8 @@ func (l *ReplicatedLog) WriteLog(data []byte) (record.LSN, error) {
 	l.nextLSN++
 	rec := record.Record{LSN: lsn, Epoch: l.epoch, Present: true, Data: data}
 	l.outstanding = append(l.outstanding, rec)
-	l.stats.Writes++
+	l.m.writes.Add(1)
+	l.m.trace.Emit(telemetry.EvWrite, l.m.node, uint64(lsn), uint64(l.epoch), 0)
 	if l.cfg.FlushBatch > 0 && len(l.outstanding) >= l.cfg.FlushBatch {
 		// Opportunistic batch flush. The append itself has succeeded —
 		// the LSN is assigned and the record buffered — so a transport
@@ -559,6 +570,12 @@ func (l *ReplicatedLog) sendStreamLocked(sess *session, force bool) error {
 		if force && len(toSend) == 0 {
 			t = wire.TForceLog
 		}
+		// Emit the flush before the packet leaves: on an in-memory
+		// network the server may append (and emit) before a post-send
+		// emission would run, which would invert the flush→append order
+		// the trace guarantees.
+		l.m.trace.Emit(telemetry.EvFlush, sess.addr,
+			uint64(batch[len(batch)-1].LSN), uint64(l.epoch), uint64(len(batch)))
 		if _, err := sess.peer.SendRecords(t, 0, l.epoch, batch); err != nil {
 			return err
 		}
@@ -588,12 +605,14 @@ func (l *ReplicatedLog) awaitServer(addr string, target record.LSN) error {
 		}
 		acked, nacked, err := sess.waitAck(target, time.Now().Add(l.cfg.CallTimeout))
 		if acked {
+			l.m.waiterAcks.Add(1)
 			return nil
 		}
 		if err != nil {
 			break // reset or closed: fail over
 		}
 		if nacked {
+			l.m.waiterNacks.Add(1)
 			if err := l.serviceMissing(sess); err != nil {
 				break
 			}
@@ -602,11 +621,13 @@ func (l *ReplicatedLog) awaitServer(addr string, target record.LSN) error {
 		}
 		// Timeout: retransmit the stream with a trailing ForceLog; a
 		// dual-network endpoint fails over to its second network first.
+		l.m.waiterTimeouts.Add(1)
+		l.m.trace.Emit(telemetry.EvRetry, addr, uint64(target), 0, uint64(attempt+1))
 		if sess.onRetry != nil {
 			sess.onRetry()
 		}
 		l.mu.Lock()
-		l.stats.Resends++
+		l.m.resends.Add(1)
 		sess.mu.Lock()
 		sess.sentHigh = 0 // resend everything outstanding
 		sess.mu.Unlock()
@@ -636,7 +657,8 @@ func (l *ReplicatedLog) serviceMissing(sess *session) error {
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	l.stats.Resends++
+	l.m.resends.Add(1)
+	l.m.trace.Emit(telemetry.EvNack, sess.addr, uint64(low), uint64(l.epoch), uint64(len(nacks)))
 	if len(l.outstanding) == 0 || low < l.outstanding[0].LSN {
 		// The missing records were acknowledged by the full write set
 		// and released (this server wasn't in it, or lost state): tell
@@ -754,7 +776,8 @@ func (l *ReplicatedLog) failover(failed string, target record.LSN) error {
 				l.writeSet[i] = addr
 			}
 		}
-		l.stats.Failovers++
+		l.m.failovers.Add(1)
+		l.m.trace.Emit(telemetry.EvFailover, failed, uint64(target), uint64(l.epoch), 0)
 		l.mu.Unlock()
 		return nil
 	}
@@ -861,14 +884,14 @@ func (l *ReplicatedLog) ReadRecord(lsn record.LSN) (record.Record, error) {
 		}
 	}
 	if rec, ok := l.readCache[lsn]; ok {
-		l.stats.ReadCacheHits++
-		l.stats.Reads++
+		l.m.readCacheHits.Add(1)
+		l.m.reads.Add(1)
 		l.mu.Unlock()
 		return rec.Clone(), nil
 	}
 	servers := l.holders.serversFor(lsn)
 	wantEpoch := l.holders.epochFor(lsn)
-	l.stats.Reads++
+	l.m.reads.Add(1)
 	covered := l.holders.covered(lsn)
 	l.mu.Unlock()
 
@@ -966,7 +989,7 @@ func (l *ReplicatedLog) ReadRecordsBackward(from record.LSN) ([]record.Record, e
 			l.cacheRecord(rec)
 			next = rec.LSN - 1
 		}
-		l.stats.Reads += uint64(len(out))
+		l.m.reads.Add(uint64(len(out)))
 		l.mu.Unlock()
 		if len(out) > 0 {
 			return out, nil

@@ -2,9 +2,11 @@ package core
 
 import (
 	"sync"
+	"time"
 
 	"distlog/internal/faultpoint"
 	"distlog/internal/record"
+	"distlog/internal/telemetry"
 )
 
 // Group commit. A Force call does not necessarily run its own protocol
@@ -45,7 +47,7 @@ func (l *ReplicatedLog) Force() error {
 		l.mu.Unlock()
 		return ErrClosed
 	}
-	l.stats.Forces++
+	l.m.forces.Add(1)
 	for {
 		if l.closed {
 			if lead != nil {
@@ -68,7 +70,7 @@ func (l *ReplicatedLog) Force() error {
 		if cur := l.curRound; cur != nil {
 			if lead == nil && cur.target >= l.outstanding[len(l.outstanding)-1].LSN {
 				// The in-flight round covers all our records: ride it.
-				l.stats.GroupCommits++
+				l.m.groupCommits.Add(1)
 				l.mu.Unlock()
 				<-cur.done
 				return cur.err
@@ -82,7 +84,7 @@ func (l *ReplicatedLog) Force() error {
 				// target is fixed only when it starts, so it will cover
 				// every record outstanding now, including ours.
 				r := l.nextRound
-				l.stats.GroupCommits++
+				l.m.groupCommits.Add(1)
 				l.mu.Unlock()
 				<-r.done
 				return r.err
@@ -98,7 +100,7 @@ func (l *ReplicatedLog) Force() error {
 		// joins as a follower instead.
 		if l.nextRound != nil && l.nextRound != lead {
 			r := l.nextRound
-			l.stats.GroupCommits++
+			l.m.groupCommits.Add(1)
 			l.mu.Unlock()
 			<-r.done
 			return r.err
@@ -150,8 +152,9 @@ func (w *roundWaiter) wait() {
 // stalls or aborts the waits on the others. Called with l.mu held and
 // l.curRound == r; returns with l.mu released and the round completed.
 func (l *ReplicatedLog) leadRoundLocked(r *forceRound) error {
+	started := time.Now()
 	r.target = l.outstanding[len(l.outstanding)-1].LSN
-	l.stats.ForceRounds++
+	l.m.forceRounds.Add(1)
 	faultpoint.Hit(FPForceBeforeFlush)
 	err := l.flushLocked(true)
 	faultpoint.Hit(FPForceAfterFlush)
@@ -190,12 +193,19 @@ func (l *ReplicatedLog) leadRoundLocked(r *forceRound) error {
 			l.holders.add(l.epoch, first, r.target, l.writeSet)
 		}
 		keep := l.outstanding[:0]
+		released := 0
 		for _, rec := range l.outstanding {
 			if rec.LSN > r.target {
 				keep = append(keep, rec)
+			} else {
+				released++
 			}
 		}
 		l.outstanding = keep
+		l.m.recordsPerRound.Observe(uint64(released))
+		l.m.forceLatency.Observe(uint64(time.Since(started)))
+		l.m.trace.Emit(telemetry.EvStable, l.m.node,
+			uint64(r.target), uint64(l.epoch), uint64(released))
 	}
 	if l.curRound == r {
 		l.curRound = nil
@@ -212,5 +222,6 @@ func (l *ReplicatedLog) leadRoundLocked(r *forceRound) error {
 func (l *ReplicatedLog) ForceRoundStats() (forces, rounds, groupCommits uint64) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.stats.Forces, l.stats.ForceRounds, l.stats.GroupCommits
+	s := l.m.statsLocked()
+	return s.Forces, s.ForceRounds, s.GroupCommits
 }

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"distlog/internal/telemetry"
+)
+
+// Client metric names. A process that installs a shared Registry sees
+// these families aggregated across every client it hosts.
+const (
+	mWrites          = "client.writes"
+	mForces          = "client.forces"
+	mForceRounds     = "client.force_rounds"
+	mGroupCommits    = "client.group_commits"
+	mReads           = "client.reads"
+	mReadCacheHits   = "client.read_cache_hits"
+	mFailovers       = "client.failovers"
+	mResends         = "client.resends"
+	mWaiterAcks      = "client.force.acks"
+	mWaiterNacks     = "client.force.nacks"
+	mWaiterTimeouts  = "client.force.timeouts"
+	mForceLatency    = "client.force.latency_ns"
+	mRecordsPerRound = "client.force.records_per_round"
+)
+
+// clientMetrics is the client's single source of protocol counters.
+// The legacy Stats()/ForceRoundStats() APIs are snapshot views over
+// these instruments — there is exactly one set of counters, so the two
+// APIs can never disagree (they once kept parallel fields).
+//
+// When no Registry is configured the client installs a private one:
+// Stats() must keep working, and counters are two atomic adds either
+// way. The trace handle is nil unless the caller's registry enabled
+// tracing, so the LSN-lifecycle emissions cost one branch when off.
+type clientMetrics struct {
+	node  string
+	trace *telemetry.Trace
+
+	writes        *telemetry.Counter
+	forces        *telemetry.Counter
+	forceRounds   *telemetry.Counter
+	groupCommits  *telemetry.Counter
+	reads         *telemetry.Counter
+	readCacheHits *telemetry.Counter
+	failovers     *telemetry.Counter
+	resends       *telemetry.Counter
+
+	waiterAcks     *telemetry.Counter
+	waiterNacks    *telemetry.Counter
+	waiterTimeouts *telemetry.Counter
+
+	forceLatency    *telemetry.Histogram
+	recordsPerRound *telemetry.Histogram
+}
+
+func newClientMetrics(reg *telemetry.Registry, node string) *clientMetrics {
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	return &clientMetrics{
+		node:            node,
+		trace:           reg.Trace(),
+		writes:          reg.Counter(mWrites),
+		forces:          reg.Counter(mForces),
+		forceRounds:     reg.Counter(mForceRounds),
+		groupCommits:    reg.Counter(mGroupCommits),
+		reads:           reg.Counter(mReads),
+		readCacheHits:   reg.Counter(mReadCacheHits),
+		failovers:       reg.Counter(mFailovers),
+		resends:         reg.Counter(mResends),
+		waiterAcks:      reg.Counter(mWaiterAcks),
+		waiterNacks:     reg.Counter(mWaiterNacks),
+		waiterTimeouts:  reg.Counter(mWaiterTimeouts),
+		forceLatency:    reg.Histogram(mForceLatency),
+		recordsPerRound: reg.Histogram(mRecordsPerRound),
+	}
+}
+
+// statsLocked snapshots the Stats view. The Stats-visible counters are
+// only ever incremented under l.mu, so a caller holding l.mu reads an
+// exact, mutually consistent snapshot (e.g. Forces ≥ ForceRounds +
+// GroupCommits always holds within one snapshot).
+func (m *clientMetrics) statsLocked() Stats {
+	return Stats{
+		Writes:        m.writes.Value(),
+		Forces:        m.forces.Value(),
+		ForceRounds:   m.forceRounds.Value(),
+		GroupCommits:  m.groupCommits.Value(),
+		Reads:         m.reads.Value(),
+		ReadCacheHits: m.readCacheHits.Value(),
+		Failovers:     m.failovers.Value(),
+		Resends:       m.resends.Value(),
+	}
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"distlog/internal/transport"
+)
+
+// BenchmarkWritePathAllocsTelemetry is BenchmarkWritePathAllocs with
+// the full telemetry stack armed — shared registry, trace ring, memnet
+// counters, storage instrumentation — enforcing the SAME allocation
+// budget: observability must be allocation-free on the write path.
+func BenchmarkWritePathAllocsTelemetry(b *testing.B) {
+	l, _ := telemetryCluster(b, 3, 2)
+	if _, err := l.ForceLog([]byte("warm")); err != nil {
+		b.Fatal(err)
+	}
+	data := make([]byte, 100)
+	var m0, m1 runtime.MemStats
+	b.ReportAllocs()
+	b.ResetTimer()
+	runtime.ReadMemStats(&m0)
+	for i := 0; i < b.N; i++ {
+		if _, err := l.ForceLog(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+	runtime.ReadMemStats(&m1)
+	b.StopTimer()
+	if perOp := float64(m1.Mallocs-m0.Mallocs) / float64(b.N); perOp > writePathAllocBudget {
+		b.Fatalf("write path with telemetry allocates %.1f objects/op, budget %d", perOp, writePathAllocBudget)
+	}
+}
+
+// BenchmarkTelemetryOverhead ablates the telemetry subsystem on the
+// force path: the disabled case is a stock cluster (no registry
+// installed anywhere — every component runs on its nil-or-private
+// handles), the enabled case arms the registry, trace, memnet, and
+// storage instrumentation. The two sub-benchmark ns/op values are the
+// ≤ ~5% overhead acceptance check; the disabled case also re-asserts
+// the allocation budget, proving disabled telemetry adds zero allocs.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	run := func(b *testing.B, l *ReplicatedLog, checkAllocs bool) {
+		if _, err := l.ForceLog([]byte("warm")); err != nil {
+			b.Fatal(err)
+		}
+		data := make([]byte, 100)
+		var m0, m1 runtime.MemStats
+		b.ReportAllocs()
+		b.ResetTimer()
+		runtime.ReadMemStats(&m0)
+		for i := 0; i < b.N; i++ {
+			if _, err := l.ForceLog(data); err != nil {
+				b.Fatal(err)
+			}
+		}
+		runtime.ReadMemStats(&m1)
+		b.StopTimer()
+		if perOp := float64(m1.Mallocs-m0.Mallocs) / float64(b.N); checkAllocs && perOp > writePathAllocBudget {
+			b.Fatalf("disabled telemetry allocates %.1f objects/op, budget %d", perOp, writePathAllocBudget)
+		}
+	}
+	b.Run("disabled", func(b *testing.B) {
+		l := benchCluster(b, 3, 2, transport.Faults{})
+		run(b, l, true)
+	})
+	b.Run("enabled", func(b *testing.B) {
+		l, reg := telemetryCluster(b, 3, 2)
+		run(b, l, false)
+		if h, ok := reg.Snapshot().Histograms["client.force.latency_ns"]; ok && h.Count > 0 {
+			b.ReportMetric(float64(time.Duration(h.Quantile(0.50)).Nanoseconds()), "p50-ns")
+			b.ReportMetric(float64(time.Duration(h.Quantile(0.99)).Nanoseconds()), "p99-ns")
+		}
+	})
+}

@@ -28,10 +28,16 @@ import (
 	"distlog/internal/server"
 	"distlog/internal/sim"
 	"distlog/internal/storage"
+	"distlog/internal/telemetry"
 	"distlog/internal/transport"
 )
 
 const clientID = record.ClientID(7)
+
+// traceDump is how many of the dying incarnation's trace events are
+// appended to a failure report — enough to cover the last force round
+// on every server plus the retries leading into the crash.
+const traceDump = 32
 
 // errInjected is the storage failure injected at error-returning
 // faultpoints (storage.install.partial).
@@ -100,19 +106,28 @@ type rig struct {
 	stores map[string]storage.Store
 	epochs map[string]*server.MemEpochHost
 
+	// reg collects LSN-lifecycle trace events from every node in the
+	// scenario; when an audit fails, the tail of the trace shows what
+	// was in flight when the armed point killed the incarnation.
+	reg *telemetry.Registry
+
 	mu      sync.Mutex
 	servers map[string]*server.Server
 	seps    map[string]transport.Endpoint
 }
 
 func newRig(o Options) *rig {
+	reg := telemetry.NewRegistry()
+	reg.EnableTrace(1024)
 	r := &rig{
 		net:     transport.NewNetwork(o.Seed),
 		stores:  make(map[string]storage.Store),
 		epochs:  make(map[string]*server.MemEpochHost),
+		reg:     reg,
 		servers: make(map[string]*server.Server),
 		seps:    make(map[string]transport.Endpoint),
 	}
+	r.net.SetTelemetry(reg)
 	for i := 0; i < o.Servers; i++ {
 		name := fmt.Sprintf("ls%d", i+1)
 		r.names = append(r.names, name)
@@ -132,10 +147,11 @@ func (r *rig) start(name string) {
 func (r *rig) startLocked(name string) {
 	ep := r.net.Endpoint(name)
 	srv := server.New(server.Config{
-		Name:     name,
-		Store:    r.stores[name],
-		Endpoint: ep,
-		Epochs:   r.epochs[name],
+		Name:      name,
+		Store:     r.stores[name],
+		Endpoint:  ep,
+		Epochs:    r.epochs[name],
+		Telemetry: r.reg,
 	})
 	srv.Start()
 	r.servers[name] = srv
@@ -197,6 +213,7 @@ func openLog(r *rig, o Options, ep transport.Endpoint) (*core.ReplicatedLog, err
 		CallTimeout: o.CallTimeout,
 		Retries:     o.Retries,
 		FlushBatch:  2, // stream early so a crash can strand a partially sent tail
+		Telemetry:   r.reg,
 	})
 }
 
@@ -330,17 +347,27 @@ func RunPoint(o Options, pointName string, hitN uint64) (fired bool, err error) 
 	fired = faultpoint.Fired(pointName)
 	faultpoint.Disarm(pointName)
 
+	// Snapshot the dying incarnation's last trace events now, before
+	// recovery overwrites the ring: every failure report below carries
+	// this timeline so a violation shows what each node was doing when
+	// the armed point fired.
+	dying := r.reg.Trace().Tail(traceDump)
+	fail := func(err error, context string) error {
+		return fmt.Errorf("crashaudit: %s, crash at %s (hit %d): %w\ndying incarnation's last %d trace events:\n%s",
+			context, pointName, hitN, err, len(dying), telemetry.FormatEvents(dying))
+	}
+
 	// Recovery: heal the network, reboot every server over its
 	// surviving store, and audit a fresh incarnation.
 	r.restartAll()
 	ep3 := r.clientEndpoint()
 	l3, err := openLog(r, o, ep3)
 	if err != nil {
-		return fired, fmt.Errorf("crashaudit: recovery open after crash at %s (hit %d): %w", pointName, hitN, err)
+		return fired, fail(err, "recovery open")
 	}
 	if err := chk.Audit(l3); err != nil {
 		l3.Close()
-		return fired, fmt.Errorf("crashaudit: crash at %s (hit %d): %w", pointName, hitN, err)
+		return fired, fail(err, "recovery audit")
 	}
 	// The recovered log must be fully usable: commit through it on the
 	// healthy cluster, and re-audit with the new records acknowledged.
@@ -348,12 +375,12 @@ func RunPoint(o Options, pointName string, hitN uint64) (fired bool, err error) 
 	w3.write(4, "post")
 	if err := l3.Force(); err != nil {
 		l3.Close()
-		return fired, fmt.Errorf("crashaudit: post-recovery force after crash at %s (hit %d): %w", pointName, hitN, err)
+		return fired, fail(err, "post-recovery force")
 	}
 	chk.Forced()
 	if err := chk.Audit(l3); err != nil {
 		l3.Close()
-		return fired, fmt.Errorf("crashaudit: crash at %s (hit %d), post-recovery: %w", pointName, hitN, err)
+		return fired, fail(err, "post-recovery audit")
 	}
 
 	// One more clean crash/reboot cycle: the audited state must survive
@@ -364,11 +391,11 @@ func RunPoint(o Options, pointName string, hitN uint64) (fired bool, err error) 
 	r.restartAll()
 	l4, err := openLog(r, o, r.clientEndpoint())
 	if err != nil {
-		return fired, fmt.Errorf("crashaudit: final open after crash at %s (hit %d): %w", pointName, hitN, err)
+		return fired, fail(err, "final open")
 	}
 	defer l4.Close()
 	if err := chk.Audit(l4); err != nil {
-		return fired, fmt.Errorf("crashaudit: crash at %s (hit %d), final incarnation: %w", pointName, hitN, err)
+		return fired, fail(err, "final incarnation audit")
 	}
 	return fired, nil
 }

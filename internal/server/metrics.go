@@ -1,0 +1,79 @@
+package server
+
+import (
+	"distlog/internal/telemetry"
+)
+
+// Server metric names.
+const (
+	mPacketsReceived = "server.packets_received"
+	mPacketsDropped  = "server.packets_dropped"
+	mRecordsAppended = "server.records_appended"
+	mForces          = "server.forces"
+	mAcksSent        = "server.acks_sent"
+	mNacksSent       = "server.nacks_sent"
+	mReadsServed     = "server.reads_served"
+	mSheds           = "server.sheds"
+	mSessions        = "server.sessions"
+	mForceLatency    = "server.force.latency_ns"
+	mAppendToForce   = "server.append_to_force_ns"
+)
+
+// serverMetrics is the server's single source of activity counters;
+// the legacy Stats() API is a snapshot view over it. When no Registry
+// is configured a private one is installed so Stats() keeps working.
+type serverMetrics struct {
+	node  string
+	trace *telemetry.Trace
+
+	packetsReceived *telemetry.Counter
+	packetsDropped  *telemetry.Counter
+	recordsAppended *telemetry.Counter
+	forces          *telemetry.Counter
+	acksSent        *telemetry.Counter
+	nacksSent       *telemetry.Counter
+	readsServed     *telemetry.Counter
+	sheds           *telemetry.Counter
+
+	sessions *telemetry.Gauge
+
+	// forceLatency is the store Force() call alone; appendToForce is
+	// the span from the first unforced append to the force completing —
+	// the server-side half of a client's force round trip.
+	forceLatency  *telemetry.Histogram
+	appendToForce *telemetry.Histogram
+}
+
+func newServerMetrics(reg *telemetry.Registry, node string) *serverMetrics {
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	return &serverMetrics{
+		node:            node,
+		trace:           reg.Trace(),
+		packetsReceived: reg.Counter(mPacketsReceived),
+		packetsDropped:  reg.Counter(mPacketsDropped),
+		recordsAppended: reg.Counter(mRecordsAppended),
+		forces:          reg.Counter(mForces),
+		acksSent:        reg.Counter(mAcksSent),
+		nacksSent:       reg.Counter(mNacksSent),
+		readsServed:     reg.Counter(mReadsServed),
+		sheds:           reg.Counter(mSheds),
+		sessions:        reg.Gauge(mSessions),
+		forceLatency:    reg.Histogram(mForceLatency),
+		appendToForce:   reg.Histogram(mAppendToForce),
+	}
+}
+
+func (m *serverMetrics) stats() Stats {
+	return Stats{
+		PacketsReceived:  m.packetsReceived.Value(),
+		PacketsDropped:   m.packetsDropped.Value(),
+		RecordsWritten:   m.recordsAppended.Value(),
+		Forces:           m.forces.Value(),
+		AcksSent:         m.acksSent.Value(),
+		MissingIntervals: m.nacksSent.Value(),
+		ReadsServed:      m.readsServed.Value(),
+		Shed:             m.sheds.Value(),
+	}
+}

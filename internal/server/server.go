@@ -12,13 +12,13 @@ import (
 	"errors"
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"distlog/internal/faultpoint"
 	"distlog/internal/idgen"
 	"distlog/internal/record"
 	"distlog/internal/storage"
+	"distlog/internal/telemetry"
 	"distlog/internal/transport"
 	"distlog/internal/wire"
 )
@@ -75,9 +75,14 @@ type Config struct {
 	// Window and OverAllocPause tune the flow-control parameters.
 	Window         uint64
 	OverAllocPause time.Duration
+	// Telemetry receives the server's metrics (and, if the registry has
+	// tracing enabled, its LSN-lifecycle events). Nil directs metrics to
+	// a private registry so Stats() keeps working.
+	Telemetry *telemetry.Registry
 }
 
-// Stats counts server activity.
+// Stats is a snapshot of server activity — a view over the telemetry
+// counters (see metrics.go).
 type Stats struct {
 	PacketsReceived  uint64
 	PacketsDropped   uint64 // undecodable or stale
@@ -97,17 +102,12 @@ type Server struct {
 	sessions map[string]*session // keyed by client network address
 	stopped  bool
 
-	wg    sync.WaitGroup
-	stats struct {
-		packetsReceived  atomic.Uint64
-		packetsDropped   atomic.Uint64
-		recordsWritten   atomic.Uint64
-		forces           atomic.Uint64
-		acksSent         atomic.Uint64
-		missingIntervals atomic.Uint64
-		readsServed      atomic.Uint64
-		shed             atomic.Uint64
-	}
+	wg sync.WaitGroup
+	m  *serverMetrics
+	// firstUnforced is when the oldest not-yet-forced record was
+	// appended (zero when everything is forced). Handlers run inline in
+	// the single receive loop, so no synchronization is needed.
+	firstUnforced time.Time
 }
 
 // session is the per-client connection state.
@@ -126,6 +126,7 @@ func New(cfg Config) *Server {
 	return &Server{
 		cfg:      cfg,
 		sessions: make(map[string]*session),
+		m:        newServerMetrics(cfg.Telemetry, cfg.Name),
 	}
 }
 
@@ -155,16 +156,7 @@ func (s *Server) Stop() {
 
 // Stats returns a snapshot of the counters.
 func (s *Server) Stats() Stats {
-	return Stats{
-		PacketsReceived:  s.stats.packetsReceived.Load(),
-		PacketsDropped:   s.stats.packetsDropped.Load(),
-		RecordsWritten:   s.stats.recordsWritten.Load(),
-		Forces:           s.stats.forces.Load(),
-		AcksSent:         s.stats.acksSent.Load(),
-		MissingIntervals: s.stats.missingIntervals.Load(),
-		ReadsServed:      s.stats.readsServed.Load(),
-		Shed:             s.stats.shed.Load(),
-	}
+	return s.m.stats()
 }
 
 func (s *Server) loop() {
@@ -173,12 +165,12 @@ func (s *Server) loop() {
 		if err != nil {
 			return // endpoint closed
 		}
-		s.stats.packetsReceived.Add(1)
+		s.m.packetsReceived.Add(1)
 		pkt, err := wire.Decode(raw.Data)
 		if err != nil {
 			// Corrupt packet: the end-to-end check rejects it; the
 			// sender's own recovery (retry, NACK) handles the loss.
-			s.stats.packetsDropped.Add(1)
+			s.m.packetsDropped.Add(1)
 			continue
 		}
 		s.handle(raw.From, &pkt)
@@ -215,6 +207,7 @@ func (s *Server) handle(from string, pkt *wire.Packet) {
 		}
 		sess.peer.SetEstablished()
 		s.sessions[from] = sess
+		s.m.sessions.Set(int64(len(s.sessions)))
 		s.mu.Unlock()
 		sess.peer.Observe(pkt)
 		sess.peer.Send(wire.TSynAck, pkt.Seq, nil)
@@ -228,12 +221,12 @@ func (s *Server) handle(from string, pkt *wire.Packet) {
 		// the client can tell which incarnation was rejected, and builds
 		// no per-connection state — stray or scanning packets cost one
 		// pooled frame each.
-		s.stats.packetsDropped.Add(1)
+		s.m.packetsDropped.Add(1)
 		wire.SendRst(s.cfg.Endpoint, from, pkt.ClientID, pkt.ConnID, pkt.Seq)
 		return
 	}
 	if !sess.peer.Observe(pkt) {
-		s.stats.packetsDropped.Add(1)
+		s.m.packetsDropped.Add(1)
 		return
 	}
 
@@ -276,7 +269,8 @@ func (s *Server) handleWrite(sess *session, pkt *wire.Packet, force bool) {
 	if s.cfg.Overloaded != nil && s.cfg.Overloaded() {
 		// Shed load: ignore the message entirely. The client times out
 		// and takes its logging elsewhere.
-		s.stats.shed.Add(1)
+		s.m.sheds.Add(1)
+		s.m.trace.Emit(telemetry.EvShed, s.m.node, 0, 0, 0)
 		return
 	}
 	p, err := wire.DecodeRecordsPayload(pkt.Payload)
@@ -306,12 +300,15 @@ func (s *Server) handleWrite(sess *session, pkt *wire.Packet, force bool) {
 		// Lost message(s): NACK promptly with the missing interval and
 		// ignore these records — the client resends from the gap or
 		// starts a new interval.
-		s.stats.missingIntervals.Add(1)
+		s.m.nacksSent.Add(1)
+		s.m.trace.Emit(telemetry.EvNack, s.m.node,
+			uint64(sess.expectedNext), uint64(p.Epoch), uint64(first-sess.expectedNext))
 		mi := wire.IntervalPayload{Low: sess.expectedNext, High: first - 1}
 		sess.peer.Send(wire.TMissingInterval, 0, mi.Encode())
 		return
 	}
 
+	appended := 0
 	for _, rec := range p.Records {
 		if rec.LSN < sess.expectedNext {
 			continue // retransmission overlap: already stored
@@ -325,7 +322,8 @@ func (s *Server) handleWrite(sess *session, pkt *wire.Packet, force bool) {
 		err := s.cfg.Store.Append(sess.clientID, rec)
 		switch {
 		case err == nil:
-			s.stats.recordsWritten.Add(1)
+			s.m.recordsAppended.Add(1)
+			appended++
 		case errors.Is(err, record.ErrDuplicate), errors.Is(err, record.ErrLSNRegression):
 			// A replay after a server restart: the store already holds
 			// the record; advancing past it is the idempotent outcome.
@@ -335,17 +333,37 @@ func (s *Server) handleWrite(sess *session, pkt *wire.Packet, force bool) {
 		}
 		sess.expectedNext = rec.LSN + 1
 	}
+	if appended > 0 {
+		if s.firstUnforced.IsZero() {
+			s.firstUnforced = time.Now()
+		}
+		s.m.trace.Emit(telemetry.EvAppend, s.m.node,
+			uint64(sess.expectedNext-1), uint64(p.Epoch), uint64(appended))
+	}
 
 	if force {
 		faultpoint.Hit(FPWriteBeforeForce)
+		forceStart := time.Now()
 		if err := s.cfg.Store.Force(); err != nil {
 			sess.peer.SendErr(pkt.Seq, wire.CodeUnknown, err.Error())
 			return
 		}
 		faultpoint.Hit(FPWriteAfterForce)
-		s.stats.forces.Add(1)
+		s.m.forces.Add(1)
+		s.m.forceLatency.Observe(uint64(time.Since(forceStart)))
+		if !s.firstUnforced.IsZero() {
+			s.m.appendToForce.Observe(uint64(time.Since(s.firstUnforced)))
+			s.firstUnforced = time.Time{}
+		}
+		s.m.trace.Emit(telemetry.EvForce, s.m.node,
+			uint64(sess.expectedNext-1), uint64(p.Epoch), 0)
+		// Emit before the packet leaves (like the client's flush): the
+		// client may complete its round — and emit EvStable — the moment
+		// the ack is delivered, and the trace guarantees ack < stable.
+		s.m.acksSent.Add(1)
+		s.m.trace.Emit(telemetry.EvAck, s.m.node,
+			uint64(sess.expectedNext-1), uint64(p.Epoch), 0)
 		sess.peer.SendLSN(wire.TNewHighLSN, 0, sess.expectedNext-1)
-		s.stats.acksSent.Add(1)
 	}
 }
 
@@ -418,7 +436,7 @@ func (s *Server) handleRead(sess *session, pkt *wire.Packet, forward bool) {
 			break
 		}
 	}
-	s.stats.readsServed.Add(uint64(len(recs)))
+	s.m.readsServed.Add(uint64(len(recs)))
 	respType := wire.TReadForwardResp
 	if !forward {
 		respType = wire.TReadBackwardResp

@@ -1,0 +1,57 @@
+package storage
+
+import (
+	"testing"
+
+	"distlog/internal/record"
+	"distlog/internal/telemetry"
+)
+
+func TestInstrumentCounts(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	store := Instrument(NewMemStore(), reg, "mem")
+
+	for lsn := record.LSN(1); lsn <= 3; lsn++ {
+		rec := record.Record{LSN: lsn, Epoch: 1, Present: true, Data: []byte("abcd")}
+		if err := store.Append(7, rec); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	if err := store.Force(); err != nil {
+		t.Fatalf("force: %v", err)
+	}
+	if err := store.Truncate(7, 2); err != nil {
+		t.Fatalf("truncate: %v", err)
+	}
+	// A failed append must not count.
+	dup := record.Record{LSN: 1, Epoch: 1, Present: true, Data: []byte("x")}
+	if err := store.Append(7, dup); err == nil {
+		t.Fatalf("duplicate append succeeded")
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["storage.mem.appends"]; got != 3 {
+		t.Fatalf("appends = %d, want 3", got)
+	}
+	if got := snap.Counters["storage.mem.bytes_appended"]; got != 12 {
+		t.Fatalf("bytes_appended = %d, want 12", got)
+	}
+	if got := snap.Counters["storage.mem.forces"]; got != 1 {
+		t.Fatalf("forces = %d, want 1", got)
+	}
+	if got := snap.Counters["storage.mem.truncates"]; got != 1 {
+		t.Fatalf("truncates = %d, want 1", got)
+	}
+	if h := snap.Histograms["storage.mem.force_latency_ns"]; h.Count != 1 {
+		t.Fatalf("force latency count = %d, want 1", h.Count)
+	}
+
+	// The wrapped store still behaves as a Store.
+	rec, err := store.Read(7, 3)
+	if err != nil || rec.LSN != 3 {
+		t.Fatalf("read through wrapper: %v %+v", err, rec)
+	}
+	if Instrument(NewMemStore(), nil, "mem") == nil {
+		t.Fatalf("nil registry must return the store unwrapped")
+	}
+}

@@ -1,0 +1,39 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Handler serves the registry over HTTP: an expvar-style JSON snapshot
+// at /metrics (and at the root, for curl convenience), a human-readable
+// text rendering at /debug/telemetry, and the recent trace timeline at
+// /debug/trace. Used by logserverd's -metrics listener and consumed by
+// `logctl stats`.
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	serveJSON := func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(r.Snapshot())
+	}
+	mux.HandleFunc("/metrics", serveJSON)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		serveJSON(w, req)
+	})
+	mux.HandleFunc("/debug/telemetry", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		r.Snapshot().Render(w)
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte(FormatEvents(r.Trace().Events())))
+		w.Write([]byte("\n"))
+	})
+	return mux
+}

@@ -1,0 +1,437 @@
+// Package telemetry is the observability subsystem: allocation-free
+// metric instruments (atomic counters and gauges, a sharded power-of-
+// two-bucket latency histogram), a per-process Registry of named
+// metric families with concurrent-writer-safe snapshots, and a
+// lock-free ring-buffer trace of LSN-lifecycle events (trace.go) that
+// can reconstruct one force round end to end.
+//
+// The design mirrors internal/faultpoint's disarmed fast path: every
+// instrument method is safe on a nil receiver and returns immediately,
+// so a component built without a Registry — Counter(), Gauge(),
+// Histogram() and Trace() on a nil *Registry all yield nil handles —
+// pays a single predictable branch per operation and never allocates.
+// Components therefore take an optional *Registry in their Config,
+// resolve their instrument handles once at construction, and use them
+// unconditionally on hot paths.
+//
+// Metric families are flat dot-separated names ("server.forces",
+// "client.force.latency_ns"). Histograms bucket values by bit length
+// (bucket i holds v with 2^(i-1) <= v < 2^i), which makes snapshots
+// from different processes mergeable by bucket index and keeps Observe
+// to two atomic adds.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing counter. The zero value is
+// ready to use; a nil Counter ignores all operations.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous signed level. The zero value is ready to
+// use; a nil Gauge ignores all operations.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the gauge's level.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add moves the gauge by d (negative to decrease).
+func (g *Gauge) Add(d int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(d)
+}
+
+// Value returns the current level (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram buckets and shard count. 48 buckets cover values up to
+// 2^47 (≈ 39 hours in nanoseconds); anything larger lands in the last
+// bucket. Shards cut contention between concurrent observers; the
+// shard is picked from the value's middle bits, which vary freely for
+// durations and counts alike.
+const (
+	histBuckets = 48
+	histShards  = 4
+)
+
+// histShard is one shard of a histogram, padded out so two shards
+// never share a cache line.
+type histShard struct {
+	counts [histBuckets]atomic.Uint64
+	sum    atomic.Uint64
+	_      [64]byte
+}
+
+// Histogram is a fixed-bucket value distribution: bucket i counts
+// values v with bits.Len64(v) == i, i.e. 2^(i-1) <= v < 2^i (bucket 0
+// counts zeros). Observe is two atomic adds; a nil Histogram ignores
+// all operations. Snapshots merge the shards and are themselves
+// mergeable across histograms with the same bucketing (always true).
+type Histogram struct {
+	shards [histShards]histShard
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	b := bits.Len64(v)
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	s := &h.shards[(v>>4)&(histShards-1)]
+	s.counts[b].Add(1)
+	s.sum.Add(v)
+}
+
+// Snapshot merges the shards into a consistent-enough view: each
+// bucket is read atomically, so a concurrent Observe is either fully
+// visible in its bucket or not yet — never torn.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var snap HistogramSnapshot
+	if h == nil {
+		return snap
+	}
+	var dense [histBuckets]uint64
+	for s := range h.shards {
+		sh := &h.shards[s]
+		snap.Sum += sh.sum.Load()
+		for b := 0; b < histBuckets; b++ {
+			dense[b] += sh.counts[b].Load()
+		}
+	}
+	for b := 0; b < histBuckets; b++ {
+		if dense[b] == 0 {
+			continue
+		}
+		snap.Count += dense[b]
+		snap.Buckets = append(snap.Buckets, Bucket{Upper: bucketUpper(b), Count: dense[b]})
+	}
+	return snap
+}
+
+// bucketUpper returns the exclusive upper bound of bucket b.
+func bucketUpper(b int) uint64 {
+	if b >= 63 {
+		return math.MaxUint64
+	}
+	return uint64(1) << b
+}
+
+// Bucket is one non-empty histogram bucket: Count values below Upper
+// (and at or above the previous bucket's Upper).
+type Bucket struct {
+	Upper uint64 `json:"upper"`
+	Count uint64 `json:"count"`
+}
+
+// HistogramSnapshot is a merged, immutable view of a histogram. Only
+// non-empty buckets are materialized, in increasing bound order.
+type HistogramSnapshot struct {
+	Count   uint64   `json:"count"`
+	Sum     uint64   `json:"sum"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Mean returns the arithmetic mean of the observed values.
+func (s HistogramSnapshot) Mean() uint64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / s.Count
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) from the buckets,
+// answering with the geometric midpoint of the bucket the rank falls
+// in — the best available estimate under power-of-two bucketing.
+func (s HistogramSnapshot) Quantile(q float64) uint64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(s.Count-1))
+	var seen uint64
+	for _, b := range s.Buckets {
+		seen += b.Count
+		if seen > rank {
+			if b.Upper <= 2 {
+				return b.Upper - 1 // exact: bucket {0} or {1}
+			}
+			return b.Upper/2 + b.Upper/4 // midpoint of [upper/2, upper)
+		}
+	}
+	return s.Buckets[len(s.Buckets)-1].Upper
+}
+
+// Max returns the upper bound of the highest non-empty bucket.
+func (s HistogramSnapshot) Max() uint64 {
+	if len(s.Buckets) == 0 {
+		return 0
+	}
+	return s.Buckets[len(s.Buckets)-1].Upper
+}
+
+// Merge returns the bucket-wise sum of two snapshots.
+func (s HistogramSnapshot) Merge(o HistogramSnapshot) HistogramSnapshot {
+	out := HistogramSnapshot{Count: s.Count + o.Count, Sum: s.Sum + o.Sum}
+	dense := make(map[uint64]uint64, len(s.Buckets)+len(o.Buckets))
+	for _, b := range s.Buckets {
+		dense[b.Upper] += b.Count
+	}
+	for _, b := range o.Buckets {
+		dense[b.Upper] += b.Count
+	}
+	for upper, count := range dense {
+		out.Buckets = append(out.Buckets, Bucket{Upper: upper, Count: count})
+	}
+	sort.Slice(out.Buckets, func(i, j int) bool { return out.Buckets[i].Upper < out.Buckets[j].Upper })
+	return out
+}
+
+// Registry is a per-process set of named metric families plus an
+// optional event trace. Instruments are created on first reference
+// and live for the registry's lifetime; all methods are safe for
+// concurrent use, and all methods on a nil *Registry return nil
+// handles (whose operations no-op), so "no registry installed" costs
+// one branch per instrument operation.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	trace    atomic.Pointer[Trace]
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns (creating if needed) the named counter, or nil on a
+// nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge, or nil on a nil
+// registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram, or nil
+// on a nil registry.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// EnableTrace installs (or returns the existing) event trace with at
+// least the given capacity. Components resolve their trace handle at
+// construction, so enable the trace before wiring the registry into
+// clients and servers.
+func (r *Registry) EnableTrace(capacity int) *Trace {
+	if r == nil {
+		return nil
+	}
+	if t := r.trace.Load(); t != nil {
+		return t
+	}
+	t := NewTrace(capacity)
+	if r.trace.CompareAndSwap(nil, t) {
+		return t
+	}
+	return r.trace.Load()
+}
+
+// Trace returns the installed event trace, or nil when tracing is
+// disabled (the nil *Trace no-ops every Emit).
+func (r *Registry) Trace() *Trace {
+	if r == nil {
+		return nil
+	}
+	return r.trace.Load()
+}
+
+// Snapshot is a point-in-time view of every instrument in a registry.
+// Counter and gauge reads are individually atomic; the snapshot as a
+// whole is taken without stopping writers, which is the right trade
+// for monitoring (exact cross-counter invariants belong to the
+// component APIs that own the locks, e.g. core.Stats).
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures every instrument. Safe under concurrent writers.
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{Counters: map[string]uint64{}}
+	if r == nil {
+		return snap
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for name, c := range r.counters {
+		snap.Counters[name] = c.Value()
+	}
+	if len(r.gauges) > 0 {
+		snap.Gauges = make(map[string]int64, len(r.gauges))
+		for name, g := range r.gauges {
+			snap.Gauges[name] = g.Value()
+		}
+	}
+	if len(r.hists) > 0 {
+		snap.Histograms = make(map[string]HistogramSnapshot, len(r.hists))
+		for name, h := range r.hists {
+			snap.Histograms[name] = h.Snapshot()
+		}
+	}
+	return snap
+}
+
+// Equal reports whether two snapshots carry identical values — the
+// idle-server check: a stats reporter skips printing when nothing
+// moved since the previous interval.
+func (s Snapshot) Equal(o Snapshot) bool {
+	if len(s.Counters) != len(o.Counters) || len(s.Gauges) != len(o.Gauges) ||
+		len(s.Histograms) != len(o.Histograms) {
+		return false
+	}
+	for name, v := range s.Counters {
+		if ov, ok := o.Counters[name]; !ok || ov != v {
+			return false
+		}
+	}
+	for name, v := range s.Gauges {
+		if ov, ok := o.Gauges[name]; !ok || ov != v {
+			return false
+		}
+	}
+	for name, h := range s.Histograms {
+		oh, ok := o.Histograms[name]
+		if !ok || oh.Count != h.Count || oh.Sum != h.Sum {
+			return false
+		}
+	}
+	return true
+}
+
+// Render writes the snapshot as a human-readable text page: sorted
+// counters and gauges, then each histogram with count, mean, and
+// quantile estimates.
+func (s Snapshot) Render(w io.Writer) {
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "%-40s %12d\n", name, s.Counters[name])
+	}
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "%-40s %12d (gauge)\n", name, s.Gauges[name])
+	}
+	names = names[:0]
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := s.Histograms[name]
+		fmt.Fprintf(w, "%-40s count=%d mean=%d p50=%d p90=%d p99=%d max<%d\n",
+			name, h.Count, h.Mean(), h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99), h.Max())
+	}
+}

@@ -1,0 +1,390 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilInstrumentsNoOp(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("x")
+	h := r.Histogram("x")
+	tr := r.Trace()
+	if c != nil || g != nil || h != nil || tr != nil {
+		t.Fatalf("nil registry must hand out nil instruments")
+	}
+	// All operations must be safe on nil handles.
+	c.Add(1)
+	g.Set(5)
+	g.Add(-1)
+	h.Observe(42)
+	tr.Emit(EvWrite, "a", 1, 1, 0)
+	if c.Value() != 0 || g.Value() != 0 || h.Snapshot().Count != 0 || len(tr.Events()) != 0 {
+		t.Fatalf("nil instruments must read as zero")
+	}
+	if et := r.EnableTrace(64); et != nil {
+		t.Fatalf("EnableTrace on nil registry = %v, want nil", et)
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters) != 0 {
+		t.Fatalf("nil registry snapshot not empty: %+v", snap)
+	}
+}
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.b")
+	c.Add(3)
+	c.Add(4)
+	if got := c.Value(); got != 7 {
+		t.Fatalf("counter = %d, want 7", got)
+	}
+	if r.Counter("a.b") != c {
+		t.Fatalf("same name must return same counter")
+	}
+	g := r.Gauge("lvl")
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	// 0 -> bucket 0 (upper 1); 1 -> bucket 1 (upper 2);
+	// 5,6,7 -> bucket 3 (upper 8); 1000 -> bucket 10 (upper 1024).
+	for _, v := range []uint64{0, 1, 5, 6, 7, 1000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 6 {
+		t.Fatalf("count = %d, want 6", s.Count)
+	}
+	if s.Sum != 0+1+5+6+7+1000 {
+		t.Fatalf("sum = %d", s.Sum)
+	}
+	want := map[uint64]uint64{1: 1, 2: 1, 8: 3, 1024: 1}
+	if len(s.Buckets) != len(want) {
+		t.Fatalf("buckets = %+v, want uppers %v", s.Buckets, want)
+	}
+	for _, b := range s.Buckets {
+		if want[b.Upper] != b.Count {
+			t.Fatalf("bucket upper=%d count=%d, want %d", b.Upper, b.Count, want[b.Upper])
+		}
+	}
+	// Quantiles: rank 0 of 6 is the zero; median lands in the 3-count
+	// bucket [4,8) whose midpoint estimate is 6.
+	if q := s.Quantile(0); q != 0 {
+		t.Fatalf("q0 = %d, want 0", q)
+	}
+	if q := s.Quantile(0.5); q != 6 {
+		t.Fatalf("q50 = %d, want 6", q)
+	}
+	if m := s.Max(); m != 1024 {
+		t.Fatalf("max = %d, want 1024", m)
+	}
+	if m := s.Mean(); m != 1019/6 {
+		t.Fatalf("mean = %d, want %d", m, uint64(1019/6))
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	a.Observe(3)
+	a.Observe(100)
+	b.Observe(3)
+	b.Observe(7)
+	m := a.Snapshot().Merge(b.Snapshot())
+	if m.Count != 4 || m.Sum != 113 {
+		t.Fatalf("merged count=%d sum=%d", m.Count, m.Sum)
+	}
+	var dense = map[uint64]uint64{}
+	for _, bk := range m.Buckets {
+		dense[bk.Upper] = bk.Count
+	}
+	if dense[4] != 2 || dense[8] != 1 || dense[128] != 1 {
+		t.Fatalf("merged buckets = %+v", m.Buckets)
+	}
+	for i := 1; i < len(m.Buckets); i++ {
+		if m.Buckets[i-1].Upper >= m.Buckets[i].Upper {
+			t.Fatalf("merged buckets not sorted: %+v", m.Buckets)
+		}
+	}
+}
+
+func TestHistogramLargeValue(t *testing.T) {
+	var h Histogram
+	h.Observe(1 << 60) // beyond the 48-bucket range: clamps to last bucket
+	s := h.Snapshot()
+	if s.Count != 1 || len(s.Buckets) != 1 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if s.Buckets[0].Upper != bucketUpper(histBuckets-1) {
+		t.Fatalf("oversized value in bucket upper=%d", s.Buckets[0].Upper)
+	}
+}
+
+func TestSnapshotEqual(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Add(1)
+	r.Gauge("g").Set(2)
+	r.Histogram("h").Observe(7)
+	s1 := r.Snapshot()
+	s2 := r.Snapshot()
+	if !s1.Equal(s2) {
+		t.Fatalf("identical snapshots not Equal")
+	}
+	r.Counter("a").Add(1)
+	if s1.Equal(r.Snapshot()) {
+		t.Fatalf("counter moved but snapshots Equal")
+	}
+	s3 := r.Snapshot()
+	r.Histogram("h").Observe(7)
+	if s3.Equal(r.Snapshot()) {
+		t.Fatalf("histogram moved but snapshots Equal")
+	}
+}
+
+func TestSnapshotConcurrentWriters(t *testing.T) {
+	r := NewRegistry()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := fmt.Sprintf("c%d", i)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r.Counter(name).Add(1)
+				r.Histogram("h").Observe(uint64(i))
+			}
+		}(i)
+	}
+	for i := 0; i < 100; i++ {
+		snap := r.Snapshot()
+		for name, v := range snap.Counters {
+			_ = name
+			_ = v
+		}
+	}
+	close(stop)
+	wg.Wait()
+	snap := r.Snapshot()
+	var total uint64
+	for _, v := range snap.Counters {
+		total += v
+	}
+	if h := snap.Histograms["h"]; h.Count != total {
+		t.Fatalf("after quiesce: histogram count %d != counter total %d", h.Count, total)
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	tr := NewTrace(64)
+	tr.Emit(EvWrite, "client", 7, 1, 0)
+	tr.Emit(EvFlush, "s0", 7, 1, 0)
+	tr.Emit(EvAppend, "s0", 7, 1, 3)
+	events := tr.Events()
+	if len(events) != 3 {
+		t.Fatalf("events = %d, want 3", len(events))
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Seq <= events[i-1].Seq {
+			t.Fatalf("seq not increasing: %+v", events)
+		}
+	}
+	e := events[2]
+	if e.Kind != EvAppend || e.Node != "s0" || e.LSN != 7 || e.Epoch != 1 || e.Arg != 3 {
+		t.Fatalf("event = %+v", e)
+	}
+	if !strings.Contains(e.String(), "append") {
+		t.Fatalf("String() = %q", e.String())
+	}
+}
+
+func TestTraceWraps(t *testing.T) {
+	tr := NewTrace(16)
+	if tr.Cap() != 16 {
+		t.Fatalf("cap = %d", tr.Cap())
+	}
+	for i := 0; i < 100; i++ {
+		tr.Emit(EvWrite, "c", uint64(i), 1, 0)
+	}
+	events := tr.Events()
+	if len(events) == 0 || len(events) > 16 {
+		t.Fatalf("wrapped ring returned %d events", len(events))
+	}
+	// Oldest-first, and only the most recent events survive.
+	if events[len(events)-1].LSN != 99 {
+		t.Fatalf("latest event lsn = %d, want 99", events[len(events)-1].LSN)
+	}
+	if got := tr.Tail(4); len(got) != 4 || got[3].LSN != 99 {
+		t.Fatalf("Tail(4) = %+v", got)
+	}
+}
+
+func TestTraceCapacityRounding(t *testing.T) {
+	if got := NewTrace(0).Cap(); got != 16 {
+		t.Fatalf("cap(0) = %d, want 16", got)
+	}
+	if got := NewTrace(17).Cap(); got != 32 {
+		t.Fatalf("cap(17) = %d, want 32", got)
+	}
+	if got := NewTrace(64).Cap(); got != 64 {
+		t.Fatalf("cap(64) = %d, want 64", got)
+	}
+}
+
+func TestEnableTraceIdempotent(t *testing.T) {
+	r := NewRegistry()
+	if r.Trace() != nil {
+		t.Fatalf("trace installed before EnableTrace")
+	}
+	t1 := r.EnableTrace(64)
+	t2 := r.EnableTrace(1024)
+	if t1 == nil || t1 != t2 || r.Trace() != t1 {
+		t.Fatalf("EnableTrace not idempotent: %p %p %p", t1, t2, r.Trace())
+	}
+}
+
+func TestFormatEvents(t *testing.T) {
+	if got := FormatEvents(nil); !strings.Contains(got, "no trace events") {
+		t.Fatalf("empty format = %q", got)
+	}
+	tr := NewTrace(16)
+	tr.Emit(EvForce, "srv-a", 42, 3, 0)
+	got := FormatEvents(tr.Events())
+	for _, want := range []string{"srv-a", "force", "lsn=42", "epoch=3"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("FormatEvents missing %q in:\n%s", want, got)
+		}
+	}
+}
+
+func TestRender(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b.count").Add(2)
+	r.Counter("a.count").Add(1)
+	r.Gauge("sessions").Set(4)
+	r.Histogram("lat").Observe(1000)
+	var sb strings.Builder
+	r.Snapshot().Render(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "a.count") || !strings.Contains(out, "b.count") ||
+		!strings.Contains(out, "sessions") || !strings.Contains(out, "count=1") {
+		t.Fatalf("render output:\n%s", out)
+	}
+	if strings.Index(out, "a.count") > strings.Index(out, "b.count") {
+		t.Fatalf("counters not sorted:\n%s", out)
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.EnableTrace(64)
+	r.Counter("server.forces").Add(5)
+	r.Gauge("server.sessions").Set(2)
+	r.Histogram("server.force.latency_ns").Observe(5000)
+	r.Trace().Emit(EvForce, "srv", 9, 1, 0)
+
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+
+	get := func(path string) string {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		return string(body)
+	}
+
+	for _, path := range []string{"/metrics", "/"} {
+		var snap Snapshot
+		if err := json.Unmarshal([]byte(get(path)), &snap); err != nil {
+			t.Fatalf("GET %s: bad JSON: %v", path, err)
+		}
+		if snap.Counters["server.forces"] != 5 || snap.Gauges["server.sessions"] != 2 {
+			t.Fatalf("GET %s: snapshot = %+v", path, snap)
+		}
+		if snap.Histograms["server.force.latency_ns"].Count != 1 {
+			t.Fatalf("GET %s: missing histogram: %+v", path, snap)
+		}
+	}
+	if body := get("/debug/telemetry"); !strings.Contains(body, "server.forces") {
+		t.Fatalf("/debug/telemetry:\n%s", body)
+	}
+	if body := get("/debug/trace"); !strings.Contains(body, "force") || !strings.Contains(body, "lsn=9") {
+		t.Fatalf("/debug/trace:\n%s", body)
+	}
+	resp, err := srv.Client().Get(srv.URL + "/nope")
+	if err != nil {
+		t.Fatalf("GET /nope: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("GET /nope: status %d, want 404", resp.StatusCode)
+	}
+}
+
+func BenchmarkCounterAdd(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(uint64(i))
+	}
+}
+
+func BenchmarkTraceEmit(b *testing.B) {
+	tr := NewTrace(4096)
+	tr.Emit(EvWrite, "bench", 0, 0, 0) // intern the name before timing
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Emit(EvWrite, "bench", uint64(i), 1, 0)
+	}
+}
+
+func TestEmitAllocFree(t *testing.T) {
+	tr := NewTrace(256)
+	tr.Emit(EvWrite, "node", 0, 0, 0)
+	allocs := testing.AllocsPerRun(100, func() {
+		tr.Emit(EvWrite, "node", 1, 1, 0)
+	})
+	if allocs != 0 {
+		t.Fatalf("Emit allocates %v per run, want 0", allocs)
+	}
+	var h Histogram
+	allocs = testing.AllocsPerRun(100, func() {
+		h.Observe(123)
+	})
+	if allocs != 0 {
+		t.Fatalf("Observe allocates %v per run, want 0", allocs)
+	}
+}

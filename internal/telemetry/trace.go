@@ -1,0 +1,253 @@
+package telemetry
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind classifies one LSN-lifecycle event. The kinds cover the whole
+// life of a forced write — client buffering, stream flush, per-server
+// append/force/acknowledge, round completion — plus the protocol's
+// failure paths (retransmits, NACKs, failovers, load sheds), so a
+// single force round can be reconstructed end to end from the trace.
+type Kind uint8
+
+const (
+	// EvNone is the zero Kind; it never appears in emitted events.
+	EvNone Kind = iota
+	// EvWrite: the client assigned LSN to a buffered record.
+	EvWrite
+	// EvFlush: the client is streaming records through LSN to Node
+	// (emitted before the packet leaves, so it always precedes the
+	// server's EvAppend for the same records).
+	EvFlush
+	// EvAppend: server Node appended records ending at LSN (Arg is the
+	// record count of the message).
+	EvAppend
+	// EvForce: server Node forced its store through LSN.
+	EvForce
+	// EvAck: server Node acknowledged LSN with NewHighLSN.
+	EvAck
+	// EvStable: the client's force round completed; records through
+	// LSN are stable on N servers (Arg is the records released).
+	EvStable
+	// EvRetry: the client retransmitted its stream to Node after an
+	// acknowledgment timeout.
+	EvRetry
+	// EvNack: a MissingInterval gap report. Emitted by the server when
+	// it detects the gap (LSN is the first missing record) and by the
+	// client when it services the NACK.
+	EvNack
+	// EvFailover: the client replaced write-set server Node with a
+	// spare.
+	EvFailover
+	// EvShed: server Node dropped a write message under overload.
+	EvShed
+)
+
+var kindNames = [...]string{
+	EvNone: "none", EvWrite: "write", EvFlush: "flush", EvAppend: "append",
+	EvForce: "force", EvAck: "ack", EvStable: "stable", EvRetry: "retry",
+	EvNack: "nack", EvFailover: "failover", EvShed: "shed",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is one LSN-lifecycle occurrence. Seq is the global emission
+// order within the trace (lower = earlier); Time is unix nanoseconds.
+type Event struct {
+	Seq   uint64 `json:"seq"`
+	Time  int64  `json:"time"`
+	Kind  Kind   `json:"kind"`
+	Node  string `json:"node"`
+	LSN   uint64 `json:"lsn"`
+	Epoch uint64 `json:"epoch"`
+	Arg   uint64 `json:"arg,omitempty"`
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("#%d %s %s lsn=%d epoch=%d arg=%d", e.Seq, e.Node, e.Kind, e.LSN, e.Epoch, e.Arg)
+}
+
+// traceSlot is one ring position. Every field is accessed atomically,
+// so concurrent emitters and a draining reader are race-free; the
+// state field carries the publication protocol (see Emit).
+type traceSlot struct {
+	state atomic.Uint64 // 0 while being written, else the claim number
+	time  atomic.Int64
+	meta  atomic.Uint64 // kind | node-index << 8
+	lsn   atomic.Uint64
+	epoch atomic.Uint64
+	arg   atomic.Uint64
+}
+
+// Trace is a lock-free, fixed-capacity ring buffer of Events. Emit
+// never blocks and never allocates: writers claim slots with one
+// atomic increment and overwrite the oldest events when the ring
+// wraps. Events() drains a consistent view — an event being
+// overwritten mid-read is detected by its slot's claim number and
+// skipped, never returned torn.
+//
+// A nil *Trace ignores Emit and returns nothing from Events, so
+// components hold the handle unconditionally (the disarmed-faultpoint
+// pattern).
+type Trace struct {
+	mask  uint64
+	pos   atomic.Uint64 // claims issued; claim n lives in slot (n-1)&mask
+	slots []traceSlot
+
+	// Node names are interned to small indices so events store them in
+	// one atomic word. The read path (Emit) is a lock-free sync.Map
+	// hit; registration of a new name is rare and takes namesMu.
+	nodeIdx  sync.Map // string -> uint32
+	namesMu  sync.Mutex
+	names    []string
+	overruns atomic.Uint64 // events overwritten before ever read is not tracked; reserved
+}
+
+// NewTrace returns a trace holding the most recent capacity events
+// (rounded up to a power of two, minimum 16).
+func NewTrace(capacity int) *Trace {
+	if capacity < 16 {
+		capacity = 16
+	}
+	capacity = 1 << bits.Len(uint(capacity-1))
+	return &Trace{
+		mask:  uint64(capacity - 1),
+		slots: make([]traceSlot, capacity),
+		names: []string{""},
+	}
+}
+
+// Cap returns the ring capacity.
+func (t *Trace) Cap() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.slots)
+}
+
+// node interns a name, returning its index.
+func (t *Trace) node(name string) uint32 {
+	if v, ok := t.nodeIdx.Load(name); ok {
+		return v.(uint32)
+	}
+	t.namesMu.Lock()
+	defer t.namesMu.Unlock()
+	if v, ok := t.nodeIdx.Load(name); ok {
+		return v.(uint32)
+	}
+	t.names = append(t.names, name)
+	i := uint32(len(t.names) - 1)
+	t.nodeIdx.Store(name, i)
+	return i
+}
+
+func (t *Trace) nodeName(i uint32) string {
+	t.namesMu.Lock()
+	defer t.namesMu.Unlock()
+	if int(i) < len(t.names) {
+		return t.names[i]
+	}
+	return "?"
+}
+
+// Emit records one event. Lock-free and allocation-free on the hot
+// path (a node name's first appearance interns it under a mutex; every
+// later emission is a lock-free lookup).
+//
+// Publication protocol: a writer claims slot n with one atomic
+// increment, zeroes the slot's state (invalidating it for readers),
+// stores the payload fields, then publishes by storing state = n.
+// A reader accepts a slot only if state reads n both before and after
+// copying the fields, so a concurrent overwrite — which begins by
+// zeroing state — can never produce a torn event.
+func (t *Trace) Emit(k Kind, node string, lsn, epoch, arg uint64) {
+	if t == nil {
+		return
+	}
+	ni := t.node(node)
+	n := t.pos.Add(1)
+	s := &t.slots[(n-1)&t.mask]
+	s.state.Store(0)
+	s.time.Store(time.Now().UnixNano())
+	s.meta.Store(uint64(k) | uint64(ni)<<8)
+	s.lsn.Store(lsn)
+	s.epoch.Store(epoch)
+	s.arg.Store(arg)
+	s.state.Store(n)
+}
+
+// Events returns the completed events currently in the ring, oldest
+// first. Safe to call while emitters run: slots mid-overwrite are
+// skipped, not returned torn.
+func (t *Trace) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	end := t.pos.Load()
+	capacity := uint64(len(t.slots))
+	start := uint64(1)
+	if end > capacity {
+		start = end - capacity + 1
+	}
+	events := make([]Event, 0, end-start+1)
+	for n := start; n <= end; n++ {
+		s := &t.slots[(n-1)&t.mask]
+		if s.state.Load() != n {
+			continue // never published, or already being overwritten
+		}
+		meta := s.meta.Load()
+		ev := Event{
+			Seq:   n,
+			Time:  s.time.Load(),
+			Kind:  Kind(meta & 0xFF),
+			Node:  t.nodeName(uint32(meta >> 8)),
+			LSN:   s.lsn.Load(),
+			Epoch: s.epoch.Load(),
+			Arg:   s.arg.Load(),
+		}
+		if s.state.Load() != n {
+			continue // overwritten while copying: discard the torn copy
+		}
+		events = append(events, ev)
+	}
+	return events
+}
+
+// Tail returns the most recent n completed events, oldest first.
+func (t *Trace) Tail(n int) []Event {
+	events := t.Events()
+	if len(events) > n {
+		events = events[len(events)-n:]
+	}
+	return events
+}
+
+// FormatEvents renders events one per line with times relative to the
+// first event — the causal timeline attached to crash-audit failures.
+func FormatEvents(events []Event) string {
+	if len(events) == 0 {
+		return "  (no trace events)"
+	}
+	var b strings.Builder
+	t0 := events[0].Time
+	for _, e := range events {
+		fmt.Fprintf(&b, "  +%8.3fms %-10s %-8s lsn=%-6d epoch=%-3d",
+			float64(e.Time-t0)/1e6, e.Node, e.Kind, e.LSN, e.Epoch)
+		if e.Arg != 0 {
+			fmt.Fprintf(&b, " arg=%d", e.Arg)
+		}
+		b.WriteByte('\n')
+	}
+	return strings.TrimRight(b.String(), "\n")
+}

@@ -1,0 +1,58 @@
+package transport
+
+import (
+	"time"
+
+	"distlog/internal/telemetry"
+)
+
+// instrumentedEndpoint wraps any Endpoint and counts its traffic. Used
+// for transports whose internals we do not own (UDP sockets); the
+// in-memory Network has richer native instrumentation (drops, dups,
+// reorders) via Network.SetTelemetry.
+type instrumentedEndpoint struct {
+	Endpoint
+
+	packetsSent     *telemetry.Counter
+	packetsReceived *telemetry.Counter
+	bytesSent       *telemetry.Counter
+	bytesReceived   *telemetry.Counter
+	sendErrors      *telemetry.Counter
+}
+
+// Instrument wraps ep so its sends and receives are counted under the
+// given metric family prefix (e.g. "net.udp" yields
+// net.udp.packets_sent). A nil registry returns ep unwrapped.
+func Instrument(ep Endpoint, reg *telemetry.Registry, family string) Endpoint {
+	if reg == nil {
+		return ep
+	}
+	return &instrumentedEndpoint{
+		Endpoint:        ep,
+		packetsSent:     reg.Counter(family + ".packets_sent"),
+		packetsReceived: reg.Counter(family + ".packets_received"),
+		bytesSent:       reg.Counter(family + ".bytes_sent"),
+		bytesReceived:   reg.Counter(family + ".bytes_received"),
+		sendErrors:      reg.Counter(family + ".send_errors"),
+	}
+}
+
+func (e *instrumentedEndpoint) Send(to string, data []byte) error {
+	err := e.Endpoint.Send(to, data)
+	if err != nil {
+		e.sendErrors.Add(1)
+		return err
+	}
+	e.packetsSent.Add(1)
+	e.bytesSent.Add(uint64(len(data)))
+	return nil
+}
+
+func (e *instrumentedEndpoint) Recv(timeout time.Duration) (Packet, error) {
+	pkt, err := e.Endpoint.Recv(timeout)
+	if err == nil {
+		e.packetsReceived.Add(1)
+		e.bytesReceived.Add(uint64(len(pkt.Data)))
+	}
+	return pkt, err
+}

@@ -1,0 +1,121 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"distlog/internal/telemetry"
+)
+
+func TestMemnetTelemetry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	net := NewNetwork(1)
+	net.SetTelemetry(reg)
+	a := net.Endpoint("a")
+	b := net.Endpoint("b")
+
+	for i := 0; i < 5; i++ {
+		if err := a.Send("b", []byte("hello")); err != nil {
+			t.Fatalf("send: %v", err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := b.Recv(time.Second); err != nil {
+			t.Fatalf("recv: %v", err)
+		}
+	}
+	// A partitioned link and an unknown destination both count drops.
+	net.SetPartition("a", "b", true)
+	a.Send("b", []byte("lost"))
+	a.Send("nowhere", []byte("lost"))
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["net.mem.packets"]; got != 5 {
+		t.Fatalf("packets = %d, want 5", got)
+	}
+	if got := snap.Counters["net.mem.bytes"]; got != 25 {
+		t.Fatalf("bytes = %d, want 25", got)
+	}
+	if got := snap.Counters["net.mem.drops"]; got != 2 {
+		t.Fatalf("drops = %d, want 2", got)
+	}
+}
+
+func TestMemnetTelemetryFaultCounters(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	net := NewNetwork(42)
+	net.SetTelemetry(reg)
+	net.SetFaults(Faults{DropProb: 0.3, DupProb: 0.3, CorruptProb: 0.3})
+	a := net.Endpoint("a")
+	net.Endpoint("b")
+
+	const sends = 200
+	for i := 0; i < sends; i++ {
+		a.Send("b", []byte("x"))
+	}
+	snap := reg.Snapshot()
+	drops := snap.Counters["net.mem.drops"]
+	dups := snap.Counters["net.mem.dups"]
+	corrupts := snap.Counters["net.mem.corrupts"]
+	packets := snap.Counters["net.mem.packets"]
+	if drops == 0 || dups == 0 || corrupts == 0 {
+		t.Fatalf("fault counters all should fire: drops=%d dups=%d corrupts=%d", drops, dups, corrupts)
+	}
+	if packets != sends-drops+dups {
+		t.Fatalf("packets=%d, want sends-drops+dups = %d", packets, sends-drops+dups)
+	}
+}
+
+func TestMemnetReorderCounter(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	net := NewNetwork(7)
+	net.SetTelemetry(reg)
+	net.SetFaults(Faults{MaxDelay: 3 * time.Millisecond})
+	a := net.Endpoint("a")
+	b := net.Endpoint("b")
+
+	const sends = 300
+	for i := 0; i < sends; i++ {
+		a.Send("b", []byte("x"))
+	}
+	for i := 0; i < sends; i++ {
+		if _, err := b.Recv(time.Second); err != nil {
+			break
+		}
+	}
+	if got := reg.Snapshot().Counters["net.mem.reorders"]; got == 0 {
+		t.Fatalf("random delays over %d packets produced no reorders", sends)
+	}
+}
+
+func TestInstrumentEndpoint(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	net := NewNetwork(1)
+	a := Instrument(net.Endpoint("a"), reg, "net.udp")
+	b := Instrument(net.Endpoint("b"), reg, "net.udp")
+
+	if err := a.Send("b", []byte("abc")); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	if _, err := b.Recv(time.Second); err != nil {
+		t.Fatalf("recv: %v", err)
+	}
+	a.Close()
+	if err := a.Send("b", []byte("abc")); err == nil {
+		t.Fatalf("send on closed endpoint succeeded")
+	}
+
+	snap := reg.Snapshot()
+	if snap.Counters["net.udp.packets_sent"] != 1 || snap.Counters["net.udp.bytes_sent"] != 3 {
+		t.Fatalf("send counters: %+v", snap.Counters)
+	}
+	if snap.Counters["net.udp.packets_received"] != 1 || snap.Counters["net.udp.bytes_received"] != 3 {
+		t.Fatalf("recv counters: %+v", snap.Counters)
+	}
+	if snap.Counters["net.udp.send_errors"] != 1 {
+		t.Fatalf("send_errors = %d, want 1", snap.Counters["net.udp.send_errors"])
+	}
+	if ep := Instrument(net.Endpoint("c"), nil, "x"); ep != net.Endpoint("c") {
+		t.Fatalf("nil registry must return endpoint unwrapped")
+	}
+}

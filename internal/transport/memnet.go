@@ -4,7 +4,10 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"distlog/internal/telemetry"
 )
 
 // Faults configures the memory network's misbehaviour. Zero value is a
@@ -27,6 +30,44 @@ type Network struct {
 	faults     Faults
 	linkFaults map[linkKey]Faults
 	partition  map[linkKey]bool
+
+	// metrics is nil until SetTelemetry: the fault path then pays one
+	// atomic pointer load per delivery, nothing more.
+	metrics atomic.Pointer[netMetrics]
+	// stamps orders deliveries globally; endpoints compare arriving
+	// stamps against their high-water mark to count reorders.
+	stamps atomic.Uint64
+}
+
+// netMetrics holds the network-wide instrument handles, resolved once
+// at SetTelemetry.
+type netMetrics struct {
+	packets   *telemetry.Counter
+	bytes     *telemetry.Counter
+	drops     *telemetry.Counter
+	dups      *telemetry.Counter
+	corrupts  *telemetry.Counter
+	reorders  *telemetry.Counter
+	overflows *telemetry.Counter
+}
+
+// SetTelemetry directs the network's delivery counters (packets,
+// bytes, drops, dups, corrupts, reorders, queue overflows) to the
+// registry under the "net.mem." family.
+func (n *Network) SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		n.metrics.Store(nil)
+		return
+	}
+	n.metrics.Store(&netMetrics{
+		packets:   reg.Counter("net.mem.packets"),
+		bytes:     reg.Counter("net.mem.bytes"),
+		drops:     reg.Counter("net.mem.drops"),
+		dups:      reg.Counter("net.mem.dups"),
+		corrupts:  reg.Counter("net.mem.corrupts"),
+		reorders:  reg.Counter("net.mem.reorders"),
+		overflows: reg.Counter("net.mem.overflows"),
+	})
 }
 
 type linkKey struct{ from, to string }
@@ -85,11 +126,18 @@ func (n *Network) Endpoint(name string) *memEndpoint {
 
 // deliver routes one packet, applying faults. Called with n.mu held.
 func (n *Network) deliver(from, to string, data []byte) error {
+	m := n.metrics.Load()
 	if n.partition[linkKey{from, to}] {
+		if m != nil {
+			m.drops.Add(1)
+		}
 		return nil // silently dropped, like a real partition
 	}
 	dst, ok := n.endpoints[to]
 	if !ok || dst.isClosed() {
+		if m != nil {
+			m.drops.Add(1)
+		}
 		return nil // unknown/absent destination: datagram vanishes
 	}
 	f := n.faults
@@ -97,25 +145,39 @@ func (n *Network) deliver(from, to string, data []byte) error {
 		f = lf
 	}
 	if f.DropProb > 0 && n.rng.Float64() < f.DropProb {
+		if m != nil {
+			m.drops.Add(1)
+		}
 		return nil
 	}
 	copies := 1
 	if f.DupProb > 0 && n.rng.Float64() < f.DupProb {
 		copies = 2
+		if m != nil {
+			m.dups.Add(1)
+		}
 	}
 	for i := 0; i < copies; i++ {
 		pkt := Packet{From: from, Data: append([]byte(nil), data...)}
 		if f.CorruptProb > 0 && n.rng.Float64() < f.CorruptProb && len(pkt.Data) > 0 {
 			pkt.Data[n.rng.Intn(len(pkt.Data))] ^= 0xFF
+			if m != nil {
+				m.corrupts.Add(1)
+			}
 		}
+		if m != nil {
+			m.packets.Add(1)
+			m.bytes.Add(uint64(len(pkt.Data)))
+		}
+		stamp := n.stamps.Add(1)
 		delay := f.FixedDelay
 		if f.MaxDelay > 0 {
 			delay += time.Duration(n.rng.Int63n(int64(f.MaxDelay)))
 		}
 		if delay > 0 {
-			time.AfterFunc(delay, func() { dst.push(pkt) })
+			time.AfterFunc(delay, func() { dst.push(pkt, stamp) })
 		} else {
-			dst.push(pkt)
+			dst.push(pkt, stamp)
 		}
 	}
 	return nil
@@ -127,6 +189,11 @@ type memEndpoint struct {
 	name string
 	ch   chan Packet
 	done chan struct{}
+
+	// lastStamp is the highest delivery stamp seen; an arrival below it
+	// was overtaken in flight (delay-induced reordering). Only updated
+	// while telemetry is installed.
+	lastStamp atomic.Uint64
 
 	mu     sync.Mutex
 	closed bool
@@ -145,11 +212,23 @@ func (e *memEndpoint) isClosed() bool {
 	}
 }
 
-func (e *memEndpoint) push(pkt Packet) {
+func (e *memEndpoint) push(pkt Packet, stamp uint64) {
 	select {
 	case <-e.done:
 		return
 	default:
+	}
+	if m := e.net.metrics.Load(); m != nil {
+		for {
+			last := e.lastStamp.Load()
+			if stamp <= last {
+				m.reorders.Add(1)
+				break
+			}
+			if e.lastStamp.CompareAndSwap(last, stamp) {
+				break
+			}
+		}
 	}
 	select {
 	case e.ch <- pkt:
@@ -157,6 +236,9 @@ func (e *memEndpoint) push(pkt Packet) {
 		// Receive queue overflow: the interface card drops the packet,
 		// exactly what Section 4.1 warns about for back-to-back
 		// traffic without adequate buffering.
+		if m := e.net.metrics.Load(); m != nil {
+			m.overflows.Add(1)
+		}
 	}
 }
 
