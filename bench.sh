@@ -12,6 +12,12 @@
 #   BenchmarkParallelForce          N=3 fan-out under 1ms one-way latency
 #   BenchmarkGroupCommit            concurrent committers coalescing rounds
 #   BenchmarkGroupCommitTransactions  same, through the public Engine API
+#   BenchmarkUDPRecvAllocs          allocation budget for the pooled UDP
+#                                   receive path (send+recv+release)
+#   BenchmarkMultiClientForce       aggregate forces/s across 1/4/8/16
+#                                   concurrent clients, FileStore and
+#                                   modelled DiskStore (server-side group
+#                                   force scaling)
 set -eu
 
 cd "$(dirname "$0")"
@@ -31,7 +37,8 @@ run() {
 }
 run ./internal/core/ -run '^$' -benchmem \
 	-bench 'BenchmarkWritePathAllocs|BenchmarkTelemetryOverhead|BenchmarkForceLogMemnet|BenchmarkParallelForce|BenchmarkGroupCommit$'
-run . -run '^$' -benchmem -bench 'BenchmarkGroupCommitTransactions'
+run ./internal/transport/ -run '^$' -benchmem -bench 'BenchmarkUDPRecvAllocs'
+run . -run '^$' -benchmem -bench 'BenchmarkGroupCommitTransactions|BenchmarkMultiClientForce'
 cat "$RAW"
 
 # Convert `go test -bench` lines into a JSON array. Fields beyond the

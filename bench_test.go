@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -359,6 +360,86 @@ func BenchmarkRemoteVsLocalLogging(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkMultiClientForce measures aggregate forced-write throughput
+// as the client population grows — the workload the server's
+// per-session write pipeline and group force exist for. Each client
+// has its own session and write set (M=3, N=2, rotated by ClientID);
+// all share three servers over the same kind of store. forces/s is the
+// aggregate across clients: with coalescing, it should grow well past
+// the single-client rate instead of serializing on the store force.
+func BenchmarkMultiClientForce(b *testing.B) {
+	for _, kind := range []string{"file", "disk"} {
+		for _, clients := range []int{1, 4, 8, 16} {
+			b.Run(fmt.Sprintf("%s/clients=%d", kind, clients), func(b *testing.B) {
+				net := distlog.NewNetwork(1)
+				names := []string{"mcf1", "mcf2", "mcf3"}
+				for _, name := range names {
+					var store distlog.Store
+					switch kind {
+					case "file":
+						s, err := distlog.OpenFileStore(fmt.Sprintf("%s/%s.log", b.TempDir(), name))
+						if err != nil {
+							b.Fatal(err)
+						}
+						store = s
+					case "disk":
+						s, _, _, err := distlog.NewModelledStore(distlog.DefaultDiskGeometry(), 4)
+						if err != nil {
+							b.Fatal(err)
+						}
+						store = s
+					}
+					defer store.Close()
+					srv := distlog.NewServer(distlog.ServerConfig{
+						Name:     name,
+						Store:    store,
+						Endpoint: net.Endpoint(name),
+						Epochs:   distlog.NewMemEpochHost(),
+					})
+					srv.Start()
+					defer srv.Stop()
+				}
+				logs := make([]*distlog.Client, clients)
+				for i := range logs {
+					l, err := distlog.Open(distlog.ClientConfig{
+						ClientID:    distlog.ClientID(i + 1),
+						Servers:     names,
+						N:           2,
+						Endpoint:    net.Endpoint(fmt.Sprintf("mcf-client-%d", i)),
+						CallTimeout: 2 * time.Second,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					defer l.Close()
+					logs[i] = l
+				}
+				data := make([]byte, 100)
+				var next atomic.Int64
+				var wg sync.WaitGroup
+				b.ResetTimer()
+				start := time.Now()
+				for i := 0; i < clients; i++ {
+					wg.Add(1)
+					go func(l *distlog.Client) {
+						defer wg.Done()
+						for next.Add(1) <= int64(b.N) {
+							if _, err := l.ForceLog(data); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}(logs[i])
+				}
+				wg.Wait()
+				elapsed := time.Since(start)
+				b.StopTimer()
+				b.ReportMetric(float64(b.N)/elapsed.Seconds(), "forces/s")
+			})
+		}
 	}
 }
 

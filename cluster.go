@@ -16,12 +16,14 @@ import (
 // are built on it; production deployments run cmd/logserverd over UDP
 // instead.
 type Cluster struct {
-	net       *transport.Network
-	names     []string
-	stores    map[string]storage.Store
-	epochs    map[string]*server.MemEpochHost
-	servers   map[string]*server.Server
-	telemetry *telemetry.Registry
+	net         *transport.Network
+	names       []string
+	stores      map[string]storage.Store
+	epochs      map[string]*server.MemEpochHost
+	servers     map[string]*server.Server
+	telemetry   *telemetry.Registry
+	queueDepth  int
+	sessionIdle time.Duration
 }
 
 // ClusterOptions configures NewCluster.
@@ -33,6 +35,11 @@ type ClusterOptions struct {
 	// Modelled, when true, backs each server with the simulated
 	// NVRAM+disk store instead of plain memory.
 	Modelled bool
+	// QueueDepth and SessionIdle tune each server's write pipeline:
+	// the per-session queue bound and the idle-session eviction
+	// horizon. Zero takes the server defaults.
+	QueueDepth  int
+	SessionIdle time.Duration
 	// Telemetry, when non-nil, receives metrics (and trace events, if
 	// enabled on the registry) from every server, client, and the
 	// network of this cluster — the whole-process view a single-machine
@@ -49,11 +56,13 @@ func NewCluster(opts ClusterOptions) (*Cluster, error) {
 		opts.Seed = 1
 	}
 	c := &Cluster{
-		net:       transport.NewNetwork(opts.Seed),
-		stores:    make(map[string]storage.Store),
-		epochs:    make(map[string]*server.MemEpochHost),
-		servers:   make(map[string]*server.Server),
-		telemetry: opts.Telemetry,
+		net:         transport.NewNetwork(opts.Seed),
+		stores:      make(map[string]storage.Store),
+		epochs:      make(map[string]*server.MemEpochHost),
+		servers:     make(map[string]*server.Server),
+		telemetry:   opts.Telemetry,
+		queueDepth:  opts.QueueDepth,
+		sessionIdle: opts.SessionIdle,
 	}
 	c.net.SetTelemetry(opts.Telemetry)
 	for i := 0; i < opts.Servers; i++ {
@@ -102,11 +111,13 @@ func (c *Cluster) StartServer(name string) {
 		return
 	}
 	srv := server.New(server.Config{
-		Name:      name,
-		Store:     c.stores[name],
-		Endpoint:  c.net.Endpoint(name),
-		Epochs:    c.epochs[name],
-		Telemetry: c.telemetry,
+		Name:        name,
+		Store:       c.stores[name],
+		Endpoint:    c.net.Endpoint(name),
+		Epochs:      c.epochs[name],
+		QueueDepth:  c.queueDepth,
+		SessionIdle: c.sessionIdle,
+		Telemetry:   c.telemetry,
 	})
 	srv.Start()
 	c.servers[name] = srv

@@ -40,6 +40,8 @@ func main() {
 	stats := flag.Duration("stats", time.Minute, "statistics reporting interval (0 = silent)")
 	metrics := flag.String("metrics", "", "HTTP address serving /metrics JSON and /debug/telemetry (empty = off)")
 	traceCap := flag.Int("trace", 4096, "LSN-lifecycle trace ring capacity (0 = tracing off)")
+	queueDepth := flag.Int("queue-depth", 0, "per-session message queue bound (0 = default)")
+	sessionIdle := flag.Duration("session-idle", 0, "evict sessions idle this long (0 = default, <0 = never)")
 	flag.Parse()
 
 	reg := telemetry.NewRegistry()
@@ -56,11 +58,13 @@ func main() {
 		log.Fatalf("listening: %v", err)
 	}
 	srv := server.New(server.Config{
-		Name:      *listen,
-		Store:     storage.Instrument(store, reg, "file"),
-		Endpoint:  transport.Instrument(ep, reg, "net.udp"),
-		Epochs:    server.NewMemEpochHost(),
-		Telemetry: reg,
+		Name:        *listen,
+		Store:       storage.Instrument(store, reg, "file"),
+		Endpoint:    transport.Instrument(ep, reg, "net.udp"),
+		Epochs:      server.NewMemEpochHost(),
+		QueueDepth:  *queueDepth,
+		SessionIdle: *sessionIdle,
+		Telemetry:   reg,
 	})
 	srv.Start()
 	log.Printf("log server on %s, store %s, clients %v", ep.Addr(), *data, store.Clients())

@@ -64,6 +64,10 @@ type Options struct {
 	MaxHits uint64
 	// Logf, when set, receives one line per run.
 	Logf func(format string, args ...interface{})
+
+	// forceDelay, when non-zero, slows every server's store force (see
+	// slowForce). RunPoint sets it for the group-force handoff point.
+	forceDelay time.Duration
 }
 
 func (o *Options) fillDefaults() {
@@ -97,14 +101,29 @@ type Report struct {
 	Fired      map[string][]uint64 // per point: hit counts whose trigger fired
 }
 
+// slowForce widens the force window: the group-force handoff point
+// can only be reached while one store force is in flight and another
+// session is waiting, so the scenario that audits it stretches every
+// underlying force by a few milliseconds.
+type slowForce struct {
+	storage.Store
+	delay time.Duration
+}
+
+func (s *slowForce) Force() error {
+	time.Sleep(s.delay)
+	return s.Store.Force()
+}
+
 // rig is the cluster under audit: M log servers over MemStores on one
 // memnet. Stores and epoch hosts survive server restarts — a reboot
 // keeps its stable storage, exactly the paper's failure model.
 type rig struct {
-	net    *transport.Network
-	names  []string
-	stores map[string]storage.Store
-	epochs map[string]*server.MemEpochHost
+	net        *transport.Network
+	names      []string
+	stores     map[string]storage.Store
+	forceDelay time.Duration // non-zero: servers see slowForce-wrapped stores
+	epochs     map[string]*server.MemEpochHost
 
 	// reg collects LSN-lifecycle trace events from every node in the
 	// scenario; when an audit fails, the tail of the trace shows what
@@ -120,9 +139,10 @@ func newRig(o Options) *rig {
 	reg := telemetry.NewRegistry()
 	reg.EnableTrace(1024)
 	r := &rig{
-		net:     transport.NewNetwork(o.Seed),
-		stores:  make(map[string]storage.Store),
-		epochs:  make(map[string]*server.MemEpochHost),
+		net:        transport.NewNetwork(o.Seed),
+		stores:     make(map[string]storage.Store),
+		forceDelay: o.forceDelay,
+		epochs:     make(map[string]*server.MemEpochHost),
 		reg:     reg,
 		servers: make(map[string]*server.Server),
 		seps:    make(map[string]transport.Endpoint),
@@ -146,9 +166,13 @@ func (r *rig) start(name string) {
 
 func (r *rig) startLocked(name string) {
 	ep := r.net.Endpoint(name)
+	st := r.stores[name]
+	if r.forceDelay > 0 {
+		st = &slowForce{Store: st, delay: r.forceDelay}
+	}
 	srv := server.New(server.Config{
 		Name:      name,
-		Store:     r.stores[name],
+		Store:     st,
 		Endpoint:  ep,
 		Epochs:    r.epochs[name],
 		Telemetry: r.reg,
@@ -267,6 +291,42 @@ func (w *worker) force() {
 	}
 }
 
+// runAuxForcer opens an extra client (its own ClientID, hence its own
+// write-set rotation) and loops write+force until stopped or the armed
+// point fires. Its acknowledgments are not audited — it exists to keep
+// server force groups busy so the main workload's forces coalesce.
+func runAuxForcer(r *rig, o Options, id record.ClientID, pointName string, stop chan struct{}, done *sync.WaitGroup) {
+	defer done.Done()
+	ep := r.net.Endpoint(fmt.Sprintf("aux%d", id))
+	defer ep.Close()
+	al, err := core.Open(core.Config{
+		ClientID:    id,
+		Servers:     append([]string(nil), r.names...),
+		N:           o.N,
+		Delta:       o.Delta,
+		Endpoint:    ep,
+		CallTimeout: o.CallTimeout,
+		Retries:     o.Retries,
+		Telemetry:   r.reg,
+	})
+	if err != nil {
+		return
+	}
+	defer al.Close()
+	for i := 0; ; i++ {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		if faultpoint.Fired(pointName) {
+			return
+		}
+		al.WriteLog([]byte(fmt.Sprintf("aux%d-%d", id, i)))
+		al.Force()
+	}
+}
+
 // RunPoint executes one crash scenario: an unarmed incarnation leaves
 // a doubtful tail, a second incarnation runs recovery and a workload
 // with the named point armed to crash on its n-th pass, then the
@@ -280,6 +340,12 @@ func RunPoint(o Options, pointName string, hitN uint64) (fired bool, err error) 
 	faultpoint.Reset()
 	defer faultpoint.Reset()
 
+	if pointName == server.FPForceBetweenCoalesced {
+		// The handoff between coalesced force rounds only runs while
+		// one store force is in flight and another session waits on it;
+		// stretch every force so the auxiliary forcers below overlap.
+		o.forceDelay = 2 * time.Millisecond
+	}
 	r := newRig(o)
 	defer r.stopAll()
 	chk := sim.NewCrashChecker(o.Delta)
@@ -321,6 +387,22 @@ func RunPoint(o Options, pointName string, hitN uint64) (fired bool, err error) 
 	if err == nil {
 		// Open survived (the trigger fires later, or not at all).
 		r.net.SetFaults(o.Faults)
+
+		// The group-force handoff needs concurrent forces on one
+		// server, which the serial workload never produces: for that
+		// point only, background forcer clients hammer ForceLog (their
+		// write sets overlap each other's and the main client's) so
+		// coalesced rounds — and the handoff between them — occur.
+		var auxStop chan struct{}
+		var auxDone sync.WaitGroup
+		if pointName == server.FPForceBetweenCoalesced {
+			auxStop = make(chan struct{})
+			for i := 1; i <= 2; i++ {
+				auxDone.Add(1)
+				go runAuxForcer(r, o, clientID+record.ClientID(i), pointName, auxStop, &auxDone)
+			}
+		}
+
 		w2 := &worker{l: l2, chk: chk, stopped: func() bool { return faultpoint.Fired(pointName) }}
 		w2.write(3, "w2a")
 		w2.force()
@@ -340,6 +422,10 @@ func RunPoint(o Options, pointName string, hitN uint64) (fired bool, err error) 
 		w2.force()
 		w2.write(2, "w2d") // unforced tail again
 		r.net.SetFaults(transport.Faults{})
+		if auxStop != nil {
+			close(auxStop)
+			auxDone.Wait()
+		}
 		ep2.Close()
 		l2.Close()
 	}

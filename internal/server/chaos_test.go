@@ -1,0 +1,131 @@
+package server_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"distlog/internal/core"
+	"distlog/internal/record"
+	"distlog/internal/server"
+	"distlog/internal/sim"
+	"distlog/internal/storage"
+	"distlog/internal/transport"
+)
+
+// TestMultiClientChaos runs several full-protocol clients concurrently
+// against a cluster of pipelined servers over a lossy, duplicating,
+// reordering memnet, then heals the network and audits every client
+// with the Section 3.1 checker: acknowledged records durable and
+// correct, the doubtful window bounded by δ. This is the concurrency
+// soak for the per-session write pipeline — sessions, group-force
+// rounds, NACK/retry, and failover all interleave across clients.
+func TestMultiClientChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak")
+	}
+	const (
+		servers = 3
+		clients = 4
+		rounds  = 24
+		delta   = 4
+	)
+	net := transport.NewNetwork(42)
+
+	var names []string
+	for i := 0; i < servers; i++ {
+		name := fmt.Sprintf("ls%d", i+1)
+		names = append(names, name)
+		srv := server.New(server.Config{
+			Name:     name,
+			Store:    storage.NewMemStore(),
+			Endpoint: net.Endpoint(name),
+			Epochs:   server.NewMemEpochHost(),
+		})
+		srv.Start()
+		t.Cleanup(srv.Stop)
+	}
+
+	net.SetFaults(transport.Faults{DropProb: 0.05, DupProb: 0.05, MaxDelay: 2 * time.Millisecond})
+
+	type tail struct {
+		l   *core.ReplicatedLog
+		chk *sim.CrashChecker
+	}
+	results := make([]tail, clients)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			chk := sim.NewCrashChecker(delta)
+			l, err := core.Open(core.Config{
+				ClientID:    record.ClientID(30 + i),
+				Servers:     append([]string(nil), names...),
+				N:           2,
+				Delta:       delta,
+				Endpoint:    net.Endpoint(fmt.Sprintf("chaos-cli-%d", i)),
+				CallTimeout: 30 * time.Millisecond,
+				Retries:     3,
+				FlushBatch:  2,
+			})
+			if err != nil {
+				errs[i] = fmt.Errorf("open: %w", err)
+				return
+			}
+			n := 0
+			for r := 0; r < rounds; r++ {
+				for k := 0; k < 1+r%3; k++ {
+					n++
+					data := []byte(fmt.Sprintf("c%d-%d", i, n))
+					if lsn, err := l.WriteLog(data); err == nil {
+						chk.Wrote(lsn, data)
+					}
+				}
+				if r%2 == 1 {
+					if err := l.Force(); err == nil {
+						chk.Forced()
+					}
+				}
+			}
+			results[i] = tail{l: l, chk: chk}
+		}(i)
+	}
+	wg.Wait()
+	net.SetFaults(transport.Faults{})
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+
+	// Healed-network audit on the live incarnation, then a clean
+	// crash/reopen cycle: what each client was acked must survive.
+	for i, res := range results {
+		if err := res.chk.Audit(res.l); err != nil {
+			res.l.Close()
+			t.Fatalf("client %d live audit: %v", i, err)
+		}
+		res.l.Close()
+		res.chk.Crashed()
+		l2, err := core.Open(core.Config{
+			ClientID:    record.ClientID(30 + i),
+			Servers:     append([]string(nil), names...),
+			N:           2,
+			Delta:       delta,
+			Endpoint:    net.Endpoint(fmt.Sprintf("chaos-cli-%d", i)),
+			CallTimeout: 30 * time.Millisecond,
+			Retries:     3,
+		})
+		if err != nil {
+			t.Fatalf("client %d reopen: %v", i, err)
+		}
+		err = res.chk.Audit(l2)
+		l2.Close()
+		if err != nil {
+			t.Fatalf("client %d recovery audit: %v", i, err)
+		}
+	}
+}

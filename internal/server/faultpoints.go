@@ -21,10 +21,28 @@ const (
 	// commits the staged records: the staged copies must die with the
 	// incarnation that staged them.
 	FPInstallBeforeCommit = "server.install.before-commit"
+	// FPWorkerBeforeForce interrupts a session worker as it dequeues a
+	// ForceLog, before any of the message is applied: the pipelined
+	// server may crash with the message accepted into a queue but
+	// nothing appended or forced.
+	FPWorkerBeforeForce = "server.worker.before-force"
+	// FPForceBetweenCoalesced interrupts the group-force handoff: the
+	// in-flight store force completed (and its round's clients may
+	// already be acked) but the successor round — covering later
+	// appends — never starts.
+	FPForceBetweenCoalesced = "server.force.between-coalesced"
+	// FPReadBeforeStore interrupts (or, armed with a delay, slows) the
+	// synchronous read path before it touches the store — the hook the
+	// slow-reader isolation tests use, and a crash point for a server
+	// dying mid-read during a client's recovery.
+	FPReadBeforeStore = "server.read.before-store"
 )
 
 var _ = faultpoint.Register(
 	FPWriteBeforeForce,
 	FPWriteAfterForce,
 	FPInstallBeforeCommit,
+	FPWorkerBeforeForce,
+	FPForceBetweenCoalesced,
+	FPReadBeforeStore,
 )

@@ -15,6 +15,10 @@ const (
 	mReadsServed     = "server.reads_served"
 	mSheds           = "server.sheds"
 	mSessions        = "server.sessions"
+	mSessionsEvicted = "server.sessions_evicted"
+	mQueueSheds      = "server.queue_sheds"
+	mForceRounds     = "server.force.rounds"
+	mForcesCoalesced = "server.force.coalesced"
 	mForceLatency    = "server.force.latency_ns"
 	mAppendToForce   = "server.append_to_force_ns"
 )
@@ -34,6 +38,10 @@ type serverMetrics struct {
 	nacksSent       *telemetry.Counter
 	readsServed     *telemetry.Counter
 	sheds           *telemetry.Counter
+	sessionsEvicted *telemetry.Counter
+	queueSheds      *telemetry.Counter
+	forceRounds     *telemetry.Counter
+	forcesCoalesced *telemetry.Counter
 
 	sessions *telemetry.Gauge
 
@@ -59,6 +67,10 @@ func newServerMetrics(reg *telemetry.Registry, node string) *serverMetrics {
 		nacksSent:       reg.Counter(mNacksSent),
 		readsServed:     reg.Counter(mReadsServed),
 		sheds:           reg.Counter(mSheds),
+		sessionsEvicted: reg.Counter(mSessionsEvicted),
+		queueSheds:      reg.Counter(mQueueSheds),
+		forceRounds:     reg.Counter(mForceRounds),
+		forcesCoalesced: reg.Counter(mForcesCoalesced),
 		sessions:        reg.Gauge(mSessions),
 		forceLatency:    reg.Histogram(mForceLatency),
 		appendToForce:   reg.Histogram(mAppendToForce),
@@ -75,5 +87,10 @@ func (m *serverMetrics) stats() Stats {
 		MissingIntervals: m.nacksSent.Value(),
 		ReadsServed:      m.readsServed.Value(),
 		Shed:             m.sheds.Value(),
+		Sessions:         m.sessions.Value(),
+		Evicted:          m.sessionsEvicted.Value(),
+		QueueSheds:       m.queueSheds.Value(),
+		ForceRounds:      m.forceRounds.Value(),
+		ForcesCoalesced:  m.forcesCoalesced.Value(),
 	}
 }

@@ -6,12 +6,20 @@
 // ReadLogForward/Backward, CopyLog, InstallCopies), hosts an epoch
 // generator state representative (Appendix I), and sheds load by
 // ignoring write messages when overloaded.
+//
+// Internally the server is a write pipeline: the receive loop only
+// decodes and dispatches; each session owns a worker goroutine with a
+// bounded queue, so a client stuck in a slow synchronous read cannot
+// delay another client's ForceLog acknowledgment. Concurrent forces
+// from different sessions coalesce into shared rounds (group force)
+// via a storage.ForceGroup.
 package server
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"distlog/internal/faultpoint"
@@ -54,6 +62,15 @@ func (h *MemEpochHost) Rep(c record.ClientID) idgen.Representative {
 	return r
 }
 
+// Pipeline defaults.
+const (
+	// DefaultQueueDepth bounds each session's pending-message queue.
+	DefaultQueueDepth = 64
+	// DefaultSessionIdle is how long a session may sit idle before the
+	// janitor evicts it.
+	DefaultSessionIdle = 2 * time.Minute
+)
+
 // Config configures a Server.
 type Config struct {
 	// Name is the server's network address (the endpoint it listens
@@ -75,6 +92,16 @@ type Config struct {
 	// Window and OverAllocPause tune the flow-control parameters.
 	Window         uint64
 	OverAllocPause time.Duration
+	// QueueDepth bounds each session's pending-message queue. A full
+	// queue sheds further messages for that session — the Section 4.2
+	// license to ignore messages under load, applied per client, so one
+	// slow or flooding client backs up only its own queue. Zero means
+	// DefaultQueueDepth.
+	QueueDepth int
+	// SessionIdle is how long a session may sit idle before the server
+	// evicts it, reclaiming its worker and queue. Zero means
+	// DefaultSessionIdle; negative disables idle eviction.
+	SessionIdle time.Duration
 	// Telemetry receives the server's metrics (and, if the registry has
 	// tracing enabled, its LSN-lifecycle events). Nil directs metrics to
 	// a private registry so Stats() keeps working.
@@ -92,6 +119,16 @@ type Stats struct {
 	MissingIntervals uint64
 	ReadsServed      uint64
 	Shed             uint64
+	// Sessions is the current live session count; Evicted counts
+	// sessions removed by supersession or idleness. QueueSheds counts
+	// messages dropped because a session's queue was full. ForceRounds
+	// and ForcesCoalesced describe group-force behaviour: underlying
+	// store forces run, and callers that shared another caller's round.
+	Sessions        int64
+	Evicted         uint64
+	QueueSheds      uint64
+	ForceRounds     uint64
+	ForcesCoalesced uint64
 }
 
 // Server is a log server node.
@@ -102,56 +139,105 @@ type Server struct {
 	sessions map[string]*session // keyed by client network address
 	stopped  bool
 
-	wg sync.WaitGroup
-	m  *serverMetrics
+	wg       sync.WaitGroup // receive loop
+	workerWG sync.WaitGroup // session workers + janitor
+	quit     chan struct{}  // closed on shutdown; stops the janitor
+	m        *serverMetrics
+
+	// fg coalesces concurrent Store.Force calls from different session
+	// workers into shared rounds (server-side group force).
+	fg *storage.ForceGroup
+
 	// firstUnforced is when the oldest not-yet-forced record was
-	// appended (zero when everything is forced). Handlers run inline in
-	// the single receive loop, so no synchronization is needed.
-	firstUnforced time.Time
+	// appended, as UnixNano (zero when everything is forced). Session
+	// workers append and force concurrently, so it is atomic: CAS from
+	// zero on append, Swap to zero when a force completes.
+	firstUnforced atomic.Int64
 }
 
-// session is the per-client connection state.
+// work is one dispatched packet: the decoded message plus the raw
+// datagram it aliases, released when the handler finishes with it.
+type work struct {
+	raw transport.Packet
+	pkt wire.Packet
+}
+
+// session is the per-client connection state. Its fields past the
+// queue are owned by the session's worker goroutine; the receive loop
+// only enqueues (and the peer is internally synchronized).
 type session struct {
+	addr     string
 	peer     *wire.Peer
 	clientID record.ClientID
+
+	queue      chan work
+	quit       chan struct{}
+	stopOnce   sync.Once
+	lastActive atomic.Int64 // UnixNano of the last packet dispatched
+
 	// expectedNext is the next LSN the server expects in this client's
 	// write stream; 0 until the first write of the connection arrives.
-	// Gap detection (MissingInterval) compares against it.
+	// Gap detection (MissingInterval) compares against it. Worker-owned.
 	expectedNext record.LSN
-	handshaken   bool
+}
+
+// stop signals the session's worker to exit; idempotent.
+func (sess *session) stop() {
+	sess.stopOnce.Do(func() { close(sess.quit) })
 }
 
 // New creates a server; call Start to begin serving.
 func New(cfg Config) *Server {
-	return &Server{
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	if cfg.SessionIdle == 0 {
+		cfg.SessionIdle = DefaultSessionIdle
+	}
+	s := &Server{
 		cfg:      cfg,
 		sessions: make(map[string]*session),
+		quit:     make(chan struct{}),
 		m:        newServerMetrics(cfg.Telemetry, cfg.Name),
 	}
+	s.fg = storage.NewForceGroup(cfg.Store.Force)
+	s.fg.Rounds = s.m.forceRounds
+	s.fg.Coalesced = s.m.forcesCoalesced
+	s.fg.Handoff = func() { faultpoint.Hit(FPForceBetweenCoalesced) }
+	return s
 }
 
-// Start launches the receive loop.
+// Start launches the receive loop (and, unless disabled, the idle
+// janitor).
 func (s *Server) Start() {
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
 		s.loop()
 	}()
+	if s.cfg.SessionIdle > 0 {
+		s.workerWG.Add(1)
+		go s.janitor()
+	}
 }
 
-// Stop closes the endpoint and waits for the receive loop to exit. The
-// store is not closed; it belongs to the caller (which may restart a
-// server over it, modelling a node reboot).
+// Stop closes the endpoint and waits for the receive loop, all session
+// workers, and the janitor to exit. The store is not closed; it belongs
+// to the caller (which may restart a server over it, modelling a node
+// reboot).
 func (s *Server) Stop() {
 	s.mu.Lock()
 	if s.stopped {
 		s.mu.Unlock()
+		s.wg.Wait()
+		s.workerWG.Wait()
 		return
 	}
 	s.stopped = true
 	s.mu.Unlock()
 	s.cfg.Endpoint.Close()
-	s.wg.Wait()
+	s.wg.Wait() // the loop's shutdown stops sessions and the janitor
+	s.workerWG.Wait()
 }
 
 // Stats returns a snapshot of the counters.
@@ -160,6 +246,7 @@ func (s *Server) Stats() Stats {
 }
 
 func (s *Server) loop() {
+	defer s.shutdown()
 	for {
 		raw, err := s.cfg.Endpoint.Recv(0)
 		if err != nil {
@@ -171,48 +258,43 @@ func (s *Server) loop() {
 			// Corrupt packet: the end-to-end check rejects it; the
 			// sender's own recovery (retry, NACK) handles the loss.
 			s.m.packetsDropped.Add(1)
+			raw.Release()
 			continue
 		}
-		s.handle(raw.From, &pkt)
+		s.dispatch(raw, pkt)
 	}
 }
 
-// handle dispatches one packet. The server is single-threaded by
-// design (Section 4.1 sizes one CPU for the whole service); handlers
-// run inline.
-func (s *Server) handle(from string, pkt *wire.Packet) {
+// shutdown quiesces the pipeline after the receive loop exits (Stop,
+// or the endpoint closed under it — how tests model a node crash):
+// every session worker is told to quit, and the janitor with them.
+func (s *Server) shutdown() {
 	s.mu.Lock()
-	sess := s.sessions[from]
+	s.stopped = true
+	for _, sess := range s.sessions {
+		sess.stop()
+	}
+	s.sessions = make(map[string]*session)
+	s.m.sessions.Set(0)
+	s.mu.Unlock()
+	close(s.quit)
+}
 
+// dispatch routes one decoded packet. Syn is handled inline (it is
+// session lifecycle, and answering it before later packets of the same
+// client are processed preserves the handshake ordering); everything
+// else goes to the owning session's queue. The decoded packet aliases
+// raw's buffer, which is released once the handler — or the shed path —
+// is done with it.
+func (s *Server) dispatch(raw transport.Packet, pkt wire.Packet) {
 	if pkt.Type == wire.TSyn {
-		if sess != nil && pkt.ConnID == sess.peer.ConnID {
-			// Retransmitted or network-duplicated Syn of the live
-			// incarnation: answer it, but keep the session. Resetting
-			// here would zero the stream position, and the next write
-			// would silently adopt the client's current LSN — forgetting
-			// a gap the server was tracking and acknowledging records it
-			// never stored.
-			s.mu.Unlock()
-			sess.peer.Observe(pkt)
-			sess.peer.Send(wire.TSynAck, pkt.Seq, nil)
-			return
-		}
-		// New connection (or a new incarnation of the client): reset
-		// session state. Stream position is re-learned from the first
-		// write; log data itself lives in the store and is unaffected.
-		sess = &session{
-			peer:       wire.NewPeer(s.cfg.Endpoint, from, pkt.ClientID, pkt.ConnID, s.cfg.Window, pauseOf(s.cfg)),
-			clientID:   pkt.ClientID,
-			handshaken: true,
-		}
-		sess.peer.SetEstablished()
-		s.sessions[from] = sess
-		s.m.sessions.Set(int64(len(s.sessions)))
-		s.mu.Unlock()
-		sess.peer.Observe(pkt)
-		sess.peer.Send(wire.TSynAck, pkt.Seq, nil)
+		s.handleSyn(raw.From, &pkt)
+		raw.Release()
 		return
 	}
+
+	s.mu.Lock()
+	sess := s.sessions[raw.From]
 	s.mu.Unlock()
 
 	if sess == nil || pkt.ConnID != sess.peer.ConnID {
@@ -222,9 +304,151 @@ func (s *Server) handle(from string, pkt *wire.Packet) {
 		// no per-connection state — stray or scanning packets cost one
 		// pooled frame each.
 		s.m.packetsDropped.Add(1)
-		wire.SendRst(s.cfg.Endpoint, from, pkt.ClientID, pkt.ConnID, pkt.Seq)
+		wire.SendRst(s.cfg.Endpoint, raw.From, pkt.ClientID, pkt.ConnID, pkt.Seq)
+		raw.Release()
 		return
 	}
+	sess.lastActive.Store(time.Now().UnixNano())
+	select {
+	case sess.queue <- work{raw: raw, pkt: pkt}:
+	default:
+		// This session's queue is full: shed. The client's own timeout
+		// and retry machinery recovers, exactly as for a lost datagram;
+		// other sessions' queues are unaffected.
+		s.m.queueSheds.Add(1)
+		s.m.trace.Emit(telemetry.EvShed, s.m.node, 0, 0, 0)
+		raw.Release()
+	}
+}
+
+// handleSyn creates, refreshes, or supersedes a session. It runs on
+// the receive loop: session lifecycle must serialize with dispatch,
+// and a SynAck must not be overtaken by the handling of the same
+// client's earlier queued packets.
+func (s *Server) handleSyn(from string, pkt *wire.Packet) {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	sess := s.sessions[from]
+	if sess != nil && pkt.ConnID == sess.peer.ConnID {
+		// Retransmitted or network-duplicated Syn of the live
+		// incarnation: answer it, but keep the session. Resetting
+		// here would zero the stream position, and the next write
+		// would silently adopt the client's current LSN — forgetting
+		// a gap the server was tracking and acknowledging records it
+		// never stored.
+		sess.lastActive.Store(time.Now().UnixNano())
+		s.mu.Unlock()
+		sess.peer.Observe(pkt)
+		sess.peer.Send(wire.TSynAck, pkt.Seq, nil)
+		return
+	}
+	// New connection (or a new incarnation of the client): evict what
+	// it supersedes — the old session at this address, and any session
+	// for the same client at another address with a strictly older
+	// ConnID (the client rebound its socket; ConnIDs derive from
+	// epochs, so older means an earlier incarnation — this is the leak
+	// a reconnecting client's abandoned source ports used to leave
+	// behind). An equal ConnID at a different address is the client's
+	// other leg of a dual endpoint: keep it. Stream position is
+	// re-learned from the first write; log data itself lives in the
+	// store and is unaffected.
+	if sess != nil {
+		s.evictLocked(sess)
+	}
+	for addr, old := range s.sessions {
+		if addr != from && old.clientID == pkt.ClientID && old.peer.ConnID < pkt.ConnID {
+			s.evictLocked(old)
+		}
+	}
+	sess = &session{
+		addr:     from,
+		peer:     wire.NewPeer(s.cfg.Endpoint, from, pkt.ClientID, pkt.ConnID, s.cfg.Window, pauseOf(s.cfg)),
+		clientID: pkt.ClientID,
+		queue:    make(chan work, s.cfg.QueueDepth),
+		quit:     make(chan struct{}),
+	}
+	sess.lastActive.Store(time.Now().UnixNano())
+	sess.peer.SetEstablished()
+	s.sessions[from] = sess
+	s.m.sessions.Set(int64(len(s.sessions)))
+	s.workerWG.Add(1)
+	go s.worker(sess)
+	s.mu.Unlock()
+	sess.peer.Observe(pkt)
+	sess.peer.Send(wire.TSynAck, pkt.Seq, nil)
+}
+
+// evictLocked removes a session and stops its worker. Callers hold
+// s.mu and refresh the sessions gauge afterwards.
+func (s *Server) evictLocked(sess *session) {
+	delete(s.sessions, sess.addr)
+	sess.stop()
+	s.m.sessionsEvicted.Add(1)
+}
+
+// janitor evicts sessions idle longer than SessionIdle, bounding the
+// session map (and its goroutines) against clients that vanish without
+// a closing handshake — UDP has none.
+func (s *Server) janitor() {
+	defer s.workerWG.Done()
+	tick := s.cfg.SessionIdle / 4
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case <-t.C:
+			cutoff := time.Now().Add(-s.cfg.SessionIdle).UnixNano()
+			s.mu.Lock()
+			for _, sess := range s.sessions {
+				if sess.lastActive.Load() < cutoff {
+					s.evictLocked(sess)
+				}
+			}
+			s.m.sessions.Set(int64(len(s.sessions)))
+			s.mu.Unlock()
+		}
+	}
+}
+
+// worker drains one session's queue. A single consumer per session
+// preserves each client's stream order; separate workers keep one
+// client's slow synchronous read out of every other client's force
+// path.
+func (s *Server) worker(sess *session) {
+	defer s.workerWG.Done()
+	for {
+		select {
+		case <-sess.quit:
+			// Drain, releasing buffers: dispatch may already have
+			// enqueued packets this worker will never handle.
+			for {
+				select {
+				case w := <-sess.queue:
+					w.raw.Release()
+				default:
+					return
+				}
+			}
+		case w := <-sess.queue:
+			if w.pkt.Type == wire.TForceLog {
+				faultpoint.Hit(FPWorkerBeforeForce)
+			}
+			s.process(sess, &w.pkt)
+			w.raw.Release()
+		}
+	}
+}
+
+// process handles one packet on the session's worker.
+func (s *Server) process(sess *session, pkt *wire.Packet) {
 	if !sess.peer.Observe(pkt) {
 		s.m.packetsDropped.Add(1)
 		return
@@ -334,9 +558,7 @@ func (s *Server) handleWrite(sess *session, pkt *wire.Packet, force bool) {
 		sess.expectedNext = rec.LSN + 1
 	}
 	if appended > 0 {
-		if s.firstUnforced.IsZero() {
-			s.firstUnforced = time.Now()
-		}
+		s.firstUnforced.CompareAndSwap(0, time.Now().UnixNano())
 		s.m.trace.Emit(telemetry.EvAppend, s.m.node,
 			uint64(sess.expectedNext-1), uint64(p.Epoch), uint64(appended))
 	}
@@ -344,16 +566,20 @@ func (s *Server) handleWrite(sess *session, pkt *wire.Packet, force bool) {
 	if force {
 		faultpoint.Hit(FPWriteBeforeForce)
 		forceStart := time.Now()
-		if err := s.cfg.Store.Force(); err != nil {
+		// Group force: concurrent session workers share underlying
+		// Store.Force rounds. The ForceGroup invariant — a nil return
+		// means a force that started after the call completed — is what
+		// makes the NewHighLSN below truthful: every record this worker
+		// appended above is covered by the round it just observed.
+		if err := s.fg.Force(); err != nil {
 			sess.peer.SendErr(pkt.Seq, wire.CodeUnknown, err.Error())
 			return
 		}
 		faultpoint.Hit(FPWriteAfterForce)
 		s.m.forces.Add(1)
 		s.m.forceLatency.Observe(uint64(time.Since(forceStart)))
-		if !s.firstUnforced.IsZero() {
-			s.m.appendToForce.Observe(uint64(time.Since(s.firstUnforced)))
-			s.firstUnforced = time.Time{}
+		if t := s.firstUnforced.Swap(0); t != 0 {
+			s.m.appendToForce.Observe(uint64(time.Now().UnixNano() - t))
 		}
 		s.m.trace.Emit(telemetry.EvForce, s.m.node,
 			uint64(sess.expectedNext-1), uint64(p.Epoch), 0)
@@ -384,12 +610,22 @@ func (s *Server) handleIntervalList(sess *session, pkt *wire.Packet) {
 	// Interval lists are short by design ("an essential assumption of
 	// the replicated logging algorithm is that interval lists are
 	// short"); if a pathological list outgrows a packet, send the most
-	// recent intervals, which are the ones initialization needs.
-	resp := wire.IntervalListPayload{Intervals: ivs}
-	for len(resp.Encode()) > wire.MaxPayload && len(resp.Intervals) > 1 {
-		resp.Intervals = resp.Intervals[1:]
+	// recent intervals, which are the ones initialization needs. The
+	// encoding is fixed-width (a count header plus IntervalEncodedSize
+	// per entry), so the fit is computed directly rather than by
+	// re-encoding ever-shorter lists.
+	if max := maxIntervalsPerPacket(); len(ivs) > max {
+		ivs = ivs[len(ivs)-max:]
 	}
+	resp := wire.IntervalListPayload{Intervals: ivs}
 	sess.peer.Send(wire.TIntervalListResp, pkt.Seq, resp.Encode())
+}
+
+// maxIntervalsPerPacket is how many intervals an IntervalListResp
+// payload can carry: the fixed 4-byte count header leaves room for
+// (MaxPayload-4)/IntervalEncodedSize entries.
+func maxIntervalsPerPacket() int {
+	return (wire.MaxPayload - 4) / record.IntervalEncodedSize
 }
 
 // handleRead serves ReadLogForward / ReadLogBackward: starting at the
@@ -401,6 +637,7 @@ func (s *Server) handleRead(sess *session, pkt *wire.Packet, forward bool) {
 		sess.peer.SendErr(pkt.Seq, wire.CodeBadRequest, "bad read payload")
 		return
 	}
+	faultpoint.Hit(FPReadBeforeStore)
 	first, err := s.cfg.Store.Read(sess.clientID, req.LSN)
 	if err != nil {
 		sess.peer.SendErr(pkt.Seq, wire.CodeNotStored, fmt.Sprintf("LSN %d not stored", req.LSN))

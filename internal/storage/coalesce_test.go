@@ -1,0 +1,167 @@
+package storage
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"distlog/internal/telemetry"
+)
+
+// TestForceGroupCoalesces drives many concurrent Force calls through a
+// gated underlying force and checks single-flight behaviour: far fewer
+// underlying rounds than callers, and — the acked ⇒ durable invariant —
+// every caller returns only after a round that started after its call.
+func TestForceGroupCoalesces(t *testing.T) {
+	var inFlight, rounds atomic.Int64
+	g := NewForceGroup(func() error {
+		if inFlight.Add(1) != 1 {
+			t.Error("two underlying forces in flight")
+		}
+		rounds.Add(1)
+		time.Sleep(2 * time.Millisecond)
+		inFlight.Add(-1)
+		return nil
+	})
+	reg := telemetry.NewRegistry()
+	g.Rounds = reg.Counter("rounds")
+	g.Coalesced = reg.Counter("coalesced")
+
+	const callers = 32
+	var wg sync.WaitGroup
+	type obs struct{ before, after int64 }
+	results := make([]obs, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			before := rounds.Load()
+			if err := g.Force(); err != nil {
+				t.Errorf("Force: %v", err)
+			}
+			results[i] = obs{before: before, after: rounds.Load()}
+		}(i)
+	}
+	wg.Wait()
+
+	n := rounds.Load()
+	if n >= callers {
+		t.Fatalf("no coalescing: %d rounds for %d callers", n, callers)
+	}
+	if n == 0 {
+		t.Fatal("no rounds ran")
+	}
+	// Every caller must have observed at least one round start at or
+	// after its call (the round that covered it cannot have started
+	// before the caller arrived and still cover its appends; a started
+	// count that never advanced would mean the caller rode a stale
+	// round).
+	for i, r := range results {
+		if r.after <= r.before {
+			t.Fatalf("caller %d returned without a new round (before=%d after=%d)", i, r.before, r.after)
+		}
+	}
+	if got := g.Rounds.Value(); got != uint64(n) {
+		t.Fatalf("Rounds counter = %d, want %d", got, n)
+	}
+	if got := g.Coalesced.Value(); got == 0 {
+		t.Fatal("Coalesced counter stayed 0 despite shared rounds")
+	}
+}
+
+// TestForceGroupSerialNoOverhead checks the uncontended path: each
+// serial call leads its own round immediately.
+func TestForceGroupSerialNoOverhead(t *testing.T) {
+	var rounds int
+	g := NewForceGroup(func() error { rounds++; return nil })
+	for i := 0; i < 5; i++ {
+		if err := g.Force(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rounds != 5 {
+		t.Fatalf("rounds = %d, want 5 (serial calls must not coalesce)", rounds)
+	}
+}
+
+// TestForceGroupErrorSharing: every member of a failing round observes
+// the round's error; a later round recovers.
+func TestForceGroupErrorSharing(t *testing.T) {
+	injected := errors.New("fsync failed")
+	var fail atomic.Bool
+	block := make(chan struct{})
+	g := NewForceGroup(func() error {
+		<-block
+		if fail.Load() {
+			return injected
+		}
+		return nil
+	})
+
+	// Feed the gate until the test ends.
+	quit := make(chan struct{})
+	defer close(quit)
+	go func() {
+		for {
+			select {
+			case block <- struct{}{}:
+			case <-quit:
+				return
+			}
+		}
+	}()
+
+	fail.Store(true)
+	const callers = 8
+	errs := make(chan error, callers)
+	for i := 0; i < callers; i++ {
+		go func() { errs <- g.Force() }()
+	}
+	for i := 0; i < callers; i++ {
+		if err := <-errs; !errors.Is(err, injected) {
+			t.Fatalf("caller %d: err = %v, want injected", i, err)
+		}
+	}
+	fail.Store(false)
+	if err := g.Force(); err != nil {
+		t.Fatalf("recovered round: %v", err)
+	}
+}
+
+// TestForceGroupHandoff: the Handoff hook runs between two coalesced
+// rounds — after the in-flight force completes, before the successor
+// starts.
+func TestForceGroupHandoff(t *testing.T) {
+	release := make(chan struct{})
+	var rounds atomic.Int64
+	g := NewForceGroup(func() error {
+		if rounds.Add(1) == 1 {
+			<-release
+		}
+		return nil
+	})
+	var handoffs atomic.Int64
+	var atHandoff int64
+	g.Handoff = func() {
+		handoffs.Add(1)
+		atHandoff = rounds.Load()
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); g.Force() }() // leads round 1
+	time.Sleep(5 * time.Millisecond)
+	go func() { defer wg.Done(); g.Force() }() // queues as successor leader
+	time.Sleep(5 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if handoffs.Load() != 1 {
+		t.Fatalf("handoffs = %d, want 1", handoffs.Load())
+	}
+	if atHandoff != 1 {
+		t.Fatalf("handoff observed %d completed rounds, want 1 (between the two forces)", atHandoff)
+	}
+}

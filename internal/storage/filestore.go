@@ -25,6 +25,7 @@ type FileStore struct {
 	f         *os.File
 	streamLen int64 // durable+buffered length; file offset of next append
 	dirty     bool
+	appendGen uint64 // bumped per appendEntry; Force clears dirty only if unchanged
 
 	clients map[record.ClientID]*clientIndex
 	stage   *stage
@@ -89,6 +90,7 @@ func (s *FileStore) appendEntry(entry []byte) (int64, error) {
 	}
 	s.streamLen += int64(len(entry))
 	s.dirty = true
+	s.appendGen++
 	return loc, nil
 }
 
@@ -121,21 +123,41 @@ func (s *FileStore) Append(c record.ClientID, rec record.Record) error {
 	return nil
 }
 
-// Force implements Store: fsync.
+// Force implements Store: fsync. The mutex is released for the fsync
+// itself — appends go straight to the OS in appendEntry, so everything
+// appended before this call is covered, and holding the lock across
+// the device wait would stall concurrent appenders for the whole fsync
+// (defeating server-side force coalescing, whose joiners must be able
+// to append and reach the force group while a round is in flight).
+// Appends racing the fsync may or may not be covered; the generation
+// check leaves the store dirty for them, so their own Force still
+// syncs.
 func (s *FileStore) Force() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return ErrClosed
 	}
 	faultpoint.Hit(FPForce)
 	if !s.dirty {
+		s.mu.Unlock()
 		return nil
 	}
-	if err := s.f.Sync(); err != nil {
+	gen := s.appendGen
+	f := s.f
+	s.mu.Unlock()
+	err := f.Sync()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err != nil {
+		if s.closed {
+			return ErrClosed // Close raced the fsync; it synced on the way out
+		}
 		return err
 	}
-	s.dirty = false
+	if s.appendGen == gen && s.f == f {
+		s.dirty = false
+	}
 	return nil
 }
 

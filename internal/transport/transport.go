@@ -13,6 +13,7 @@ package transport
 
 import (
 	"errors"
+	"sync"
 	"time"
 )
 
@@ -21,10 +22,29 @@ import (
 // log records as fit into each packet (Section 4.2).
 const MaxPacketSize = 1400
 
-// Packet is one received datagram.
+// Packet is one received datagram. Data may alias a pooled receive
+// buffer: a receiver that has finished with the packet (including
+// anything aliasing Data, such as zero-copy decoded payloads) calls
+// Release to recycle the buffer. Release on a packet without a pooled
+// buffer is a no-op, so callers need not know which transport
+// delivered it; a caller that never calls Release merely forgoes
+// reuse.
 type Packet struct {
 	From string
 	Data []byte
+
+	pool *sync.Pool
+	buf  *[]byte
+}
+
+// Release returns the packet's receive buffer to its pool, if it has
+// one. The packet's Data (and anything aliasing it) must not be used
+// afterwards. Release is idempotent on a given copy of the Packet.
+func (p *Packet) Release() {
+	if p.pool != nil && p.buf != nil {
+		p.pool.Put(p.buf)
+		p.pool, p.buf = nil, nil
+	}
 }
 
 // Errors returned by endpoints.
