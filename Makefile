@@ -2,7 +2,7 @@ GO ?= go
 
 # Packages with the concurrency-heavy machinery; they get a dedicated
 # race-detector tier in `make check`.
-RACE_PKGS := ./internal/core/... ./internal/wire/... ./internal/server/... ./internal/storage/... ./internal/transport/... ./internal/telemetry/...
+RACE_PKGS := ./internal/core/... ./internal/wire/... ./internal/server/... ./internal/storage/... ./internal/transport/... ./internal/telemetry/... ./internal/recman/... ./internal/locallog/...
 
 .PHONY: all build test race check bench vet fmt crashaudit
 
@@ -36,7 +36,7 @@ crashaudit:
 # client/wire/server packages, and the crash-point audit.
 check: build test vet race crashaudit
 
-# bench runs the write-path benchmarks and records the results in
-# BENCH_writepath.json (see bench.sh).
+# bench runs the write-path and read-path benchmarks and records the
+# results in BENCH_writepath.json and BENCH_readpath.json (see bench.sh).
 bench:
 	./bench.sh

@@ -1,8 +1,8 @@
 #!/bin/sh
-# bench.sh — run the write-path benchmarks and record the results as
-# JSON in BENCH_writepath.json.
+# bench.sh — run the write-path and read-path benchmarks and record the
+# results as JSON in BENCH_writepath.json and BENCH_readpath.json.
 #
-# Covers the perf work on the client write path:
+# Write path (BENCH_writepath.json):
 #   BenchmarkWritePathAllocs        allocation budget for WriteLog+Force
 #   BenchmarkWritePathAllocsTelemetry  same budget with telemetry armed
 #   BenchmarkTelemetryOverhead      enabled-vs-disabled force-path ablation
@@ -18,16 +18,20 @@
 #                                   concurrent clients, FileStore and
 #                                   modelled DiskStore (server-side group
 #                                   force scaling)
+#
+# Read path (BENCH_readpath.json):
+#   BenchmarkRecoveryScan           full-log recovery-style scan over a
+#                                   memnet with non-zero latency: one
+#                                   ReadRecord round trip per LSN vs the
+#                                   streaming cursor (read-ahead window,
+#                                   multi-record packets, holder fan-out)
 set -eu
 
 cd "$(dirname "$0")"
 
-OUT=BENCH_writepath.json
-RAW=$(mktemp)
-trap 'rm -f "$RAW"' EXIT
-
 # POSIX sh has no pipefail, so collect each run's output and check its
-# exit status before touching $OUT.
+# exit status before touching the output file. run() appends to $RAW,
+# which each section points at a fresh temp file.
 run() {
 	if ! go test "$@" ${BENCHTIME:+-benchtime "$BENCHTIME"} >>"$RAW" 2>&1; then
 		cat "$RAW" >&2
@@ -35,28 +39,45 @@ run() {
 		exit 1
 	fi
 }
+
+# Convert `go test -bench` lines in $RAW into a JSON array in $OUT.
+# Fields beyond the standard ns/op, B/op, allocs/op (e.g. rounds/force,
+# recs/s) are kept as extra metric pairs.
+to_json() {
+	awk '
+	BEGIN { print "[" ; n = 0 }
+	/^Benchmark/ {
+		if (n++) print ","
+		printf "  {\"name\": \"%s\", \"iterations\": %s", $1, $2
+		for (i = 3; i < NF; i += 2) {
+			unit = $(i + 1)
+			gsub(/"/, "", unit)
+			printf ", \"%s\": %s", unit, $i
+		}
+		printf "}"
+	}
+	END { print "\n]" }
+	' "$RAW" >"$OUT"
+	echo "wrote $OUT"
+}
+
+RAW1=$(mktemp)
+RAW2=$(mktemp)
+trap 'rm -f "$RAW1" "$RAW2"' EXIT
+
+# --- write path ------------------------------------------------------
+OUT=BENCH_writepath.json
+RAW=$RAW1
 run ./internal/core/ -run '^$' -benchmem \
 	-bench 'BenchmarkWritePathAllocs|BenchmarkTelemetryOverhead|BenchmarkForceLogMemnet|BenchmarkParallelForce|BenchmarkGroupCommit$'
 run ./internal/transport/ -run '^$' -benchmem -bench 'BenchmarkUDPRecvAllocs'
 run . -run '^$' -benchmem -bench 'BenchmarkGroupCommitTransactions|BenchmarkMultiClientForce'
 cat "$RAW"
+to_json
 
-# Convert `go test -bench` lines into a JSON array. Fields beyond the
-# standard ns/op, B/op, allocs/op (e.g. rounds/force) are kept as extra
-# metric pairs.
-awk '
-BEGIN { print "[" ; n = 0 }
-/^Benchmark/ {
-	if (n++) print ","
-	printf "  {\"name\": \"%s\", \"iterations\": %s", $1, $2
-	for (i = 3; i < NF; i += 2) {
-		unit = $(i + 1)
-		gsub(/"/, "", unit)
-		printf ", \"%s\": %s", unit, $i
-	}
-	printf "}"
-}
-END { print "\n]" }
-' "$RAW" >"$OUT"
-
-echo "wrote $OUT"
+# --- read path -------------------------------------------------------
+OUT=BENCH_readpath.json
+RAW=$RAW2
+run . -run '^$' -bench 'BenchmarkRecoveryScan'
+cat "$RAW"
+to_json

@@ -683,6 +683,100 @@ func BenchmarkInterleaveAblation(b *testing.B) {
 	})
 }
 
+// ---------------------------------------------------------------------------
+// Read path: recovery-scan throughput. A recovery manager replays the
+// whole log at restart; the streaming cursor pipelines that scan
+// (read-ahead window, multi-record stream packets, holder fan-out)
+// where the per-record path pays one network round trip per LSN. Run
+// over a memnet with non-zero latency so round trips cost real time —
+// the regime the cursor exists for. Each iteration opens a fresh
+// client, as restart recovery would (and so the client read cache
+// cannot serve the per-record baseline across iterations).
+func BenchmarkRecoveryScan(b *testing.B) {
+	const records = 1024
+	cluster, err := distlog.NewCluster(distlog.ClusterOptions{Servers: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cluster.Close()
+	seedClient, err := cluster.OpenClient(1, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([]byte, 64)
+	for i := 0; i < records; i++ {
+		if _, err := seedClient.WriteLog(data); err != nil {
+			b.Fatal(err)
+		}
+		if i%32 == 31 {
+			if err := seedClient.Force(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if err := seedClient.Force(); err != nil {
+		b.Fatal(err)
+	}
+	seedClient.Close()
+	cluster.Network().SetFaults(distlog.Faults{FixedDelay: 200 * time.Microsecond})
+
+	openFresh := func(b *testing.B) *distlog.Client {
+		b.Helper()
+		l, err := cluster.OpenClient(1, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return l
+	}
+
+	b.Run("per-record", func(b *testing.B) {
+		scanned := 0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			l := openFresh(b)
+			end := l.EndOfLog()
+			for lsn := distlog.LSN(1); lsn <= end; lsn++ {
+				if _, err := l.ReadRecord(lsn); err != nil {
+					b.Fatal(err)
+				}
+				scanned++
+			}
+			l.Close()
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(scanned)/b.Elapsed().Seconds(), "recs/s")
+	})
+	b.Run("cursor", func(b *testing.B) {
+		scanned := 0
+		var streams uint64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			l := openFresh(b)
+			end := l.EndOfLog()
+			cur, err := l.OpenCursor(1, distlog.Forward)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for lsn := distlog.LSN(1); lsn <= end; lsn++ {
+				rec, err := cur.Next()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rec.LSN != lsn {
+					b.Fatalf("got LSN %d, want %d", rec.LSN, lsn)
+				}
+				scanned++
+			}
+			cur.Close()
+			streams += l.Stats().CursorStreams
+			l.Close()
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(scanned)/b.Elapsed().Seconds(), "recs/s")
+		b.ReportMetric(float64(streams)/float64(b.N), "streams/scan")
+	})
+}
+
 // TestSpaceManagementEndToEnd exercises the Section 5.3 pipeline: the
 // transaction engine checkpoints, the replicated log truncates its
 // prefix on every server, and restart recovery replays only the short

@@ -28,9 +28,9 @@ type Cluster struct {
 
 // ClusterOptions configures NewCluster.
 type ClusterOptions struct {
-	// Servers is M, the number of log server nodes. Default 3.
+	// Servers is M, the number of log server nodes. Zero means 3.
 	Servers int
-	// Seed fixes the network's fault randomness. Default 1.
+	// Seed fixes the network's fault randomness. Zero means 1.
 	Seed int64
 	// Modelled, when true, backs each server with the simulated
 	// NVRAM+disk store instead of plain memory.
@@ -47,13 +47,32 @@ type ClusterOptions struct {
 	Telemetry *telemetry.Registry
 }
 
+// Validate rejects nonsensical option values and fills the documented
+// defaults in place. NewCluster calls it; it is exported so callers
+// building options programmatically can check them early.
+func (o *ClusterOptions) Validate() error {
+	if o.Servers < 0 {
+		return fmt.Errorf("distlog: ClusterOptions.Servers %d is negative", o.Servers)
+	}
+	if o.QueueDepth < 0 {
+		return fmt.Errorf("distlog: ClusterOptions.QueueDepth %d is negative", o.QueueDepth)
+	}
+	if o.SessionIdle < 0 {
+		return fmt.Errorf("distlog: ClusterOptions.SessionIdle %v is negative", o.SessionIdle)
+	}
+	if o.Servers == 0 {
+		o.Servers = 3
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return nil
+}
+
 // NewCluster starts M log servers.
 func NewCluster(opts ClusterOptions) (*Cluster, error) {
-	if opts.Servers == 0 {
-		opts.Servers = 3
-	}
-	if opts.Seed == 0 {
-		opts.Seed = 1
+	if err := opts.Validate(); err != nil {
+		return nil, err
 	}
 	c := &Cluster{
 		net:         transport.NewNetwork(opts.Seed),

@@ -117,15 +117,26 @@ func main() {
 		}
 		fmt.Printf("LSN %d = %q\n", lsn, data)
 	case "scan":
-		for lsn := record.LSN(1); lsn <= l.EndOfLog(); lsn++ {
-			data, err := l.ReadLog(lsn)
-			switch {
-			case err == nil:
-				fmt.Printf("LSN %d = %q\n", lsn, data)
-			case errors.Is(err, core.ErrNotPresent):
-				fmt.Printf("LSN %d (not present)\n", lsn)
-			default:
-				log.Fatalf("scan at %d: %v", lsn, err)
+		if l.EndOfLog() == 0 {
+			break
+		}
+		cur, err := l.OpenCursor(1, core.Forward)
+		if err != nil {
+			log.Fatalf("scan: %v", err)
+		}
+		defer cur.Close()
+		for {
+			rec, err := cur.Next()
+			if errors.Is(err, core.ErrBeyondEnd) {
+				break
+			}
+			if err != nil {
+				log.Fatalf("scan: %v", err)
+			}
+			if rec.Present {
+				fmt.Printf("LSN %d = %q\n", rec.LSN, rec.Data)
+			} else {
+				fmt.Printf("LSN %d (not present)\n", rec.LSN)
 			}
 		}
 	case "status":

@@ -67,6 +67,19 @@ type (
 	ClientConfig = core.Config
 	// ClientStats counts client protocol activity.
 	ClientStats = core.Stats
+	// Cursor streams log records in one direction with pipelined
+	// prefetch; see Client.OpenCursor.
+	Cursor = core.Cursor
+	// Direction selects a cursor's scan direction.
+	Direction = core.Direction
+)
+
+// Cursor scan directions.
+const (
+	// Forward scans toward the end of the log.
+	Forward = core.Forward
+	// Backward scans toward LSN 1.
+	Backward = core.Backward
 )
 
 // Open dials the configured log servers, runs client initialization
@@ -80,6 +93,7 @@ var (
 	ErrBeyondEnd   = core.ErrBeyondEnd
 	ErrUnavailable = core.ErrUnavailable
 	ErrInitQuorum  = core.ErrInitQuorum
+	ErrClosed      = core.ErrClosed
 )
 
 // Server side.
@@ -92,13 +106,15 @@ type (
 	ServerStats = server.Stats
 	// EpochHost hosts epoch-generator state representatives.
 	EpochHost = server.EpochHost
+	// MemEpochHost is the in-memory EpochHost implementation.
+	MemEpochHost = server.MemEpochHost
 )
 
 // NewServer creates a log server; call Start on the result.
 func NewServer(cfg ServerConfig) *Server { return server.New(cfg) }
 
 // NewMemEpochHost returns an in-memory epoch representative host.
-func NewMemEpochHost() *server.MemEpochHost { return server.NewMemEpochHost() }
+func NewMemEpochHost() *MemEpochHost { return server.NewMemEpochHost() }
 
 // Stores.
 type (
@@ -106,6 +122,10 @@ type (
 	Store = storage.Store
 	// DiskGeometry describes a simulated logging disk.
 	DiskGeometry = disk.Geometry
+	// Disk is the simulated track-addressed logging disk.
+	Disk = disk.Disk
+	// NVRAM is the battery-backed staging memory fronting a Disk.
+	NVRAM = nvram.NVRAM
 )
 
 // NewMemStore returns a volatile in-memory store.
@@ -118,7 +138,7 @@ func OpenFileStore(path string) (Store, error) { return storage.OpenFileStore(pa
 // by battery-backed NVRAM sized to nvramTracks tracks, along with the
 // devices (which survive simulated power failures and can be passed to
 // a future NewDiskStoreOver call).
-func NewModelledStore(g DiskGeometry, nvramTracks int) (Store, *disk.Disk, *nvram.NVRAM, error) {
+func NewModelledStore(g DiskGeometry, nvramTracks int) (Store, *Disk, *NVRAM, error) {
 	d, err := disk.New(g)
 	if err != nil {
 		return nil, nil, nil, err
@@ -133,7 +153,7 @@ func NewModelledStore(g DiskGeometry, nvramTracks int) (Store, *disk.Disk, *nvra
 
 // NewDiskStoreOver reopens a store over existing devices (a server
 // node reboot).
-func NewDiskStoreOver(d *disk.Disk, nv *nvram.NVRAM) (Store, error) {
+func NewDiskStoreOver(d *Disk, nv *NVRAM) (Store, error) {
 	return storage.NewDiskStore(d, nv)
 }
 
@@ -149,6 +169,11 @@ type (
 	Network = transport.Network
 	// Faults configures drop/duplicate/corrupt/delay injection.
 	Faults = transport.Faults
+	// UDPEndpoint is a datagram endpoint on a real UDP socket.
+	UDPEndpoint = transport.UDPEndpoint
+	// DualEndpoint binds two independent networks into one endpoint
+	// with automatic failover.
+	DualEndpoint = transport.DualEndpoint
 )
 
 // NewNetwork returns an in-memory network with deterministic faults.
@@ -174,13 +199,13 @@ func NewTelemetry() *Telemetry { return telemetry.NewRegistry() }
 func TelemetryHandler(r *Telemetry) http.Handler { return telemetry.Handler(r) }
 
 // ListenUDP opens a UDP endpoint ("host:port", ":0" for ephemeral).
-func ListenUDP(addr string) (*transport.UDPEndpoint, error) { return transport.ListenUDP(addr) }
+func ListenUDP(addr string) (*UDPEndpoint, error) { return transport.ListenUDP(addr) }
 
 // NewDualEndpoint binds interfaces on two independent networks into
 // one endpoint — the Section 2 arrangement ("two complete networks,
 // including two network interfaces in each processing node"). The
 // client fails over between them automatically when one LAN dies.
-func NewDualEndpoint(a, b Endpoint) *transport.DualEndpoint {
+func NewDualEndpoint(a, b Endpoint) *DualEndpoint {
 	return transport.NewDualEndpoint(a, b)
 }
 
@@ -243,6 +268,13 @@ type (
 	ET1Txn = workload.ET1Txn
 	// ET1Scale sizes the ET1 bank.
 	ET1Scale = workload.ET1Scale
+	// ET1Generator generates a reproducible ET1 transaction stream.
+	ET1Generator = workload.ET1Generator
+	// LongTxnGenerator generates the Section 2 workstation workload:
+	// long design transactions with savepoints and partial rollbacks.
+	LongTxnGenerator = workload.LongTxnGenerator
+	// LongTxnOp is one operation of a long design transaction.
+	LongTxnOp = workload.LongTxnOp
 )
 
 // WriteLogAvailability returns P(WriteLog available) for the config.
@@ -261,7 +293,11 @@ func AnalyzeCapacity(p CapacityParams) CapacityReport { return capacity.Analyze(
 func PaperCapacityParams() CapacityParams { return capacity.PaperParams() }
 
 // NewET1 returns a reproducible ET1 transaction generator.
-func NewET1(scale ET1Scale, seed int64) *workload.ET1Generator { return workload.NewET1(scale, seed) }
+func NewET1(scale ET1Scale, seed int64) *ET1Generator { return workload.NewET1(scale, seed) }
 
 // DefaultET1Scale returns a laptop-sized ET1 bank.
 func DefaultET1Scale() ET1Scale { return workload.DefaultScale() }
+
+// NewLongTxn returns a reproducible long-transaction generator over
+// keyspace keys.
+func NewLongTxn(keys int, seed int64) *LongTxnGenerator { return workload.NewLongTxn(keys, seed) }

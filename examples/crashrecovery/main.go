@@ -13,40 +13,35 @@ import (
 	"log"
 
 	"distlog"
-	"distlog/internal/core"
-	"distlog/internal/record"
-	"distlog/internal/server"
-	"distlog/internal/storage"
-	"distlog/internal/transport"
 )
 
 func main() {
-	net := transport.NewNetwork(1)
+	net := distlog.NewNetwork(1)
 	names := []string{"server-1", "server-2", "server-3"}
-	stores := map[string]*storage.MemStore{}
-	epochs := map[string]*server.MemEpochHost{}
-	servers := map[string]*server.Server{}
+	stores := map[string]distlog.Store{}
+	epochs := map[string]*distlog.MemEpochHost{}
+	servers := map[string]*distlog.Server{}
 	start := func(name string) {
-		srv := server.New(server.Config{
+		srv := distlog.NewServer(distlog.ServerConfig{
 			Name: name, Store: stores[name], Endpoint: net.Endpoint(name), Epochs: epochs[name],
 		})
 		srv.Start()
 		servers[name] = srv
 	}
 	for _, n := range names {
-		stores[n] = storage.NewMemStore()
-		epochs[n] = server.NewMemEpochHost()
+		stores[n] = distlog.NewMemStore()
+		epochs[n] = distlog.NewMemEpochHost()
 	}
 
 	// Seed the Figure 3.2 state: epochs 1 and 3, record 4 not present,
 	// record 10 partially written (server 3 only).
-	pr := func(lsn record.LSN, e record.Epoch) record.Record {
-		return record.Record{LSN: lsn, Epoch: e, Present: true, Data: []byte(fmt.Sprintf("data<%d,%d>", lsn, e))}
+	pr := func(lsn distlog.LSN, e distlog.Epoch) distlog.Record {
+		return distlog.Record{LSN: lsn, Epoch: e, Present: true, Data: []byte(fmt.Sprintf("data<%d,%d>", lsn, e))}
 	}
-	np := func(lsn record.LSN, e record.Epoch) record.Record {
-		return record.Record{LSN: lsn, Epoch: e, Present: false}
+	np := func(lsn distlog.LSN, e distlog.Epoch) distlog.Record {
+		return distlog.Record{LSN: lsn, Epoch: e, Present: false}
 	}
-	seed := func(name string, recs ...record.Record) {
+	seed := func(name string, recs ...distlog.Record) {
 		for _, r := range recs {
 			if err := stores[name].Append(1, r); err != nil {
 				log.Fatalf("seeding %s: %v", name, err)
@@ -82,7 +77,7 @@ func main() {
 		}
 	}()
 
-	l, err := core.Open(core.Config{
+	l, err := distlog.Open(distlog.ClientConfig{
 		ClientID: 1,
 		Servers:  names,
 		N:        2,
@@ -97,16 +92,25 @@ func main() {
 
 	dump("Figure 3.3 — after the crash recovery procedure:")
 
-	// The replicated log's contents are now settled.
-	for lsn := distlog.LSN(1); lsn <= l.EndOfLog(); lsn++ {
-		data, err := l.ReadLog(lsn)
-		switch {
-		case err == nil:
-			fmt.Printf("  ReadLog(%d)  = %q\n", lsn, data)
-		case errors.Is(err, core.ErrNotPresent):
-			fmt.Printf("  ReadLog(%d)  = not present\n", lsn)
-		default:
-			log.Fatalf("ReadLog(%d): %v", lsn, err)
+	// The replicated log's contents are now settled; a forward cursor
+	// streams them in packet-sized batches.
+	cur, err := l.OpenCursor(1, distlog.Forward)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cur.Close()
+	for {
+		rec, err := cur.Next()
+		if errors.Is(err, distlog.ErrBeyondEnd) {
+			break
+		}
+		if err != nil {
+			log.Fatalf("cursor: %v", err)
+		}
+		if rec.Present {
+			fmt.Printf("  record %d  = %q\n", rec.LSN, rec.Data)
+		} else {
+			fmt.Printf("  record %d  = not present\n", rec.LSN)
 		}
 	}
 	fmt.Println("\nrecord 10 (server 3's partial write) is gone and can never resurface:")

@@ -12,31 +12,26 @@ import (
 	"log"
 
 	"distlog"
-	"distlog/internal/core"
-	"distlog/internal/server"
-	"distlog/internal/storage"
-	"distlog/internal/transport"
-	"distlog/internal/workload"
 )
 
 func main() {
 	// Two complete networks; every node has an interface on each.
-	net1 := transport.NewNetwork(1)
-	net2 := transport.NewNetwork(2)
+	net1 := distlog.NewNetwork(1)
+	net2 := distlog.NewNetwork(2)
 	names := []string{"logsrv-1", "logsrv-2", "logsrv-3"}
 	for _, name := range names {
-		srv := server.New(server.Config{
+		srv := distlog.NewServer(distlog.ServerConfig{
 			Name:     name,
-			Store:    storage.NewMemStore(),
-			Endpoint: transport.NewDualEndpoint(net1.Endpoint(name), net2.Endpoint(name)),
-			Epochs:   server.NewMemEpochHost(),
+			Store:    distlog.NewMemStore(),
+			Endpoint: distlog.NewDualEndpoint(net1.Endpoint(name), net2.Endpoint(name)),
+			Epochs:   distlog.NewMemEpochHost(),
 		})
 		srv.Start()
 		defer srv.Stop()
 	}
 
-	dual := transport.NewDualEndpoint(net1.Endpoint("workstation"), net2.Endpoint("workstation"))
-	l, err := core.Open(core.Config{
+	dual := distlog.NewDualEndpoint(net1.Endpoint("workstation"), net2.Endpoint("workstation"))
+	l, err := distlog.Open(distlog.ClientConfig{
 		ClientID: 7,
 		Servers:  names,
 		N:        2,
@@ -56,7 +51,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	gen := workload.NewLongTxn(200, 11)
+	gen := distlog.NewLongTxn(200, 11)
 	for session := 1; session <= 3; session++ {
 		txn := engine.Begin()
 		var savepoints []int
@@ -81,7 +76,7 @@ func main() {
 		if session == 2 {
 			// The primary LAN dies mid-session.
 			fmt.Println("\n*** network 1 fails during design session 2 ***")
-			net1.SetFaults(transport.Faults{DropProb: 1})
+			net1.SetFaults(distlog.Faults{DropProb: 1})
 		}
 		if err := txn.Commit(); err != nil {
 			log.Fatal(err)

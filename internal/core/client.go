@@ -71,12 +71,28 @@ type Config struct {
 	// before the server is presumed failed. Default 3.
 	Retries int
 	// FlushBatch is the number of buffered records that triggers an
-	// asynchronous WriteLog message before any force. Default: as many
-	// as fill a packet (computed per batch).
+	// asynchronous WriteLog message before any force. Zero disables the
+	// opportunistic flush (records stream on Force; a packet-sized batch
+	// is still computed per message).
 	FlushBatch int
-	// Window and OverAllocPause tune flow control.
-	Window         uint64
+	// Window is the moving-window flow-control allocation granted to
+	// each server. Zero means wire.DefaultWindow (512 packets).
+	Window uint64
+	// OverAllocPause is how long a sender pauses before exceeding its
+	// allocation. Zero means wire.DefaultOverAllocPause (2s).
 	OverAllocPause time.Duration
+	// ReadAhead is the cursor prefetch window: how many range-fetch
+	// tasks an open cursor keeps in flight ahead of the consumer.
+	// Default 8.
+	ReadAhead int
+	// ScanSpan is how many LSNs one cursor fetch task covers; tasks are
+	// additionally clamped at holder-segment boundaries so each task
+	// has a single holder set. Default 128.
+	ScanSpan int
+	// StreamPackets is the reply-packet budget a cursor attaches to each
+	// ReadStream request (the server clamps it to its own maximum).
+	// Default 4.
+	StreamPackets int
 	// ConnID overrides the connection incarnation identifier (tests);
 	// 0 derives one from the clock and a process-wide counter.
 	ConnID uint64
@@ -90,7 +106,12 @@ type Config struct {
 	Telemetry *telemetry.Registry
 }
 
-func (c *Config) fillDefaults() error {
+// Validate checks the configuration and fills in the documented
+// defaults for zero-valued fields. Open calls it; callers building
+// configurations programmatically may call it early to surface errors
+// before dialing anything. Nonsensical values — negative depths,
+// timeouts, or windows — are rejected rather than silently defaulted.
+func (c *Config) Validate() error {
 	if c.N < 1 {
 		return fmt.Errorf("core: N = %d", c.N)
 	}
@@ -100,6 +121,24 @@ func (c *Config) fillDefaults() error {
 	if c.Endpoint == nil {
 		return fmt.Errorf("core: no endpoint")
 	}
+	switch {
+	case c.Delta < 0:
+		return fmt.Errorf("core: negative Delta %d", c.Delta)
+	case c.CallTimeout < 0:
+		return fmt.Errorf("core: negative CallTimeout %v", c.CallTimeout)
+	case c.Retries < 0:
+		return fmt.Errorf("core: negative Retries %d", c.Retries)
+	case c.FlushBatch < 0:
+		return fmt.Errorf("core: negative FlushBatch %d", c.FlushBatch)
+	case c.OverAllocPause < 0:
+		return fmt.Errorf("core: negative OverAllocPause %v", c.OverAllocPause)
+	case c.ReadAhead < 0:
+		return fmt.Errorf("core: negative ReadAhead %d", c.ReadAhead)
+	case c.ScanSpan < 0:
+		return fmt.Errorf("core: negative ScanSpan %d", c.ScanSpan)
+	case c.StreamPackets < 0:
+		return fmt.Errorf("core: negative StreamPackets %d", c.StreamPackets)
+	}
 	if c.Delta == 0 {
 		c.Delta = 16
 	}
@@ -108,6 +147,15 @@ func (c *Config) fillDefaults() error {
 	}
 	if c.Retries == 0 {
 		c.Retries = 3
+	}
+	if c.ReadAhead == 0 {
+		c.ReadAhead = 8
+	}
+	if c.ScanSpan == 0 {
+		c.ScanSpan = 128
+	}
+	if c.StreamPackets == 0 {
+		c.StreamPackets = 4
 	}
 	return nil
 }
@@ -123,10 +171,18 @@ type Stats struct {
 	Forces        uint64 // Force calls (including δ-triggered implicit forces)
 	ForceRounds   uint64 // protocol rounds actually executed (≤ Forces)
 	GroupCommits  uint64 // Force calls satisfied by riding another caller's round
-	Reads         uint64
-	ReadCacheHits uint64
-	Failovers     uint64
-	Resends       uint64
+	Reads           uint64
+	ReadCacheHits   uint64
+	ReadCacheMisses uint64 // reads that went to a server (or synthesized a marker)
+	Failovers       uint64
+	Resends         uint64
+	// Cursor activity. These are incremented by concurrent prefetch
+	// tasks (off the client mutex), so they are monotone but not
+	// transactionally consistent with the write-path counters above.
+	CursorStreams  uint64 // ReadStream requests issued
+	StreamRestarts uint64 // mid-stream holder switches after an abnormal stream end
+	PrefetchHits   uint64 // cursor advanced onto a task that had already completed
+	PrefetchWaits  uint64 // cursor had to block on an in-flight task
 }
 
 // ReplicatedLog is a replicated log handle. It is safe for concurrent
@@ -143,7 +199,7 @@ type ReplicatedLog struct {
 	// write-set servers, in LSN order. Its length never exceeds Delta.
 	outstanding []record.Record
 	holders     *holders
-	readCache   map[record.LSN]record.Record
+	readCache   *readCache
 	truncated   record.LSN // records below were discarded via TruncatePrefix
 	m           *clientMetrics
 	closed      bool
@@ -163,7 +219,7 @@ type ReplicatedLog struct {
 // Open dials the log servers, runs the client initialization and
 // crash-recovery procedure of Section 3.1.2, and returns a usable log.
 func Open(cfg Config) (*ReplicatedLog, error) {
-	if err := cfg.fillDefaults(); err != nil {
+	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if cfg.ConnID == 0 {
@@ -172,7 +228,7 @@ func Open(cfg Config) (*ReplicatedLog, error) {
 	l := &ReplicatedLog{
 		cfg:       cfg,
 		sessions:  make(map[string]*session),
-		readCache: make(map[record.LSN]record.Record),
+		readCache: newReadCache(readCacheCap),
 		m:         newClientMetrics(cfg.Telemetry, cfg.Endpoint.Addr()),
 	}
 	l.pumpWG.Add(1)
@@ -815,11 +871,7 @@ func (l *ReplicatedLog) TruncatePrefix(before record.LSN) error {
 		return nil
 	}
 	l.truncated = before
-	for lsn := range l.readCache {
-		if lsn < before {
-			delete(l.readCache, lsn)
-		}
-	}
+	l.readCache.removeBelow(before)
 	servers := append([]string(nil), l.cfg.Servers...)
 	l.mu.Unlock()
 
@@ -883,12 +935,13 @@ func (l *ReplicatedLog) ReadRecord(lsn record.LSN) (record.Record, error) {
 			return rec.Clone(), nil
 		}
 	}
-	if rec, ok := l.readCache[lsn]; ok {
+	if rec, ok := l.readCache.get(lsn); ok {
 		l.m.readCacheHits.Add(1)
 		l.m.reads.Add(1)
 		l.mu.Unlock()
 		return rec.Clone(), nil
 	}
+	l.m.readCacheMisses.Add(1)
 	servers := l.holders.serversFor(lsn)
 	wantEpoch := l.holders.epochFor(lsn)
 	l.m.reads.Add(1)
@@ -902,10 +955,14 @@ func (l *ReplicatedLog) ReadRecord(lsn record.LSN) (record.Record, error) {
 		// scans can skip it uniformly.
 		return record.Record{LSN: lsn, Present: false}, nil
 	}
-	rec, err := l.fetchRecord(lsn, servers, wantEpoch)
+	// One-record streaming fetch: the same path (and the same holder
+	// failover) a cursor uses, so a single ReadRecord costs exactly one
+	// request and one reply chunk.
+	recs, err := l.fetchRange(lsn, lsn, Forward, servers, wantEpoch, 0)
 	if err != nil {
 		return record.Record{}, err
 	}
+	rec := recs[0]
 	l.mu.Lock()
 	l.cacheRecord(rec)
 	l.mu.Unlock()
@@ -913,10 +970,7 @@ func (l *ReplicatedLog) ReadRecord(lsn record.LSN) (record.Record, error) {
 }
 
 func (l *ReplicatedLog) cacheRecord(rec record.Record) {
-	if len(l.readCache) > 4096 {
-		l.readCache = make(map[record.LSN]record.Record)
-	}
-	l.readCache[rec.LSN] = rec
+	l.readCache.put(rec)
 }
 
 // ReadRecordsBackward returns a batch of records with descending LSNs

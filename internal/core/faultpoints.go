@@ -35,6 +35,12 @@ const (
 	// caught up but before it replaces the failed server in the write
 	// set.
 	FPFailoverBeforeSwap = "client.failover.before-swap"
+	// FPCursorMidStream interrupts the cursor read path as each reply
+	// chunk is accepted — a client dying partway through a streamed
+	// recovery scan. It fires on every streaming read (single-record
+	// ReadRecord included), so the crashaudit sweep reaches it from both
+	// scans and point reads.
+	FPCursorMidStream = "core.cursor.mid-stream"
 )
 
 var _ = faultpoint.Register(
@@ -44,4 +50,5 @@ var _ = faultpoint.Register(
 	FPForceAfterFlush,
 	FPForceWaiterDone,
 	FPFailoverBeforeSwap,
+	FPCursorMidStream,
 )

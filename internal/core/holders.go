@@ -64,6 +64,36 @@ func (h *holders) covered(lsn record.LSN) bool {
 	return h.epochFor(lsn) != 0
 }
 
+// segment returns the maximal interval around lsn whose every LSN
+// resolves to the same holder set and epoch as lsn itself, with that
+// holder set — the unit a cursor fetch task can cover with one server
+// choice. ok is false when no server holds lsn. Live entries are
+// non-overlapping (the write path appends strictly increasing acked
+// intervals), but they shadow the merged initialization view, so a
+// merged segment is clipped against every live entry before being
+// returned.
+func (h *holders) segment(lsn record.LSN) (record.Interval, []string, bool) {
+	for i := len(h.live) - 1; i >= 0; i-- {
+		if h.live[i].iv.Contains(lsn) {
+			return h.live[i].iv, h.live[i].servers, true
+		}
+	}
+	iv, servers, ok := h.merged.Segment(lsn)
+	if !ok {
+		return record.Interval{}, nil, false
+	}
+	for _, le := range h.live {
+		o := le.iv
+		if o.High < lsn && o.High+1 > iv.Low {
+			iv.Low = o.High + 1
+		}
+		if o.Low > lsn && o.Low-1 < iv.High {
+			iv.High = o.Low - 1
+		}
+	}
+	return iv, servers, true
+}
+
 func equalStrings(a, b []string) bool {
 	if len(a) != len(b) {
 		return false

@@ -109,11 +109,14 @@ func TestConfigValidation(t *testing.T) {
 
 func TestConfigDefaults(t *testing.T) {
 	cfg := Config{N: 1, Servers: []string{"a"}, Endpoint: dummyEndpoint{}}
-	if err := cfg.fillDefaults(); err != nil {
+	if err := cfg.Validate(); err != nil {
 		t.Fatal(err)
 	}
 	if cfg.Delta != 16 || cfg.CallTimeout == 0 || cfg.Retries == 0 {
 		t.Fatalf("defaults not filled: %+v", cfg)
+	}
+	if cfg.ReadAhead != 8 || cfg.ScanSpan == 0 || cfg.StreamPackets == 0 {
+		t.Fatalf("cursor defaults not filled: %+v", cfg)
 	}
 }
 

@@ -13,6 +13,7 @@ const (
 	mGroupCommits    = "client.group_commits"
 	mReads           = "client.reads"
 	mReadCacheHits   = "client.read_cache_hits"
+	mReadCacheMisses = "client.read_cache_misses"
 	mFailovers       = "client.failovers"
 	mResends         = "client.resends"
 	mWaiterAcks      = "client.force.acks"
@@ -20,6 +21,12 @@ const (
 	mWaiterTimeouts  = "client.force.timeouts"
 	mForceLatency    = "client.force.latency_ns"
 	mRecordsPerRound = "client.force.records_per_round"
+	mCursorStreams   = "client.cursor.streams"
+	mStreamRestarts  = "client.cursor.stream_restarts"
+	mPrefetchHits    = "client.cursor.prefetch_hits"
+	mPrefetchWaits   = "client.cursor.prefetch_waits"
+	mWindowOccupancy = "client.cursor.window_occupancy"
+	mScanLatency     = "client.cursor.scan_latency_ns"
 )
 
 // clientMetrics is the client's single source of protocol counters.
@@ -39,17 +46,32 @@ type clientMetrics struct {
 	forces        *telemetry.Counter
 	forceRounds   *telemetry.Counter
 	groupCommits  *telemetry.Counter
-	reads         *telemetry.Counter
-	readCacheHits *telemetry.Counter
-	failovers     *telemetry.Counter
-	resends       *telemetry.Counter
+	reads           *telemetry.Counter
+	readCacheHits   *telemetry.Counter
+	readCacheMisses *telemetry.Counter
+	failovers       *telemetry.Counter
+	resends         *telemetry.Counter
 
 	waiterAcks     *telemetry.Counter
 	waiterNacks    *telemetry.Counter
 	waiterTimeouts *telemetry.Counter
 
+	// Cursor instruments. Unlike the Stats-visible write-path counters
+	// these are incremented off l.mu (prefetch tasks run concurrently),
+	// so their Stats view is monotone but not transactionally consistent
+	// with the rest of a snapshot.
+	cursorStreams  *telemetry.Counter
+	streamRestarts *telemetry.Counter
+	prefetchHits   *telemetry.Counter
+	prefetchWaits  *telemetry.Counter
+
 	forceLatency    *telemetry.Histogram
 	recordsPerRound *telemetry.Histogram
+	// windowOccupancy samples the number of in-flight prefetch tasks at
+	// each cursor refill; scanLatency is the lifetime of each cursor
+	// from open to close.
+	windowOccupancy *telemetry.Histogram
+	scanLatency     *telemetry.Histogram
 }
 
 func newClientMetrics(reg *telemetry.Registry, node string) *clientMetrics {
@@ -65,13 +87,20 @@ func newClientMetrics(reg *telemetry.Registry, node string) *clientMetrics {
 		groupCommits:    reg.Counter(mGroupCommits),
 		reads:           reg.Counter(mReads),
 		readCacheHits:   reg.Counter(mReadCacheHits),
+		readCacheMisses: reg.Counter(mReadCacheMisses),
 		failovers:       reg.Counter(mFailovers),
 		resends:         reg.Counter(mResends),
 		waiterAcks:      reg.Counter(mWaiterAcks),
 		waiterNacks:     reg.Counter(mWaiterNacks),
 		waiterTimeouts:  reg.Counter(mWaiterTimeouts),
+		cursorStreams:   reg.Counter(mCursorStreams),
+		streamRestarts:  reg.Counter(mStreamRestarts),
+		prefetchHits:    reg.Counter(mPrefetchHits),
+		prefetchWaits:   reg.Counter(mPrefetchWaits),
 		forceLatency:    reg.Histogram(mForceLatency),
 		recordsPerRound: reg.Histogram(mRecordsPerRound),
+		windowOccupancy: reg.Histogram(mWindowOccupancy),
+		scanLatency:     reg.Histogram(mScanLatency),
 	}
 }
 
@@ -85,9 +114,14 @@ func (m *clientMetrics) statsLocked() Stats {
 		Forces:        m.forces.Value(),
 		ForceRounds:   m.forceRounds.Value(),
 		GroupCommits:  m.groupCommits.Value(),
-		Reads:         m.reads.Value(),
-		ReadCacheHits: m.readCacheHits.Value(),
-		Failovers:     m.failovers.Value(),
-		Resends:       m.resends.Value(),
+		Reads:           m.reads.Value(),
+		ReadCacheHits:   m.readCacheHits.Value(),
+		ReadCacheMisses: m.readCacheMisses.Value(),
+		Failovers:       m.failovers.Value(),
+		Resends:         m.resends.Value(),
+		CursorStreams:   m.cursorStreams.Value(),
+		StreamRestarts:  m.streamRestarts.Value(),
+		PrefetchHits:    m.prefetchHits.Value(),
+		PrefetchWaits:   m.prefetchWaits.Value(),
 	}
 }

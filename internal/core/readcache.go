@@ -1,0 +1,88 @@
+package core
+
+import "distlog/internal/record"
+
+// readCacheCap bounds the client read cache. The previous
+// implementation kept an unbounded map and wiped it wholesale at this
+// size, guaranteeing a cold cache right in the middle of any scan
+// longer than the capacity; the clock cache below evicts one entry at a
+// time instead.
+const readCacheCap = 4096
+
+// readCache is a bounded LSN→record cache with clock (second-chance)
+// eviction: each hit sets the slot's reference bit, and the eviction
+// hand sweeps the slots clearing bits until it finds one unreferenced
+// since its last pass. Hot records therefore survive a scan streaming
+// through, while scan-only records recycle after one revolution.
+// Callers synchronize access (the client uses l.mu, like the map it
+// replaces).
+type readCache struct {
+	capacity int
+	index    map[record.LSN]int
+	slots    []readCacheSlot
+	hand     int
+}
+
+type readCacheSlot struct {
+	rec record.Record
+	ref bool
+}
+
+func newReadCache(capacity int) *readCache {
+	return &readCache{
+		capacity: capacity,
+		index:    make(map[record.LSN]int, capacity),
+	}
+}
+
+// get returns the cached record for lsn, marking it recently used.
+func (c *readCache) get(lsn record.LSN) (record.Record, bool) {
+	i, ok := c.index[lsn]
+	if !ok {
+		return record.Record{}, false
+	}
+	c.slots[i].ref = true
+	return c.slots[i].rec, true
+}
+
+// put inserts or refreshes the record, evicting one entry if full.
+func (c *readCache) put(rec record.Record) {
+	if i, ok := c.index[rec.LSN]; ok {
+		c.slots[i] = readCacheSlot{rec: rec, ref: true}
+		return
+	}
+	if len(c.slots) < c.capacity {
+		c.index[rec.LSN] = len(c.slots)
+		c.slots = append(c.slots, readCacheSlot{rec: rec, ref: true})
+		return
+	}
+	for {
+		s := &c.slots[c.hand]
+		if !s.ref {
+			delete(c.index, s.rec.LSN)
+			c.index[rec.LSN] = c.hand
+			*s = readCacheSlot{rec: rec, ref: true}
+			c.hand = (c.hand + 1) % len(c.slots)
+			return
+		}
+		s.ref = false
+		c.hand = (c.hand + 1) % len(c.slots)
+	}
+}
+
+// removeBelow drops every cached record with an LSN below lsn
+// (TruncatePrefix). Vacated slots are reused in place: they become
+// unreferenced holes the clock hand reclaims before evicting anything
+// live.
+func (c *readCache) removeBelow(lsn record.LSN) {
+	for i := range c.slots {
+		s := &c.slots[i]
+		if s.rec.LSN != 0 && s.rec.LSN < lsn {
+			delete(c.index, s.rec.LSN)
+			*s = readCacheSlot{}
+		}
+	}
+}
+
+// len returns the number of cached records.
+func (c *readCache) len() int { return len(c.index) }

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"testing"
+
+	"distlog/internal/record"
+)
+
+func crec(lsn record.LSN) record.Record {
+	return record.Record{LSN: lsn, Epoch: 1, Present: true, Data: []byte{byte(lsn)}}
+}
+
+func TestReadCacheClockEviction(t *testing.T) {
+	c := newReadCache(4)
+	for lsn := record.LSN(1); lsn <= 4; lsn++ {
+		c.put(crec(lsn))
+	}
+	if c.len() != 4 {
+		t.Fatalf("len = %d, want 4", c.len())
+	}
+	// Overflow: the cache must stay bounded and evict exactly one entry
+	// per insertion — not wipe wholesale like the map it replaced.
+	for lsn := record.LSN(5); lsn <= 20; lsn++ {
+		c.put(crec(lsn))
+		if c.len() != 4 {
+			t.Fatalf("len = %d after put(%d), want 4", c.len(), lsn)
+		}
+		if _, ok := c.get(lsn); !ok {
+			t.Fatalf("just-inserted %d missing", lsn)
+		}
+	}
+}
+
+func TestReadCacheSecondChance(t *testing.T) {
+	c := newReadCache(4)
+	for lsn := record.LSN(1); lsn <= 4; lsn++ {
+		c.put(crec(lsn))
+	}
+	// One full hand revolution clears all reference bits...
+	c.put(crec(5))
+	// ...then keep LSN 2 hot while streaming 6..12 through: the hot
+	// entry's bit is re-set before the hand returns, so it survives.
+	for lsn := record.LSN(6); lsn <= 12; lsn++ {
+		if _, ok := c.get(2); !ok {
+			t.Fatalf("hot entry 2 evicted before put(%d)", lsn)
+		}
+		c.put(crec(lsn))
+	}
+	if _, ok := c.get(2); !ok {
+		t.Fatal("hot entry 2 evicted by streaming inserts")
+	}
+}
+
+func TestReadCacheRemoveBelow(t *testing.T) {
+	c := newReadCache(8)
+	for lsn := record.LSN(1); lsn <= 8; lsn++ {
+		c.put(crec(lsn))
+	}
+	c.removeBelow(5)
+	if c.len() != 4 {
+		t.Fatalf("len = %d after removeBelow(5), want 4", c.len())
+	}
+	for lsn := record.LSN(1); lsn <= 4; lsn++ {
+		if _, ok := c.get(lsn); ok {
+			t.Fatalf("truncated LSN %d still cached", lsn)
+		}
+	}
+	for lsn := record.LSN(5); lsn <= 8; lsn++ {
+		if _, ok := c.get(lsn); !ok {
+			t.Fatalf("retained LSN %d missing", lsn)
+		}
+	}
+	// The vacated slots must be reusable without growing the cache.
+	for lsn := record.LSN(9); lsn <= 12; lsn++ {
+		c.put(crec(lsn))
+	}
+	if c.len() != 8 {
+		t.Fatalf("len = %d after refilling holes, want 8", c.len())
+	}
+}
+
+func TestReadCacheUpdateInPlace(t *testing.T) {
+	c := newReadCache(2)
+	c.put(crec(1))
+	newer := record.Record{LSN: 1, Epoch: 2, Present: true, Data: []byte("new")}
+	c.put(newer)
+	if c.len() != 1 {
+		t.Fatalf("len = %d after refresh, want 1", c.len())
+	}
+	got, ok := c.get(1)
+	if !ok || got.Epoch != 2 || string(got.Data) != "new" {
+		t.Fatalf("get(1) = %v %v, want the refreshed record", got, ok)
+	}
+}

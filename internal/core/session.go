@@ -76,9 +76,16 @@ type session struct {
 	ackedHigh record.LSN // highest NewHighLSN received
 	sentHigh  record.LSN // highest LSN sent in this connection's stream
 	pending   map[uint64]chan *wire.Packet
-	missing   []wire.IntervalPayload // MissingInterval NACKs awaiting service
-	reset     bool                   // server sent Rst: connection is dead
-	closed    bool
+	// streams are multi-shot sinks for TReadStreamData chunks, keyed by
+	// the request Seq like pending. Unlike pending entries they survive
+	// multiple deliveries; deliver sends non-blocking under mu (the
+	// channel is sized for the largest reply a request can provoke, so
+	// drops only happen on protocol violations) and close/Rst close them
+	// under the same mu, so a send can never race a close.
+	streams map[uint64]chan *wire.Packet
+	missing []wire.IntervalPayload // MissingInterval NACKs awaiting service
+	reset   bool                   // server sent Rst: connection is dead
+	closed  bool
 }
 
 func newSession(ep transport.Endpoint, addr string, clientID record.ClientID, connID uint64, window uint64, pause, callTimeout time.Duration, retries int) *session {
@@ -89,6 +96,7 @@ func newSession(ep transport.Endpoint, addr string, clientID record.ClientID, co
 		retries:     retries,
 		ready:       make(chan struct{}),
 		pending:     make(map[uint64]chan *wire.Packet),
+		streams:     make(map[uint64]chan *wire.Packet),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	return s
@@ -137,6 +145,10 @@ func (s *session) deliver(pkt *wire.Packet) {
 			close(ch)
 			delete(s.pending, seq)
 		}
+		for seq, ch := range s.streams {
+			close(ch)
+			delete(s.streams, seq)
+		}
 		s.cond.Broadcast()
 		s.mu.Unlock()
 		return
@@ -151,14 +163,26 @@ func (s *session) deliver(pkt *wire.Packet) {
 		if ok {
 			delete(s.pending, pkt.RespTo)
 		}
-		s.mu.Unlock()
-		if ok {
-			// Copy the packet so the pump's stack-allocated value never
-			// escapes: only the infrequent RPC-response path pays a heap
-			// allocation, keeping streamed acks allocation-free.
-			cp := *pkt
-			ch <- &cp
+		if !ok {
+			// Not a one-shot call: a stream chunk, or an error reply to
+			// a stream request. Sent non-blocking while holding mu — see
+			// the streams field comment for why this cannot race a close.
+			if sch, sok := s.streams[pkt.RespTo]; sok {
+				cp := *pkt
+				select {
+				case sch <- &cp:
+				default:
+				}
+			}
+			s.mu.Unlock()
+			return
 		}
+		s.mu.Unlock()
+		// Copy the packet so the pump's stack-allocated value never
+		// escapes: only the infrequent RPC-response path pays a heap
+		// allocation, keeping streamed acks allocation-free.
+		cp := *pkt
+		ch <- &cp
 	case pkt.Type == wire.TNewHighLSN:
 		// Decoded inline: the ack path runs once per force round per
 		// server and must not allocate.
@@ -244,6 +268,51 @@ func (s *session) call(t wire.Type, payload []byte) (*wire.Packet, error) {
 	return nil, fmt.Errorf("%w: %s to %s", ErrCallTimeout, t, s.addr)
 }
 
+// openStream sends a ReadStream request and registers a multi-shot
+// sink for its reply chunks. The caller consumes packets from the
+// channel (nil delivery never happens; a closed channel means the
+// session died) and must closeStream when finished.
+func (s *session) openStream(req *wire.ReadStreamPayload) (uint64, chan *wire.Packet, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return 0, nil, ErrSessionClosed
+	}
+	if s.reset {
+		s.mu.Unlock()
+		return 0, nil, ErrServerReset
+	}
+	s.mu.Unlock()
+
+	seq, err := s.peer.Send(wire.TReadStreamReq, 0, req.Encode())
+	if err != nil {
+		return 0, nil, err
+	}
+	// Sized for the largest reply one request can provoke (the chunk
+	// budget plus an error reply), so the non-blocking deliver never
+	// drops a legitimate chunk.
+	ch := make(chan *wire.Packet, 64)
+	s.mu.Lock()
+	if s.closed || s.reset {
+		s.mu.Unlock()
+		return 0, nil, ErrSessionClosed
+	}
+	s.streams[seq] = ch
+	s.mu.Unlock()
+	return seq, ch, nil
+}
+
+// closeStream unregisters a stream sink. Chunks still in flight are
+// dropped by deliver once the entry is gone.
+func (s *session) closeStream(seq uint64) {
+	s.mu.Lock()
+	if ch, ok := s.streams[seq]; ok {
+		delete(s.streams, seq)
+		close(ch)
+	}
+	s.mu.Unlock()
+}
+
 // takeMissing removes and returns any queued MissingInterval NACKs.
 func (s *session) takeMissing() []wire.IntervalPayload {
 	s.mu.Lock()
@@ -298,6 +367,10 @@ func (s *session) close() {
 	for seq, ch := range s.pending {
 		close(ch)
 		delete(s.pending, seq)
+	}
+	for seq, ch := range s.streams {
+		close(ch)
+		delete(s.streams, seq)
 	}
 	s.cond.Broadcast()
 }

@@ -250,7 +250,7 @@ const (
 
 func kindOf(point string) int {
 	switch {
-	case strings.HasPrefix(point, "client."):
+	case strings.HasPrefix(point, "client."), strings.HasPrefix(point, "core."):
 		return kindClient
 	case point == storage.FPInstallPartial:
 		return kindInject
@@ -280,6 +280,30 @@ func (w *worker) write(count int, tag string) {
 			w.chk.Wrote(lsn, data)
 		}
 	}
+}
+
+// scan runs a short backward cursor scan over the log's tail, the read
+// a recovery manager performs. Errors are ignored — with the armed
+// point killing a node mid-stream, a failed scan is the very scenario
+// under audit; the invariant checks happen in the next incarnation.
+func (w *worker) scan() {
+	if w.stopped != nil && w.stopped() {
+		return
+	}
+	end := w.l.EndOfLog()
+	if end == 0 {
+		return
+	}
+	cur, err := w.l.OpenCursor(end, core.Backward)
+	if err != nil {
+		return
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := cur.Next(); err != nil {
+			break
+		}
+	}
+	cur.Close()
 }
 
 func (w *worker) force() {
@@ -406,6 +430,7 @@ func RunPoint(o Options, pointName string, hitN uint64) (fired bool, err error) 
 		w2 := &worker{l: l2, chk: chk, stopped: func() bool { return faultpoint.Fired(pointName) }}
 		w2.write(3, "w2a")
 		w2.force()
+		w2.scan()
 		if !faultpoint.Fired(pointName) {
 			// Take a write-set member down mid-stream so the force path
 			// exercises retry and failover (client.failover.before-swap
@@ -420,6 +445,7 @@ func RunPoint(o Options, pointName string, hitN uint64) (fired bool, err error) 
 		}
 		w2.write(3, "w2c")
 		w2.force()
+		w2.scan()
 		w2.write(2, "w2d") // unforced tail again
 		r.net.SetFaults(transport.Faults{})
 		if auxStop != nil {

@@ -1,0 +1,77 @@
+package locallog
+
+import (
+	"fmt"
+
+	"distlog/internal/core"
+	"distlog/internal/record"
+)
+
+// cursor implements core.Cursor over the local mirrored log. There is
+// no network to pipeline, so it is a plain positional reader; it exists
+// so the recovery manager's streaming scan runs identically over the
+// local-disk baseline and the replicated log.
+type cursor struct {
+	l      *Log
+	dir    core.Direction
+	pos    record.LSN // next LSN to return; 0 = backward scan exhausted
+	closed bool
+}
+
+// OpenCursor returns a scanning cursor positioned on from. The
+// position must be within the log (1 through EndOfLog), as for
+// ReadRecord.
+func (l *Log) OpenCursor(from record.LSN, dir core.Direction) (core.Cursor, error) {
+	if dir != core.Forward && dir != core.Backward {
+		return nil, fmt.Errorf("locallog: invalid cursor direction %d", int8(dir))
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil, ErrClosed
+	}
+	if from == 0 || from >= l.nextLSN {
+		return nil, fmt.Errorf("%w: %d", ErrBeyondEnd, from)
+	}
+	return &cursor{l: l, dir: dir, pos: from}, nil
+}
+
+func (c *cursor) Next() (record.Record, error) {
+	if c.closed {
+		return record.Record{}, ErrClosed
+	}
+	if c.pos == 0 {
+		return record.Record{}, fmt.Errorf("%w: below LSN 1", ErrBeyondEnd)
+	}
+	rec, err := c.l.ReadRecord(c.pos)
+	if err != nil {
+		return record.Record{}, err
+	}
+	if c.dir == core.Forward {
+		c.pos++
+	} else {
+		c.pos--
+	}
+	return rec, nil
+}
+
+func (c *cursor) Seek(lsn record.LSN) error {
+	if c.closed {
+		return ErrClosed
+	}
+	c.l.mu.Lock()
+	defer c.l.mu.Unlock()
+	if c.l.closed {
+		return ErrClosed
+	}
+	if lsn == 0 || lsn >= c.l.nextLSN {
+		return fmt.Errorf("%w: %d", ErrBeyondEnd, lsn)
+	}
+	c.pos = lsn
+	return nil
+}
+
+func (c *cursor) Close() error {
+	c.closed = true
+	return nil
+}

@@ -3,8 +3,17 @@ package recman
 import (
 	"fmt"
 
+	"distlog/internal/core"
 	"distlog/internal/record"
 )
+
+// cursorLog is the optional log capability the recovery scan prefers:
+// a streaming cursor whose fetch engine pipelines the whole pass in
+// O(records-per-packet) round trips instead of one round trip per
+// record. *core.ReplicatedLog and *locallog.Log implement it.
+type cursorLog interface {
+	OpenCursor(from record.LSN, dir core.Direction) (core.Cursor, error)
+}
 
 // recover rebuilds the stable store's committed state from the log.
 //
@@ -33,18 +42,15 @@ func (e *Engine) recover() error {
 	maxTxn := uint64(0)
 	start := record.LSN(1)
 
-	// Single forward pass; restart the collection at each checkpoint.
-	for lsn := start; lsn <= end; lsn++ {
-		rec, err := e.log.ReadRecord(lsn)
-		if err != nil {
-			return fmt.Errorf("recman: recovery read of LSN %d: %w", lsn, err)
-		}
+	// process consumes one replicated-log record of the single forward
+	// pass; the collection restarts at each checkpoint.
+	process := func(rec record.Record) error {
 		if !rec.Present {
-			continue // crash-recovery marker in the replicated log
+			return nil // crash-recovery marker in the replicated log
 		}
 		r, err := decodeLogRec(rec.Data)
 		if err != nil {
-			return fmt.Errorf("recman: recovery decode of LSN %d: %w", lsn, err)
+			return fmt.Errorf("recman: recovery decode of LSN %d: %w", rec.LSN, err)
 		}
 		if r.txn > maxTxn {
 			maxTxn = r.txn
@@ -55,7 +61,7 @@ func (e *Engine) recover() error {
 				// Media recovery: the stable store was restored from a
 				// dump possibly older than this checkpoint, so the cut
 				// cannot be trusted; keep replaying everything.
-				continue
+				return nil
 			}
 			// Sharp checkpoint: stable store was committed-and-clean at
 			// this point; everything earlier is already reflected.
@@ -63,7 +69,7 @@ func (e *Engine) recover() error {
 			clear(winners)
 			clear(aborted)
 		case opUpdate, opRedo, opUndo:
-			updates = append(updates, upd{lsn: lsn, rec: r})
+			updates = append(updates, upd{lsn: rec.LSN, rec: r})
 		case opCommit:
 			winners[r.txn] = true
 		case opAbort:
@@ -73,6 +79,38 @@ func (e *Engine) recover() error {
 			// components still participate (guarded by later winner
 			// writes).
 			aborted[r.txn] = true
+		}
+		return nil
+	}
+
+	if cl, ok := e.log.(cursorLog); ok && end >= start {
+		// Streaming pass: one cursor, prefetched and packed in
+		// multi-record packets by the log's fetch engine.
+		cur, err := cl.OpenCursor(start, core.Forward)
+		if err != nil {
+			return fmt.Errorf("recman: recovery scan open: %w", err)
+		}
+		for lsn := start; lsn <= end; lsn++ {
+			rec, err := cur.Next()
+			if err != nil {
+				cur.Close()
+				return fmt.Errorf("recman: recovery scan at LSN %d: %w", lsn, err)
+			}
+			if err := process(rec); err != nil {
+				cur.Close()
+				return err
+			}
+		}
+		cur.Close()
+	} else {
+		for lsn := start; lsn <= end; lsn++ {
+			rec, err := e.log.ReadRecord(lsn)
+			if err != nil {
+				return fmt.Errorf("recman: recovery read of LSN %d: %w", lsn, err)
+			}
+			if err := process(rec); err != nil {
+				return err
+			}
 		}
 	}
 

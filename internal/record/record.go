@@ -285,6 +285,18 @@ func (m *MergedList) Servers(lsn LSN) []string {
 // Covered reports whether any server holds lsn in the merged view.
 func (m *MergedList) Covered(lsn LSN) bool { return m.find(lsn) != nil }
 
+// Segment returns the full extent of the winning entry covering lsn
+// along with its holder set, or ok == false when no server holds lsn.
+// Every LSN in the returned interval has the same holders and epoch, so
+// range readers can fetch the whole span from one server choice. The
+// returned servers slice must not be modified.
+func (m *MergedList) Segment(lsn LSN) (Interval, []string, bool) {
+	if e := m.find(lsn); e != nil {
+		return Interval{Epoch: e.epoch, Low: e.low, High: e.high}, e.servers, true
+	}
+	return Interval{}, nil, false
+}
+
 func (m *MergedList) find(lsn LSN) *mergedEntry {
 	lo, hi := 0, len(m.entries)
 	for lo < hi {

@@ -36,6 +36,11 @@ const (
 	// slow-reader isolation tests use, and a crash point for a server
 	// dying mid-read during a client's recovery.
 	FPReadBeforeStore = "server.read.before-store"
+	// FPStreamBetweenPackets interrupts a streaming range read before
+	// each reply chunk is sent: a server dying partway through a
+	// multi-packet stream leaves the client with a prefix of the range
+	// and no done flag, forcing a mid-stream failover.
+	FPStreamBetweenPackets = "server.stream.between-packets"
 )
 
 var _ = faultpoint.Register(
@@ -45,4 +50,5 @@ var _ = faultpoint.Register(
 	FPWorkerBeforeForce,
 	FPForceBetweenCoalesced,
 	FPReadBeforeStore,
+	FPStreamBetweenPackets,
 )

@@ -13,6 +13,8 @@ const (
 	mAcksSent        = "server.acks_sent"
 	mNacksSent       = "server.nacks_sent"
 	mReadsServed     = "server.reads_served"
+	mStreamsServed   = "server.streams_served"
+	mStreamPackets   = "server.stream_packets"
 	mSheds           = "server.sheds"
 	mSessions        = "server.sessions"
 	mSessionsEvicted = "server.sessions_evicted"
@@ -37,6 +39,8 @@ type serverMetrics struct {
 	acksSent        *telemetry.Counter
 	nacksSent       *telemetry.Counter
 	readsServed     *telemetry.Counter
+	streamsServed   *telemetry.Counter
+	streamPackets   *telemetry.Counter
 	sheds           *telemetry.Counter
 	sessionsEvicted *telemetry.Counter
 	queueSheds      *telemetry.Counter
@@ -66,6 +70,8 @@ func newServerMetrics(reg *telemetry.Registry, node string) *serverMetrics {
 		acksSent:        reg.Counter(mAcksSent),
 		nacksSent:       reg.Counter(mNacksSent),
 		readsServed:     reg.Counter(mReadsServed),
+		streamsServed:   reg.Counter(mStreamsServed),
+		streamPackets:   reg.Counter(mStreamPackets),
 		sheds:           reg.Counter(mSheds),
 		sessionsEvicted: reg.Counter(mSessionsEvicted),
 		queueSheds:      reg.Counter(mQueueSheds),
@@ -86,6 +92,8 @@ func (m *serverMetrics) stats() Stats {
 		AcksSent:         m.acksSent.Value(),
 		MissingIntervals: m.nacksSent.Value(),
 		ReadsServed:      m.readsServed.Value(),
+		StreamsServed:    m.streamsServed.Value(),
+		StreamPackets:    m.streamPackets.Value(),
 		Shed:             m.sheds.Value(),
 		Sessions:         m.sessions.Value(),
 		Evicted:          m.sessionsEvicted.Value(),

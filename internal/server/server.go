@@ -118,7 +118,11 @@ type Stats struct {
 	AcksSent         uint64
 	MissingIntervals uint64
 	ReadsServed      uint64
-	Shed             uint64
+	// StreamsServed counts ReadStream requests answered with at least
+	// one chunk; StreamPackets counts the chunks.
+	StreamsServed uint64
+	StreamPackets uint64
+	Shed          uint64
 	// Sessions is the current live session count; Evicted counts
 	// sessions removed by supersession or idleness. QueueSheds counts
 	// messages dropped because a session's queue was full. ForceRounds
@@ -469,6 +473,8 @@ func (s *Server) process(sess *session, pkt *wire.Packet) {
 		s.handleRead(sess, pkt, true)
 	case wire.TReadBackwardReq:
 		s.handleRead(sess, pkt, false)
+	case wire.TReadStreamReq:
+		s.handleReadStream(sess, pkt)
 	case wire.TCopyLogReq:
 		s.handleCopyLog(sess, pkt)
 	case wire.TInstallCopiesReq:
@@ -679,6 +685,105 @@ func (s *Server) handleRead(sess *session, pkt *wire.Packet, forward bool) {
 		respType = wire.TReadBackwardResp
 	}
 	sess.peer.SendRecords(respType, pkt.Seq, 0, recs)
+}
+
+// Streaming read reply bounds.
+const (
+	// DefaultStreamPackets is how many TReadStreamData chunks one
+	// ReadStream request may produce when the request leaves MaxPackets
+	// zero.
+	DefaultStreamPackets = 4
+	// maxStreamPackets caps a single request's reply regardless of what
+	// it asks for, bounding the work one datagram can demand.
+	maxStreamPackets = 32
+)
+
+// handleReadStream serves a ReadStream request: consecutive stored
+// records from From toward To, packed into up to MaxPackets streaming
+// reply chunks. The final chunk carries the done flag; it is set early
+// when the server runs off the end of what it holds (a holder-set
+// boundary the client resolves by re-requesting elsewhere) or when the
+// packet budget runs out (the client re-requests from its advanced
+// position).
+func (s *Server) handleReadStream(sess *session, pkt *wire.Packet) {
+	req, err := wire.DecodeReadStreamPayload(pkt.Payload)
+	if err != nil {
+		sess.peer.SendErr(pkt.Seq, wire.CodeBadRequest, "bad read stream payload")
+		return
+	}
+	forward := req.Dir == wire.StreamForward
+	if req.Dir > wire.StreamBackward || req.From == 0 || req.To == 0 ||
+		(forward && req.To < req.From) || (!forward && req.To > req.From) {
+		sess.peer.SendErr(pkt.Seq, wire.CodeBadRequest, "bad read stream bounds")
+		return
+	}
+	budget := int(req.MaxPackets)
+	if budget <= 0 {
+		budget = DefaultStreamPackets
+	} else if budget > maxStreamPackets {
+		budget = maxStreamPackets
+	}
+
+	faultpoint.Hit(FPReadBeforeStore)
+	first, err := s.cfg.Store.Read(sess.clientID, req.From)
+	if err != nil {
+		sess.peer.SendErr(pkt.Seq, wire.CodeNotStored, fmt.Sprintf("LSN %d not stored", req.From))
+		return
+	}
+	recs := []record.Record{first}
+	if wire.FitStreamRecords(recs) == 0 {
+		// Same rule as handleRead: the record exists, so CodeNotStored
+		// would wrongly mark this server a non-holder.
+		sess.peer.SendErr(pkt.Seq, wire.CodeTooLarge,
+			fmt.Sprintf("LSN %d record too large for one reply packet", req.From))
+		return
+	}
+	s.m.streamsServed.Add(1)
+
+	lsn := req.From // last record accepted into the stream
+	var index uint16
+	sent := 0
+	exhausted := false
+	for {
+		// Extend the current chunk until the packet fills or the range
+		// ends at the bound, the store's holdings, or LSN 1.
+		for !exhausted {
+			if lsn == req.To || (!forward && lsn == 1) {
+				exhausted = true
+				break
+			}
+			next := lsn + 1
+			if !forward {
+				next = lsn - 1
+			}
+			rec, err := s.cfg.Store.Read(sess.clientID, next)
+			if err != nil {
+				exhausted = true
+				break
+			}
+			recs = append(recs, rec)
+			if n := wire.FitStreamRecords(recs); n < len(recs) {
+				recs = recs[:n]
+				break // chunk full; next re-read for the following chunk
+			}
+			lsn = next
+		}
+		budget--
+		done := exhausted || budget == 0 ||
+			len(recs) == 0 // oversized mid-stream record: stop, let the re-request hit CodeTooLarge
+		faultpoint.Hit(FPStreamBetweenPackets)
+		if _, err := sess.peer.SendStreamChunk(pkt.Seq, index, done, 0, recs); err != nil {
+			return
+		}
+		sent += len(recs)
+		s.m.streamPackets.Add(1)
+		if done {
+			break
+		}
+		index++
+		recs = recs[:0]
+	}
+	s.m.readsServed.Add(uint64(sent))
 }
 
 func (s *Server) handleCopyLog(sess *session, pkt *wire.Packet) {

@@ -51,6 +51,7 @@ const (
 	TEpochReadReq
 	TEpochWriteReq
 	TTruncateReq
+	TReadStreamReq
 
 	// Responses.
 	TIntervalListResp
@@ -61,6 +62,9 @@ const (
 	TEpochReadResp
 	TEpochWriteResp
 	TTruncateResp
+	// TReadStreamData carries one chunk of a multi-packet streaming
+	// read reply; the final chunk of a stream has its done flag set.
+	TReadStreamData
 	TErrResp
 
 	tMax
@@ -74,11 +78,13 @@ var typeNames = map[Type]string{
 	TReadBackwardReq: "ReadBackwardReq", TCopyLogReq: "CopyLogReq",
 	TInstallCopiesReq: "InstallCopiesReq", TEpochReadReq: "EpochReadReq",
 	TEpochWriteReq: "EpochWriteReq", TTruncateReq: "TruncateReq",
+	TReadStreamReq:    "ReadStreamReq",
 	TIntervalListResp: "IntervalListResp",
 	TReadForwardResp:  "ReadForwardResp", TReadBackwardResp: "ReadBackwardResp",
 	TCopyLogResp: "CopyLogResp", TInstallCopiesResp: "InstallCopiesResp",
 	TEpochReadResp: "EpochReadResp", TEpochWriteResp: "EpochWriteResp",
-	TTruncateResp: "TruncateResp", TErrResp: "ErrResp",
+	TTruncateResp: "TruncateResp", TReadStreamData: "ReadStreamData",
+	TErrResp: "ErrResp",
 }
 
 func (t Type) String() string {
@@ -91,7 +97,7 @@ func (t Type) String() string {
 // IsRequest reports whether the type is a synchronous call expecting a
 // response.
 func (t Type) IsRequest() bool {
-	return t >= TIntervalListReq && t <= TTruncateReq
+	return t >= TIntervalListReq && t <= TReadStreamReq
 }
 
 // IsResponse reports whether the type answers a synchronous call.
@@ -150,15 +156,17 @@ func (p *Packet) Encode() ([]byte, error) {
 // capacity so encoding allocates nothing.
 func (p *Packet) AppendEncode(buf []byte) ([]byte, error) {
 	return appendFrame(buf, p.Type, p.ConnID, p.Seq, p.Alloc, p.RespTo, p.ClientID,
-		p.Payload, 0, nil)
+		p.Payload, nil, 0, nil)
 }
 
 // appendFrame appends one full frame (header, payload, CRC) to buf.
 // The payload is either the literal payload slice, or — when recs is
 // non-nil — a RecordsPayload (epoch + grouped records) encoded directly
-// into the frame, skipping the intermediate payload allocation.
+// into the frame, skipping the intermediate payload allocation. prefix,
+// when non-nil, is written before either form; stream chunks use it for
+// their small chunk header without a payload copy.
 func appendFrame(buf []byte, t Type, connID, seq, alloc, respTo uint64,
-	clientID record.ClientID, payload []byte, epoch record.Epoch, recs []record.Record) ([]byte, error) {
+	clientID record.ClientID, payload, prefix []byte, epoch record.Epoch, recs []record.Record) ([]byte, error) {
 	start := len(buf)
 	buf = binary.BigEndian.AppendUint16(buf, Magic)
 	buf = append(buf, Version, byte(t))
@@ -169,6 +177,7 @@ func appendFrame(buf []byte, t Type, connID, seq, alloc, respTo uint64,
 	buf = binary.BigEndian.AppendUint64(buf, uint64(clientID))
 	lenOff := len(buf)
 	buf = binary.BigEndian.AppendUint16(buf, 0) // patched below
+	buf = append(buf, prefix...)
 	if recs != nil {
 		buf = binary.BigEndian.AppendUint64(buf, uint64(epoch))
 		buf = record.EncodeRecords(buf, recs)

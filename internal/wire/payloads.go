@@ -76,6 +76,92 @@ func FitRecords(recs []record.Record) int {
 	return len(recs)
 }
 
+// Stream directions carried by ReadStreamPayload.Dir.
+const (
+	StreamForward  uint8 = 0
+	StreamBackward uint8 = 1
+)
+
+// streamChunkHeaderSize is the chunk header prepended to each
+// TReadStreamData payload: [Index uint16][Flags uint8], followed by an
+// ordinary RecordsPayload (epoch + grouped records).
+const streamChunkHeaderSize = 2 + 1
+
+// streamChunkDone flags the final chunk of a stream.
+const streamChunkDone = 0x01
+
+// ReadStreamPayload asks the server to stream the stored records from
+// From through To (inclusive, in scan order: To <= From for a backward
+// stream) as up to MaxPackets TReadStreamData chunks. The server stops
+// early — final chunk flagged done — when it reaches a record it does
+// not hold, so one reply never papers over a holder-set boundary.
+type ReadStreamPayload struct {
+	From record.LSN
+	To   record.LSN
+	Dir  uint8 // StreamForward or StreamBackward
+	// MaxPackets bounds the reply chunks for this request; zero takes
+	// the server default.
+	MaxPackets uint8
+}
+
+// Encode serializes the payload.
+func (p *ReadStreamPayload) Encode() []byte {
+	buf := binary.BigEndian.AppendUint64(make([]byte, 0, 18), uint64(p.From))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(p.To))
+	return append(buf, p.Dir, p.MaxPackets)
+}
+
+// DecodeReadStreamPayload parses a ReadStreamPayload.
+func DecodeReadStreamPayload(data []byte) (*ReadStreamPayload, error) {
+	if len(data) != 18 {
+		return nil, fmt.Errorf("%w: read stream payload %d bytes", ErrBadPacket, len(data))
+	}
+	return &ReadStreamPayload{
+		From:       record.LSN(binary.BigEndian.Uint64(data)),
+		To:         record.LSN(binary.BigEndian.Uint64(data[8:])),
+		Dir:        data[16],
+		MaxPackets: data[17],
+	}, nil
+}
+
+// StreamChunk is one decoded TReadStreamData payload.
+type StreamChunk struct {
+	Index   uint16 // position of this chunk within the stream, from 0
+	Done    bool   // final chunk of the stream
+	Epoch   record.Epoch
+	Records []record.Record // alias the packet buffer, like DecodeRecordsPayload
+}
+
+// DecodeStreamChunk parses a TReadStreamData payload.
+func DecodeStreamChunk(data []byte) (*StreamChunk, error) {
+	if len(data) < streamChunkHeaderSize {
+		return nil, fmt.Errorf("%w: short stream chunk", ErrBadPacket)
+	}
+	rp, err := DecodeRecordsPayload(data[streamChunkHeaderSize:])
+	if err != nil {
+		return nil, err
+	}
+	return &StreamChunk{
+		Index:   binary.BigEndian.Uint16(data),
+		Done:    data[2]&streamChunkDone != 0,
+		Epoch:   rp.Epoch,
+		Records: rp.Records,
+	}, nil
+}
+
+// FitStreamRecords is FitRecords for a stream chunk, accounting for the
+// chunk header that precedes the records.
+func FitStreamRecords(recs []record.Record) int {
+	size := streamChunkHeaderSize + 8 + 4 // chunk header + epoch + count
+	for i, r := range recs {
+		size += r.EncodedSize()
+		if size > MaxPayload {
+			return i
+		}
+	}
+	return len(recs)
+}
+
 // NewIntervalPayload tells the server to abandon a missing interval
 // and begin a new sequence at StartingLSN.
 type NewIntervalPayload struct {

@@ -120,7 +120,7 @@ func (p *Peer) grant() uint64 { return p.accepted + p.window }
 // paper's deadlock-avoidance rule) and then proceeds. The frame is
 // encoded into a pooled buffer, so a Send allocates nothing.
 func (p *Peer) Send(t Type, respTo uint64, payload []byte) (uint64, error) {
-	return p.send(t, respTo, payload, 0, nil)
+	return p.send(t, respTo, payload, nil, 0, nil)
 }
 
 // SendRecords transmits a RecordsPayload-bearing packet (WriteLog,
@@ -131,7 +131,24 @@ func (p *Peer) SendRecords(t Type, respTo uint64, epoch record.Epoch, recs []rec
 	if len(recs) == 0 {
 		return 0, fmt.Errorf("wire: SendRecords with no records")
 	}
-	return p.send(t, respTo, nil, epoch, recs)
+	return p.send(t, respTo, nil, nil, epoch, recs)
+}
+
+// SendStreamChunk transmits one TReadStreamData chunk of a streaming
+// read reply: the chunk header (index, done flag) followed by the epoch
+// and grouped records, all encoded directly into the pooled frame
+// buffer. The final chunk of a stream may carry zero records (done with
+// nothing further to send).
+func (p *Peer) SendStreamChunk(respTo uint64, index uint16, done bool, epoch record.Epoch, recs []record.Record) (uint64, error) {
+	var hdr [streamChunkHeaderSize]byte
+	binary.BigEndian.PutUint16(hdr[0:2], index)
+	if done {
+		hdr[2] = streamChunkDone
+	}
+	if recs == nil {
+		recs = []record.Record{} // non-nil: force RecordsPayload framing
+	}
+	return p.send(TReadStreamData, respTo, nil, hdr[:], epoch, recs)
 }
 
 // SendLSN transmits an LSNPayload-bearing packet (NewHighLSN acks,
@@ -139,10 +156,10 @@ func (p *Peer) SendRecords(t Type, respTo uint64, epoch record.Epoch, recs []rec
 func (p *Peer) SendLSN(t Type, respTo uint64, lsn record.LSN) (uint64, error) {
 	var scratch [8]byte
 	binary.BigEndian.PutUint64(scratch[:], uint64(lsn))
-	return p.send(t, respTo, scratch[:], 0, nil)
+	return p.send(t, respTo, scratch[:], nil, 0, nil)
 }
 
-func (p *Peer) send(t Type, respTo uint64, payload []byte, epoch record.Epoch, recs []record.Record) (uint64, error) {
+func (p *Peer) send(t Type, respTo uint64, payload, prefix []byte, epoch record.Epoch, recs []record.Record) (uint64, error) {
 	p.mu.Lock()
 	if !p.established && t != TSyn && t != TSynAck && t != TAck && t != TRst {
 		p.mu.Unlock()
@@ -162,7 +179,7 @@ func (p *Peer) send(t Type, respTo uint64, payload []byte, epoch record.Epoch, r
 	p.mu.Unlock()
 
 	buf := getFrame()
-	frame, err := appendFrame(*buf, t, p.ConnID, seq, alloc, respTo, p.ClientID, payload, epoch, recs)
+	frame, err := appendFrame(*buf, t, p.ConnID, seq, alloc, respTo, p.ClientID, payload, prefix, epoch, recs)
 	if err != nil {
 		putFrame(buf)
 		return 0, err
@@ -180,7 +197,7 @@ func (p *Peer) send(t Type, respTo uint64, payload []byte, epoch record.Epoch, r
 // incarnation was rejected.
 func SendRst(ep transport.Endpoint, to string, clientID record.ClientID, connID, respTo uint64) error {
 	buf := getFrame()
-	frame, err := appendFrame(*buf, TRst, connID, 0, 0, respTo, clientID, nil, 0, nil)
+	frame, err := appendFrame(*buf, TRst, connID, 0, 0, respTo, clientID, nil, nil, 0, nil)
 	if err != nil {
 		putFrame(buf)
 		return err
