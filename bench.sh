@@ -18,6 +18,13 @@
 #                                   concurrent clients, FileStore and
 #                                   modelled DiskStore (server-side group
 #                                   force scaling)
+#   BenchmarkStreamingWrite         single-client sustained records/s on a
+#                                   200µs-latency memnet: synchronous
+#                                   force-rounds baseline vs the streaming
+#                                   write pipeline (sliding send window)
+#   BenchmarkAggregateForce         aggregate forces/s at 16 vs 64 clients
+#                                   on the same 200µs memnet + modelled
+#                                   disks (population-scale pipelining)
 #
 # Read path (BENCH_readpath.json):
 #   BenchmarkRecoveryScan           full-log recovery-style scan over a
@@ -71,7 +78,7 @@ RAW=$RAW1
 run ./internal/core/ -run '^$' -benchmem \
 	-bench 'BenchmarkWritePathAllocs|BenchmarkTelemetryOverhead|BenchmarkForceLogMemnet|BenchmarkParallelForce|BenchmarkGroupCommit$'
 run ./internal/transport/ -run '^$' -benchmem -bench 'BenchmarkUDPRecvAllocs'
-run . -run '^$' -benchmem -bench 'BenchmarkGroupCommitTransactions|BenchmarkMultiClientForce'
+run . -run '^$' -benchmem -bench 'BenchmarkGroupCommitTransactions|BenchmarkMultiClientForce|BenchmarkStreamingWrite|BenchmarkAggregateForce'
 cat "$RAW"
 to_json
 

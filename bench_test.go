@@ -374,73 +374,173 @@ func BenchmarkMultiClientForce(b *testing.B) {
 	for _, kind := range []string{"file", "disk"} {
 		for _, clients := range []int{1, 4, 8, 16} {
 			b.Run(fmt.Sprintf("%s/clients=%d", kind, clients), func(b *testing.B) {
-				net := distlog.NewNetwork(1)
-				names := []string{"mcf1", "mcf2", "mcf3"}
-				for _, name := range names {
-					var store distlog.Store
-					switch kind {
-					case "file":
-						s, err := distlog.OpenFileStore(fmt.Sprintf("%s/%s.log", b.TempDir(), name))
-						if err != nil {
-							b.Fatal(err)
-						}
-						store = s
-					case "disk":
-						s, _, _, err := distlog.NewModelledStore(distlog.DefaultDiskGeometry(), 4)
-						if err != nil {
-							b.Fatal(err)
-						}
-						store = s
-					}
-					defer store.Close()
-					srv := distlog.NewServer(distlog.ServerConfig{
-						Name:     name,
-						Store:    store,
-						Endpoint: net.Endpoint(name),
-						Epochs:   distlog.NewMemEpochHost(),
-					})
-					srv.Start()
-					defer srv.Stop()
-				}
-				logs := make([]*distlog.Client, clients)
-				for i := range logs {
-					l, err := distlog.Open(distlog.ClientConfig{
-						ClientID:    distlog.ClientID(i + 1),
-						Servers:     names,
-						N:           2,
-						Endpoint:    net.Endpoint(fmt.Sprintf("mcf-client-%d", i)),
-						CallTimeout: 2 * time.Second,
-					})
-					if err != nil {
-						b.Fatal(err)
-					}
-					defer l.Close()
-					logs[i] = l
-				}
-				data := make([]byte, 100)
-				var next atomic.Int64
-				var wg sync.WaitGroup
-				b.ResetTimer()
-				start := time.Now()
-				for i := 0; i < clients; i++ {
-					wg.Add(1)
-					go func(l *distlog.Client) {
-						defer wg.Done()
-						for next.Add(1) <= int64(b.N) {
-							if _, err := l.ForceLog(data); err != nil {
-								b.Error(err)
-								return
-							}
-						}
-					}(logs[i])
-				}
-				wg.Wait()
-				elapsed := time.Since(start)
-				b.StopTimer()
-				b.ReportMetric(float64(b.N)/elapsed.Seconds(), "forces/s")
+				runAggregateForce(b, kind, clients, 0)
 			})
 		}
 	}
+}
+
+// runAggregateForce drives ForceLog from `clients` concurrent sessions
+// against three servers over `kind` stores, sharing one iteration
+// budget, and reports aggregate forces/s. A non-zero delay puts that
+// much constant one-way latency on every link (applied after setup so
+// opens and handshakes stay fast).
+func runAggregateForce(b *testing.B, kind string, clients int, delay time.Duration) {
+	net := distlog.NewNetwork(1)
+	names := []string{"mcf1", "mcf2", "mcf3"}
+	for _, name := range names {
+		var store distlog.Store
+		switch kind {
+		case "file":
+			s, err := distlog.OpenFileStore(fmt.Sprintf("%s/%s.log", b.TempDir(), name))
+			if err != nil {
+				b.Fatal(err)
+			}
+			store = s
+		case "disk":
+			s, _, _, err := distlog.NewModelledStore(distlog.DefaultDiskGeometry(), 4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			store = s
+		}
+		defer store.Close()
+		srv := distlog.NewServer(distlog.ServerConfig{
+			Name:     name,
+			Store:    store,
+			Endpoint: net.Endpoint(name),
+			Epochs:   distlog.NewMemEpochHost(),
+		})
+		srv.Start()
+		defer srv.Stop()
+	}
+	logs := make([]*distlog.Client, clients)
+	for i := range logs {
+		l, err := distlog.Open(distlog.ClientConfig{
+			ClientID:    distlog.ClientID(i + 1),
+			Servers:     names,
+			N:           2,
+			Endpoint:    net.Endpoint(fmt.Sprintf("mcf-client-%d", i)),
+			CallTimeout: 2 * time.Second,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer l.Close()
+		logs[i] = l
+	}
+	data := make([]byte, 100)
+	if delay > 0 {
+		net.SetFaults(distlog.Faults{FixedDelay: delay})
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(l *distlog.Client) {
+			defer wg.Done()
+			for next.Add(1) <= int64(b.N) {
+				if _, err := l.ForceLog(data); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(logs[i])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/elapsed.Seconds(), "forces/s")
+}
+
+// BenchmarkAggregateForce is the Section 4.1 capacity question at
+// population scale: a log server is sized for ~50 concurrent clients,
+// so aggregate forced-write throughput must hold up — not collapse —
+// as the population grows past the point where sessions outnumber
+// cores. It runs on the same 200µs-latency memnet as
+// BenchmarkStreamingWrite: with real round trips each force spends
+// most of its life in flight, so independent clients should pipeline
+// and 64 clients must not regress against 16. Disk-modelled stores
+// make the store force the contended resource; server-side group
+// force (ForceGroup) plus the per-session acker are what keep 64
+// clients from serializing 64 fsyncs.
+func BenchmarkAggregateForce(b *testing.B) {
+	for _, clients := range []int{16, 64} {
+		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
+			runAggregateForce(b, "disk", clients, 200*time.Microsecond)
+		})
+	}
+}
+
+// BenchmarkStreamingWrite measures the tentpole trade of Section 4.2's
+// streaming write protocol on a network where latency is real (200µs
+// each way, the paper's LAN regime): a single client pushing plain
+// WriteLog records as fast as the protocol allows.
+//
+//   - forced-rounds: the pre-streaming write path (DisableWriteStream)
+//     where nothing is transmitted until a force round flushes the
+//     buffer and each δ-bound wait is a full round trip.
+//   - streaming: the sliding-window pipeline — frames transmitted
+//     continuously under WriteWindow, servers acking stability in the
+//     background, δ satisfied without synchronous rounds.
+//
+// The streaming rate should exceed the forced-round rate several times
+// over; the gap is the round-trip stalls the window removes.
+func BenchmarkStreamingWrite(b *testing.B) {
+	run := func(b *testing.B, tune func(cfg *distlog.ClientConfig)) {
+		cluster, err := distlog.NewCluster(distlog.ClusterOptions{Servers: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer cluster.Close()
+		cfg := distlog.ClientConfig{
+			ClientID:    1,
+			Servers:     cluster.Servers(),
+			N:           2,
+			Endpoint:    cluster.Network().Endpoint("stream-bench-client"),
+			CallTimeout: 2 * time.Second,
+		}
+		tune(&cfg)
+		l, err := distlog.Open(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer l.Close()
+		data := make([]byte, 256)
+		if _, err := l.ForceLog(data); err != nil { // warm the path
+			b.Fatal(err)
+		}
+		// Latency goes in after the handshake so setup cost stays out of
+		// the measurement; every measured packet pays it.
+		cluster.Network().SetFaults(distlog.Faults{FixedDelay: 200 * time.Microsecond})
+		b.ResetTimer()
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			if _, err := l.WriteLog(data); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := l.Force(); err != nil {
+			b.Fatal(err)
+		}
+		elapsed := time.Since(start)
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)/elapsed.Seconds(), "recs/s")
+	}
+	b.Run("forced-rounds", func(b *testing.B) {
+		run(b, func(cfg *distlog.ClientConfig) {
+			cfg.DisableWriteStream = true
+			cfg.Delta = 16
+		})
+	})
+	b.Run("streaming", func(b *testing.B) {
+		run(b, func(cfg *distlog.ClientConfig) {
+			cfg.Delta = 1024
+			cfg.WriteWindow = 32
+		})
+	})
 }
 
 // BenchmarkReplicationFactor is the N=2 vs N=3 trade of Section 3.2:

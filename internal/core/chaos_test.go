@@ -31,7 +31,10 @@ func TestChaosModelBased(t *testing.T) {
 	for _, seed := range []int64{1, 7, 99} {
 		seed := seed
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
-			t.Parallel() // each run owns its own cluster
+			// Deliberately not parallel: each run owns its own cluster,
+			// but three clusters' worth of streamers, ackers, and fault
+			// timers contending for the CPU turns tight call timeouts
+			// into spurious failures on small (single-core CI) machines.
 			chaosRun(t, seed, steps)
 		})
 	}
@@ -56,11 +59,25 @@ func chaosRun(t *testing.T, seed int64, steps int) {
 	var maxLSN record.LSN
 
 	open := func() *ReplicatedLog {
-		// Reopening requires M-N+1 = 2 servers; one may be down.
-		return mustOpen(t, c, 1, 2, func(cfg *Config) {
-			cfg.Delta = 8
-			cfg.CallTimeout = 40 * time.Millisecond
-		})
+		// Reopening requires M-N+1 = 2 servers; one may be down. With
+		// drop faults active, any one of recovery's dozens of
+		// synchronous calls can exhaust its retries — a ~percent-level
+		// lottery per open that a long chaos run would eventually lose —
+		// so recovery itself is retried, exactly as a real recovering
+		// client facing a lossy network would keep trying.
+		var lastErr error
+		for attempt := 0; attempt < 8; attempt++ {
+			l, err := c.openClient(1, 2, func(cfg *Config) {
+				cfg.Delta = 8
+				cfg.CallTimeout = 40 * time.Millisecond
+			})
+			if err == nil {
+				return l
+			}
+			lastErr = err
+		}
+		t.Fatalf("recovery did not complete in 8 attempts: %v", lastErr)
+		return nil
 	}
 	l := open()
 	defer func() { l.Close() }()

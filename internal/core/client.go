@@ -75,6 +75,27 @@ type Config struct {
 	// opportunistic flush (records stream on Force; a packet-sized batch
 	// is still computed per message).
 	FlushBatch int
+	// WriteWindow is the sliding send window of the streaming write
+	// protocol (Section 4.2, Figure 4.1): how many record frames may be
+	// in flight — sent but not yet covered by the server's cumulative
+	// appended acknowledgment — per write-set server. The effective
+	// window is halved on congestion signals (TBusy NACKs, timeouts)
+	// and ramps back additively. Default 32.
+	WriteWindow int
+	// FlushInterval is the streamer's adaptive-packing deadline: a
+	// buffered record is transmitted no later than this after it was
+	// written, even if its frame is not yet full. Default 200µs.
+	FlushInterval time.Duration
+	// DisableWriteStream turns the background streaming pipeline off:
+	// records then reach the servers only through opportunistic
+	// FlushBatch flushes and force rounds (the pre-streaming write
+	// path), and the δ bound triggers synchronous forces.
+	DisableWriteStream bool
+	// OnError, when set, is invoked (once per error episode, on its own
+	// goroutine) when the asynchronous write pipeline records a failure
+	// — the health callback counterpart of Err. A subsequent successful
+	// Force clears the episode.
+	OnError func(error)
 	// Window is the moving-window flow-control allocation granted to
 	// each server. Zero means wire.DefaultWindow (512 packets).
 	Window uint64
@@ -130,6 +151,10 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("core: negative Retries %d", c.Retries)
 	case c.FlushBatch < 0:
 		return fmt.Errorf("core: negative FlushBatch %d", c.FlushBatch)
+	case c.WriteWindow < 0:
+		return fmt.Errorf("core: negative WriteWindow %d", c.WriteWindow)
+	case c.FlushInterval < 0:
+		return fmt.Errorf("core: negative FlushInterval %v", c.FlushInterval)
 	case c.OverAllocPause < 0:
 		return fmt.Errorf("core: negative OverAllocPause %v", c.OverAllocPause)
 	case c.ReadAhead < 0:
@@ -147,6 +172,12 @@ func (c *Config) Validate() error {
 	}
 	if c.Retries == 0 {
 		c.Retries = 3
+	}
+	if c.WriteWindow == 0 {
+		c.WriteWindow = 32
+	}
+	if c.FlushInterval == 0 {
+		c.FlushInterval = 200 * time.Microsecond
 	}
 	if c.ReadAhead == 0 {
 		c.ReadAhead = 8
@@ -167,10 +198,10 @@ var connIDCounter atomic.Uint64
 // incremented under the log's mutex, so a Stats snapshot is exact and
 // internally consistent.
 type Stats struct {
-	Writes        uint64
-	Forces        uint64 // Force calls (including δ-triggered implicit forces)
-	ForceRounds   uint64 // protocol rounds actually executed (≤ Forces)
-	GroupCommits  uint64 // Force calls satisfied by riding another caller's round
+	Writes          uint64
+	Forces          uint64 // Force calls (including δ-triggered implicit forces)
+	ForceRounds     uint64 // protocol rounds actually executed (≤ Forces)
+	GroupCommits    uint64 // Force calls satisfied by riding another caller's round
 	Reads           uint64
 	ReadCacheHits   uint64
 	ReadCacheMisses uint64 // reads that went to a server (or synthesized a marker)
@@ -183,6 +214,13 @@ type Stats struct {
 	StreamRestarts uint64 // mid-stream holder switches after an abnormal stream end
 	PrefetchHits   uint64 // cursor advanced onto a task that had already completed
 	PrefetchWaits  uint64 // cursor had to block on an in-flight task
+	// Streaming-write activity (see sendwindow.go). Incremented off the
+	// client mutex like the cursor family: monotone, not transactionally
+	// consistent with the write-path counters.
+	StreamFrames   uint64 // record frames sent by the streamer goroutine
+	StreamBusy     uint64 // TBusy congestion NACKs received
+	StreamBackoffs uint64 // multiplicative window decreases (Busy or timeout)
+	StreamTimeouts uint64 // retransmission timeouts detected by the streamer
 }
 
 // ReplicatedLog is a replicated log handle. It is safe for concurrent
@@ -203,6 +241,13 @@ type ReplicatedLog struct {
 	truncated   record.LSN // records below were discarded via TruncatePrefix
 	m           *clientMetrics
 	closed      bool
+	// writeCond wakes δ-bounded writers when background release (or a
+	// force round) shrinks the outstanding buffer.
+	writeCond *sync.Cond
+	// asyncErr is the sticky first error of the asynchronous write
+	// pipeline (streamer sends, opportunistic flushes); see Err. A
+	// successful Force clears it.
+	asyncErr error
 	// Group-commit state (see forceround.go): the round whose
 	// acknowledgment waits are in flight, and the single queued round
 	// that callers beyond curRound's target coalesce onto. Rounds are
@@ -212,6 +257,23 @@ type ReplicatedLog struct {
 	nextRound    *forceRound
 	roundWaiters []roundWaiter
 	roundWG      sync.WaitGroup
+
+	// Streamer wakeup and shutdown (see sendwindow.go). streamKick is
+	// 1-buffered: a pending kick covers any number of new ones.
+	// roundActive mirrors curRound != nil for lock-free readers: while a
+	// force round is in flight its acknowledgments need not wake the
+	// streamer (the round releases the buffer itself and kicks once at
+	// completion), which keeps the forced-write fast path free of
+	// per-ack goroutine wakeups.
+	// streamForcing overrides that suppression while any session has a
+	// pending force point: a window-capped force depends on mid-round
+	// acks clocking the remaining frames out, so those acks must kick.
+	// Set under l.mu when a force point is planted, cleared by the
+	// streamer once no session has one pending.
+	streamKick    chan struct{}
+	streamQuit    chan struct{}
+	roundActive   atomic.Bool
+	streamForcing atomic.Bool
 
 	pumpWG sync.WaitGroup
 }
@@ -226,13 +288,20 @@ func Open(cfg Config) (*ReplicatedLog, error) {
 		cfg.ConnID = uint64(time.Now().UnixNano())<<8 | (connIDCounter.Add(1) & 0xFF)
 	}
 	l := &ReplicatedLog{
-		cfg:       cfg,
-		sessions:  make(map[string]*session),
-		readCache: newReadCache(readCacheCap),
-		m:         newClientMetrics(cfg.Telemetry, cfg.Endpoint.Addr()),
+		cfg:        cfg,
+		sessions:   make(map[string]*session),
+		readCache:  newReadCache(readCacheCap),
+		m:          newClientMetrics(cfg.Telemetry, cfg.Endpoint.Addr()),
+		streamKick: make(chan struct{}, 1),
+		streamQuit: make(chan struct{}),
 	}
+	l.writeCond = sync.NewCond(&l.mu)
 	l.pumpWG.Add(1)
 	go l.pump()
+	if !cfg.DisableWriteStream {
+		l.pumpWG.Add(1)
+		go l.streamer()
+	}
 
 	if err := l.initialize(); err != nil {
 		l.Close()
@@ -301,6 +370,13 @@ func (l *ReplicatedLog) dial(addr string) (*session, error) {
 			l.cfg.Window, l.cfg.OverAllocPause, l.cfg.CallTimeout, l.cfg.Retries)
 		if flipper, ok := l.cfg.Endpoint.(interface{ Flip() }); ok {
 			sess.onRetry = flipper.Flip
+		}
+		// Window and wakeups are wired before the session is published:
+		// deliver reads the callbacks without sess.mu.
+		sess.win = sendWindow{cwnd: l.cfg.WriteWindow, max: l.cfg.WriteWindow}
+		if !l.cfg.DisableWriteStream {
+			sess.onAck = l.streamAckEvent
+			sess.onBusy = l.streamBusyEvent
 		}
 		l.sessions[addr] = sess
 		l.mu.Unlock()
@@ -514,6 +590,32 @@ func (l *ReplicatedLog) Stats() Stats {
 	return l.m.statsLocked()
 }
 
+// Err reports the health of the asynchronous write pipeline: the first
+// error recorded by a background send (streamer frame, opportunistic
+// flush) since the last successful Force, or nil. The pipeline keeps
+// retrying after an error — a non-nil Err means durability progress is
+// in doubt, not that the log is dead — and a Force that completes
+// clears the episode, because its acknowledgments subsume everything
+// the background path was trying to do.
+func (l *ReplicatedLog) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.asyncErr
+}
+
+// noteAsyncErrLocked records a background write failure: the first
+// error of an episode sticks for Err and fires the OnError health
+// callback on its own goroutine (never under l.mu). Caller holds l.mu.
+func (l *ReplicatedLog) noteAsyncErrLocked(err error) {
+	if err == nil || l.asyncErr != nil {
+		return
+	}
+	l.asyncErr = err
+	if cb := l.cfg.OnError; cb != nil {
+		go cb(err)
+	}
+}
+
 // WriteLog appends a record to the replicated log and returns its LSN.
 // The record is buffered — grouped with its neighbours into a single
 // network message — and becomes stable on the next Force (or when the
@@ -523,6 +625,15 @@ func (l *ReplicatedLog) Stats() Stats {
 // acknowledged by all N servers; the caller must not modify the slice
 // after the call.
 func (l *ReplicatedLog) WriteLog(data []byte) (record.LSN, error) {
+	return l.writeLog(data, true)
+}
+
+// writeLog appends one record. kick wakes the streaming pipeline for
+// the new record; ForceLog passes false — its own synchronous Force
+// flushes the buffer immediately, and waking the streamer to hold a
+// partial frame that the force will have transmitted by the time the
+// flush deadline fires is pure overhead on the forced-write path.
+func (l *ReplicatedLog) writeLog(data []byte, kick bool) (record.LSN, error) {
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()
@@ -535,6 +646,21 @@ func (l *ReplicatedLog) WriteLog(data []byte) (record.LSN, error) {
 	// push past δ and void the recovery guarantee (recovery re-copies
 	// only the last δ records).
 	for len(l.outstanding) >= l.cfg.Delta {
+		if !l.cfg.DisableWriteStream {
+			// Streaming: the pipeline is already pushing the buffer
+			// toward stability, so wait for background release to bring
+			// it under δ. Fall back to a force round — whose waiters own
+			// retry, NACK service, and failover — if release stalls for
+			// a full call timeout (e.g. a write-set server went quiet).
+			l.kickStream()
+			if l.waitReleaseLocked(time.Now().Add(l.cfg.CallTimeout)) {
+				if l.closed {
+					l.mu.Unlock()
+					return 0, ErrClosed
+				}
+				continue
+			}
+		}
 		l.mu.Unlock()
 		if err := l.Force(); err != nil {
 			return 0, err
@@ -555,17 +681,23 @@ func (l *ReplicatedLog) WriteLog(data []byte) (record.LSN, error) {
 		// Opportunistic batch flush. The append itself has succeeded —
 		// the LSN is assigned and the record buffered — so a transport
 		// hiccup here is not the caller's failure: the next Force
-		// retransmits the stream and surfaces any persistent error.
-		_ = l.flushLocked(false)
+		// retransmits the stream, and the error is surfaced through the
+		// asynchronous channel (Err / OnError) meanwhile.
+		if err := l.flushLocked(false); err != nil {
+			l.noteAsyncErrLocked(err)
+		}
 	}
 	l.mu.Unlock()
+	if kick && !l.cfg.DisableWriteStream {
+		l.kickStream()
+	}
 	return lsn, nil
 }
 
 // ForceLog appends a record and forces the log through it, returning
 // when the record is stable on N servers (the paper's forced write).
 func (l *ReplicatedLog) ForceLog(data []byte) (record.LSN, error) {
-	lsn, err := l.WriteLog(data)
+	lsn, err := l.writeLog(data, false)
 	if err != nil {
 		return 0, err
 	}
@@ -587,11 +719,40 @@ func (l *ReplicatedLog) flushLocked(force bool) error {
 	return nil
 }
 
-// sendStreamLocked sends the records beyond sess.sentHigh. When force
-// is set, the final message is a ForceLog (requesting a NewHighLSN
-// acknowledgment); when additionally nothing new remains to send, the
-// last outstanding record is resent as a ForceLog to solicit the ack.
+// sendStreamLocked flushes the records beyond sess.sentHigh toward one
+// server. In streaming mode a force does not burst the buffer past the
+// send window — that is how a large force used to shed its own frames
+// off the server's queue and collapse the AIMD window. Instead it
+// plants the session's force point (the tail LSN the force must cover)
+// and runs one windowed pass: the streamer transmits the remainder as
+// acknowledgments open the window, stamping the frame that covers the
+// point as a ForceLog — or a bare ForcePoint when the tail is already
+// streamed (Section 4.2: forcing an already-streamed log is a mark,
+// not a data transfer). Caller holds l.mu.
 func (l *ReplicatedLog) sendStreamLocked(sess *session, force bool) error {
+	if l.cfg.DisableWriteStream {
+		return l.sendBurstLocked(sess, force)
+	}
+	if force && len(l.outstanding) > 0 {
+		target := l.outstanding[len(l.outstanding)-1].LSN
+		sess.mu.Lock()
+		if target > sess.forcePoint {
+			sess.forcePoint = target
+		}
+		sess.mu.Unlock()
+		// Mid-round acks must keep clocking frames out now: the round
+		// completes only after the windowed pipeline drains to the point.
+		l.streamForcing.Store(true)
+	}
+	_, err := l.streamFramesLocked(sess, true)
+	return err
+}
+
+// sendBurstLocked is the non-streaming flush (DisableWriteStream):
+// send every unsent record immediately, the final frame as a ForceLog
+// when forcing. Without a streamer goroutine there is no ack-clocked
+// pipeline to finish a capped send, so this path ignores the window.
+func (l *ReplicatedLog) sendBurstLocked(sess *session, force bool) error {
 	sess.mu.Lock()
 	sentHigh := sess.sentHigh
 	sess.mu.Unlock()
@@ -613,7 +774,12 @@ func (l *ReplicatedLog) sendStreamLocked(sess *session, force bool) error {
 		if !force || len(l.outstanding) == 0 {
 			return nil
 		}
-		toSend = l.outstanding[len(l.outstanding)-1:]
+		target := l.outstanding[len(l.outstanding)-1].LSN
+		fp := wire.LSNPayload{LSN: target}
+		if _, err := sess.peer.Send(wire.TForcePoint, 0, fp.Encode()); err != nil {
+			return err
+		}
+		return nil
 	}
 	for len(toSend) > 0 {
 		n := wire.FitRecords(toSend)
@@ -635,11 +801,21 @@ func (l *ReplicatedLog) sendStreamLocked(sess *session, force bool) error {
 		if _, err := sess.peer.SendRecords(t, 0, l.epoch, batch); err != nil {
 			return err
 		}
+		if t == wire.TWriteLog {
+			faultpoint.Hit(FPStreamAfterSend)
+		}
 		last := batch[len(batch)-1].LSN
+		bytes := 0
+		for i := range batch {
+			bytes += len(batch[i].Data)
+		}
 		sess.mu.Lock()
 		if last > sess.sentHigh {
 			sess.sentHigh = last
 		}
+		// Register the frame so the timeout detector sees forced traffic
+		// too; without the streamer the cwnd limit is not consulted.
+		sess.win.onSent(last, bytes, time.Now())
 		sess.mu.Unlock()
 	}
 	return nil
@@ -685,8 +861,11 @@ func (l *ReplicatedLog) awaitServer(addr string, target record.LSN) error {
 		l.mu.Lock()
 		l.m.resends.Add(1)
 		sess.mu.Lock()
+		sess.win.backoff() // a lost frame is a congestion signal too
+		sess.win.clear()
 		sess.sentHigh = 0 // resend everything outstanding
 		sess.mu.Unlock()
+		l.m.streamBackoffs.Add(1)
 		err = l.sendStreamLocked(sess, true)
 		l.mu.Unlock()
 		if err != nil {
@@ -701,6 +880,14 @@ func (l *ReplicatedLog) awaitServer(addr string, target record.LSN) error {
 // outstanding buffer — that is what δ guarantees) or, if the missing
 // records were already released, starting a new interval.
 func (l *ReplicatedLog) serviceMissing(sess *session) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.serviceMissingLocked(sess)
+}
+
+// serviceMissingLocked is serviceMissing under l.mu; the streamer
+// calls it directly from its pipeline pass.
+func (l *ReplicatedLog) serviceMissingLocked(sess *session) error {
 	nacks := sess.takeMissing()
 	if len(nacks) == 0 {
 		return nil
@@ -711,8 +898,6 @@ func (l *ReplicatedLog) serviceMissing(sess *session) error {
 			low = n.Low
 		}
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
 	l.m.resends.Add(1)
 	l.m.trace.Emit(telemetry.EvNack, sess.addr, uint64(low), uint64(l.epoch), uint64(len(nacks)))
 	if len(l.outstanding) == 0 || low < l.outstanding[0].LSN {
@@ -728,10 +913,12 @@ func (l *ReplicatedLog) serviceMissing(sess *session) error {
 			return err
 		}
 		sess.mu.Lock()
+		sess.win.clear() // the rewound frames will be re-registered
 		sess.sentHigh = start - 1
 		sess.mu.Unlock()
 	} else {
 		sess.mu.Lock()
+		sess.win.clear()
 		sess.sentHigh = low - 1
 		sess.mu.Unlock()
 	}
@@ -1079,6 +1266,8 @@ func (l *ReplicatedLog) Close() error {
 		return nil
 	}
 	l.closed = true
+	l.writeCond.Broadcast()
+	close(l.streamQuit)
 	sessions := make([]*session, 0, len(l.sessions))
 	for _, s := range l.sessions {
 		sessions = append(sessions, s)

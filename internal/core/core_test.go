@@ -541,25 +541,39 @@ func TestCorruptedPacketsRejected(t *testing.T) {
 }
 
 func TestDeltaBoundsOutstanding(t *testing.T) {
-	c := newCluster(t, "s1", "s2", "s3")
-	l := mustOpen(t, c, 1, 2, func(cfg *Config) { cfg.Delta = 4 })
-	defer l.Close()
-	// 20 writes with no explicit force: the client must force on its
-	// own every δ records.
-	for i := 0; i < 20; i++ {
-		if _, err := l.WriteLog([]byte("bounded")); err != nil {
-			t.Fatal(err)
+	// The δ invariant — never more than Delta records outstanding — has
+	// two enforcement mechanisms: with the write stream on (default),
+	// background release keeps the buffer under δ without synchronous
+	// forces; with it off, the client forces on its own every δ records.
+	deltaRun := func(t *testing.T, mutate func(*Config)) *ReplicatedLog {
+		c := newCluster(t, "s1", "s2", "s3")
+		l := mustOpen(t, c, 1, 2, mutate)
+		t.Cleanup(func() { l.Close() })
+		for i := 0; i < 20; i++ {
+			if _, err := l.WriteLog([]byte("bounded")); err != nil {
+				t.Fatal(err)
+			}
+			l.mu.Lock()
+			n := len(l.outstanding)
+			l.mu.Unlock()
+			if n > 4 {
+				t.Fatalf("outstanding = %d exceeds δ = 4", n)
+			}
 		}
-		l.mu.Lock()
-		n := len(l.outstanding)
-		l.mu.Unlock()
-		if n > 4 {
-			t.Fatalf("outstanding = %d exceeds δ = 4", n)
+		return l
+	}
+	t.Run("streamed", func(t *testing.T) {
+		l := deltaRun(t, func(cfg *Config) { cfg.Delta = 4 })
+		if got := l.Stats().StreamFrames; got == 0 {
+			t.Fatal("write stream on, but no frames were streamed")
 		}
-	}
-	if got := l.Stats().Forces; got < 4 {
-		t.Fatalf("implicit forces = %d, want >= 4", got)
-	}
+	})
+	t.Run("forced", func(t *testing.T) {
+		l := deltaRun(t, func(cfg *Config) { cfg.Delta = 4; cfg.DisableWriteStream = true })
+		if got := l.Stats().Forces; got < 4 {
+			t.Fatalf("implicit forces = %d, want >= 4", got)
+		}
+	})
 }
 
 func TestGroupingReducesMessages(t *testing.T) {

@@ -41,6 +41,13 @@ const (
 	// ReadRecord included), so the crashaudit sweep reaches it from both
 	// scans and point reads.
 	FPCursorMidStream = "core.cursor.mid-stream"
+	// FPStreamAfterSend interrupts the asynchronous write pipeline just
+	// after a plain (unforced) record frame left for a server: the
+	// client dies with records streamed but never forced — exactly the
+	// partially-written tail the δ re-copy of recovery must cover. It
+	// fires from both async senders (the streamer goroutine and the
+	// opportunistic FlushBatch flush).
+	FPStreamAfterSend = "client.stream.after-send"
 )
 
 var _ = faultpoint.Register(
@@ -51,4 +58,5 @@ var _ = faultpoint.Register(
 	FPForceWaiterDone,
 	FPFailoverBeforeSwap,
 	FPCursorMidStream,
+	FPStreamAfterSend,
 )

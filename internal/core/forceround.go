@@ -63,7 +63,10 @@ func (l *ReplicatedLog) Force() error {
 		}
 		if lead == nil && len(l.outstanding) == 0 {
 			// Everything written so far has already been confirmed on N
-			// servers (possibly by a round another caller led).
+			// servers (possibly by a round another caller led, or by the
+			// streamer's background release) — which also ends any
+			// asynchronous error episode: nothing unstable remains.
+			l.asyncErr = nil
 			l.mu.Unlock()
 			return nil
 		}
@@ -114,6 +117,7 @@ func (l *ReplicatedLog) Force() error {
 		if len(l.outstanding) == 0 {
 			// The previous round confirmed everything (it covered our
 			// followers' records too); complete trivially.
+			l.asyncErr = nil
 			close(lead.done)
 			l.mu.Unlock()
 			return nil
@@ -154,6 +158,7 @@ func (w *roundWaiter) wait() {
 func (l *ReplicatedLog) leadRoundLocked(r *forceRound) error {
 	started := time.Now()
 	r.target = l.outstanding[len(l.outstanding)-1].LSN
+	l.roundActive.Store(true)
 	l.m.forceRounds.Add(1)
 	faultpoint.Hit(FPForceBeforeFlush)
 	err := l.flushLocked(true)
@@ -185,35 +190,65 @@ func (l *ReplicatedLog) leadRoundLocked(r *forceRound) error {
 	}
 
 	l.mu.Lock()
-	if err == nil && len(l.outstanding) > 0 {
-		// All N acknowledged: the interval is durable; record its
-		// holders and release the buffer.
-		first := l.outstanding[0].LSN
-		if first <= r.target {
-			l.holders.add(l.epoch, first, r.target, l.writeSet)
-		}
-		keep := l.outstanding[:0]
-		released := 0
-		for _, rec := range l.outstanding {
-			if rec.LSN > r.target {
-				keep = append(keep, rec)
-			} else {
-				released++
-			}
-		}
-		l.outstanding = keep
-		l.m.recordsPerRound.Observe(uint64(released))
+	if err == nil {
+		// All N acknowledged through the target. The streamer's
+		// background release may have beaten us to (part of) the buffer;
+		// releaseThroughLocked is idempotent over the already-released
+		// prefix, and the round's latency is observed either way so a
+		// force round always accounts for exactly one latency sample.
+		l.releaseThroughLocked(r.target)
 		l.m.forceLatency.Observe(uint64(time.Since(started)))
-		l.m.trace.Emit(telemetry.EvStable, l.m.node,
-			uint64(r.target), uint64(l.epoch), uint64(released))
+		// The round's acknowledgments subsume whatever the background
+		// pipeline was struggling with: the error episode is over.
+		l.asyncErr = nil
 	}
 	if l.curRound == r {
 		l.curRound = nil
 	}
+	l.roundActive.Store(false)
+	// Catch up on whatever the suppressed per-ack kicks would have done:
+	// one wakeup covers releases and sends for records that arrived (or
+	// acks that landed) while the round was in flight.
+	kick := !l.cfg.DisableWriteStream && len(l.outstanding) > 0
 	r.err = err
 	close(r.done)
 	l.mu.Unlock()
+	if kick {
+		l.kickStream()
+	}
 	return err
+}
+
+// releaseThroughLocked releases every outstanding record with LSN ≤
+// target: the full write set has confirmed them stable, so the
+// interval's holders are recorded, the buffer shrinks, and δ-bounded
+// writers are woken. Shared by force rounds and the streamer's
+// background release (sendwindow.go); a no-op over an already-released
+// prefix. Caller holds l.mu. Returns how many records were released.
+func (l *ReplicatedLog) releaseThroughLocked(target record.LSN) int {
+	if len(l.outstanding) == 0 {
+		return 0
+	}
+	first := l.outstanding[0].LSN
+	if target < first {
+		return 0
+	}
+	l.holders.add(l.epoch, first, target, l.writeSet)
+	keep := l.outstanding[:0]
+	released := 0
+	for _, rec := range l.outstanding {
+		if rec.LSN > target {
+			keep = append(keep, rec)
+		} else {
+			released++
+		}
+	}
+	l.outstanding = keep
+	l.m.recordsPerRound.Observe(uint64(released))
+	l.m.trace.Emit(telemetry.EvStable, l.m.node,
+		uint64(target), uint64(l.epoch), uint64(released))
+	l.writeCond.Broadcast()
+	return released
 }
 
 // ForceRoundStats reports force coalescing: Force calls, protocol

@@ -27,6 +27,13 @@ const (
 	mPrefetchWaits   = "client.cursor.prefetch_waits"
 	mWindowOccupancy = "client.cursor.window_occupancy"
 	mScanLatency     = "client.cursor.scan_latency_ns"
+	mStreamFrames    = "client.stream.frames"
+	mStreamBusy      = "client.stream.busy"
+	mStreamBackoffs  = "client.stream.backoffs"
+	mStreamTimeouts  = "client.stream.timeouts"
+	mStreamCwnd      = "client.stream.cwnd"
+	mStreamOccupancy = "client.stream.window_occupancy"
+	mStreamInflight  = "client.stream.inflight_bytes"
 )
 
 // clientMetrics is the client's single source of protocol counters.
@@ -42,10 +49,10 @@ type clientMetrics struct {
 	node  string
 	trace *telemetry.Trace
 
-	writes        *telemetry.Counter
-	forces        *telemetry.Counter
-	forceRounds   *telemetry.Counter
-	groupCommits  *telemetry.Counter
+	writes          *telemetry.Counter
+	forces          *telemetry.Counter
+	forceRounds     *telemetry.Counter
+	groupCommits    *telemetry.Counter
 	reads           *telemetry.Counter
 	readCacheHits   *telemetry.Counter
 	readCacheMisses *telemetry.Counter
@@ -65,6 +72,16 @@ type clientMetrics struct {
 	prefetchHits   *telemetry.Counter
 	prefetchWaits  *telemetry.Counter
 
+	// Streaming-write instruments. Like the cursor family these are
+	// touched off l.mu (the TBusy callback runs on the receive pump, the
+	// streamer samples after dropping the session lock), so they are
+	// monotone but not transactionally consistent with the write-path
+	// counters.
+	streamFrames   *telemetry.Counter
+	streamBusy     *telemetry.Counter
+	streamBackoffs *telemetry.Counter
+	streamTimeouts *telemetry.Counter
+
 	forceLatency    *telemetry.Histogram
 	recordsPerRound *telemetry.Histogram
 	// windowOccupancy samples the number of in-flight prefetch tasks at
@@ -72,6 +89,12 @@ type clientMetrics struct {
 	// from open to close.
 	windowOccupancy *telemetry.Histogram
 	scanLatency     *telemetry.Histogram
+	// streamCwnd samples the AIMD window after each frame send;
+	// streamOccupancy the frames then in flight; streamInflightBytes the
+	// unacknowledged payload bytes — together the congestion picture.
+	streamCwnd          *telemetry.Histogram
+	streamOccupancy     *telemetry.Histogram
+	streamInflightBytes *telemetry.Histogram
 }
 
 func newClientMetrics(reg *telemetry.Registry, node string) *clientMetrics {
@@ -97,10 +120,18 @@ func newClientMetrics(reg *telemetry.Registry, node string) *clientMetrics {
 		streamRestarts:  reg.Counter(mStreamRestarts),
 		prefetchHits:    reg.Counter(mPrefetchHits),
 		prefetchWaits:   reg.Counter(mPrefetchWaits),
+		streamFrames:    reg.Counter(mStreamFrames),
+		streamBusy:      reg.Counter(mStreamBusy),
+		streamBackoffs:  reg.Counter(mStreamBackoffs),
+		streamTimeouts:  reg.Counter(mStreamTimeouts),
 		forceLatency:    reg.Histogram(mForceLatency),
 		recordsPerRound: reg.Histogram(mRecordsPerRound),
 		windowOccupancy: reg.Histogram(mWindowOccupancy),
 		scanLatency:     reg.Histogram(mScanLatency),
+
+		streamCwnd:          reg.Histogram(mStreamCwnd),
+		streamOccupancy:     reg.Histogram(mStreamOccupancy),
+		streamInflightBytes: reg.Histogram(mStreamInflight),
 	}
 }
 
@@ -110,10 +141,10 @@ func newClientMetrics(reg *telemetry.Registry, node string) *clientMetrics {
 // GroupCommits always holds within one snapshot).
 func (m *clientMetrics) statsLocked() Stats {
 	return Stats{
-		Writes:        m.writes.Value(),
-		Forces:        m.forces.Value(),
-		ForceRounds:   m.forceRounds.Value(),
-		GroupCommits:  m.groupCommits.Value(),
+		Writes:          m.writes.Value(),
+		Forces:          m.forces.Value(),
+		ForceRounds:     m.forceRounds.Value(),
+		GroupCommits:    m.groupCommits.Value(),
 		Reads:           m.reads.Value(),
 		ReadCacheHits:   m.readCacheHits.Value(),
 		ReadCacheMisses: m.readCacheMisses.Value(),
@@ -123,5 +154,9 @@ func (m *clientMetrics) statsLocked() Stats {
 		StreamRestarts:  m.streamRestarts.Value(),
 		PrefetchHits:    m.prefetchHits.Value(),
 		PrefetchWaits:   m.prefetchWaits.Value(),
+		StreamFrames:    m.streamFrames.Value(),
+		StreamBusy:      m.streamBusy.Value(),
+		StreamBackoffs:  m.streamBackoffs.Value(),
+		StreamTimeouts:  m.streamTimeouts.Value(),
 	}
 }

@@ -64,6 +64,14 @@ type session struct {
 	// its second network (Section 2's two-LAN arrangement).
 	onRetry func()
 
+	// onAck and onBusy are the streaming write pipeline's wakeups,
+	// invoked (without s.mu held) after a write acknowledgment or a
+	// TBusy congestion NACK is absorbed. Both are set before the
+	// session is published to the log's session map and never change,
+	// so deliver may read them without the lock.
+	onAck  func()
+	onBusy func()
+
 	// ready is closed by the dialing goroutine once handshake() has
 	// settled; hsErr (valid after ready) holds its result. Concurrent
 	// dialers of the same address block on ready instead of being
@@ -73,9 +81,22 @@ type session struct {
 	mu        sync.Mutex
 	cond      *sync.Cond
 	hsErr     error      // handshake result; valid once ready is closed
-	ackedHigh record.LSN // highest NewHighLSN received
-	sentHigh  record.LSN // highest LSN sent in this connection's stream
-	pending   map[uint64]chan *wire.Packet
+	ackedHigh record.LSN // highest stable LSN acknowledged (NewHighLSN)
+	// appendedHigh is the highest LSN the server reports appended (the
+	// second field of a streamed write ack): the retransmission rewind
+	// point — everything above it is presumed lost on a timeout.
+	appendedHigh record.LSN
+	sentHigh     record.LSN // highest LSN sent in this connection's stream
+	// win is the sliding send window of the streaming write protocol
+	// (see sendwindow.go), guarded by s.mu like the cursors above.
+	win sendWindow
+	// forcePoint is the LSN through which a pending force wants the
+	// stream stamped: the streamer sends the frame covering it as a
+	// ForceLog (or a bare ForcePoint when the tail is already streamed)
+	// and clears it. Forces never bypass the send window — they mark
+	// where the force lands and let the windowed pipeline carry it.
+	forcePoint record.LSN
+	pending    map[uint64]chan *wire.Packet
 	// streams are multi-shot sinks for TReadStreamData chunks, keyed by
 	// the request Seq like pending. Unlike pending entries they survive
 	// multiple deliveries; deliver sends non-blocking under mu (the
@@ -184,18 +205,54 @@ func (s *session) deliver(pkt *wire.Packet) {
 		cp := *pkt
 		ch <- &cp
 	case pkt.Type == wire.TNewHighLSN:
-		// Decoded inline: the ack path runs once per force round per
-		// server and must not allocate.
-		if len(pkt.Payload) != 8 {
+		// Decoded inline: the streamed-ack path runs continuously under
+		// load and must not allocate. A legacy 8-byte ack carries only
+		// the stable mark (stable == appended); the 16-byte streaming
+		// encoding adds the appended high-water mark that advances the
+		// send window.
+		var stable, appended record.LSN
+		switch len(pkt.Payload) {
+		case 8:
+			stable = record.LSN(binary.BigEndian.Uint64(pkt.Payload))
+			appended = stable
+		case 16:
+			stable = record.LSN(binary.BigEndian.Uint64(pkt.Payload[:8]))
+			appended = record.LSN(binary.BigEndian.Uint64(pkt.Payload[8:]))
+		default:
 			return
 		}
-		lsn := record.LSN(binary.BigEndian.Uint64(pkt.Payload))
 		s.mu.Lock()
-		if lsn > s.ackedHigh {
-			s.ackedHigh = lsn
+		if stable > s.ackedHigh {
+			s.ackedHigh = stable
+		}
+		if appended > s.appendedHigh {
+			s.appendedHigh = appended
+		}
+		if s.win.ackThrough(appended) > 0 {
+			// Progress under the current window: additive ramp-up.
+			s.win.widen()
 		}
 		s.cond.Broadcast()
 		s.mu.Unlock()
+		if s.onAck != nil {
+			s.onAck()
+		}
+	case pkt.Type == wire.TBusy:
+		// Congestion NACK: the server shed one of our write messages.
+		// Halve the effective window and rewind the send cursor to the
+		// appended mark — everything past it may have been shed — so the
+		// streamer retransmits under the reduced window.
+		s.mu.Lock()
+		s.win.backoff()
+		s.win.clear()
+		if s.appendedHigh < s.sentHigh {
+			s.sentHigh = s.appendedHigh
+		}
+		s.cond.Broadcast()
+		s.mu.Unlock()
+		if s.onBusy != nil {
+			s.onBusy()
+		}
 	case pkt.Type == wire.TMissingInterval:
 		p, err := wire.DecodeIntervalPayload(pkt.Payload)
 		if err != nil {

@@ -1,0 +1,326 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"distlog/internal/record"
+	"distlog/internal/server"
+	"distlog/internal/storage"
+	"distlog/internal/transport"
+)
+
+// Adversarial tests of the streaming write protocol (sendwindow.go):
+// the pipeline must survive loss, duplication, reordering, and holder
+// failure without stalling permanently — and, the Section 3.1 side of
+// the coin, without ever releasing (acking to the application) a
+// record that skipped a gap on its way to stability.
+
+// streamPayload builds a record body big enough that a handful fill a
+// frame, so the tests exercise multi-frame windows, not just the
+// trailing partial frame.
+func streamPayload(i int) []byte {
+	data := make([]byte, 256)
+	copy(data, fmt.Sprintf("stream-record-%05d", i))
+	return data
+}
+
+// writeAndVerifyUnderFaults drives writes through an already-faulty
+// network, forces the tail, clears the faults, and verifies every
+// record end to end. Verification is the gap-skip check: a record the
+// client released without full write-set coverage would have vanished
+// with the faults.
+func writeAndVerifyUnderFaults(t *testing.T, c *cluster, l *ReplicatedLog, writes int) {
+	t.Helper()
+	lsns := make(map[record.LSN]int, writes)
+	for i := 0; i < writes; i++ {
+		lsn, err := l.WriteLog(streamPayload(i))
+		if err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		lsns[lsn] = i
+		if i%32 == 31 {
+			if err := l.Force(); err != nil {
+				t.Fatalf("interim force at %d: %v", i, err)
+			}
+		}
+	}
+	if err := l.Force(); err != nil {
+		t.Fatalf("final force: %v", err)
+	}
+	c.net.SetFaults(transport.Faults{})
+	for lsn, i := range lsns {
+		data, err := l.ReadLog(lsn)
+		if err != nil {
+			t.Fatalf("ReadLog(%d) after faults: %v", lsn, err)
+		}
+		if want := string(streamPayload(i)); string(data) != want {
+			t.Fatalf("ReadLog(%d) = %q, want record %d", lsn, data[:20], i)
+		}
+	}
+}
+
+// TestStreamingUnderLoss drops 15% of all packets: frames vanish, acks
+// vanish, NACKs vanish. The retransmission timeout and the cumulative
+// acks must keep the stream moving, and nothing may be released early.
+func TestStreamingUnderLoss(t *testing.T) {
+	c := newCluster(t, "s1", "s2", "s3")
+	l := mustOpen(t, c, 1, 2, func(cfg *Config) {
+		cfg.Delta = 32
+		cfg.CallTimeout = 50 * time.Millisecond
+	})
+	defer l.Close()
+	c.net.SetFaults(transport.Faults{DropProb: 0.15})
+	writeAndVerifyUnderFaults(t, c, l, 160)
+}
+
+// TestStreamingUnderDupAndReorder duplicates 20% of packets and delays
+// deliveries by up to 2ms, so frames overtake each other and cumulative
+// acks arrive out of order. Duplicated frames must be absorbed
+// idempotently (full-overlap retransmissions draw a repeated ack, not a
+// double append) and reordered frames must be NACKed and resent, never
+// acked across the gap.
+func TestStreamingUnderDupAndReorder(t *testing.T) {
+	c := newCluster(t, "s1", "s2", "s3")
+	l := mustOpen(t, c, 1, 2, func(cfg *Config) {
+		cfg.Delta = 32
+		cfg.CallTimeout = 50 * time.Millisecond
+	})
+	defer l.Close()
+	c.net.SetFaults(transport.Faults{DupProb: 0.20, MaxDelay: 2 * time.Millisecond})
+	writeAndVerifyUnderFaults(t, c, l, 160)
+}
+
+// TestStreamingHolderFailsMidStream kills a write-set server in the
+// middle of an active stream. The client must neither stall (the force
+// fails over to a spare) nor lose a record (everything written remains
+// readable afterwards).
+func TestStreamingHolderFailsMidStream(t *testing.T) {
+	c := newCluster(t, "s1", "s2", "s3")
+	l := mustOpen(t, c, 1, 2, func(cfg *Config) {
+		cfg.Delta = 32
+		cfg.CallTimeout = 50 * time.Millisecond
+	})
+	defer l.Close()
+
+	lsns := make(map[record.LSN]int)
+	for i := 0; i < 40; i++ {
+		lsn, err := l.WriteLog(streamPayload(i))
+		if err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		lsns[lsn] = i
+	}
+	// Kill one current holder mid-stream, then keep writing through it.
+	victim := l.WriteSet()[0]
+	c.stop(victim)
+	for i := 40; i < 80; i++ {
+		lsn, err := l.WriteLog(streamPayload(i))
+		if err != nil {
+			t.Fatalf("write %d after holder failure: %v", i, err)
+		}
+		lsns[lsn] = i
+	}
+	if err := l.Force(); err != nil {
+		t.Fatalf("force across holder failure: %v", err)
+	}
+	for _, a := range l.WriteSet() {
+		if a == victim {
+			t.Fatalf("failed holder %s still in write set %v", victim, l.WriteSet())
+		}
+	}
+	for lsn, i := range lsns {
+		data, err := l.ReadLog(lsn)
+		if err != nil {
+			t.Fatalf("ReadLog(%d): %v", lsn, err)
+		}
+		if want := string(streamPayload(i)); string(data) != want {
+			t.Fatalf("ReadLog(%d) corrupt after failover", lsn)
+		}
+	}
+}
+
+// TestBackgroundReleaseWithoutForce is the protocol's reason to exist:
+// on a healthy network a stream of plain writes drains to stability —
+// and survives a client restart — without the application ever calling
+// Force. The servers' continuous stability acks alone must release the
+// buffer.
+func TestBackgroundReleaseWithoutForce(t *testing.T) {
+	c := newCluster(t, "s1", "s2", "s3")
+	l := mustOpen(t, c, 1, 2, func(cfg *Config) {
+		cfg.Delta = 16
+		cfg.CallTimeout = 2 * time.Second // keep the δ fallback force out of the picture
+	})
+	lsns := make(map[record.LSN]int)
+	for i := 0; i < 64; i++ {
+		lsn, err := l.WriteLog(streamPayload(i))
+		if err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		lsns[lsn] = i
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		l.mu.Lock()
+		n := len(l.outstanding)
+		l.mu.Unlock()
+		if n == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("outstanding stuck at %d without a force", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s := l.Stats()
+	if s.ForceRounds != 0 {
+		t.Fatalf("background release ran %d force rounds, want 0", s.ForceRounds)
+	}
+	if s.StreamFrames == 0 {
+		t.Fatal("no frames streamed")
+	}
+	// The released records must be durable, not just acked: a client
+	// restart (recovery re-copies only the last δ) must find them.
+	l.Close()
+	l = mustOpen(t, c, 1, 2, func(cfg *Config) { cfg.Delta = 16 })
+	defer l.Close()
+	for lsn, i := range lsns {
+		data, err := l.ReadLog(lsn)
+		if err != nil {
+			t.Fatalf("ReadLog(%d) after restart: %v", lsn, err)
+		}
+		if want := string(streamPayload(i)); string(data) != want {
+			t.Fatalf("ReadLog(%d) corrupt after restart", lsn)
+		}
+	}
+}
+
+// TestBusyNACKShrinksWindow overloads a server so it sheds writes with
+// TBusy, and checks the client's AIMD response: the effective window
+// collapses, the stream keeps retrying, and once the overload clears
+// everything becomes stable with no record lost.
+func TestBusyNACKShrinksWindow(t *testing.T) {
+	net := transport.NewNetwork(42)
+	store := storage.NewMemStore()
+	var overloaded atomic.Bool
+	srv := server.New(server.Config{
+		Name:       "s1",
+		Store:      store,
+		Endpoint:   net.Endpoint("s1"),
+		Epochs:     server.NewMemEpochHost(),
+		Overloaded: func() bool { return overloaded.Load() },
+	})
+	srv.Start()
+	defer srv.Stop()
+
+	l, err := Open(Config{
+		ClientID:    1,
+		Servers:     []string{"s1"},
+		N:           1,
+		Delta:       64,
+		Endpoint:    net.Endpoint("client-1"),
+		CallTimeout: 50 * time.Millisecond,
+		Retries:     2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	overloaded.Store(true)
+	var lsns []record.LSN
+	for i := 0; i < 24; i++ {
+		lsn, err := l.WriteLog(streamPayload(i))
+		if err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		lsns = append(lsns, lsn)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for l.Stats().StreamBusy == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("server shed writes but no Busy NACK reached the window")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	overloaded.Store(false)
+	if err := l.Force(); err != nil {
+		t.Fatalf("force after overload cleared: %v", err)
+	}
+	s := l.Stats()
+	if s.StreamBackoffs == 0 {
+		t.Fatal("Busy NACKs arrived but the window never backed off")
+	}
+	for i, lsn := range lsns {
+		data, err := l.ReadLog(lsn)
+		if err != nil {
+			t.Fatalf("ReadLog(%d): %v", lsn, err)
+		}
+		if want := string(streamPayload(i)); string(data) != want {
+			t.Fatalf("ReadLog(%d) corrupt after overload", lsn)
+		}
+	}
+}
+
+// TestErrSurfacesAsyncFailure pins the per-log error surface: a
+// background send failure must show up in Err() and fire the OnError
+// health callback — the old write path swallowed these — and a
+// subsequent successful Force must clear the episode.
+func TestErrSurfacesAsyncFailure(t *testing.T) {
+	c := newCluster(t, "s1", "s2", "s3")
+	errCh := make(chan error, 4)
+	l := mustOpen(t, c, 1, 2, func(cfg *Config) {
+		cfg.OnError = func(err error) { errCh <- err }
+	})
+	defer l.Close()
+
+	if _, err := l.ForceLog([]byte("healthy")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Err(); err != nil {
+		t.Fatalf("healthy log reports Err %v", err)
+	}
+
+	// Clearing: a recorded episode ends at the next successful Force.
+	injected := errors.New("injected episode")
+	l.mu.Lock()
+	l.noteAsyncErrLocked(injected)
+	l.mu.Unlock()
+	if err := l.Err(); !errors.Is(err, injected) {
+		t.Fatalf("Err = %v, want injected episode", err)
+	}
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, injected) {
+			t.Fatalf("OnError got %v, want injected episode", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("OnError callback never fired")
+	}
+	if err := l.Force(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Err(); err != nil {
+		t.Fatalf("Err = %v after successful Force, want nil", err)
+	}
+
+	// A real failure: cut the client's transport out from under the
+	// pipeline. The next buffered write's background send must record
+	// an episode rather than vanish.
+	if _, err := l.WriteLog([]byte("doomed")); err != nil {
+		t.Fatal(err)
+	}
+	l.cfg.Endpoint.Close()
+	l.kickStream()
+	deadline := time.Now().Add(3 * time.Second)
+	for l.Err() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("background send failure never surfaced in Err")
+		}
+		l.kickStream()
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -41,6 +41,11 @@ const (
 	// multi-packet stream leaves the client with a prefix of the range
 	// and no done flag, forcing a mid-stream failover.
 	FPStreamBetweenPackets = "server.stream.between-packets"
+	// FPAckerBeforeForce interrupts the session acker as it picks up an
+	// appended-but-unforced high-water mark, before the background force
+	// runs: streamed records are in the store (possibly volatile), no
+	// force covers them, and no ack has been generated.
+	FPAckerBeforeForce = "server.acker.before-force"
 )
 
 var _ = faultpoint.Register(
@@ -51,4 +56,5 @@ var _ = faultpoint.Register(
 	FPForceBetweenCoalesced,
 	FPReadBeforeStore,
 	FPStreamBetweenPackets,
+	FPAckerBeforeForce,
 )

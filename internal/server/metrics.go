@@ -16,6 +16,7 @@ const (
 	mStreamsServed   = "server.streams_served"
 	mStreamPackets   = "server.stream_packets"
 	mSheds           = "server.sheds"
+	mBusySent        = "server.busy_sent"
 	mSessions        = "server.sessions"
 	mSessionsEvicted = "server.sessions_evicted"
 	mQueueSheds      = "server.queue_sheds"
@@ -42,6 +43,7 @@ type serverMetrics struct {
 	streamsServed   *telemetry.Counter
 	streamPackets   *telemetry.Counter
 	sheds           *telemetry.Counter
+	busySent        *telemetry.Counter
 	sessionsEvicted *telemetry.Counter
 	queueSheds      *telemetry.Counter
 	forceRounds     *telemetry.Counter
@@ -73,6 +75,7 @@ func newServerMetrics(reg *telemetry.Registry, node string) *serverMetrics {
 		streamsServed:   reg.Counter(mStreamsServed),
 		streamPackets:   reg.Counter(mStreamPackets),
 		sheds:           reg.Counter(mSheds),
+		busySent:        reg.Counter(mBusySent),
 		sessionsEvicted: reg.Counter(mSessionsEvicted),
 		queueSheds:      reg.Counter(mQueueSheds),
 		forceRounds:     reg.Counter(mForceRounds),
@@ -95,6 +98,7 @@ func (m *serverMetrics) stats() Stats {
 		StreamsServed:    m.streamsServed.Value(),
 		StreamPackets:    m.streamPackets.Value(),
 		Shed:             m.sheds.Value(),
+		BusySent:         m.busySent.Value(),
 		Sessions:         m.sessions.Value(),
 		Evicted:          m.sessionsEvicted.Value(),
 		QueueSheds:       m.queueSheds.Value(),

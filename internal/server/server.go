@@ -123,6 +123,10 @@ type Stats struct {
 	StreamsServed uint64
 	StreamPackets uint64
 	Shed          uint64
+	// BusySent counts Busy congestion NACKs sent to shed writers
+	// (rate-limited, so at most one per session per millisecond of
+	// shedding).
+	BusySent uint64
 	// Sessions is the current live session count; Evicted counts
 	// sessions removed by supersession or idleness. QueueSheds counts
 	// messages dropped because a session's queue was full. ForceRounds
@@ -167,8 +171,9 @@ type work struct {
 }
 
 // session is the per-client connection state. Its fields past the
-// queue are owned by the session's worker goroutine; the receive loop
-// only enqueues (and the peer is internally synchronized).
+// queue are owned by the session's worker goroutine except where noted;
+// the receive loop only enqueues (and the peer is internally
+// synchronized).
 type session struct {
 	addr     string
 	peer     *wire.Peer
@@ -183,11 +188,36 @@ type session struct {
 	// write stream; 0 until the first write of the connection arrives.
 	// Gap detection (MissingInterval) compares against it. Worker-owned.
 	expectedNext record.LSN
+
+	// Streaming-ack state shared between the worker (producer) and the
+	// session's acker goroutine (consumer). appendedHigh is the highest
+	// LSN appended to the store for this client's stream; stableHigh the
+	// highest LSN covered by a completed force and acknowledged;
+	// forceReq records an explicit client force request (ForceLog /
+	// ForcePoint) and reack a full-overlap retransmission whose original
+	// ack was evidently lost. ackEpoch stamps trace events with the
+	// epoch of the latest write.
+	appendedHigh atomic.Uint64
+	stableHigh   atomic.Uint64
+	forceReq     atomic.Bool
+	reack        atomic.Bool
+	ackEpoch     atomic.Uint64
+	kick         chan struct{} // 1-buffered acker wakeup
+	lastBusy     atomic.Int64  // UnixNano of the last TBusy sent (rate limit)
 }
 
-// stop signals the session's worker to exit; idempotent.
+// stop signals the session's worker and acker to exit; idempotent.
 func (sess *session) stop() {
 	sess.stopOnce.Do(func() { close(sess.quit) })
+}
+
+// kickAcker wakes the session's acker without blocking; a pending kick
+// already covers this wakeup.
+func (sess *session) kickAcker() {
+	select {
+	case sess.kick <- struct{}{}:
+	default:
+	}
 }
 
 // New creates a server; call Start to begin serving.
@@ -318,9 +348,15 @@ func (s *Server) dispatch(raw transport.Packet, pkt wire.Packet) {
 	default:
 		// This session's queue is full: shed. The client's own timeout
 		// and retry machinery recovers, exactly as for a lost datagram;
-		// other sessions' queues are unaffected.
+		// other sessions' queues are unaffected. Shed writes additionally
+		// draw a Busy NACK so a streaming client backs its window off now
+		// instead of waiting out a force timeout.
 		s.m.queueSheds.Add(1)
 		s.m.trace.Emit(telemetry.EvShed, s.m.node, 0, 0, 0)
+		switch pkt.Type {
+		case wire.TWriteLog, wire.TForceLog, wire.TForcePoint:
+			s.sendBusy(sess)
+		}
 		raw.Release()
 	}
 }
@@ -373,13 +409,15 @@ func (s *Server) handleSyn(from string, pkt *wire.Packet) {
 		clientID: pkt.ClientID,
 		queue:    make(chan work, s.cfg.QueueDepth),
 		quit:     make(chan struct{}),
+		kick:     make(chan struct{}, 1),
 	}
 	sess.lastActive.Store(time.Now().UnixNano())
 	sess.peer.SetEstablished()
 	s.sessions[from] = sess
 	s.m.sessions.Set(int64(len(s.sessions)))
-	s.workerWG.Add(1)
+	s.workerWG.Add(2)
 	go s.worker(sess)
+	go s.acker(sess)
 	s.mu.Unlock()
 	sess.peer.Observe(pkt)
 	sess.peer.Send(wire.TSynAck, pkt.Seq, nil)
@@ -442,7 +480,7 @@ func (s *Server) worker(sess *session) {
 				}
 			}
 		case w := <-sess.queue:
-			if w.pkt.Type == wire.TForceLog {
+			if w.pkt.Type == wire.TForceLog || w.pkt.Type == wire.TForcePoint {
 				faultpoint.Hit(FPWorkerBeforeForce)
 			}
 			s.process(sess, &w.pkt)
@@ -465,6 +503,8 @@ func (s *Server) process(sess *session, pkt *wire.Packet) {
 		s.handleWrite(sess, pkt, false)
 	case wire.TForceLog:
 		s.handleWrite(sess, pkt, true)
+	case wire.TForcePoint:
+		s.handleForcePoint(sess, pkt)
 	case wire.TNewInterval:
 		s.handleNewInterval(sess, pkt)
 	case wire.TIntervalListReq:
@@ -497,10 +537,13 @@ func pauseOf(cfg Config) time.Duration { return cfg.OverAllocPause }
 // forces) the NewHighLSN acknowledgment.
 func (s *Server) handleWrite(sess *session, pkt *wire.Packet, force bool) {
 	if s.cfg.Overloaded != nil && s.cfg.Overloaded() {
-		// Shed load: ignore the message entirely. The client times out
-		// and takes its logging elsewhere.
+		// Shed load: ignore the message ("they are free to ignore
+		// ForceLog and WriteLog messages if they become too heavily
+		// loaded"), but tell the streaming client with a Busy NACK so
+		// its send window halves instead of retry-storming.
 		s.m.sheds.Add(1)
 		s.m.trace.Emit(telemetry.EvShed, s.m.node, 0, 0, 0)
+		s.sendBusy(sess)
 		return
 	}
 	p, err := wire.DecodeRecordsPayload(pkt.Payload)
@@ -568,35 +611,144 @@ func (s *Server) handleWrite(sess *session, pkt *wire.Packet, force bool) {
 		s.m.trace.Emit(telemetry.EvAppend, s.m.node,
 			uint64(sess.expectedNext-1), uint64(p.Epoch), uint64(appended))
 	}
+	sess.ackEpoch.Store(uint64(p.Epoch))
+	// Publish the appended high-water mark to the acker. The store
+	// appends above happen-before this release store, so a force the
+	// acker starts after loading it covers every record up to the mark.
+	if h := uint64(sess.expectedNext - 1); h > sess.appendedHigh.Load() {
+		sess.appendedHigh.Store(h)
+	}
 
 	if force {
 		faultpoint.Hit(FPWriteBeforeForce)
-		forceStart := time.Now()
-		// Group force: concurrent session workers share underlying
-		// Store.Force rounds. The ForceGroup invariant — a nil return
-		// means a force that started after the call completed — is what
-		// makes the NewHighLSN below truthful: every record this worker
-		// appended above is covered by the round it just observed.
-		if err := s.fg.Force(); err != nil {
-			sess.peer.SendErr(pkt.Seq, wire.CodeUnknown, err.Error())
-			return
-		}
-		faultpoint.Hit(FPWriteAfterForce)
-		s.m.forces.Add(1)
-		s.m.forceLatency.Observe(uint64(time.Since(forceStart)))
-		if t := s.firstUnforced.Swap(0); t != 0 {
-			s.m.appendToForce.Observe(uint64(time.Now().UnixNano() - t))
-		}
-		s.m.trace.Emit(telemetry.EvForce, s.m.node,
-			uint64(sess.expectedNext-1), uint64(p.Epoch), 0)
-		// Emit before the packet leaves (like the client's flush): the
-		// client may complete its round — and emit EvStable — the moment
-		// the ack is delivered, and the trace guarantees ack < stable.
-		s.m.acksSent.Add(1)
-		s.m.trace.Emit(telemetry.EvAck, s.m.node,
-			uint64(sess.expectedNext-1), uint64(p.Epoch), 0)
-		sess.peer.SendLSN(wire.TNewHighLSN, 0, sess.expectedNext-1)
+		sess.forceReq.Store(true)
+	} else if appended == 0 {
+		// A full-overlap retransmission of a streamed write means the
+		// client missed our cumulative ack: have the acker repeat it.
+		sess.reack.Store(true)
 	}
+	// The acker forces in the background — coalescing across sessions —
+	// and sends the cumulative NewHighLSN. Appends without a force flag
+	// kick it too: continuously advancing stability is what lets the
+	// streaming client release records (and cross force points) without
+	// a round trip per force.
+	sess.kickAcker()
+}
+
+// handleForcePoint applies a ForcePoint message — the streaming
+// client's "force through this LSN and acknowledge" for records that
+// already left under WriteLog cover. A force point at or beyond what
+// this server has appended means the covering records were lost in
+// flight: NACK the gap so the client retransmits.
+func (s *Server) handleForcePoint(sess *session, pkt *wire.Packet) {
+	if s.cfg.Overloaded != nil && s.cfg.Overloaded() {
+		s.m.sheds.Add(1)
+		s.m.trace.Emit(telemetry.EvShed, s.m.node, 0, 0, 0)
+		s.sendBusy(sess)
+		return
+	}
+	p, err := wire.DecodeLSNPayload(pkt.Payload)
+	if err != nil {
+		sess.peer.SendErr(pkt.Seq, wire.CodeBadRequest, "bad force point payload")
+		return
+	}
+	if sess.expectedNext == 0 {
+		// First message of this connection: resume from the store's
+		// position, as handleWrite does.
+		last, _ := s.cfg.Store.LastKey(sess.clientID)
+		sess.expectedNext = last + 1
+		if h := uint64(last); h > sess.appendedHigh.Load() {
+			sess.appendedHigh.Store(h)
+		}
+	}
+	if p.LSN >= sess.expectedNext {
+		s.m.nacksSent.Add(1)
+		s.m.trace.Emit(telemetry.EvNack, s.m.node,
+			uint64(sess.expectedNext), sess.ackEpoch.Load(), uint64(p.LSN-sess.expectedNext+1))
+		mi := wire.IntervalPayload{Low: sess.expectedNext, High: p.LSN}
+		sess.peer.Send(wire.TMissingInterval, 0, mi.Encode())
+		return
+	}
+	faultpoint.Hit(FPWriteBeforeForce)
+	sess.forceReq.Store(true)
+	sess.kickAcker()
+}
+
+// acker is the per-session stability engine of the streaming write
+// protocol: it runs this session's forces in the background —
+// coalescing with other sessions through the server's ForceGroup — and
+// sends the cumulative NewHighLSN acknowledgement. Moving the force
+// off the worker keeps appends flowing while the store syncs, which is
+// what lets a client stream continuously. The acked ⇒ durable
+// invariant holds because stableHigh only advances to a mark loaded
+// *before* a force that completed after it: every record at or below
+// the mark was in the store when that force began (the ForceGroup
+// started-after guarantee, plus the worker's publish ordering).
+func (s *Server) acker(sess *session) {
+	defer s.workerWG.Done()
+	for {
+		select {
+		case <-sess.quit:
+			return
+		case <-sess.kick:
+		}
+		for {
+			h := sess.appendedHigh.Load()
+			force := sess.forceReq.Swap(false)
+			reack := sess.reack.Swap(false)
+			if h <= sess.stableHigh.Load() && !force {
+				if !reack {
+					break
+				}
+				// Lost-ack retransmission with nothing new to force:
+				// repeat the cumulative ack as it stands.
+				s.m.acksSent.Add(1)
+				sess.peer.SendWriteAck(0, record.LSN(sess.stableHigh.Load()), record.LSN(h))
+				continue
+			}
+			faultpoint.Hit(FPAckerBeforeForce)
+			forceStart := time.Now()
+			if err := s.fg.Force(); err != nil {
+				// The store cannot force, so no truthful ack is possible.
+				// Surface the failure rather than going silent; the client
+				// times out and takes its logging elsewhere.
+				sess.peer.SendErr(0, wire.CodeUnknown, err.Error())
+				break
+			}
+			faultpoint.Hit(FPWriteAfterForce)
+			s.m.forces.Add(1)
+			s.m.forceLatency.Observe(uint64(time.Since(forceStart)))
+			if t := s.firstUnforced.Swap(0); t != 0 {
+				s.m.appendToForce.Observe(uint64(time.Now().UnixNano() - t))
+			}
+			if h > sess.stableHigh.Load() {
+				sess.stableHigh.Store(h)
+			}
+			epoch := sess.ackEpoch.Load()
+			s.m.trace.Emit(telemetry.EvForce, s.m.node, h, epoch, 0)
+			// Emit before the packet leaves (like the client's flush): the
+			// client may complete its round — and emit EvStable — the
+			// moment the ack is delivered, and the trace guarantees
+			// ack < stable.
+			s.m.acksSent.Add(1)
+			s.m.trace.Emit(telemetry.EvAck, s.m.node, h, epoch, 0)
+			sess.peer.SendWriteAck(0, record.LSN(h), record.LSN(sess.appendedHigh.Load()))
+		}
+	}
+}
+
+// sendBusy tells the client the server is shedding its writes so its
+// send window backs off now instead of after a force timeout.
+// Rate-limited: one Busy per session per millisecond covers a whole
+// burst of sheds. Safe from both the receive loop and workers.
+func (s *Server) sendBusy(sess *session) {
+	now := time.Now().UnixNano()
+	last := sess.lastBusy.Load()
+	if now-last < int64(time.Millisecond) || !sess.lastBusy.CompareAndSwap(last, now) {
+		return
+	}
+	s.m.busySent.Add(1)
+	sess.peer.Send(wire.TBusy, 0, nil)
 }
 
 func (s *Server) handleNewInterval(sess *session, pkt *wire.Packet) {

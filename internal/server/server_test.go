@@ -114,8 +114,8 @@ func TestServerForceAcksNewHighLSN(t *testing.T) {
 	if pkt.Type != wire.TNewHighLSN {
 		t.Fatalf("expected NewHighLSN, got %v", pkt.Type)
 	}
-	ack, err := wire.DecodeLSNPayload(pkt.Payload)
-	if err != nil || ack.LSN != 7 {
+	ack, err := wire.DecodeWriteAckPayload(pkt.Payload)
+	if err != nil || ack.Stable != 7 {
 		t.Fatalf("ack = %+v, %v", ack, err)
 	}
 	// Records are in the store.
@@ -150,8 +150,8 @@ func TestServerDetectsGapAndNacks(t *testing.T) {
 	// Client resends from the gap: all five arrive, ack advances to 7.
 	r.force(1, 4, 4)
 	pkt = r.recv()
-	ack, err := wire.DecodeLSNPayload(pkt.Payload)
-	if pkt.Type != wire.TNewHighLSN || err != nil || ack.LSN != 7 {
+	ack, err := wire.DecodeWriteAckPayload(pkt.Payload)
+	if pkt.Type != wire.TNewHighLSN || err != nil || ack.Stable != 7 {
 		t.Fatalf("after resend: %v %+v %v", pkt.Type, ack, err)
 	}
 	if s := r.srv.Stats(); s.MissingIntervals != 1 {
@@ -172,8 +172,8 @@ func TestServerNewIntervalSkipsGap(t *testing.T) {
 	}
 	r.force(1, 10, 2)
 	pkt := r.recv()
-	ack, err := wire.DecodeLSNPayload(pkt.Payload)
-	if pkt.Type != wire.TNewHighLSN || err != nil || ack.LSN != 11 {
+	ack, err := wire.DecodeWriteAckPayload(pkt.Payload)
+	if pkt.Type != wire.TNewHighLSN || err != nil || ack.Stable != 11 {
 		t.Fatalf("after NewInterval: %v %+v %v", pkt.Type, ack, err)
 	}
 	// Interval list shows the two sequences.
@@ -192,8 +192,8 @@ func TestServerRetransmissionIdempotent(t *testing.T) {
 	// duplicate.
 	r.force(1, 1, 5)
 	pkt := r.recv()
-	ack, err := wire.DecodeLSNPayload(pkt.Payload)
-	if pkt.Type != wire.TNewHighLSN || err != nil || ack.LSN != 5 {
+	ack, err := wire.DecodeWriteAckPayload(pkt.Payload)
+	if pkt.Type != wire.TNewHighLSN || err != nil || ack.Stable != 5 {
 		t.Fatalf("re-ack: %v %+v %v", pkt.Type, ack, err)
 	}
 	ivs := r.store.Intervals(7)
@@ -203,9 +203,9 @@ func TestServerRetransmissionIdempotent(t *testing.T) {
 	// Partial overlap.
 	r.force(1, 3, 5) // 3..7; 3..5 already stored
 	pkt = r.recv()
-	ack, _ = wire.DecodeLSNPayload(pkt.Payload)
-	if ack.LSN != 7 {
-		t.Fatalf("ack after partial overlap = %d", ack.LSN)
+	ack, _ = wire.DecodeWriteAckPayload(pkt.Payload)
+	if ack.Stable != 7 {
+		t.Fatalf("ack after partial overlap = %d", ack.Stable)
 	}
 }
 
@@ -340,13 +340,17 @@ func TestServerLoadShedding(t *testing.T) {
 	})
 	r.handshake()
 	r.force(1, 1, 3)
-	// No ack arrives: the message was shed.
+	// No ack arrives — the message was shed — but a Busy congestion
+	// NACK tells the streaming client to back its window off.
+	if pkt := r.recv(); pkt.Type != wire.TBusy {
+		t.Fatalf("expected Busy, got %v", pkt.Type)
+	}
 	if raw, err := r.ep.Recv(100 * time.Millisecond); err == nil {
 		pkt, _ := wire.Decode(raw.Data)
-		t.Fatalf("expected silence, got %v", pkt.Type)
+		t.Fatalf("expected silence after Busy, got %v", pkt.Type)
 	}
-	if s := r.srv.Stats(); s.Shed != 1 {
-		t.Fatalf("Shed = %d", s.Shed)
+	if s := r.srv.Stats(); s.Shed != 1 || s.BusySent != 1 {
+		t.Fatalf("Shed = %d, BusySent = %d", s.Shed, s.BusySent)
 	}
 	// Reads are still served ("servers should make every effort to
 	// reply to IntervalList and read calls").
@@ -424,8 +428,8 @@ func TestServerNewIncarnationResetsStream(t *testing.T) {
 	}
 	r.force(2, 9, 2)
 	pkt = r.recv()
-	ack, err := wire.DecodeLSNPayload(pkt.Payload)
-	if pkt.Type != wire.TNewHighLSN || err != nil || ack.LSN != 10 {
+	ack, err := wire.DecodeWriteAckPayload(pkt.Payload)
+	if pkt.Type != wire.TNewHighLSN || err != nil || ack.Stable != 10 {
 		t.Fatalf("re-anchored ack: %v %+v %v", pkt.Type, ack, err)
 	}
 }
@@ -455,8 +459,8 @@ func TestServerDuplicateSynKeepsSession(t *testing.T) {
 	}
 	r.force(1, 9, 2)
 	pkt := r.recv()
-	ack, err := wire.DecodeLSNPayload(pkt.Payload)
-	if pkt.Type != wire.TNewHighLSN || err != nil || ack.LSN != 10 {
+	ack, err := wire.DecodeWriteAckPayload(pkt.Payload)
+	if pkt.Type != wire.TNewHighLSN || err != nil || ack.Stable != 10 {
 		t.Fatalf("write after duplicate Syn: %v %+v %v", pkt.Type, ack, err)
 	}
 }
@@ -485,8 +489,8 @@ func TestServerReconnectResumesFromStore(t *testing.T) {
 	// plain resend from the gap heals the stream with no NewInterval.
 	r.force(1, 4, 4)
 	pkt = r.recv()
-	ack, err := wire.DecodeLSNPayload(pkt.Payload)
-	if pkt.Type != wire.TNewHighLSN || err != nil || ack.LSN != 7 {
+	ack, err := wire.DecodeWriteAckPayload(pkt.Payload)
+	if pkt.Type != wire.TNewHighLSN || err != nil || ack.Stable != 7 {
 		t.Fatalf("resend from gap: %v %+v %v", pkt.Type, ack, err)
 	}
 	for lsn := record.LSN(1); lsn <= 7; lsn++ {
@@ -626,6 +630,137 @@ func TestServerStopIdempotent(t *testing.T) {
 	r := newRig(t)
 	r.srv.Stop()
 	r.srv.Stop() // second stop is a no-op
+}
+
+// write sends a WriteLog (no force flag) with consecutive records.
+func (r *rig) write(epoch record.Epoch, lsn record.LSN, n int) {
+	r.t.Helper()
+	var recs []record.Record
+	for i := 0; i < n; i++ {
+		recs = append(recs, record.Record{LSN: lsn + record.LSN(i), Epoch: epoch, Present: true, Data: []byte("d")})
+	}
+	p := wire.RecordsPayload{Epoch: epoch, Records: recs}
+	if _, err := r.peer.Send(wire.TWriteLog, 0, p.Encode()); err != nil {
+		r.t.Fatal(err)
+	}
+}
+
+// recvStable drains acks until the cumulative stable LSN reaches want,
+// failing on anything that is not a NewHighLSN.
+func (r *rig) recvStable(want record.LSN) *wire.WriteAckPayload {
+	r.t.Helper()
+	for {
+		pkt := r.recv()
+		if pkt.Type != wire.TNewHighLSN {
+			r.t.Fatalf("expected NewHighLSN, got %v", pkt.Type)
+		}
+		ack, err := wire.DecodeWriteAckPayload(pkt.Payload)
+		if err != nil {
+			r.t.Fatalf("ack decode: %v", err)
+		}
+		if ack.Stable >= want {
+			return ack
+		}
+	}
+}
+
+// TestServerStreamedWriteAcked: a WriteLog with no force flag still
+// draws a cumulative stability ack — the acker forces in the background
+// so a streaming client's window advances without a force round trip.
+func TestServerStreamedWriteAcked(t *testing.T) {
+	r := newRig(t)
+	r.handshake()
+	r.write(1, 1, 5)
+	ack := r.recvStable(5)
+	if ack.Appended < 5 {
+		t.Fatalf("ack = %+v, want appended >= 5", ack)
+	}
+	for lsn := record.LSN(1); lsn <= 5; lsn++ {
+		if _, err := r.store.Read(7, lsn); err != nil {
+			t.Fatalf("store.Read(%d): %v", lsn, err)
+		}
+	}
+}
+
+// TestServerForcePointAcks: a ForcePoint covering already-streamed
+// records forces and acks without the records being resent.
+func TestServerForcePointAcks(t *testing.T) {
+	r := newRig(t)
+	r.handshake()
+	r.write(1, 1, 4)
+	r.recvStable(4)
+	if _, err := r.peer.SendLSN(wire.TForcePoint, 0, 4); err != nil {
+		t.Fatal(err)
+	}
+	ack := r.recvStable(4)
+	if ack.Stable < 4 {
+		t.Fatalf("force point ack = %+v", ack)
+	}
+}
+
+// TestServerForcePointBeyondAppendedNacks: a force point past what the
+// server holds means the covering WriteLogs were lost — the server must
+// NACK the gap, never ack records it does not store.
+func TestServerForcePointBeyondAppendedNacks(t *testing.T) {
+	r := newRig(t)
+	r.handshake()
+	r.write(1, 1, 3)
+	r.recvStable(3)
+	if _, err := r.peer.SendLSN(wire.TForcePoint, 0, 7); err != nil {
+		t.Fatal(err)
+	}
+	pkt := r.recv()
+	if pkt.Type != wire.TMissingInterval {
+		t.Fatalf("expected MissingInterval, got %v", pkt.Type)
+	}
+	mi, err := wire.DecodeIntervalPayload(pkt.Payload)
+	if err != nil || mi.Low != 4 || mi.High != 7 {
+		t.Fatalf("missing = %+v, %v", mi, err)
+	}
+}
+
+// TestServerForcePointFreshSessionAnchorsFromStore: a force point as
+// the first message of a connection resumes from the store's position,
+// exactly like a first write — covering a client that reconnects and
+// forces before sending anything new.
+func TestServerForcePointFreshSessionAnchorsFromStore(t *testing.T) {
+	r := newRig(t)
+	r.handshake()
+	r.force(1, 1, 3)
+	r.recvStable(3)
+	// Reconnect with a new incarnation; first message is a force point
+	// at the stored high.
+	r.peer = wire.NewPeer(r.ep, "srv", 7, r.peer.ConnID+1, 0, time.Millisecond)
+	r.handshake()
+	if _, err := r.peer.SendLSN(wire.TForcePoint, 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	r.recvStable(3)
+	// A force point past the stored high is NACKed from the store anchor.
+	if _, err := r.peer.SendLSN(wire.TForcePoint, 0, 5); err != nil {
+		t.Fatal(err)
+	}
+	pkt := r.recv()
+	mi, err := wire.DecodeIntervalPayload(pkt.Payload)
+	if pkt.Type != wire.TMissingInterval || err != nil || mi.Low != 4 || mi.High != 5 {
+		t.Fatalf("fresh-session gap: %v %+v %v", pkt.Type, mi, err)
+	}
+}
+
+// TestServerWriteRetransmissionReacked: a full-overlap WriteLog
+// retransmission (the client evidently missed the cumulative ack)
+// draws a repeat ack rather than silence — without it, a client whose
+// tail ack was lost would stall its send window until the next force.
+func TestServerWriteRetransmissionReacked(t *testing.T) {
+	r := newRig(t)
+	r.handshake()
+	r.write(1, 1, 3)
+	r.recvStable(3)
+	r.write(1, 1, 3) // retransmission: nothing new appends
+	ack := r.recvStable(3)
+	if ack.Appended != 3 {
+		t.Fatalf("re-ack = %+v", ack)
+	}
 }
 
 // TestServerReadTooLargeRecordDistinctError pins the handleRead fix:

@@ -31,6 +31,15 @@ type Network struct {
 	linkFaults map[linkKey]Faults
 	partition  map[linkKey]bool
 
+	// delayq holds deliveries whose latency has not elapsed, ordered by
+	// due time with send order as the tiebreak; a single pump goroutine
+	// (running while the queue is non-empty) releases them. One ordered
+	// queue rather than one timer per packet: equal-deadline runtime
+	// timers fire in arbitrary order, which would make a constant-latency
+	// link reorder every burst — only MaxDelay is supposed to reorder.
+	delayq      delayHeap
+	pumpRunning bool
+
 	// metrics is nil until SetTelemetry: the fault path then pays one
 	// atomic pointer load per delivery, nothing more.
 	metrics atomic.Pointer[netMetrics]
@@ -175,12 +184,103 @@ func (n *Network) deliver(from, to string, data []byte) error {
 			delay += time.Duration(n.rng.Int63n(int64(f.MaxDelay)))
 		}
 		if delay > 0 {
-			time.AfterFunc(delay, func() { dst.push(pkt, stamp) })
+			n.delayq.push(delayedDelivery{
+				due:   time.Now().Add(delay),
+				stamp: stamp,
+				dst:   dst,
+				pkt:   pkt,
+			})
+			if !n.pumpRunning {
+				n.pumpRunning = true
+				go n.pumpDelayed()
+			}
 		} else {
 			dst.push(pkt, stamp)
 		}
 	}
 	return nil
+}
+
+// delayedDelivery is one in-flight packet on a link with latency.
+type delayedDelivery struct {
+	due   time.Time
+	stamp uint64 // global send order; tiebreak for equal due times
+	dst   *memEndpoint
+	pkt   Packet
+}
+
+// delayHeap is a plain binary min-heap over (due, stamp). Hand-rolled
+// rather than container/heap so the hot push/pop path does not pay the
+// interface boxing, and so stamp order — FIFO for a constant-latency
+// link — is an invariant of the comparison, not of timer luck.
+type delayHeap []delayedDelivery
+
+func (h delayHeap) before(i, j int) bool {
+	if !h[i].due.Equal(h[j].due) {
+		return h[i].due.Before(h[j].due)
+	}
+	return h[i].stamp < h[j].stamp
+}
+
+func (h *delayHeap) push(d delayedDelivery) {
+	*h = append(*h, d)
+	q := *h
+	for i := len(q) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !q.before(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+func (h *delayHeap) pop() delayedDelivery {
+	q := *h
+	top := q[0]
+	last := len(q) - 1
+	q[0] = q[last]
+	q[last] = delayedDelivery{} // release the packet buffer
+	*h = q[:last]
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		next := i
+		if l < last && q.before(l, next) {
+			next = l
+		}
+		if r < last && q.before(r, next) {
+			next = r
+		}
+		if next == i {
+			break
+		}
+		q[i], q[next] = q[next], q[i]
+		i = next
+	}
+	return top
+}
+
+// pumpDelayed drains the delay queue in due order, sleeping until the
+// earliest delivery is ripe, and exits once the queue is empty (deliver
+// restarts it on demand). A single pump serializes releases, so packets
+// with the same due time arrive in send order.
+func (n *Network) pumpDelayed() {
+	for {
+		n.mu.Lock()
+		if len(n.delayq) == 0 {
+			n.pumpRunning = false
+			n.mu.Unlock()
+			return
+		}
+		if wait := time.Until(n.delayq[0].due); wait > 0 {
+			n.mu.Unlock()
+			time.Sleep(wait)
+			continue
+		}
+		d := n.delayq.pop()
+		n.mu.Unlock()
+		d.dst.push(d.pkt, d.stamp)
+	}
 }
 
 // memEndpoint implements Endpoint over a Network.

@@ -37,10 +37,19 @@ const (
 	TWriteLog
 	TForceLog
 	TNewInterval
+	// TForcePoint stamps a force point at an LSN the server already
+	// holds: "force through here and acknowledge" without resending the
+	// records. The streaming write path sends it when a Force target has
+	// already left the client under TWriteLog cover.
+	TForcePoint
 
 	// Asynchronous messages from log server to client.
 	TNewHighLSN
 	TMissingInterval
+	// TBusy is the congestion NACK: the server shed a write (queue
+	// overflow or overload). The client halves its send window and ramps
+	// back additively instead of retry-storming.
+	TBusy
 
 	// Synchronous calls (requests) from client to log server.
 	TIntervalListReq
@@ -73,7 +82,9 @@ const (
 var typeNames = map[Type]string{
 	TSyn: "Syn", TSynAck: "SynAck", TAck: "Ack", TRst: "Rst",
 	TWriteLog: "WriteLog", TForceLog: "ForceLog", TNewInterval: "NewInterval",
+	TForcePoint: "ForcePoint",
 	TNewHighLSN: "NewHighLSN", TMissingInterval: "MissingInterval",
+	TBusy:            "Busy",
 	TIntervalListReq: "IntervalListReq", TReadForwardReq: "ReadForwardReq",
 	TReadBackwardReq: "ReadBackwardReq", TCopyLogReq: "CopyLogReq",
 	TInstallCopiesReq: "InstallCopiesReq", TEpochReadReq: "EpochReadReq",

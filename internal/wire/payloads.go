@@ -204,6 +204,42 @@ func DecodeLSNPayload(data []byte) (*LSNPayload, error) {
 	return &LSNPayload{LSN: record.LSN(binary.BigEndian.Uint64(data))}, nil
 }
 
+// WriteAckPayload is the cumulative write acknowledgement carried by
+// NewHighLSN: Stable is the highest LSN covered by a completed force
+// (the paper's new-high-LSN — everything at or below it is safely
+// recorded), and Appended is the highest LSN the server has appended,
+// forced or not. Appended advances the client's send window without
+// waiting for stability; Stable alone releases records and completes
+// forces. An 8-byte payload (the pre-streaming encoding, Stable only)
+// decodes with Appended == Stable.
+type WriteAckPayload struct {
+	Stable   record.LSN
+	Appended record.LSN
+}
+
+// Encode serializes the payload.
+func (p *WriteAckPayload) Encode() []byte {
+	buf := binary.BigEndian.AppendUint64(nil, uint64(p.Stable))
+	return binary.BigEndian.AppendUint64(buf, uint64(p.Appended))
+}
+
+// DecodeWriteAckPayload parses a WriteAckPayload, accepting both the
+// 16-byte streaming encoding and the legacy 8-byte stable-only one.
+func DecodeWriteAckPayload(data []byte) (*WriteAckPayload, error) {
+	switch len(data) {
+	case 8:
+		lsn := record.LSN(binary.BigEndian.Uint64(data))
+		return &WriteAckPayload{Stable: lsn, Appended: lsn}, nil
+	case 16:
+		return &WriteAckPayload{
+			Stable:   record.LSN(binary.BigEndian.Uint64(data)),
+			Appended: record.LSN(binary.BigEndian.Uint64(data[8:])),
+		}, nil
+	default:
+		return nil, fmt.Errorf("%w: write ack payload %d bytes", ErrBadPacket, len(data))
+	}
+}
+
 // IntervalPayload carries one LSN interval (MissingInterval).
 type IntervalPayload struct {
 	Low  record.LSN

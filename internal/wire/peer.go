@@ -159,6 +159,16 @@ func (p *Peer) SendLSN(t Type, respTo uint64, lsn record.LSN) (uint64, error) {
 	return p.send(t, respTo, scratch[:], nil, 0, nil)
 }
 
+// SendWriteAck transmits the cumulative write acknowledgement
+// (NewHighLSN with a WriteAckPayload) without allocating the 16-byte
+// payload separately.
+func (p *Peer) SendWriteAck(respTo uint64, stable, appended record.LSN) (uint64, error) {
+	var scratch [16]byte
+	binary.BigEndian.PutUint64(scratch[:8], uint64(stable))
+	binary.BigEndian.PutUint64(scratch[8:], uint64(appended))
+	return p.send(TNewHighLSN, respTo, scratch[:], nil, 0, nil)
+}
+
 func (p *Peer) send(t Type, respTo uint64, payload, prefix []byte, epoch record.Epoch, recs []record.Record) (uint64, error) {
 	p.mu.Lock()
 	if !p.established && t != TSyn && t != TSynAck && t != TAck && t != TRst {
