@@ -2,7 +2,7 @@ GO ?= go
 
 # Packages with the concurrency-heavy machinery; they get a dedicated
 # race-detector tier in `make check`.
-RACE_PKGS := ./internal/core/... ./internal/wire/... ./internal/server/... ./internal/storage/... ./internal/transport/... ./internal/telemetry/... ./internal/recman/... ./internal/locallog/...
+RACE_PKGS := ./internal/core/... ./internal/wire/... ./internal/server/... ./internal/storage/... ./internal/transport/... ./internal/telemetry/... ./internal/recman/... ./internal/locallog/... ./internal/loadassign/...
 
 .PHONY: all build test race check bench vet fmt crashaudit
 

@@ -25,6 +25,11 @@
 #   BenchmarkAggregateForce         aggregate forces/s at 16 vs 64 clients
 #                                   on the same 200µs memnet + modelled
 #                                   disks (population-scale pipelining)
+#   BenchmarkMigrationUnderET1Load  server-kill-under-ET1-load scenario:
+#                                   migrate-µs is the latency from a node
+#                                   draining to the client's write set
+#                                   fully re-anchored on healthy servers
+#                                   while transactions keep committing
 #
 # Read path (BENCH_readpath.json):
 #   BenchmarkRecoveryScan           full-log recovery-style scan over a
@@ -78,7 +83,7 @@ RAW=$RAW1
 run ./internal/core/ -run '^$' -benchmem \
 	-bench 'BenchmarkWritePathAllocs|BenchmarkTelemetryOverhead|BenchmarkForceLogMemnet|BenchmarkParallelForce|BenchmarkGroupCommit$'
 run ./internal/transport/ -run '^$' -benchmem -bench 'BenchmarkUDPRecvAllocs'
-run . -run '^$' -benchmem -bench 'BenchmarkGroupCommitTransactions|BenchmarkMultiClientForce|BenchmarkStreamingWrite|BenchmarkAggregateForce'
+run . -run '^$' -benchmem -bench 'BenchmarkGroupCommitTransactions|BenchmarkMultiClientForce|BenchmarkStreamingWrite|BenchmarkAggregateForce|BenchmarkMigrationUnderET1Load'
 cat "$RAW"
 to_json
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"distlog/internal/loadassign"
 	"distlog/internal/server"
 	"distlog/internal/storage"
 	"distlog/internal/telemetry"
@@ -22,6 +23,7 @@ type Cluster struct {
 	epochs      map[string]*server.MemEpochHost
 	servers     map[string]*server.Server
 	telemetry   *telemetry.Registry
+	modelled    bool
 	queueDepth  int
 	sessionIdle time.Duration
 }
@@ -80,27 +82,55 @@ func NewCluster(opts ClusterOptions) (*Cluster, error) {
 		epochs:      make(map[string]*server.MemEpochHost),
 		servers:     make(map[string]*server.Server),
 		telemetry:   opts.Telemetry,
+		modelled:    opts.Modelled,
 		queueDepth:  opts.QueueDepth,
 		sessionIdle: opts.SessionIdle,
 	}
 	c.net.SetTelemetry(opts.Telemetry)
 	for i := 0; i < opts.Servers; i++ {
-		name := fmt.Sprintf("logserver-%d", i+1)
-		c.names = append(c.names, name)
-		if opts.Modelled {
-			s, _, _, err := NewModelledStore(DefaultDiskGeometry(), 4)
-			if err != nil {
-				c.Close()
-				return nil, err
-			}
-			c.stores[name] = s
-		} else {
-			c.stores[name] = storage.NewMemStore()
+		if err := c.AddServer(fmt.Sprintf("logserver-%d", i+1)); err != nil {
+			c.Close()
+			return nil, err
 		}
-		c.epochs[name] = server.NewMemEpochHost()
-		c.StartServer(name)
 	}
 	return c, nil
+}
+
+// AddServer provisions a brand-new server node (fresh store, fresh
+// epoch host) and starts it — a server joining the cluster. The new
+// address becomes visible through Servers(); running clients adopt it
+// when the rebalancer (or an explicit Migrate) moves a write set there.
+func (c *Cluster) AddServer(name string) error {
+	if _, ok := c.stores[name]; ok {
+		return fmt.Errorf("distlog: server %s already exists", name)
+	}
+	if c.modelled {
+		s, _, _, err := NewModelledStore(DefaultDiskGeometry(), 4)
+		if err != nil {
+			return err
+		}
+		c.stores[name] = s
+	} else {
+		c.stores[name] = storage.NewMemStore()
+	}
+	c.epochs[name] = server.NewMemEpochHost()
+	c.names = append(c.names, name)
+	c.StartServer(name)
+	return nil
+}
+
+// LeaveServer puts the named server into administrative drain: it
+// answers every write and force with a Redirect hint while reads,
+// interval lists, and epoch requests keep working, so clients can
+// migrate off before StopServer takes the node down for good. It
+// reports whether the server was running.
+func (c *Cluster) LeaveServer(name string) bool {
+	srv := c.servers[name]
+	if srv == nil {
+		return false
+	}
+	srv.Leave()
+	return true
 }
 
 // Servers returns the server names (addresses on the cluster network).
@@ -162,6 +192,47 @@ func (c *Cluster) OpenClient(id ClientID, n int) (*Client, error) {
 		CallTimeout: 200 * time.Millisecond,
 		Telemetry:   c.telemetry,
 	})
+}
+
+// NewRebalancer wires the load-assignment controller to this cluster:
+// Snapshot assembles per-server liveness, drain state, and the session
+// load gauge plus each client's current write set; Move executes
+// decisions through the matching client's Migrate. Call Step on the
+// result after membership changes (or on a timer). A nil Policy means
+// rendezvous placement — the same ranking clients use at
+// initialization, so only clients whose write set lost a member move.
+func (c *Cluster) NewRebalancer(n int, clients ...*Client) *Rebalancer {
+	return &loadassign.Controller{
+		N: n,
+		Snapshot: func() (loadassign.View, error) {
+			var v loadassign.View
+			for _, name := range c.names {
+				sl := loadassign.ServerLoad{Addr: name}
+				if srv := c.servers[name]; srv != nil {
+					st := srv.Stats()
+					sl.Up = true
+					sl.Sessions = st.Sessions
+					sl.Leaving = st.Leaving
+				}
+				v.Servers = append(v.Servers, sl)
+			}
+			for _, cl := range clients {
+				v.Clients = append(v.Clients, loadassign.ClientLoad{
+					ID:       uint64(cl.ClientID()),
+					WriteSet: cl.WriteSet(),
+				})
+			}
+			return v, nil
+		},
+		Move: func(d loadassign.Decision) error {
+			for _, cl := range clients {
+				if uint64(cl.ClientID()) == d.ClientID {
+					return cl.Migrate(d.Target)
+				}
+			}
+			return fmt.Errorf("distlog: no client %d to migrate", d.ClientID)
+		},
+	}
 }
 
 // Close stops every server.

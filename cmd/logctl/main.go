@@ -13,6 +13,9 @@
 //	read <lsn>         print one record
 //	scan               print every readable record
 //	status             print end-of-log, epoch, and write set
+//	migrate <a,b,...>  move the write set to the given N servers (live
+//	                   write-set migration; pair with logserverd SIGHUP
+//	                   drain to retire a node without losing a record)
 //	truncate <lsn>     discard records below lsn on every server (§5.3)
 //	stats <host:port>  fetch and render a server's telemetry snapshot
 //	                   (the address of its logserverd -metrics listener)
@@ -67,7 +70,7 @@ func main() {
 	timeout := flag.Duration("timeout", time.Second, "per-call timeout")
 	flag.Parse()
 	if flag.NArg() < 1 {
-		log.Fatal("usage: logctl [flags] append|read|scan|status|stats ...")
+		log.Fatal("usage: logctl [flags] append|read|scan|status|migrate|truncate|stats ...")
 	}
 
 	if flag.Arg(0) == "stats" {
@@ -143,6 +146,16 @@ func main() {
 		fmt.Printf("end of log: %d\n", l.EndOfLog())
 		fmt.Printf("epoch:      %d\n", l.Epoch())
 		fmt.Printf("write set:  %v\n", l.WriteSet())
+	case "migrate":
+		if flag.NArg() != 2 {
+			log.Fatal("usage: logctl migrate <addr1,addr2,...> (exactly N addresses)")
+		}
+		target := strings.Split(flag.Arg(1), ",")
+		if err := l.Migrate(target); err != nil {
+			log.Fatalf("migrate: %v", err)
+		}
+		fmt.Printf("write set:  %v\n", l.WriteSet())
+		fmt.Printf("epoch:      %d\n", l.Epoch())
 	case "truncate":
 		if flag.NArg() != 2 {
 			log.Fatal("usage: logctl truncate <lsn>")

@@ -16,6 +16,12 @@
 // (though the design tolerates unclean death: the stream's torn tail
 // is discarded on the next start, and nothing acknowledged is ever in
 // the tail).
+//
+// SIGHUP puts the server into administrative drain (leave): every
+// write and force is answered with a Redirect hint while reads,
+// interval lists, and epoch requests keep working, so clients migrate
+// their write sets elsewhere (see `logctl migrate`) before a final
+// SIGTERM takes the node down for good.
 package main
 
 import (
@@ -80,6 +86,14 @@ func main() {
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+	drain := make(chan os.Signal, 1)
+	signal.Notify(drain, syscall.SIGHUP)
+	go func() {
+		for range drain {
+			srv.Leave()
+			log.Printf("SIGHUP: administrative drain — writes draw Redirect, reads keep working; SIGTERM once clients have migrated")
+		}
+	}()
 	if *stats > 0 {
 		go func() {
 			// Report from the registry snapshot, and stay silent across

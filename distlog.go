@@ -31,6 +31,7 @@ import (
 	"distlog/internal/core"
 	"distlog/internal/disk"
 	"distlog/internal/idgen"
+	"distlog/internal/loadassign"
 	"distlog/internal/locallog"
 	"distlog/internal/nvram"
 	"distlog/internal/recman"
@@ -208,6 +209,27 @@ func ListenUDP(addr string) (*UDPEndpoint, error) { return transport.ListenUDP(a
 func NewDualEndpoint(a, b Endpoint) *DualEndpoint {
 	return transport.NewDualEndpoint(a, b)
 }
+
+// Load-assignment control plane (write-set migration).
+type (
+	// Rebalancer is the live load-assignment controller; build one
+	// with Cluster.NewRebalancer (or assemble Snapshot/Move by hand
+	// for a real deployment) and call Step.
+	Rebalancer = loadassign.Controller
+	// RebalancePolicy decides which clients migrate where.
+	RebalancePolicy = loadassign.Policy
+	// RendezvousPolicy is the default policy: rendezvous placement,
+	// moving only clients whose write set lost a member.
+	RendezvousPolicy = loadassign.RendezvousPolicy
+	// LoadView is one control-plane snapshot of servers and clients.
+	LoadView = loadassign.View
+	// ServerLoad describes one server in a LoadView.
+	ServerLoad = loadassign.ServerLoad
+	// ClientLoad describes one client in a LoadView.
+	ClientLoad = loadassign.ClientLoad
+	// MigrationDecision directs one client to a new write set.
+	MigrationDecision = loadassign.Decision
+)
 
 // Recovery manager (transaction engine substrate).
 type (

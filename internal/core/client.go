@@ -24,6 +24,7 @@ import (
 
 	"distlog/internal/faultpoint"
 	"distlog/internal/idgen"
+	"distlog/internal/loadassign"
 	"distlog/internal/record"
 	"distlog/internal/telemetry"
 	"distlog/internal/transport"
@@ -206,6 +207,7 @@ type Stats struct {
 	ReadCacheHits   uint64
 	ReadCacheMisses uint64 // reads that went to a server (or synthesized a marker)
 	Failovers       uint64
+	Migrations      uint64 // completed write-set migrations (see Migrate)
 	Resends         uint64
 	// Cursor activity. These are incremented by concurrent prefetch
 	// tasks (off the client mutex), so they are monotone but not
@@ -257,6 +259,13 @@ type ReplicatedLog struct {
 	nextRound    *forceRound
 	roundWaiters []roundWaiter
 	roundWG      sync.WaitGroup
+
+	// Write-set migration state (see migrate.go). migrateMu serializes
+	// Migrate calls against each other; migrating — set under l.mu —
+	// holds new force rounds at the Force entry gate while the in-flight
+	// ones drain and the set is swapped.
+	migrateMu sync.Mutex
+	migrating bool
 
 	// Streamer wakeup and shutdown (see sendwindow.go). streamKick is
 	// 1-buffered: a pending kick covers any number of new ones.
@@ -447,18 +456,21 @@ func (l *ReplicatedLog) initialize() error {
 	l.epoch = record.Epoch(epoch)
 	l.mu.Unlock()
 
-	// 3. Choose the write set: N live servers, starting at an offset
-	// derived from the client identity so that a population of clients
-	// spreads its load across the M servers (the simple decentralized
-	// assignment Section 5.4 anticipates).
+	// 3. Choose the write set: N live servers ranked by rendezvous
+	// hashing over the (client, server) pair, so a population of
+	// clients spreads its load across the M servers (the simple
+	// decentralized assignment Section 5.4 anticipates) and a
+	// membership change re-maps only the clients of the changed server.
+	// The ranking is shared with the loadassign simulation and the live
+	// rebalancer, so all three agree on where a client belongs.
 	if len(live) < l.cfg.N {
 		return fmt.Errorf("%w: only %d servers reachable, need N=%d", ErrUnavailable, len(live), l.cfg.N)
 	}
-	writeSet := make([]string, 0, l.cfg.N)
-	offset := int(l.cfg.ClientID) % len(live)
-	for i := 0; i < l.cfg.N; i++ {
-		writeSet = append(writeSet, live[(offset+i)%len(live)].addr)
+	liveAddrs := make([]string, len(live))
+	for i, sess := range live {
+		liveAddrs[i] = sess.addr
 	}
+	writeSet := loadassign.Pick(uint64(l.cfg.ClientID), l.cfg.N, liveAddrs)
 
 	// 4. Crash recovery: the most recent δ records are doubtful (the
 	// previous incarnation may have partially written any of them).
@@ -572,6 +584,9 @@ func (l *ReplicatedLog) EndOfLog() record.LSN {
 	defer l.mu.Unlock()
 	return l.nextLSN - 1
 }
+
+// ClientID returns the identity this log writes under.
+func (l *ReplicatedLog) ClientID() record.ClientID { return l.cfg.ClientID }
 
 // WriteSet returns the addresses currently receiving this log's
 // records.
@@ -841,7 +856,27 @@ func (l *ReplicatedLog) awaitServer(addr string, target record.LSN) error {
 			return nil
 		}
 		if err != nil {
-			break // reset or closed: fail over
+			if errors.Is(err, ErrServerReset) {
+				// The server is alive — it answered with a reset — but
+				// dropped our session (restart, or idle-janitor eviction
+				// raced a reconnect). Re-dial it and replay before
+				// abandoning it to failover: a freshly migrated-to server
+				// must not be deserted over one evicted session.
+				if fresh, derr := l.dial(addr); derr == nil {
+					l.mu.Lock()
+					l.m.resends.Add(1)
+					fresh.mu.Lock()
+					fresh.win.clear()
+					fresh.sentHigh = 0 // resend everything outstanding
+					fresh.mu.Unlock()
+					sendErr := l.sendStreamLocked(fresh, true)
+					l.mu.Unlock()
+					if sendErr == nil {
+						continue
+					}
+				}
+			}
+			break // closed, or the re-dial failed: fail over
 		}
 		if nacked {
 			l.m.waiterNacks.Add(1)

@@ -48,6 +48,17 @@ const (
 	// fires from both async senders (the streamer goroutine and the
 	// opportunistic FlushBatch flush).
 	FPStreamAfterSend = "client.stream.after-send"
+	// FPMigrateBeforeAnchor interrupts a write-set migration after the
+	// fresh epoch was obtained but before any new server was anchored
+	// with NewInterval: the migration is invisible, the old write set
+	// still holds everything acknowledged.
+	FPMigrateBeforeAnchor = "client.migrate.before-anchor"
+	// FPMigrateAfterAnchor interrupts a write-set migration after every
+	// new server was anchored and the write set swapped, but before the
+	// closing force drained the outstanding buffer onto the new set:
+	// acknowledged records live only on the old servers, unacknowledged
+	// ones only in the client buffer — recovery must lose neither.
+	FPMigrateAfterAnchor = "client.migrate.after-anchor"
 )
 
 var _ = faultpoint.Register(
@@ -59,4 +70,6 @@ var _ = faultpoint.Register(
 	FPFailoverBeforeSwap,
 	FPCursorMidStream,
 	FPStreamAfterSend,
+	FPMigrateBeforeAnchor,
+	FPMigrateAfterAnchor,
 )

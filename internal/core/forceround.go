@@ -40,6 +40,14 @@ type forceRound struct {
 func (l *ReplicatedLog) Force() error {
 	var lead *forceRound // a queued round this caller must lead
 	l.mu.Lock()
+	// A write-set migration drains the in-flight and queued rounds, then
+	// swaps the set; a new round starting concurrently could release
+	// records with the wrong holder set. Entrants wait at this gate —
+	// only here, so rounds already queued can drain — and proceed on the
+	// post-migration write set.
+	for l.migrating && !l.closed {
+		l.writeCond.Wait()
+	}
 	if l.closed {
 		// Rejected calls are not protocol activity: they must not count
 		// as Forces, or the Forces ≥ ForceRounds + GroupCommits
@@ -233,7 +241,20 @@ func (l *ReplicatedLog) releaseThroughLocked(target record.LSN) int {
 	if target < first {
 		return 0
 	}
-	l.holders.add(l.epoch, first, target, l.writeSet)
+	// Holders are recorded per epoch run, not with the log's current
+	// epoch: after a write-set migration the buffer can hold records
+	// stamped under the pre-migration epoch ahead of post-migration
+	// ones, and claiming the new epoch for old-epoch copies would make
+	// them unreadable (reads reject copies below the holder's epoch).
+	for i := 0; i < len(l.outstanding) && l.outstanding[i].LSN <= target; {
+		j := i
+		for j+1 < len(l.outstanding) && l.outstanding[j+1].LSN <= target &&
+			l.outstanding[j+1].Epoch == l.outstanding[i].Epoch {
+			j++
+		}
+		l.holders.add(l.outstanding[i].Epoch, l.outstanding[i].LSN, l.outstanding[j].LSN, l.writeSet)
+		i = j + 1
+	}
 	keep := l.outstanding[:0]
 	released := 0
 	for _, rec := range l.outstanding {

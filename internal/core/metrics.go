@@ -15,6 +15,7 @@ const (
 	mReadCacheHits   = "client.read_cache_hits"
 	mReadCacheMisses = "client.read_cache_misses"
 	mFailovers       = "client.failovers"
+	mMigrations      = "client.migrations"
 	mResends         = "client.resends"
 	mWaiterAcks      = "client.force.acks"
 	mWaiterNacks     = "client.force.nacks"
@@ -57,6 +58,7 @@ type clientMetrics struct {
 	readCacheHits   *telemetry.Counter
 	readCacheMisses *telemetry.Counter
 	failovers       *telemetry.Counter
+	migrations      *telemetry.Counter
 	resends         *telemetry.Counter
 
 	waiterAcks     *telemetry.Counter
@@ -112,6 +114,7 @@ func newClientMetrics(reg *telemetry.Registry, node string) *clientMetrics {
 		readCacheHits:   reg.Counter(mReadCacheHits),
 		readCacheMisses: reg.Counter(mReadCacheMisses),
 		failovers:       reg.Counter(mFailovers),
+		migrations:      reg.Counter(mMigrations),
 		resends:         reg.Counter(mResends),
 		waiterAcks:      reg.Counter(mWaiterAcks),
 		waiterNacks:     reg.Counter(mWaiterNacks),
@@ -149,6 +152,7 @@ func (m *clientMetrics) statsLocked() Stats {
 		ReadCacheHits:   m.readCacheHits.Value(),
 		ReadCacheMisses: m.readCacheMisses.Value(),
 		Failovers:       m.failovers.Value(),
+		Migrations:      m.migrations.Value(),
 		Resends:         m.resends.Value(),
 		CursorStreams:   m.cursorStreams.Value(),
 		StreamRestarts:  m.streamRestarts.Value(),

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"fmt"
+
+	"distlog/internal/faultpoint"
+	"distlog/internal/idgen"
+	"distlog/internal/record"
+	"distlog/internal/telemetry"
+	"distlog/internal/wire"
+)
+
+// Migrate moves the log's write set to newSet — exactly N servers, not
+// necessarily drawn from the configured M (a freshly joined server is
+// a valid target) — without losing any acknowledged record and without
+// stalling readers. It is the online counterpart of the initialization
+// write-set choice: the rebalancer calls it when a server leaves or
+// the load-assignment controller decides this client should move.
+//
+// The protocol reuses the machinery crash recovery already validates:
+//
+//  1. Obtain a fresh epoch from the replicated identifier generator,
+//     so records written after the migration supersede any stale copy
+//     a partially-reached old server might still produce.
+//  2. Anchor every new server with NewInterval at the first LSN it
+//     will receive (the head of the outstanding buffer, or the next
+//     LSN when nothing is outstanding) and rewind the per-server send
+//     cursor so the streamer replays the buffer there.
+//  3. Swap the write set and epoch atomically under the client mutex,
+//     after draining the in-flight and queued force rounds — a round
+//     completing across the swap would record holders against the
+//     wrong server set.
+//  4. Run one closing force that drains the outstanding buffer onto
+//     the new set; it returns only after all N new servers
+//     acknowledged, which is the zero-loss invariant: every record
+//     acknowledged before the migration has its holders recorded on
+//     the old set, every later one completes on the new set, and the
+//     records in between stay in the outstanding buffer until the
+//     closing force confirms them.
+//
+// Records already in the outstanding buffer keep their original epoch
+// stamps; releaseThroughLocked records holders per epoch run, so reads
+// of a pre-migration record still check the epoch it was written
+// under. The old interval needs no explicit close: the old servers
+// simply stop receiving records, and their interval lists end where
+// the stream left them.
+//
+// Concurrent WriteLog/Force calls are safe: writes buffer as usual
+// (the streamer redirects them after the swap), and forces either ride
+// a round that completes on the old set before the swap or wait at the
+// entry gate and run on the new set.
+func (l *ReplicatedLog) Migrate(newSet []string) error {
+	if len(newSet) != l.cfg.N {
+		return fmt.Errorf("core: migrate to %d servers, want N=%d", len(newSet), l.cfg.N)
+	}
+	seen := make(map[string]bool, len(newSet))
+	for _, addr := range newSet {
+		if seen[addr] {
+			return fmt.Errorf("core: duplicate migration target %s", addr)
+		}
+		seen[addr] = true
+	}
+
+	l.migrateMu.Lock()
+	defer l.migrateMu.Unlock()
+
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	same := len(newSet) == len(l.writeSet)
+	for _, addr := range newSet {
+		found := false
+		for _, w := range l.writeSet {
+			if w == addr {
+				found = true
+			}
+		}
+		same = same && found
+	}
+	l.mu.Unlock()
+	if same {
+		return nil // already there
+	}
+
+	// 1. Fresh epoch. Same representative quorum as initialization; the
+	// leaving server (if any) still answers epoch reads while draining.
+	reps := l.cfg.EpochReps
+	if reps == nil {
+		for _, addr := range l.cfg.Servers {
+			reps = append(reps, &remoteRep{log: l, addr: addr})
+		}
+	}
+	gen, err := idgen.New(reps...)
+	if err != nil {
+		return fmt.Errorf("core: migrate epoch quorum: %w", err)
+	}
+	epoch, err := gen.NewID()
+	if err != nil {
+		return fmt.Errorf("core: migrate epoch: %w", err)
+	}
+	newEpoch := record.Epoch(epoch)
+
+	faultpoint.Hit(FPMigrateBeforeAnchor)
+
+	// Dial every target before touching any client state: an
+	// unreachable target aborts the migration with the old set intact.
+	targets := make([]*session, len(newSet))
+	for i, addr := range newSet {
+		sess, err := l.dial(addr)
+		if err != nil {
+			return fmt.Errorf("core: migrate dial %s: %w", addr, err)
+		}
+		targets[i] = sess
+	}
+
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	// Hold new force rounds at the gate and drain the ones in flight.
+	// Waiting on the round object's done channel works across a queued
+	// round's promotion to current: the object is reused.
+	l.migrating = true
+	for {
+		round := l.curRound
+		if round == nil {
+			round = l.nextRound
+		}
+		if round == nil {
+			break
+		}
+		l.mu.Unlock()
+		<-round.done
+		l.mu.Lock()
+		if l.closed {
+			l.migrating = false
+			l.writeCond.Broadcast()
+			l.mu.Unlock()
+			return ErrClosed
+		}
+	}
+
+	// 2. Anchor the new servers where the replayed stream will start.
+	start := l.nextLSN
+	if len(l.outstanding) > 0 {
+		start = l.outstanding[0].LSN
+	}
+	ni := wire.NewIntervalPayload{Epoch: newEpoch, StartingLSN: start}
+	for _, sess := range targets {
+		if _, err := sess.peer.Send(wire.TNewInterval, 0, ni.Encode()); err != nil {
+			// Nothing swapped yet: the old write set is fully intact, and
+			// an anchored-but-abandoned target holds no records.
+			l.migrating = false
+			l.writeCond.Broadcast()
+			l.mu.Unlock()
+			return fmt.Errorf("core: migrate anchor %s: %w", sess.addr, err)
+		}
+		sess.mu.Lock()
+		sess.win.clear() // rewound frames will be re-registered
+		sess.sentHigh = start - 1
+		sess.mu.Unlock()
+	}
+
+	// 3. Swap. From here on the streamer and every new force round talk
+	// to the new set under the new epoch.
+	l.writeSet = append(l.writeSet[:0:0], newSet...)
+	l.epoch = newEpoch
+	l.m.migrations.Add(1)
+	l.m.trace.Emit(telemetry.EvMigrate, l.m.node, uint64(start), uint64(newEpoch), 0)
+	faultpoint.Hit(FPMigrateAfterAnchor)
+	l.migrating = false
+	l.writeCond.Broadcast()
+	drain := len(l.outstanding) > 0
+	l.mu.Unlock()
+
+	// 4. Closing force: every record the old set left unconfirmed must
+	// be stable on all N new servers before the migration reports
+	// success.
+	if drain {
+		if err := l.Force(); err != nil {
+			return fmt.Errorf("core: migrate closing force: %w", err)
+		}
+	}
+	return nil
+}

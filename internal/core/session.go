@@ -22,6 +22,10 @@ var (
 	// ErrServerReset is returned when the server answered with Rst (it
 	// lost the connection state); the caller should re-dial.
 	ErrServerReset = errors.New("core: server reset the connection")
+	// ErrServerLeaving is returned when the server answered a write with
+	// a Redirect drain hint: it is administratively leaving and will not
+	// accept writes again. The caller should migrate, not retry.
+	ErrServerLeaving = errors.New("core: server is leaving (redirected)")
 )
 
 // RemoteError is a server-reported call failure (TErrResp).
@@ -106,7 +110,11 @@ type session struct {
 	streams map[uint64]chan *wire.Packet
 	missing []wire.IntervalPayload // MissingInterval NACKs awaiting service
 	reset   bool                   // server sent Rst: connection is dead
-	closed  bool
+	// redirected records a TRedirect drain hint: the server is leaving
+	// and will never accept this session's writes again. Unlike reset
+	// the connection stays usable for reads.
+	redirected bool
+	closed     bool
 }
 
 func newSession(ep transport.Endpoint, addr string, clientID record.ClientID, connID uint64, window uint64, pause, callTimeout time.Duration, retries int) *session {
@@ -253,6 +261,14 @@ func (s *session) deliver(pkt *wire.Packet) {
 		if s.onBusy != nil {
 			s.onBusy()
 		}
+	case pkt.Type == wire.TRedirect:
+		// Drain hint: the server is leaving. Wake the force waiters so
+		// they move this session's writes elsewhere now instead of
+		// timing out first; reads continue to work.
+		s.mu.Lock()
+		s.redirected = true
+		s.cond.Broadcast()
+		s.mu.Unlock()
 	case pkt.Type == wire.TMissingInterval:
 		p, err := wire.DecodeIntervalPayload(pkt.Payload)
 		if err != nil {
@@ -396,6 +412,8 @@ func (s *session) waitAck(lsn record.LSN, deadline time.Time) (acked bool, nacke
 			return false, false, ErrSessionClosed
 		case s.reset:
 			return false, false, ErrServerReset
+		case s.redirected:
+			return false, false, ErrServerLeaving
 		case !time.Now().Before(deadline):
 			return false, false, nil
 		}

@@ -143,9 +143,9 @@ func newRig(o Options) *rig {
 		stores:     make(map[string]storage.Store),
 		forceDelay: o.forceDelay,
 		epochs:     make(map[string]*server.MemEpochHost),
-		reg:     reg,
-		servers: make(map[string]*server.Server),
-		seps:    make(map[string]transport.Endpoint),
+		reg:        reg,
+		servers:    make(map[string]*server.Server),
+		seps:       make(map[string]transport.Endpoint),
 	}
 	r.net.SetTelemetry(reg)
 	for i := 0; i < o.Servers; i++ {
@@ -431,6 +431,34 @@ func RunPoint(o Options, pointName string, hitN uint64) (fired bool, err error) 
 		w2.write(3, "w2a")
 		w2.force()
 		w2.scan()
+		// Migrate the write set onto the spare server with an unforced
+		// tail outstanding: the tail must drain onto the new interval via
+		// the closing force, or — when the armed point is one of the
+		// client.migrate.* points — be resolved as doubtful by the next
+		// incarnation's recovery.
+		w2.write(2, "w2m")
+		if !faultpoint.Fired(pointName) {
+			if ws := l2.WriteSet(); len(ws) == o.N {
+				inSet := make(map[string]bool, len(ws))
+				for _, m := range ws {
+					inSet[m] = true
+				}
+				target := append([]string(nil), ws[1:]...)
+				for _, name := range r.names {
+					if !inSet[name] {
+						target = append(target, name)
+						break
+					}
+				}
+				if len(target) == o.N {
+					if err := l2.Migrate(target); err == nil {
+						// The closing force confirmed everything written
+						// so far on the new set.
+						chk.Forced()
+					}
+				}
+			}
+		}
 		if !faultpoint.Fired(pointName) {
 			// Take a write-set member down mid-stream so the force path
 			// exercises retry and failover (client.failover.before-swap

@@ -1,0 +1,230 @@
+package loadassign
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// This file is the live half of the package: the Section 5.4 strategies
+// the simulation compares, turned into a control plane that watches
+// real per-server load and issues write-set migration decisions. The
+// offline simulation and the live controller share one ranking
+// implementation (RankKeys), so a client's initialization choice, the
+// simulation's predictions, and the rebalancer's decisions all agree
+// about where a client belongs.
+
+// SessionGaugePrefix is the telemetry gauge family the log servers
+// export for per-node load: "server.sessions.<node>" is the live
+// session count of one server, the load signal a View is built from
+// when several servers share one telemetry registry.
+const SessionGaugePrefix = "server.sessions."
+
+// ServerLoad describes one log server in a View.
+type ServerLoad struct {
+	Addr string
+	// Sessions is the server's live session count (its load gauge).
+	Sessions int64
+	// Up is false when the server is unreachable or stopped.
+	Up bool
+	// Leaving is true when the server is administratively draining:
+	// still up for reads, but no longer a valid write-set member.
+	Leaving bool
+}
+
+// Available reports whether the server may appear in a write set.
+func (s ServerLoad) Available() bool { return s.Up && !s.Leaving }
+
+// ClientLoad describes one client in a View.
+type ClientLoad struct {
+	ID       uint64
+	WriteSet []string
+}
+
+// View is a consistent snapshot of the fleet for one control decision.
+type View struct {
+	Servers []ServerLoad
+	Clients []ClientLoad
+}
+
+// available returns the addresses a write set may use.
+func (v View) available() []string {
+	out := make([]string, 0, len(v.Servers))
+	for _, s := range v.Servers {
+		if s.Available() {
+			out = append(out, s.Addr)
+		}
+	}
+	return out
+}
+
+// Decision directs one client to migrate its write set.
+type Decision struct {
+	ClientID uint64
+	Target   []string
+}
+
+// Policy turns a View into migration decisions. Policies must be
+// conservative: a client whose write set is fully available should not
+// be moved unless the policy exists to rebalance load, because every
+// migration starts a new interval on N servers.
+type Policy interface {
+	Name() string
+	Decide(v View, n int) []Decision
+}
+
+// RendezvousPolicy is the default control-plane policy: each client
+// belongs on the n highest-ranked available servers under the same
+// rendezvous hashing the client used at initialization (Pick), so the
+// policy only ever moves clients whose current set lost a member —
+// exactly the clients a membership change affects.
+type RendezvousPolicy struct{}
+
+// Name implements Policy.
+func (RendezvousPolicy) Name() string { return "rendezvous" }
+
+// Decide implements Policy.
+func (RendezvousPolicy) Decide(v View, n int) []Decision {
+	avail := v.available()
+	if len(avail) < n {
+		return nil // nowhere to move anyone
+	}
+	ok := make(map[string]bool, len(avail))
+	for _, a := range avail {
+		ok[a] = true
+	}
+	var out []Decision
+	for _, c := range v.Clients {
+		healthy := len(c.WriteSet) == n
+		for _, addr := range c.WriteSet {
+			if !ok[addr] {
+				healthy = false
+			}
+		}
+		if healthy {
+			continue
+		}
+		target := Pick(c.ID, n, avail)
+		if !sameSet(target, c.WriteSet) {
+			out = append(out, Decision{ClientID: c.ID, Target: target})
+		}
+	}
+	return out
+}
+
+// StrategyPolicy adapts an offline Strategy to the live control plane,
+// for strategies that use coordinated knowledge (LeastLoaded places
+// displaced clients on the emptiest servers). Server identity is the
+// position in View.Servers, so the View must enumerate the fleet in a
+// stable order for stability-sensitive strategies; the per-server load
+// passed to Choose is the session gauge. Like RendezvousPolicy it only
+// moves clients whose write set lost a member.
+type StrategyPolicy struct {
+	Strategy Strategy
+	// Seed feeds randomized strategies; decisions for one view are
+	// deterministic given the seed.
+	Seed int64
+}
+
+// Name implements Policy.
+func (p StrategyPolicy) Name() string { return "live-" + p.Strategy.Name() }
+
+// Decide implements Policy.
+func (p StrategyPolicy) Decide(v View, n int) []Decision {
+	var upIdx []int
+	var load []int
+	byAddr := make(map[string]bool)
+	addrOf := make(map[int]string, len(v.Servers))
+	for i, s := range v.Servers {
+		addrOf[i] = s.Addr
+		if s.Available() {
+			upIdx = append(upIdx, i)
+			load = append(load, int(s.Sessions))
+			byAddr[s.Addr] = true
+		}
+	}
+	if len(upIdx) < n {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	var out []Decision
+	for _, c := range v.Clients {
+		healthy := len(c.WriteSet) == n
+		for _, addr := range c.WriteSet {
+			if !byAddr[addr] {
+				healthy = false
+			}
+		}
+		if healthy {
+			continue
+		}
+		chosen := p.Strategy.Choose(rng, int(c.ID), n, upIdx, load)
+		target := make([]string, 0, n)
+		for _, idx := range chosen {
+			target = append(target, addrOf[idx])
+		}
+		if !sameSet(target, c.WriteSet) {
+			out = append(out, Decision{ClientID: c.ID, Target: target})
+		}
+	}
+	return out
+}
+
+// sameSet reports whether two write sets contain the same addresses
+// (order-insensitive: member order does not matter to the protocol).
+func sameSet(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as := append([]string(nil), a...)
+	bs := append([]string(nil), b...)
+	sort.Strings(as)
+	sort.Strings(bs)
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Controller is the live rebalancer: on each Step it snapshots a View,
+// asks the Policy for decisions, and executes them through Move (the
+// cluster façade's hook into core's Migrate). It holds no state of its
+// own — every Step decides from a fresh view, so a failed migration is
+// simply retried on the next tick if the policy still wants it.
+type Controller struct {
+	// N is the write-set size decisions must produce.
+	N int
+	// Policy decides; nil means RendezvousPolicy.
+	Policy Policy
+	// Snapshot produces the current View.
+	Snapshot func() (View, error)
+	// Move executes one migration decision.
+	Move func(Decision) error
+}
+
+// Step runs one control round: snapshot, decide, execute. It returns
+// how many migrations were executed; the first execution error aborts
+// the remaining decisions (the next Step re-decides from fresh state).
+func (c *Controller) Step() (int, error) {
+	if c.Snapshot == nil || c.Move == nil {
+		return 0, fmt.Errorf("loadassign: controller needs Snapshot and Move")
+	}
+	pol := c.Policy
+	if pol == nil {
+		pol = RendezvousPolicy{}
+	}
+	view, err := c.Snapshot()
+	if err != nil {
+		return 0, err
+	}
+	moved := 0
+	for _, d := range pol.Decide(view, c.N) {
+		if err := c.Move(d); err != nil {
+			return moved, fmt.Errorf("loadassign: migrating client %d: %w", d.ClientID, err)
+		}
+		moved++
+	}
+	return moved, nil
+}

@@ -31,8 +31,14 @@ type Strategy interface {
 	Choose(rng *rand.Rand, clientID, n int, up []int, load []int) []int
 }
 
-// StaticOffset is the decentralized strategy the replicated log client
-// implements: start at clientID mod |up| and take the next n servers.
+// StaticOffset is the decentralized static strategy the replicated log
+// client implements. It originally started at clientID mod |up| and
+// took the next n servers — which re-mapped every client's write set
+// whenever membership changed, because every offset is computed against
+// |up|. It now ranks servers by rendezvous (highest-random-weight)
+// hashing over (client, server) pairs: each client's ranking of any
+// server is independent of which other servers are up, so a membership
+// change moves only the clients whose own servers changed.
 type StaticOffset struct{}
 
 // Name implements Strategy.
@@ -40,10 +46,83 @@ func (StaticOffset) Name() string { return "static-offset" }
 
 // Choose implements Strategy.
 func (StaticOffset) Choose(_ *rand.Rand, clientID, n int, up []int, _ []int) []int {
+	keys := make([]uint64, len(up))
+	for i, srv := range up {
+		keys[i] = uint64(srv)
+	}
 	out := make([]int, 0, n)
-	off := clientID % len(up)
-	for i := 0; i < n; i++ {
-		out = append(out, up[(off+i)%len(up)])
+	for _, i := range RankKeys(uint64(clientID), n, keys) {
+		out = append(out, up[i])
+	}
+	return out
+}
+
+// hrwScore mixes a client identity with one server key into a
+// deterministic 64-bit rank (a splitmix64-style finalizer over the
+// pair). Both the offline simulation and the live client rank servers
+// with this one function, so their assignments agree.
+func hrwScore(clientID, serverKey uint64) uint64 {
+	x := (clientID+1)*0x9E3779B97F4A7C15 + serverKey*0xD1B54A32D192ED03
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// HashAddr folds a server address into a rendezvous key (FNV-1a), the
+// live-client counterpart of the simulation's integer server IDs.
+func HashAddr(addr string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(addr); i++ {
+		h ^= uint64(addr[i])
+		h *= prime64
+	}
+	return h
+}
+
+// RankKeys returns the indexes of the n highest-scoring server keys
+// for the client — rendezvous hashing. Scores depend only on the
+// (client, server) pair, never on the candidate set, which is the
+// stability property: removing or adding one server changes at most
+// one member of any client's top n. Ties (only possible with
+// colliding keys) break toward the lower index for determinism.
+func RankKeys(clientID uint64, n int, keys []uint64) []int {
+	if n > len(keys) {
+		n = len(keys)
+	}
+	idx := make([]int, len(keys))
+	scores := make([]uint64, len(keys))
+	for i, k := range keys {
+		idx[i] = i
+		scores[i] = hrwScore(clientID, k)
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if scores[idx[a]] != scores[idx[b]] {
+			return scores[idx[a]] > scores[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	return idx[:n]
+}
+
+// Pick returns the n servers the client should write to, chosen from
+// the candidate addresses by rendezvous hashing — the live-cluster
+// entry point the core client and the rebalancer share with the
+// simulation's StaticOffset strategy.
+func Pick(clientID uint64, n int, servers []string) []string {
+	keys := make([]uint64, len(servers))
+	for i, s := range servers {
+		keys[i] = HashAddr(s)
+	}
+	out := make([]string, 0, n)
+	for _, i := range RankKeys(clientID, n, keys) {
+		out = append(out, servers[i])
 	}
 	return out
 }

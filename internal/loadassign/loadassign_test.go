@@ -34,20 +34,90 @@ func TestStrategiesChooseDistinctLiveServers(t *testing.T) {
 }
 
 func TestStaticOffsetSpreadsClients(t *testing.T) {
-	// With clients 0..5 and 6 servers all up, static offset yields a
-	// perfect spread (every server serves exactly 2 clients at N=2).
+	// Rendezvous ranking spreads a client population across all the
+	// servers: with many clients every server carries some load, and no
+	// server carries a grossly outsized share.
 	up := []int{0, 1, 2, 3, 4, 5}
+	const clients = 300
 	counts := make([]int, 6)
-	for c := 0; c < 6; c++ {
+	for c := 0; c < clients; c++ {
 		for _, srv := range (StaticOffset{}).Choose(nil, c, 2, up, nil) {
 			counts[srv]++
 		}
 	}
+	ideal := float64(clients*2) / 6
 	for srv, n := range counts {
-		if n != 2 {
-			t.Fatalf("server %d load %d, want 2 (counts %v)", srv, n, counts)
+		if n == 0 {
+			t.Fatalf("server %d got no clients (counts %v)", srv, counts)
+		}
+		if float64(n) > ideal*1.5 {
+			t.Fatalf("server %d load %d > 1.5x ideal %.1f (counts %v)", srv, n, ideal, counts)
 		}
 	}
+}
+
+// TestStaticOffsetMembershipChangeChurn is the regression test for the
+// churn bug: the old clientID%len(up) offset re-mapped every client's
+// write set whenever any server failed or joined (the offset is
+// computed against |up|), causing fleet-wide switches and long
+// interval lists. Rendezvous ranking must move only the clients of the
+// changed server: removing one server may not disturb any client whose
+// write set did not contain it, and the surviving member of an
+// affected client's set must be retained.
+func TestStaticOffsetMembershipChangeChurn(t *testing.T) {
+	const clients = 200
+	all := []int{0, 1, 2, 3, 4, 5}
+	s := StaticOffset{}
+
+	before := make([][]int, clients)
+	for c := 0; c < clients; c++ {
+		before[c] = s.Choose(nil, c, 2, all, nil)
+	}
+
+	for _, failed := range all {
+		var up []int
+		for _, srv := range all {
+			if srv != failed {
+				up = append(up, srv)
+			}
+		}
+		collateral := 0
+		for c := 0; c < clients; c++ {
+			after := s.Choose(nil, c, 2, up, nil)
+			affected := contains(before[c], failed)
+			switch {
+			case !affected:
+				// Unaffected client: its assignment must be untouched.
+				if diffCount(before[c], after) != 0 {
+					collateral++
+				}
+			default:
+				// Affected client: exactly the failed member is replaced.
+				if diffCount(before[c], after) != 1 {
+					t.Errorf("client %d lost server %d but switched %d members (%v -> %v)",
+						c, failed, diffCount(before[c], after), before[c], after)
+				}
+				for _, srv := range before[c] {
+					if srv != failed && !contains(after, srv) {
+						t.Errorf("client %d dropped surviving server %d (%v -> %v)",
+							c, srv, before[c], after)
+					}
+				}
+			}
+		}
+		if collateral != 0 {
+			t.Errorf("removing server %d switched %d unaffected clients (want 0)", failed, collateral)
+		}
+	}
+}
+
+func contains(set []int, srv int) bool {
+	for _, s := range set {
+		if s == srv {
+			return true
+		}
+	}
+	return false
 }
 
 func TestLeastLoadedPicksLightestServers(t *testing.T) {

@@ -127,6 +127,10 @@ type Stats struct {
 	// (rate-limited, so at most one per session per millisecond of
 	// shedding).
 	BusySent uint64
+	// RedirectsSent counts drain hints sent while leaving; Leaving
+	// reports whether the server is currently draining (see Leave).
+	RedirectsSent uint64
+	Leaving       bool
 	// Sessions is the current live session count; Evicted counts
 	// sessions removed by supersession or idleness. QueueSheds counts
 	// messages dropped because a session's queue was full. ForceRounds
@@ -155,6 +159,12 @@ type Server struct {
 	// fg coalesces concurrent Store.Force calls from different session
 	// workers into shared rounds (server-side group force).
 	fg *storage.ForceGroup
+
+	// leaving marks an administrative drain (see Leave): writes draw a
+	// Redirect hint instead of being appended, reads and the epoch
+	// operations keep working so clients can migrate off and still
+	// recover records this server holds.
+	leaving atomic.Bool
 
 	// firstUnforced is when the oldest not-yet-forced record was
 	// appended, as UnixNano (zero when everything is forced). Session
@@ -204,6 +214,7 @@ type session struct {
 	ackEpoch     atomic.Uint64
 	kick         chan struct{} // 1-buffered acker wakeup
 	lastBusy     atomic.Int64  // UnixNano of the last TBusy sent (rate limit)
+	lastRedirect atomic.Int64  // UnixNano of the last TRedirect sent (rate limit)
 }
 
 // stop signals the session's worker and acker to exit; idempotent.
@@ -276,7 +287,37 @@ func (s *Server) Stop() {
 
 // Stats returns a snapshot of the counters.
 func (s *Server) Stats() Stats {
-	return s.m.stats()
+	st := s.m.stats()
+	st.Leaving = s.leaving.Load()
+	return st
+}
+
+// Leave begins an administrative drain: the server stops accepting
+// writes — each write draws a TRedirect hint telling the client to
+// migrate its write set — while reads, interval lists, and the epoch
+// representative keep answering, so departing clients can still obtain
+// fresh epochs and read the records this server holds. Every live
+// session is notified immediately; the server stays up until the
+// operator observes its clients gone (Stats().Sessions, or the
+// per-node session gauge) and calls Stop.
+func (s *Server) Leave() {
+	if s.leaving.Swap(true) {
+		return // already draining
+	}
+	s.mu.Lock()
+	sessions := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+	for _, sess := range sessions {
+		s.sendRedirect(sess)
+	}
+}
+
+// Leaving reports whether the server is draining.
+func (s *Server) Leaving() bool {
+	return s.leaving.Load()
 }
 
 func (s *Server) loop() {
@@ -310,6 +351,7 @@ func (s *Server) shutdown() {
 	}
 	s.sessions = make(map[string]*session)
 	s.m.sessions.Set(0)
+	s.m.nodeSessions.Set(0)
 	s.mu.Unlock()
 	close(s.quit)
 }
@@ -385,6 +427,19 @@ func (s *Server) handleSyn(from string, pkt *wire.Packet) {
 		sess.peer.Send(wire.TSynAck, pkt.Seq, nil)
 		return
 	}
+	if sess != nil && pkt.ConnID < sess.peer.ConnID {
+		// A delayed duplicate Syn from an incarnation this session has
+		// already superseded (ConnIDs grow monotonically within a
+		// client). Evicting the live session for it would resurrect the
+		// dead incarnation and reset the live one's stream position —
+		// e.g. a client re-anchoring on a server during a migration,
+		// whose old Syn was still in flight. Reset the stale sender and
+		// leave the live session untouched.
+		s.mu.Unlock()
+		s.m.packetsDropped.Add(1)
+		wire.SendRst(s.cfg.Endpoint, from, pkt.ClientID, pkt.ConnID, pkt.Seq)
+		return
+	}
 	// New connection (or a new incarnation of the client): evict what
 	// it supersedes — the old session at this address, and any session
 	// for the same client at another address with a strictly older
@@ -415,6 +470,7 @@ func (s *Server) handleSyn(from string, pkt *wire.Packet) {
 	sess.peer.SetEstablished()
 	s.sessions[from] = sess
 	s.m.sessions.Set(int64(len(s.sessions)))
+	s.m.nodeSessions.Set(int64(len(s.sessions)))
 	s.workerWG.Add(2)
 	go s.worker(sess)
 	go s.acker(sess)
@@ -455,6 +511,7 @@ func (s *Server) janitor() {
 				}
 			}
 			s.m.sessions.Set(int64(len(s.sessions)))
+			s.m.nodeSessions.Set(int64(len(s.sessions)))
 			s.mu.Unlock()
 		}
 	}
@@ -536,6 +593,13 @@ func pauseOf(cfg Config) time.Duration { return cfg.OverAllocPause }
 // idempotent skip of retransmitted records, store appends, and (for
 // forces) the NewHighLSN acknowledgment.
 func (s *Server) handleWrite(sess *session, pkt *wire.Packet, force bool) {
+	if s.leaving.Load() {
+		// Draining: refuse the write with a redirect hint so the client
+		// migrates. Not a Busy — backing off and retrying here can never
+		// succeed.
+		s.sendRedirect(sess)
+		return
+	}
 	if s.cfg.Overloaded != nil && s.cfg.Overloaded() {
 		// Shed load: ignore the message ("they are free to ignore
 		// ForceLog and WriteLog messages if they become too heavily
@@ -607,7 +671,9 @@ func (s *Server) handleWrite(sess *session, pkt *wire.Packet, force bool) {
 		sess.expectedNext = rec.LSN + 1
 	}
 	if appended > 0 {
-		s.firstUnforced.CompareAndSwap(0, time.Now().UnixNano())
+		if s.m.appendToForce != nil {
+			s.firstUnforced.CompareAndSwap(0, time.Now().UnixNano())
+		}
 		s.m.trace.Emit(telemetry.EvAppend, s.m.node,
 			uint64(sess.expectedNext-1), uint64(p.Epoch), uint64(appended))
 	}
@@ -641,6 +707,10 @@ func (s *Server) handleWrite(sess *session, pkt *wire.Packet, force bool) {
 // this server has appended means the covering records were lost in
 // flight: NACK the gap so the client retransmits.
 func (s *Server) handleForcePoint(sess *session, pkt *wire.Packet) {
+	if s.leaving.Load() {
+		s.sendRedirect(sess)
+		return
+	}
 	if s.cfg.Overloaded != nil && s.cfg.Overloaded() {
 		s.m.sheds.Add(1)
 		s.m.trace.Emit(telemetry.EvShed, s.m.node, 0, 0, 0)
@@ -707,7 +777,12 @@ func (s *Server) acker(sess *session) {
 				continue
 			}
 			faultpoint.Hit(FPAckerBeforeForce)
-			forceStart := time.Now()
+			// Timestamps feed the latency histograms only; without a
+			// registry they are dead weight on the hottest server loop.
+			var forceStart time.Time
+			if s.m.forceLatency != nil {
+				forceStart = time.Now()
+			}
 			if err := s.fg.Force(); err != nil {
 				// The store cannot force, so no truthful ack is possible.
 				// Surface the failure rather than going silent; the client
@@ -717,9 +792,13 @@ func (s *Server) acker(sess *session) {
 			}
 			faultpoint.Hit(FPWriteAfterForce)
 			s.m.forces.Add(1)
-			s.m.forceLatency.Observe(uint64(time.Since(forceStart)))
-			if t := s.firstUnforced.Swap(0); t != 0 {
-				s.m.appendToForce.Observe(uint64(time.Now().UnixNano() - t))
+			if s.m.forceLatency != nil {
+				s.m.forceLatency.Observe(uint64(time.Since(forceStart)))
+			}
+			if s.m.appendToForce != nil {
+				if t := s.firstUnforced.Swap(0); t != 0 {
+					s.m.appendToForce.Observe(uint64(time.Now().UnixNano() - t))
+				}
 			}
 			if h > sess.stableHigh.Load() {
 				sess.stableHigh.Store(h)
@@ -749,6 +828,21 @@ func (s *Server) sendBusy(sess *session) {
 	}
 	s.m.busySent.Add(1)
 	sess.peer.Send(wire.TBusy, 0, nil)
+}
+
+// sendRedirect tells the client this server is draining and its writes
+// should go elsewhere. Rate-limited like Busy — a streaming client can
+// have a whole window in flight when the drain begins. Safe from both
+// the receive loop and workers.
+func (s *Server) sendRedirect(sess *session) {
+	now := time.Now().UnixNano()
+	last := sess.lastRedirect.Load()
+	if now-last < int64(time.Millisecond) || !sess.lastRedirect.CompareAndSwap(last, now) {
+		return
+	}
+	s.m.redirectsSent.Add(1)
+	p := wire.RedirectPayload{AppendedHigh: record.LSN(sess.appendedHigh.Load())}
+	sess.peer.Send(wire.TRedirect, 0, p.Encode())
 }
 
 func (s *Server) handleNewInterval(sess *session, pkt *wire.Packet) {

@@ -465,6 +465,131 @@ func TestServerDuplicateSynKeepsSession(t *testing.T) {
 	}
 }
 
+func TestServerStaleSynRejectedKeepsLiveSession(t *testing.T) {
+	r := newRig(t)
+	r.handshake()
+	r.force(1, 1, 3)
+	if pkt := r.recv(); pkt.Type != wire.TNewHighLSN {
+		t.Fatalf("expected ack, got %v", pkt.Type)
+	}
+	// The client re-dials with a higher ConnID (dial ConnIDs are
+	// monotonic) and re-anchors its stream.
+	stale := r.peer
+	r.peer = wire.NewPeer(r.ep, "srv", 7, stale.ConnID+1, 0, time.Millisecond)
+	r.handshake()
+	ni := wire.NewIntervalPayload{Epoch: 1, StartingLSN: 9}
+	if _, err := r.peer.Send(wire.TNewInterval, 0, ni.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	// A delayed Syn from the PREVIOUS incarnation arrives late. The
+	// server must not supersede the live, higher-ConnID session with the
+	// stale incarnation: doing so would forget the NewInterval anchor
+	// and strand the live stream. It answers the stale ConnID with Rst
+	// and keeps the session.
+	if _, err := stale.Send(wire.TSyn, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	pkt := r.recv()
+	if pkt.Type != wire.TRst || pkt.ConnID != stale.ConnID {
+		t.Fatalf("stale Syn: expected Rst to ConnID %d, got %v (ConnID %d)", stale.ConnID, pkt.Type, pkt.ConnID)
+	}
+	// The live session still holds the anchor: the next write is acked.
+	r.force(1, 9, 2)
+	pkt = r.recv()
+	ack, err := wire.DecodeWriteAckPayload(pkt.Payload)
+	if pkt.Type != wire.TNewHighLSN || err != nil || ack.Stable != 10 {
+		t.Fatalf("write after stale Syn: %v %+v %v", pkt.Type, ack, err)
+	}
+}
+
+func TestServerJanitorEvictionThenReconnect(t *testing.T) {
+	// The migration-era reconnect interplay: the janitor evicts an idle
+	// session mid-life, the client re-dials with a higher ConnID and
+	// re-anchors, and a duplicated Syn of the NEW connection must keep
+	// that session — the duplicate-Syn reset regression would forget the
+	// fresh anchor exactly when a migrating client depends on it.
+	r := newRig(t, func(cfg *Config) { cfg.SessionIdle = 50 * time.Millisecond })
+	r.handshake()
+	r.force(1, 1, 3)
+	if pkt := r.recv(); pkt.Type != wire.TNewHighLSN {
+		t.Fatalf("expected ack, got %v", pkt.Type)
+	}
+	// Idle past the horizon: the janitor reclaims the session.
+	deadline := time.Now().Add(2 * time.Second)
+	for r.srv.Stats().Evicted == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("janitor never evicted the idle session")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Re-dial as the client would: higher ConnID, fresh handshake,
+	// NewInterval anchor where the stream resumes.
+	r.peer = wire.NewPeer(r.ep, "srv", 7, r.peer.ConnID+1, 0, time.Millisecond)
+	r.handshake()
+	ni := wire.NewIntervalPayload{Epoch: 1, StartingLSN: 4}
+	if _, err := r.peer.Send(wire.TNewInterval, 0, ni.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	r.force(1, 4, 2)
+	pkt := r.recv()
+	ack, err := wire.DecodeWriteAckPayload(pkt.Payload)
+	if pkt.Type != wire.TNewHighLSN || err != nil || ack.Stable != 5 {
+		t.Fatalf("write after reconnect: %v %+v %v", pkt.Type, ack, err)
+	}
+	// A duplicated Syn of the live connection must not reset it.
+	if _, err := r.peer.Send(wire.TSyn, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if pkt := r.recv(); pkt.Type != wire.TSynAck {
+		t.Fatalf("duplicate Syn after reconnect: expected SynAck, got %v", pkt.Type)
+	}
+	r.force(1, 6, 2)
+	pkt = r.recv()
+	ack, err = wire.DecodeWriteAckPayload(pkt.Payload)
+	if pkt.Type != wire.TNewHighLSN || err != nil || ack.Stable != 7 {
+		t.Fatalf("write after duplicate Syn: %v %+v %v", pkt.Type, ack, err)
+	}
+}
+
+func TestServerLeaveRedirectsWritesServesReads(t *testing.T) {
+	r := newRig(t)
+	r.handshake()
+	r.force(1, 1, 3)
+	if pkt := r.recv(); pkt.Type != wire.TNewHighLSN {
+		t.Fatalf("expected ack, got %v", pkt.Type)
+	}
+	r.srv.Leave()
+	if !r.srv.Leaving() {
+		t.Fatal("Leaving() false after Leave")
+	}
+	// Writes now draw a Redirect carrying the appended high-water mark,
+	// not an ack; the records are NOT appended.
+	r.force(1, 4, 2)
+	pkt := r.recv()
+	if pkt.Type != wire.TRedirect {
+		t.Fatalf("write while leaving: expected Redirect, got %v", pkt.Type)
+	}
+	rp, err := wire.DecodeRedirectPayload(pkt.Payload)
+	if err != nil || rp.AppendedHigh != 3 {
+		t.Fatalf("redirect payload = %+v, %v", rp, err)
+	}
+	if _, err := r.store.Read(7, 4); err == nil {
+		t.Fatal("record appended while leaving")
+	}
+	// Reads and interval lists keep working so departing clients can
+	// still recover and stream off this server.
+	if _, err := r.peer.Send(wire.TReadForwardReq, 0, (&wire.LSNPayload{LSN: 2}).Encode()); err != nil {
+		t.Fatal(err)
+	}
+	pkt = r.recv()
+	if pkt.Type != wire.TReadForwardResp {
+		t.Fatalf("read while leaving: expected ReadForwardResp, got %v", pkt.Type)
+	}
+	if s := r.srv.Stats(); s.RedirectsSent == 0 || !s.Leaving {
+		t.Fatalf("stats = %+v, want RedirectsSent>0 and Leaving", s)
+	}
+}
+
 func TestServerReconnectResumesFromStore(t *testing.T) {
 	r := newRig(t)
 	r.handshake()

@@ -47,12 +47,16 @@ const (
 	EvFailover
 	// EvShed: server Node dropped a write message under overload.
 	EvShed
+	// EvMigrate: the client migrated its write set; LSN is the first
+	// record anchored on the new servers, Epoch the fresh epoch.
+	EvMigrate
 )
 
 var kindNames = [...]string{
 	EvNone: "none", EvWrite: "write", EvFlush: "flush", EvAppend: "append",
 	EvForce: "force", EvAck: "ack", EvStable: "stable", EvRetry: "retry",
 	EvNack: "nack", EvFailover: "failover", EvShed: "shed",
+	EvMigrate: "migrate",
 }
 
 func (k Kind) String() string {

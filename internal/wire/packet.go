@@ -50,6 +50,12 @@ const (
 	// overflow or overload). The client halves its send window and ramps
 	// back additively instead of retry-storming.
 	TBusy
+	// TRedirect is the drain hint of an administratively leaving server:
+	// writes are no longer accepted (reads still are), and the client
+	// should migrate its write set elsewhere. Unlike TBusy it is not a
+	// congestion signal — backing off and retrying the same server would
+	// never succeed.
+	TRedirect
 
 	// Synchronous calls (requests) from client to log server.
 	TIntervalListReq
@@ -84,7 +90,7 @@ var typeNames = map[Type]string{
 	TWriteLog: "WriteLog", TForceLog: "ForceLog", TNewInterval: "NewInterval",
 	TForcePoint: "ForcePoint",
 	TNewHighLSN: "NewHighLSN", TMissingInterval: "MissingInterval",
-	TBusy:            "Busy",
+	TBusy: "Busy", TRedirect: "Redirect",
 	TIntervalListReq: "IntervalListReq", TReadForwardReq: "ReadForwardReq",
 	TReadBackwardReq: "ReadBackwardReq", TCopyLogReq: "CopyLogReq",
 	TInstallCopiesReq: "InstallCopiesReq", TEpochReadReq: "EpochReadReq",

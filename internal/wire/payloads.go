@@ -240,6 +240,28 @@ func DecodeWriteAckPayload(data []byte) (*WriteAckPayload, error) {
 	}
 }
 
+// RedirectPayload is the body of a TRedirect drain hint: the highest
+// LSN the leaving server appended for this client, so the client can
+// tell how much of its stream the server already covers (records at or
+// below it need no replay to a replacement if the rest of the old set
+// confirms them).
+type RedirectPayload struct {
+	AppendedHigh record.LSN
+}
+
+// Encode serializes the payload.
+func (p *RedirectPayload) Encode() []byte {
+	return binary.BigEndian.AppendUint64(nil, uint64(p.AppendedHigh))
+}
+
+// DecodeRedirectPayload parses a RedirectPayload.
+func DecodeRedirectPayload(data []byte) (*RedirectPayload, error) {
+	if len(data) != 8 {
+		return nil, fmt.Errorf("%w: redirect payload %d bytes", ErrBadPacket, len(data))
+	}
+	return &RedirectPayload{AppendedHigh: record.LSN(binary.BigEndian.Uint64(data))}, nil
+}
+
 // IntervalPayload carries one LSN interval (MissingInterval).
 type IntervalPayload struct {
 	Low  record.LSN

@@ -1,0 +1,294 @@
+package distlog_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"distlog"
+)
+
+// hasMember reports whether set contains addr.
+func hasMember(set []string, addr string) bool {
+	for _, m := range set {
+		if m == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// TestRebalancerMovesClientsOffLeavingServer is the control-plane half
+// of live migration in isolation: a server enters administrative drain,
+// one rebalancer Step moves every client whose write set includes it,
+// and the drained server can then stop without any client noticing.
+func TestRebalancerMovesClientsOffLeavingServer(t *testing.T) {
+	cluster, err := distlog.NewCluster(distlog.ClusterOptions{Servers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	const n = 2
+	var clients []*distlog.Client
+	for id := distlog.ClientID(1); id <= 3; id++ {
+		l, err := cluster.OpenClient(id, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		clients = append(clients, l)
+	}
+	// Seed every log so migration has acknowledged records behind it and
+	// an unforced tail to drain.
+	lsns := make(map[int]distlog.LSN)
+	for i, l := range clients {
+		var last distlog.LSN
+		for j := 0; j < 5; j++ {
+			if last, err = l.WriteLog([]byte(fmt.Sprintf("c%d-%d", i, j))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := l.Force(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := l.WriteLog([]byte(fmt.Sprintf("c%d-tail", i))); err != nil {
+			t.Fatal(err)
+		}
+		lsns[i] = last
+	}
+
+	// Drain a server that actually hosts someone.
+	victim := clients[0].WriteSet()[0]
+	affected := 0
+	for _, l := range clients {
+		if hasMember(l.WriteSet(), victim) {
+			affected++
+		}
+	}
+	if !cluster.LeaveServer(victim) {
+		t.Fatalf("LeaveServer(%s) found no running server", victim)
+	}
+
+	reb := cluster.NewRebalancer(n, clients...)
+	moved, err := reb.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved != affected {
+		t.Fatalf("Step moved %d clients, want %d (the ones holding %s)", moved, affected, victim)
+	}
+	// Converged: a second Step decides nothing.
+	if again, err := reb.Step(); err != nil || again != 0 {
+		t.Fatalf("second Step = %d, %v; want converged", again, err)
+	}
+	for i, l := range clients {
+		if hasMember(l.WriteSet(), victim) {
+			t.Fatalf("client %d still writes to draining server %s", i, victim)
+		}
+	}
+	if got := clients[0].Stats().Migrations; got != 1 {
+		t.Fatalf("client 0 Migrations = %d, want 1", got)
+	}
+
+	// The drained server can now die for good; everything written before
+	// the drain — including the unforced tails — stays readable, and the
+	// logs keep committing on their new sets.
+	cluster.StopServer(victim)
+	for i, l := range clients {
+		if err := l.Force(); err != nil {
+			t.Fatalf("client %d post-migration force: %v", i, err)
+		}
+		for j := 0; j < 5; j++ {
+			want := fmt.Sprintf("c%d-%d", i, j)
+			data, err := l.ReadLog(lsns[i] - distlog.LSN(4-j))
+			if err != nil || string(data) != want {
+				t.Fatalf("client %d ReadLog = %q, %v; want %q", i, data, err, want)
+			}
+		}
+		if _, err := l.ForceLog([]byte(fmt.Sprintf("c%d-after", i))); err != nil {
+			t.Fatalf("client %d commit after victim stopped: %v", i, err)
+		}
+	}
+}
+
+// TestMigrationUnderET1Load is the headline scenario: ET1 transaction
+// load from several clients, one of their servers drains and dies
+// mid-stream, the rebalancer migrates the write sets while commits
+// continue, and no acknowledged transaction is lost — verified by
+// crash-recovering every engine afterwards and counting its history.
+func TestMigrationUnderET1Load(t *testing.T) {
+	cluster, err := distlog.NewCluster(distlog.ClusterOptions{Servers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	const n = 2
+	const nClients = 3
+	type rig struct {
+		log       *distlog.Client
+		stable    *distlog.StableStore
+		engine    *distlog.Engine
+		committed int64
+	}
+	rigs := make([]*rig, nClients)
+	for i := range rigs {
+		l, err := cluster.OpenClient(distlog.ClientID(i+1), n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stable := distlog.NewStableStore()
+		e, err := distlog.OpenEngine(l, stable, distlog.EngineOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rigs[i] = &rig{log: l, stable: stable, engine: e}
+	}
+
+	// ET1 load: each client commits DebitCredit transactions as fast as
+	// the log allows until told to stop. Only transactions whose Commit
+	// returned nil count — those are the acknowledged ones that must
+	// survive.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i, r := range rigs {
+		wg.Add(1)
+		go func(i int, r *rig) {
+			defer wg.Done()
+			gen := distlog.NewET1(distlog.ET1Scale{Branches: 2, Tellers: 20, Accounts: 200}, int64(i+1))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := distlog.ApplyET1(r.engine, gen.Next()); err == nil {
+					r.committed++
+				}
+			}
+		}(i, r)
+	}
+
+	// Let the load establish itself, then drain the server hosting
+	// client 1 and rebalance while commits are in flight.
+	time.Sleep(50 * time.Millisecond)
+	victim := rigs[0].log.WriteSet()[0]
+	cluster.LeaveServer(victim)
+	reb := cluster.NewRebalancer(n, rigs[0].log, rigs[1].log, rigs[2].log)
+	// Clients that hit the drain redirect before the controller reaches
+	// them fail over on their own; Step moves the rest. Either way every
+	// write set must leave the victim, so iterate until converged.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := reb.Step(); err == nil {
+			clean := true
+			for _, r := range rigs {
+				if hasMember(r.log.WriteSet(), victim) {
+					clean = false
+				}
+			}
+			if clean {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("write sets never drained off the leaving server")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The drained server dies for good while the load keeps running.
+	cluster.StopServer(victim)
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	// Zero acked losses: crash every client and recover a fresh engine
+	// over the surviving servers; each recovered history must hold every
+	// transaction whose commit was acknowledged. (It may hold more — a
+	// crash can resolve a doubtful tail as committed — never fewer.)
+	for i, r := range rigs {
+		if r.committed == 0 {
+			t.Fatalf("client %d committed nothing; load never ran", i)
+		}
+		migrations := r.log.Stats().Migrations
+		r.log.Close() // crash
+		l2, err := cluster.OpenClient(distlog.ClientID(i+1), n)
+		if err != nil {
+			t.Fatalf("client %d reopen: %v", i, err)
+		}
+		e2, err := distlog.OpenEngine(l2, r.stable, distlog.EngineOptions{})
+		if err != nil {
+			t.Fatalf("client %d engine recovery: %v", i, err)
+		}
+		if got := e2.Get("history/count"); got < r.committed {
+			t.Errorf("client %d: %d acked transactions, history/count %d after recovery — acked work lost",
+				i, r.committed, got)
+		}
+		t.Logf("client %d: %d acked commits, %d recovered, %d controller migrations",
+			i, r.committed, e2.Get("history/count"), migrations)
+		l2.Close()
+	}
+}
+
+// BenchmarkMigrationUnderET1Load is the server-kill scenario as a
+// number: ET1 transactions commit continuously while, each iteration,
+// the server hosting the client drains (Leave), the rebalancer
+// migrates the write set, and the drained node dies and reboots. The
+// reported migrate-µs is the control-plane latency from the drain
+// order to the client's write set landing entirely on healthy servers
+// — fresh epoch, NewInterval anchors, in-flight drain, and the closing
+// force included.
+func BenchmarkMigrationUnderET1Load(b *testing.B) {
+	cluster, err := distlog.NewCluster(distlog.ClusterOptions{Servers: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cluster.Close()
+	l, err := cluster.OpenClient(1, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	e, err := distlog.OpenEngine(l, distlog.NewStableStore(), distlog.EngineOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		gen := distlog.NewET1(distlog.ET1Scale{Branches: 2, Tellers: 20, Accounts: 200}, 1)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			distlog.ApplyET1(e, gen.Next())
+		}
+	}()
+	reb := cluster.NewRebalancer(2, l)
+	var total time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		victim := l.WriteSet()[0]
+		cluster.LeaveServer(victim)
+		start := time.Now()
+		for hasMember(l.WriteSet(), victim) {
+			if _, err := reb.Step(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		total += time.Since(start)
+		// The drained node dies, then reboots clean for the next round.
+		cluster.StopServer(victim)
+		cluster.StartServer(victim)
+	}
+	b.StopTimer()
+	close(stop)
+	wg.Wait()
+	b.ReportMetric(float64(total.Microseconds())/float64(b.N), "migrate-µs")
+}
