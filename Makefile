@@ -2,9 +2,9 @@ GO ?= go
 
 # Packages with the concurrency-heavy machinery; they get a dedicated
 # race-detector tier in `make check`.
-RACE_PKGS := ./internal/core/... ./internal/wire/... ./internal/server/... ./internal/storage/... ./internal/transport/... ./internal/telemetry/... ./internal/recman/... ./internal/locallog/... ./internal/loadassign/...
+RACE_PKGS := ./internal/core/... ./internal/wire/... ./internal/server/... ./internal/storage/... ./internal/transport/... ./internal/telemetry/... ./internal/recman/... ./internal/locallog/... ./internal/loadassign/... ./internal/retention/...
 
-.PHONY: all build test race check bench vet fmt crashaudit
+.PHONY: all build test race check bench vet fmt crashaudit soak
 
 all: check
 
@@ -31,6 +31,14 @@ fmt:
 CRASHAUDIT_ITERS ?= 200
 crashaudit:
 	$(GO) run ./cmd/crashaudit -iters $(CRASHAUDIT_ITERS)
+
+# soak runs the full-scale Section 5.3 log-space soak: a simulated
+# week of ET1 with periodic sharp checkpoints over segmented stores
+# and background compactors; the hot-segment disk footprint must
+# plateau. (The plain test suite runs a miniature version of the same
+# test.)
+soak:
+	DISTLOG_SOAK=1 $(GO) test ./internal/recman/ -run TestSoakET1WeekDiskPlateau -v -timeout 30m -count=1
 
 # check is the CI gate: tier-1 build+tests, vet, the race tier over the
 # client/wire/server packages, and the crash-point audit.

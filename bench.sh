@@ -30,6 +30,10 @@
 #                                   draining to the client's write set
 #                                   fully re-anchored on healthy servers
 #                                   while transactions keep committing
+#   BenchmarkForceUnderCompaction   force p50/p99 over segmented stores
+#                                   with the background compactor off vs
+#                                   on (latency-paced reclamation must
+#                                   not blow the force tail)
 #
 # Read path (BENCH_readpath.json):
 #   BenchmarkRecoveryScan           full-log recovery-style scan over a
@@ -83,7 +87,7 @@ RAW=$RAW1
 run ./internal/core/ -run '^$' -benchmem \
 	-bench 'BenchmarkWritePathAllocs|BenchmarkTelemetryOverhead|BenchmarkForceLogMemnet|BenchmarkParallelForce|BenchmarkGroupCommit$'
 run ./internal/transport/ -run '^$' -benchmem -bench 'BenchmarkUDPRecvAllocs'
-run . -run '^$' -benchmem -bench 'BenchmarkGroupCommitTransactions|BenchmarkMultiClientForce|BenchmarkStreamingWrite|BenchmarkAggregateForce|BenchmarkMigrationUnderET1Load'
+run . -run '^$' -benchmem -bench 'BenchmarkGroupCommitTransactions|BenchmarkMultiClientForce|BenchmarkStreamingWrite|BenchmarkAggregateForce|BenchmarkMigrationUnderET1Load|BenchmarkForceUnderCompaction'
 cat "$RAW"
 to_json
 

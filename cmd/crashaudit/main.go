@@ -29,16 +29,17 @@ import (
 
 func main() {
 	var (
-		seed    = flag.Int64("seed", 1, "seed for fault schedules and scenario choices")
-		iters   = flag.Int("iters", 200, "randomized crash/recover scenarios (0 disables)")
-		sweep   = flag.Bool("sweep", true, "run the deterministic per-point sweep first")
-		servers = flag.Int("servers", 3, "log servers (M)")
-		n       = flag.Int("n", 2, "copies per record (N)")
-		delta   = flag.Int("delta", 4, "δ: maximum outstanding records")
-		drop    = flag.Float64("drop", 0.02, "packet drop probability for randomized runs")
-		dup     = flag.Float64("dup", 0.02, "packet duplication probability for randomized runs")
-		delay   = flag.Duration("delay", 2*time.Millisecond, "maximum random delivery delay for randomized runs")
-		verbose = flag.Bool("v", false, "log each run")
+		seed      = flag.Int64("seed", 1, "seed for fault schedules and scenario choices")
+		iters     = flag.Int("iters", 200, "randomized crash/recover scenarios (0 disables)")
+		sweep     = flag.Bool("sweep", true, "run the deterministic per-point sweep first")
+		servers   = flag.Int("servers", 3, "log servers (M)")
+		n         = flag.Int("n", 2, "copies per record (N)")
+		delta     = flag.Int("delta", 4, "δ: maximum outstanding records")
+		drop      = flag.Float64("drop", 0.02, "packet drop probability for randomized runs")
+		dup       = flag.Float64("dup", 0.02, "packet duplication probability for randomized runs")
+		delay     = flag.Duration("delay", 2*time.Millisecond, "maximum random delivery delay for randomized runs")
+		segmented = flag.Bool("segmented", true, "also sweep with segmented (compacting) stores")
+		verbose   = flag.Bool("v", false, "log each run")
 	)
 	flag.Parse()
 
@@ -63,6 +64,24 @@ func main() {
 		runs += rep.Runs
 		cycles += rep.Recoveries
 		fmt.Printf("sweep: %d runs, %d crash/recover cycles, all %d points fired\n",
+			rep.Runs, rep.Recoveries, len(rep.Fired))
+	}
+	if *sweep && *segmented {
+		// The compacted-store recovery sweep: the same per-point kill
+		// schedule, but every server runs a segmented store with a cold
+		// archive tier and the workload checkpoints and compacts, so
+		// recovery reboots over manifests, sealed segments, and archived
+		// records rather than flat stores.
+		so := opts
+		so.Segmented = true
+		rep, err := crashaudit.Sweep(so)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "crashaudit (segmented):", err)
+			os.Exit(1)
+		}
+		runs += rep.Runs
+		cycles += rep.Recoveries
+		fmt.Printf("segmented sweep: %d runs, %d crash/recover cycles, all %d points fired\n",
 			rep.Runs, rep.Recoveries, len(rep.Fired))
 	}
 	if *iters > 0 {

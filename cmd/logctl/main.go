@@ -17,8 +17,13 @@
 //	                   write-set migration; pair with logserverd SIGHUP
 //	                   drain to retire a node without losing a record)
 //	truncate <lsn>     discard records below lsn on every server (§5.3)
+//	checkpoint [text]  write and force a checkpoint record, advance the
+//	                   truncation point past everything before it, and
+//	                   report it to the servers (fire-and-forget §5.3)
 //	stats <host:port>  fetch and render a server's telemetry snapshot
 //	                   (the address of its logserverd -metrics listener)
+//	du <host:port>     print a server's log disk usage: live,
+//	                   reclaimable, and archived bytes, segment counts
 package main
 
 import (
@@ -39,10 +44,26 @@ import (
 	"distlog/internal/transport"
 )
 
-// runStats implements `logctl stats`: fetch the JSON snapshot a
-// logserverd -metrics listener serves and render it. It needs no
-// replicated log (and so no UDP servers) — just the HTTP endpoint.
-func runStats(addr string) {
+// runDU implements `logctl du`: render the disk-usage gauges a
+// segmented logserverd exports.
+func runDU(addr string) {
+	snap := fetchSnapshot(addr)
+	names := []string{"live_bytes", "reclaimable_bytes", "archived_bytes", "segments", "sealed_segments"}
+	found := false
+	for _, n := range names {
+		if v, ok := snap.Gauges["storage.disk."+n]; ok {
+			fmt.Printf("%-18s %d\n", n+":", v)
+			found = true
+		}
+	}
+	if !found {
+		log.Fatalf("no storage.disk.* gauges at %s (server too old, or usage not yet sampled)", addr)
+	}
+}
+
+// fetchSnapshot fetches the JSON telemetry snapshot a logserverd
+// -metrics listener serves.
+func fetchSnapshot(addr string) telemetry.Snapshot {
 	url := addr
 	if !strings.Contains(url, "://") {
 		url = "http://" + url
@@ -60,7 +81,14 @@ func runStats(addr string) {
 	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
 		log.Fatalf("decoding snapshot: %v", err)
 	}
-	snap.Render(os.Stdout)
+	return snap
+}
+
+// runStats implements `logctl stats`: fetch the JSON snapshot a
+// logserverd -metrics listener serves and render it. It needs no
+// replicated log (and so no UDP servers) — just the HTTP endpoint.
+func runStats(addr string) {
+	fetchSnapshot(addr).Render(os.Stdout)
 }
 
 func main() {
@@ -70,7 +98,7 @@ func main() {
 	timeout := flag.Duration("timeout", time.Second, "per-call timeout")
 	flag.Parse()
 	if flag.NArg() < 1 {
-		log.Fatal("usage: logctl [flags] append|read|scan|status|migrate|truncate|stats ...")
+		log.Fatal("usage: logctl [flags] append|read|scan|status|migrate|truncate|checkpoint|stats|du ...")
 	}
 
 	if flag.Arg(0) == "stats" {
@@ -78,6 +106,13 @@ func main() {
 			log.Fatal("usage: logctl stats <host:port of -metrics listener>")
 		}
 		runStats(flag.Arg(1))
+		return
+	}
+	if flag.Arg(0) == "du" {
+		if flag.NArg() != 2 {
+			log.Fatal("usage: logctl du <host:port of -metrics listener>")
+		}
+		runDU(flag.Arg(1))
 		return
 	}
 
@@ -168,6 +203,17 @@ func main() {
 			log.Fatalf("truncate: %v", err)
 		}
 		fmt.Printf("truncated below %d (effective point: %d)\n", lsn, l.Truncated())
+	case "checkpoint":
+		data := []byte(strings.Join(flag.Args()[1:], " "))
+		if len(data) == 0 {
+			data = []byte("checkpoint")
+		}
+		lsn, err := l.Checkpoint(data)
+		if err != nil {
+			log.Fatalf("checkpoint: %v", err)
+		}
+		fmt.Printf("checkpoint record: LSN %d\n", lsn)
+		fmt.Printf("truncation point:  %d\n", l.Truncated())
 	default:
 		log.Fatalf("unknown command %q", cmd)
 	}

@@ -7,6 +7,15 @@
 //	logserverd -listen 127.0.0.1:7700 -data /var/lib/distlog/server1.log \
 //	           -metrics 127.0.0.1:7780
 //
+// With -segment-bytes the store is segmented (Section 5.3 log space
+// management): -data names a directory of fixed-size append segments,
+// truncation-point advances reclaim whole segments, and a background
+// compactor migrates cold fully-stable segments into the write-once
+// archive tier named by -archive, pacing itself off the force-latency
+// histogram so reclamation never blows the force p99 (-compact-budget).
+// Disk usage (live, reclaimable, and archived bytes; segment counts)
+// is exported through the -metrics listener — `logctl du` renders it.
+//
 // The -metrics listener serves the telemetry registry: a JSON snapshot
 // at /metrics (and /), a human-readable page at /debug/telemetry, and
 // the recent LSN-lifecycle trace at /debug/trace. `logctl stats`
@@ -34,6 +43,7 @@ import (
 	"syscall"
 	"time"
 
+	"distlog/internal/retention"
 	"distlog/internal/server"
 	"distlog/internal/storage"
 	"distlog/internal/telemetry"
@@ -48,6 +58,10 @@ func main() {
 	traceCap := flag.Int("trace", 4096, "LSN-lifecycle trace ring capacity (0 = tracing off)")
 	queueDepth := flag.Int("queue-depth", 0, "per-session message queue bound (0 = default)")
 	sessionIdle := flag.Duration("session-idle", 0, "evict sessions idle this long (0 = default, <0 = never)")
+	segmentBytes := flag.Int64("segment-bytes", 0, "segmented store: segment capacity in bytes, -data is a directory (0 = flat file store)")
+	archiveDir := flag.String("archive", "", "segmented store: directory of the write-once archive tier (empty = reclaim dead segments only)")
+	compactInterval := flag.Duration("compact-interval", time.Second, "pause between background compaction attempts")
+	compactBudget := flag.Duration("compact-budget", 5*time.Millisecond, "force p99 above which compaction backs off (0 = unpaced)")
 	flag.Parse()
 
 	reg := telemetry.NewRegistry()
@@ -55,9 +69,47 @@ func main() {
 		reg.EnableTrace(*traceCap)
 	}
 
-	store, err := storage.OpenFileStore(*data)
-	if err != nil {
-		log.Fatalf("opening store: %v", err)
+	var (
+		store     storage.Store
+		usage     storage.UsageReporter
+		arch      *retention.Archive
+		compactor *retention.Compactor
+		backend   = "file"
+	)
+	if *segmentBytes > 0 {
+		backend = "seg"
+		if *archiveDir != "" {
+			a, err := retention.OpenArchive(*archiveDir)
+			if err != nil {
+				log.Fatalf("opening archive: %v", err)
+			}
+			arch = a
+		}
+		var archTier storage.ArchiveTier
+		if arch != nil {
+			archTier = arch
+		}
+		seg, err := storage.OpenSegStore(*data, storage.SegOptions{
+			SegmentBytes: *segmentBytes,
+			Archive:      archTier,
+		})
+		if err != nil {
+			log.Fatalf("opening segmented store: %v", err)
+		}
+		store, usage = seg, seg
+		compactor = retention.NewCompactor(retention.CompactorConfig{
+			Store:          seg,
+			Interval:       *compactInterval,
+			ForceHist:      reg.Histogram("storage.seg.force_latency_ns"),
+			ForceP99Budget: uint64(*compactBudget),
+			OnError:        func(err error) { log.Printf("compaction: %v", err) },
+		})
+	} else {
+		fs, err := storage.OpenFileStore(*data)
+		if err != nil {
+			log.Fatalf("opening store: %v", err)
+		}
+		store, usage = fs, fs
 	}
 	ep, err := transport.ListenUDP(*listen)
 	if err != nil {
@@ -65,7 +117,7 @@ func main() {
 	}
 	srv := server.New(server.Config{
 		Name:        *listen,
-		Store:       storage.Instrument(store, reg, "file"),
+		Store:       storage.Instrument(store, reg, backend),
 		Endpoint:    transport.Instrument(ep, reg, "net.udp"),
 		Epochs:      server.NewMemEpochHost(),
 		QueueDepth:  *queueDepth,
@@ -73,7 +125,30 @@ func main() {
 		Telemetry:   reg,
 	})
 	srv.Start()
-	log.Printf("log server on %s, store %s, clients %v", ep.Addr(), *data, store.Clients())
+	log.Printf("log server on %s, store %s (%s), clients %v", ep.Addr(), *data, backend, store.Clients())
+
+	// Export disk usage through the registry so /metrics (and `logctl
+	// du`) can report how much log space is live, reclaimable, and
+	// archived.
+	usageStop := make(chan struct{})
+	go func() {
+		g := func(name string) *telemetry.Gauge { return reg.Gauge("storage.disk." + name) }
+		tick := time.NewTicker(2 * time.Second)
+		defer tick.Stop()
+		for {
+			u := usage.Usage()
+			g("live_bytes").Set(u.LiveBytes)
+			g("reclaimable_bytes").Set(u.ReclaimableBytes)
+			g("archived_bytes").Set(u.ArchivedBytes)
+			g("segments").Set(int64(u.Segments))
+			g("sealed_segments").Set(int64(u.SealedSegments))
+			select {
+			case <-usageStop:
+				return
+			case <-tick.C:
+			}
+		}
+	}()
 
 	if *metrics != "" {
 		go func() {
@@ -124,8 +199,17 @@ func main() {
 	}
 	<-stop
 	srv.Stop()
+	close(usageStop)
+	if compactor != nil {
+		compactor.Stop()
+	}
 	if err := store.Close(); err != nil {
 		log.Fatalf("closing store: %v", err)
+	}
+	if arch != nil {
+		if err := arch.Close(); err != nil {
+			log.Fatalf("closing archive: %v", err)
+		}
 	}
 	fmt.Println("log server stopped")
 }

@@ -36,6 +36,7 @@ import (
 	"distlog/internal/nvram"
 	"distlog/internal/recman"
 	"distlog/internal/record"
+	"distlog/internal/retention"
 	"distlog/internal/server"
 	"distlog/internal/storage"
 	"distlog/internal/telemetry"
@@ -157,6 +158,39 @@ func NewModelledStore(g DiskGeometry, nvramTracks int) (Store, *Disk, *NVRAM, er
 func NewDiskStoreOver(d *Disk, nv *NVRAM) (Store, error) {
 	return storage.NewDiskStore(d, nv)
 }
+
+// Log space management (Section 5.3).
+type (
+	// SegStore is the segmented durable store: fixed-size append
+	// segments, whole-segment reclamation, archive-tier compaction.
+	SegStore = storage.SegStore
+	// SegOptions configures OpenSegStore.
+	SegOptions = storage.SegOptions
+	// ArchiveTier is the write-once cold tier compaction migrates
+	// fully-stable segments into.
+	ArchiveTier = storage.ArchiveTier
+	// StoreUsage reports a store's disk footprint.
+	StoreUsage = storage.Usage
+	// Archive is the file-backed ArchiveTier implementation (append
+	// forest per client over a shared data log).
+	Archive = retention.Archive
+	// Compactor reclaims segments in the background, paced off the
+	// force-latency histogram.
+	Compactor = retention.Compactor
+	// CompactorConfig configures NewCompactor.
+	CompactorConfig = retention.CompactorConfig
+)
+
+// OpenSegStore opens (or recovers) a segmented store rooted at dir.
+func OpenSegStore(dir string, opts SegOptions) (*SegStore, error) {
+	return storage.OpenSegStore(dir, opts)
+}
+
+// OpenArchive opens (or recovers) a write-once archive tier at dir.
+func OpenArchive(dir string) (*Archive, error) { return retention.OpenArchive(dir) }
+
+// NewCompactor starts a background compactor; Stop shuts it down.
+func NewCompactor(cfg CompactorConfig) *Compactor { return retention.NewCompactor(cfg) }
 
 // DefaultDiskGeometry returns the slow-disk model used in the paper's
 // capacity analysis.

@@ -16,6 +16,7 @@ const (
 	mReadCacheMisses = "client.read_cache_misses"
 	mFailovers       = "client.failovers"
 	mMigrations      = "client.migrations"
+	mCheckpoints     = "client.checkpoints"
 	mResends         = "client.resends"
 	mWaiterAcks      = "client.force.acks"
 	mWaiterNacks     = "client.force.nacks"
@@ -59,6 +60,7 @@ type clientMetrics struct {
 	readCacheMisses *telemetry.Counter
 	failovers       *telemetry.Counter
 	migrations      *telemetry.Counter
+	checkpoints     *telemetry.Counter
 	resends         *telemetry.Counter
 
 	waiterAcks     *telemetry.Counter
@@ -115,6 +117,7 @@ func newClientMetrics(reg *telemetry.Registry, node string) *clientMetrics {
 		readCacheMisses: reg.Counter(mReadCacheMisses),
 		failovers:       reg.Counter(mFailovers),
 		migrations:      reg.Counter(mMigrations),
+		checkpoints:     reg.Counter(mCheckpoints),
 		resends:         reg.Counter(mResends),
 		waiterAcks:      reg.Counter(mWaiterAcks),
 		waiterNacks:     reg.Counter(mWaiterNacks),

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"distlog/internal/record"
+	"distlog/internal/retention"
+	"distlog/internal/server"
+	"distlog/internal/storage"
+)
+
+// newSegCluster builds the cluster rig over segmented stores with a
+// cold archive tier instead of MemStores: tiny segments so a short
+// workload seals several, and compaction has something to migrate.
+func newSegCluster(t *testing.T, segBytes int64, names ...string) *cluster {
+	t.Helper()
+	c := newCluster(t)
+	dir := t.TempDir()
+	for _, name := range names {
+		arch, err := retention.OpenArchive(filepath.Join(dir, name, "archive"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := storage.OpenSegStore(filepath.Join(dir, name, "segs"), storage.SegOptions{
+			SegmentBytes: segBytes,
+			Archive:      arch,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { st.Close(); arch.Close() })
+		c.names = append(c.names, name)
+		c.stores[name] = st
+		c.epochs[name] = server.NewMemEpochHost()
+		c.start(name)
+	}
+	return c
+}
+
+// compactToArchive drains compaction on every store, migrating all
+// sealed segments (their live records included) into the archive tier.
+func compactToArchive(t *testing.T, c *cluster) (migrated int) {
+	t.Helper()
+	for name, st := range c.stores {
+		ss := st.(*storage.SegStore)
+		for {
+			ok, err := ss.CompactOnce()
+			if err != nil {
+				t.Fatalf("CompactOnce on %s: %v", name, err)
+			}
+			if !ok {
+				break
+			}
+			migrated++
+		}
+	}
+	return migrated
+}
+
+// TestCursorSpansHotColdBoundary is the archive round trip under the
+// cursor API: records are written through the replicated log, migrated
+// into the write-once archive tier by compaction, and then read back —
+// forward and backward — through cursors whose stream crosses the
+// hot/cold boundary without the client noticing.
+func TestCursorSpansHotColdBoundary(t *testing.T) {
+	c := newSegCluster(t, 256, "s1", "s2", "s3")
+	l := mustOpen(t, c, 1, 2)
+	defer l.Close()
+
+	written := writeForced(t, l, 80)
+	end := l.EndOfLog()
+
+	// Everything is forced, so every sealed segment is fully stable and
+	// compaction must migrate all of them, leaving only the active
+	// segment hot. 256-byte segments over 80 records guarantees seals.
+	if migrated := compactToArchive(t, c); migrated == 0 {
+		t.Fatal("no segments migrated to the archive: segments never sealed")
+	}
+	archiving := 0
+	for _, st := range c.stores {
+		if st.(*storage.SegStore).Usage().ArchivedBytes > 0 {
+			archiving++
+		}
+	}
+	if archiving < 2 {
+		t.Fatalf("only %d stores archived records, want every write-set member (N=2)", archiving)
+	}
+
+	// Forward scan from the cold start of the log across the boundary
+	// into the hot tail.
+	cur, err := l.OpenCursor(1, Forward)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for want := record.LSN(1); want <= end; want++ {
+		rec, err := cur.Next()
+		if err != nil {
+			t.Fatalf("forward Next at %d: %v", want, err)
+		}
+		if rec.LSN != want {
+			t.Fatalf("forward got LSN %d, want %d", rec.LSN, want)
+		}
+		if data, ok := written[want]; ok && (!rec.Present || string(rec.Data) != string(data)) {
+			t.Fatalf("forward LSN %d = %v, want %q", want, rec, data)
+		}
+	}
+	cur.Close()
+
+	// Backward scan — the recovery manager's shape — from the hot end
+	// down across the boundary into archived territory.
+	cur, err = l.OpenCursor(end, Backward)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	for want := end; want >= 1; want-- {
+		rec, err := cur.Next()
+		if err != nil {
+			t.Fatalf("backward Next at %d: %v", want, err)
+		}
+		if rec.LSN != want {
+			t.Fatalf("backward got LSN %d, want %d", rec.LSN, want)
+		}
+		if data, ok := written[want]; ok && (!rec.Present || string(rec.Data) != string(data)) {
+			t.Fatalf("backward LSN %d = %v, want %q", want, rec, data)
+		}
+	}
+	if _, err := cur.Next(); !errors.Is(err, ErrBeyondEnd) {
+		t.Fatalf("backward Next below 1 = %v, want ErrBeyondEnd", err)
+	}
+}
+
+// TestCheckpointTruncatesServersAndReclaimsSegments drives the full
+// Section 5.3 loop: Checkpoint writes and forces a checkpoint record,
+// advances the client truncation point, and reports it to the servers
+// (fire-and-forget TTruncatePoint); compaction then reclaims the
+// truncated segments outright instead of archiving their records.
+func TestCheckpointTruncatesServersAndReclaimsSegments(t *testing.T) {
+	c := newSegCluster(t, 256, "s1", "s2", "s3")
+	l := mustOpen(t, c, 1, 2)
+	defer l.Close()
+
+	writeForced(t, l, 60)
+
+	ckptLSN, err := l.Checkpoint([]byte("ckpt-state"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	floor := l.Truncated()
+	if floor <= 1 {
+		t.Fatalf("checkpoint did not advance the truncation point (floor %d)", floor)
+	}
+	if ckptLSN < floor {
+		t.Fatalf("checkpoint record %d below the truncation point %d: replay bound lost", ckptLSN, floor)
+	}
+
+	// The truncation reports are fire-and-forget datagrams; writing and
+	// forcing another batch afterwards guarantees the servers have long
+	// since drained them (the memnet delivers in order per pair).
+	for i := 0; i < 5; i++ {
+		if _, err := l.WriteLog([]byte(fmt.Sprintf("after-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Force(); err != nil {
+		t.Fatal(err)
+	}
+
+	compactToArchive(t, c)
+	for name, st := range c.stores {
+		ss := st.(*storage.SegStore)
+		// The servers that hold this client's records must have seen the
+		// truncation report and dropped the prefix.
+		ivs := ss.Intervals(1)
+		if len(ivs) == 0 {
+			continue // not a write-set member
+		}
+		if first := ivs[0].Low; first < floor {
+			t.Fatalf("store %s still advertises LSN %d below the reported truncation point %d", name, first, floor)
+		}
+	}
+
+	// The checkpoint record itself and everything after it still reads.
+	if _, err := l.ReadLog(ckptLSN); err != nil {
+		t.Fatalf("checkpoint record unreadable: %v", err)
+	}
+}

@@ -18,6 +18,8 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"time"
@@ -25,6 +27,7 @@ import (
 	"distlog/internal/core"
 	"distlog/internal/faultpoint"
 	"distlog/internal/record"
+	"distlog/internal/retention"
 	"distlog/internal/server"
 	"distlog/internal/sim"
 	"distlog/internal/storage"
@@ -33,6 +36,11 @@ import (
 )
 
 const clientID = record.ClientID(7)
+
+// segSegmentBytes is the segment capacity of the segmented-rig stores:
+// small enough that the audit workload (a few dozen short records)
+// seals several segments, so the retention crash points are reached.
+const segSegmentBytes = 200
 
 // traceDump is how many of the dying incarnation's trace events are
 // appended to a failure report — enough to cover the last force round
@@ -62,6 +70,13 @@ type Options struct {
 	Faults transport.Faults
 	// MaxHits caps Sweep's per-point hit-count escalation.
 	MaxHits uint64
+	// Segmented backs every server with a storage.SegStore (tiny
+	// segments, a retention.Archive cold tier) instead of a MemStore,
+	// and the workload adds checkpoint + compaction steps: the
+	// compacted-store recovery sweep. RunPoint turns it on
+	// automatically for the retention.* crash points, which are only
+	// reachable on a segmented store.
+	Segmented bool
 	// Logf, when set, receives one line per run.
 	Logf func(format string, args ...interface{})
 
@@ -82,6 +97,13 @@ func (o *Options) fillDefaults() {
 	}
 	if o.CallTimeout == 0 {
 		o.CallTimeout = 20 * time.Millisecond
+		if o.Segmented {
+			// Segmented stores fsync for real (segment seals, manifest
+			// replaces, archive publishes), so a single staging call can
+			// legitimately outlast the memnet-tuned timeout on a loaded
+			// machine.
+			o.CallTimeout = 150 * time.Millisecond
+		}
 	}
 	if o.Retries == 0 {
 		o.Retries = 1
@@ -125,6 +147,13 @@ type rig struct {
 	forceDelay time.Duration // non-zero: servers see slowForce-wrapped stores
 	epochs     map[string]*server.MemEpochHost
 
+	// Segmented mode: stores are SegStores under dir, each with its
+	// own archive; restartAll reopens them from disk so recovery
+	// exercises the manifest + segment replay path.
+	segmented bool
+	dir       string
+	archives  map[string]*retention.Archive
+
 	// reg collects LSN-lifecycle trace events from every node in the
 	// scenario; when an audit fails, the tail of the trace shows what
 	// was in flight when the armed point killed the incarnation.
@@ -135,7 +164,7 @@ type rig struct {
 	seps    map[string]transport.Endpoint
 }
 
-func newRig(o Options) *rig {
+func newRig(o Options) (*rig, error) {
 	reg := telemetry.NewRegistry()
 	reg.EnableTrace(1024)
 	r := &rig{
@@ -143,19 +172,55 @@ func newRig(o Options) *rig {
 		stores:     make(map[string]storage.Store),
 		forceDelay: o.forceDelay,
 		epochs:     make(map[string]*server.MemEpochHost),
+		segmented:  o.Segmented,
 		reg:        reg,
 		servers:    make(map[string]*server.Server),
 		seps:       make(map[string]transport.Endpoint),
+	}
+	if r.segmented {
+		dir, err := os.MkdirTemp("", "crashaudit-seg")
+		if err != nil {
+			return nil, err
+		}
+		r.dir = dir
+		r.archives = make(map[string]*retention.Archive)
 	}
 	r.net.SetTelemetry(reg)
 	for i := 0; i < o.Servers; i++ {
 		name := fmt.Sprintf("ls%d", i+1)
 		r.names = append(r.names, name)
-		r.stores[name] = storage.NewMemStore()
+		if r.segmented {
+			if err := r.openSegStore(name); err != nil {
+				r.stopAll()
+				return nil, err
+			}
+		} else {
+			r.stores[name] = storage.NewMemStore()
+		}
 		r.epochs[name] = server.NewMemEpochHost()
 		r.start(name)
 	}
-	return r
+	return r, nil
+}
+
+// openSegStore (re)opens one server's segmented store and archive from
+// its on-disk state.
+func (r *rig) openSegStore(name string) error {
+	arch, err := retention.OpenArchive(filepath.Join(r.dir, name, "archive"))
+	if err != nil {
+		return err
+	}
+	st, err := storage.OpenSegStore(filepath.Join(r.dir, name, "segs"), storage.SegOptions{
+		SegmentBytes: segSegmentBytes,
+		Archive:      arch,
+	})
+	if err != nil {
+		arch.Close()
+		return err
+	}
+	r.archives[name] = arch
+	r.stores[name] = st
+	return nil
 }
 
 func (r *rig) start(name string) {
@@ -206,17 +271,82 @@ func (r *rig) crashServers() {
 	}
 }
 
-// restartAll reboots every server over its surviving store.
-func (r *rig) restartAll() {
+// restartAll reboots every server over its surviving store. In
+// segmented mode the store itself is closed and reopened from disk —
+// a real server reboot — so the manifest, stray-segment cleanup, and
+// segment replay paths run under audit.
+func (r *rig) restartAll() error {
 	for _, name := range r.names {
 		r.stop(name)
+		if r.segmented {
+			r.stores[name].Close()
+			r.archives[name].Close()
+			if err := r.openSegStore(name); err != nil {
+				return fmt.Errorf("crashaudit: reopening segmented store %s: %w", name, err)
+			}
+		}
 		r.start(name)
+	}
+	return nil
+}
+
+// checkpointAndCompact is the segmented-mode workload step: the client
+// checkpoints (advancing its truncation point, reported to every
+// server fire-and-forget) and compaction then reclaims and archives the
+// segments the truncation freed — reaching the segment-seal,
+// archive-publish and segment-delete crash points. Skipped once the
+// armed point has fired: the dying incarnation must not keep issuing
+// calls.
+func (r *rig) checkpointAndCompact(l *core.ReplicatedLog, chk *sim.CrashChecker, pointName string) {
+	if !r.segmented || faultpoint.Fired(pointName) {
+		return
+	}
+	lsn, err := l.Checkpoint([]byte("ckpt"))
+	if err != nil || faultpoint.Fired(pointName) {
+		return
+	}
+	chk.Wrote(lsn, []byte("ckpt"))
+	chk.Forced()
+	chk.Truncated(l.Truncated())
+	r.compactAll()
+}
+
+// compactAll drives segment compaction to exhaustion on every store —
+// the rig's synchronous stand-in for the background compactor, so the
+// archive-publish and segment-delete points are reached
+// deterministically. Errors are expected: an armed retention point
+// injects them, and the next pass (or the post-recovery reopen)
+// converges.
+func (r *rig) compactAll() {
+	if !r.segmented {
+		return
+	}
+	for _, st := range r.stores {
+		cs, ok := st.(*storage.SegStore)
+		if !ok {
+			continue
+		}
+		for {
+			ok, err := cs.CompactOnce()
+			if err != nil || !ok {
+				break
+			}
+		}
 	}
 }
 
 func (r *rig) stopAll() {
 	for _, name := range r.names {
 		r.stop(name)
+	}
+	if r.segmented {
+		for _, st := range r.stores {
+			st.Close()
+		}
+		for _, a := range r.archives {
+			a.Close()
+		}
+		os.RemoveAll(r.dir)
 	}
 }
 
@@ -252,7 +382,9 @@ func kindOf(point string) int {
 	switch {
 	case strings.HasPrefix(point, "client."), strings.HasPrefix(point, "core."):
 		return kindClient
-	case point == storage.FPInstallPartial:
+	case point == storage.FPInstallPartial,
+		point == storage.FPArchivePublish,
+		point == storage.FPSegmentDelete:
 		return kindInject
 	default:
 		return kindServers
@@ -360,6 +492,16 @@ func runAuxForcer(r *rig, o Options, id record.ClientID, pointName string, stop 
 // scenario still ends with a clean recovery audit) and the first
 // invariant violation found.
 func RunPoint(o Options, pointName string, hitN uint64) (fired bool, err error) {
+	if strings.HasPrefix(pointName, "retention.") {
+		// The retention points only exist on a segmented store. Set
+		// this before the defaults so the segmented timeout applies,
+		// and floor a caller-supplied memnet-tuned timeout the same
+		// way (Sweep fills defaults once for all points).
+		o.Segmented = true
+		if o.CallTimeout != 0 && o.CallTimeout < 150*time.Millisecond {
+			o.CallTimeout = 150 * time.Millisecond
+		}
+	}
 	o.fillDefaults()
 	faultpoint.Reset()
 	defer faultpoint.Reset()
@@ -370,7 +512,10 @@ func RunPoint(o Options, pointName string, hitN uint64) (fired bool, err error) 
 		// stretch every force so the auxiliary forcers below overlap.
 		o.forceDelay = 2 * time.Millisecond
 	}
-	r := newRig(o)
+	r, err := newRig(o)
+	if err != nil {
+		return false, fmt.Errorf("crashaudit: rig setup: %w", err)
+	}
 	defer r.stopAll()
 	chk := sim.NewCrashChecker(o.Delta)
 
@@ -431,6 +576,7 @@ func RunPoint(o Options, pointName string, hitN uint64) (fired bool, err error) 
 		w2.write(3, "w2a")
 		w2.force()
 		w2.scan()
+		r.checkpointAndCompact(l2, chk, pointName)
 		// Migrate the write set onto the spare server with an unforced
 		// tail outstanding: the tail must drain onto the new interval via
 		// the closing force, or — when the armed point is one of the
@@ -474,6 +620,7 @@ func RunPoint(o Options, pointName string, hitN uint64) (fired bool, err error) 
 		w2.write(3, "w2c")
 		w2.force()
 		w2.scan()
+		r.checkpointAndCompact(l2, chk, pointName)
 		w2.write(2, "w2d") // unforced tail again
 		r.net.SetFaults(transport.Faults{})
 		if auxStop != nil {
@@ -499,7 +646,9 @@ func RunPoint(o Options, pointName string, hitN uint64) (fired bool, err error) 
 
 	// Recovery: heal the network, reboot every server over its
 	// surviving store, and audit a fresh incarnation.
-	r.restartAll()
+	if err := r.restartAll(); err != nil {
+		return fired, fail(err, "server reboot")
+	}
 	ep3 := r.clientEndpoint()
 	l3, err := openLog(r, o, ep3)
 	if err != nil {
@@ -528,7 +677,9 @@ func RunPoint(o Options, pointName string, hitN uint64) (fired bool, err error) 
 	ep3.Close()
 	l3.Close()
 	chk.Crashed()
-	r.restartAll()
+	if err := r.restartAll(); err != nil {
+		return fired, fail(err, "final server reboot")
+	}
 	l4, err := openLog(r, o, r.clientEndpoint())
 	if err != nil {
 		return fired, fail(err, "final open")

@@ -44,6 +44,16 @@ type prefixTruncator interface {
 	TruncatePrefix(before record.LSN) error
 }
 
+// checkpointWriter is the richer checkpoint capability the engine
+// prefers over prefixTruncator; *core.ReplicatedLog implements it. One
+// call writes and forces the checkpoint record and advances the
+// truncation point, reporting it to the log servers with asynchronous
+// truncation-report messages instead of a synchronous truncate RPC per
+// server — a checkpoint never stalls on an unreachable server.
+type checkpointWriter interface {
+	Checkpoint(data []byte) (record.LSN, error)
+}
+
 // forceCoalescer is the optional log capability behind
 // ForceRoundStats; *core.ReplicatedLog implements it. Concurrent
 // committers share force rounds (group commit), so rounds < forces
@@ -445,6 +455,19 @@ func (e *Engine) Checkpoint() error {
 	e.stats.Checkpoints++
 	e.mu.Unlock()
 
+	if e.opts.TruncateOnCheckpoint {
+		if cw, ok := e.log.(checkpointWriter); ok {
+			data := (&logRec{op: opCheckpoint}).encode()
+			if _, err := cw.Checkpoint(data); err != nil {
+				return fmt.Errorf("recman: checkpoint: %w", err)
+			}
+			e.mu.Lock()
+			e.stats.LogRecords++
+			e.stats.LogBytes += uint64(len(data))
+			e.mu.Unlock()
+			return nil
+		}
+	}
 	ckptLSN, err := e.appendLog(&logRec{op: opCheckpoint})
 	if err != nil {
 		return err

@@ -1,0 +1,163 @@
+package recman
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"distlog/internal/core"
+	"distlog/internal/record"
+	"distlog/internal/retention"
+	"distlog/internal/server"
+	"distlog/internal/storage"
+	"distlog/internal/transport"
+	"distlog/internal/workload"
+)
+
+// openSegReplicated starts a 3-server memnet cluster over segmented
+// stores with a cold archive tier and opens a replicated log over it.
+func openSegReplicated(t *testing.T, id record.ClientID, segBytes int64) (*core.ReplicatedLog, []*storage.SegStore) {
+	t.Helper()
+	net := transport.NewNetwork(7)
+	dir := t.TempDir()
+	names := []string{"r1", "r2", "r3"}
+	var stores []*storage.SegStore
+	for _, name := range names {
+		arch, err := retention.OpenArchive(filepath.Join(dir, name, "archive"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := storage.OpenSegStore(filepath.Join(dir, name, "segs"), storage.SegOptions{
+			SegmentBytes: segBytes,
+			Archive:      arch,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { st.Close(); arch.Close() })
+		stores = append(stores, st)
+		srv := server.New(server.Config{
+			Name:     name,
+			Store:    st,
+			Endpoint: net.Endpoint(name),
+			Epochs:   server.NewMemEpochHost(),
+		})
+		srv.Start()
+		t.Cleanup(srv.Stop)
+	}
+	l, err := core.Open(core.Config{
+		ClientID:    id,
+		Servers:     names,
+		N:           2,
+		Endpoint:    net.Endpoint(fmt.Sprintf("client-%d", id)),
+		CallTimeout: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l, stores
+}
+
+// TestSoakET1WeekDiskPlateau is the log-space-management soak of
+// Section 5.3: an ET1 transaction stream with periodic sharp
+// checkpoints runs for a simulated week over segmented stores with
+// background compactors, and the online (hot-segment) disk footprint
+// must plateau — reclamation keeps pace with the log stream — while
+// the checkpoints keep the recovery replay window bounded.
+//
+// The default run is a miniature week sized for CI; `make soak`
+// (DISTLOG_SOAK=1) runs the full-scale version.
+func TestSoakET1WeekDiskPlateau(t *testing.T) {
+	days, txnsPerDay := 7, 60
+	if os.Getenv("DISTLOG_SOAK") != "" {
+		txnsPerDay = 2000
+	}
+
+	l, stores := openSegReplicated(t, 1, 4096)
+
+	// One background compactor per store, ticking fast so reclamation
+	// interleaves with the workload the way the daemon's would.
+	for _, st := range stores {
+		comp := retention.NewCompactor(retention.CompactorConfig{
+			Store:    st,
+			Interval: time.Millisecond,
+		})
+		t.Cleanup(comp.Stop)
+	}
+
+	stable := NewStableStore()
+	eng, err := Open(l, stable, Options{
+		CheckpointEvery:      40,
+		TruncateOnCheckpoint: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	hotBytes := func() (hot int64) {
+		for _, st := range stores {
+			u := st.Usage()
+			hot += u.LiveBytes + u.ReclaimableBytes
+		}
+		return hot
+	}
+
+	gen := workload.NewET1(workload.ET1Scale{Branches: 2, Tellers: 4, Accounts: 100}, 99)
+	var dayEnd []int64
+	for day := 0; day < days; day++ {
+		for i := 0; i < txnsPerDay; i++ {
+			if _, err := ApplyET1(eng, gen.Next()); err != nil {
+				t.Fatalf("day %d txn %d: %v", day, i, err)
+			}
+		}
+		// Day boundary: an explicit checkpoint (the nightly one), then
+		// let the compactors drain what it freed.
+		if err := eng.Checkpoint(); err != nil {
+			t.Fatalf("day %d checkpoint: %v", day, err)
+		}
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			before := hotBytes()
+			time.Sleep(5 * time.Millisecond)
+			if hotBytes() == before || time.Now().After(deadline) {
+				break
+			}
+		}
+		dayEnd = append(dayEnd, hotBytes())
+		t.Logf("day %d: hot=%dB", day, dayEnd[day])
+	}
+
+	// Plateau: the hot footprint at the end of the week must not have
+	// grown past a small multiple of its day-0 value. (The archive tier
+	// grows by design — it is the spooled write-once media of Section
+	// 5.3 — so only online segment bytes are bounded.)
+	if dayEnd[days-1] > 3*dayEnd[0] {
+		t.Fatalf("hot disk footprint grew across the week: day0=%dB day%d=%dB (no plateau)",
+			dayEnd[0], days-1, dayEnd[days-1])
+	}
+	// And reclamation really happened: the log volume written dwarfs
+	// what remains online.
+	written := int64(eng.Stats().LogBytes)
+	if written < 5*dayEnd[days-1] {
+		t.Fatalf("workload too small to demonstrate reclamation: wrote %dB, hot %dB", written, dayEnd[days-1])
+	}
+
+	// Checkpoint-bounded recovery: the truncation point tracks the end
+	// of the log, so a restart replays a bounded tail, not the week.
+	end, floor := l.EndOfLog(), l.Truncated()
+	if floor == 0 || end-floor > record.LSN(10*40+50) {
+		t.Fatalf("replay window not bounded by checkpoints: end=%d floor=%d (window %d)", end, floor, end-floor)
+	}
+
+	// The recovered engine must come up from the checkpoint and commit.
+	eng2, err := Open(l, stable, Options{TruncateOnCheckpoint: true})
+	if err != nil {
+		t.Fatalf("post-week recovery: %v", err)
+	}
+	if _, err := ApplyET1(eng2, gen.Next()); err != nil {
+		t.Fatalf("post-recovery transaction: %v", err)
+	}
+}

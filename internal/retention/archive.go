@@ -1,0 +1,417 @@
+// Package retention is the log space management subsystem of Section
+// 5.3: a write-once archive tier that cold log records migrate into
+// (built on the Section 4.3 append-forest in its persistent, one-node-
+// per-append representation), and a background compactor that drives
+// storage.SegStore reclamation while pacing itself off the force-path
+// latency so space management never blows the commit path's tail.
+package retention
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"distlog/internal/appendforest"
+	"distlog/internal/record"
+)
+
+// Archive implements storage.ArchiveTier over a directory:
+//
+//	archive.log        the records themselves, framed and checksummed
+//	forest-<id>.af     per-client persistent append-forest nodes,
+//	                   keyed by LSN, payload = frame offset in archive.log
+//	overlay.log        fix-ups for LSNs re-archived at a higher epoch
+//	                   (forest keys are write-once and strictly
+//	                   increasing, so a revisit appends here instead)
+//
+// Everything is append-only: nothing in the directory is ever
+// overwritten, matching the write-once optical volumes the paper
+// spools old log generations to. All methods are safe for concurrent
+// use.
+type Archive struct {
+	mu      sync.Mutex
+	dir     string
+	data    *os.File
+	dataLen int64
+	forests map[record.ClientID]*clientForest
+	overlay *os.File
+	// overlays maps re-archived LSNs to their newest frame; consulted
+	// before the forest on lookup.
+	overlays  map[overlayKey]overlayRef
+	nodeBytes int64
+	closed    bool
+}
+
+type clientForest struct {
+	store  *appendforest.FileNodeStore
+	forest *appendforest.PersistentForest
+}
+
+type overlayKey struct {
+	client record.ClientID
+	lsn    record.LSN
+}
+
+type overlayRef struct {
+	epoch record.Epoch
+	off   int64
+}
+
+const (
+	archiveDataName    = "archive.log"
+	archiveOverlayName = "overlay.log"
+
+	// data frame: payload length u32 | client u64 | record | crc32 of
+	// the payload (client + record).
+	dataFrameOverhead = 4 + 4
+
+	// overlay frame: client u64 | lsn u64 | epoch u64 | offset u64 |
+	// crc32.
+	overlayFrameSize = 8*4 + 4
+)
+
+func forestName(c record.ClientID) string {
+	return fmt.Sprintf("forest-%020d.af", uint64(c))
+}
+
+// OpenArchive opens (creating if needed) an archive directory. Torn
+// tails in the data and overlay logs — a crash mid-append — are
+// discarded: a frame not fully written was never referenced by a
+// forest node or acknowledged by Sync.
+func OpenArchive(dir string) (*Archive, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	a := &Archive{
+		dir:      dir,
+		forests:  make(map[record.ClientID]*clientForest),
+		overlays: make(map[overlayKey]overlayRef),
+	}
+	data, err := os.OpenFile(filepath.Join(dir, archiveDataName), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	a.data = data
+	if a.dataLen, err = scanDataLog(data); err != nil {
+		data.Close()
+		return nil, err
+	}
+	if err := data.Truncate(a.dataLen); err != nil {
+		data.Close()
+		return nil, err
+	}
+
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		a.Close()
+		return nil, err
+	}
+	for _, de := range des {
+		var id uint64
+		if n, _ := fmt.Sscanf(de.Name(), "forest-%d.af", &id); n != 1 {
+			continue
+		}
+		if err := a.openForest(record.ClientID(id)); err != nil {
+			a.Close()
+			return nil, err
+		}
+	}
+
+	overlay, err := os.OpenFile(filepath.Join(dir, archiveOverlayName), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		a.Close()
+		return nil, err
+	}
+	a.overlay = overlay
+	if err := a.loadOverlay(); err != nil {
+		a.Close()
+		return nil, err
+	}
+	return a, nil
+}
+
+// scanDataLog walks the frames and returns the offset of the first
+// invalid one (the valid length).
+func scanDataLog(f *os.File) (int64, error) {
+	info, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	size := info.Size()
+	buf := make([]byte, size)
+	if size > 0 {
+		if _, err := f.ReadAt(buf, 0); err != nil {
+			return 0, err
+		}
+	}
+	off := int64(0)
+	for off < size {
+		if _, n, err := decodeDataFrame(buf[off:]); err != nil {
+			break
+		} else {
+			off += int64(n)
+		}
+	}
+	return off, nil
+}
+
+func (a *Archive) openForest(c record.ClientID) error {
+	if a.forests[c] != nil {
+		return nil
+	}
+	store, err := appendforest.OpenFileNodeStore(filepath.Join(a.dir, forestName(c)))
+	if err != nil {
+		return err
+	}
+	forest, err := appendforest.OpenPersistent(store)
+	if err != nil {
+		store.Close()
+		return err
+	}
+	a.forests[c] = &clientForest{store: store, forest: forest}
+	a.nodeBytes += forest.Len() * appendforest.NodeSize
+	return nil
+}
+
+func (a *Archive) loadOverlay() error {
+	info, err := a.overlay.Stat()
+	if err != nil {
+		return err
+	}
+	size := info.Size()
+	buf := make([]byte, size)
+	if size > 0 {
+		if _, err := a.overlay.ReadAt(buf, 0); err != nil {
+			return err
+		}
+	}
+	off := int64(0)
+	for off+overlayFrameSize <= size {
+		fr := buf[off : off+overlayFrameSize]
+		if crc32.ChecksumIEEE(fr[:overlayFrameSize-4]) != binary.BigEndian.Uint32(fr[overlayFrameSize-4:]) {
+			break
+		}
+		k := overlayKey{
+			client: record.ClientID(binary.BigEndian.Uint64(fr[0:])),
+			lsn:    record.LSN(binary.BigEndian.Uint64(fr[8:])),
+		}
+		ref := overlayRef{
+			epoch: record.Epoch(binary.BigEndian.Uint64(fr[16:])),
+			off:   int64(binary.BigEndian.Uint64(fr[24:])),
+		}
+		if old, ok := a.overlays[k]; !ok || ref.epoch >= old.epoch {
+			a.overlays[k] = ref
+		}
+		off += overlayFrameSize
+	}
+	return a.overlay.Truncate(off)
+}
+
+func encodeDataFrame(buf []byte, c record.ClientID, rec record.Record) []byte {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(c))
+	buf = rec.AppendEncode(buf)
+	payload := buf[start+4:]
+	binary.BigEndian.PutUint32(buf[start:], uint32(len(payload)))
+	return binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
+}
+
+func decodeDataFrame(buf []byte) (struct {
+	c   record.ClientID
+	rec record.Record
+}, int, error) {
+	var out struct {
+		c   record.ClientID
+		rec record.Record
+	}
+	if len(buf) < dataFrameOverhead+8 {
+		return out, 0, errors.New("retention: truncated data frame")
+	}
+	plen := int(binary.BigEndian.Uint32(buf))
+	total := 4 + plen + 4
+	if plen < 8 || len(buf) < total {
+		return out, 0, errors.New("retention: truncated data frame")
+	}
+	payload := buf[4 : 4+plen]
+	if crc32.ChecksumIEEE(payload) != binary.BigEndian.Uint32(buf[4+plen:]) {
+		return out, 0, errors.New("retention: data frame checksum mismatch")
+	}
+	out.c = record.ClientID(binary.BigEndian.Uint64(payload))
+	rec, n, err := record.DecodeRecord(payload[8:])
+	if err != nil {
+		return out, 0, err
+	}
+	if n != plen-8 {
+		return out, 0, errors.New("retention: data frame length mismatch")
+	}
+	out.rec = rec
+	return out, total, nil
+}
+
+// Archive implements storage.ArchiveTier: store one record. Idempotent
+// — an (LSN, epoch) already archived is a no-op, and a higher epoch
+// for an archived LSN supersedes the older copy via the overlay.
+func (a *Archive) Archive(c record.ClientID, rec record.Record) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed {
+		return ErrClosed
+	}
+	existing, ok, err := a.lookupLocked(c, rec.LSN)
+	if err != nil {
+		return err
+	}
+	if ok && existing.Epoch >= rec.Epoch {
+		return nil
+	}
+	frame := encodeDataFrame(nil, c, rec)
+	off := a.dataLen
+	if _, err := a.data.WriteAt(frame, off); err != nil {
+		return err
+	}
+	a.dataLen += int64(len(frame))
+
+	if err := a.openForest(c); err != nil {
+		return err
+	}
+	cf := a.forests[c]
+	if err := cf.forest.Append(uint64(rec.LSN), off); err == nil {
+		a.nodeBytes += appendforest.NodeSize
+		return nil
+	} else if !errors.Is(err, appendforest.ErrKeyOrder) {
+		return err
+	}
+	// The LSN revisits a forest position (a recovery copy at a higher
+	// epoch): the forest is write-once, so the fix-up goes to the
+	// overlay log.
+	var fr [overlayFrameSize]byte
+	binary.BigEndian.PutUint64(fr[0:], uint64(c))
+	binary.BigEndian.PutUint64(fr[8:], uint64(rec.LSN))
+	binary.BigEndian.PutUint64(fr[16:], uint64(rec.Epoch))
+	binary.BigEndian.PutUint64(fr[24:], uint64(off))
+	binary.BigEndian.PutUint32(fr[overlayFrameSize-4:], crc32.ChecksumIEEE(fr[:overlayFrameSize-4]))
+	oinfo, err := a.overlay.Stat()
+	if err != nil {
+		return err
+	}
+	if _, err := a.overlay.WriteAt(fr[:], oinfo.Size()); err != nil {
+		return err
+	}
+	a.overlays[overlayKey{c, rec.LSN}] = overlayRef{epoch: rec.Epoch, off: off}
+	return nil
+}
+
+// Sync implements storage.ArchiveTier: make all preceding Archive
+// calls durable.
+func (a *Archive) Sync() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed {
+		return ErrClosed
+	}
+	if err := a.data.Sync(); err != nil {
+		return err
+	}
+	for _, cf := range a.forests {
+		if err := cf.store.Sync(); err != nil {
+			return err
+		}
+	}
+	return a.overlay.Sync()
+}
+
+// Lookup implements storage.ArchiveTier: the archived record with the
+// highest epoch for the LSN.
+func (a *Archive) Lookup(c record.ClientID, lsn record.LSN) (record.Record, bool, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed {
+		return record.Record{}, false, ErrClosed
+	}
+	return a.lookupLocked(c, lsn)
+}
+
+func (a *Archive) lookupLocked(c record.ClientID, lsn record.LSN) (record.Record, bool, error) {
+	if ref, ok := a.overlays[overlayKey{c, lsn}]; ok {
+		rec, err := a.readFrame(ref.off, c, lsn)
+		return rec, err == nil, err
+	}
+	cf := a.forests[c]
+	if cf == nil {
+		return record.Record{}, false, nil
+	}
+	off, ok, err := cf.forest.Lookup(uint64(lsn))
+	if err != nil || !ok {
+		return record.Record{}, false, err
+	}
+	rec, err := a.readFrame(off, c, lsn)
+	return rec, err == nil, err
+}
+
+func (a *Archive) readFrame(off int64, c record.ClientID, lsn record.LSN) (record.Record, error) {
+	var hdr [4]byte
+	if _, err := a.data.ReadAt(hdr[:], off); err != nil {
+		return record.Record{}, err
+	}
+	plen := int(binary.BigEndian.Uint32(hdr[:]))
+	buf := make([]byte, 4+plen+4)
+	if _, err := a.data.ReadAt(buf, off); err != nil {
+		return record.Record{}, err
+	}
+	fr, _, err := decodeDataFrame(buf)
+	if err != nil {
+		return record.Record{}, err
+	}
+	if fr.c != c || fr.rec.LSN != lsn {
+		return record.Record{}, fmt.Errorf("retention: frame at %d holds (%d,%d), want (%d,%d)", off, fr.c, fr.rec.LSN, c, lsn)
+	}
+	return fr.rec, nil
+}
+
+// Bytes implements storage.ArchiveTier: the archive's stored size
+// (data log + forest nodes + overlay).
+func (a *Archive) Bytes() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.dataLen + a.nodeBytes + int64(len(a.overlays))*overlayFrameSize
+}
+
+// Clients lists the clients with archived records.
+func (a *Archive) Clients() []record.ClientID {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]record.ClientID, 0, len(a.forests))
+	for c := range a.forests {
+		out = append(out, c)
+	}
+	return out
+}
+
+// Close releases the archive's files.
+func (a *Archive) Close() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed {
+		return nil
+	}
+	a.closed = true
+	var errs []error
+	if a.data != nil {
+		errs = append(errs, a.data.Close())
+	}
+	for _, cf := range a.forests {
+		errs = append(errs, cf.store.Close())
+	}
+	if a.overlay != nil {
+		errs = append(errs, a.overlay.Close())
+	}
+	return errors.Join(errs...)
+}
+
+// ErrClosed is returned after Close.
+var ErrClosed = errors.New("retention: archive is closed")

@@ -1,0 +1,144 @@
+package retention
+
+import (
+	"sync"
+	"time"
+
+	"distlog/internal/telemetry"
+)
+
+// Compactable is the store surface the compactor drives (implemented
+// by storage.SegStore).
+type Compactable interface {
+	// CompactOnce reclaims at most one segment, reporting whether it
+	// did.
+	CompactOnce() (bool, error)
+}
+
+// CompactorConfig configures a background Compactor.
+type CompactorConfig struct {
+	// Store is the segmented store to reclaim space from.
+	Store Compactable
+	// Interval is the pause between compaction attempts (default 1s).
+	Interval time.Duration
+	// ForceHist, when set, paces compaction off the force path: before
+	// each attempt the compactor snapshots the histogram, diffs it
+	// against the previous tick, and backs off when the interval p99
+	// exceeds ForceP99Budget. Typically the storage force-latency
+	// histogram (storage.<backend>.force_latency_ns).
+	ForceHist *telemetry.Histogram
+	// ForceP99Budget is the interval force p99 (in the histogram's
+	// unit, nanoseconds for the storage instruments) above which
+	// compaction yields to the foreground. Zero disables pacing.
+	ForceP99Budget uint64
+	// Backoff is how long a paced-out compactor waits before looking
+	// again (default 4×Interval).
+	Backoff time.Duration
+	// OnError, when set, observes compaction errors (the loop keeps
+	// running: a failed pass retries idempotently on the next tick).
+	OnError func(error)
+}
+
+// Compactor runs segment compaction in the background, yielding to the
+// force path whenever the foreground latency budget is threatened
+// (Section 5.3: space management must never interfere with logging).
+type Compactor struct {
+	cfg  CompactorConfig
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+
+	mu        sync.Mutex
+	prev      telemetry.HistogramSnapshot
+	reclaimed uint64
+	deferred  uint64
+}
+
+// NewCompactor starts a compactor; Stop shuts it down.
+func NewCompactor(cfg CompactorConfig) *Compactor {
+	if cfg.Interval <= 0 {
+		cfg.Interval = time.Second
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 4 * cfg.Interval
+	}
+	c := &Compactor{cfg: cfg, stop: make(chan struct{}), done: make(chan struct{})}
+	if cfg.ForceHist != nil {
+		c.prev = cfg.ForceHist.Snapshot()
+	}
+	go c.run()
+	return c
+}
+
+func (c *Compactor) run() {
+	defer close(c.done)
+	timer := time.NewTimer(c.cfg.Interval)
+	defer timer.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-timer.C:
+		}
+		timer.Reset(c.step())
+	}
+}
+
+// step runs one compaction attempt (or defers it) and returns the
+// delay until the next.
+func (c *Compactor) step() time.Duration {
+	if !c.admit() {
+		c.mu.Lock()
+		c.deferred++
+		c.mu.Unlock()
+		return c.cfg.Backoff
+	}
+	ok, err := c.cfg.Store.CompactOnce()
+	if err != nil {
+		if c.cfg.OnError != nil {
+			c.cfg.OnError(err)
+		}
+		return c.cfg.Backoff
+	}
+	if ok {
+		c.mu.Lock()
+		c.reclaimed++
+		c.mu.Unlock()
+		// More to do: keep going at full tick rate.
+		return c.cfg.Interval
+	}
+	return c.cfg.Interval
+}
+
+// admit decides whether the force path can afford a compaction pass
+// right now: the p99 of force latencies observed since the previous
+// tick must be inside the budget.
+func (c *Compactor) admit() bool {
+	if c.cfg.ForceHist == nil || c.cfg.ForceP99Budget == 0 {
+		return true
+	}
+	snap := c.cfg.ForceHist.Snapshot()
+	c.mu.Lock()
+	delta := snap.Sub(c.prev)
+	c.prev = snap
+	c.mu.Unlock()
+	if delta.Count == 0 {
+		// Idle force path: compact freely.
+		return true
+	}
+	return delta.Quantile(0.99) <= c.cfg.ForceP99Budget
+}
+
+// Stats reports how many segments the compactor reclaimed and how many
+// passes pacing deferred.
+func (c *Compactor) Stats() (reclaimed, deferred uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.reclaimed, c.deferred
+}
+
+// Stop shuts the compactor down and waits for the in-flight pass.
+func (c *Compactor) Stop() {
+	c.once.Do(func() { close(c.stop) })
+	<-c.done
+}

@@ -1,0 +1,276 @@
+package retention
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"distlog/internal/record"
+	"distlog/internal/storage"
+	"distlog/internal/telemetry"
+)
+
+var _ storage.ArchiveTier = (*Archive)(nil)
+
+func rec(lsn record.LSN, epoch record.Epoch, data string) record.Record {
+	return record.Record{LSN: lsn, Epoch: epoch, Present: true, Data: []byte(data)}
+}
+
+func TestArchiveRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	a, err := OpenArchive(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const c = record.ClientID(7)
+	for i := 1; i <= 100; i++ {
+		if err := a.Archive(c, rec(record.LSN(i), 1, fmt.Sprintf("archived-%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	check := func(a *Archive) {
+		t.Helper()
+		for i := 1; i <= 100; i++ {
+			got, ok, err := a.Lookup(c, record.LSN(i))
+			if err != nil || !ok {
+				t.Fatalf("Lookup(%d) = %v, %v", i, ok, err)
+			}
+			if string(got.Data) != fmt.Sprintf("archived-%03d", i) {
+				t.Fatalf("Lookup(%d) = %q", i, got.Data)
+			}
+		}
+		if _, ok, _ := a.Lookup(c, 101); ok {
+			t.Fatal("Lookup(101) found a record never archived")
+		}
+		if _, ok, _ := a.Lookup(record.ClientID(99), 1); ok {
+			t.Fatal("Lookup found a record for an unknown client")
+		}
+	}
+	check(a)
+	if a.Bytes() == 0 {
+		t.Fatal("Bytes() = 0 after archiving")
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen: the forest recovers by scanning its node log.
+	a, err = OpenArchive(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	check(a)
+}
+
+func TestArchiveIdempotentAndEpochSupersede(t *testing.T) {
+	dir := t.TempDir()
+	a, err := OpenArchive(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const c = record.ClientID(2)
+	for i := 1; i <= 10; i++ {
+		if err := a.Archive(c, rec(record.LSN(i), 1, fmt.Sprintf("v1-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sizeBefore := a.Bytes()
+	// Re-archiving the same records (a compaction retried after a
+	// crash) must not grow the archive.
+	for i := 1; i <= 10; i++ {
+		if err := a.Archive(c, rec(record.LSN(i), 1, fmt.Sprintf("v1-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.Bytes() != sizeBefore {
+		t.Fatalf("idempotent re-archive grew the archive: %d -> %d", sizeBefore, a.Bytes())
+	}
+	// A recovery copy at a higher epoch supersedes, via the overlay
+	// (the write-once forest cannot be edited).
+	if err := a.Archive(c, rec(5, 3, "v3-5")); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := a.Lookup(c, 5)
+	if err != nil || !ok || string(got.Data) != "v3-5" || got.Epoch != 3 {
+		t.Fatalf("Lookup(5) = %v, %v, %v", got, ok, err)
+	}
+	// A stale lower epoch arriving later is ignored.
+	if err := a.Archive(c, rec(5, 2, "v2-5")); err != nil {
+		t.Fatal(err)
+	}
+	got, _, _ = a.Lookup(c, 5)
+	if got.Epoch != 3 {
+		t.Fatalf("stale epoch resurfaced: %v", got)
+	}
+	// The overlay survives reopen.
+	a.Sync()
+	a.Close()
+	a, err = OpenArchive(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	got, ok, err = a.Lookup(c, 5)
+	if err != nil || !ok || string(got.Data) != "v3-5" {
+		t.Fatalf("after reopen Lookup(5) = %v, %v, %v", got, ok, err)
+	}
+}
+
+func TestArchiveTornTailsDiscarded(t *testing.T) {
+	dir := t.TempDir()
+	a, err := OpenArchive(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const c = record.ClientID(4)
+	for i := 1; i <= 5; i++ {
+		if err := a.Archive(c, rec(record.LSN(i), 1, "x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a.Sync()
+	a.Close()
+
+	// Tear bytes off the data log: the last frame becomes invalid, but
+	// earlier frames (and the forest nodes pointing at them) survive.
+	// The forest node for the torn frame was written too, so reopening
+	// must not serve it — tear the node file's tail as well, as a crash
+	// mid-archive would leave it.
+	dataPath := filepath.Join(dir, archiveDataName)
+	info, err := os.Stat(dataPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(dataPath, info.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+	forestPath := filepath.Join(dir, forestName(c))
+	finfo, err := os.Stat(forestPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(forestPath, finfo.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	a, err = OpenArchive(dir)
+	if err != nil {
+		t.Fatalf("reopen with torn tails: %v", err)
+	}
+	defer a.Close()
+	for i := 1; i <= 4; i++ {
+		if _, ok, err := a.Lookup(c, record.LSN(i)); !ok || err != nil {
+			t.Fatalf("Lookup(%d) = %v, %v after torn-tail recovery", i, ok, err)
+		}
+	}
+	// Record 5 is gone; re-archiving it (the compaction retry) works.
+	if _, ok, _ := a.Lookup(c, 5); ok {
+		t.Fatal("torn record still served")
+	}
+	if err := a.Archive(c, rec(5, 1, "x")); err != nil {
+		t.Fatalf("re-archive after torn tail: %v", err)
+	}
+	if _, ok, _ := a.Lookup(c, 5); !ok {
+		t.Fatal("re-archived record not served")
+	}
+}
+
+// fakeStore counts CompactOnce calls.
+type fakeStore struct {
+	mu    sync.Mutex
+	calls int
+	left  int
+}
+
+func (f *fakeStore) CompactOnce() (bool, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.calls++
+	if f.left > 0 {
+		f.left--
+		return true, nil
+	}
+	return false, nil
+}
+
+func (f *fakeStore) count() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls
+}
+
+func TestCompactorDrainsStore(t *testing.T) {
+	fs := &fakeStore{left: 5}
+	c := NewCompactor(CompactorConfig{Store: fs, Interval: time.Millisecond})
+	defer c.Stop()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		reclaimed, _ := c.Stats()
+		if reclaimed >= 5 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("compactor reclaimed %d of 5 segments", reclaimed)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestCompactorPacedByForceLatency(t *testing.T) {
+	hist := telemetry.NewRegistry().Histogram("force")
+	fs := &fakeStore{left: 1 << 30}
+	c := NewCompactor(CompactorConfig{
+		Store:          fs,
+		Interval:       time.Millisecond,
+		Backoff:        2 * time.Millisecond,
+		ForceHist:      hist,
+		ForceP99Budget: 1000,
+	})
+	defer c.Stop()
+
+	// Feed the histogram with over-budget force latencies: the
+	// compactor must stop passing work to the store.
+	stopFeed := make(chan struct{})
+	var feedWG sync.WaitGroup
+	feedWG.Add(1)
+	go func() {
+		defer feedWG.Done()
+		for {
+			select {
+			case <-stopFeed:
+				return
+			default:
+				hist.Observe(100000)
+				time.Sleep(100 * time.Microsecond)
+			}
+		}
+	}()
+
+	// Let the pacer see the hot histogram for a few ticks.
+	time.Sleep(20 * time.Millisecond)
+	before := fs.count()
+	time.Sleep(50 * time.Millisecond)
+	paced := fs.count() - before
+	_, deferred := c.Stats()
+	if deferred == 0 {
+		t.Fatalf("no pass was deferred under an over-budget force path (passes in window: %d)", paced)
+	}
+
+	// Quiet force path: compaction resumes at full rate.
+	close(stopFeed)
+	feedWG.Wait()
+	// One more snapshot cycle flushes the last hot delta.
+	time.Sleep(20 * time.Millisecond)
+	before = fs.count()
+	time.Sleep(50 * time.Millisecond)
+	quiet := fs.count() - before
+	if quiet <= paced {
+		t.Fatalf("compaction did not speed up when the force path went quiet: %d paced vs %d quiet", paced, quiet)
+	}
+}

@@ -26,6 +26,7 @@ const (
 	mSessionsNode    = "server.sessions."
 	mSessionsEvicted = "server.sessions_evicted"
 	mQueueSheds      = "server.queue_sheds"
+	mTruncatePoints  = "server.truncate_points"
 	mForceRounds     = "server.force.rounds"
 	mForcesCoalesced = "server.force.coalesced"
 	mForceLatency    = "server.force.latency_ns"
@@ -57,6 +58,7 @@ type serverMetrics struct {
 	redirectsSent   *telemetry.Counter
 	sessionsEvicted *telemetry.Counter
 	queueSheds      *telemetry.Counter
+	truncatePoints  *telemetry.Counter
 	forceRounds     *telemetry.Counter
 	forcesCoalesced *telemetry.Counter
 
@@ -92,6 +94,7 @@ func newServerMetrics(reg *telemetry.Registry, node string) *serverMetrics {
 		redirectsSent:   reg.Counter(mRedirectsSent),
 		sessionsEvicted: reg.Counter(mSessionsEvicted),
 		queueSheds:      reg.Counter(mQueueSheds),
+		truncatePoints:  reg.Counter(mTruncatePoints),
 		forceRounds:     reg.Counter(mForceRounds),
 		forcesCoalesced: reg.Counter(mForcesCoalesced),
 		sessions:        reg.Gauge(mSessions),

@@ -562,6 +562,8 @@ func (s *Server) process(sess *session, pkt *wire.Packet) {
 		s.handleWrite(sess, pkt, true)
 	case wire.TForcePoint:
 		s.handleForcePoint(sess, pkt)
+	case wire.TTruncatePoint:
+		s.handleTruncatePoint(sess, pkt)
 	case wire.TNewInterval:
 		s.handleNewInterval(sess, pkt)
 	case wire.TIntervalListReq:
@@ -1065,6 +1067,20 @@ func (s *Server) handleInstallCopies(sess *session, pkt *wire.Packet) {
 	// next write stream will re-anchor.
 	sess.expectedNext = 0
 	sess.peer.Send(wire.TInstallCopiesResp, pkt.Seq, nil)
+}
+
+// handleTruncatePoint applies the asynchronous truncation report: the
+// checkpointing client's fire-and-forget version of TTruncateReq. No
+// reply and no error surface — a lost or failed report only delays
+// reclamation until the next checkpoint's report.
+func (s *Server) handleTruncatePoint(sess *session, pkt *wire.Packet) {
+	p, err := wire.DecodeLSNPayload(pkt.Payload)
+	if err != nil {
+		return
+	}
+	if err := s.cfg.Store.Truncate(sess.clientID, p.LSN); err == nil {
+		s.m.truncatePoints.Add(1)
+	}
 }
 
 // handleTruncate serves the Section 5.3 space-management call: the

@@ -39,6 +39,12 @@ type CrashChecker struct {
 	wrote    map[record.LSN]string // written by the live incarnation, not yet forced
 	doubtful map[record.LSN]string // in the δ window at some crash; either outcome legal
 	pinned   map[record.LSN]pinnedOutcome
+	// reclaimable holds records the client released via a truncation-
+	// point advance (checkpoint): space management may discard them, so
+	// they need not survive — but if one is still served, it must carry
+	// the original data.
+	reclaimable map[record.LSN]string
+	truncatedAt record.LSN
 
 	maxWritten record.LSN
 	lastEpoch  record.Epoch
@@ -70,6 +76,7 @@ func NewCrashChecker(delta int) *CrashChecker {
 		wrote:            make(map[record.LSN]string),
 		doubtful:         make(map[record.LSN]string),
 		pinned:           make(map[record.LSN]pinnedOutcome),
+		reclaimable:      make(map[record.LSN]string),
 		epochMustAdvance: true,
 	}
 }
@@ -113,6 +120,32 @@ func (c *CrashChecker) Crashed() {
 	}
 }
 
+// Truncated records that the client advanced its truncation point to
+// before (it checkpointed): records below are no longer required for
+// its recovery, and space management may reclaim them. The durability
+// demand on them is relaxed — a read may answer not-present or fail —
+// but stale data must never resurface, so a record still served must
+// carry its original bytes. Doubtful records below the point lose
+// their pins: truncation legitimately settles them as not-present.
+func (c *CrashChecker) Truncated(before record.LSN) {
+	if before <= c.truncatedAt {
+		return
+	}
+	c.truncatedAt = before
+	for lsn, data := range c.acked {
+		if lsn < before {
+			c.reclaimable[lsn] = data
+			delete(c.acked, lsn)
+		}
+	}
+	for lsn := range c.doubtful {
+		if lsn < before {
+			delete(c.doubtful, lsn)
+			delete(c.pinned, lsn)
+		}
+	}
+}
+
 // Crashes returns how many crashes the checker has been told about.
 func (c *CrashChecker) Crashes() int { return c.crashes }
 
@@ -148,6 +181,16 @@ func (c *CrashChecker) Audit(l LogReader) error {
 		}
 		if string(rec.Data) != want {
 			return fmt.Errorf("crashcheck: acked LSN %d data %q, want %q", lsn, rec.Data, want)
+		}
+	}
+
+	for lsn, want := range c.reclaimable {
+		rec, err := l.ReadRecord(lsn)
+		if err != nil {
+			continue // reclaimed: unreadable is a legal outcome
+		}
+		if rec.Present && string(rec.Data) != want {
+			return fmt.Errorf("crashcheck: reclaimed LSN %d resurfaced with data %q, want %q or not-present", lsn, rec.Data, want)
 		}
 	}
 

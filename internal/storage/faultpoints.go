@@ -12,6 +12,25 @@ const (
 	// the install inside one server — some copies indexed, the rest
 	// abandoned — which the next client recovery must converge over.
 	FPInstallPartial = "storage.install.partial"
+
+	// FPSegmentSeal is hit by the segmented store just after the active
+	// segment was synced and sealed but before the next segment accepts
+	// the append that overflowed it — a crash here leaves a full sealed
+	// segment and nothing after it.
+	FPSegmentSeal = "retention.segment.seal"
+	// FPArchivePublish is hit (via HitErr) by segment compaction after
+	// the live records of the victim segment were written and synced to
+	// the archive tier but before the manifest advances the replay
+	// boundary — a crash here leaves the records in both tiers, and the
+	// retried compaction must re-archive idempotently.
+	FPArchivePublish = "retention.archive.publish"
+	// FPSegmentDelete is hit (via HitErr) by segment compaction after
+	// the manifest advanced past the victim segment but before its file
+	// was removed — a crash here leaves a stray segment below the
+	// boundary that the next open (or compaction pass) must discard
+	// without replaying it.
+	FPSegmentDelete = "retention.segment.delete"
 )
 
-var _ = faultpoint.Register(FPForce, FPInstallPartial)
+var _ = faultpoint.Register(FPForce, FPInstallPartial,
+	FPSegmentSeal, FPArchivePublish, FPSegmentDelete)

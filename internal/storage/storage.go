@@ -92,6 +92,50 @@ type Store interface {
 	Close() error
 }
 
+// Usage is a store's space accounting, for the disk-usage gauges and
+// `logctl du` (Section 5.3: a long-running server must report how
+// much log space is live, how much the compactor could reclaim, and
+// how much has migrated to the archive tier).
+type Usage struct {
+	// LiveBytes is the size of the online (hot) stream.
+	LiveBytes int64
+	// ReclaimableBytes is space compaction (or Compact, for the single
+	// file store) could return to the filesystem.
+	ReclaimableBytes int64
+	// ArchivedBytes is the size of the write-once archive tier, when
+	// one is attached.
+	ArchivedBytes int64
+	// Segments counts online segment files; single-file backends
+	// report 1, the memory store 0.
+	Segments int
+	// SealedSegments counts segments closed to further appends.
+	SealedSegments int
+}
+
+// UsageReporter is implemented by stores that can account for their
+// space.
+type UsageReporter interface {
+	Usage() Usage
+}
+
+// ArchiveTier is the write-once cold tier segment compaction migrates
+// stable records into (Section 4.3's append-forest representation;
+// internal/retention implements it over an appendforest.PersistentForest).
+type ArchiveTier interface {
+	// Archive stores one record for the client. It must be idempotent
+	// — re-archiving an (LSN, epoch) already stored is a no-op — and a
+	// higher epoch for an archived LSN supersedes the older copy, so a
+	// compaction retried after a crash converges.
+	Archive(c record.ClientID, rec record.Record) error
+	// Sync makes all preceding Archive calls durable.
+	Sync() error
+	// Lookup returns the archived record with the highest epoch for
+	// the LSN; ok is false when the archive holds nothing for it.
+	Lookup(c record.ClientID, lsn record.LSN) (record.Record, bool, error)
+	// Bytes reports the archive's stored size.
+	Bytes() int64
+}
+
 // entryRef locates one stored record: its epoch (to resolve the
 // highest-epoch-wins rule without fetching) and a backend-specific
 // location (byte offset, or slice index for the memory store).
@@ -147,15 +191,25 @@ func (ci *clientIndex) addInstalled(rec record.Record, loc int64) error {
 // index records the entry in the forest (dense increasing path) or the
 // overlay (revisited LSNs), updates the interval list, and advances
 // the last-key watermark.
+//
+// A record below the truncation point (an installed recovery copy
+// revisiting an LSN the client already truncated away) advances the
+// watermarks but is not indexed and does not extend the interval
+// list: lookup() denies the range, so advertising it would make the
+// server claim intervals whose reads it then refuses — and the
+// divergence would persist across a crash, since replay runs through
+// this same path.
 func (ci *clientIndex) index(rec record.Record, loc int64) {
-	ref := entryRef{epoch: rec.Epoch, present: rec.Present, loc: loc}
-	if err := ci.forest.Append(uint64(rec.LSN), ref); err != nil {
-		// LSN revisits an indexed position: keep the highest epoch.
-		if old, ok := ci.overlay[rec.LSN]; !ok || rec.Epoch >= old.epoch {
-			ci.overlay[rec.LSN] = ref
+	if rec.LSN >= ci.truncated {
+		ref := entryRef{epoch: rec.Epoch, present: rec.Present, loc: loc}
+		if err := ci.forest.Append(uint64(rec.LSN), ref); err != nil {
+			// LSN revisits an indexed position: keep the highest epoch.
+			if old, ok := ci.overlay[rec.LSN]; !ok || rec.Epoch >= old.epoch {
+				ci.overlay[rec.LSN] = ref
+			}
 		}
+		ci.intervals = record.ExtendIntervals(ci.intervals, rec)
 	}
-	ci.intervals = record.ExtendIntervals(ci.intervals, rec)
 	if rec.LSN > ci.lastLSN {
 		ci.lastLSN = rec.LSN
 	}

@@ -36,6 +36,14 @@ func backends(t *testing.T) map[string]func(t *testing.T) Store {
 			}
 			return s
 		},
+		// Small segments so conformance tests cross seal boundaries.
+		"seg": func(t *testing.T) Store {
+			s, err := OpenSegStore(t.TempDir(), SegOptions{SegmentBytes: 256})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		},
 	}
 }
 

@@ -237,3 +237,100 @@ func TestFileStoreCompactKeepsInstalledCopies(t *testing.T) {
 		t.Fatalf("installed copy after reopen: %v, %v", got, err)
 	}
 }
+
+// assertTruncationFloorHolds checks that nothing below floor is
+// advertised or readable while records at or above it still are.
+func assertTruncationFloorHolds(t *testing.T, s Store, c record.ClientID, floor, high record.LSN) {
+	t.Helper()
+	for _, iv := range s.Intervals(c) {
+		if iv.Low < floor {
+			t.Fatalf("interval list advertises truncated range: %v (floor %d)", s.Intervals(c), floor)
+		}
+	}
+	for i := record.LSN(1); i < floor; i++ {
+		if _, err := s.Read(c, i); !errors.Is(err, ErrNotStored) {
+			t.Fatalf("Read(%d) below truncation floor %d: %v", i, floor, err)
+		}
+	}
+	for i := floor; i <= high; i++ {
+		if _, err := s.Read(c, i); err != nil {
+			t.Fatalf("Read(%d) at/above floor %d: %v", i, floor, err)
+		}
+	}
+}
+
+// A recovery copy may legally revisit an LSN below the client's
+// high-water mark (InstallCopies), including one the client already
+// truncated away. Installing such a copy must not resurrect the
+// truncated range: the interval list and the read path must keep
+// agreeing that everything below the truncation point is gone —
+// otherwise the server advertises intervals whose reads it then
+// denies, and a recovery that trusts the interval list stalls on this
+// server. Regression test for the truncated-then-rewritten bug: the
+// interval list was extended for installed records below the floor.
+func TestTruncatedRangeReinstallDoesNotResurrect(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, s Store) {
+		const c = record.ClientID(1)
+		fillClient(t, s, c, 10)
+		if err := s.Truncate(c, 8); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.StageCopy(c, rec(5, 2, "stale")); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.InstallCopies(c, 2); err != nil {
+			t.Fatal(err)
+		}
+		assertTruncationFloorHolds(t, s, c, 8, 10)
+	})
+}
+
+// The same scenario must hold across a crash: the stream replays the
+// truncation point before the install, and the rebuilt index must not
+// resurrect the stale range either.
+func TestTruncatedRangeReinstallDoesNotResurrectAcrossCrash(t *testing.T) {
+	t.Run("file", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), "log")
+		s, err := OpenFileStore(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const c = record.ClientID(1)
+		fillClient(t, s, c, 10)
+		if err := s.Truncate(c, 8); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.StageCopy(c, rec(5, 2, "stale")); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.InstallCopies(c, 2); err != nil {
+			t.Fatal(err)
+		}
+		s.Close()
+		s2, err := OpenFileStore(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s2.Close()
+		assertTruncationFloorHolds(t, s2, c, 8, 10)
+	})
+	t.Run("disk", func(t *testing.T) {
+		rig := newDiskRig(t, 512)
+		s := rig.open(t)
+		const c = record.ClientID(1)
+		fillClient(t, s, c, 10)
+		if err := s.Truncate(c, 8); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.StageCopy(c, rec(5, 2, "stale")); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.InstallCopies(c, 2); err != nil {
+			t.Fatal(err)
+		}
+		rig.crash(s)
+		s2 := rig.open(t)
+		defer s2.Close()
+		assertTruncationFloorHolds(t, s2, c, 8, 10)
+	})
+}

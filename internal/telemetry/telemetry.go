@@ -227,6 +227,33 @@ func (s HistogramSnapshot) Merge(o HistogramSnapshot) HistogramSnapshot {
 	return out
 }
 
+// Sub returns the bucket-wise difference s - o, where o is an earlier
+// snapshot of the same histogram: the distribution of values observed
+// in the interval between the two. Counts are monotone, so saturating
+// subtraction only triggers if the snapshots are unrelated.
+func (s HistogramSnapshot) Sub(o HistogramSnapshot) HistogramSnapshot {
+	older := make(map[uint64]uint64, len(o.Buckets))
+	for _, b := range o.Buckets {
+		older[b.Upper] = b.Count
+	}
+	var out HistogramSnapshot
+	for _, b := range s.Buckets {
+		n := b.Count - older[b.Upper]
+		if n > b.Count { // underflow: unrelated snapshots
+			n = 0
+		}
+		if n == 0 {
+			continue
+		}
+		out.Count += n
+		out.Buckets = append(out.Buckets, Bucket{Upper: b.Upper, Count: n})
+	}
+	if s.Sum >= o.Sum {
+		out.Sum = s.Sum - o.Sum
+	}
+	return out
+}
+
 // Registry is a per-process set of named metric families plus an
 // optional event trace. Instruments are created on first reference
 // and live for the registry's lifetime; all methods are safe for

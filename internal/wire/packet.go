@@ -42,6 +42,13 @@ const (
 	// records. The streaming write path sends it when a Force target has
 	// already left the client under TWriteLog cover.
 	TForcePoint
+	// TTruncatePoint reports a truncation-point advance (Section 5.3):
+	// the client has checkpointed, so records below the carried LSN are
+	// unnecessary for its recovery and the server may reclaim them. It
+	// is fire-and-forget — truncation is a space optimization, and a
+	// server that misses the report merely reclaims later, at the next
+	// checkpoint's report.
+	TTruncatePoint
 
 	// Asynchronous messages from log server to client.
 	TNewHighLSN
@@ -88,7 +95,7 @@ const (
 var typeNames = map[Type]string{
 	TSyn: "Syn", TSynAck: "SynAck", TAck: "Ack", TRst: "Rst",
 	TWriteLog: "WriteLog", TForceLog: "ForceLog", TNewInterval: "NewInterval",
-	TForcePoint: "ForcePoint",
+	TForcePoint: "ForcePoint", TTruncatePoint: "TruncatePoint",
 	TNewHighLSN: "NewHighLSN", TMissingInterval: "MissingInterval",
 	TBusy: "Busy", TRedirect: "Redirect",
 	TIntervalListReq: "IntervalListReq", TReadForwardReq: "ReadForwardReq",
