@@ -41,6 +41,11 @@
 #                                   ReadRecord round trip per LSN vs the
 #                                   streaming cursor (read-ahead window,
 #                                   multi-record packets, holder fan-out)
+#   BenchmarkArchiveLookupAcrossVolumes  cold-tier point reads when the
+#                                   archive stream is cut into many
+#                                   rotating volumes and every lookup
+#                                   routes through the forest to the
+#                                   right file
 set -eu
 
 cd "$(dirname "$0")"
@@ -95,5 +100,6 @@ to_json
 OUT=BENCH_readpath.json
 RAW=$RAW2
 run . -run '^$' -bench 'BenchmarkRecoveryScan'
+run ./internal/retention/ -run '^$' -bench 'BenchmarkArchiveLookupAcrossVolumes'
 cat "$RAW"
 to_json

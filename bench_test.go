@@ -1000,7 +1000,7 @@ func BenchmarkForceUnderCompaction(b *testing.B) {
 			names := []string{"fc1", "fc2", "fc3"}
 			reg := distlog.NewTelemetry()
 			for _, srvName := range names {
-				arch, err := distlog.OpenArchive(fmt.Sprintf("%s/%s-arch", b.TempDir(), srvName))
+				arch, err := distlog.OpenArchive(fmt.Sprintf("%s/%s-arch", b.TempDir(), srvName), distlog.ArchiveOptions{})
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -214,6 +214,9 @@ func (c *Cluster) NewRebalancer(n int, clients ...*Client) *Rebalancer {
 					sl.Sessions = st.Sessions
 					sl.Leaving = st.Leaving
 				}
+				if ur, ok := c.stores[name].(storage.UsageReporter); ok {
+					sl.ArchiveReclaimable = ur.Usage().ArchiveReclaimableBytes
+				}
 				v.Servers = append(v.Servers, sl)
 			}
 			for _, cl := range clients {

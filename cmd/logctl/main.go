@@ -24,6 +24,14 @@
 //	                   (the address of its logserverd -metrics listener)
 //	du <host:port>     print a server's log disk usage: live,
 //	                   reclaimable, and archived bytes, segment counts
+//	archive verify <dir>
+//	                   walk an archive directory offline: frame
+//	                   checksums, volume chain continuity, and
+//	                   forest/overlay consistency against the manifest
+//	                   floors; exits non-zero on any violation
+//	archive export <dir> [base]
+//	                   dump the records of one archive volume (by base
+//	                   offset) or of every volume, offline
 package main
 
 import (
@@ -40,6 +48,7 @@ import (
 
 	"distlog/internal/core"
 	"distlog/internal/record"
+	"distlog/internal/retention"
 	"distlog/internal/telemetry"
 	"distlog/internal/transport"
 )
@@ -48,7 +57,7 @@ import (
 // segmented logserverd exports.
 func runDU(addr string) {
 	snap := fetchSnapshot(addr)
-	names := []string{"live_bytes", "reclaimable_bytes", "archived_bytes", "segments", "sealed_segments"}
+	names := []string{"live_bytes", "reclaimable_bytes", "archived_bytes", "archive_reclaimable", "segments", "sealed_segments"}
 	found := false
 	for _, n := range names {
 		if v, ok := snap.Gauges["storage.disk."+n]; ok {
@@ -84,6 +93,41 @@ func fetchSnapshot(addr string) telemetry.Snapshot {
 	return snap
 }
 
+// runArchive implements `logctl archive verify|export`: offline walks
+// of an archive directory that need no running server (and must not
+// race one — both only read).
+func runArchive(args []string) {
+	if len(args) < 2 {
+		log.Fatal("usage: logctl archive verify <dir> | archive export <dir> [base]")
+	}
+	dir := args[1]
+	switch args[0] {
+	case "verify":
+		rep, err := retention.VerifyArchiveDir(dir)
+		if err != nil {
+			log.Fatalf("archive verify: %v", err)
+		}
+		rep.Render(os.Stdout)
+		if len(rep.Issues) > 0 {
+			os.Exit(1)
+		}
+	case "export":
+		base := int64(-1)
+		if len(args) > 2 {
+			b, err := strconv.ParseInt(args[2], 10, 64)
+			if err != nil {
+				log.Fatalf("bad volume base: %v", err)
+			}
+			base = b
+		}
+		if err := retention.ExportArchiveDir(os.Stdout, dir, base); err != nil {
+			log.Fatalf("archive export: %v", err)
+		}
+	default:
+		log.Fatalf("unknown archive subcommand %q", args[0])
+	}
+}
+
 // runStats implements `logctl stats`: fetch the JSON snapshot a
 // logserverd -metrics listener serves and render it. It needs no
 // replicated log (and so no UDP servers) — just the HTTP endpoint.
@@ -98,7 +142,7 @@ func main() {
 	timeout := flag.Duration("timeout", time.Second, "per-call timeout")
 	flag.Parse()
 	if flag.NArg() < 1 {
-		log.Fatal("usage: logctl [flags] append|read|scan|status|migrate|truncate|checkpoint|stats|du ...")
+		log.Fatal("usage: logctl [flags] append|read|scan|status|migrate|truncate|checkpoint|stats|du|archive ...")
 	}
 
 	if flag.Arg(0) == "stats" {
@@ -113,6 +157,10 @@ func main() {
 			log.Fatal("usage: logctl du <host:port of -metrics listener>")
 		}
 		runDU(flag.Arg(1))
+		return
+	}
+	if flag.Arg(0) == "archive" {
+		runArchive(flag.Args()[1:])
 		return
 	}
 

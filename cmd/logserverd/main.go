@@ -60,6 +60,7 @@ func main() {
 	sessionIdle := flag.Duration("session-idle", 0, "evict sessions idle this long (0 = default, <0 = never)")
 	segmentBytes := flag.Int64("segment-bytes", 0, "segmented store: segment capacity in bytes, -data is a directory (0 = flat file store)")
 	archiveDir := flag.String("archive", "", "segmented store: directory of the write-once archive tier (empty = reclaim dead segments only)")
+	archiveVolumeBytes := flag.Int64("archive-volume-bytes", 0, "archive volume capacity in bytes; full volumes below every client's truncation floor are retired wholesale (0 = 64 MiB)")
 	compactInterval := flag.Duration("compact-interval", time.Second, "pause between background compaction attempts")
 	compactBudget := flag.Duration("compact-budget", 5*time.Millisecond, "force p99 above which compaction backs off (0 = unpaced)")
 	flag.Parse()
@@ -79,7 +80,7 @@ func main() {
 	if *segmentBytes > 0 {
 		backend = "seg"
 		if *archiveDir != "" {
-			a, err := retention.OpenArchive(*archiveDir)
+			a, err := retention.OpenArchive(*archiveDir, retention.ArchiveOptions{VolumeBytes: *archiveVolumeBytes})
 			if err != nil {
 				log.Fatalf("opening archive: %v", err)
 			}
@@ -97,13 +98,17 @@ func main() {
 			log.Fatalf("opening segmented store: %v", err)
 		}
 		store, usage = seg, seg
-		compactor = retention.NewCompactor(retention.CompactorConfig{
+		cfg := retention.CompactorConfig{
 			Store:          seg,
 			Interval:       *compactInterval,
 			ForceHist:      reg.Histogram("storage.seg.force_latency_ns"),
 			ForceP99Budget: uint64(*compactBudget),
 			OnError:        func(err error) { log.Printf("compaction: %v", err) },
-		})
+		}
+		if arch != nil {
+			cfg.Retire = arch
+		}
+		compactor = retention.NewCompactor(cfg)
 	} else {
 		fs, err := storage.OpenFileStore(*data)
 		if err != nil {
@@ -140,6 +145,7 @@ func main() {
 			g("live_bytes").Set(u.LiveBytes)
 			g("reclaimable_bytes").Set(u.ReclaimableBytes)
 			g("archived_bytes").Set(u.ArchivedBytes)
+			g("archive_reclaimable").Set(u.ArchiveReclaimableBytes)
 			g("segments").Set(int64(u.Segments))
 			g("sealed_segments").Set(int64(u.SealedSegments))
 			select {

@@ -172,8 +172,10 @@ type (
 	// StoreUsage reports a store's disk footprint.
 	StoreUsage = storage.Usage
 	// Archive is the file-backed ArchiveTier implementation (append
-	// forest per client over a shared data log).
+	// forest per client over fixed-size rotating volumes).
 	Archive = retention.Archive
+	// ArchiveOptions configures OpenArchive (volume capacity).
+	ArchiveOptions = retention.ArchiveOptions
 	// Compactor reclaims segments in the background, paced off the
 	// force-latency histogram.
 	Compactor = retention.Compactor
@@ -187,7 +189,9 @@ func OpenSegStore(dir string, opts SegOptions) (*SegStore, error) {
 }
 
 // OpenArchive opens (or recovers) a write-once archive tier at dir.
-func OpenArchive(dir string) (*Archive, error) { return retention.OpenArchive(dir) }
+func OpenArchive(dir string, opts ArchiveOptions) (*Archive, error) {
+	return retention.OpenArchive(dir, opts)
+}
 
 // NewCompactor starts a background compactor; Stop shuts it down.
 func NewCompactor(cfg CompactorConfig) *Compactor { return retention.NewCompactor(cfg) }
@@ -255,6 +259,9 @@ type (
 	// RendezvousPolicy is the default policy: rendezvous placement,
 	// moving only clients whose write set lost a member.
 	RendezvousPolicy = loadassign.RendezvousPolicy
+	// HeadroomPolicy places displaced clients on the servers with the
+	// most reclaimable archive headroom.
+	HeadroomPolicy = loadassign.HeadroomPolicy
 	// LoadView is one control-plane snapshot of servers and clients.
 	LoadView = loadassign.View
 	// ServerLoad describes one server in a LoadView.

@@ -110,6 +110,27 @@ func OpenPersistent(store NodeStore) (*PersistentForest, error) {
 // Len returns the number of appended keys.
 func (f *PersistentForest) Len() int64 { return f.count }
 
+// MaxKey returns the largest appended key (zero when the forest is
+// empty — check Len first if zero is a valid key).
+func (f *PersistentForest) MaxKey() uint64 { return f.maxKey }
+
+// Scan calls fn for every appended (key, payload) pair in append
+// order, reading the node log sequentially: each append wrote exactly
+// one node, so the node sequence is the key sequence.
+func (f *PersistentForest) Scan(fn func(key uint64, payload int64) error) error {
+	buf := make([]byte, NodeSize)
+	for pos := int64(0); pos < f.count; pos++ {
+		if err := f.store.ReadNode(pos, buf); err != nil {
+			return err
+		}
+		nd := decodePNode(buf)
+		if err := fn(nd.key, nd.payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Append adds key with a payload, writing exactly one node.
 func (f *PersistentForest) Append(key uint64, payload int64) error {
 	if f.count > 0 && key <= f.maxKey {

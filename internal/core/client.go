@@ -404,8 +404,25 @@ func (l *ReplicatedLog) dial(addr string) (*session, error) {
 			sess.close()
 			return nil, err
 		}
+		l.reportFloor(sess)
 		return sess, nil
 	}
+}
+
+// reportFloor re-asserts the client's truncation point on a freshly
+// established session. TTruncatePoint is fire-and-forget: a server
+// that was down (or rebooting) when Checkpoint reported the point
+// missed it, and without this it would hold — and archive — dead
+// records until the next checkpoint happens to run. Sent on every
+// (re)handshake, the floor survives any pattern of server reboots.
+func (l *ReplicatedLog) reportFloor(sess *session) {
+	l.mu.Lock()
+	floor := l.truncated
+	l.mu.Unlock()
+	if floor <= 1 {
+		return
+	}
+	sess.peer.Send(wire.TTruncatePoint, 0, (&wire.LSNPayload{LSN: floor}).Encode())
 }
 
 // initialize runs the Section 3.1.2 client initialization.

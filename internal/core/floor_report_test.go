@@ -1,0 +1,79 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"distlog/internal/record"
+)
+
+// TestFloorReReportedOnReconnect is the regression test for a lost
+// truncation report: TTruncatePoint is fire-and-forget, so a server
+// that is down when Checkpoint reports the floor misses it — and
+// before the fix it held (and archived) the dead prefix until the
+// *next* checkpoint happened to run. The client must re-assert its
+// floor whenever it (re)establishes a session.
+func TestFloorReReportedOnReconnect(t *testing.T) {
+	c := newCluster(t, "s1", "s2", "s3")
+	l := mustOpen(t, c, 1, 2)
+	defer l.Close()
+
+	writeForced(t, l, 30)
+	ws := l.WriteSet()
+	if len(ws) == 0 {
+		t.Fatal("no write set")
+	}
+	victim := ws[0]
+
+	// The victim goes down holding the client's full prefix; the
+	// checkpoint's floor report to it lands on a dead endpoint.
+	c.stop(victim)
+	if _, err := l.Checkpoint([]byte("ckpt")); err != nil {
+		t.Fatalf("checkpoint with a write-set member down: %v", err)
+	}
+	floor := l.Truncated()
+	if floor <= 1 {
+		t.Fatalf("checkpoint did not advance the truncation point (floor %d)", floor)
+	}
+
+	// Reboot the victim over its surviving store and bring the client
+	// back to it: migrating onto the node forces fresh sessions. The
+	// first attempts may race the reboot (the stale session must be
+	// reset and re-dialed), so retry briefly.
+	c.start(victim)
+	target := []string{victim}
+	for _, name := range l.WriteSet() {
+		if name != victim && len(target) < 2 {
+			target = append(target, name)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := l.Migrate(target); err == nil {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("migrating back onto the rebooted server: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The re-established session must have re-reported the floor: the
+	// victim's store drops the prefix without waiting for another
+	// checkpoint. (Truncate clamps to keep the last record, so a store
+	// whose stream ends below the floor settles at its own last key.)
+	st := c.stores[victim]
+	want := floor
+	if last, _ := st.LastKey(1); last < want {
+		want = last
+	}
+	for {
+		ivs := st.Intervals(record.ClientID(1))
+		if len(ivs) == 0 || ivs[0].Low >= want {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("rebooted server still advertises LSN %d below the floor %d: the reconnect never re-reported the truncation point", ivs[0].Low, want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

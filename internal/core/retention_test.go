@@ -20,7 +20,7 @@ func newSegCluster(t *testing.T, segBytes int64, names ...string) *cluster {
 	c := newCluster(t)
 	dir := t.TempDir()
 	for _, name := range names {
-		arch, err := retention.OpenArchive(filepath.Join(dir, name, "archive"))
+		arch, err := retention.OpenArchive(filepath.Join(dir, name, "archive"), retention.ArchiveOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}

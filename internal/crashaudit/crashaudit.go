@@ -42,6 +42,12 @@ const clientID = record.ClientID(7)
 // seals several segments, so the retention crash points are reached.
 const segSegmentBytes = 200
 
+// segVolumeBytes is the archive volume capacity of the segmented-rig
+// archives: roughly two data frames, so compaction rotates (seals)
+// volumes and truncation-floor advances retire them within the audit
+// workload, reaching the retention.volume.* crash points.
+const segVolumeBytes = 96
+
 // traceDump is how many of the dying incarnation's trace events are
 // appended to a failure report — enough to cover the last force round
 // on every server plus the retries leading into the crash.
@@ -206,7 +212,7 @@ func newRig(o Options) (*rig, error) {
 // openSegStore (re)opens one server's segmented store and archive from
 // its on-disk state.
 func (r *rig) openSegStore(name string) error {
-	arch, err := retention.OpenArchive(filepath.Join(r.dir, name, "archive"))
+	arch, err := retention.OpenArchive(filepath.Join(r.dir, name, "archive"), retention.ArchiveOptions{VolumeBytes: segVolumeBytes})
 	if err != nil {
 		return err
 	}
@@ -308,7 +314,66 @@ func (r *rig) checkpointAndCompact(l *core.ReplicatedLog, chk *sim.CrashChecker,
 	chk.Wrote(lsn, []byte("ckpt"))
 	chk.Forced()
 	chk.Truncated(l.Truncated())
+	r.waitFloorApplied(l.Truncated(), pointName)
 	r.compactAll()
+	r.retireAll()
+}
+
+// waitFloorApplied polls until every store holding the audited
+// client's records has applied the truncation floor the checkpoint
+// just reported. The report is fire-and-forget (§5.3), so without
+// this bound the synchronous compactAll/retireAll below race the
+// report datagrams and the archive's retirement decisions become
+// schedule-dependent. Bails early once the armed point fires — the
+// dying incarnation's floors may legitimately never land.
+func (r *rig) waitFloorApplied(floor record.LSN, pointName string) {
+	if floor <= 1 {
+		return
+	}
+	deadline := time.Now().Add(500 * time.Millisecond)
+	for time.Now().Before(deadline) && !faultpoint.Fired(pointName) {
+		applied := true
+		for _, st := range r.stores {
+			cs, ok := st.(*storage.SegStore)
+			if !ok {
+				continue
+			}
+			// Truncate clamps so the last record always survives; a
+			// store whose stream ends below the floor is done once its
+			// first interval starts at its own last key.
+			want := floor
+			if last, _ := cs.LastKey(clientID); last < want {
+				want = last
+			}
+			if ivs := cs.Intervals(clientID); len(ivs) > 0 && ivs[0].Low < want {
+				applied = false
+				break
+			}
+		}
+		if applied {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// retireAll drives archive volume retirement to exhaustion on every
+// server — the rig's synchronous stand-in for the compactor's
+// retirement pass, so the volume-seal and volume-retire points are
+// reached deterministically. Errors are expected when a retention
+// point is armed; the post-recovery reopen converges.
+func (r *rig) retireAll() {
+	if !r.segmented {
+		return
+	}
+	for _, a := range r.archives {
+		for {
+			ok, err := a.RetireOnce()
+			if err != nil || !ok {
+				break
+			}
+		}
+	}
 }
 
 // compactAll drives segment compaction to exhaustion on every store —
@@ -384,7 +449,9 @@ func kindOf(point string) int {
 		return kindClient
 	case point == storage.FPInstallPartial,
 		point == storage.FPArchivePublish,
-		point == storage.FPSegmentDelete:
+		point == storage.FPSegmentDelete,
+		point == retention.FPVolumeSeal,
+		point == retention.FPVolumeRetire:
 		return kindInject
 	default:
 		return kindServers
@@ -500,6 +567,14 @@ func RunPoint(o Options, pointName string, hitN uint64) (fired bool, err error) 
 		o.Segmented = true
 		if o.CallTimeout != 0 && o.CallTimeout < 150*time.Millisecond {
 			o.CallTimeout = 150 * time.Millisecond
+		}
+		if o.Delta < 12 {
+			// A wider doubtful window keeps more of the post-checkpoint
+			// tail live: the records surviving each truncation span
+			// several sealed 200-byte segments, so compaction reliably
+			// archives frames — and the tiny archive volumes rotate and
+			// retire — at hit 1 of every retention.volume.* point.
+			o.Delta = 12
 		}
 	}
 	o.fillDefaults()
@@ -687,6 +762,21 @@ func RunPoint(o Options, pointName string, hitN uint64) (fired bool, err error) 
 	defer l4.Close()
 	if err := chk.Audit(l4); err != nil {
 		return fired, fail(err, "final incarnation audit")
+	}
+	if r.segmented {
+		// The surviving cold tier must also pass the offline verifier —
+		// the same walk `logctl archive verify` performs: frame
+		// checksums, volume chain continuity, and forest/overlay
+		// consistency against the manifest floors.
+		for _, name := range r.names {
+			rep, verr := retention.VerifyArchiveDir(filepath.Join(r.dir, name, "archive"))
+			if verr != nil {
+				return fired, fail(verr, "archive verify "+name)
+			}
+			if len(rep.Issues) > 0 {
+				return fired, fail(fmt.Errorf("%d issues, first: %s", len(rep.Issues), rep.Issues[0].String()), "archive verify "+name)
+			}
+		}
 	}
 	return fired, nil
 }

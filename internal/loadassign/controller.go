@@ -30,6 +30,11 @@ type ServerLoad struct {
 	// Leaving is true when the server is administratively draining:
 	// still up for reads, but no longer a valid write-set member.
 	Leaving bool
+	// ArchiveReclaimable is the server's storage.disk.archive_reclaimable
+	// gauge: archive bytes a retirement pass could free right now. A
+	// high value means the node has disk headroom it can claw back on
+	// demand; HeadroomPolicy prefers such nodes for displaced clients.
+	ArchiveReclaimable int64
 }
 
 // Available reports whether the server may appear in a write set.
@@ -105,6 +110,70 @@ func (RendezvousPolicy) Decide(v View, n int) []Decision {
 			continue
 		}
 		target := Pick(c.ID, n, avail)
+		if !sameSet(target, c.WriteSet) {
+			out = append(out, Decision{ClientID: c.ID, Target: target})
+		}
+	}
+	return out
+}
+
+// HeadroomPolicy moves the same clients RendezvousPolicy would — only
+// those whose write set lost a member — but places them by disk
+// headroom instead of pure rendezvous rank: displaced clients land on
+// the available servers with the most reclaimable archive space
+// (Section 5.3: a node whose cold tier can still shed retired volumes
+// absorbs new write load safely; a node pinned by lagging truncation
+// floors should not also be handed fresh streams). Ties break by
+// session count, then rendezvous rank, so decisions stay deterministic
+// and degrade to rendezvous placement when no node reports headroom.
+type HeadroomPolicy struct{}
+
+// Name implements Policy.
+func (HeadroomPolicy) Name() string { return "archive-headroom" }
+
+// Decide implements Policy.
+func (HeadroomPolicy) Decide(v View, n int) []Decision {
+	var avail []ServerLoad
+	ok := make(map[string]bool)
+	for _, s := range v.Servers {
+		if s.Available() {
+			avail = append(avail, s)
+			ok[s.Addr] = true
+		}
+	}
+	if len(avail) < n {
+		return nil
+	}
+	var out []Decision
+	for _, c := range v.Clients {
+		healthy := len(c.WriteSet) == n
+		for _, addr := range c.WriteSet {
+			if !ok[addr] {
+				healthy = false
+			}
+		}
+		if healthy {
+			continue
+		}
+		ranked := append([]ServerLoad(nil), avail...)
+		sort.Slice(ranked, func(i, j int) bool {
+			if ranked[i].ArchiveReclaimable != ranked[j].ArchiveReclaimable {
+				return ranked[i].ArchiveReclaimable > ranked[j].ArchiveReclaimable
+			}
+			if ranked[i].Sessions != ranked[j].Sessions {
+				return ranked[i].Sessions < ranked[j].Sessions
+			}
+			si := hrwScore(c.ID, HashAddr(ranked[i].Addr))
+			sj := hrwScore(c.ID, HashAddr(ranked[j].Addr))
+			if si != sj {
+				return si > sj
+			}
+			return ranked[i].Addr < ranked[j].Addr
+		})
+		target := make([]string, 0, n)
+		for _, s := range ranked[:n] {
+			target = append(target, s.Addr)
+		}
 		if !sameSet(target, c.WriteSet) {
 			out = append(out, Decision{ClientID: c.ID, Target: target})
 		}

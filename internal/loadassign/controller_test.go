@@ -1,0 +1,83 @@
+package loadassign
+
+import (
+	"sort"
+	"testing"
+)
+
+// view builds a 4-server View with one client whose write set is ws.
+func headroomView(ws []string, reclaim map[string]int64, down ...string) View {
+	dead := make(map[string]bool)
+	for _, d := range down {
+		dead[d] = true
+	}
+	var v View
+	for _, addr := range []string{"a", "b", "c", "d"} {
+		v.Servers = append(v.Servers, ServerLoad{
+			Addr:               addr,
+			Up:                 !dead[addr],
+			ArchiveReclaimable: reclaim[addr],
+		})
+	}
+	v.Clients = append(v.Clients, ClientLoad{ID: 1, WriteSet: ws})
+	return v
+}
+
+// TestHeadroomPolicyMovesOnlyUnhealthyClients: like the rendezvous
+// policy, a client whose write set is fully available stays put — the
+// headroom signal changes *where* a displaced client lands, never
+// *whether* a healthy one moves.
+func TestHeadroomPolicyMovesOnlyUnhealthyClients(t *testing.T) {
+	v := headroomView([]string{"a", "b"}, map[string]int64{"c": 1 << 30, "d": 1 << 30})
+	if got := (HeadroomPolicy{}).Decide(v, 2); len(got) != 0 {
+		t.Fatalf("healthy client moved toward headroom: %v", got)
+	}
+}
+
+// TestHeadroomPolicyPrefersReclaimableServers: a displaced client lands
+// on the available servers with the most reclaimable archive bytes.
+func TestHeadroomPolicyPrefersReclaimableServers(t *testing.T) {
+	// "a" is down, so the client (write set {a,b}) must move. "c" and
+	// "d" report headroom; "b" reports none — the new set is {c,d} even
+	// though keeping "b" would be the rendezvous choice.
+	v := headroomView([]string{"a", "b"}, map[string]int64{"c": 4096, "d": 8192}, "a")
+	got := (HeadroomPolicy{}).Decide(v, 2)
+	if len(got) != 1 {
+		t.Fatalf("want one decision, got %v", got)
+	}
+	target := append([]string(nil), got[0].Target...)
+	sort.Strings(target)
+	if target[0] != "c" || target[1] != "d" {
+		t.Fatalf("displaced client landed on %v, want the headroom servers {c, d}", got[0].Target)
+	}
+}
+
+// TestHeadroomPolicyDegradesToRendezvous: with no headroom reported
+// anywhere (and equal sessions), placement falls back to the same
+// rendezvous ranking clients use at initialization — deterministic,
+// and identical to RendezvousPolicy's choice.
+func TestHeadroomPolicyDegradesToRendezvous(t *testing.T) {
+	v := headroomView([]string{"a", "b"}, nil, "a")
+	want := (RendezvousPolicy{}).Decide(v, 2)
+	got := (HeadroomPolicy{}).Decide(v, 2)
+	if len(want) != 1 || len(got) != 1 {
+		t.Fatalf("decisions: rendezvous %v, headroom %v", want, got)
+	}
+	ws, gs := append([]string(nil), want[0].Target...), append([]string(nil), got[0].Target...)
+	sort.Strings(ws)
+	sort.Strings(gs)
+	for i := range ws {
+		if ws[i] != gs[i] {
+			t.Fatalf("no-headroom placement %v diverged from rendezvous %v", gs, ws)
+		}
+	}
+}
+
+// TestHeadroomPolicyNeedsEnoughServers: fewer than n available servers
+// means no decision, like every policy.
+func TestHeadroomPolicyNeedsEnoughServers(t *testing.T) {
+	v := headroomView([]string{"a", "b"}, map[string]int64{"c": 1}, "a", "b", "d")
+	if got := (HeadroomPolicy{}).Decide(v, 2); len(got) != 0 {
+		t.Fatalf("decision with only one available server: %v", got)
+	}
+}

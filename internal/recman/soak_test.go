@@ -1,9 +1,11 @@
 package recman
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -17,15 +19,18 @@ import (
 )
 
 // openSegReplicated starts a 3-server memnet cluster over segmented
-// stores with a cold archive tier and opens a replicated log over it.
-func openSegReplicated(t *testing.T, id record.ClientID, segBytes int64) (*core.ReplicatedLog, []*storage.SegStore) {
+// stores with a cold archive tier (in small rotating volumes, so
+// retirement happens within the test) and opens a replicated log over
+// it.
+func openSegReplicated(t *testing.T, id record.ClientID, segBytes int64) (*core.ReplicatedLog, []*storage.SegStore, []*retention.Archive) {
 	t.Helper()
 	net := transport.NewNetwork(7)
 	dir := t.TempDir()
 	names := []string{"r1", "r2", "r3"}
 	var stores []*storage.SegStore
+	var archives []*retention.Archive
 	for _, name := range names {
-		arch, err := retention.OpenArchive(filepath.Join(dir, name, "archive"))
+		arch, err := retention.OpenArchive(filepath.Join(dir, name, "archive"), retention.ArchiveOptions{VolumeBytes: 2048})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -38,6 +43,7 @@ func openSegReplicated(t *testing.T, id record.ClientID, segBytes int64) (*core.
 		}
 		t.Cleanup(func() { st.Close(); arch.Close() })
 		stores = append(stores, st)
+		archives = append(archives, arch)
 		srv := server.New(server.Config{
 			Name:     name,
 			Store:    st,
@@ -58,15 +64,33 @@ func openSegReplicated(t *testing.T, id record.ClientID, segBytes int64) (*core.
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { l.Close() })
-	return l, stores
+	return l, stores, archives
+}
+
+// countVolumeFiles counts the vol-*.log files in an archive directory.
+func countVolumeFiles(t *testing.T, dir string) int {
+	t.Helper()
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, de := range des {
+		if strings.HasPrefix(de.Name(), "vol-") && strings.HasSuffix(de.Name(), ".log") {
+			n++
+		}
+	}
+	return n
 }
 
 // TestSoakET1WeekDiskPlateau is the log-space-management soak of
 // Section 5.3: an ET1 transaction stream with periodic sharp
 // checkpoints runs for a simulated week over segmented stores with
-// background compactors, and the online (hot-segment) disk footprint
-// must plateau — reclamation keeps pace with the log stream — while
-// the checkpoints keep the recovery replay window bounded.
+// background compactors, and the *total* disk footprint — hot segments
+// plus the cold archive tier — must plateau: reclamation keeps pace
+// with the log stream, and volume retirement keeps pace with the
+// truncation floors, while the checkpoints keep the recovery replay
+// window bounded.
 //
 // The default run is a miniature week sized for CI; `make soak`
 // (DISTLOG_SOAK=1) runs the full-scale version.
@@ -76,14 +100,16 @@ func TestSoakET1WeekDiskPlateau(t *testing.T) {
 		txnsPerDay = 2000
 	}
 
-	l, stores := openSegReplicated(t, 1, 4096)
+	l, stores, archives := openSegReplicated(t, 1, 4096)
 
 	// One background compactor per store, ticking fast so reclamation
-	// interleaves with the workload the way the daemon's would.
-	for _, st := range stores {
+	// (and archive retirement) interleaves with the workload the way
+	// the daemon's would.
+	for i, st := range stores {
 		comp := retention.NewCompactor(retention.CompactorConfig{
 			Store:    st,
 			Interval: time.Millisecond,
+			Retire:   archives[i],
 		})
 		t.Cleanup(comp.Stop)
 	}
@@ -104,6 +130,13 @@ func TestSoakET1WeekDiskPlateau(t *testing.T) {
 		}
 		return hot
 	}
+	totalBytes := func() (total int64) {
+		total = hotBytes()
+		for _, a := range archives {
+			total += a.Bytes()
+		}
+		return total
+	}
 
 	gen := workload.NewET1(workload.ET1Scale{Branches: 2, Tellers: 4, Accounts: 100}, 99)
 	var dayEnd []int64
@@ -114,35 +147,79 @@ func TestSoakET1WeekDiskPlateau(t *testing.T) {
 			}
 		}
 		// Day boundary: an explicit checkpoint (the nightly one), then
-		// let the compactors drain what it freed.
+		// let the compactors drain what it freed — both the hot-segment
+		// reclamation and the archive volume retirement it unlocks.
 		if err := eng.Checkpoint(); err != nil {
 			t.Fatalf("day %d checkpoint: %v", day, err)
 		}
 		deadline := time.Now().Add(5 * time.Second)
 		for {
-			before := hotBytes()
+			before := totalBytes()
 			time.Sleep(5 * time.Millisecond)
-			if hotBytes() == before || time.Now().After(deadline) {
+			if totalBytes() == before || time.Now().After(deadline) {
 				break
 			}
 		}
-		dayEnd = append(dayEnd, hotBytes())
-		t.Logf("day %d: hot=%dB", day, dayEnd[day])
+		dayEnd = append(dayEnd, totalBytes())
+		t.Logf("day %d: total=%dB hot=%dB", day, dayEnd[day], hotBytes())
 	}
 
-	// Plateau: the hot footprint at the end of the week must not have
-	// grown past a small multiple of its day-0 value. (The archive tier
-	// grows by design — it is the spooled write-once media of Section
-	// 5.3 — so only online segment bytes are bounded.)
+	// Plateau: the total footprint — hot segments AND the cold archive
+	// tier — at the end of the week must not have grown past a small
+	// multiple of its day-0 value. Before volume retirement the archive
+	// grew without bound and only the hot bytes could be gated; now a
+	// full volume below every truncation floor is deleted wholesale, so
+	// the whole disk is bounded.
 	if dayEnd[days-1] > 3*dayEnd[0] {
-		t.Fatalf("hot disk footprint grew across the week: day0=%dB day%d=%dB (no plateau)",
+		t.Fatalf("total disk footprint grew across the week: day0=%dB day%d=%dB (no plateau)",
 			dayEnd[0], days-1, dayEnd[days-1])
 	}
 	// And reclamation really happened: the log volume written dwarfs
-	// what remains online.
+	// what remains on disk.
 	written := int64(eng.Stats().LogBytes)
 	if written < 5*dayEnd[days-1] {
-		t.Fatalf("workload too small to demonstrate reclamation: wrote %dB, hot %dB", written, dayEnd[days-1])
+		t.Fatalf("workload too small to demonstrate reclamation: wrote %dB, total %dB", written, dayEnd[days-1])
+	}
+	// Retirement really happened too: volumes were unlinked, and what
+	// the directory still holds is exactly what the archive accounts
+	// for — nothing lingers after its boundary passed it.
+	var retired uint64
+	for _, a := range archives {
+		retired += a.Retired()
+		onDisk := countVolumeFiles(t, a.Dir())
+		if onDisk != a.Volumes() {
+			t.Fatalf("archive %s: %d vol-*.log files on disk, accounts for %d", a.Dir(), onDisk, a.Volumes())
+		}
+	}
+	if retired == 0 {
+		t.Fatal("no archive volume was retired across the week")
+	}
+
+	// Cursor continuity: a forward scan from the truncation floor must
+	// return exactly the live suffix — every LSN from the floor to the
+	// end, in order, whether served from hot segments or the archive,
+	// with nothing resurfacing from retired volumes.
+	cur, err := l.OpenCursor(l.Truncated(), core.Forward)
+	if err != nil {
+		t.Fatalf("opening cursor at floor %d: %v", l.Truncated(), err)
+	}
+	defer cur.Close()
+	want := l.Truncated()
+	for {
+		rec, err := cur.Next()
+		if errors.Is(err, core.ErrBeyondEnd) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("cursor scan at LSN %d: %v", want, err)
+		}
+		if rec.LSN != want {
+			t.Fatalf("cursor scan: got LSN %d, want %d", rec.LSN, want)
+		}
+		want++
+	}
+	if want != l.EndOfLog()+1 {
+		t.Fatalf("cursor scan stopped at %d, end of log is %d", want, l.EndOfLog())
 	}
 
 	// Checkpoint-bounded recovery: the truncation point tracks the end

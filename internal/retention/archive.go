@@ -13,38 +13,101 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
 
 	"distlog/internal/appendforest"
+	"distlog/internal/faultpoint"
 	"distlog/internal/record"
 )
 
 // Archive implements storage.ArchiveTier over a directory:
 //
-//	archive.log        the records themselves, framed and checksummed
+//	vol-<base>.log     the records themselves, framed and checksummed,
+//	                   cut into fixed-capacity volumes ("optical
+//	                   platters"): the active volume seals on overflow
+//	                   and a successor opens at base = prev base+size
+//	MANIFEST           retirement boundary + per-client truncation
+//	                   floors, replaced atomically
 //	forest-<id>.af     per-client persistent append-forest nodes,
-//	                   keyed by LSN, payload = frame offset in archive.log
+//	                   keyed by LSN, payload = absolute stream offset
+//	                   (base+offset-in-file, so the offset itself names
+//	                   the volume a lookup must route to)
 //	overlay.log        fix-ups for LSNs re-archived at a higher epoch
 //	                   (forest keys are write-once and strictly
 //	                   increasing, so a revisit appends here instead)
 //
-// Everything is append-only: nothing in the directory is ever
-// overwritten, matching the write-once optical volumes the paper
-// spools old log generations to. All methods are safe for concurrent
-// use.
+// Volumes are append-only and sealed volumes are immutable, matching
+// the write-once optical volumes the paper spools old log generations
+// to — but a *full* platter whose every record has passed below every
+// client's truncation floor is retired wholesale (Section 5.3):
+// RetireOnce advances the manifest boundary past it and unlinks the
+// file. All methods are safe for concurrent use.
 type Archive struct {
-	mu      sync.Mutex
-	dir     string
-	data    *os.File
-	dataLen int64
+	mu   sync.Mutex
+	dir  string
+	opts ArchiveOptions
+
+	vols     []*volume // base-ascending; the last is the active tail
+	boundary int64     // stream offset below which volumes were retired
+
 	forests map[record.ClientID]*clientForest
 	overlay *os.File
 	// overlays maps re-archived LSNs to their newest frame; consulted
 	// before the forest on lookup.
-	overlays  map[overlayKey]overlayRef
+	overlays   map[overlayKey]overlayRef
+	overlayLen int64
+
+	// floors are the freshest per-client truncation points reported via
+	// Truncate; durable is the subset already persisted in the manifest.
+	// Retirement decisions use only durable floors: a floor that dies
+	// with the process must not have authorized deleting bytes.
+	floors      map[record.ClientID]record.LSN
+	durable     map[record.ClientID]record.LSN
+	floorsDirty bool
+
+	// high is each client's highest archived LSN, rebuilt from volume
+	// scans on open: a client whose floor has passed it has nothing
+	// readable left in the archive.
+	high map[record.ClientID]record.LSN
+
 	nodeBytes int64
+	retired   uint64
 	closed    bool
 }
+
+// ArchiveOptions configures OpenArchive.
+type ArchiveOptions struct {
+	// VolumeBytes is the capacity at which the active volume seals and
+	// a fresh one opens. Zero means 64 MiB. A single frame larger than
+	// the capacity still fits: it gets a fresh volume to itself.
+	VolumeBytes int64
+}
+
+func (o *ArchiveOptions) fillDefaults() {
+	if o.VolumeBytes <= 0 {
+		o.VolumeBytes = 64 << 20
+	}
+}
+
+// volume is one on-disk piece of the archive stream. Offsets handed to
+// the forests are absolute stream offsets: base + offset-in-file, so
+// the index never changes when volumes are retired.
+type volume struct {
+	base   int64
+	size   int64
+	f      *os.File
+	path   string
+	sealed bool
+	// maxLSN is the highest LSN each client has framed on this volume:
+	// the volume is retirable once every entry is below that client's
+	// durable floor.
+	maxLSN map[record.ClientID]record.LSN
+}
+
+func (v *volume) end() int64 { return v.base + v.size }
 
 type clientForest struct {
 	store  *appendforest.FileNodeStore
@@ -62,8 +125,11 @@ type overlayRef struct {
 }
 
 const (
-	archiveDataName    = "archive.log"
-	archiveOverlayName = "overlay.log"
+	archiveLegacyName   = "archive.log"
+	archiveOverlayName  = "overlay.log"
+	archiveManifestName = "MANIFEST"
+
+	archiveManifestMagic = 0xA6C41F0E
 
 	// data frame: payload length u32 | client u64 | record | crc32 of
 	// the payload (client + record).
@@ -78,85 +144,201 @@ func forestName(c record.ClientID) string {
 	return fmt.Sprintf("forest-%020d.af", uint64(c))
 }
 
+func volName(base int64) string {
+	return fmt.Sprintf("vol-%020d.log", base)
+}
+
+func parseVolBase(name string) (int64, bool) {
+	if !strings.HasPrefix(name, "vol-") || !strings.HasSuffix(name, ".log") {
+		return 0, false
+	}
+	base, err := strconv.ParseInt(strings.TrimSuffix(strings.TrimPrefix(name, "vol-"), ".log"), 10, 64)
+	if err != nil || base < 0 {
+		return 0, false
+	}
+	return base, true
+}
+
 // OpenArchive opens (creating if needed) an archive directory. Torn
-// tails in the data and overlay logs — a crash mid-append — are
-// discarded: a frame not fully written was never referenced by a
-// forest node or acknowledged by Sync.
-func OpenArchive(dir string) (*Archive, error) {
+// tails in the active volume and the overlay log — a crash mid-append
+// — are discarded: a frame not fully written was never referenced by
+// a forest node or acknowledged by Sync. Stray volumes below the
+// manifest's retirement boundary (a crash between the boundary advance
+// and the unlink) are deleted. A pre-volume archive.log is adopted as
+// the first volume.
+func OpenArchive(dir string, opts ArchiveOptions) (*Archive, error) {
+	opts.fillDefaults()
 	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	boundary, floors, err := readArchiveManifest(filepath.Join(dir, archiveManifestName))
+	if err != nil {
 		return nil, err
 	}
 	a := &Archive{
 		dir:      dir,
+		opts:     opts,
+		boundary: boundary,
 		forests:  make(map[record.ClientID]*clientForest),
 		overlays: make(map[overlayKey]overlayRef),
+		floors:   floors,
+		durable:  make(map[record.ClientID]record.LSN, len(floors)),
+		high:     make(map[record.ClientID]record.LSN),
 	}
-	data, err := os.OpenFile(filepath.Join(dir, archiveDataName), os.O_RDWR|os.O_CREATE, 0o644)
-	if err != nil {
-		return nil, err
+	for c, f := range floors {
+		a.durable[c] = f
 	}
-	a.data = data
-	if a.dataLen, err = scanDataLog(data); err != nil {
-		data.Close()
-		return nil, err
-	}
-	if err := data.Truncate(a.dataLen); err != nil {
-		data.Close()
+	if err := a.migrateLegacyLocked(); err != nil {
 		return nil, err
 	}
 
 	des, err := os.ReadDir(dir)
 	if err != nil {
-		a.Close()
 		return nil, err
 	}
+	var bases []int64
+	for _, de := range des {
+		if strings.HasSuffix(de.Name(), ".tmp") {
+			// A crash mid-replace (manifest, overlay, or forest rewrite)
+			// left its staging file behind; the rename never happened.
+			os.Remove(filepath.Join(dir, de.Name()))
+			continue
+		}
+		base, ok := parseVolBase(de.Name())
+		if !ok {
+			continue
+		}
+		if base < a.boundary {
+			// Retired before the crash removed the file; its bytes must
+			// never be read again.
+			if err := os.Remove(filepath.Join(dir, de.Name())); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		bases = append(bases, base)
+	}
+	sort.Slice(bases, func(i, j int) bool { return bases[i] < bases[j] })
+
+	next := a.boundary
+	for i, base := range bases {
+		if base != next {
+			a.closeFiles()
+			return nil, fmt.Errorf("retention: volume gap in %s: want base %d, have %d", dir, next, base)
+		}
+		last := i == len(bases)-1
+		v, err := a.openVolume(base, last)
+		if err != nil {
+			a.closeFiles()
+			return nil, err
+		}
+		v.sealed = !last
+		a.vols = append(a.vols, v)
+		next = v.end()
+	}
+	if len(a.vols) == 0 {
+		v, err := a.createVolume(a.boundary)
+		if err != nil {
+			a.closeFiles()
+			return nil, err
+		}
+		a.vols = append(a.vols, v)
+	}
+
 	for _, de := range des {
 		var id uint64
 		if n, _ := fmt.Sscanf(de.Name(), "forest-%d.af", &id); n != 1 {
 			continue
 		}
 		if err := a.openForest(record.ClientID(id)); err != nil {
-			a.Close()
+			a.closeFiles()
 			return nil, err
 		}
 	}
 
 	overlay, err := os.OpenFile(filepath.Join(dir, archiveOverlayName), os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
-		a.Close()
+		a.closeFiles()
 		return nil, err
 	}
 	a.overlay = overlay
 	if err := a.loadOverlay(); err != nil {
-		a.Close()
+		a.closeFiles()
 		return nil, err
 	}
 	return a, nil
 }
 
-// scanDataLog walks the frames and returns the offset of the first
-// invalid one (the valid length).
-func scanDataLog(f *os.File) (int64, error) {
-	info, err := f.Stat()
-	if err != nil {
-		return 0, err
+// migrateLegacyLocked adopts a pre-volume archive.log as the first
+// volume. Legacy archives have no manifest, so the boundary is zero.
+func (a *Archive) migrateLegacyLocked() error {
+	legacy := filepath.Join(a.dir, archiveLegacyName)
+	if _, err := os.Stat(legacy); errors.Is(err, os.ErrNotExist) {
+		return nil
+	} else if err != nil {
+		return err
 	}
-	size := info.Size()
-	buf := make([]byte, size)
-	if size > 0 {
-		if _, err := f.ReadAt(buf, 0); err != nil {
-			return 0, err
+	if err := os.Rename(legacy, filepath.Join(a.dir, volName(a.boundary))); err != nil {
+		return err
+	}
+	syncDirRetention(a.dir)
+	return nil
+}
+
+func (a *Archive) createVolume(base int64) (*volume, error) {
+	path := filepath.Join(a.dir, volName(base))
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &volume{base: base, f: f, path: path, maxLSN: make(map[record.ClientID]record.LSN)}, nil
+}
+
+// openVolume opens an existing volume and scans its frames, rebuilding
+// its per-client high-water marks. Only the last (active) volume may
+// carry a torn tail; it is truncated away. A bad frame inside a sealed
+// volume is corruption.
+func (a *Archive) openVolume(base int64, last bool) (*volume, error) {
+	v, err := a.createVolume(base)
+	if err != nil {
+		return nil, err
+	}
+	info, err := v.f.Stat()
+	if err != nil {
+		v.f.Close()
+		return nil, err
+	}
+	buf := make([]byte, info.Size())
+	if len(buf) > 0 {
+		if _, err := v.f.ReadAt(buf, 0); err != nil {
+			v.f.Close()
+			return nil, err
 		}
 	}
 	off := int64(0)
-	for off < size {
-		if _, n, err := decodeDataFrame(buf[off:]); err != nil {
+	for off < int64(len(buf)) {
+		fr, n, err := decodeDataFrame(buf[off:])
+		if err != nil {
+			if !last {
+				v.f.Close()
+				return nil, fmt.Errorf("retention: sealed volume %s corrupt at %d: %v", v.path, off, err)
+			}
 			break
-		} else {
-			off += int64(n)
 		}
+		if v.maxLSN[fr.c] < fr.rec.LSN {
+			v.maxLSN[fr.c] = fr.rec.LSN
+		}
+		if a.high[fr.c] < fr.rec.LSN {
+			a.high[fr.c] = fr.rec.LSN
+		}
+		off += int64(n)
 	}
-	return off, nil
+	if err := v.f.Truncate(off); err != nil {
+		v.f.Close()
+		return nil, err
+	}
+	v.size = off
+	return v, nil
 }
 
 func (a *Archive) openForest(c record.ClientID) error {
@@ -208,6 +390,7 @@ func (a *Archive) loadOverlay() error {
 		}
 		off += overlayFrameSize
 	}
+	a.overlayLen = off
 	return a.overlay.Truncate(off)
 }
 
@@ -255,12 +438,17 @@ func decodeDataFrame(buf []byte) (struct {
 
 // Archive implements storage.ArchiveTier: store one record. Idempotent
 // — an (LSN, epoch) already archived is a no-op, and a higher epoch
-// for an archived LSN supersedes the older copy via the overlay.
+// for an archived LSN supersedes the older copy via the overlay. A
+// record already below its client's truncation floor is dropped: it
+// could never be read back, and keeping it out lets its volume retire.
 func (a *Archive) Archive(c record.ClientID, rec record.Record) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if a.closed {
 		return ErrClosed
+	}
+	if rec.LSN < a.floors[c] {
+		return nil
 	}
 	existing, ok, err := a.lookupLocked(c, rec.LSN)
 	if err != nil {
@@ -270,11 +458,24 @@ func (a *Archive) Archive(c record.ClientID, rec record.Record) error {
 		return nil
 	}
 	frame := encodeDataFrame(nil, c, rec)
-	off := a.dataLen
-	if _, err := a.data.WriteAt(frame, off); err != nil {
+	act := a.vols[len(a.vols)-1]
+	if act.size > 0 && act.size+int64(len(frame)) > a.opts.VolumeBytes {
+		if err := a.rotateLocked(); err != nil {
+			return err
+		}
+		act = a.vols[len(a.vols)-1]
+	}
+	off := act.base + act.size
+	if _, err := act.f.WriteAt(frame, act.size); err != nil {
 		return err
 	}
-	a.dataLen += int64(len(frame))
+	act.size += int64(len(frame))
+	if act.maxLSN[c] < rec.LSN {
+		act.maxLSN[c] = rec.LSN
+	}
+	if a.high[c] < rec.LSN {
+		a.high[c] = rec.LSN
+	}
 
 	if err := a.openForest(c); err != nil {
 		return err
@@ -295,26 +496,48 @@ func (a *Archive) Archive(c record.ClientID, rec record.Record) error {
 	binary.BigEndian.PutUint64(fr[16:], uint64(rec.Epoch))
 	binary.BigEndian.PutUint64(fr[24:], uint64(off))
 	binary.BigEndian.PutUint32(fr[overlayFrameSize-4:], crc32.ChecksumIEEE(fr[:overlayFrameSize-4]))
-	oinfo, err := a.overlay.Stat()
-	if err != nil {
+	if _, err := a.overlay.WriteAt(fr[:], a.overlayLen); err != nil {
 		return err
 	}
-	if _, err := a.overlay.WriteAt(fr[:], oinfo.Size()); err != nil {
-		return err
-	}
+	a.overlayLen += overlayFrameSize
 	a.overlays[overlayKey{c, rec.LSN}] = overlayRef{epoch: rec.Epoch, off: off}
 	return nil
 }
 
+// rotateLocked seals the active volume and opens its successor. A
+// crash after the seal but before the successor exists is benign: the
+// reopened volume becomes the active one again and the next
+// overflowing append re-runs the rotation.
+func (a *Archive) rotateLocked() error {
+	act := a.vols[len(a.vols)-1]
+	if !act.sealed {
+		if err := act.f.Sync(); err != nil {
+			return err
+		}
+		act.sealed = true
+	}
+	if err := faultpoint.HitErr(FPVolumeSeal); err != nil {
+		return err
+	}
+	nv, err := a.createVolume(act.end())
+	if err != nil {
+		return err
+	}
+	a.vols = append(a.vols, nv)
+	syncDirRetention(a.dir)
+	return nil
+}
+
 // Sync implements storage.ArchiveTier: make all preceding Archive
-// calls durable.
+// calls durable. Pending truncation floors ride along: a floor is
+// retirement-grade only once it has hit the manifest.
 func (a *Archive) Sync() error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if a.closed {
 		return ErrClosed
 	}
-	if err := a.data.Sync(); err != nil {
+	if err := a.vols[len(a.vols)-1].f.Sync(); err != nil {
 		return err
 	}
 	for _, cf := range a.forests {
@@ -322,11 +545,36 @@ func (a *Archive) Sync() error {
 			return err
 		}
 	}
-	return a.overlay.Sync()
+	if err := a.overlay.Sync(); err != nil {
+		return err
+	}
+	if a.floorsDirty {
+		return a.writeManifestLocked()
+	}
+	return nil
+}
+
+// Truncate implements storage.ArchiveTier: record that the client has
+// truncated its log below before. Reads clamp at the floor
+// immediately; retirement waits until the floor is durable (the next
+// Sync or RetireOnce persists it).
+func (a *Archive) Truncate(c record.ClientID, before record.LSN) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed {
+		return ErrClosed
+	}
+	if before > a.floors[c] {
+		a.floors[c] = before
+		a.floorsDirty = true
+	}
+	return nil
 }
 
 // Lookup implements storage.ArchiveTier: the archived record with the
-// highest epoch for the LSN.
+// highest epoch for the LSN. LSNs below the client's truncation floor
+// are gone — they must not resurface from the cold tier even if their
+// frames still exist on not-yet-retired volumes.
 func (a *Archive) Lookup(c record.ClientID, lsn record.LSN) (record.Record, bool, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
@@ -337,6 +585,9 @@ func (a *Archive) Lookup(c record.ClientID, lsn record.LSN) (record.Record, bool
 }
 
 func (a *Archive) lookupLocked(c record.ClientID, lsn record.LSN) (record.Record, bool, error) {
+	if lsn < a.floors[c] {
+		return record.Record{}, false, nil
+	}
 	if ref, ok := a.overlays[overlayKey{c, lsn}]; ok {
 		rec, err := a.readFrame(ref.off, c, lsn)
 		return rec, err == nil, err
@@ -353,14 +604,25 @@ func (a *Archive) lookupLocked(c record.ClientID, lsn record.LSN) (record.Record
 	return rec, err == nil, err
 }
 
+// readFrame reads the frame at an absolute stream offset, routing to
+// the volume that holds it.
 func (a *Archive) readFrame(off int64, c record.ClientID, lsn record.LSN) (record.Record, error) {
+	if off < a.boundary {
+		return record.Record{}, fmt.Errorf("retention: frame at %d for (%d,%d) is below the retirement boundary %d", off, c, lsn, a.boundary)
+	}
+	i := sort.Search(len(a.vols), func(i int) bool { return a.vols[i].end() > off })
+	if i == len(a.vols) || off < a.vols[i].base {
+		return record.Record{}, fmt.Errorf("retention: frame offset %d outside every volume", off)
+	}
+	v := a.vols[i]
+	rel := off - v.base
 	var hdr [4]byte
-	if _, err := a.data.ReadAt(hdr[:], off); err != nil {
+	if _, err := v.f.ReadAt(hdr[:], rel); err != nil {
 		return record.Record{}, err
 	}
 	plen := int(binary.BigEndian.Uint32(hdr[:]))
 	buf := make([]byte, 4+plen+4)
-	if _, err := a.data.ReadAt(buf, off); err != nil {
+	if _, err := v.f.ReadAt(buf, rel); err != nil {
 		return record.Record{}, err
 	}
 	fr, _, err := decodeDataFrame(buf)
@@ -373,23 +635,406 @@ func (a *Archive) readFrame(off int64, c record.ClientID, lsn record.LSN) (recor
 	return fr.rec, nil
 }
 
+// RetireOnce performs at most one unit of archive housekeeping and
+// reports whether it did anything: persist pending truncation floors,
+// retire the oldest sealed volume whose every record is below its
+// client's durable floor, drop a forest whose whole keyspace has been
+// truncated, or compact dead overlay entries. Driven by the Compactor
+// loop between reclamation passes.
+func (a *Archive) RetireOnce() (bool, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed {
+		return false, ErrClosed
+	}
+	if a.floorsDirty {
+		if err := a.writeManifestLocked(); err != nil {
+			return false, err
+		}
+	}
+	if len(a.vols) > 1 {
+		v := a.vols[0]
+		if v.sealed && a.retirableLocked(v) {
+			if a.boundary < v.end() {
+				// The boundary advance must be durable before the bytes
+				// disappear: reopen must know never to look for them.
+				a.boundary = v.end()
+				if err := a.writeManifestLocked(); err != nil {
+					a.boundary = v.base
+					return false, err
+				}
+			}
+			if err := faultpoint.HitErr(FPVolumeRetire); err != nil {
+				return false, err
+			}
+			v.f.Close()
+			if err := os.Remove(v.path); err != nil && !errors.Is(err, os.ErrNotExist) {
+				return false, err
+			}
+			a.vols = a.vols[1:]
+			a.retired++
+			return true, nil
+		}
+	}
+	for c, cf := range a.forests {
+		n := cf.forest.Len()
+		if n == 0 {
+			continue
+		}
+		floor := a.durable[c]
+		if floor > record.LSN(cf.forest.MaxKey()) {
+			// Every key in this forest is below the client's durable floor:
+			// the index retires with its volumes. A later Archive call for
+			// the client recreates it empty.
+			a.nodeBytes -= n * appendforest.NodeSize
+			cf.store.Close()
+			if err := os.Remove(filepath.Join(a.dir, forestName(c))); err != nil && !errors.Is(err, os.ErrNotExist) {
+				return false, err
+			}
+			delete(a.forests, c)
+			return true, nil
+		}
+		// Keys are strictly increasing, so the dead nodes are a prefix.
+		// Once they are the majority, rewrite the forest without them —
+		// otherwise the index of a long-lived client grows without bound
+		// even as its volumes retire.
+		var dead int64
+		if err := cf.forest.Scan(func(key uint64, _ int64) error {
+			if record.LSN(key) >= floor {
+				return errStopScan
+			}
+			dead++
+			return nil
+		}); err != nil && !errors.Is(err, errStopScan) {
+			return false, err
+		}
+		if dead*2 > n {
+			if err := a.compactForestLocked(c); err != nil {
+				return false, err
+			}
+			return true, nil
+		}
+	}
+	for k := range a.overlays {
+		if k.lsn < a.durable[k.client] {
+			if err := a.compactOverlayLocked(); err != nil {
+				return false, err
+			}
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// errStopScan is the sentinel a forest scan returns to stop at the
+// first live key (the dead prefix has been measured).
+var errStopScan = errors.New("retention: stop scan")
+
+// compactForestLocked rewrites a client's forest node log without the
+// keys below the client's durable floor (a strictly-increasing-key
+// forest stays valid under a prefix cut: the surviving appends replay
+// in the same order). The rewrite is crash-safe: the new log is built
+// beside the old one and renamed over it; a crash leaves either file
+// whole, and a stray .tmp is removed on open.
+func (a *Archive) compactForestLocked(c record.ClientID) error {
+	cf := a.forests[c]
+	floor := a.durable[c]
+	path := filepath.Join(a.dir, forestName(c))
+	tmp := path + ".tmp"
+	os.Remove(tmp)
+	store, err := appendforest.OpenFileNodeStore(tmp)
+	if err != nil {
+		return err
+	}
+	nf, err := appendforest.OpenPersistent(store)
+	if err != nil {
+		store.Close()
+		os.Remove(tmp)
+		return err
+	}
+	err = cf.forest.Scan(func(key uint64, payload int64) error {
+		if record.LSN(key) < floor {
+			return nil
+		}
+		return nf.Append(key, payload)
+	})
+	if err == nil {
+		err = store.Sync()
+	}
+	if err != nil {
+		store.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := store.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	syncDirRetention(a.dir)
+	store2, err := appendforest.OpenFileNodeStore(path)
+	if err != nil {
+		return err
+	}
+	forest2, err := appendforest.OpenPersistent(store2)
+	if err != nil {
+		store2.Close()
+		return err
+	}
+	a.nodeBytes += (forest2.Len() - cf.forest.Len()) * appendforest.NodeSize
+	cf.store.Close()
+	a.forests[c] = &clientForest{store: store2, forest: forest2}
+	return nil
+}
+
+// retirableLocked reports whether every record on the volume is below
+// its client's durable truncation floor.
+func (a *Archive) retirableLocked(v *volume) bool {
+	for c, max := range v.maxLSN {
+		if a.durable[c] <= max {
+			return false
+		}
+	}
+	return true
+}
+
+// compactOverlayLocked rewrites the overlay log without entries below
+// their client's durable floor.
+func (a *Archive) compactOverlayLocked() error {
+	type entry struct {
+		k   overlayKey
+		ref overlayRef
+	}
+	var live []entry
+	for k, ref := range a.overlays {
+		if k.lsn >= a.durable[k.client] {
+			live = append(live, entry{k, ref})
+		}
+	}
+	sort.Slice(live, func(i, j int) bool {
+		if live[i].k.client != live[j].k.client {
+			return live[i].k.client < live[j].k.client
+		}
+		return live[i].k.lsn < live[j].k.lsn
+	})
+	buf := make([]byte, 0, len(live)*overlayFrameSize)
+	for _, e := range live {
+		var fr [overlayFrameSize]byte
+		binary.BigEndian.PutUint64(fr[0:], uint64(e.k.client))
+		binary.BigEndian.PutUint64(fr[8:], uint64(e.k.lsn))
+		binary.BigEndian.PutUint64(fr[16:], uint64(e.ref.epoch))
+		binary.BigEndian.PutUint64(fr[24:], uint64(e.ref.off))
+		binary.BigEndian.PutUint32(fr[overlayFrameSize-4:], crc32.ChecksumIEEE(fr[:overlayFrameSize-4]))
+		buf = append(buf, fr[:]...)
+	}
+	path := filepath.Join(a.dir, archiveOverlayName)
+	tmp := path + ".tmp"
+	if err := writeFileSyncRetention(tmp, buf); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	syncDirRetention(a.dir)
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	a.overlay.Close()
+	a.overlay = f
+	a.overlayLen = int64(len(buf))
+	for k := range a.overlays {
+		if k.lsn < a.durable[k.client] {
+			delete(a.overlays, k)
+		}
+	}
+	return nil
+}
+
+// writeManifestLocked durably replaces the manifest (tmp + fsync +
+// rename + directory sync) with the current boundary and floors, which
+// become the durable ones retirement may rely on.
+func (a *Archive) writeManifestLocked() error {
+	clients := make([]record.ClientID, 0, len(a.floors))
+	for c := range a.floors {
+		clients = append(clients, c)
+	}
+	sort.Slice(clients, func(i, j int) bool { return clients[i] < clients[j] })
+	buf := binary.BigEndian.AppendUint32(nil, archiveManifestMagic)
+	buf = append(buf, 1)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(a.boundary))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(clients)))
+	for _, c := range clients {
+		buf = binary.BigEndian.AppendUint64(buf, uint64(c))
+		buf = binary.BigEndian.AppendUint64(buf, uint64(a.floors[c]))
+	}
+	buf = binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+
+	path := filepath.Join(a.dir, archiveManifestName)
+	tmp := path + ".tmp"
+	if err := writeFileSyncRetention(tmp, buf); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	syncDirRetention(a.dir)
+	for c, f := range a.floors {
+		a.durable[c] = f
+	}
+	a.floorsDirty = false
+	return nil
+}
+
+// readArchiveManifest reads the manifest at path; a missing file
+// yields the empty state (a brand-new or pre-volume archive).
+func readArchiveManifest(path string) (int64, map[record.ClientID]record.LSN, error) {
+	floors := make(map[record.ClientID]record.LSN)
+	buf, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, floors, nil
+	}
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(buf) < 4+1+8+4+4 {
+		return 0, nil, fmt.Errorf("retention: manifest %s too short", path)
+	}
+	body, sum := buf[:len(buf)-4], binary.BigEndian.Uint32(buf[len(buf)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return 0, nil, fmt.Errorf("retention: manifest %s checksum mismatch", path)
+	}
+	if binary.BigEndian.Uint32(body) != archiveManifestMagic {
+		return 0, nil, fmt.Errorf("retention: manifest %s bad magic", path)
+	}
+	if body[4] != 1 {
+		return 0, nil, fmt.Errorf("retention: manifest %s unknown version %d", path, body[4])
+	}
+	boundary := int64(binary.BigEndian.Uint64(body[5:]))
+	n := int(binary.BigEndian.Uint32(body[13:]))
+	if len(body) != 17+n*16 {
+		return 0, nil, fmt.Errorf("retention: manifest %s truncated", path)
+	}
+	off := 17
+	for i := 0; i < n; i++ {
+		c := record.ClientID(binary.BigEndian.Uint64(body[off:]))
+		floors[c] = record.LSN(binary.BigEndian.Uint64(body[off+8:]))
+		off += 16
+	}
+	return boundary, floors, nil
+}
+
 // Bytes implements storage.ArchiveTier: the archive's stored size
-// (data log + forest nodes + overlay).
+// (volumes + forest nodes + overlay).
 func (a *Archive) Bytes() int64 {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	return a.dataLen + a.nodeBytes + int64(len(a.overlays))*overlayFrameSize
+	var n int64
+	for _, v := range a.vols {
+		n += v.size
+	}
+	return n + a.nodeBytes + a.overlayLen
 }
 
-// Clients lists the clients with archived records.
+// ReclaimableBytes is what a retirement pass could free right now:
+// the oldest-first run of sealed volumes whose records are all below
+// the freshest floors, plus index files wholly below the floor. Feeds
+// the storage.disk.archive_reclaimable gauge and the rebalancer's
+// headroom placement.
+func (a *Archive) ReclaimableBytes() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var n int64
+	for _, v := range a.vols[:len(a.vols)-1] {
+		if !v.sealed {
+			break
+		}
+		dead := true
+		for c, max := range v.maxLSN {
+			if a.floors[c] <= max {
+				dead = false
+				break
+			}
+		}
+		if !dead {
+			// Retirement is oldest-first: a pinned volume pins its
+			// successors too.
+			break
+		}
+		n += v.size
+	}
+	for c, cf := range a.forests {
+		if cf.forest.Len() > 0 && a.floors[c] > record.LSN(cf.forest.MaxKey()) {
+			n += cf.forest.Len() * appendforest.NodeSize
+		}
+	}
+	return n
+}
+
+// Clients lists the clients with readable archived records: a client
+// whose truncation floor has passed everything it archived no longer
+// appears.
 func (a *Archive) Clients() []record.ClientID {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	out := make([]record.ClientID, 0, len(a.forests))
 	for c := range a.forests {
+		if a.floors[c] > a.high[c] {
+			continue
+		}
 		out = append(out, c)
 	}
 	return out
+}
+
+// Floor returns the freshest truncation floor known for the client.
+func (a *Archive) Floor(c record.ClientID) record.LSN {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.floors[c]
+}
+
+// Dir returns the archive's directory.
+func (a *Archive) Dir() string { return a.dir }
+
+// Boundary returns the retirement boundary: the absolute stream offset
+// below which volumes have been deleted.
+func (a *Archive) Boundary() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.boundary
+}
+
+// Volumes returns how many volumes are on disk; Retired how many have
+// been deleted over the archive's lifetime (this process).
+func (a *Archive) Volumes() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.vols)
+}
+
+// Retired returns how many volumes RetireOnce has unlinked.
+func (a *Archive) Retired() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.retired
+}
+
+func (a *Archive) closeFiles() {
+	for _, v := range a.vols {
+		v.f.Close()
+	}
+	for _, cf := range a.forests {
+		cf.store.Close()
+	}
+	if a.overlay != nil {
+		a.overlay.Close()
+	}
 }
 
 // Close releases the archive's files.
@@ -401,8 +1046,8 @@ func (a *Archive) Close() error {
 	}
 	a.closed = true
 	var errs []error
-	if a.data != nil {
-		errs = append(errs, a.data.Close())
+	for _, v := range a.vols {
+		errs = append(errs, v.f.Close())
 	}
 	for _, cf := range a.forests {
 		errs = append(errs, cf.store.Close())
@@ -415,3 +1060,31 @@ func (a *Archive) Close() error {
 
 // ErrClosed is returned after Close.
 var ErrClosed = errors.New("retention: archive is closed")
+
+// writeFileSyncRetention writes data to path and fsyncs it before
+// closing.
+func writeFileSyncRetention(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// syncDirRetention fsyncs a directory so a just-created or just-
+// renamed file's entry is durable. Errors are ignored: some platforms
+// refuse directory fsync, and recovery tolerates a lost tail.
+func syncDirRetention(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}

@@ -15,10 +15,22 @@ type Compactable interface {
 	CompactOnce() (bool, error)
 }
 
+// Retirable is the archive surface the compactor drives once the hot
+// tier is drained (implemented by Archive): one unit of cold-tier
+// housekeeping — persist floors, retire a dead volume, drop a dead
+// index.
+type Retirable interface {
+	RetireOnce() (bool, error)
+}
+
 // CompactorConfig configures a background Compactor.
 type CompactorConfig struct {
 	// Store is the segmented store to reclaim space from.
 	Store Compactable
+	// Retire, when set, is the archive whose retirement pass runs on
+	// ticks where the store had nothing left to compact — cold-tier
+	// housekeeping rides the same pacing as hot-tier reclamation.
+	Retire Retirable
 	// Interval is the pause between compaction attempts (default 1s).
 	Interval time.Duration
 	// ForceHist, when set, paces compaction off the force path: before
@@ -32,8 +44,11 @@ type CompactorConfig struct {
 	// compaction yields to the foreground. Zero disables pacing.
 	ForceP99Budget uint64
 	// Backoff is how long a paced-out compactor waits before looking
-	// again (default 4×Interval).
+	// again (default 4×Interval). Consecutive deferred passes double
+	// the wait up to MaxBackoff; the first admitted pass resets it.
 	Backoff time.Duration
+	// MaxBackoff caps the escalation (default 8×Backoff).
+	MaxBackoff time.Duration
 	// OnError, when set, observes compaction errors (the loop keeps
 	// running: a failed pass retries idempotently on the next tick).
 	OnError func(error)
@@ -50,22 +65,45 @@ type Compactor struct {
 
 	mu        sync.Mutex
 	prev      telemetry.HistogramSnapshot
+	backoff   time.Duration // current deferral wait; escalates, resets on admit
 	reclaimed uint64
+	retired   uint64
 	deferred  uint64
 }
 
-// NewCompactor starts a compactor; Stop shuts it down.
-func NewCompactor(cfg CompactorConfig) *Compactor {
+// CompactorStats counts the compactor's lifetime activity.
+type CompactorStats struct {
+	// Reclaimed is how many segments compaction folded away.
+	Reclaimed uint64
+	// Retired is how many archive housekeeping units ran (volume
+	// retirements, floor persists, index drops).
+	Retired uint64
+	// Deferred is how many passes pacing pushed back.
+	Deferred uint64
+}
+
+// newCompactorState builds a Compactor without starting its loop —
+// the unit-testable admit/backoff state machine.
+func newCompactorState(cfg CompactorConfig) *Compactor {
 	if cfg.Interval <= 0 {
 		cfg.Interval = time.Second
 	}
 	if cfg.Backoff <= 0 {
 		cfg.Backoff = 4 * cfg.Interval
 	}
-	c := &Compactor{cfg: cfg, stop: make(chan struct{}), done: make(chan struct{})}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 8 * cfg.Backoff
+	}
+	c := &Compactor{cfg: cfg, backoff: cfg.Backoff, stop: make(chan struct{}), done: make(chan struct{})}
 	if cfg.ForceHist != nil {
 		c.prev = cfg.ForceHist.Snapshot()
 	}
+	return c
+}
+
+// NewCompactor starts a compactor; Stop shuts it down.
+func NewCompactor(cfg CompactorConfig) *Compactor {
+	c := newCompactorState(cfg)
 	go c.run()
 	return c
 }
@@ -90,9 +128,24 @@ func (c *Compactor) step() time.Duration {
 	if !c.admit() {
 		c.mu.Lock()
 		c.deferred++
+		d := c.backoff
+		// The force path is hot: stretch consecutive deferrals so a
+		// sustained burst is probed less and less often.
+		if c.backoff < c.cfg.MaxBackoff {
+			c.backoff *= 2
+			if c.backoff > c.cfg.MaxBackoff {
+				c.backoff = c.cfg.MaxBackoff
+			}
+		}
 		c.mu.Unlock()
-		return c.cfg.Backoff
+		return d
 	}
+	// Back under budget: reset the escalation, so the next deferral —
+	// however long the last hot streak was — starts from the base
+	// backoff instead of the stretched one.
+	c.mu.Lock()
+	c.backoff = c.cfg.Backoff
+	c.mu.Unlock()
 	ok, err := c.cfg.Store.CompactOnce()
 	if err != nil {
 		if c.cfg.OnError != nil {
@@ -106,6 +159,20 @@ func (c *Compactor) step() time.Duration {
 		c.mu.Unlock()
 		// More to do: keep going at full tick rate.
 		return c.cfg.Interval
+	}
+	if c.cfg.Retire != nil {
+		rok, rerr := c.cfg.Retire.RetireOnce()
+		if rerr != nil {
+			if c.cfg.OnError != nil {
+				c.cfg.OnError(rerr)
+			}
+			return c.cfg.Backoff
+		}
+		if rok {
+			c.mu.Lock()
+			c.retired++
+			c.mu.Unlock()
+		}
 	}
 	return c.cfg.Interval
 }
@@ -129,12 +196,11 @@ func (c *Compactor) admit() bool {
 	return delta.Quantile(0.99) <= c.cfg.ForceP99Budget
 }
 
-// Stats reports how many segments the compactor reclaimed and how many
-// passes pacing deferred.
-func (c *Compactor) Stats() (reclaimed, deferred uint64) {
+// Stats reports the compactor's lifetime activity.
+func (c *Compactor) Stats() CompactorStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.reclaimed, c.deferred
+	return CompactorStats{Reclaimed: c.reclaimed, Retired: c.retired, Deferred: c.deferred}
 }
 
 // Stop shuts the compactor down and waits for the in-flight pass.

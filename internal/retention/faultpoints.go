@@ -1,0 +1,20 @@
+package retention
+
+import "distlog/internal/faultpoint"
+
+// Crash points on the archive lifecycle path, swept by the segmented
+// crashaudit mode.
+const (
+	// FPVolumeSeal fires after the active archive volume is synced and
+	// sealed, before its successor is created: a crash here reopens the
+	// full volume as the active one, and the next overflowing append
+	// re-runs the rotation.
+	FPVolumeSeal = "retention.volume.seal"
+	// FPVolumeRetire fires after the retirement boundary is durably
+	// advanced past a fully-truncated volume, before the volume file is
+	// unlinked: a crash here leaves a stray volume below the boundary,
+	// which OpenArchive deletes.
+	FPVolumeRetire = "retention.volume.retire"
+)
+
+var _ = faultpoint.Register(FPVolumeSeal, FPVolumeRetire)

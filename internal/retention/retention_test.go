@@ -21,7 +21,7 @@ func rec(lsn record.LSN, epoch record.Epoch, data string) record.Record {
 
 func TestArchiveRoundTrip(t *testing.T) {
 	dir := t.TempDir()
-	a, err := OpenArchive(dir)
+	a, err := OpenArchive(dir, ArchiveOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +60,7 @@ func TestArchiveRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Reopen: the forest recovers by scanning its node log.
-	a, err = OpenArchive(dir)
+	a, err = OpenArchive(dir, ArchiveOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +70,7 @@ func TestArchiveRoundTrip(t *testing.T) {
 
 func TestArchiveIdempotentAndEpochSupersede(t *testing.T) {
 	dir := t.TempDir()
-	a, err := OpenArchive(dir)
+	a, err := OpenArchive(dir, ArchiveOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +111,7 @@ func TestArchiveIdempotentAndEpochSupersede(t *testing.T) {
 	// The overlay survives reopen.
 	a.Sync()
 	a.Close()
-	a, err = OpenArchive(dir)
+	a, err = OpenArchive(dir, ArchiveOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +124,7 @@ func TestArchiveIdempotentAndEpochSupersede(t *testing.T) {
 
 func TestArchiveTornTailsDiscarded(t *testing.T) {
 	dir := t.TempDir()
-	a, err := OpenArchive(dir)
+	a, err := OpenArchive(dir, ArchiveOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +142,7 @@ func TestArchiveTornTailsDiscarded(t *testing.T) {
 	// The forest node for the torn frame was written too, so reopening
 	// must not serve it — tear the node file's tail as well, as a crash
 	// mid-archive would leave it.
-	dataPath := filepath.Join(dir, archiveDataName)
+	dataPath := filepath.Join(dir, volName(0))
 	info, err := os.Stat(dataPath)
 	if err != nil {
 		t.Fatal(err)
@@ -159,7 +159,7 @@ func TestArchiveTornTailsDiscarded(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	a, err = OpenArchive(dir)
+	a, err = OpenArchive(dir, ArchiveOptions{})
 	if err != nil {
 		t.Fatalf("reopen with torn tails: %v", err)
 	}
@@ -211,12 +211,12 @@ func TestCompactorDrainsStore(t *testing.T) {
 	defer c.Stop()
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		reclaimed, _ := c.Stats()
-		if reclaimed >= 5 {
+		st := c.Stats()
+		if st.Reclaimed >= 5 {
 			break
 		}
 		if time.Now().After(deadline) {
-			t.Fatalf("compactor reclaimed %d of 5 segments", reclaimed)
+			t.Fatalf("compactor reclaimed %d of 5 segments", st.Reclaimed)
 		}
 		time.Sleep(time.Millisecond)
 	}
@@ -257,7 +257,7 @@ func TestCompactorPacedByForceLatency(t *testing.T) {
 	before := fs.count()
 	time.Sleep(50 * time.Millisecond)
 	paced := fs.count() - before
-	_, deferred := c.Stats()
+	deferred := c.Stats().Deferred
 	if deferred == 0 {
 		t.Fatalf("no pass was deferred under an over-budget force path (passes in window: %d)", paced)
 	}

@@ -1,0 +1,346 @@
+package retention
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"distlog/internal/record"
+	"distlog/internal/telemetry"
+)
+
+// countVolFiles counts the vol-*.log files in an archive directory.
+func countVolFiles(t *testing.T, dir string) int {
+	t.Helper()
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, de := range des {
+		if strings.HasPrefix(de.Name(), "vol-") && strings.HasSuffix(de.Name(), ".log") {
+			n++
+		}
+	}
+	return n
+}
+
+// TestArchiveFloorClampsReads is the regression test for archived
+// records falling below a client's truncation floor: they must vanish
+// from Lookup and Clients immediately — even though their frames still
+// sit on not-yet-retired volumes — and stay vanished across a reopen
+// once the floor is durable.
+func TestArchiveFloorClampsReads(t *testing.T) {
+	dir := t.TempDir()
+	a, err := OpenArchive(dir, ArchiveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const c = record.ClientID(3)
+	for i := 1; i <= 20; i++ {
+		if err := a.Archive(c, rec(record.LSN(i), 1, fmt.Sprintf("r%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Truncate(c, 11); err != nil {
+		t.Fatal(err)
+	}
+	// The clamp is immediate, not deferred to the next Sync.
+	if _, ok, err := a.Lookup(c, 5); ok || err != nil {
+		t.Fatalf("Lookup(5) below the floor = %v, %v; want gone", ok, err)
+	}
+	if _, ok, err := a.Lookup(c, 11); !ok || err != nil {
+		t.Fatalf("Lookup(11) at the floor = %v, %v; want served", ok, err)
+	}
+	if got := a.Clients(); len(got) != 1 || got[0] != c {
+		t.Fatalf("Clients() = %v with records above the floor", got)
+	}
+	// A floor past everything archived removes the client entirely.
+	if err := a.Truncate(c, 21); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Clients(); len(got) != 0 {
+		t.Fatalf("Clients() = %v after the floor passed the whole archive", got)
+	}
+	if _, ok, _ := a.Lookup(c, 15); ok {
+		t.Fatal("Lookup(15) served a record below the advanced floor")
+	}
+	// Sync persists the floor in the manifest; the clamp must survive a
+	// reopen even though every frame is still on disk.
+	if err := a.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	a, err = OpenArchive(dir, ArchiveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if _, ok, _ := a.Lookup(c, 5); ok {
+		t.Fatal("reopen resurfaced a record below the durable floor")
+	}
+	if got := a.Clients(); len(got) != 0 {
+		t.Fatalf("reopen Clients() = %v below the durable floor", got)
+	}
+	if a.Floor(c) != 21 {
+		t.Fatalf("reopen Floor() = %d, want 21", a.Floor(c))
+	}
+}
+
+// TestArchiveVolumeRotationAndRetire drives the full volume lifecycle:
+// tiny volumes rotate under load, a truncation-floor advance makes the
+// old ones retirable, RetireOnce unlinks them wholesale behind a
+// durable boundary, and both the survivors and the boundary persist
+// across a reopen.
+func TestArchiveVolumeRotationAndRetire(t *testing.T) {
+	dir := t.TempDir()
+	a, err := OpenArchive(dir, ArchiveOptions{VolumeBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const c = record.ClientID(9)
+	for i := 1; i <= 40; i++ {
+		if err := a.Archive(c, rec(record.LSN(i), 1, fmt.Sprintf("volume-record-%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.Volumes() < 4 {
+		t.Fatalf("only %d volumes after 40 records at 128-byte capacity; rotation broken", a.Volumes())
+	}
+	for i := 1; i <= 40; i++ {
+		if _, ok, err := a.Lookup(c, record.LSN(i)); !ok || err != nil {
+			t.Fatalf("Lookup(%d) across volumes = %v, %v", i, ok, err)
+		}
+	}
+	before := a.Bytes()
+
+	// Advance the floor and drain the retirement pass: dead volumes are
+	// unlinked, the dead forest prefix is compacted away, and the
+	// directory holds exactly what the archive accounts for.
+	if err := a.Truncate(c, 31); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		ok, err := a.RetireOnce()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+	}
+	if a.Retired() == 0 {
+		t.Fatal("no volume retired although every record on the old ones is below the floor")
+	}
+	if a.Boundary() == 0 {
+		t.Fatal("retirement did not advance the boundary")
+	}
+	if got := countVolFiles(t, dir); got != a.Volumes() {
+		t.Fatalf("%d vol-*.log files on disk, archive accounts for %d", got, a.Volumes())
+	}
+	if a.Bytes() >= before {
+		t.Fatalf("retirement did not shrink the archive: %d -> %d bytes", before, a.Bytes())
+	}
+	for i := 31; i <= 40; i++ {
+		if _, ok, err := a.Lookup(c, record.LSN(i)); !ok || err != nil {
+			t.Fatalf("Lookup(%d) after retirement = %v, %v", i, ok, err)
+		}
+	}
+	if _, ok, _ := a.Lookup(c, 5); ok {
+		t.Fatal("a retired record resurfaced")
+	}
+
+	// The offline verifier agrees with the live state.
+	rep, err := VerifyArchiveDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Issues) > 0 {
+		t.Fatalf("verify after retirement: %v", rep.Issues)
+	}
+
+	boundary := a.Boundary()
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	a, err = OpenArchive(dir, ArchiveOptions{VolumeBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if a.Boundary() != boundary {
+		t.Fatalf("boundary %d not durable, reopened as %d", boundary, a.Boundary())
+	}
+	for i := 31; i <= 40; i++ {
+		if _, ok, err := a.Lookup(c, record.LSN(i)); !ok || err != nil {
+			t.Fatalf("reopen Lookup(%d) = %v, %v", i, ok, err)
+		}
+	}
+}
+
+// TestArchiveStrayVolumeRemovedOnOpen simulates a crash between the
+// boundary advance and the unlink: a volume below the durable boundary
+// must be deleted — never read — on the next open.
+func TestArchiveStrayVolumeRemovedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	a, err := OpenArchive(dir, ArchiveOptions{VolumeBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const c = record.ClientID(5)
+	for i := 1; i <= 40; i++ {
+		if err := a.Archive(c, rec(record.LSN(i), 1, fmt.Sprintf("stray-record-%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Truncate(c, 31); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		ok, err := a.RetireOnce()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+	}
+	boundary := a.Boundary()
+	if boundary == 0 {
+		t.Fatal("setup: nothing retired")
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Resurrect a file below the boundary, as the crash would leave it.
+	stray := volName(0)
+	if err := os.WriteFile(dir+"/"+stray, []byte("dead bytes"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	a, err = OpenArchive(dir, ArchiveOptions{VolumeBytes: 128})
+	if err != nil {
+		t.Fatalf("reopen with a stray retired volume: %v", err)
+	}
+	defer a.Close()
+	if _, err := os.Stat(dir + "/" + stray); !os.IsNotExist(err) {
+		t.Fatal("stray volume below the boundary survived reopen")
+	}
+	for i := 31; i <= 40; i++ {
+		if _, ok, err := a.Lookup(c, record.LSN(i)); !ok || err != nil {
+			t.Fatalf("Lookup(%d) = %v, %v after stray cleanup", i, ok, err)
+		}
+	}
+}
+
+// TestCompactorBackoffResetsAfterAdmit is the regression test for the
+// pacing state machine: a long deferred streak escalates the backoff,
+// and one admitted pass must reset it to the base — the next deferral
+// starts the escalation over instead of inheriting the stretched wait.
+func TestCompactorBackoffResetsAfterAdmit(t *testing.T) {
+	hist := telemetry.NewRegistry().Histogram("force")
+	fs := &fakeStore{left: 1 << 30}
+	c := newCompactorState(CompactorConfig{
+		Store:          fs,
+		Interval:       time.Millisecond,
+		Backoff:        40 * time.Millisecond,
+		MaxBackoff:     320 * time.Millisecond,
+		ForceHist:      hist,
+		ForceP99Budget: 1000,
+	})
+
+	// A hot force path defers every pass, doubling the wait up to the
+	// cap.
+	hot := func() { hist.Observe(100000) }
+	wantWaits := []time.Duration{40, 80, 160, 320, 320, 320}
+	for i, want := range wantWaits {
+		hot()
+		if got := c.step(); got != want*time.Millisecond {
+			t.Fatalf("deferral %d: step() = %v, want %v", i, got, want*time.Millisecond)
+		}
+	}
+	if c.Stats().Deferred != uint64(len(wantWaits)) {
+		t.Fatalf("Deferred = %d, want %d", c.Stats().Deferred, len(wantWaits))
+	}
+
+	// A quiet interval admits the pass and compacts.
+	if got := c.step(); got != time.Millisecond {
+		t.Fatalf("admitted step() = %v, want the interval", got)
+	}
+	if c.Stats().Reclaimed != 1 {
+		t.Fatalf("Reclaimed = %d after the admitted pass", c.Stats().Reclaimed)
+	}
+
+	// The very next deferral must start from the base backoff again —
+	// before the fix it resumed at the 320ms cap.
+	hot()
+	if got := c.step(); got != 40*time.Millisecond {
+		t.Fatalf("post-recovery deferral: step() = %v, want the base 40ms", got)
+	}
+}
+
+// fakeRetirable counts RetireOnce calls and reports work for the
+// first `left` of them.
+type fakeRetirable struct {
+	left int
+}
+
+func (f *fakeRetirable) RetireOnce() (bool, error) {
+	if f.left > 0 {
+		f.left--
+		return true, nil
+	}
+	return false, nil
+}
+
+// TestCompactorDrivesRetirement: once the hot tier has nothing left to
+// compact, the compactor's ticks run the archive's retirement pass.
+func TestCompactorDrivesRetirement(t *testing.T) {
+	fr := &fakeRetirable{left: 3}
+	c := NewCompactor(CompactorConfig{
+		Store:    &fakeStore{},
+		Retire:   fr,
+		Interval: time.Millisecond,
+	})
+	defer c.Stop()
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Stats().Retired < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("compactor drove %d of 3 retirement units", c.Stats().Retired)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// BenchmarkArchiveLookupAcrossVolumes measures cold-tier point reads
+// when the stream is cut into many volumes and every lookup must route
+// through the forest to the right file.
+func BenchmarkArchiveLookupAcrossVolumes(b *testing.B) {
+	dir := b.TempDir()
+	a, err := OpenArchive(dir, ArchiveOptions{VolumeBytes: 4096})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer a.Close()
+	const c = record.ClientID(1)
+	const n = 10000
+	for i := 1; i <= n; i++ {
+		if err := a.Archive(c, rec(record.LSN(i), 1, fmt.Sprintf("bench-record-%06d", i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := a.Sync(); err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("volumes: %d", a.Volumes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lsn := record.LSN(1 + (i*7919)%n)
+		if _, ok, err := a.Lookup(c, lsn); !ok || err != nil {
+			b.Fatalf("Lookup(%d) = %v, %v", lsn, ok, err)
+		}
+	}
+}

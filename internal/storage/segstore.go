@@ -175,6 +175,19 @@ func OpenSegStore(dir string, opts SegOptions) (*SegStore, error) {
 	}
 	s.clients = live.clients
 	s.stage = live.stage
+	if s.opts.Archive != nil {
+		// Re-assert the replayed truncation floors on the cold tier, so
+		// an archive that lost its in-memory floors to the crash clamps
+		// reads again before anything is looked up.
+		for c, ci := range s.clients {
+			if ci.truncated > 0 {
+				if err := s.opts.Archive.Truncate(c, ci.truncated); err != nil {
+					s.closeFiles()
+					return nil, err
+				}
+			}
+		}
+	}
 	return s, nil
 }
 
@@ -525,6 +538,14 @@ func (s *SegStore) Truncate(c record.ClientID, before record.LSN) error {
 		return err
 	}
 	ci.truncate(before)
+	if s.opts.Archive != nil {
+		// The cold tier clamps its reads at the same floor and uses it
+		// to retire dead volumes. The call only updates memory; the
+		// archive persists floors on its own sync/retire cadence.
+		if err := s.opts.Archive.Truncate(c, before); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -708,6 +729,9 @@ func (s *SegStore) Usage() Usage {
 	}
 	if s.opts.Archive != nil {
 		u.ArchivedBytes = s.opts.Archive.Bytes()
+		if r, ok := s.opts.Archive.(interface{ ReclaimableBytes() int64 }); ok {
+			u.ArchiveReclaimableBytes = r.ReclaimableBytes()
+		}
 	}
 	return u
 }

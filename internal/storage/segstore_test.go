@@ -19,6 +19,7 @@ import (
 type memArchive struct {
 	mu      sync.Mutex
 	recs    map[record.ClientID]map[record.LSN]record.Record
+	floors  map[record.ClientID]record.LSN
 	bytes   int64
 	appends int
 	syncs   int
@@ -65,6 +66,18 @@ func (a *memArchive) Lookup(c record.ClientID, lsn record.LSN) (record.Record, b
 		return record.Record{}, false, nil
 	}
 	return r.Clone(), true, nil
+}
+
+func (a *memArchive) Truncate(c record.ClientID, before record.LSN) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.floors == nil {
+		a.floors = make(map[record.ClientID]record.LSN)
+	}
+	if before > a.floors[c] {
+		a.floors[c] = before
+	}
+	return nil
 }
 
 func (a *memArchive) Bytes() int64 {

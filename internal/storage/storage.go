@@ -105,6 +105,10 @@ type Usage struct {
 	// ArchivedBytes is the size of the write-once archive tier, when
 	// one is attached.
 	ArchivedBytes int64
+	// ArchiveReclaimableBytes is archive space a retirement pass could
+	// free right now: sealed volumes (and index files) wholly below
+	// every client's truncation floor.
+	ArchiveReclaimableBytes int64
 	// Segments counts online segment files; single-file backends
 	// report 1, the memory store 0.
 	Segments int
@@ -132,6 +136,10 @@ type ArchiveTier interface {
 	// Lookup returns the archived record with the highest epoch for
 	// the LSN; ok is false when the archive holds nothing for it.
 	Lookup(c record.ClientID, lsn record.LSN) (record.Record, bool, error)
+	// Truncate reports the client's truncation floor: LSNs below it
+	// can never be read again, so the archive may clamp lookups there
+	// and retire storage that holds nothing else. Floors only advance.
+	Truncate(c record.ClientID, before record.LSN) error
 	// Bytes reports the archive's stored size.
 	Bytes() int64
 }
