@@ -34,6 +34,10 @@
 #                                   with the background compactor off vs
 #                                   on (latency-paced reclamation must
 #                                   not blow the force tail)
+#   BenchmarkStreamScaling          ET1-shaped commits/s with the client's
+#                                   log spread over K=1/2/4 parallel
+#                                   streams (fixed worker pool; K force
+#                                   pipelines against the same servers)
 #
 # Read path (BENCH_readpath.json):
 #   BenchmarkRecoveryScan           full-log recovery-style scan over a
@@ -46,6 +50,10 @@
 #                                   rotating volumes and every lookup
 #                                   routes through the forest to the
 #                                   right file
+#   BenchmarkParallelRecovery       restart recovery of the same ET1
+#                                   history on one stream vs four: K
+#                                   prefetching cursors merged by
+#                                   dependency vector vs one scan
 set -eu
 
 cd "$(dirname "$0")"
@@ -92,14 +100,14 @@ RAW=$RAW1
 run ./internal/core/ -run '^$' -benchmem \
 	-bench 'BenchmarkWritePathAllocs|BenchmarkTelemetryOverhead|BenchmarkForceLogMemnet|BenchmarkParallelForce|BenchmarkGroupCommit$'
 run ./internal/transport/ -run '^$' -benchmem -bench 'BenchmarkUDPRecvAllocs'
-run . -run '^$' -benchmem -bench 'BenchmarkGroupCommitTransactions|BenchmarkMultiClientForce|BenchmarkStreamingWrite|BenchmarkAggregateForce|BenchmarkMigrationUnderET1Load|BenchmarkForceUnderCompaction'
+run . -run '^$' -benchmem -bench 'BenchmarkGroupCommitTransactions|BenchmarkMultiClientForce|BenchmarkStreamingWrite|BenchmarkAggregateForce|BenchmarkMigrationUnderET1Load|BenchmarkForceUnderCompaction|BenchmarkStreamScaling'
 cat "$RAW"
 to_json
 
 # --- read path -------------------------------------------------------
 OUT=BENCH_readpath.json
 RAW=$RAW2
-run . -run '^$' -bench 'BenchmarkRecoveryScan'
+run . -run '^$' -bench 'BenchmarkRecoveryScan|BenchmarkParallelRecovery'
 run ./internal/retention/ -run '^$' -bench 'BenchmarkArchiveLookupAcrossVolumes'
 cat "$RAW"
 to_json

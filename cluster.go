@@ -26,6 +26,7 @@ type Cluster struct {
 	modelled    bool
 	queueDepth  int
 	sessionIdle time.Duration
+	streams     int
 }
 
 // ClusterOptions configures NewCluster.
@@ -42,6 +43,10 @@ type ClusterOptions struct {
 	// horizon. Zero takes the server defaults.
 	QueueDepth  int
 	SessionIdle time.Duration
+	// Streams is K, the number of parallel logging streams each
+	// OpenClient log runs (see ClientConfig.Streams). Zero means 1,
+	// the classic single-stream client.
+	Streams int
 	// Telemetry, when non-nil, receives metrics (and trace events, if
 	// enabled on the registry) from every server, client, and the
 	// network of this cluster — the whole-process view a single-machine
@@ -62,8 +67,14 @@ func (o *ClusterOptions) Validate() error {
 	if o.SessionIdle < 0 {
 		return fmt.Errorf("distlog: ClusterOptions.SessionIdle %v is negative", o.SessionIdle)
 	}
+	if o.Streams < 0 {
+		return fmt.Errorf("distlog: ClusterOptions.Streams %d is negative", o.Streams)
+	}
 	if o.Servers == 0 {
 		o.Servers = 3
+	}
+	if o.Streams == 0 {
+		o.Streams = 1
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
@@ -85,6 +96,7 @@ func NewCluster(opts ClusterOptions) (*Cluster, error) {
 		modelled:    opts.Modelled,
 		queueDepth:  opts.QueueDepth,
 		sessionIdle: opts.SessionIdle,
+		streams:     opts.Streams,
 	}
 	c.net.SetTelemetry(opts.Telemetry)
 	for i := 0; i < opts.Servers; i++ {
@@ -182,12 +194,14 @@ func (c *Cluster) StopServer(name string) {
 }
 
 // OpenClient opens a replicated log over the cluster with the given
-// client identity and replication factor.
+// client identity and replication factor. The log runs
+// ClusterOptions.Streams parallel streams.
 func (c *Cluster) OpenClient(id ClientID, n int) (*Client, error) {
 	return Open(ClientConfig{
 		ClientID:    id,
 		Servers:     c.Servers(),
 		N:           n,
+		Streams:     c.streams,
 		Endpoint:    c.net.Endpoint(fmt.Sprintf("client-%d", id)),
 		CallTimeout: 200 * time.Millisecond,
 		Telemetry:   c.telemetry,

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	et1load [-clients 10] [-servers 6] [-n 2] [-txns 100] [-split]
+//	et1load [-clients 10] [-servers 6] [-n 2] [-txns 100] [-split] [-streams 1]
 //
 // (The paper's full 50x10 TPS point is CPU-bound in a single process;
 // the defaults keep a laptop run under a few seconds while preserving
@@ -29,9 +29,10 @@ func main() {
 	n := flag.Int("n", 2, "copies per record (N)")
 	txns := flag.Int("txns", 100, "ET1 transactions per client")
 	split := flag.Bool("split", false, "enable log record splitting/caching")
+	streams := flag.Int("streams", 1, "parallel logging streams per client (K)")
 	flag.Parse()
 
-	cluster, err := distlog.NewCluster(distlog.ClusterOptions{Servers: *nServers})
+	cluster, err := distlog.NewCluster(distlog.ClusterOptions{Servers: *nServers, Streams: *streams})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -75,8 +76,8 @@ func main() {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	fmt.Printf("%d clients x %d ET1 transactions, M=%d, N=%d, split=%v\n\n",
-		*nClients, *txns, *nServers, *n, *split)
+	fmt.Printf("%d clients x %d ET1 transactions, M=%d, N=%d, K=%d, split=%v\n\n",
+		*nClients, *txns, *nServers, *n, *streams, *split)
 	fmt.Printf("completed:      %d transactions in %v (%.0f TPS)\n",
 		totalTxns, elapsed.Round(time.Millisecond), float64(totalTxns)/elapsed.Seconds())
 	if totalTxns > 0 {

@@ -5,14 +5,15 @@
 // Usage:
 //
 //	logctl -servers 127.0.0.1:7700,127.0.0.1:7701,127.0.0.1:7702 \
-//	       -client 1 -n 2 <command>
+//	       -client 1 -n 2 [-streams 4] <command>
 //
 // Commands:
 //
 //	append <text...>   force-append each argument as one record
 //	read <lsn>         print one record
 //	scan               print every readable record
-//	status             print end-of-log, epoch, and write set
+//	status             print end-of-log, epoch, and write set (plus a
+//	                   line per stream when -streams > 1)
 //	migrate <a,b,...>  move the write set to the given N servers (live
 //	                   write-set migration; pair with logserverd SIGHUP
 //	                   drain to retire a node without losing a record)
@@ -42,6 +43,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -132,13 +134,65 @@ func runArchive(args []string) {
 // logserverd -metrics listener serves and render it. It needs no
 // replicated log (and so no UDP servers) — just the HTTP endpoint.
 func runStats(addr string) {
-	fetchSnapshot(addr).Render(os.Stdout)
+	snap := fetchSnapshot(addr)
+	snap.Render(os.Stdout)
+	renderStreamCounters(snap)
+}
+
+// renderStreamCounters summarizes the client.streams.<i>.* families of
+// a multi-stream client as one line per stream — the operator's view
+// of how load divides across the K streams. Silent when the snapshot
+// holds none (a server, or a single-stream client).
+func renderStreamCounters(snap telemetry.Snapshot) {
+	type row struct{ writes, forces, commits uint64 }
+	rows := make(map[int]*row)
+	for name, v := range snap.Counters {
+		rest, ok := strings.CutPrefix(name, "client.streams.")
+		if !ok {
+			continue
+		}
+		dot := strings.IndexByte(rest, '.')
+		if dot < 0 {
+			continue
+		}
+		idx, err := strconv.Atoi(rest[:dot])
+		if err != nil {
+			continue
+		}
+		r := rows[idx]
+		if r == nil {
+			r = &row{}
+			rows[idx] = r
+		}
+		switch rest[dot+1:] {
+		case "writes":
+			r.writes = v
+		case "forces":
+			r.forces = v
+		case "commits":
+			r.commits = v
+		}
+	}
+	if len(rows) == 0 {
+		return
+	}
+	idxs := make([]int, 0, len(rows))
+	for i := range rows {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	fmt.Printf("\nper-stream:\n")
+	for _, i := range idxs {
+		r := rows[i]
+		fmt.Printf("  stream %-3d writes=%-8d forces=%-8d commits=%d\n", i, r.writes, r.forces, r.commits)
+	}
 }
 
 func main() {
 	serversFlag := flag.String("servers", "127.0.0.1:7700", "comma-separated log server addresses (M)")
 	clientID := flag.Uint64("client", 1, "client identifier")
 	n := flag.Int("n", 1, "copies per record (N)")
+	streams := flag.Int("streams", 1, "parallel logging streams (K); commands act on stream 0")
 	timeout := flag.Duration("timeout", time.Second, "per-call timeout")
 	flag.Parse()
 	if flag.NArg() < 1 {
@@ -172,6 +226,7 @@ func main() {
 		ClientID:    record.ClientID(*clientID),
 		Servers:     strings.Split(*serversFlag, ","),
 		N:           *n,
+		Streams:     *streams,
 		Endpoint:    ep,
 		CallTimeout: *timeout,
 	})
@@ -229,6 +284,12 @@ func main() {
 		fmt.Printf("end of log: %d\n", l.EndOfLog())
 		fmt.Printf("epoch:      %d\n", l.Epoch())
 		fmt.Printf("write set:  %v\n", l.WriteSet())
+		if l.Streams() > 1 {
+			for i := 0; i < l.Streams(); i++ {
+				s := l.Stream(i)
+				fmt.Printf("stream %d:   end of log %d, epoch %d\n", i, s.EndOfLog(), s.Epoch())
+			}
+		}
 	case "migrate":
 		if flag.NArg() != 2 {
 			log.Fatal("usage: logctl migrate <addr1,addr2,...> (exactly N addresses)")

@@ -38,6 +38,7 @@ import (
 	"distlog/internal/record"
 	"distlog/internal/retention"
 	"distlog/internal/server"
+	"distlog/internal/splitlog"
 	"distlog/internal/storage"
 	"distlog/internal/telemetry"
 	"distlog/internal/transport"
@@ -59,6 +60,10 @@ type (
 	Record = record.Record
 	// Interval is one consecutive sequence of records on a log server.
 	Interval = record.Interval
+	// StreamDep is one dependency-vector entry on a commit-class
+	// record of a multi-stream log: "stream Stream had published
+	// through LSN High when this record was appended".
+	StreamDep = record.StreamDep
 )
 
 // Client side (the paper's primary contribution).
@@ -74,6 +79,14 @@ type (
 	Cursor = core.Cursor
 	// Direction selects a cursor's scan direction.
 	Direction = core.Direction
+	// Stream is one independent logging stream of a multi-stream
+	// client; see Client.Stream and ClientConfig.Streams.
+	Stream = core.Stream
+	// MergedCursor scans all streams of a multi-stream client as one
+	// dependency-ordered sequence; see Client.OpenMergedCursor.
+	MergedCursor = core.MergedCursor
+	// StreamRecord is a MergedCursor record tagged with its stream.
+	StreamRecord = core.StreamRecord
 )
 
 // Cursor scan directions.
@@ -285,7 +298,22 @@ type (
 	RecoveryLog = recman.Log
 	// StableStore models the database's non-volatile page storage.
 	StableStore = recman.StableStore
+	// SplitCache is the volatile undo-component cache behind
+	// EngineOptions.Split (Section 5.2 log record splitting): undo
+	// values stay in memory and reach the log only when their page is
+	// about to be cleaned.
+	SplitCache = splitlog.Cache
+	// SplitAppender is what a SplitCache logs spilled undo components
+	// through; *Client and *LocalLog both satisfy it.
+	SplitAppender = splitlog.Appender
+	// SplitStats counts a SplitCache's activity.
+	SplitStats = splitlog.Stats
 )
+
+// NewSplitCache returns an empty undo cache spilling to log. The
+// engine builds its own when EngineOptions.Split is set; a standalone
+// cache serves resource managers with their own logging discipline.
+func NewSplitCache(log SplitAppender) *SplitCache { return splitlog.New(log) }
 
 // OpenEngine recovers the database state and returns a ready engine.
 func OpenEngine(log RecoveryLog, stable *StableStore, opts EngineOptions) (*Engine, error) {

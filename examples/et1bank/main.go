@@ -1,12 +1,15 @@
 // Et1bank runs a bank under the ET1 (DebitCredit) workload with its
-// recovery log replicated on three log servers, then crashes the bank
-// mid-flight and recovers it, verifying that every committed
-// transaction survived and the money balances.
+// recovery log replicated on three log servers and spread over four
+// parallel logging streams, then crashes the bank mid-flight and
+// recovers it — a dependency-ordered merged replay across the streams
+// — verifying that every committed transaction survived and the money
+// balances.
 //
 //	go run ./examples/et1bank
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
 
@@ -14,7 +17,10 @@ import (
 )
 
 func main() {
-	cluster, err := distlog.NewCluster(distlog.ClusterOptions{Servers: 3})
+	// Streams: 4 gives every client of this cluster K=4 independent
+	// logging streams: four LSN sequences, four send windows, four
+	// force pipelines against the same three servers.
+	cluster, err := distlog.NewCluster(distlog.ClusterOptions{Servers: 3, Streams: 4})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -24,7 +30,10 @@ func main() {
 	stable := distlog.NewStableStore()
 	scale := distlog.ET1Scale{Branches: 5, Tellers: 50, Accounts: 500}
 
-	// First life: open the replicated log, run transactions.
+	// First life: open the replicated log, run transactions. The
+	// engine detects the K streams and logs each transaction on stream
+	// (id mod K); commit records carry a dependency vector over the
+	// sibling streams.
 	l, err := cluster.OpenClient(1, 2)
 	if err != nil {
 		log.Fatal(err)
@@ -41,7 +50,11 @@ func main() {
 		}
 	}
 	fmt.Printf("committed %d ET1 transactions (history count %d)\n", committed, engine.Get("history/count"))
-	fmt.Printf("engine wrote %d log records in %d bytes\n", engine.Stats().LogRecords, engine.Stats().LogBytes)
+	fmt.Printf("engine wrote %d log records in %d bytes across %d streams:\n",
+		engine.Stats().LogRecords, engine.Stats().LogBytes, l.Streams())
+	for i := 0; i < l.Streams(); i++ {
+		fmt.Printf("  stream %d: %d records\n", i, l.Stream(i).EndOfLog())
+	}
 
 	// One more transaction starts but the node dies before committing.
 	t := engine.Begin()
@@ -51,8 +64,10 @@ func main() {
 	fmt.Println("\nan in-flight transaction moves $1,000,000... and the node crashes")
 	l.Close() // the crash: unforced log records are lost with the node
 
-	// Second life: reopen the replicated log (running its own crash
-	// recovery) and then the engine (running transaction recovery).
+	// Second life: reopen the replicated log (running crash recovery
+	// on all four streams) and then the engine, whose transaction
+	// recovery scans the streams in parallel and replays them as one
+	// dependency-ordered merge.
 	l2, err := cluster.OpenClient(1, 2)
 	if err != nil {
 		log.Fatal(err)
@@ -64,6 +79,25 @@ func main() {
 	}
 	fmt.Printf("\nrecovered: %d winner transactions replayed, %d losers rolled back\n",
 		engine2.Stats().RecoveredWinners, engine2.Stats().RecoveredLosers)
+
+	// The same merged view the recovery manager replayed is available
+	// to any reader: one dependency-ordered sequence over all streams.
+	mc, err := l2.OpenMergedCursor()
+	if err != nil {
+		log.Fatal(err)
+	}
+	merged := 0
+	for {
+		if _, err := mc.Next(); err != nil {
+			if errors.Is(err, distlog.ErrBeyondEnd) {
+				break
+			}
+			log.Fatal(err)
+		}
+		merged++
+	}
+	mc.Close()
+	fmt.Printf("merged cursor: %d records in dependency order\n", merged)
 
 	if got := engine2.Get("history/count"); got != committed {
 		log.Fatalf("history count %d after recovery, want %d", got, committed)

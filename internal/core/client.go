@@ -115,6 +115,17 @@ type Config struct {
 	// ReadStream request (the server clamps it to its own maximum).
 	// Default 4.
 	StreamPackets int
+	// Streams is K, the number of independent log streams this client
+	// writes (parallel multi-stream logging). Each stream owns its own
+	// LSN sequence, send window, and per-server sessions, all sharing
+	// the one Endpoint; commit-class records written through
+	// Stream.WriteCommit carry a dependency vector over the other
+	// streams so recovery can replay the streams in parallel and merge
+	// by dependency. Zero means 1 (the classic single-stream log);
+	// every Log method then behaves exactly as before. Values above 1
+	// require ClientID < 2^56 (the top byte derives per-stream
+	// identities).
+	Streams int
 	// ConnID overrides the connection incarnation identifier (tests);
 	// 0 derives one from the clock and a process-wide counter.
 	ConnID uint64
@@ -164,6 +175,17 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("core: negative ScanSpan %d", c.ScanSpan)
 	case c.StreamPackets < 0:
 		return fmt.Errorf("core: negative StreamPackets %d", c.StreamPackets)
+	case c.Streams < 0:
+		return fmt.Errorf("core: negative Streams %d", c.Streams)
+	}
+	if c.Streams == 0 {
+		c.Streams = 1
+	}
+	if c.Streams > maxStreams {
+		return fmt.Errorf("core: Streams %d exceeds maximum %d", c.Streams, maxStreams)
+	}
+	if c.Streams > 1 && uint64(c.ClientID) >= 1<<56 {
+		return fmt.Errorf("core: ClientID %d too large for multi-stream derivation (needs the top byte)", c.ClientID)
 	}
 	if c.Delta == 0 {
 		c.Delta = 16
@@ -285,10 +307,27 @@ type ReplicatedLog struct {
 	streamForcing atomic.Bool
 
 	pumpWG sync.WaitGroup
+
+	// Multi-stream state (see streams.go). On a parent (stream 0) of a
+	// K-stream log, streams[0] == l and streams[1..K-1] are the child
+	// per-stream logs, and childByID routes received packets to them by
+	// their derived ClientIDs; on a child, parent points back and shared
+	// marks that the endpoint and pump belong to the parent. lastLSN
+	// publishes the stream's highest assigned LSN for dependency-vector
+	// stamping (read lock-free by the other streams' WriteCommit).
+	streams   []*ReplicatedLog
+	childByID map[record.ClientID]*ReplicatedLog
+	parent    *ReplicatedLog
+	streamIdx int
+	shared    bool
+	lastLSN   atomic.Uint64
 }
 
 // Open dials the log servers, runs the client initialization and
 // crash-recovery procedure of Section 3.1.2, and returns a usable log.
+// With cfg.Streams = K > 1 it additionally opens K-1 child per-stream
+// logs (each running its own Section 3.1.2 recovery under a derived
+// ClientID) sharing the one endpoint; see streams.go.
 func Open(cfg Config) (*ReplicatedLog, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -296,15 +335,7 @@ func Open(cfg Config) (*ReplicatedLog, error) {
 	if cfg.ConnID == 0 {
 		cfg.ConnID = uint64(time.Now().UnixNano())<<8 | (connIDCounter.Add(1) & 0xFF)
 	}
-	l := &ReplicatedLog{
-		cfg:        cfg,
-		sessions:   make(map[string]*session),
-		readCache:  newReadCache(readCacheCap),
-		m:          newClientMetrics(cfg.Telemetry, cfg.Endpoint.Addr()),
-		streamKick: make(chan struct{}, 1),
-		streamQuit: make(chan struct{}),
-	}
-	l.writeCond = sync.NewCond(&l.mu)
+	l := newLog(cfg, "")
 	l.pumpWG.Add(1)
 	go l.pump()
 	if !cfg.DisableWriteStream {
@@ -312,14 +343,49 @@ func Open(cfg Config) (*ReplicatedLog, error) {
 		go l.streamer()
 	}
 
-	if err := l.initialize(); err != nil {
+	// Stream 0 (the parent) and the K-1 children recover concurrently:
+	// the children are registered for packet routing first, then all K
+	// initializations proceed at once, so a K-stream open costs one
+	// stream's round trips, not K of them.
+	childDone := make(chan error, 1)
+	if cfg.Streams > 1 {
+		l.registerStreams()
+		go func() { childDone <- l.initializeStreams() }()
+	} else {
+		childDone <- nil
+	}
+	err := l.initialize()
+	childErr := <-childDone
+	if err == nil {
+		err = childErr
+	}
+	if err != nil {
 		l.Close()
 		return nil, err
 	}
 	return l, nil
 }
 
-// pump is the receive loop: it demultiplexes packets to sessions.
+// newLog constructs a ReplicatedLog without starting its goroutines or
+// running recovery. nodeSuffix distinguishes per-stream metrics nodes.
+func newLog(cfg Config, nodeSuffix string) *ReplicatedLog {
+	l := &ReplicatedLog{
+		cfg:        cfg,
+		sessions:   make(map[string]*session),
+		readCache:  newReadCache(readCacheCap),
+		m:          newClientMetrics(cfg.Telemetry, cfg.Endpoint.Addr()+nodeSuffix),
+		streamKick: make(chan struct{}, 1),
+		streamQuit: make(chan struct{}),
+	}
+	l.writeCond = sync.NewCond(&l.mu)
+	return l
+}
+
+// pump is the receive loop: it demultiplexes packets to sessions. On a
+// multi-stream parent it first routes by the packet's ClientID — server
+// replies echo the client identity of the session they answer, so a
+// packet for a child stream's derived identity is handed to that child
+// log's session table.
 func (l *ReplicatedLog) pump() {
 	defer l.pumpWG.Done()
 	for {
@@ -331,9 +397,18 @@ func (l *ReplicatedLog) pump() {
 		if err != nil {
 			continue // corrupt: end-to-end check drops it
 		}
-		l.mu.Lock()
-		sess := l.sessions[raw.From]
-		l.mu.Unlock()
+		target := l
+		if pkt.ClientID != l.cfg.ClientID {
+			l.mu.Lock()
+			target = l.childByID[pkt.ClientID]
+			l.mu.Unlock()
+			if target == nil {
+				continue
+			}
+		}
+		target.mu.Lock()
+		sess := target.sessions[raw.From]
+		target.mu.Unlock()
 		if sess != nil {
 			sess.deliver(&pkt)
 		}
@@ -539,20 +614,21 @@ func (l *ReplicatedLog) initialize() error {
 		l.holders.add(l.epoch, staged[0].LSN, staged[len(staged)-1].LSN, writeSet)
 	}
 	l.nextLSN = high + delta + 1
+	l.lastLSN.Store(uint64(high + delta))
 	l.mu.Unlock()
 	return nil
 }
 
 // sendCopies streams staged recovery records to one server in packet-
-// sized CopyLog calls.
+// sized CopyLog calls. The record-aware call path keeps the frame
+// version honest when re-copied records carry dependency vectors.
 func (l *ReplicatedLog) sendCopies(sess *session, staged []record.Record) error {
 	for len(staged) > 0 {
 		n := wire.FitRecords(staged)
 		if n == 0 {
 			return fmt.Errorf("core: recovery record too large for a packet")
 		}
-		p := wire.RecordsPayload{Epoch: l.epoch, Records: staged[:n]}
-		if _, err := sess.call(wire.TCopyLogReq, p.Encode()); err != nil {
+		if _, err := sess.callRecords(wire.TCopyLogReq, l.epoch, staged[:n]); err != nil {
 			return err
 		}
 		staged = staged[n:]
@@ -657,7 +733,7 @@ func (l *ReplicatedLog) noteAsyncErrLocked(err error) {
 // acknowledged by all N servers; the caller must not modify the slice
 // after the call.
 func (l *ReplicatedLog) WriteLog(data []byte) (record.LSN, error) {
-	return l.writeLog(data, true)
+	return l.writeLog(data, nil, true)
 }
 
 // writeLog appends one record. kick wakes the streaming pipeline for
@@ -665,7 +741,9 @@ func (l *ReplicatedLog) WriteLog(data []byte) (record.LSN, error) {
 // flushes the buffer immediately, and waking the streamer to hold a
 // partial frame that the force will have transmitted by the time the
 // flush deadline fires is pure overhead on the forced-write path.
-func (l *ReplicatedLog) writeLog(data []byte, kick bool) (record.LSN, error) {
+// deps, when non-nil, is the dependency vector stamped on the record
+// (Stream.WriteCommit); ordinary writes pass nil.
+func (l *ReplicatedLog) writeLog(data []byte, deps []record.StreamDep, kick bool) (record.LSN, error) {
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()
@@ -705,9 +783,13 @@ func (l *ReplicatedLog) writeLog(data []byte, kick bool) (record.LSN, error) {
 	}
 	lsn := l.nextLSN
 	l.nextLSN++
-	rec := record.Record{LSN: lsn, Epoch: l.epoch, Present: true, Data: data}
+	rec := record.Record{LSN: lsn, Epoch: l.epoch, Present: true, Data: data, Deps: deps}
 	l.outstanding = append(l.outstanding, rec)
+	l.lastLSN.Store(uint64(lsn))
 	l.m.writes.Add(1)
+	if l.m.sWrites != nil {
+		l.m.sWrites.Add(1)
+	}
 	l.m.trace.Emit(telemetry.EvWrite, l.m.node, uint64(lsn), uint64(l.epoch), 0)
 	if l.cfg.FlushBatch > 0 && len(l.outstanding) >= l.cfg.FlushBatch {
 		// Opportunistic batch flush. The append itself has succeeded —
@@ -729,7 +811,7 @@ func (l *ReplicatedLog) writeLog(data []byte, kick bool) (record.LSN, error) {
 // ForceLog appends a record and forces the log through it, returning
 // when the record is stable on N servers (the paper's forced write).
 func (l *ReplicatedLog) ForceLog(data []byte) (record.LSN, error) {
-	lsn, err := l.writeLog(data, false)
+	lsn, err := l.writeLog(data, nil, false)
 	if err != nil {
 		return 0, err
 	}
@@ -1312,6 +1394,16 @@ func (l *ReplicatedLog) ReadLog(lsn record.LSN) ([]byte, error) {
 // were never forced are not stable and are discarded — exactly the
 // contract a crash would impose.
 func (l *ReplicatedLog) Close() error {
+	// Child per-stream logs go first: they share this log's endpoint and
+	// pump, so they must be quiesced while routing still works.
+	l.mu.Lock()
+	children := l.streams
+	l.mu.Unlock()
+	for _, c := range children {
+		if c != nil && c != l {
+			c.Close()
+		}
+	}
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()
@@ -1328,7 +1420,9 @@ func (l *ReplicatedLog) Close() error {
 	for _, s := range sessions {
 		s.close()
 	}
-	l.cfg.Endpoint.Close()
+	if !l.shared {
+		l.cfg.Endpoint.Close()
+	}
 	l.pumpWG.Wait()
 	return nil
 }

@@ -59,6 +59,19 @@ const (
 	// acknowledged records live only on the old servers, unacknowledged
 	// ones only in the client buffer — recovery must lose neither.
 	FPMigrateAfterAnchor = "client.migrate.after-anchor"
+	// FPCommitVector interrupts Stream.WriteCommit between reading the
+	// sibling streams' high-LSN dependency vector and appending the
+	// commit record that carries it: the client dies holding a vector
+	// that names records which may themselves never become stable —
+	// recovery must treat the missing commit as unwritten and the
+	// vector must never order anything after a record that is gone.
+	FPCommitVector = "client.stream.commit-vector"
+	// FPMergeBeforeApply interrupts the dependency-ordered merge of a
+	// multi-stream scan as each record is yielded but before the caller
+	// applies it — a client dying partway through a merged recovery
+	// replay. Recovery of the recovery must reproduce the same
+	// dependency-consistent prefix.
+	FPMergeBeforeApply = "recman.merge.before-apply"
 )
 
 var _ = faultpoint.Register(
@@ -72,4 +85,6 @@ var _ = faultpoint.Register(
 	FPStreamAfterSend,
 	FPMigrateBeforeAnchor,
 	FPMigrateAfterAnchor,
+	FPCommitVector,
+	FPMergeBeforeApply,
 )

@@ -353,7 +353,11 @@ func BenchmarkWritePathAllocs(b *testing.B) {
 	}
 	runtime.ReadMemStats(&m1)
 	b.StopTimer()
-	if perOp := float64(m1.Mallocs-m0.Mallocs) / float64(b.N); perOp > writePathAllocBudget {
+	// The budget is a steady-state per-op ceiling: only enforce it once
+	// there are enough iterations to amortize one-time lazy allocations
+	// (map growth, timer pools), which otherwise land entirely on the
+	// framework's sizing probe at b.N=1.
+	if perOp := float64(m1.Mallocs-m0.Mallocs) / float64(b.N); b.N >= 100 && perOp > writePathAllocBudget {
 		b.Fatalf("write path allocates %.1f objects/op, budget %d", perOp, writePathAllocBudget)
 	}
 }

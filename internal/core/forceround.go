@@ -56,6 +56,9 @@ func (l *ReplicatedLog) Force() error {
 		return ErrClosed
 	}
 	l.m.forces.Add(1)
+	if l.m.sForces != nil {
+		l.m.sForces.Add(1)
+	}
 	for {
 		if l.closed {
 			if lead != nil {

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"distlog/internal/faultpoint"
+	"distlog/internal/record"
+)
+
+// StreamRecord is one record of a multi-stream log tagged with the
+// stream it came from. LSNs are per-stream; the pair (Stream, LSN) is
+// the record's global identity.
+type StreamRecord struct {
+	Stream int
+	record.Record
+}
+
+// MergedCursor yields the records of all K streams as one sequence in
+// dependency order: a record carrying a dependency vector is yielded
+// only after, for every entry (j, h), stream j has been drained through
+// h — or through its recovered end of log, when the vector names LSNs
+// past it (the commit that observed them died before they became
+// stable, so dependency (j, h) is satisfied by everything of stream j
+// that survived). Within one stream records come out in LSN order.
+// Invariant checkers (availability probes, crashaudit) use it to see
+// the one ordered view the single-stream log used to give them; the
+// recovery manager drives its parallel replay off the same merge so
+// the audited order is the applied order.
+//
+// The merge is deterministic: among the streams whose head records are
+// unblocked, the lowest stream index is yielded first. Like Cursor, a
+// MergedCursor is not safe for concurrent use.
+type MergedCursor struct {
+	logs   []*ReplicatedLog
+	curs   []Cursor
+	heads  []*record.Record
+	fin    []bool       // stream's cursor exhausted (heads[i] may still be pending)
+	prog   []record.LSN // highest LSN yielded per stream
+	closed bool
+}
+
+// OpenMergedCursor opens a dependency-ordered merged scan over every
+// stream of the log, from each stream's start. On a single-stream log
+// it degenerates to the stream's own order.
+func (l *ReplicatedLog) OpenMergedCursor() (*MergedCursor, error) {
+	logs := l.streamLogs()
+	mc := &MergedCursor{
+		logs:  logs,
+		curs:  make([]Cursor, len(logs)),
+		heads: make([]*record.Record, len(logs)),
+		fin:   make([]bool, len(logs)),
+		prog:  make([]record.LSN, len(logs)),
+	}
+	for i, sl := range logs {
+		if sl.EndOfLog() == 0 {
+			mc.fin[i] = true
+			continue
+		}
+		cur, err := sl.OpenCursor(1, Forward)
+		if err != nil {
+			mc.Close()
+			return nil, fmt.Errorf("core: merged cursor stream %d: %w", i, err)
+		}
+		mc.curs[i] = cur
+	}
+	return mc, nil
+}
+
+// Next returns the next record in dependency order. At the end of the
+// merged scan — every stream drained — it returns ErrBeyondEnd.
+func (mc *MergedCursor) Next() (StreamRecord, error) {
+	if mc.closed {
+		return StreamRecord{}, ErrClosed
+	}
+	// Fill the head slots: one pending record per undrained stream.
+	for i := range mc.logs {
+		if mc.heads[i] != nil || mc.fin[i] {
+			continue
+		}
+		rec, err := mc.curs[i].Next()
+		if err != nil {
+			if errors.Is(err, ErrBeyondEnd) {
+				mc.fin[i] = true
+				continue
+			}
+			return StreamRecord{}, fmt.Errorf("core: merged cursor stream %d: %w", i, err)
+		}
+		r := rec
+		mc.heads[i] = &r
+	}
+	pick := -1
+	for i := range mc.heads {
+		if mc.heads[i] == nil {
+			continue
+		}
+		if mc.depsSatisfied(mc.heads[i].Deps) {
+			pick = i
+			break
+		}
+	}
+	if pick < 0 {
+		// All heads blocked. Genuine vectors cannot cycle (each is read
+		// before its own record is appended), but a vector written by a
+		// crashed commit may name sibling LSNs that recovery replaced
+		// with not-present markers of a higher epoch; rather than wedge
+		// the scan, fall back to the deterministic stream order.
+		for i := range mc.heads {
+			if mc.heads[i] != nil {
+				pick = i
+				break
+			}
+		}
+	}
+	if pick < 0 {
+		return StreamRecord{}, fmt.Errorf("%w: merged scan complete", ErrBeyondEnd)
+	}
+	rec := *mc.heads[pick]
+	mc.heads[pick] = nil
+	mc.prog[pick] = rec.LSN
+	// A consumer dying between this yield and its apply is the
+	// "recman.merge.before-apply" crash point: the next incarnation's
+	// merge must reproduce the same dependency-consistent prefix.
+	faultpoint.Hit(FPMergeBeforeApply)
+	return StreamRecord{Stream: pick, Record: rec}, nil
+}
+
+// depsSatisfied reports whether every dependency-vector entry is
+// covered by the merge progress: stream j drained through min(h,
+// end-of-stream). Entries naming unknown streams (a narrower K than the
+// writer used) are ignored rather than wedging the scan.
+func (mc *MergedCursor) depsSatisfied(deps []record.StreamDep) bool {
+	for _, d := range deps {
+		j := int(d.Stream)
+		if j < 0 || j >= len(mc.logs) {
+			continue
+		}
+		if mc.prog[j] >= d.High {
+			continue
+		}
+		if mc.fin[j] && mc.heads[j] == nil {
+			// Stream j fully drained below the named LSN: the dependency
+			// points past j's recovered end, so it is satisfied by the
+			// surviving prefix.
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+// Close releases every underlying stream cursor.
+func (mc *MergedCursor) Close() error {
+	if mc.closed {
+		return nil
+	}
+	mc.closed = true
+	for _, c := range mc.curs {
+		if c != nil {
+			c.Close()
+		}
+	}
+	return nil
+}

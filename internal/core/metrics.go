@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"distlog/internal/telemetry"
 )
 
@@ -86,6 +88,14 @@ type clientMetrics struct {
 	streamBackoffs *telemetry.Counter
 	streamTimeouts *telemetry.Counter
 
+	// Per-stream counters of a multi-stream log. Nil on a single-stream
+	// log; on stream i of K they are the client.streams.<i>.* families,
+	// incremented alongside the aggregates above so an operator can see
+	// how load divides across the K streams.
+	sWrites  *telemetry.Counter
+	sForces  *telemetry.Counter
+	sCommits *telemetry.Counter
+
 	forceLatency    *telemetry.Histogram
 	recordsPerRound *telemetry.Histogram
 	// windowOccupancy samples the number of in-flight prefetch tasks at
@@ -139,6 +149,18 @@ func newClientMetrics(reg *telemetry.Registry, node string) *clientMetrics {
 		streamOccupancy:     reg.Histogram(mStreamOccupancy),
 		streamInflightBytes: reg.Histogram(mStreamInflight),
 	}
+}
+
+// enableStreamCounters registers the client.streams.<i>.* families for
+// stream i of a multi-stream log. Called once, before the log is
+// usable, so readers of the fields never race the assignment.
+func (m *clientMetrics) enableStreamCounters(reg *telemetry.Registry, i int) {
+	if reg == nil {
+		return
+	}
+	m.sWrites = reg.Counter(fmt.Sprintf("client.streams.%d.writes", i))
+	m.sForces = reg.Counter(fmt.Sprintf("client.streams.%d.forces", i))
+	m.sCommits = reg.Counter(fmt.Sprintf("client.streams.%d.commits", i))
 }
 
 // statsLocked snapshots the Stats view. The Stats-visible counters are

@@ -1,0 +1,323 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"distlog/internal/record"
+	"distlog/internal/telemetry"
+)
+
+// openStreamed opens a K-stream log over the cluster.
+func openStreamed(t *testing.T, c *cluster, id record.ClientID, n, k int, mutate ...func(*Config)) *ReplicatedLog {
+	t.Helper()
+	mutate = append([]func(*Config){func(cfg *Config) { cfg.Streams = k }}, mutate...)
+	return mustOpen(t, c, id, n, mutate...)
+}
+
+// drainMerged scans a merged cursor to the end, returning (stream, LSN)
+// pairs for the present records in yield order (client initialization
+// leaves δ not-present markers at the head of each fresh stream).
+func drainMerged(t *testing.T, l *ReplicatedLog) [][2]uint64 {
+	t.Helper()
+	mc, err := l.OpenMergedCursor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mc.Close()
+	var out [][2]uint64
+	for {
+		sr, err := mc.Next()
+		if errors.Is(err, ErrBeyondEnd) {
+			return out
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sr.Present {
+			out = append(out, [2]uint64{uint64(sr.Stream), uint64(sr.LSN)})
+		}
+	}
+}
+
+func TestStreamsIndependentLSNSequences(t *testing.T) {
+	c := newCluster(t, "s1", "s2", "s3")
+	l := openStreamed(t, c, 1, 2, 3)
+	defer l.Close()
+
+	if got := l.Streams(); got != 3 {
+		t.Fatalf("Streams() = %d, want 3", got)
+	}
+	// Each stream numbers its own records independently of what the
+	// siblings wrote: writing i+1 records to stream i advances only its
+	// own sequence.
+	base := make([]record.LSN, l.Streams())
+	for i := 0; i < l.Streams(); i++ {
+		base[i] = l.Stream(i).EndOfLog()
+	}
+	for i := 0; i < l.Streams(); i++ {
+		s := l.Stream(i)
+		for j := 1; j <= i+1; j++ {
+			lsn, err := s.ForceLog([]byte(fmt.Sprintf("s%d-%d", i, j)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if lsn != base[i]+record.LSN(j) {
+				t.Fatalf("stream %d write %d got LSN %d, want %d", i, j, lsn, base[i]+record.LSN(j))
+			}
+		}
+	}
+	for i := 0; i < l.Streams(); i++ {
+		s := l.Stream(i)
+		if got, want := s.EndOfLog(), base[i]+record.LSN(i+1); got != want {
+			t.Fatalf("stream %d end of log %d, want %d", i, got, want)
+		}
+		for j := 1; j <= i+1; j++ {
+			rec, err := s.ReadRecord(base[i] + record.LSN(j))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := fmt.Sprintf("s%d-%d", i, j); string(rec.Data) != want {
+				t.Fatalf("stream %d LSN %d = %q, want %q", i, j, rec.Data, want)
+			}
+		}
+	}
+	// The single-stream methods are stream 0: the aliasing every
+	// pre-streams caller relies on.
+	if got, want := l.EndOfLog(), l.Stream(0).EndOfLog(); got != want {
+		t.Fatalf("log end %d != stream 0 end %d", got, want)
+	}
+}
+
+func TestSingleStreamLogHasStreamZero(t *testing.T) {
+	c := newCluster(t, "s1", "s2", "s3")
+	l := mustOpen(t, c, 1, 2)
+	defer l.Close()
+	if got := l.Streams(); got != 1 {
+		t.Fatalf("Streams() = %d, want 1", got)
+	}
+	lsn, err := l.Stream(0).ForceLog([]byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.EndOfLog(); got != lsn {
+		t.Fatalf("end of log %d, want %d", got, lsn)
+	}
+	// The merged cursor degenerates to the stream's own order.
+	if got := drainMerged(t, l); len(got) != 1 || got[0] != [2]uint64{0, uint64(lsn)} {
+		t.Fatalf("merged scan = %v", got)
+	}
+}
+
+// TestMergedCursorDependencyOrder writes three records on stream 1 and
+// then a commit on stream 0 that observed them: despite stream 0's
+// lower index, the merge must hold the commit back until stream 1 is
+// drained through the vector.
+func TestMergedCursorDependencyOrder(t *testing.T) {
+	c := newCluster(t, "s1", "s2", "s3")
+	l := openStreamed(t, c, 1, 2, 2)
+	defer l.Close()
+	s0, s1 := l.Stream(0), l.Stream(1)
+	b0, b1 := s0.EndOfLog(), s1.EndOfLog()
+
+	for j := 0; j < 3; j++ {
+		if _, err := s1.WriteLog([]byte("payload")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	commitLSN, err := s0.WriteCommit([]byte("commit"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s0.Force(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Force(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The commit record carries the vector it was stamped with.
+	rec, err := s0.ReadRecord(commitLSN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Deps) != 1 || rec.Deps[0] != (record.StreamDep{Stream: 1, High: b1 + 3}) {
+		t.Fatalf("commit deps = %v, want [{1 %d}]", rec.Deps, b1+3)
+	}
+
+	want := [][2]uint64{
+		{1, uint64(b1 + 1)}, {1, uint64(b1 + 2)}, {1, uint64(b1 + 3)},
+		{0, uint64(b0 + 1)},
+	}
+	got := drainMerged(t, l)
+	if len(got) != len(want) {
+		t.Fatalf("merged scan = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("merged scan = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestMergedCursorDepBeyondEnd writes a commit whose vector names a
+// sibling LSN that never became stable (the Section 3.1 pattern: the
+// observed records died with the crash). The dependency is satisfied by
+// the sibling's surviving prefix — the scan must not wedge.
+func TestMergedCursorDepBeyondEnd(t *testing.T) {
+	c := newCluster(t, "s1", "s2", "s3")
+	l := openStreamed(t, c, 1, 2, 2)
+	defer l.Close()
+	b0, b1 := l.Stream(0).EndOfLog(), l.Stream(1).EndOfLog()
+
+	for j := 0; j < 2; j++ {
+		if _, err := l.Stream(1).WriteLog([]byte("payload")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Fabricate the post-crash shape directly: a vector naming stream 1
+	// far past the two records that survive.
+	if _, err := l.writeLog([]byte("commit"), []record.StreamDep{{Stream: 1, High: b1 + 100}}, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Stream(0).Force(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Stream(1).Force(); err != nil {
+		t.Fatal(err)
+	}
+
+	want := [][2]uint64{
+		{1, uint64(b1 + 1)}, {1, uint64(b1 + 2)},
+		{0, uint64(b0 + 1)},
+	}
+	got := drainMerged(t, l)
+	if len(got) != len(want) {
+		t.Fatalf("merged scan = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("merged scan = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestMergedCursorDeterministic interleaves writes and commits across
+// three streams and scans twice: the merge must yield the identical
+// sequence both times (recovery audits depend on the replayed order
+// being reproducible).
+func TestMergedCursorDeterministic(t *testing.T) {
+	c := newCluster(t, "s1", "s2", "s3")
+	l := openStreamed(t, c, 1, 2, 3)
+	defer l.Close()
+
+	for round := 0; round < 5; round++ {
+		for i := 0; i < l.Streams(); i++ {
+			s := l.Stream(i)
+			if _, err := s.WriteLog([]byte("u")); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.WriteCommit([]byte("c")); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i := 0; i < l.Streams(); i++ {
+		if err := l.Stream(i).Force(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	first := drainMerged(t, l)
+	second := drainMerged(t, l)
+	if len(first) != 30 {
+		t.Fatalf("merged scan yielded %d records, want 30", len(first))
+	}
+	if len(first) != len(second) {
+		t.Fatalf("scans diverge: %d vs %d records", len(first), len(second))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("scans diverge at %d: %v vs %v", i, first[i], second[i])
+		}
+	}
+}
+
+// TestStreamForcePointIsolation is the satellite-2 regression guard:
+// per-stream force points must not share one session slot. Each child
+// log owns distinct session objects against the same servers, so a
+// force planted on one stream can never clobber another's; this pins
+// that structure and exercises concurrent per-stream forces.
+func TestStreamForcePointIsolation(t *testing.T) {
+	c := newCluster(t, "s1", "s2", "s3")
+	reg := telemetry.NewRegistry()
+	l := openStreamed(t, c, 1, 2, 3, func(cfg *Config) { cfg.Telemetry = reg })
+	defer l.Close()
+
+	// Structural half: the K stream logs hold pairwise-distinct session
+	// objects for every server they share — distinct force-point slots
+	// by construction.
+	sessions := make(map[*session]int)
+	for i, sl := range l.streamLogs() {
+		sl.mu.Lock()
+		for addr, sess := range sl.sessions {
+			if prev, dup := sessions[sess]; dup {
+				sl.mu.Unlock()
+				t.Fatalf("streams %d and %d share the session for %s", prev, i, addr)
+			}
+			sessions[sess] = i
+		}
+		sl.mu.Unlock()
+	}
+
+	// Behavioral half: concurrent per-stream write+force traffic, then
+	// per-stream counters that account each stream's own forces only.
+	base := make([]record.LSN, l.Streams())
+	for i := range base {
+		base[i] = l.Stream(i).EndOfLog()
+	}
+	const perStream = 10
+	var wg sync.WaitGroup
+	errs := make([]error, l.Streams())
+	for i := 0; i < l.Streams(); i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s := l.Stream(i)
+			for j := 0; j < perStream; j++ {
+				if _, err := s.WriteLog([]byte("r")); err != nil {
+					errs[i] = err
+					return
+				}
+				if err := s.Force(); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("stream %d: %v", i, err)
+		}
+	}
+	snap := reg.Snapshot()
+	for i := 0; i < l.Streams(); i++ {
+		name := fmt.Sprintf("client.streams.%d.forces", i)
+		if got := snap.Counters[name]; got != perStream {
+			t.Fatalf("%s = %d, want %d", name, got, perStream)
+		}
+		name = fmt.Sprintf("client.streams.%d.writes", i)
+		if got := snap.Counters[name]; got != perStream {
+			t.Fatalf("%s = %d, want %d", name, got, perStream)
+		}
+	}
+	for i := 0; i < l.Streams(); i++ {
+		if got, want := l.Stream(i).EndOfLog(), base[i]+perStream; got != want {
+			t.Fatalf("stream %d end of log %d, want %d", i, got, want)
+		}
+	}
+}

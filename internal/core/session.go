@@ -284,6 +284,24 @@ func (s *session) deliver(pkt *wire.Packet) {
 // call performs one synchronous RPC with retries. Operations are
 // idempotent, so retrying after a lost request or reply is safe.
 func (s *session) call(t wire.Type, payload []byte) (*wire.Packet, error) {
+	return s.callWith(t, payload, 0, nil)
+}
+
+// callRecords performs a synchronous RPC whose request embeds grouped
+// records (epoch + record list encoded directly into the frame). Going
+// through the peer's record-aware framer lets the envelope version
+// reflect the records' needs: a dep-vectored recovery copy travels
+// under the bumped wire version instead of hiding inside a base-version
+// frame an old server would misjudge as safe.
+func (s *session) callRecords(t wire.Type, epoch record.Epoch, recs []record.Record) (*wire.Packet, error) {
+	return s.callWith(t, nil, epoch, recs)
+}
+
+// callWith sends through the record-aware framer when recs is non-nil
+// and the plain payload framer otherwise. The two sends are spelled as
+// a branch rather than a captured closure: call sits on the hot write
+// path and must not allocate.
+func (s *session) callWith(t wire.Type, payload []byte, epoch record.Epoch, recs []record.Record) (*wire.Packet, error) {
 	for attempt := 0; attempt <= s.retries; attempt++ {
 		s.mu.Lock()
 		if s.closed {
@@ -296,7 +314,13 @@ func (s *session) call(t wire.Type, payload []byte) (*wire.Packet, error) {
 		}
 		s.mu.Unlock()
 
-		seq, err := s.peer.Send(t, 0, payload)
+		var seq uint64
+		var err error
+		if recs != nil {
+			seq, err = s.peer.SendRecords(t, 0, epoch, recs)
+		} else {
+			seq, err = s.peer.Send(t, 0, payload)
+		}
 		if err != nil {
 			return nil, err
 		}

@@ -29,7 +29,10 @@ func BenchmarkWritePathAllocsTelemetry(b *testing.B) {
 	}
 	runtime.ReadMemStats(&m1)
 	b.StopTimer()
-	if perOp := float64(m1.Mallocs-m0.Mallocs) / float64(b.N); perOp > writePathAllocBudget {
+	// Steady-state ceiling only: at b.N=1 (the framework's sizing
+	// probe) one-time lazy allocations can't amortize and the check
+	// would fire on noise.
+	if perOp := float64(m1.Mallocs-m0.Mallocs) / float64(b.N); b.N >= 100 && perOp > writePathAllocBudget {
 		b.Fatalf("write path with telemetry allocates %.1f objects/op, budget %d", perOp, writePathAllocBudget)
 	}
 }
@@ -58,7 +61,7 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 		}
 		runtime.ReadMemStats(&m1)
 		b.StopTimer()
-		if perOp := float64(m1.Mallocs-m0.Mallocs) / float64(b.N); checkAllocs && perOp > writePathAllocBudget {
+		if perOp := float64(m1.Mallocs-m0.Mallocs) / float64(b.N); checkAllocs && b.N >= 100 && perOp > writePathAllocBudget {
 			b.Fatalf("disabled telemetry allocates %.1f objects/op, budget %d", perOp, writePathAllocBudget)
 		}
 	}

@@ -432,6 +432,7 @@ func openLog(r *rig, o Options, ep transport.Endpoint) (*core.ReplicatedLog, err
 		CallTimeout: o.CallTimeout,
 		Retries:     o.Retries,
 		FlushBatch:  2, // stream early so a crash can strand a partially sent tail
+		Streams:     2, // multi-stream: every open also recovers stream 1
 		Telemetry:   r.reg,
 	})
 }
@@ -512,6 +513,38 @@ func (w *worker) force() {
 	if err := w.l.Force(); err == nil {
 		w.chk.Forced()
 	}
+}
+
+// multiStream drives the second log stream: plain writes, a
+// dependency-vectored commit (client.stream.commit-vector fires between
+// the vector read and the append), a force, and a merged
+// dependency-ordered scan over both streams
+// (recman.merge.before-apply fires as each merged record is yielded).
+// Stream-1 LSNs live in their own sequence, so they are not fed to the
+// checker — it audits stream 0; stream 1's own durability is enforced
+// by its own Section 3.1.2 recovery at every reopen.
+func (w *worker) multiStream() {
+	if w.stopped != nil && w.stopped() {
+		return
+	}
+	s1 := w.l.Stream(1)
+	w.n++
+	s1.WriteLog([]byte(fmt.Sprintf("s1-%d", w.n)))
+	s1.WriteCommit([]byte(fmt.Sprintf("s1-commit-%d", w.n)))
+	if w.stopped != nil && w.stopped() {
+		return
+	}
+	s1.Force()
+	mc, err := w.l.OpenMergedCursor()
+	if err != nil {
+		return
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := mc.Next(); err != nil {
+			break
+		}
+	}
+	mc.Close()
 }
 
 // runAuxForcer opens an extra client (its own ClientID, hence its own
@@ -651,6 +684,7 @@ func RunPoint(o Options, pointName string, hitN uint64) (fired bool, err error) 
 		w2.write(3, "w2a")
 		w2.force()
 		w2.scan()
+		w2.multiStream()
 		r.checkpointAndCompact(l2, chk, pointName)
 		// Migrate the write set onto the spare server with an unforced
 		// tail outstanding: the tail must drain onto the new interval via

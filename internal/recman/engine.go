@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"distlog/internal/core"
 	"distlog/internal/record"
 	"distlog/internal/splitlog"
 )
@@ -96,6 +97,11 @@ type Engine struct {
 
 	locks *lockTable
 	split *splitlog.Cache
+
+	// streams is non-nil iff the log is a K > 1 multi-stream log (see
+	// streams.go): transactions are then spread across the K streams and
+	// recovery runs the dependency-ordered merged replay.
+	streams []*core.Stream
 }
 
 // Open recovers the database state from the log and stable store and
@@ -115,6 +121,7 @@ func Open(log Log, stable *StableStore, opts Options) (*Engine, error) {
 	if opts.Split {
 		e.split = splitlog.New(log)
 	}
+	e.initStreams()
 	if err := e.recover(); err != nil {
 		return nil, err
 	}
@@ -161,8 +168,14 @@ func (e *Engine) SplitStats() splitlog.Stats {
 
 // appendLog writes one engine record to the recovery log.
 func (e *Engine) appendLog(r *logRec) (record.LSN, error) {
+	return e.appendVia(e.log.WriteLog, r)
+}
+
+// appendVia writes one engine record through the given append function
+// (the plain log, one stream, or a stream's commit-class append).
+func (e *Engine) appendVia(write func(data []byte) (record.LSN, error), r *logRec) (record.LSN, error) {
 	data := r.encode()
-	lsn, err := e.log.WriteLog(data)
+	lsn, err := write(data)
 	if err != nil {
 		return 0, err
 	}
@@ -175,11 +188,12 @@ func (e *Engine) appendLog(r *logRec) (record.LSN, error) {
 
 // Txn is one transaction.
 type Txn struct {
-	e    *Engine
-	id   uint64
-	undo []undoEntry
-	lsns []record.LSN // combined mode: update record LSNs for abort
-	done bool
+	e      *Engine
+	id     uint64
+	stream int // the log stream all of this transaction's records go to
+	undo   []undoEntry
+	lsns   []record.LSN // combined mode: update record LSNs for abort
+	done   bool
 }
 
 type undoEntry struct {
@@ -194,7 +208,7 @@ func (e *Engine) Begin() *Txn {
 	e.nextTxn++
 	e.active++
 	e.stats.Begins++
-	return &Txn{e: e, id: e.nextTxn}
+	return &Txn{e: e, id: e.nextTxn, stream: e.txnStream(e.nextTxn)}
 }
 
 // ID returns the transaction identifier.
@@ -254,7 +268,7 @@ func (t *Txn) update(key string, newVal int64, note []byte) error {
 		// Split: stream the redo component now; cache the undo
 		// component (logged later only if the page is cleaned first).
 		redo := &logRec{op: opRedo, txn: t.id, key: key, newVal: newVal, note: note}
-		lsn, err := t.e.appendLog(redo)
+		lsn, err := t.e.appendTxnLog(t, redo)
 		if err != nil {
 			return err
 		}
@@ -263,7 +277,7 @@ func (t *Txn) update(key string, newVal int64, note []byte) error {
 		t.e.split.Put(t.id, key, undo.encode())
 	} else {
 		rec := &logRec{op: opUpdate, txn: t.id, key: key, oldVal: oldVal, newVal: newVal, note: note}
-		lsn, err := t.e.appendLog(rec)
+		lsn, err := t.e.appendTxnLog(t, rec)
 		if err != nil {
 			return err
 		}
@@ -309,10 +323,10 @@ func (t *Txn) Commit() error {
 	if t.done {
 		return ErrTxnDone
 	}
-	if _, err := t.e.appendLog(&logRec{op: opCommit, txn: t.id}); err != nil {
+	if _, err := t.e.appendTxnEnder(t, &logRec{op: opCommit, txn: t.id}); err != nil {
 		return err
 	}
-	if err := t.e.log.Force(); err != nil {
+	if err := t.e.forceTxn(t); err != nil {
 		return err
 	}
 	if t.e.split != nil {
@@ -346,7 +360,7 @@ func (t *Txn) Abort() error {
 		t.e.mu.Unlock()
 	} else {
 		for i := len(t.lsns) - 1; i >= 0; i-- {
-			rec, err := t.e.log.ReadRecord(t.lsns[i])
+			rec, err := t.e.readTxnRecord(t, t.lsns[i])
 			if err != nil {
 				return fmt.Errorf("recman: abort read of LSN %d: %w", t.lsns[i], err)
 			}
@@ -365,12 +379,12 @@ func (t *Txn) Abort() error {
 			// Log the compensation so redo-based recovery replays the
 			// rollback in its correct position in the total order.
 			clr := &logRec{op: opUpdate, txn: t.id, key: r.key, oldVal: cur, newVal: r.oldVal}
-			if _, err := t.e.appendLog(clr); err != nil {
+			if _, err := t.e.appendTxnLog(t, clr); err != nil {
 				return err
 			}
 		}
 	}
-	if _, err := t.e.appendLog(&logRec{op: opAbort, txn: t.id}); err != nil {
+	if _, err := t.e.appendTxnEnder(t, &logRec{op: opAbort, txn: t.id}); err != nil {
 		return err
 	}
 	t.finish(false)
@@ -407,7 +421,7 @@ func (e *Engine) FlushKey(key string) error {
 			return err
 		}
 	}
-	if err := e.log.Force(); err != nil {
+	if err := e.forceAll(); err != nil {
 		return err
 	}
 	e.mu.Lock()
@@ -455,6 +469,9 @@ func (e *Engine) Checkpoint() error {
 	e.stats.Checkpoints++
 	e.mu.Unlock()
 
+	if e.streams != nil {
+		return e.checkpointStreams()
+	}
 	if e.opts.TruncateOnCheckpoint {
 		if cw, ok := e.log.(checkpointWriter); ok {
 			data := (&logRec{op: opCheckpoint}).encode()

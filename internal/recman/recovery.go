@@ -31,6 +31,11 @@ type cursorLog interface {
 // never logged and is not needed, because the stable store never saw
 // the loser's value).
 func (e *Engine) recover() error {
+	if e.streams != nil {
+		// K > 1 streams: parallel scan, dependency-ordered merged replay
+		// (streams.go). The single-stream path below stays untouched.
+		return e.recoverStreams()
+	}
 	end := e.log.EndOfLog()
 	type upd struct {
 		lsn record.LSN

@@ -1,0 +1,312 @@
+package recman
+
+import (
+	"errors"
+	"fmt"
+
+	"distlog/internal/core"
+	"distlog/internal/record"
+)
+
+// streamedLog is the optional log capability behind parallel
+// multi-stream logging; *core.ReplicatedLog implements it. When the log
+// was opened with K > 1 streams the engine spreads its transactions
+// across them — a transaction's update and ender records all go to one
+// stream (id mod K), so K committers force K independent send windows
+// instead of serializing on one — and recovery replays the K streams in
+// parallel through the merged dependency-ordered cursor.
+type streamedLog interface {
+	Streams() int
+	Stream(i int) *core.Stream
+	OpenMergedCursor() (*core.MergedCursor, error)
+}
+
+// initStreams detects the multi-stream capability. Called once from
+// Open before recovery.
+func (e *Engine) initStreams() {
+	sl, ok := e.log.(streamedLog)
+	if !ok || sl.Streams() <= 1 {
+		return
+	}
+	e.streams = make([]*core.Stream, sl.Streams())
+	for i := range e.streams {
+		e.streams[i] = sl.Stream(i)
+	}
+}
+
+// txnStream returns the stream a transaction logs on.
+func (e *Engine) txnStream(id uint64) int {
+	if e.streams == nil {
+		return 0
+	}
+	return int(id % uint64(len(e.streams)))
+}
+
+// appendTxnLog writes one engine record to the transaction's stream.
+func (e *Engine) appendTxnLog(t *Txn, r *logRec) (record.LSN, error) {
+	if e.streams == nil {
+		return e.appendLog(r)
+	}
+	return e.appendVia(e.streams[t.stream].WriteLog, r)
+}
+
+// appendTxnEnder writes a transaction's commit or abort record. On a
+// multi-stream log the ender is a commit-class record: it carries the
+// dependency vector over the sibling streams, which is what lets
+// dependency-ordered recovery replay this transaction's block after
+// everything it could have observed.
+func (e *Engine) appendTxnEnder(t *Txn, r *logRec) (record.LSN, error) {
+	if e.streams == nil {
+		return e.appendLog(r)
+	}
+	return e.appendVia(e.streams[t.stream].WriteCommit, r)
+}
+
+// forceTxn forces the transaction's own stream: every record the
+// transaction wrote lives there, so its durability needs nothing from
+// the siblings.
+func (e *Engine) forceTxn(t *Txn) error {
+	if e.streams == nil {
+		return e.log.Force()
+	}
+	return e.streams[t.stream].Force()
+}
+
+// readTxnRecord reads back one of the transaction's own update records
+// (combined-mode abort).
+func (e *Engine) readTxnRecord(t *Txn, lsn record.LSN) (record.Record, error) {
+	if e.streams == nil {
+		return e.log.ReadRecord(lsn)
+	}
+	return e.streams[t.stream].ReadRecord(lsn)
+}
+
+// forceAll forces every stream. Page cleaning needs it: the WAL rule
+// requires the undo information of whatever value is about to be
+// written durable first, and on a multi-stream log that information
+// lives on the stream of whichever transaction wrote the value — any
+// of them.
+func (e *Engine) forceAll() error {
+	if e.streams == nil {
+		return e.log.Force()
+	}
+	for _, s := range e.streams {
+		if err := s.Force(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkpointStreams writes the engine checkpoint to every stream. The
+// engine is quiesced, so the K markers form a consistent cut: no
+// transaction's records straddle its stream's marker. Each stream's
+// marker advances that stream's truncation point when enabled.
+func (e *Engine) checkpointStreams() error {
+	data := (&logRec{op: opCheckpoint}).encode()
+	for i, s := range e.streams {
+		if e.opts.TruncateOnCheckpoint {
+			if _, err := s.Checkpoint(data); err != nil {
+				return fmt.Errorf("recman: checkpoint stream %d: %w", i, err)
+			}
+		} else {
+			if _, err := s.WriteLog(data); err != nil {
+				return fmt.Errorf("recman: checkpoint stream %d: %w", i, err)
+			}
+			if err := s.Force(); err != nil {
+				return fmt.Errorf("recman: checkpoint stream %d: %w", i, err)
+			}
+		}
+		e.mu.Lock()
+		e.stats.LogRecords++
+		e.stats.LogBytes += uint64(len(data))
+		e.mu.Unlock()
+	}
+	return nil
+}
+
+// recoverStreams rebuilds the committed state from a K-stream log.
+//
+// The merged cursor yields all K streams as one dependency-ordered
+// sequence; each stream's records arrive through its own prefetching
+// cursor, so the K scans proceed in parallel on the wire. Raw update
+// records carry no dependency vectors — only the enders do — so the
+// merged order of two updates from different streams is not, by itself,
+// meaningful. Recovery therefore applies transactions as blocks: a
+// transaction's updates are applied at its *ender's* merged position.
+// Under strict 2PL two transactions that touched the same key are
+// lock-ordered, the later one read the key after the earlier one's
+// ender was appended, and its own ender's dependency vector places it
+// after the earlier ender in the merge — so ender order extends every
+// per-key conflict order, which is exactly what value-logging replay
+// needs. Transactions with no ender (in-flight at the crash) are
+// applied after all ended blocks and then undone in reverse, as in
+// single-stream recovery; strict 2PL guarantees their undo values are
+// the latest committed values, so their position among themselves is
+// immaterial.
+func (e *Engine) recoverStreams() error {
+	sl := e.log.(streamedLog)
+	mc, err := sl.OpenMergedCursor()
+	if err != nil {
+		return fmt.Errorf("recman: merged recovery scan open: %w", err)
+	}
+	defer mc.Close()
+
+	type ev struct {
+		pos    int
+		stream int
+		rec    *logRec
+	}
+	var events []ev
+	ckptPos := make([]int, len(e.streams))
+	for i := range ckptPos {
+		ckptPos[i] = -1
+	}
+	maxTxn := uint64(0)
+	pos := 0
+	for {
+		sr, err := mc.Next()
+		if errors.Is(err, core.ErrBeyondEnd) {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("recman: merged recovery scan: %w", err)
+		}
+		p := pos
+		pos++
+		if !sr.Present {
+			continue // crash-recovery marker in the replicated log
+		}
+		r, err := decodeLogRec(sr.Data)
+		if err != nil {
+			return fmt.Errorf("recman: recovery decode of stream %d LSN %d: %w", sr.Stream, sr.LSN, err)
+		}
+		if r.txn > maxTxn {
+			maxTxn = r.txn
+		}
+		if r.op == opCheckpoint {
+			if !e.opts.FullReplay {
+				// Sharp per-stream cut: everything earlier on this stream
+				// is already reflected in the stable store.
+				ckptPos[sr.Stream] = p
+			}
+			continue
+		}
+		events = append(events, ev{pos: p, stream: sr.Stream, rec: r})
+	}
+
+	// Drop everything before each stream's last checkpoint marker.
+	// Within a stream the merge preserves LSN order, so position against
+	// the marker is position against the cut; the engine quiesces before
+	// checkpointing, so no transaction straddles it.
+	kept := events[:0]
+	for _, v := range events {
+		if v.pos > ckptPos[v.stream] {
+			kept = append(kept, v)
+		}
+	}
+
+	// Group by transaction; remember each ender's merged position.
+	type txnInfo struct {
+		updates   []*logRec
+		enderPos  int
+		committed bool
+	}
+	txns := make(map[uint64]*txnInfo)
+	info := func(id uint64) *txnInfo {
+		ti := txns[id]
+		if ti == nil {
+			ti = &txnInfo{enderPos: -1}
+			txns[id] = ti
+		}
+		return ti
+	}
+	var enderOrder []uint64
+	for _, v := range kept {
+		switch v.rec.op {
+		case opUpdate, opRedo, opUndo:
+			info(v.rec.txn).updates = append(info(v.rec.txn).updates, v.rec)
+		case opCommit, opAbort:
+			ti := info(v.rec.txn)
+			if ti.enderPos < 0 {
+				enderOrder = append(enderOrder, v.rec.txn)
+			}
+			ti.enderPos = v.pos
+			ti.committed = v.rec.op == opCommit
+		}
+	}
+
+	winners := 0
+	for _, ti := range txns {
+		if ti.committed {
+			winners++
+		}
+	}
+
+	if e.split == nil {
+		// Combined value logging: ended transactions' update blocks in
+		// ender order (commits and completed aborts alike — an aborted
+		// block nets out to its compensations)...
+		for _, id := range enderOrder {
+			for _, r := range txns[id].updates {
+				if r.op == opUpdate {
+					e.stable.Set(r.key, r.newVal)
+				}
+			}
+		}
+		// ...then in-flight losers: redo their stolen-capable updates,
+		// then undo them in reverse.
+		var inflight []ev
+		for _, v := range kept {
+			if v.rec.op == opUpdate && txns[v.rec.txn].enderPos < 0 {
+				inflight = append(inflight, v)
+			}
+		}
+		losers := make(map[uint64]bool)
+		for _, v := range inflight {
+			losers[v.rec.txn] = true
+			e.stable.Set(v.rec.key, v.rec.newVal)
+		}
+		for i := len(inflight) - 1; i >= 0; i-- {
+			e.stable.Set(inflight[i].rec.key, inflight[i].rec.oldVal)
+		}
+		e.stats.RecoveredWinners = winners
+		e.stats.RecoveredLosers = len(losers)
+	} else {
+		// Split: winners' redo blocks at ender positions, tracking the
+		// ender position as the key's last winner write...
+		lastWinnerWrite := make(map[string]int)
+		for _, id := range enderOrder {
+			ti := txns[id]
+			if !ti.committed {
+				continue
+			}
+			for _, r := range ti.updates {
+				if r.op == opRedo {
+					e.stable.Set(r.key, r.newVal)
+					lastWinnerWrite[r.key] = ti.enderPos
+				}
+			}
+		}
+		// ...then non-winners' logged undo components in reverse merged
+		// order, where no winner's ender came later.
+		losers := make(map[uint64]bool)
+		for i := len(kept) - 1; i >= 0; i-- {
+			v := kept[i]
+			if v.rec.op != opUndo {
+				continue
+			}
+			if ti := txns[v.rec.txn]; ti.committed {
+				continue
+			}
+			losers[v.rec.txn] = true
+			if lw, ok := lastWinnerWrite[v.rec.key]; !ok || v.pos > lw {
+				e.stable.Set(v.rec.key, v.rec.oldVal)
+			}
+		}
+		e.stats.RecoveredWinners = winners
+		e.stats.RecoveredLosers = len(losers)
+	}
+	e.nextTxn = maxTxn
+	return nil
+}

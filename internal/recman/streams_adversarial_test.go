@@ -1,0 +1,196 @@
+package recman
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"distlog/internal/core"
+	"distlog/internal/faultpoint"
+	"distlog/internal/record"
+	"distlog/internal/server"
+	"distlog/internal/storage"
+	"distlog/internal/transport"
+	"distlog/internal/workload"
+)
+
+// TestMultiStreamRecoveryEquivalence is the adversarial multi-stream
+// check: the identical deterministic transaction history — committed
+// ET1 transactions, a completed abort, and in-flight losers with stolen
+// pages — runs once on a single-stream log and once spread over K=4
+// streams, both over a lossy, duplicating, reordering network. Both
+// engines then crash without a clean shutdown and recover under the
+// same faults; the K=4 recovery additionally loses one of its write-set
+// holders mid-merge (armed on the recman.merge.before-apply point), so
+// the dependency-ordered replay must fail over to the surviving copies.
+// The two recovered stable stores must match byte for byte.
+func TestMultiStreamRecoveryEquivalence(t *testing.T) {
+	modes(t, func(t *testing.T, opts Options) {
+		run := func(streams int, killHolder bool) map[string]int64 {
+			net := transport.NewNetwork(11)
+			names := []string{"m1", "m2", "m3", "m4"}
+			servers := make(map[string]*server.Server)
+			for _, name := range names {
+				srv := server.New(server.Config{
+					Name:     name,
+					Store:    storage.NewMemStore(),
+					Endpoint: net.Endpoint(name),
+					Epochs:   server.NewMemEpochHost(),
+				})
+				srv.Start()
+				servers[name] = srv
+				t.Cleanup(srv.Stop)
+			}
+			// Lossy, duplicating, reordering — but not partitioned: the
+			// client protocol must retry through it.
+			net.SetFaults(transport.Faults{
+				DropProb: 0.03,
+				DupProb:  0.03,
+				MaxDelay: 2 * time.Millisecond,
+			})
+			open := func() *core.ReplicatedLog {
+				l, err := core.Open(core.Config{
+					ClientID:    1,
+					Servers:     names,
+					N:           2,
+					Streams:     streams,
+					Endpoint:    net.Endpoint("client-1"),
+					CallTimeout: 100 * time.Millisecond,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return l
+			}
+
+			l := open()
+			stable := NewStableStore()
+			e := openEngine(t, l, stable, opts)
+
+			// The deterministic history: same generator seed and count in
+			// both runs.
+			scale := workload.ET1Scale{Branches: 2, Tellers: 4, Accounts: 40}
+			gen := workload.NewET1(scale, 9)
+			for i := 0; i < 30; i++ {
+				if _, err := ApplyET1(e, gen.Next()); err != nil {
+					t.Fatal(err)
+				}
+			}
+			ab := e.Begin()
+			if _, err := ab.Add("account-1", 500); err != nil {
+				t.Fatal(err)
+			}
+			if err := ab.Abort(); err != nil {
+				t.Fatal(err)
+			}
+			// In-flight losers whose pages are stolen into the stable
+			// store: the state the undo side of merged replay exists for.
+			loser1 := e.Begin()
+			if _, err := loser1.Add("account-2", 700); err != nil {
+				t.Fatal(err)
+			}
+			loser2 := e.Begin()
+			if _, err := loser2.Add("teller-1", 900); err != nil {
+				t.Fatal(err)
+			}
+			for _, key := range []string{"account-2", "teller-1"} {
+				if err := e.FlushKey(key); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Crash: no checkpoint, no engine shutdown — the node just
+			// dies with loser1/loser2 in flight.
+			dirty := stable.Snapshot()
+			l.Close()
+
+			restored := NewStableStore()
+			for k, v := range dirty {
+				restored.Set(k, v)
+			}
+			l2 := open()
+			t.Cleanup(func() { l2.Close() })
+			if killHolder {
+				// The 5th merged yield stops one server of the write set:
+				// every stream loses one of its two record copies
+				// mid-scan and the cursors must fail over.
+				victim := l2.WriteSet()[0]
+				faultpoint.Arm(core.FPMergeBeforeApply, 5, func() {
+					servers[victim].Stop()
+				})
+				defer faultpoint.Disarm(core.FPMergeBeforeApply)
+			}
+			e2 := openEngine(t, l2, restored, opts)
+			if killHolder && !faultpoint.Fired(core.FPMergeBeforeApply) {
+				t.Fatal("recovery never reached the merge point")
+			}
+			if e2.Stats().RecoveredWinners == 0 {
+				t.Fatal("recovery replayed no winners")
+			}
+			if e2.Stats().RecoveredLosers == 0 {
+				t.Fatal("seeded history produced no losers")
+			}
+			return restored.Snapshot()
+		}
+
+		want := run(1, false)
+		got := run(4, true)
+		if len(got) != len(want) {
+			t.Fatalf("recovered stores diverge: %d keys multi-stream, %d single", len(got), len(want))
+		}
+		for k, v := range want {
+			if got[k] != v {
+				t.Fatalf("recovered stores diverge at %q: multi-stream %d, single %d", k, got[k], v)
+			}
+		}
+	})
+}
+
+// TestMultiStreamEngineSpreadsTransactions pins the stream assignment:
+// with K streams every stream carries log records, and a transaction's
+// records never span streams (its commit durability forces one stream).
+func TestMultiStreamEngineSpreadsTransactions(t *testing.T) {
+	net := transport.NewNetwork(5)
+	names := []string{"p1", "p2", "p3"}
+	for _, name := range names {
+		srv := server.New(server.Config{
+			Name:     name,
+			Store:    storage.NewMemStore(),
+			Endpoint: net.Endpoint(name),
+			Epochs:   server.NewMemEpochHost(),
+		})
+		srv.Start()
+		t.Cleanup(srv.Stop)
+	}
+	l, err := core.Open(core.Config{
+		ClientID:    7,
+		Servers:     names,
+		N:           2,
+		Streams:     4,
+		Endpoint:    net.Endpoint("client-7"),
+		CallTimeout: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	e := openEngine(t, l, NewStableStore(), Options{})
+
+	base := make([]record.LSN, l.Streams())
+	for i := range base {
+		base[i] = l.Stream(i).EndOfLog()
+	}
+	for i := 0; i < 16; i++ {
+		txn := e.Begin()
+		if err := txn.Set(fmt.Sprintf("k%d", i), int64(i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := txn.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < l.Streams(); i++ {
+		if grew := l.Stream(i).EndOfLog() - base[i]; grew == 0 {
+			t.Fatalf("stream %d carried no records for 16 round-robin transactions", i)
+		}
+	}
+}

@@ -11,16 +11,27 @@ import (
 //
 //	LSN    uint64
 //	Epoch  uint64
-//	Flags  uint8   (bit 0: present)
+//	Flags  uint8   (bit 0: present; bit 1: dependency vector)
 //	Len    uint32  (length of Data; always 0 when not present)
 //	Data   Len bytes
+//	Deps   uint16 count, then count × (Stream uint32, High uint64)
+//	       — only when flags bit 1 is set
 //
-// and an interval as three uint64s (Epoch, Low, High).
+// and an interval as three uint64s (Epoch, Low, High). Records
+// without a dependency vector encode exactly as they always have;
+// frames that carry dep-vectored records are sent under a bumped wire
+// protocol version so decoders that predate bit 1 reject the frame
+// wholesale instead of misparsing the trailing vector (see
+// internal/wire).
 
 const (
 	recordHeaderSize = 8 + 8 + 1 + 4
+	streamDepSize    = 4 + 8
 	// IntervalEncodedSize is the fixed encoded size of an Interval.
 	IntervalEncodedSize = 24
+
+	flagPresent = 1 << 0
+	flagDeps    = 1 << 1
 )
 
 // ErrTruncated is returned when a buffer ends inside an encoded value.
@@ -32,10 +43,14 @@ const MaxDataSize = 1 << 24
 
 // EncodedSize returns the encoded length of the record.
 func (r Record) EncodedSize() int {
-	if !r.Present {
-		return recordHeaderSize
+	n := recordHeaderSize
+	if r.Present {
+		n += len(r.Data)
 	}
-	return recordHeaderSize + len(r.Data)
+	if len(r.Deps) > 0 {
+		n += 2 + len(r.Deps)*streamDepSize
+	}
+	return n
 }
 
 // AppendEncode appends the record's encoding to buf and returns the
@@ -45,15 +60,26 @@ func (r Record) AppendEncode(buf []byte) []byte {
 	buf = binary.BigEndian.AppendUint64(buf, uint64(r.Epoch))
 	var flags byte
 	if r.Present {
-		flags |= 1
+		flags |= flagPresent
+	}
+	if len(r.Deps) > 0 {
+		flags |= flagDeps
 	}
 	buf = append(buf, flags)
-	if !r.Present {
+	if r.Present {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(r.Data)))
+		buf = append(buf, r.Data...)
+	} else {
 		buf = binary.BigEndian.AppendUint32(buf, 0)
-		return buf
 	}
-	buf = binary.BigEndian.AppendUint32(buf, uint32(len(r.Data)))
-	return append(buf, r.Data...)
+	if len(r.Deps) > 0 {
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(r.Deps)))
+		for _, d := range r.Deps {
+			buf = binary.BigEndian.AppendUint32(buf, d.Stream)
+			buf = binary.BigEndian.AppendUint64(buf, uint64(d.High))
+		}
+	}
+	return buf
 }
 
 // DecodeRecord decodes one record from the front of buf, returning the
@@ -77,7 +103,8 @@ func DecodeRecordAlias(buf []byte) (Record, int, error) {
 	var r Record
 	r.LSN = LSN(binary.BigEndian.Uint64(buf[0:8]))
 	r.Epoch = Epoch(binary.BigEndian.Uint64(buf[8:16]))
-	r.Present = buf[16]&1 != 0
+	flags := buf[16]
+	r.Present = flags&flagPresent != 0
 	n := binary.BigEndian.Uint32(buf[17:21])
 	if n > MaxDataSize {
 		return Record{}, 0, fmt.Errorf("record: data length %d exceeds limit", n)
@@ -88,6 +115,22 @@ func DecodeRecordAlias(buf []byte) (Record, int, error) {
 	}
 	if n > 0 {
 		r.Data = buf[recordHeaderSize:total:total]
+	}
+	if flags&flagDeps != 0 {
+		if len(buf) < total+2 {
+			return Record{}, 0, ErrTruncated
+		}
+		cnt := int(binary.BigEndian.Uint16(buf[total : total+2]))
+		total += 2
+		if len(buf) < total+cnt*streamDepSize {
+			return Record{}, 0, ErrTruncated
+		}
+		r.Deps = make([]StreamDep, cnt)
+		for i := 0; i < cnt; i++ {
+			r.Deps[i].Stream = binary.BigEndian.Uint32(buf[total : total+4])
+			r.Deps[i].High = LSN(binary.BigEndian.Uint64(buf[total+4 : total+12]))
+			total += streamDepSize
+		}
 	}
 	return r, total, nil
 }

@@ -40,6 +40,22 @@ type Record struct {
 	Epoch   Epoch
 	Present bool
 	Data    []byte
+	// Deps is the Taurus-style dependency vector stamped on
+	// commit-class records of a multi-stream log: for each other
+	// stream, the highest LSN that stream had appended when this
+	// record was created. Recovery replays streams in parallel and
+	// orders records by these vectors instead of a total order.
+	// Nil for ordinary records; records with deps use a
+	// version-gated wire framing (see internal/wire).
+	Deps []StreamDep
+}
+
+// StreamDep is one entry of a dependency vector: everything on Stream
+// up to and including High must be applied before the record carrying
+// the vector.
+type StreamDep struct {
+	Stream uint32
+	High   LSN
 }
 
 // Key identifies a record uniquely on a server.
@@ -58,6 +74,10 @@ func (r Record) Clone() Record {
 	if r.Data != nil {
 		c.Data = make([]byte, len(r.Data))
 		copy(c.Data, r.Data)
+	}
+	if r.Deps != nil {
+		c.Deps = make([]StreamDep, len(r.Deps))
+		copy(c.Deps, r.Deps)
 	}
 	return c
 }

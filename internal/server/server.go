@@ -147,8 +147,13 @@ type Stats struct {
 type Server struct {
 	cfg Config
 
-	mu       sync.Mutex
-	sessions map[string]*session // keyed by client network address
+	mu sync.Mutex
+	// sessions is keyed by (client network address, ClientID): the
+	// streams of a multi-stream client share one endpoint (one address)
+	// but carry distinct derived ClientIDs, and each stream gets its own
+	// session — its own expected-next position, send window peer, and
+	// acker marks.
+	sessions map[sessionKey]*session
 	stopped  bool
 
 	wg       sync.WaitGroup // receive loop
@@ -178,6 +183,13 @@ type Server struct {
 type work struct {
 	raw transport.Packet
 	pkt wire.Packet
+}
+
+// sessionKey identifies one session: the client's network address plus
+// its (possibly stream-derived) ClientID.
+type sessionKey struct {
+	addr   string
+	client record.ClientID
 }
 
 // session is the per-client connection state. Its fields past the
@@ -241,7 +253,7 @@ func New(cfg Config) *Server {
 	}
 	s := &Server{
 		cfg:      cfg,
-		sessions: make(map[string]*session),
+		sessions: make(map[sessionKey]*session),
 		quit:     make(chan struct{}),
 		m:        newServerMetrics(cfg.Telemetry, cfg.Name),
 	}
@@ -349,7 +361,7 @@ func (s *Server) shutdown() {
 	for _, sess := range s.sessions {
 		sess.stop()
 	}
-	s.sessions = make(map[string]*session)
+	s.sessions = make(map[sessionKey]*session)
 	s.m.sessions.Set(0)
 	s.m.nodeSessions.Set(0)
 	s.mu.Unlock()
@@ -370,7 +382,7 @@ func (s *Server) dispatch(raw transport.Packet, pkt wire.Packet) {
 	}
 
 	s.mu.Lock()
-	sess := s.sessions[raw.From]
+	sess := s.sessions[sessionKey{raw.From, pkt.ClientID}]
 	s.mu.Unlock()
 
 	if sess == nil || pkt.ConnID != sess.peer.ConnID {
@@ -413,7 +425,8 @@ func (s *Server) handleSyn(from string, pkt *wire.Packet) {
 		s.mu.Unlock()
 		return
 	}
-	sess := s.sessions[from]
+	key := sessionKey{from, pkt.ClientID}
+	sess := s.sessions[key]
 	if sess != nil && pkt.ConnID == sess.peer.ConnID {
 		// Retransmitted or network-duplicated Syn of the live
 		// incarnation: answer it, but keep the session. Resetting
@@ -453,8 +466,8 @@ func (s *Server) handleSyn(from string, pkt *wire.Packet) {
 	if sess != nil {
 		s.evictLocked(sess)
 	}
-	for addr, old := range s.sessions {
-		if addr != from && old.clientID == pkt.ClientID && old.peer.ConnID < pkt.ConnID {
+	for k, old := range s.sessions {
+		if k.addr != from && old.clientID == pkt.ClientID && old.peer.ConnID < pkt.ConnID {
 			s.evictLocked(old)
 		}
 	}
@@ -468,7 +481,7 @@ func (s *Server) handleSyn(from string, pkt *wire.Packet) {
 	}
 	sess.lastActive.Store(time.Now().UnixNano())
 	sess.peer.SetEstablished()
-	s.sessions[from] = sess
+	s.sessions[key] = sess
 	s.m.sessions.Set(int64(len(s.sessions)))
 	s.m.nodeSessions.Set(int64(len(s.sessions)))
 	s.workerWG.Add(2)
@@ -482,7 +495,7 @@ func (s *Server) handleSyn(from string, pkt *wire.Packet) {
 // evictLocked removes a session and stops its worker. Callers hold
 // s.mu and refresh the sessions gauge afterwards.
 func (s *Server) evictLocked(sess *session) {
-	delete(s.sessions, sess.addr)
+	delete(s.sessions, sessionKey{sess.addr, sess.clientID})
 	sess.stop()
 	s.m.sessionsEvicted.Add(1)
 }

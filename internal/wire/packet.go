@@ -143,10 +143,19 @@ func (t Type) IsResponse() bool {
 //	Payload  ...
 //	CRC32    uint32  over everything above
 const (
-	Magic      = 0xD15C // "disc": distributed logging service
-	Version    = 1
-	headerSize = 2 + 1 + 1 + 8 + 8 + 8 + 8 + 8 + 2
-	crcSize    = 4
+	Magic = 0xD15C // "disc": distributed logging service
+	// Version is the base protocol version. VersionDeps frames are
+	// identical except that their grouped records may carry dependency
+	// vectors (record flags bit 1, multi-stream logging): a frame
+	// embedding at least one dep-vectored record is stamped
+	// VersionDeps, so a decoder that predates dependency vectors
+	// rejects it at the envelope instead of misparsing the record
+	// stream. Encoders pick the lowest version the content allows, so
+	// single-stream traffic is byte-identical to Version 1.
+	Version     = 1
+	VersionDeps = 2
+	headerSize  = 2 + 1 + 1 + 8 + 8 + 8 + 8 + 8 + 2
+	crcSize     = 4
 )
 
 // MaxPayload is the largest payload that fits a single network packet.
@@ -192,8 +201,15 @@ func (p *Packet) AppendEncode(buf []byte) ([]byte, error) {
 func appendFrame(buf []byte, t Type, connID, seq, alloc, respTo uint64,
 	clientID record.ClientID, payload, prefix []byte, epoch record.Epoch, recs []record.Record) ([]byte, error) {
 	start := len(buf)
+	version := byte(Version)
+	for i := range recs {
+		if len(recs[i].Deps) > 0 {
+			version = VersionDeps
+			break
+		}
+	}
 	buf = binary.BigEndian.AppendUint16(buf, Magic)
-	buf = append(buf, Version, byte(t))
+	buf = append(buf, version, byte(t))
 	buf = binary.BigEndian.AppendUint64(buf, connID)
 	buf = binary.BigEndian.AppendUint64(buf, seq)
 	buf = binary.BigEndian.AppendUint64(buf, alloc)
@@ -233,7 +249,7 @@ func Decode(data []byte) (Packet, error) {
 	if binary.BigEndian.Uint16(body[0:2]) != Magic {
 		return Packet{}, fmt.Errorf("%w: bad magic", ErrBadPacket)
 	}
-	if body[2] != Version {
+	if body[2] != Version && body[2] != VersionDeps {
 		return Packet{}, fmt.Errorf("%w: version %d", ErrBadPacket, body[2])
 	}
 	p := Packet{
